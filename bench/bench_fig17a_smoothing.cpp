@@ -1,0 +1,45 @@
+/// \file bench_fig17a_smoothing.cpp
+/// Reproduces paper Fig. 17(a): Precision@K (K=1000 in the paper, scaled
+/// here) as the Jelinek-Mercer smoothing factor f sweeps 0..1 on Ent-XLS.
+/// Paper shape: smoothing helps (f=0 is worse), quality is best and stable
+/// in f ∈ [0.1, 0.3], and degrades toward f = 1.
+
+#include "bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config = StandardConfig();
+
+  GeneratorOptions gen;
+  gen.profile = config.train_profile;
+  gen.num_columns = config.train_columns;
+  gen.inject_errors = false;
+  gen.seed = config.train_seed;
+  GeneratedColumnSource source(gen);
+  TrainOptions train = config.train;
+  train.corpus_name = "WEB-synthetic";
+  auto pipeline = TrainingPipeline::Run(&source, train);
+  AD_CHECK_OK(pipeline.status());
+
+  auto cases = SpliceSet(config, CorpusProfile::EntXls(), 400, 5, 1717);
+
+  std::printf("== Fig 17(a): smoothing factor sweep (Ent-XLS 1:5) ==\n");
+  std::printf("%-6s %-10s %-10s %-10s\n", "f", "P@100", "P@250", "P@400");
+  for (double f : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
+    pipeline->RecalibrateInPlace(f);
+    auto model = pipeline->BuildModel();
+    if (!model.ok()) {
+      std::printf("%-6.2f (no language meets precision target)\n", f);
+      continue;
+    }
+    Detector detector(&*model);
+    AutoDetectMethod method(&detector);
+    MethodEvaluation eval = EvaluateMethod(method, cases);
+    std::printf("%-6.2f %-10.3f %-10.3f %-10.3f\n", f, eval.PrecisionAt(100),
+                eval.PrecisionAt(250), eval.PrecisionAt(400));
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+/// \file bench_fig4_csv.cpp
+/// Reproduces paper Fig. 4(b): Precision@K on the CSV benchmark (26 files /
+/// 441 labeled columns). Paper shape: Auto-Detect best; F-Regex relatively
+/// strong here because many CSV columns are regex-typable.
+
+#include "bench_util.h"
+#include "eval/csv_benchmark.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config = StandardConfig();
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+  MethodSet methods = MethodSet::All(&detector);
+
+  CsvBenchmarkOptions opts;
+  opts.directory = config.cache_dir + "/csv_benchmark";
+  auto cases = BuildCsvBenchmark(opts);
+  AD_CHECK_OK(cases.status());
+
+  size_t dirty = 0;
+  for (const auto& c : *cases) dirty += c.dirty ? 1 : 0;
+  std::printf(
+      "== Fig 4(b): precision@k on CSV (26 files, %zu columns, %zu dirty) ==\n\n",
+      cases->size(), dirty);
+  RunAndPrint(methods.methods(), *cases, "CSV / labeled", {10, 20, 50, 100, 200});
+  return 0;
+}

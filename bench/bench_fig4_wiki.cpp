@@ -1,0 +1,34 @@
+/// \file bench_fig4_wiki.cpp
+/// Reproduces paper Fig. 4(a): Precision@K of all 12 methods on WIKI
+/// columns with realistic error classes (the paper's manually labeled
+/// protocol, with construction-time labels standing in for human judges).
+/// Paper shape: Auto-Detect > 0.98 across the top 1000; PWheel next;
+/// F-Regex/dBoost mid; Linear & friends low.
+
+#include "bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config = StandardConfig();
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+  MethodSet methods = MethodSet::All(&detector);
+
+  RealisticTestOptions opts;
+  opts.num_dirty = 600;
+  opts.num_clean = 5400;  // ~10% dirty, WIKI-audit flavoured
+  opts.seed = 777;
+  std::vector<TestCase> cases = GenerateRealisticTestSet(CorpusProfile::Wiki(), opts);
+
+  std::printf(
+      "== Fig 4(a): precision@k on WIKI (realistic labeled errors) ==\n"
+      "scale: %zu dirty / %zu total columns (paper: 100K sampled columns,\n"
+      "top-1000 predictions human-labeled)\n\n",
+      opts.num_dirty, cases.size());
+  RunAndPrint(methods.methods(), cases, "WIKI / labeled", {50, 100, 200, 400, 600});
+  return 0;
+}

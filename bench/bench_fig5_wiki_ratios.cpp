@@ -1,0 +1,33 @@
+/// \file bench_fig5_wiki_ratios.cpp
+/// Reproduces paper Fig. 5: auto-eval Precision@K on WIKI at dirty:clean
+/// ratios 1:1, 1:5, 1:10 for the seven best methods. Paper shape: all
+/// methods degrade as the ratio thins and K grows; Auto-Detect stays near 1
+/// through K=1000 and dominates everywhere.
+
+#include "bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config = StandardConfig();
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+  MethodSet methods = MethodSet::Top7(&detector);
+
+  const size_t kDirty = 400;  // paper: 5K dirty cases
+  std::printf(
+      "== Fig 5: auto-eval precision@k on WIKI (splice protocol) ==\n"
+      "scale: %zu dirty cases per ratio (paper: 5K)\n\n",
+      kDirty);
+  for (size_t ratio : {1, 5, 10}) {
+    auto cases = SpliceSet(config, CorpusProfile::Wiki(), kDirty, ratio,
+                           1000 + ratio);
+    RunAndPrint(methods.methods(), cases,
+                StrFormat("(%c) dirty:clean = 1:%zu", 'a' + (ratio == 1 ? 0 : ratio == 5 ? 1 : 2), ratio),
+                StandardKs());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+/// \file bench_fig6_entxls_ratios.cpp
+/// Reproduces paper Fig. 6: auto-eval Precision@K on Ent-XLS at ratios
+/// 1:1 / 1:5 / 1:10. Paper shape: like Fig. 5 but precision drops faster at
+/// high K; dBoost does comparatively better here because Ent-XLS is
+/// numeric-heavy.
+
+#include "bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config = StandardConfig();
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+  MethodSet methods = MethodSet::Top7(&detector);
+
+  const size_t kDirty = 400;
+  std::printf(
+      "== Fig 6: auto-eval precision@k on Ent-XLS (splice protocol) ==\n"
+      "scale: %zu dirty cases per ratio (paper: 5K); model trained on WEB\n\n",
+      kDirty);
+  for (size_t ratio : {1, 5, 10}) {
+    auto cases = SpliceSet(config, CorpusProfile::EntXls(), kDirty, ratio,
+                           2000 + ratio);
+    RunAndPrint(methods.methods(), cases,
+                StrFormat("(%c) dirty:clean = 1:%zu", 'a' + (ratio == 1 ? 0 : ratio == 5 ? 1 : 2), ratio),
+                StandardKs());
+  }
+  return 0;
+}

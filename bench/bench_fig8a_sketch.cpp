@@ -1,0 +1,56 @@
+/// \file bench_fig8a_sketch.cpp
+/// Reproduces paper Fig. 8(a): impact of count-min-sketch compression of
+/// the co-occurrence dictionaries at 100% (no sketch), 10% and 1% of the
+/// original size, evaluated on Ent-XLS at dirty:clean = 1:10. Paper shape:
+/// the quality gap from compression is surprisingly small.
+
+#include "bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config = StandardConfig();
+
+  GeneratorOptions gen;
+  gen.profile = config.train_profile;
+  gen.num_columns = config.train_columns;
+  gen.inject_errors = false;
+  gen.seed = config.train_seed;
+  GeneratedColumnSource source(gen);
+  TrainOptions train = config.train;
+  train.corpus_name = "WEB-synthetic";
+  auto pipeline = TrainingPipeline::Run(&source, train);
+  AD_CHECK_OK(pipeline.status());
+
+  struct Ratio {
+    const char* label;
+    double value;
+  };
+  const Ratio ratios[] = {{"100% (exact)", 1.0}, {"10% sketch", 0.10},
+                          {"1% sketch", 0.01}};
+
+  std::vector<Model> models;
+  for (const Ratio& r : ratios) {
+    auto model = pipeline->BuildModel(config.train.memory_budget_bytes, r.value);
+    AD_CHECK_OK(model.status());
+    std::printf("%-14s -> %zu languages, %s resident\n", r.label,
+                model->languages.size(), HumanBytes(model->MemoryBytes()).c_str());
+    models.push_back(std::move(*model));
+  }
+
+  std::printf("\n== Fig 8(a): count-min sketch compression, Ent-XLS 1:10 ==\n\n");
+  auto cases = SpliceSet(config, CorpusProfile::EntXls(), 400, 10, 8080);
+  std::vector<std::unique_ptr<Detector>> detectors;
+  std::vector<std::unique_ptr<AutoDetectMethod>> adapters;
+  std::vector<const ErrorDetectorMethod*> methods;
+  for (size_t i = 0; i < models.size(); ++i) {
+    detectors.push_back(std::make_unique<Detector>(&models[i]));
+    adapters.push_back(
+        std::make_unique<AutoDetectMethod>(detectors.back().get(), ratios[i].label));
+    methods.push_back(adapters.back().get());
+  }
+  RunAndPrint(methods, cases, "sketch ratios", StandardKs());
+  return 0;
+}

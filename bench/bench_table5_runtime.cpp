@@ -1,0 +1,88 @@
+/// \file bench_table5_runtime.cpp
+/// Reproduces paper Table 5: average per-column detection latency of each
+/// method (google-benchmark). Paper numbers (seconds/column): F-Regex 0.11,
+/// PWheel 0.21, dBoost 0.16, Linear 1.67, Auto-Detect 0.29 — i.e. all
+/// interactive except Linear; the shape to match is the ordering
+/// (Linear slowest by ~an order of magnitude, the rest comparable).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/cdm.h"
+#include "baselines/dboost.h"
+#include "baselines/distance_outliers.h"
+#include "baselines/fregex.h"
+#include "baselines/linear.h"
+#include "baselines/lsa.h"
+#include "baselines/pwheel.h"
+#include "bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+namespace {
+
+/// Columns drawn once, shared by all registered benchmarks.
+const std::vector<TestCase>& Cases() {
+  static const std::vector<TestCase>* kCases = [] {
+    SetLogLevel(LogLevel::kWarning);
+    RealisticTestOptions opts;
+    opts.num_dirty = 40;
+    opts.num_clean = 120;
+    opts.seed = 5;
+    return new std::vector<TestCase>(
+        GenerateRealisticTestSet(CorpusProfile::EntXls(), opts));
+  }();
+  return *kCases;
+}
+
+const Model& SharedModel() {
+  static const Model* kModel = [] {
+    auto model = TrainOrLoadModel(StandardConfig());
+    AD_CHECK_OK(model.status());
+    return new Model(std::move(*model));
+  }();
+  return *kModel;
+}
+
+void RunMethod(benchmark::State& state, const ErrorDetectorMethod& method) {
+  const auto& cases = Cases();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = method.RankColumn(cases[i % cases.size()].values);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_AutoDetect(benchmark::State& state) {
+  Detector detector(&SharedModel());
+  AutoDetectMethod method(&detector);
+  RunMethod(state, method);
+}
+void BM_FRegex(benchmark::State& state) { RunMethod(state, FRegexDetector()); }
+void BM_PWheel(benchmark::State& state) { RunMethod(state, PWheelDetector()); }
+void BM_DBoost(benchmark::State& state) { RunMethod(state, DBoostDetector()); }
+void BM_Linear(benchmark::State& state) { RunMethod(state, LinearDetector()); }
+void BM_LinearP(benchmark::State& state) { RunMethod(state, LinearPDetector()); }
+void BM_CDM(benchmark::State& state) { RunMethod(state, CdmDetector()); }
+void BM_LSA(benchmark::State& state) { RunMethod(state, LsaDetector()); }
+void BM_SVDD(benchmark::State& state) { RunMethod(state, SvddDetector()); }
+void BM_DBOD(benchmark::State& state) { RunMethod(state, DbodDetector()); }
+void BM_LOF(benchmark::State& state) { RunMethod(state, LofDetector()); }
+
+}  // namespace
+
+BENCHMARK(BM_AutoDetect)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FRegex)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PWheel)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DBoost)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Linear)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearP)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CDM)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LSA)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SVDD)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DBOD)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LOF)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/// \file format_mixture_demo.cpp
+/// Walks through the paper's core intuition with live numbers: which value
+/// mixtures are compatible (co-occur globally) and which are errors, and
+/// how the different selected generalization languages "see" each pair.
+/// This is the explain-yourself view of the detector.
+///
+/// Run:  ./format_mixture_demo
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "detect/detector.h"
+#include "eval/harness.h"
+#include "stats/npmi.h"
+#include "text/pattern.h"
+
+using namespace autodetect;
+
+namespace {
+
+void Explain(const Detector& detector, const std::string& u, const std::string& v,
+             const char* expectation) {
+  const Model& model = detector.model();
+  PairVerdict verdict = detector.ScorePair(u, v);
+  std::printf("\n\"%s\"  vs  \"%s\"   ->  %s (confidence %.3f)   [%s]\n", u.c_str(),
+              v.c_str(), verdict.incompatible ? "INCOMPATIBLE" : "compatible",
+              verdict.confidence, expectation);
+  for (const auto& l : model.languages) {
+    NpmiScorer scorer(&l.stats, model.smoothing_factor);
+    uint64_t ku = GeneralizeToKey(u, l.language());
+    uint64_t kv = GeneralizeToKey(v, l.language());
+    double s = scorer.Score(ku, kv);
+    std::printf("   %-26s %-22s | %-22s npmi %+5.2f vs theta %+5.2f %s\n",
+                l.language().Name().c_str(),
+                GeneralizeToString(u, l.language()).c_str(),
+                GeneralizeToString(v, l.language()).c_str(), s, l.threshold,
+                s <= l.threshold ? "<-- fires" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  HarnessConfig config;
+  config.train_columns = 20000;
+  config.cache_dir = "bench_cache";
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+
+  std::printf("Selected generalization languages:\n%s", model->Summary().c_str());
+
+  // The paper's introduction, as pair judgments.
+  Explain(detector, "999", "1,000", "paper Col-1: compatible");
+  Explain(detector, "99", "1.99", "paper Col-2: compatible");
+  Explain(detector, "2011-01-01", "2011/01/02", "paper Col-3: error");
+  Explain(detector, "2011-01-01", "2011.01.02", "paper Example 2 (v1,v2): error");
+  Explain(detector, "2014-01", "July-01", "paper Example 2 (v3,v4): error");
+  Explain(detector, "1918-01-01", "2018-12-31", "paper Sec 2.2: compatible");
+  Explain(detector, "1962", "1865.", "paper Fig 1a / Table 4: error");
+  Explain(detector, "(425) 555-0123", "425.555.0123", "paper Fig 2b: error");
+  // Fig 1c's inconsistent weights are *structural* ("12 st 7 lb" vs metric);
+  // a pure unit-word swap ("kg" vs "lb") is invisible to any language that
+  // generalizes lowercase letters, and the selected ensemble does.
+  Explain(detector, "12 st 7 lb", "79 kg", "paper Fig 1c: error");
+  Explain(detector, "Seattle", "N/A", "paper Fig 1d: error");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file wiki_table_hunt.cpp
+/// Recreates the paper's headline experiment narrative (Sec. 4.3): scan a
+/// large set of Wikipedia-style table columns that are *supposed* to be
+/// clean, and report how many errors Auto-Detect surfaces, with per-class
+/// precision against the construction-time ground truth.
+///
+/// Run:  ./wiki_table_hunt [num_columns]
+
+#include <cstdio>
+#include <map>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "corpus/corpus_generator.h"
+#include "detect/detector.h"
+#include "eval/harness.h"
+
+using namespace autodetect;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  size_t num_columns = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 8000;
+
+  HarnessConfig config;
+  config.train_columns = 20000;
+  config.cache_dir = "bench_cache";
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+
+  // WIKI-style columns at the paper's measured cleanliness (97.8% clean).
+  GeneratorOptions gen;
+  gen.profile = CorpusProfile::Wiki();
+  gen.num_columns = num_columns;
+  gen.inject_errors = true;
+  gen.seed = 8'210'2017;  // the paper's data snapshot date
+  Corpus corpus = GenerateCorpus(gen);
+
+  std::printf("scanning %zu WIKI-style columns (%zu truly dirty)...\n\n",
+              corpus.size(), corpus.CountDirty());
+
+  Stopwatch watch;
+  size_t flagged = 0, correct = 0;
+  std::map<std::string, std::pair<size_t, size_t>> per_class;  // hit, total
+  for (const auto& column : corpus.columns()) {
+    ColumnReport report = detector.AnalyzeColumn(column.values);
+    if (column.dirty()) {
+      auto& bucket = per_class[std::string(ErrorClassName(column.error_class))];
+      ++bucket.second;
+      if (report.HasFindings() && report.Top()->value == column.dirty_value()) {
+        ++bucket.first;
+      }
+    }
+    if (!report.HasFindings()) continue;
+    ++flagged;
+    correct += column.dirty() && report.Top()->value == column.dirty_value() ? 1 : 0;
+  }
+  double seconds = watch.ElapsedSeconds();
+
+  std::printf("flagged %zu columns, %zu verified correct (precision %.3f)\n",
+              flagged, correct,
+              flagged ? static_cast<double>(correct) / static_cast<double>(flagged)
+                      : 0.0);
+  std::printf("scan rate: %.0f columns/s (%.2f ms/column)\n\n",
+              static_cast<double>(corpus.size()) / seconds,
+              1000.0 * seconds / static_cast<double>(corpus.size()));
+
+  std::printf("recall by error class (found/total):\n");
+  for (const auto& [name, hit_total] : per_class) {
+    std::printf("  %-20s %3zu / %-3zu\n", name.c_str(), hit_total.first,
+                hit_total.second);
+  }
+  std::printf(
+      "\n(The paper extrapolates ~294K +/- 24K true errors across the real\n"
+      "30M-column WIKI corpus from the same kind of scan.)\n");
+  return 0;
+}

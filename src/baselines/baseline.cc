@@ -1,0 +1,38 @@
+#include "baselines/baseline.h"
+
+#include <unordered_map>
+
+#include "text/language.h"
+#include "text/pattern.h"
+
+namespace autodetect {
+namespace baseline_util {
+
+std::string ClassPattern(std::string_view value) {
+  // Letters -> \L, digits -> \D, symbols kept at leaves: fine enough to see
+  // format structure, coarse enough to merge values of one format.
+  static const GeneralizationLanguage kLang = [] {
+    auto r = GeneralizationLanguage::Make(TreeNode::kLetter, TreeNode::kLetter,
+                                          TreeNode::kDigit, TreeNode::kLeaf);
+    return *r;
+  }();
+  return GeneralizeToString(value, kLang);
+}
+
+std::vector<DistinctValue> DistinctWithCounts(const std::vector<std::string>& values) {
+  std::vector<DistinctValue> out;
+  std::unordered_map<std::string_view, size_t> index;
+  for (size_t r = 0; r < values.size(); ++r) {
+    auto it = index.find(values[r]);
+    if (it == index.end()) {
+      index.emplace(values[r], out.size());
+      out.push_back(DistinctValue{values[r], static_cast<uint32_t>(r), 1});
+    } else {
+      ++out[it->second].count;
+    }
+  }
+  return out;
+}
+
+}  // namespace baseline_util
+}  // namespace autodetect

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file baseline.h
+/// Common interface for all single-column error-detection methods compared
+/// in the paper's evaluation (Sec. 4.2): given one column, return suspected
+/// error cells ranked by a confidence score that is comparable across
+/// columns (the evaluation pools predictions from many columns and ranks
+/// them globally for Precision@K).
+
+namespace autodetect {
+
+/// One suspected-error prediction inside a column.
+struct Suspicion {
+  uint32_t row = 0;      ///< first row holding the suspicious value
+  std::string value;
+  /// Higher = more confidently an error. Must be comparable across columns
+  /// for a given method.
+  double score = 0.0;
+};
+
+class ErrorDetectorMethod {
+ public:
+  virtual ~ErrorDetectorMethod() = default;
+
+  /// Display name used in benches ("PWheel", "dBoost", ...).
+  virtual std::string_view name() const = 0;
+
+  /// \brief Ranks suspected error values in `values`, most suspicious
+  /// first. May be empty. Implementations must be deterministic.
+  virtual std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const = 0;
+};
+
+/// Shared helpers for pattern-based baselines.
+namespace baseline_util {
+
+/// \brief Class-level generalized pattern with run lengths (the "standard
+/// generalization" the paper applies before running LinearP/CDM/LSA/etc.),
+/// e.g. "2011-01-01" -> "\D[4]-\D[2]-\D[2]".
+std::string ClassPattern(std::string_view value);
+
+/// \brief Distinct values in first-seen order with their occurrence counts
+/// and first rows.
+struct DistinctValue {
+  std::string value;
+  uint32_t first_row;
+  uint32_t count;
+};
+std::vector<DistinctValue> DistinctWithCounts(const std::vector<std::string>& values);
+
+}  // namespace baseline_util
+}  // namespace autodetect

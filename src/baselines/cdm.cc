@@ -1,0 +1,65 @@
+#include "baselines/cdm.h"
+
+#include <algorithm>
+
+#include "baselines/lzw.h"
+
+namespace autodetect {
+
+double CdmDetector::Distance(std::string_view x, std::string_view y) {
+  size_t cx = LzwCompressedBits(x);
+  size_t cy = LzwCompressedBits(y);
+  if (cx + cy == 0) return 0.0;
+  std::string xy;
+  xy.reserve(x.size() + y.size());
+  xy.append(x);
+  xy.append(y);
+  return static_cast<double>(LzwCompressedBits(xy)) / static_cast<double>(cx + cy);
+}
+
+std::vector<Suspicion> CdmDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  auto distinct = baseline_util::DistinctWithCounts(values);
+  if (distinct.size() < 2) return out;
+
+  std::vector<std::string> patterns;
+  patterns.reserve(distinct.size());
+  for (const auto& d : distinct) {
+    patterns.push_back(baseline_util::ClassPattern(d.value));
+  }
+
+  // Average row-weighted CDM distance of each distinct value to the others.
+  // CDM hovers around ~0.5 for redundant (similar) pairs and approaches 1
+  // for unrelated ones; the mean cleanly separates a lone misfit.
+  const size_t d = distinct.size();
+  std::vector<double> mean_distance(d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    double total = 0, weight = 0;
+    for (size_t j = 0; j < d; ++j) {
+      if (i == j) continue;
+      double w = distinct[j].count;
+      total += Distance(patterns[i], patterns[j]) * w;
+      weight += w;
+    }
+    mean_distance[i] = weight > 0 ? total / weight : 0.0;
+  }
+
+  // Report values whose mean distance clearly exceeds the column's median.
+  std::vector<double> sorted = mean_distance;
+  std::sort(sorted.begin(), sorted.end());
+  double median = sorted[sorted.size() / 2];
+
+  for (size_t i = 0; i < d; ++i) {
+    if (mean_distance[i] > median + 0.05) {
+      out.push_back(
+          Suspicion{distinct[i].first_row, distinct[i].value, mean_distance[i]});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

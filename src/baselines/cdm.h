@@ -1,0 +1,24 @@
+#pragma once
+
+#include "baselines/baseline.h"
+
+/// \file cdm.h
+/// Compression-based dissimilarity measure baseline [Keogh et al., KDD'04]:
+/// CDM(x, y) = C(xy) / (C(x) + C(y)) with an off-the-shelf compressor (here
+/// a from-scratch LZW). Values are first generalized to class patterns as
+/// the paper does; each value is ranked by its average CDM distance to the
+/// rest of the column (higher = more dissimilar = more suspicious).
+
+namespace autodetect {
+
+class CdmDetector final : public ErrorDetectorMethod {
+ public:
+  std::string_view name() const override { return "CDM"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+  /// CDM distance between two raw strings (exposed for tests).
+  static double Distance(std::string_view x, std::string_view y);
+};
+
+}  // namespace autodetect

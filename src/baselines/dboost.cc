@@ -1,0 +1,212 @@
+#include "baselines/dboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+namespace {
+
+/// The tuple expansion of one value.
+struct Expansion {
+  // Categorical fields (string-valued).
+  std::string shape;          ///< character-class skeleton, run-collapsed
+  std::string symbols;        ///< just the symbols, in order
+  int length;
+  int digit_count;
+  int letter_count;
+  // Numeric expansion, when the value parses as a number.
+  std::optional<double> numeric;
+  std::optional<int> fraction_digits;
+  // Date expansion, when the value parses as a date.
+  std::optional<int> year, month, day;
+};
+
+Expansion Expand(const std::string& v) {
+  Expansion e;
+  e.length = static_cast<int>(v.size());
+  e.digit_count = 0;
+  e.letter_count = 0;
+  char prev_class = 0;
+  for (char c : v) {
+    char cls;
+    if (c >= '0' && c <= '9') {
+      cls = 'D';
+      ++e.digit_count;
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+      cls = 'L';
+      ++e.letter_count;
+    } else {
+      cls = c;
+      e.symbols.push_back(c);
+    }
+    if (cls != prev_class || (cls != 'D' && cls != 'L')) e.shape.push_back(cls);
+    prev_class = cls;
+  }
+
+  // Numeric parse (tolerating one thousand-separator style).
+  {
+    std::string stripped;
+    bool ok = !v.empty();
+    int dots = 0;
+    for (char c : v) {
+      if (c == ',') continue;
+      if (c == '.') ++dots;
+      if (!((c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+')) {
+        ok = false;
+        break;
+      }
+      stripped.push_back(c);
+    }
+    if (ok && dots <= 1 && !stripped.empty()) {
+      char* end = nullptr;
+      double parsed = std::strtod(stripped.c_str(), &end);
+      if (end && *end == '\0') {
+        e.numeric = parsed;
+        size_t dot = stripped.find('.');
+        e.fraction_digits =
+            dot == std::string::npos ? 0 : static_cast<int>(stripped.size() - dot - 1);
+      }
+    }
+  }
+
+  // Date parse: "dddd<s>dd<s>dd" or "dd<s>dd<s>dddd" with s in {-, /, .}.
+  {
+    auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+    for (char sep : {'-', '/', '.'}) {
+      std::vector<std::string> parts = Split(v, sep);
+      if (parts.size() != 3) continue;
+      bool all_digits = true;
+      for (const auto& p : parts) {
+        if (p.empty() || !IsAllDigits(p)) all_digits = false;
+      }
+      (void)is_digit;
+      if (!all_digits) continue;
+      int a = std::atoi(parts[0].c_str()), b = std::atoi(parts[1].c_str()),
+          c = std::atoi(parts[2].c_str());
+      if (parts[0].size() == 4) {
+        e.year = a;
+        e.month = b;
+        e.day = c;
+      } else if (parts[2].size() == 4) {
+        e.year = c;
+        e.month = a;
+        e.day = b;
+      }
+      break;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+std::vector<Suspicion> DBoostDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  const size_t n = values.size();
+  if (n < 4) return out;
+  auto distinct = baseline_util::DistinctWithCounts(values);
+
+  std::vector<Expansion> exp;
+  exp.reserve(distinct.size());
+  for (const auto& d : distinct) exp.push_back(Expand(d.value));
+
+  // score[i] accumulates the strongest deviation seen across fields.
+  std::vector<double> score(distinct.size(), 0.0);
+
+  // Categorical field test: if one field value holds >= theta of rows,
+  // deviants are outliers (provided they are <= epsilon of rows).
+  auto categorical_test = [&](auto field_of, double weight) {
+    std::map<std::string, uint64_t> histogram;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      histogram[field_of(exp[i])] += distinct[i].count;
+    }
+    std::string mode;
+    uint64_t mode_rows = 0;
+    for (const auto& [k, c] : histogram) {
+      if (c > mode_rows) {
+        mode_rows = c;
+        mode = k;
+      }
+    }
+    double mode_fraction = static_cast<double>(mode_rows) / static_cast<double>(n);
+    if (mode_fraction < options_.theta) return;
+    uint64_t deviant_rows = n - mode_rows;
+    if (static_cast<double>(deviant_rows) > options_.epsilon * static_cast<double>(n) &&
+        deviant_rows > 1) {
+      return;  // too many deviants for a confident test
+    }
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (field_of(exp[i]) != mode) {
+        score[i] = std::max(score[i], weight * mode_fraction);
+      }
+    }
+  };
+
+  categorical_test([](const Expansion& e) { return e.shape; }, 1.0);
+  categorical_test([](const Expansion& e) { return e.symbols; }, 0.95);
+  categorical_test(
+      [](const Expansion& e) {
+        return e.fraction_digits ? std::to_string(*e.fraction_digits) : std::string("x");
+      },
+      0.9);
+  categorical_test(
+      [](const Expansion& e) { return std::to_string(e.length); }, 0.6);
+
+  // Numeric sigma test on the parsed values (only when the column is
+  // essentially numeric).
+  {
+    uint64_t numeric_rows = 0;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (exp[i].numeric) numeric_rows += distinct[i].count;
+    }
+    if (static_cast<double>(numeric_rows) >= 0.9 * static_cast<double>(n)) {
+      double mean = 0, m2 = 0, w = 0;
+      for (size_t i = 0; i < distinct.size(); ++i) {
+        if (!exp[i].numeric) continue;
+        double x = *exp[i].numeric, cw = distinct[i].count;
+        w += cw;
+        double delta = x - mean;
+        mean += delta * cw / w;
+        m2 += cw * delta * (x - mean);
+      }
+      double stddev = w > 1 ? std::sqrt(m2 / (w - 1)) : 0;
+      if (stddev > 0) {
+        for (size_t i = 0; i < distinct.size(); ++i) {
+          if (!exp[i].numeric) continue;
+          double z = std::fabs(*exp[i].numeric - mean) / stddev;
+          if (z > options_.sigmas) {
+            score[i] = std::max(score[i], 0.5 + 0.1 * std::min(z - options_.sigmas, 4.0));
+          }
+        }
+      }
+    }
+  }
+
+  // Date sub-field plausibility.
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (exp[i].month && (*exp[i].month < 1 || *exp[i].month > 12)) {
+      score[i] = std::max(score[i], 0.9);
+    }
+    if (exp[i].day && (*exp[i].day < 1 || *exp[i].day > 31)) {
+      score[i] = std::max(score[i], 0.9);
+    }
+  }
+
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (score[i] > 0) {
+      out.push_back(Suspicion{distinct[i].first_row, distinct[i].value, score[i]});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+/// \file dboost.h
+/// dBoost baseline [Mariet et al., 2016]: type-specific tuple expansion.
+/// Every value is expanded into derived fields (numeric value, integer/
+/// fraction digit counts, parsed date parts, string length, character-class
+/// shape, ...); per-field distributions over the column are then mined for
+/// outliers. A value is suspicious when, for a field whose distribution has
+/// a dominant mode (>= theta), the value deviates from that mode; numeric
+/// fields additionally use a Gaussian sigma test. Defaults follow the
+/// paper's reported setting (theta = 0.8, epsilon = 0.05).
+
+namespace autodetect {
+
+class DBoostDetector final : public ErrorDetectorMethod {
+ public:
+  struct Options {
+    double theta = 0.8;    ///< min mode fraction for a categorical field test
+    double epsilon = 0.05; ///< max outlier fraction a test may flag
+    double sigmas = 3.0;   ///< numeric deviation threshold
+  };
+
+  DBoostDetector() = default;
+  explicit DBoostDetector(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "dBoost"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+ private:
+  Options options_ = Options();
+};
+
+}  // namespace autodetect

@@ -1,0 +1,198 @@
+#include "baselines/distance_outliers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/language.h"
+
+namespace autodetect {
+
+namespace {
+const GeneralizationLanguage& ClassLang() {
+  static const GeneralizationLanguage kLang = [] {
+    auto r = GeneralizationLanguage::Make(TreeNode::kLetter, TreeNode::kLetter,
+                                          TreeNode::kDigit, TreeNode::kLeaf);
+    return *r;
+  }();
+  return kLang;
+}
+}  // namespace
+
+PatternDistanceBase::ColumnGeometry PatternDistanceBase::ComputeGeometry(
+    const std::vector<std::string>& values) {
+  ColumnGeometry g;
+  g.distinct = baseline_util::DistinctWithCounts(values);
+  const size_t d = g.distinct.size();
+  g.patterns.reserve(d);
+  for (const auto& v : g.distinct) {
+    g.patterns.push_back(Pattern::Generalize(v.value, ClassLang()));
+  }
+  g.distance.assign(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      double dist = NormalizedPatternDistance(g.patterns[i], g.patterns[j]);
+      g.distance[i * d + j] = dist;
+      g.distance[j * d + i] = dist;
+    }
+  }
+  return g;
+}
+
+std::vector<Suspicion> SvddDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  ColumnGeometry g = ComputeGeometry(values);
+  const size_t d = g.distinct.size();
+  if (d < 2) return out;
+
+  // 1-center approximation of the minimum describing ball: the row-weighted
+  // medoid. Radius chosen to cover ~80% of rows (the SVDD description-cost
+  // trade-off; with the small columns typical of tables a higher quantile
+  // would swallow the outliers into the ball).
+  size_t medoid = 0;
+  double best_cost = 1e18;
+  for (size_t i = 0; i < d; ++i) {
+    double cost = 0;
+    for (size_t j = 0; j < d; ++j) cost += g.D(i, j) * g.distinct[j].count;
+    if (cost < best_cost) {
+      best_cost = cost;
+      medoid = i;
+    }
+  }
+
+  std::vector<std::pair<double, size_t>> by_distance;
+  for (size_t i = 0; i < d; ++i) by_distance.emplace_back(g.D(medoid, i), i);
+  std::sort(by_distance.begin(), by_distance.end());
+  uint64_t total_rows = values.size();
+  uint64_t covered = 0;
+  double radius = 0;
+  for (const auto& [dist, i] : by_distance) {
+    if (static_cast<double>(covered) >= 0.8 * static_cast<double>(total_rows)) break;
+    radius = dist;
+    covered += g.distinct[i].count;
+  }
+
+  for (size_t i = 0; i < d; ++i) {
+    double beyond = g.D(medoid, i) - radius;
+    if (beyond > 1e-9) {
+      out.push_back(Suspicion{g.distinct[i].first_row, g.distinct[i].value, beyond});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<Suspicion> DbodDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  ColumnGeometry g = ComputeGeometry(values);
+  const size_t d = g.distinct.size();
+  if (d < 2) return out;
+
+  for (size_t i = 0; i < d; ++i) {
+    // Nearest neighbor among other rows; duplicate rows of the same value
+    // are distance-0 neighbors, so only distinct values with count 1 can be
+    // outliers (as in the original definition over points).
+    double nn = 1e18;
+    if (g.distinct[i].count > 1) nn = 0.0;
+    for (size_t j = 0; j < d && nn > 0; ++j) {
+      if (j != i) nn = std::min(nn, g.D(i, j));
+    }
+    if (nn > threshold_) {
+      out.push_back(Suspicion{g.distinct[i].first_row, g.distinct[i].value, nn});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<Suspicion> LofDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 4) return out;
+  ColumnGeometry g = ComputeGeometry(values);
+  const size_t d = g.distinct.size();
+  if (d < 3) return out;
+
+  // Expand distinct values by their multiplicity logically: a value with
+  // count c contributes c identical points. k-distance over points then
+  // reaches into other distinct values only when c <= k.
+  const size_t k = k_;
+  auto k_distance = [&](size_t i) {
+    // Collect distances to all other points (duplicates at distance 0).
+    std::vector<std::pair<double, size_t>> dists;  // (distance, point count)
+    if (g.distinct[i].count > 1) dists.emplace_back(0.0, g.distinct[i].count - 1);
+    for (size_t j = 0; j < d; ++j) {
+      if (j != i) dists.emplace_back(g.D(i, j), g.distinct[j].count);
+    }
+    std::sort(dists.begin(), dists.end());
+    size_t seen = 0;
+    for (const auto& [dist, c] : dists) {
+      seen += c;
+      if (seen >= k) return dist;
+    }
+    return dists.empty() ? 0.0 : dists.back().first;
+  };
+
+  std::vector<double> kdist(d);
+  for (size_t i = 0; i < d; ++i) kdist[i] = k_distance(i);
+
+  // Local reachability density and LOF over distinct values (row-weighted).
+  auto lrd = [&](size_t i) {
+    double reach_sum = 0;
+    size_t seen = 0;
+    std::vector<std::pair<double, size_t>> dists;
+    if (g.distinct[i].count > 1) dists.emplace_back(0.0, i);
+    for (size_t j = 0; j < d; ++j) {
+      if (j != i) dists.emplace_back(g.D(i, j), j);
+    }
+    std::sort(dists.begin(), dists.end());
+    for (const auto& [dist, j] : dists) {
+      size_t c = (j == i) ? g.distinct[i].count - 1 : g.distinct[j].count;
+      size_t take = std::min(c, k - std::min(k, seen));
+      if (take == 0) break;
+      reach_sum += static_cast<double>(take) * std::max(dist, kdist[j]);
+      seen += take;
+      if (seen >= k) break;
+    }
+    if (seen == 0 || reach_sum <= 1e-12) return 1e6;  // infinitely dense
+    return static_cast<double>(seen) / reach_sum;
+  };
+
+  std::vector<double> density(d);
+  for (size_t i = 0; i < d; ++i) density[i] = lrd(i);
+
+  for (size_t i = 0; i < d; ++i) {
+    // LOF = mean neighbor density / own density.
+    double neighbor_density = 0;
+    size_t seen = 0;
+    std::vector<std::pair<double, size_t>> dists;
+    if (g.distinct[i].count > 1) dists.emplace_back(0.0, i);
+    for (size_t j = 0; j < d; ++j) {
+      if (j != i) dists.emplace_back(g.D(i, j), j);
+    }
+    std::sort(dists.begin(), dists.end());
+    for (const auto& [dist, j] : dists) {
+      size_t c = (j == i) ? g.distinct[i].count - 1 : g.distinct[j].count;
+      size_t take = std::min(c, k - std::min(k, seen));
+      if (take == 0) break;
+      neighbor_density += static_cast<double>(take) * density[j];
+      seen += take;
+      if (seen >= k) break;
+    }
+    if (seen == 0 || density[i] <= 0) continue;
+    double lof = (neighbor_density / static_cast<double>(seen)) / density[i];
+    if (lof > 1.2) {
+      out.push_back(Suspicion{g.distinct[i].first_row, g.distinct[i].value, lof});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "text/pattern_distance.h"
+
+/// \file distance_outliers.h
+/// The three distance-based outlier baselines of the paper's comparison,
+/// all operating on the alignment-style pattern distance of TEGRA
+/// (pattern_distance.h):
+///
+///  * SVDD  [Tax & Duin, 2004] — describe the column by a minimum ball
+///    around its patterns; rank by distance beyond the ball.
+///  * DBOD  [Knox & Ng, VLDB'98] — distance-based outliers: rank by the
+///    distance to the nearest (row-weighted) neighbor.
+///  * LOF   [Breunig et al., SIGMOD'00] — local outlier factor: rank by the
+///    ratio of a point's density to its neighbors' densities.
+
+namespace autodetect {
+
+/// Shared precomputation: distinct values, their patterns and the pairwise
+/// distance matrix.
+class PatternDistanceBase : public ErrorDetectorMethod {
+ protected:
+  struct ColumnGeometry {
+    std::vector<baseline_util::DistinctValue> distinct;
+    std::vector<Pattern> patterns;
+    /// Row-major distinct x distinct normalized distances.
+    std::vector<double> distance;
+    double D(size_t i, size_t j) const { return distance[i * patterns.size() + j]; }
+  };
+  static ColumnGeometry ComputeGeometry(const std::vector<std::string>& values);
+};
+
+class SvddDetector final : public PatternDistanceBase {
+ public:
+  std::string_view name() const override { return "SVDD"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+};
+
+class DbodDetector final : public PatternDistanceBase {
+ public:
+  /// \param threshold the D of Knox & Ng: min NN-distance to be an outlier.
+  explicit DbodDetector(double threshold = 0.3) : threshold_(threshold) {}
+
+  std::string_view name() const override { return "DBOD"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+ private:
+  double threshold_;
+};
+
+class LofDetector final : public PatternDistanceBase {
+ public:
+  explicit LofDetector(size_t k = 3) : k_(k) {}
+
+  std::string_view name() const override { return "LOF"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+ private:
+  size_t k_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,75 @@
+#include "baselines/fregex.h"
+
+#include <algorithm>
+
+namespace autodetect {
+
+FRegexDetector::FRegexDetector() {
+  auto add = [this](const char* name, const char* re) {
+    types_.push_back(RegexType{name, std::regex(re, std::regex::optimize)});
+  };
+  // The ~20-type library mirrors the published Trifacta/Power BI type lists
+  // (paper Appendix A): numbers, dates/times, and common entity formats.
+  add("integer", R"(^[+-]?\d+$)");
+  add("decimal", R"(^[+-]?\d+\.\d+$)");
+  add("number_separated", R"(^[+-]?\d{1,3}(,\d{3})+(\.\d+)?$)");
+  add("percent", R"(^\d+(\.\d+)?%$)");
+  add("currency", R"(^[$£€]\s?\d{1,3}(,?\d{3})*(\.\d{2})?$)");
+  add("scientific", R"(^[+-]?\d+(\.\d+)?[eE][+-]?\d+$)");
+  add("year", R"(^(1[6-9]|20)\d{2}$)");
+  add("date_iso", R"(^\d{4}-\d{2}-\d{2}$)");
+  add("date_slash", R"(^\d{1,4}/\d{1,2}/\d{1,4}$)");
+  add("date_dotted", R"(^\d{1,4}\.\d{1,2}\.\d{1,4}$)");
+  add("date_long", R"(^[A-Z][a-z]+ \d{1,2}, \d{4}$)");
+  add("time", R"(^\d{1,2}:\d{2}(:\d{2})?$)");
+  add("email", R"(^[\w.+-]+@[\w-]+(\.[\w-]+)+$)");
+  add("url", R"(^https?://[\w.-]+(/[\w./-]*)?$)");
+  add("ip_address", R"(^(\d{1,3}\.){3}\d{1,3}$)");
+  add("phone_us", R"(^(\+1[ .-]?)?(\(\d{3}\)[ ]?|\d{3}[ .-])\d{3}[ .-]\d{4}$)");
+  add("zip_code", R"(^\d{5}(-\d{4})?$)");
+  add("boolean", R"(^([Yy]es|[Nn]o|TRUE|FALSE|[YN])$)");
+  add("word", R"(^[A-Za-z]+$)");
+  add("proper_phrase", R"(^[A-Z][a-z]+( [A-Za-z]+)*$)");
+}
+
+std::vector<Suspicion> FRegexDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  auto distinct = baseline_util::DistinctWithCounts(values);
+
+  // Pick the type with the largest conforming row fraction.
+  const RegexType* best_type = nullptr;
+  double best_fraction = 0;
+  std::vector<char> best_match;  // per distinct value
+  std::vector<char> match(distinct.size());
+  for (const auto& type : types_) {
+    size_t conforming_rows = 0;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      match[i] = std::regex_match(distinct[i].value, type.pattern) ? 1 : 0;
+      if (match[i]) conforming_rows += distinct[i].count;
+    }
+    double fraction = static_cast<double>(conforming_rows) /
+                      static_cast<double>(values.size());
+    if (fraction > best_fraction) {
+      best_fraction = fraction;
+      best_type = &type;
+      best_match = match;
+    }
+  }
+  if (best_type == nullptr || best_fraction < kMinTypeFraction ||
+      best_fraction >= 1.0) {
+    return out;  // untyped column, or fully conforming
+  }
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (!best_match[i]) {
+      out.push_back(
+          Suspicion{distinct[i].first_row, distinct[i].value, best_fraction});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+/// \file fregex.h
+/// F-Regex baseline (paper Sec. 4.2): the commercial-system recipe of
+/// predefined per-type regexes (Trifacta/Power BI style, Appendix A). A
+/// column is assigned the known data type matching the largest fraction of
+/// its values; the non-conforming values are flagged, ranked by the
+/// conforming fraction (the method's confidence).
+
+namespace autodetect {
+
+/// One built-in data type.
+struct RegexType {
+  std::string name;
+  std::regex pattern;
+};
+
+class FRegexDetector final : public ErrorDetectorMethod {
+ public:
+  FRegexDetector();
+
+  std::string_view name() const override { return "F-Regex"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+  /// The built-in type library (exposed for tests).
+  const std::vector<RegexType>& types() const { return types_; }
+
+  /// Minimum conforming fraction for a type to be assigned at all.
+  static constexpr double kMinTypeFraction = 0.6;
+
+ private:
+  std::vector<RegexType> types_;
+};
+
+}  // namespace autodetect

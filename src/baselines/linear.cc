@@ -1,0 +1,102 @@
+#include "baselines/linear.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace autodetect {
+
+namespace {
+
+/// Character-class bitmask per envelope position.
+enum ClassBit : uint8_t {
+  kBitUpper = 1,
+  kBitLower = 2,
+  kBitDigit = 4,
+  kBitSymbol = 8,
+};
+
+uint8_t BitOf(char c) {
+  if (c >= 'A' && c <= 'Z') return kBitUpper;
+  if (c >= 'a' && c <= 'z') return kBitLower;
+  if (c >= '0' && c <= '9') return kBitDigit;
+  return kBitSymbol;
+}
+
+/// The running envelope: per-position class masks plus a length range.
+struct Envelope {
+  std::vector<uint8_t> masks;
+  size_t min_len = SIZE_MAX;
+  size_t max_len = 0;
+
+  /// Dissimilarity of `s` to the envelope = broadening it would force:
+  /// new class bits turned on + length-range extension, normalized.
+  double Dissimilarity(const std::string& s) const {
+    if (max_len == 0 && min_len == SIZE_MAX) return 0.0;  // empty envelope
+    double cost = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      uint8_t bit = BitOf(s[i]);
+      if (i >= masks.size()) {
+        cost += 1.0;  // beyond any seen length
+      } else if (!(masks[i] & bit)) {
+        cost += 1.0;  // new class at this position
+      }
+    }
+    if (s.size() < min_len) cost += static_cast<double>(min_len - s.size()) * 0.5;
+    double denom = static_cast<double>(std::max(s.size(), max_len));
+    return denom > 0 ? cost / denom : 0.0;
+  }
+
+  void Absorb(const std::string& s) {
+    if (s.size() > masks.size()) masks.resize(s.size(), 0);
+    for (size_t i = 0; i < s.size(); ++i) masks[i] |= BitOf(s[i]);
+    min_len = std::min(min_len, s.size());
+    max_len = std::max(max_len, s.size());
+  }
+};
+
+}  // namespace
+
+std::vector<Suspicion> LinearDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  auto distinct = baseline_util::DistinctWithCounts(values);
+
+  std::vector<std::string> repr;
+  repr.reserve(distinct.size());
+  for (const auto& d : distinct) {
+    repr.push_back(generalize_first() ? baseline_util::ClassPattern(d.value)
+                                      : d.value);
+  }
+
+  // Two passes, KDD'96 style: build the envelope on the first pass (order
+  // sensitivity is reduced by absorbing the most frequent value first),
+  // then score each value by the broadening it forces on an envelope built
+  // from everything else. We approximate leave-one-out by weighting: a
+  // value absorbed only by itself still reports its dissimilarity to the
+  // pre-absorption envelope.
+  std::vector<size_t> order(distinct.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return distinct[a].count > distinct[b].count;
+  });
+
+  Envelope env;
+  std::vector<double> dissim(distinct.size(), 0.0);
+  for (size_t oi : order) {
+    dissim[oi] = env.Dissimilarity(repr[oi]);
+    env.Absorb(repr[oi]);
+  }
+
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (dissim[i] > 0) {
+      out.push_back(Suspicion{distinct[i].first_row, distinct[i].value, dissim[i]});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+/// \file linear.h
+/// Linear baseline [Arning, Agrawal & Raghavan, KDD'96]: a linear-complexity
+/// deviation detector. It scans the column once while maintaining a running
+/// regex-like envelope (per-position union of character classes, broadened
+/// as values arrive); each value's dissimilarity is the amount of broadening
+/// it forces. LinearP is the paper's variant that first generalizes values
+/// with the generalization tree, which substantially improves it.
+
+namespace autodetect {
+
+class LinearDetector : public ErrorDetectorMethod {
+ public:
+  LinearDetector() = default;
+
+  std::string_view name() const override { return "Linear"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+ protected:
+  /// When true, values are pre-generalized to class patterns (LinearP).
+  virtual bool generalize_first() const { return false; }
+};
+
+class LinearPDetector final : public LinearDetector {
+ public:
+  std::string_view name() const override { return "LinearP"; }
+
+ protected:
+  bool generalize_first() const override { return true; }
+};
+
+}  // namespace autodetect

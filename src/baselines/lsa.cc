@@ -1,0 +1,85 @@
+#include "baselines/lsa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace autodetect {
+
+namespace {
+
+double Entropy(const std::map<std::string, uint64_t>& histogram, uint64_t total) {
+  if (total == 0) return 0.0;
+  double h = 0;
+  for (const auto& [_, c] : histogram) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Suspicion> LsaDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  auto distinct = baseline_util::DistinctWithCounts(values);
+  if (distinct.size() < 2) return out;
+
+  std::vector<std::string> patterns;
+  patterns.reserve(distinct.size());
+  for (const auto& d : distinct) {
+    patterns.push_back(baseline_util::ClassPattern(d.value));
+  }
+
+  std::map<std::string, uint64_t> histogram;
+  uint64_t total = 0;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    histogram[patterns[i]] += distinct[i].count;
+    total += distinct[i].count;
+  }
+
+  // Greedy local search: repeatedly remove the distinct value whose removal
+  // reduces entropy the most, until no removal reduces entropy or the
+  // removal budget is spent.
+  std::vector<char> removed(distinct.size(), 0);
+  uint64_t removed_rows = 0;
+  const uint64_t budget =
+      static_cast<uint64_t>(kMaxRemovalFraction * static_cast<double>(total));
+
+  while (true) {
+    double current = Entropy(histogram, total - removed_rows);
+    double best_reduction = 1e-12;
+    size_t best = distinct.size();
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (removed[i]) continue;
+      if (removed_rows + distinct[i].count > budget) continue;
+      auto it = histogram.find(patterns[i]);
+      uint64_t before = it->second;
+      it->second -= distinct[i].count;
+      double h = Entropy(histogram, total - removed_rows - distinct[i].count);
+      it->second = before;
+      double reduction = current - h;
+      if (reduction > best_reduction) {
+        best_reduction = reduction;
+        best = i;
+      }
+    }
+    if (best == distinct.size()) break;
+    removed[best] = 1;
+    removed_rows += distinct[best].count;
+    histogram[patterns[best]] -= distinct[best].count;
+    out.push_back(
+        Suspicion{distinct[best].first_row, distinct[best].value, best_reduction});
+  }
+
+  // Already in removal order = decreasing contribution; make scores
+  // monotone for cross-column ranking by normalizing to the column entropy.
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

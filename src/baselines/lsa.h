@@ -1,0 +1,23 @@
+#pragma once
+
+#include "baselines/baseline.h"
+
+/// \file lsa.h
+/// LSA baseline [He, Deng & Xu, 2005]: entropy-based local search. Outliers
+/// are the values whose removal most reduces the entropy of the column's
+/// pattern distribution; values are removed greedily and ranked by the
+/// entropy reduction they yield.
+
+namespace autodetect {
+
+class LsaDetector final : public ErrorDetectorMethod {
+ public:
+  std::string_view name() const override { return "LSA"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+  /// Max fraction of rows the local search may remove.
+  static constexpr double kMaxRemovalFraction = 0.3;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,39 @@
+#include "baselines/lzw.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace autodetect {
+
+size_t LzwCompressedBits(std::string_view data) {
+  if (data.empty()) return 0;
+  std::unordered_map<std::string, uint32_t> dict;
+  dict.reserve(256 + data.size());
+  for (int c = 0; c < 256; ++c) {
+    dict.emplace(std::string(1, static_cast<char>(c)), static_cast<uint32_t>(c));
+  }
+  uint32_t next_code = 256;
+  int code_bits = 9;  // 256 entries need 9 bits once we emit any code
+  size_t total_bits = 0;
+
+  std::string w;
+  for (char c : data) {
+    std::string wc = w + c;
+    if (dict.count(wc)) {
+      w = std::move(wc);
+    } else {
+      total_bits += static_cast<size_t>(code_bits);
+      dict.emplace(std::move(wc), next_code++);
+      while ((1u << code_bits) < next_code) ++code_bits;
+      w.assign(1, c);
+    }
+  }
+  if (!w.empty()) total_bits += static_cast<size_t>(code_bits);
+  return total_bits;
+}
+
+size_t LzwCompressedBytes(std::string_view data) {
+  return (LzwCompressedBits(data) + 7) / 8;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+/// \file lzw.h
+/// A small from-scratch LZW compressor used by the CDM baseline. Only the
+/// compressed *size* matters for the compression-based dissimilarity
+/// measure, so no decompressor is needed; correctness is defined as
+/// producing a valid LZW code stream length (monotone-ish in redundancy).
+
+namespace autodetect {
+
+/// \brief Number of bits a variable-width LZW code stream for `data` would
+/// occupy (dictionary starts at 256 single-byte entries, grows unbounded,
+/// code width grows with dictionary size).
+size_t LzwCompressedBits(std::string_view data);
+
+/// \brief Compressed size in whole bytes (bits rounded up).
+size_t LzwCompressedBytes(std::string_view data);
+
+}  // namespace autodetect

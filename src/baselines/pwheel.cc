@@ -1,0 +1,203 @@
+#include "baselines/pwheel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "text/language.h"
+#include "text/pattern.h"
+
+namespace autodetect {
+
+namespace {
+
+/// Bits to encode one character drawn from a tree-node class.
+double ClassBits(TreeNode node) {
+  switch (node) {
+    case TreeNode::kLeaf:
+      return 0.0;  // fixed by the pattern itself
+    case TreeNode::kUpper:
+    case TreeNode::kLower:
+      return 4.70;  // log2(26)
+    case TreeNode::kLetter:
+      return 5.70;  // log2(52)
+    case TreeNode::kDigit:
+      return 3.32;  // log2(10)
+    case TreeNode::kSymbol:
+      return 5.0;   // ~32 common symbols
+    case TreeNode::kAny:
+      return 6.57;  // log2(95) printable
+  }
+  return 8.0;
+}
+
+/// A candidate structure: its canonical string, and the cost of encoding a
+/// covered value with it.
+struct Candidate {
+  std::string rendering;
+  double pattern_bits;
+  bool counts;  ///< run lengths fixed by the pattern (true) or encoded per value
+  Pattern proto;
+};
+
+/// Granularity levels a la Potter's Wheel structure enumeration.
+const GeneralizationLanguage& ClassLang() {
+  static const GeneralizationLanguage kLang = [] {
+    auto r = GeneralizationLanguage::Make(TreeNode::kLetter, TreeNode::kLetter,
+                                          TreeNode::kDigit, TreeNode::kLeaf);
+    return *r;
+  }();
+  return kLang;
+}
+
+double ValueBitsUnder(const Pattern& pattern, bool counts, size_t value_len) {
+  double bits = 0;
+  for (const auto& t : pattern.tokens()) {
+    bits += ClassBits(t.node) * t.count;
+    if (!counts && t.node != TreeNode::kLeaf) bits += 4.0;  // run length
+  }
+  (void)value_len;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<Suspicion> PWheelDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  std::vector<Suspicion> out;
+  if (values.size() < 3) return out;
+  auto distinct = baseline_util::DistinctWithCounts(values);
+
+  // Enumerate candidate structures from the data: per value, the exact
+  // class pattern (with run lengths) and the relaxed one (without).
+  struct Group {
+    double value_bits_exact;
+    std::vector<size_t> members;  // indices into distinct
+    uint64_t rows = 0;
+  };
+  std::map<std::string, Group> exact_groups;   // pattern with counts
+  std::map<std::string, Group> relaxed_groups; // pattern runs collapsed
+
+  GeneralizeOptions exact_opts;
+  GeneralizeOptions relaxed_opts;
+  relaxed_opts.collapse_run_lengths = true;
+
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    Pattern p = Pattern::Generalize(distinct[i].value, ClassLang(), exact_opts);
+    std::string exact = p.ToString();
+    auto& ge = exact_groups[exact];
+    if (ge.members.empty()) ge.value_bits_exact = ValueBitsUnder(p, true, 0);
+    ge.members.push_back(i);
+    ge.rows += distinct[i].count;
+
+    Pattern pr = Pattern::Generalize(distinct[i].value, ClassLang(), relaxed_opts);
+    std::string relaxed = pr.ToString();
+    auto& gr = relaxed_groups[relaxed];
+    if (gr.members.empty()) gr.value_bits_exact = 0;  // computed per value below
+    gr.members.push_back(i);
+    gr.rows += distinct[i].count;
+  }
+
+  // MDL structure choice, Potter's Wheel style: consider keeping the top-k
+  // most-frequent structures (by row coverage), encode uncovered values as
+  // literals, and pick the k minimizing total description length. Exact and
+  // relaxed granularities compete in one pool.
+  struct Entry {
+    const std::string* rendering;
+    uint64_t rows;
+    std::vector<size_t> members;
+    double per_value_bits;  // average cost of one covered value
+    double pattern_bits;
+  };
+  std::vector<Entry> pool;
+  for (const auto& [rendering, g] : exact_groups) {
+    pool.push_back(Entry{&rendering, g.rows, g.members, g.value_bits_exact,
+                         options_.pattern_overhead_bits +
+                             options_.literal_bits * rendering.size()});
+  }
+  for (const auto& [rendering, g] : relaxed_groups) {
+    double avg_bits = 0;
+    for (size_t i : g.members) {
+      Pattern p = Pattern::Generalize(distinct[i].value, ClassLang(), exact_opts);
+      avg_bits += ValueBitsUnder(p, false, distinct[i].value.size());
+    }
+    avg_bits /= static_cast<double>(g.members.size());
+    pool.push_back(Entry{&rendering, g.rows, g.members, avg_bits,
+                         options_.pattern_overhead_bits +
+                             options_.literal_bits * rendering.size()});
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Entry& a, const Entry& b) { return a.rows > b.rows; });
+
+  auto literal_bits = [&](size_t i) {
+    return options_.literal_bits * (distinct[i].value.size() + 1) *
+           distinct[i].count;
+  };
+
+  double best_dl = 0;
+  std::vector<char> covered_best(distinct.size(), 0);
+  // k = 0: everything literal.
+  for (size_t i = 0; i < distinct.size(); ++i) best_dl += literal_bits(i);
+
+  std::vector<char> covered(distinct.size(), 0);
+  std::vector<double> enc_bits(distinct.size(), 0);  // bits once covered
+  double dl_patterns = 0;
+  for (size_t k = 0; k < pool.size() && k < 8; ++k) {
+    const Entry& e = pool[k];
+    // Adding a pattern: pay its bits; newly covered values switch from
+    // literal to pattern encoding at this pattern's rate.
+    dl_patterns += e.pattern_bits;
+    for (size_t i : e.members) {
+      if (!covered[i]) {
+        covered[i] = 1;
+        enc_bits[i] = e.per_value_bits * distinct[i].count;
+      }
+    }
+    double dl = dl_patterns;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      dl += covered[i] ? enc_bits[i] : literal_bits(i);
+    }
+    if (dl < best_dl) {
+      best_dl = dl;
+      covered_best = covered;
+    }
+  }
+
+  uint64_t covered_rows = 0;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (covered_best[i]) covered_rows += distinct[i].count;
+  }
+  double confidence = static_cast<double>(covered_rows) /
+                      static_cast<double>(values.size());
+  if (confidence >= 1.0) return out;
+
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    if (!covered_best[i]) {
+      out.push_back(Suspicion{distinct[i].first_row, distinct[i].value, confidence});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<std::string> PWheelDetector::InferPatterns(
+    const std::vector<std::string>& values) const {
+  // Reuse RankColumn's grouping logic cheaply: report the class patterns of
+  // values it did NOT flag.
+  auto suspicions = RankColumn(values);
+  std::unordered_map<std::string_view, bool> flagged;
+  for (const auto& s : suspicions) flagged[s.value] = true;
+  std::vector<std::string> patterns;
+  for (const auto& v : values) {
+    if (flagged.count(v)) continue;
+    std::string p = baseline_util::ClassPattern(v);
+    if (std::find(patterns.begin(), patterns.end(), p) == patterns.end()) {
+      patterns.push_back(p);
+    }
+  }
+  return patterns;
+}
+
+}  // namespace autodetect

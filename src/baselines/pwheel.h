@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+/// \file pwheel.h
+/// Potter's Wheel baseline [Raman & Hellerstein, VLDB'01]: infer the column
+/// structure by minimum description length over candidate patterns, then
+/// flag values the chosen patterns do not cover. This is the flagship
+/// "local" method the paper contrasts with — it sees only the input column,
+/// so skewed local format mixtures (Col-1/Col-2) mislead it by design.
+
+namespace autodetect {
+
+class PWheelDetector final : public ErrorDetectorMethod {
+ public:
+  struct Options {
+    /// Description-length cost in bits of one literal character.
+    double literal_bits = 8.0;
+    /// Overhead bits charged per pattern kept in the structure.
+    double pattern_overhead_bits = 16.0;
+  };
+
+  PWheelDetector() = default;
+  explicit PWheelDetector(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "PWheel"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+  /// \brief The inferred MDL-optimal pattern set (exposed for tests).
+  std::vector<std::string> InferPatterns(const std::vector<std::string>& values) const;
+
+ private:
+  Options options_ = Options();
+};
+
+}  // namespace autodetect

@@ -1,0 +1,47 @@
+#include "baselines/union_method.h"
+
+#include <algorithm>
+#include <map>
+
+namespace autodetect {
+
+std::vector<Suspicion> UnionDetector::RankColumn(
+    const std::vector<std::string>& values) const {
+  // The pooled score rewards agreement: a value's score is dominated by the
+  // fraction of constituent methods that flag it at all (the paper's Union
+  // takes each method at a comparable precision level; consensus is the
+  // label-free analogue), with the best rank-normalized position as a
+  // tiebreak. A value flagged by one eccentric method scores low.
+  struct Agg {
+    Suspicion suspicion;
+    size_t votes = 0;
+    double best_rank_score = 0;
+  };
+  std::map<std::string, Agg> pool;
+  for (const ErrorDetectorMethod* m : methods_) {
+    std::vector<Suspicion> predictions = m->RankColumn(values);
+    if (predictions.empty()) continue;
+    const double n = static_cast<double>(predictions.size());
+    for (size_t r = 0; r < predictions.size(); ++r) {
+      double rank_score = 1.0 - static_cast<double>(r) / std::max(1.0, n);
+      Agg& agg = pool[predictions[r].value];
+      if (agg.votes == 0) agg.suspicion = predictions[r];
+      ++agg.votes;
+      agg.best_rank_score = std::max(agg.best_rank_score, rank_score);
+    }
+  }
+  std::vector<Suspicion> out;
+  out.reserve(pool.size());
+  const double denom = static_cast<double>(std::max<size_t>(1, methods_.size()));
+  for (auto& [_, agg] : pool) {
+    Suspicion s = std::move(agg.suspicion);
+    s.score = static_cast<double>(agg.votes) / denom +
+              0.001 * agg.best_rank_score;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Suspicion& a, const Suspicion& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+/// \file union_method.h
+/// The "Union" comparison point of paper Sec. 4.2: pools the predictions of
+/// all constituent baselines. Each constituent's scores are rank-normalized
+/// into [0, 1] within the column; a value's union score is the maximum over
+/// constituents, so any single confident method can surface a value.
+
+namespace autodetect {
+
+class UnionDetector final : public ErrorDetectorMethod {
+ public:
+  /// \param methods constituents; not owned, must outlive the detector.
+  explicit UnionDetector(std::vector<const ErrorDetectorMethod*> methods)
+      : methods_(std::move(methods)) {}
+
+  std::string_view name() const override { return "Union"; }
+  std::vector<Suspicion> RankColumn(
+      const std::vector<std::string>& values) const override;
+
+ private:
+  std::vector<const ErrorDetectorMethod*> methods_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+/// \file hash.h
+/// Hashing primitives: FNV-1a and a 64-bit mix for dictionary keys, plus the
+/// pairwise-independent multiply-shift family used by the count-min sketch
+/// (the sketch's error bound requires pairwise independence; see
+/// Cormode & Muthukrishnan 2005, Sec. 2).
+
+namespace autodetect {
+
+/// \brief FNV-1a over a byte string; stable across platforms and runs (the
+/// model file format depends on this stability).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// \brief Finalization mix from MurmurHash3 / splitmix64.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Order-independent combination of two key hashes, for unordered
+/// pattern pairs: Hash({a,b}) == Hash({b,a}).
+inline uint64_t CombineUnordered(uint64_t a, uint64_t b) {
+  if (a > b) std::swap(a, b);
+  return Mix64(a ^ Mix64(b + 0x9e3779b97f4a7c15ULL));
+}
+
+/// \brief One member of a pairwise-independent hash family
+/// h(x) = ((a*x + b) mod p) mod m with p = 2^61 - 1 (a Mersenne prime).
+class PairwiseHash {
+ public:
+  PairwiseHash() : a_(1), b_(0) {}
+  /// \param a multiplier in [1, p); \param b offset in [0, p).
+  PairwiseHash(uint64_t a, uint64_t b) : a_(a % kPrime), b_(b % kPrime) {
+    if (a_ == 0) a_ = 1;
+  }
+
+  /// Hash of x into [0, buckets).
+  uint64_t operator()(uint64_t x, uint64_t buckets) const {
+    uint64_t r = MulModP(a_, x % kPrime) + b_;
+    if (r >= kPrime) r -= kPrime;
+    return r % buckets;
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+
+ private:
+  /// (x*y) mod (2^61-1) without overflow, via 128-bit intermediate.
+  static uint64_t MulModP(uint64_t x, uint64_t y) {
+    __uint128_t z = static_cast<__uint128_t>(x) * y;
+    uint64_t lo = static_cast<uint64_t>(z & kPrime);
+    uint64_t hi = static_cast<uint64_t>(z >> 61);
+    uint64_t r = lo + hi;
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  uint64_t a_;
+  uint64_t b_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging plus hard-failure checks (AD_CHECK), in the style
+/// of Arrow's util/logging.h. Logging goes to stderr; the level is settable
+/// at runtime so tests/benches can silence INFO chatter.
+
+namespace autodetect {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits (and aborts for kFatal)
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace autodetect
+
+#define AD_LOG(level)                                                            \
+  ::autodetect::internal::LogMessage(::autodetect::LogLevel::k##level, __FILE__, \
+                                     __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// used for programmer errors that must never ship.
+#define AD_CHECK(condition)                                             \
+  if (!(condition))                                                     \
+  AD_LOG(Fatal) << "Check failed: " #condition " "
+
+#define AD_CHECK_OK(expr)                                      \
+  do {                                                         \
+    ::autodetect::Status _ad_st = (expr);                      \
+    AD_CHECK(_ad_st.ok()) << _ad_st.ToString();                \
+  } while (false)
+
+#define AD_DCHECK(condition) AD_CHECK(condition)

@@ -1,0 +1,62 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace autodetect {
+
+uint32_t Pcg32::Below(uint32_t bound) {
+  AD_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+  uint32_t low = static_cast<uint32_t>(m);
+  if (low < bound) {
+    uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<uint64_t>(NextU32()) * bound;
+      low = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+int64_t Pcg32::Uniform(int64_t lo, int64_t hi) {
+  AD_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // 64-bit rejection sampling.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return lo + static_cast<int64_t>(x % span);
+}
+
+double Pcg32::NextGaussian() {
+  double sum = 0;
+  for (int i = 0; i < 12; ++i) sum += NextDouble();
+  return sum - 6.0;
+}
+
+uint32_t Pcg32::NextZipf(uint32_t n, double s) {
+  AD_DCHECK(n > 0);
+  AD_DCHECK(s > 0);
+  // Rejection-inversion sampling (Hormann & Derflinger) simplified: sample
+  // from the continuous pareto-like envelope and reject.
+  // For modest n the loop terminates in a handful of iterations.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint32_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace autodetect

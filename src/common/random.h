@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file random.h
+/// Deterministic pseudo-random number generation (PCG32). Everything in this
+/// repository that involves randomness — corpus synthesis, error injection,
+/// distant supervision sampling — takes an explicit seed so that builds,
+/// tests and benchmark tables are exactly reproducible run to run.
+
+namespace autodetect {
+
+/// \brief PCG32 generator (O'Neill, pcg-random.org): 64-bit state, 32-bit
+/// output, period 2^64. Small, fast, and statistically strong enough for
+/// workload synthesis.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's unbiased method.
+  uint32_t Below(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Approximately normal variate (Irwin–Hall sum of 12 uniforms).
+  double NextGaussian();
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s > 0). Linear-time
+  /// table-free sampling via rejection; adequate for n up to ~1e6.
+  uint32_t NextZipf(uint32_t n, double s);
+
+  /// Picks one element uniformly from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(static_cast<uint32_t>(v.size()))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Below(static_cast<uint32_t>(i))]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give every synthetic
+  /// column its own stream so corpora are stable under reordering.
+  Pcg32 Fork() { return Pcg32(NextU64(), NextU64() | 1u); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+/// \file result.h
+/// `Result<T>` holds either a value of type T or a non-OK Status, mirroring
+/// arrow::Result. Use AD_ASSIGN_OR_RETURN to unwrap-or-propagate.
+
+namespace autodetect {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status (implicit, enables `return Status::...;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` if errored.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(std::get<T>(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace autodetect
+
+#define AD_CONCAT_IMPL(x, y) x##y
+#define AD_CONCAT(x, y) AD_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define AD_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto AD_CONCAT(_ad_result_, __LINE__) = (rexpr);                \
+  if (!AD_CONCAT(_ad_result_, __LINE__).ok())                     \
+    return AD_CONCAT(_ad_result_, __LINE__).status();             \
+  lhs = std::move(AD_CONCAT(_ad_result_, __LINE__)).ValueOrDie()

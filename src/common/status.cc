@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace autodetect {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace autodetect

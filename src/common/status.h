@@ -1,0 +1,126 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file status.h
+/// Error propagation without exceptions, following the Arrow/RocksDB idiom.
+/// Functions that can fail return `Status` (or `Result<T>`, see result.h);
+/// callers check `ok()` or use the AD_RETURN_NOT_OK / AD_ASSIGN_OR_RETURN
+/// macros to propagate failures.
+
+namespace autodetect {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kCapacityExceeded = 7,
+  kCorruption = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus a message.
+///
+/// `Status` is cheap to move and to copy in the OK case (a single pointer).
+/// Error construction allocates; the hot paths of the library only touch
+/// `ok()` which is a null check.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(const Status& other) : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) { other.state_ = nullptr; }
+  Status& operator=(Status&& other) noexcept {
+    std::swap(state_, other.state_);
+    return *this;
+  }
+
+  /// Constructs a non-OK status with the given code and message.
+  Status(StatusCode code, std::string msg) : state_(new State{code, std::move(msg)}) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    if (ok() || other.ok()) return ok() == other.ok();
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  State* state_;
+};
+
+}  // namespace autodetect
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define AD_RETURN_NOT_OK(expr)                      \
+  do {                                              \
+    ::autodetect::Status _ad_status = (expr);       \
+    if (!_ad_status.ok()) return _ad_status;        \
+  } while (false)

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers shared across subsystems. All functions are pure and
+/// allocation is limited to the returned values.
+
+namespace autodetect {
+
+/// \brief Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Joins parts with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Lower-cases ASCII letters only.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief True if every character is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief Left-pads with `fill` to at least `width` characters.
+std::string PadLeft(std::string_view s, size_t width, char fill);
+
+/// \brief Formats an integer with US thousand separators: 1234567 -> "1,234,567".
+std::string WithThousandSeparators(int64_t value);
+
+/// \brief Human-readable byte size ("1.5 MB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace autodetect

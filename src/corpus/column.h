@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file column.h
+/// The single-column data model: Auto-Detect consumes tables strictly as
+/// bags of columns (paper Sec. 2.1), so a column — a list of cell strings
+/// plus provenance/ground-truth metadata — is the core container.
+
+namespace autodetect {
+
+/// Known error classes, mirroring the paper's published examples
+/// (Fig. 1, Fig. 2, Table 4 on Wikipedia/Excel data).
+enum class ErrorClass : uint8_t {
+  kNone = 0,
+  kExtraDot,           ///< "1874" -> "1874."  (Fig. 1a, Table 4 rows 3-7)
+  kMixedDateFormat,    ///< "2011-01-01" mixed into "2011.01.01" column (Fig. 1b/h)
+  kExtraSpace,         ///< leading/trailing/embedded stray space (Fig. 2a)
+  kPlaceholder,        ///< "-", "N/A", "TBD" in a data column (Fig. 1d)
+  kTruncatedDigits,    ///< "1,875" -> "1,87" (Table 4 row 8)
+  kMixedPhoneFormat,   ///< phone rendered in a foreign format (Fig. 2b)
+  kNumberAsText,       ///< "123" -> "'123" (Excel number-stored-as-text)
+  kUnitMismatch,       ///< "79 kg" mixed into "155 lb" column (Fig. 1c)
+  kCaseMangled,        ///< "Seattle" -> "seattle"
+  kSeparatorSwap,      ///< "1,234" -> "1.234"
+  kForeignValue,       ///< value spliced from an unrelated column (Sec. 4.4)
+  kMixedTimeFormat,    ///< "3:45" mixed with "3m 45s" (Fig. 1e)
+  kParenthesis,        ///< "(1984)" vs "1984" (Fig. 1f)
+};
+
+std::string_view ErrorClassName(ErrorClass e);
+
+/// \brief One table column: cell values plus (for synthetic data) the
+/// generating domain and injected-error ground truth.
+struct Column {
+  std::vector<std::string> values;
+
+  /// Name of the value domain that produced this column; empty for columns
+  /// parsed from files.
+  std::string domain;
+
+  /// Index of the injected incompatible value, or -1 when clean.
+  int32_t dirty_index = -1;
+  ErrorClass error_class = ErrorClass::kNone;
+
+  bool dirty() const { return dirty_index >= 0; }
+  size_t size() const { return values.size(); }
+
+  /// Ground truth accessor; requires dirty().
+  const std::string& dirty_value() const { return values[static_cast<size_t>(dirty_index)]; }
+};
+
+/// \brief An in-memory bag of columns with summary accounting.
+class Corpus {
+ public:
+  void Add(Column column) { columns_.push_back(std::move(column)); }
+  void Reserve(size_t n) { columns_.reserve(n); }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::vector<Column>& columns() { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& operator[](size_t i) const { return columns_[i]; }
+
+  size_t CountDirty() const {
+    size_t n = 0;
+    for (const auto& c : columns_) n += c.dirty() ? 1 : 0;
+    return n;
+  }
+
+  size_t TotalCells() const {
+    size_t n = 0;
+    for (const auto& c : columns_) n += c.size();
+    return n;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace autodetect

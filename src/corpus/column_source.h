@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+
+#include "corpus/column.h"
+
+/// \file column_source.h
+/// Streaming access to columns. The statistics builder consumes a
+/// ColumnSource so that large training corpora can be generated on the fly
+/// without ever materializing all columns in memory — the reproduction's
+/// answer to the paper's 350M-column scale.
+
+namespace autodetect {
+
+class ColumnSource {
+ public:
+  virtual ~ColumnSource() = default;
+
+  /// Produces the next column into `*out`; returns false at end of stream.
+  virtual bool Next(Column* out) = 0;
+
+  /// Restarts the stream from the beginning (sources are replayable so
+  /// multi-pass training — stats, then distant supervision — works).
+  virtual void Reset() = 0;
+
+  /// Total number of columns this source will yield, if known; 0 if not.
+  virtual size_t SizeHint() const { return 0; }
+};
+
+/// \brief Adapts an in-memory Corpus to the streaming interface.
+class CorpusSource : public ColumnSource {
+ public:
+  explicit CorpusSource(const Corpus* corpus) : corpus_(corpus) {}
+
+  bool Next(Column* out) override {
+    if (pos_ >= corpus_->size()) return false;
+    *out = (*corpus_)[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+  size_t SizeHint() const override { return corpus_->size(); }
+
+ private:
+  const Corpus* corpus_;
+  size_t pos_ = 0;
+};
+
+}  // namespace autodetect

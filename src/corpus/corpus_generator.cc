@@ -1,0 +1,131 @@
+#include "corpus/corpus_generator.h"
+
+#include "common/logging.h"
+
+namespace autodetect {
+
+namespace {
+void SetWeights(CorpusProfile* p, double numeric, double date, double time, double text,
+                double code, double contact, double misc) {
+  p->category_weights[static_cast<int>(DomainCategory::kNumeric)] = numeric;
+  p->category_weights[static_cast<int>(DomainCategory::kDate)] = date;
+  p->category_weights[static_cast<int>(DomainCategory::kTime)] = time;
+  p->category_weights[static_cast<int>(DomainCategory::kText)] = text;
+  p->category_weights[static_cast<int>(DomainCategory::kCode)] = code;
+  p->category_weights[static_cast<int>(DomainCategory::kContact)] = contact;
+  p->category_weights[static_cast<int>(DomainCategory::kMisc)] = misc;
+}
+}  // namespace
+
+CorpusProfile CorpusProfile::Web() {
+  CorpusProfile p;
+  p.name = "WEB";
+  SetWeights(&p, 1.0, 0.9, 0.4, 1.0, 0.5, 0.5, 0.5);
+  p.dirty_rate = 0.069;  // paper: 93.1% of sampled web columns were clean
+  return p;
+}
+
+CorpusProfile CorpusProfile::Wiki() {
+  CorpusProfile p;
+  p.name = "WIKI";
+  // Wikipedia tables: heavy on dates, years, scores, names; light on
+  // emails/phones/urls.
+  SetWeights(&p, 1.0, 1.2, 0.6, 1.2, 0.3, 0.1, 0.8);
+  p.dirty_rate = 0.022;  // paper: 97.8% clean
+  return p;
+}
+
+CorpusProfile CorpusProfile::PubXls() {
+  CorpusProfile p;
+  p.name = "Pub-XLS";
+  SetWeights(&p, 1.6, 0.8, 0.4, 0.8, 0.6, 0.4, 0.4);
+  p.dirty_rate = 0.05;
+  return p;
+}
+
+CorpusProfile CorpusProfile::EntXls() {
+  CorpusProfile p;
+  p.name = "Ent-XLS";
+  SetWeights(&p, 2.4, 0.7, 0.3, 0.6, 0.8, 0.4, 0.3);
+  p.dirty_rate = 0.03;
+  return p;
+}
+
+GeneratedColumnSource::GeneratedColumnSource(GeneratorOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  AD_CHECK(options_.num_columns > 0);
+  AD_CHECK(options_.profile.min_rows >= 2);
+  AD_CHECK(options_.profile.min_rows <= options_.profile.max_rows);
+  SampleDomainTable();
+}
+
+void GeneratedColumnSource::SampleDomainTable() {
+  cdf_.clear();
+  total_weight_ = 0;
+  for (const ValueDomain* d : DomainRegistry::Global().all()) {
+    double w =
+        options_.profile.category_weights[static_cast<int>(d->category())] *
+        d->base_weight();
+    if (w <= 0) continue;
+    total_weight_ += w;
+    cdf_.emplace_back(total_weight_, d);
+  }
+  AD_CHECK(!cdf_.empty());
+}
+
+bool GeneratedColumnSource::Next(Column* out) {
+  if (produced_ >= options_.num_columns) return false;
+  // Every column gets its own generator forked from the master stream, so a
+  // column's content depends only on (seed, index).
+  Pcg32 col_rng = rng_.Fork();
+  ++produced_;
+
+  double x = col_rng.NextDouble() * total_weight_;
+  const ValueDomain* domain = cdf_.back().second;
+  for (const auto& [cum, d] : cdf_) {
+    if (x <= cum) {
+      domain = d;
+      break;
+    }
+  }
+
+  size_t rows = static_cast<size_t>(
+      col_rng.Uniform(static_cast<int64_t>(options_.profile.min_rows),
+                      static_cast<int64_t>(options_.profile.max_rows)));
+
+  out->values = domain->GenerateColumn(rows, &col_rng);
+  out->domain = domain->name();
+  out->dirty_index = -1;
+  out->error_class = ErrorClass::kNone;
+
+  // Feed the foreign-value donor pool before possibly dirtying this column.
+  if (foreign_pool_.size() < 512) {
+    foreign_pool_.push_back(out->values[col_rng.Below(static_cast<uint32_t>(rows))]);
+  } else if (col_rng.Chance(0.05)) {
+    foreign_pool_[col_rng.Below(512)] =
+        out->values[col_rng.Below(static_cast<uint32_t>(rows))];
+  }
+
+  if (options_.inject_errors && col_rng.Chance(options_.profile.dirty_rate)) {
+    injector_.Inject(out, foreign_pool_, &col_rng);
+  }
+  return true;
+}
+
+void GeneratedColumnSource::Reset() {
+  rng_ = Pcg32(options_.seed);
+  produced_ = 0;
+  foreign_pool_.clear();
+  SampleDomainTable();
+}
+
+Corpus GenerateCorpus(const GeneratorOptions& options) {
+  GeneratedColumnSource source(options);
+  Corpus corpus;
+  corpus.Reserve(options.num_columns);
+  Column c;
+  while (source.Next(&c)) corpus.Add(std::move(c));
+  return corpus;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "corpus/column.h"
+#include "corpus/column_source.h"
+#include "corpus/error_injector.h"
+#include "corpus/value_domains.h"
+
+/// \file corpus_generator.h
+/// Deterministic synthesis of the five table corpora of paper Table 3
+/// (WEB, WIKI, Pub-XLS, Ent-XLS, CSV) as domain-weight profiles over the
+/// value-domain catalogue. The same seed always yields the same corpus.
+
+namespace autodetect {
+
+/// \brief Weighting and shape of one corpus flavour.
+struct CorpusProfile {
+  std::string name;
+  /// Relative weight per domain category (domains inside a category are
+  /// further weighted by their base_weight).
+  double category_weights[kNumDomainCategories] = {1, 1, 1, 1, 1, 1, 1};
+  /// Fraction of columns receiving one injected error. The paper measured
+  /// 6.9% dirty columns in WEB and 2.2% in WIKI (Sec. 2.1).
+  double dirty_rate = 0.0;
+  /// Uniform row-count range per column.
+  size_t min_rows = 5;
+  size_t max_rows = 40;
+
+  /// WEB: broad mix, slightly dirtier (93.1% clean in the paper).
+  static CorpusProfile Web();
+  /// WIKI: like WEB but cleaner (97.8% clean) and lighter on contact data.
+  static CorpusProfile Wiki();
+  /// Pub-XLS: public spreadsheets; numeric-leaning mix.
+  static CorpusProfile PubXls();
+  /// Ent-XLS: enterprise spreadsheets; strongly numeric (paper Sec. 4.4
+  /// explains dBoost's showing there by the many numeric columns).
+  static CorpusProfile EntXls();
+};
+
+struct GeneratorOptions {
+  CorpusProfile profile = CorpusProfile::Web();
+  uint64_t seed = 42;
+  size_t num_columns = 10000;
+  /// When true (default), columns are dirtied at profile.dirty_rate with
+  /// ground truth recorded; when false all columns are clean.
+  bool inject_errors = true;
+};
+
+/// \brief Streaming generator: yields columns one at a time; replayable.
+class GeneratedColumnSource : public ColumnSource {
+ public:
+  explicit GeneratedColumnSource(GeneratorOptions options);
+
+  bool Next(Column* out) override;
+  void Reset() override;
+  size_t SizeHint() const override { return options_.num_columns; }
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  void SampleDomainTable();
+
+  GeneratorOptions options_;
+  ErrorInjector injector_;
+  Pcg32 rng_;
+  size_t produced_ = 0;
+  /// Cumulative-weight table for domain sampling.
+  std::vector<std::pair<double, const ValueDomain*>> cdf_;
+  double total_weight_ = 0;
+  /// Recent values kept as donors for kForeignValue injections.
+  std::vector<std::string> foreign_pool_;
+};
+
+/// \brief Materializes a whole corpus in memory.
+Corpus GenerateCorpus(const GeneratorOptions& options);
+
+}  // namespace autodetect

@@ -1,0 +1,309 @@
+#include "corpus/error_injector.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "corpus/value_domains.h"
+
+namespace autodetect {
+
+std::string_view ErrorClassName(ErrorClass e) {
+  switch (e) {
+    case ErrorClass::kNone:
+      return "none";
+    case ErrorClass::kExtraDot:
+      return "extra_dot";
+    case ErrorClass::kMixedDateFormat:
+      return "mixed_date_format";
+    case ErrorClass::kExtraSpace:
+      return "extra_space";
+    case ErrorClass::kPlaceholder:
+      return "placeholder";
+    case ErrorClass::kTruncatedDigits:
+      return "truncated_digits";
+    case ErrorClass::kMixedPhoneFormat:
+      return "mixed_phone_format";
+    case ErrorClass::kNumberAsText:
+      return "number_as_text";
+    case ErrorClass::kUnitMismatch:
+      return "unit_mismatch";
+    case ErrorClass::kCaseMangled:
+      return "case_mangled";
+    case ErrorClass::kSeparatorSwap:
+      return "separator_swap";
+    case ErrorClass::kForeignValue:
+      return "foreign_value";
+    case ErrorClass::kMixedTimeFormat:
+      return "mixed_time_format";
+    case ErrorClass::kParenthesis:
+      return "parenthesis";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Looks like "dddd<sep>dd<sep>dd" or "dd<sep>dd<sep>dddd" with a single
+/// separator character.
+bool LooksLikeSeparatedDate(const std::string& v, char* sep_out) {
+  int digits = 0;
+  char sep = 0;
+  int seps = 0;
+  for (char c : v) {
+    if (IsDigit(c)) {
+      ++digits;
+    } else if (c == '-' || c == '/' || c == '.') {
+      if (sep == 0) sep = c;
+      if (c != sep) return false;
+      ++seps;
+    } else {
+      return false;
+    }
+  }
+  if (seps != 2 || digits < 6 || digits > 8) return false;
+  *sep_out = sep;
+  return true;
+}
+
+bool LooksLikePhone(const std::string& v) {
+  int digits = 0;
+  for (char c : v) {
+    if (IsDigit(c)) ++digits;
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) return false;
+  }
+  if (digits != 10 && digits != 11) return false;
+  return v.find('-') != std::string::npos || v.find('(') != std::string::npos ||
+         v.find('.') != std::string::npos || v.find(' ') != std::string::npos;
+}
+
+bool LooksLikeClockTime(const std::string& v) {
+  size_t colon = v.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= v.size()) return false;
+  for (char c : v) {
+    if (!IsDigit(c) && c != ':') return false;
+  }
+  return true;
+}
+
+bool EndsWithUnit(const std::string& v, std::string* unit_out) {
+  static const std::vector<std::string> kUnits = {"kg", "lb", "km", "mi",
+                                                  "cm", "ft", "m"};
+  for (const auto& u : kUnits) {
+    if (EndsWith(v, u)) {
+      size_t prefix = v.size() - u.size();
+      // Unit must follow a digit or a space after a digit.
+      if (prefix == 0) continue;
+      char before = v[prefix - 1];
+      if (IsDigit(before) || before == ' ' || before == '.') {
+        *unit_out = u;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool HasLetters(const std::string& v) {
+  for (char c : v) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) return true;
+  }
+  return false;
+}
+
+int CountDigits(const std::string& v) {
+  int n = 0;
+  for (char c : v) n += IsDigit(c) ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+Result<std::string> ApplyErrorClass(ErrorClass error_class, const std::string& value,
+                                    Pcg32* rng) {
+  switch (error_class) {
+    case ErrorClass::kExtraDot: {
+      if (value.empty() || !IsDigit(value.back())) {
+        return Status::Invalid("extra_dot needs trailing digit");
+      }
+      return value + ".";
+    }
+    case ErrorClass::kMixedDateFormat: {
+      char sep;
+      if (!LooksLikeSeparatedDate(value, &sep)) {
+        return Status::Invalid("not a separated date");
+      }
+      static const char kSeps[] = {'-', '/', '.'};
+      char replacement;
+      do {
+        replacement = kSeps[rng->Below(3)];
+      } while (replacement == sep);
+      std::string out = value;
+      std::replace(out.begin(), out.end(), sep, replacement);
+      return out;
+    }
+    case ErrorClass::kExtraSpace: {
+      if (value.empty()) return Status::Invalid("empty value");
+      std::string out = value;
+      switch (out.size() > 1 ? rng->Below(3) : rng->Below(2)) {
+        case 0:
+          out.insert(out.begin(), ' ');
+          break;
+        case 1:
+          out.push_back(' ');
+          break;
+        default:
+          out.insert(out.begin() + 1 + rng->Below(static_cast<uint32_t>(out.size() - 1)),
+                     ' ');
+          break;
+      }
+      return out;
+    }
+    case ErrorClass::kPlaceholder: {
+      static const std::vector<std::string> kPlaceholders = {"-", "N/A", "TBD", "?",
+                                                             "--", "n/a"};
+      // A placeholder injected into a placeholder-like column is not an error.
+      if (value.size() <= 3 && !HasLetters(value) && CountDigits(value) == 0) {
+        return Status::Invalid("column already placeholder-like");
+      }
+      return rng->Pick(kPlaceholders);
+    }
+    case ErrorClass::kTruncatedDigits: {
+      if (CountDigits(value) < 3 || !IsDigit(value.back())) {
+        return Status::Invalid("needs >=3 digits and trailing digit");
+      }
+      return value.substr(0, value.size() - 1);
+    }
+    case ErrorClass::kMixedPhoneFormat: {
+      if (!LooksLikePhone(value)) return Status::Invalid("not a phone");
+      std::string digits;
+      for (char c : value) {
+        if (IsDigit(c)) digits.push_back(c);
+      }
+      if (digits.size() == 11 && digits[0] == '1') digits = digits.substr(1);
+      if (digits.size() != 10) return Status::Invalid("not 10 phone digits");
+      // Re-render in a format that produces a different string.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        std::string out = valuegen::RenderPhone(
+            digits, static_cast<int>(rng->Below(valuegen::kNumPhoneFormats)));
+        if (out != value) return out;
+      }
+      return Status::Invalid("could not change format");
+    }
+    case ErrorClass::kNumberAsText: {
+      if (value.empty() || CountDigits(value) != static_cast<int>(value.size())) {
+        return Status::Invalid("not a plain number");
+      }
+      return rng->Chance(0.5) ? "'" + value : "\"" + value + "\"";
+    }
+    case ErrorClass::kUnitMismatch: {
+      std::string unit;
+      if (!EndsWithUnit(value, &unit)) return Status::Invalid("no unit suffix");
+      static const std::vector<std::pair<std::string, std::string>> kSwaps = {
+          {"kg", "lb"}, {"lb", "kg"}, {"km", "mi"}, {"mi", "km"},
+          {"cm", "in"}, {"ft", "m"},  {"m", "ft"}};
+      for (const auto& [from, to] : kSwaps) {
+        if (unit == from) {
+          return value.substr(0, value.size() - from.size()) + to;
+        }
+      }
+      return Status::Invalid("no swap for unit");
+    }
+    case ErrorClass::kCaseMangled: {
+      if (value.empty() || !(value[0] >= 'A' && value[0] <= 'Z')) {
+        return Status::Invalid("needs leading capital");
+      }
+      std::string out = value;
+      out[0] = static_cast<char>(out[0] - 'A' + 'a');
+      return out;
+    }
+    case ErrorClass::kSeparatorSwap: {
+      if (value.find(',') == std::string::npos || HasLetters(value)) {
+        return Status::Invalid("no comma separator");
+      }
+      std::string out = value;
+      for (char& c : out) {
+        if (c == ',') {
+          c = '.';
+        } else if (c == '.') {
+          c = ',';
+        }
+      }
+      return out;
+    }
+    case ErrorClass::kMixedTimeFormat: {
+      if (!LooksLikeClockTime(value)) return Status::Invalid("not a clock time");
+      std::string out = value;
+      if (rng->Chance(0.5)) {
+        std::replace(out.begin(), out.end(), ':', '.');
+      } else {
+        size_t colon = out.find(':');
+        out = out.substr(0, colon) + "m " + out.substr(colon + 1) + "s";
+      }
+      return out;
+    }
+    case ErrorClass::kParenthesis: {
+      if (value.empty() || value[0] == '(') return Status::Invalid("already wrapped");
+      return "(" + value + ")";
+    }
+    case ErrorClass::kForeignValue:
+      return Status::Invalid("foreign value needs a donor pool");
+    case ErrorClass::kNone:
+      return Status::Invalid("kNone is not injectable");
+  }
+  return Status::Invalid("unknown error class");
+}
+
+std::vector<ErrorClass> ApplicableErrorClasses(const std::string& value) {
+  static const ErrorClass kSyntacticClasses[] = {
+      ErrorClass::kExtraDot,        ErrorClass::kMixedDateFormat,
+      ErrorClass::kExtraSpace,      ErrorClass::kPlaceholder,
+      ErrorClass::kTruncatedDigits, ErrorClass::kMixedPhoneFormat,
+      ErrorClass::kNumberAsText,    ErrorClass::kUnitMismatch,
+      ErrorClass::kCaseMangled,     ErrorClass::kSeparatorSwap,
+      ErrorClass::kMixedTimeFormat, ErrorClass::kParenthesis,
+  };
+  std::vector<ErrorClass> out;
+  Pcg32 probe(7);  // deterministic precondition probing
+  for (ErrorClass e : kSyntacticClasses) {
+    if (ApplyErrorClass(e, value, &probe).ok()) out.push_back(e);
+  }
+  return out;
+}
+
+bool ErrorInjector::Inject(Column* column, const std::vector<std::string>& foreign_pool,
+                           Pcg32* rng) const {
+  if (column->values.empty()) return false;
+  // Pick a victim cell, then an applicable class.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    uint32_t idx = rng->Below(static_cast<uint32_t>(column->values.size()));
+    const std::string& victim = column->values[idx];
+
+    bool try_foreign = !foreign_pool.empty() && rng->Chance(options_.foreign_value_weight);
+    if (try_foreign) {
+      const std::string& donor = rng->Pick(foreign_pool);
+      if (donor != victim) {
+        column->values[idx] = donor;
+        column->dirty_index = static_cast<int32_t>(idx);
+        column->error_class = ErrorClass::kForeignValue;
+        return true;
+      }
+      continue;
+    }
+
+    std::vector<ErrorClass> applicable = ApplicableErrorClasses(victim);
+    if (applicable.empty()) continue;
+    ErrorClass chosen = rng->Pick(applicable);
+    auto mutated = ApplyErrorClass(chosen, victim, rng);
+    if (!mutated.ok()) continue;
+    if (*mutated == victim) continue;
+    column->values[idx] = *mutated;
+    column->dirty_index = static_cast<int32_t>(idx);
+    column->error_class = chosen;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace autodetect

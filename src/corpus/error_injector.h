@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "corpus/column.h"
+
+/// \file error_injector.h
+/// Injects single-cell errors drawn from the paper's published error
+/// taxonomy (Fig. 1, Fig. 2, Table 4) into clean synthetic columns. Errors
+/// are syntactic transformations of one victim value, so the resulting
+/// column contains exactly one incompatible cell with known position —
+/// giving construction-time ground truth in place of the paper's human
+/// labeling.
+
+namespace autodetect {
+
+/// \brief Applies the transformation of one error class to `value`.
+/// Fails with Invalid when the class's precondition does not hold (e.g.
+/// kExtraDot on a value that does not end in a digit).
+Result<std::string> ApplyErrorClass(ErrorClass error_class, const std::string& value,
+                                    Pcg32* rng);
+
+/// \brief Error classes whose preconditions hold for `value`.
+/// kForeignValue is excluded (it needs a second column, see Inject).
+std::vector<ErrorClass> ApplicableErrorClasses(const std::string& value);
+
+class ErrorInjector {
+ public:
+  struct Options {
+    /// Probability mass given to kForeignValue vs the syntactic classes.
+    double foreign_value_weight = 0.25;
+  };
+
+  ErrorInjector() = default;
+  explicit ErrorInjector(Options options) : options_(options) {}
+
+  /// \brief Mutates one cell of `*column` into an incompatible variant and
+  /// records ground truth. `foreign_pool` supplies values for
+  /// kForeignValue injections (values from other columns); may be empty.
+  /// Returns false when no error class applies to any cell (column left
+  /// clean).
+  bool Inject(Column* column, const std::vector<std::string>& foreign_pool,
+              Pcg32* rng) const;
+
+ private:
+  Options options_ = Options();
+};
+
+}  // namespace autodetect

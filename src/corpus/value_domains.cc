@@ -1,0 +1,739 @@
+#include "corpus/value_domains.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace autodetect {
+
+std::string_view DomainCategoryName(DomainCategory c) {
+  switch (c) {
+    case DomainCategory::kNumeric:
+      return "numeric";
+    case DomainCategory::kDate:
+      return "date";
+    case DomainCategory::kTime:
+      return "time";
+    case DomainCategory::kText:
+      return "text";
+    case DomainCategory::kCode:
+      return "code";
+    case DomainCategory::kContact:
+      return "contact";
+    case DomainCategory::kMisc:
+      return "misc";
+  }
+  return "?";
+}
+
+std::vector<std::string> ValueDomain::GenerateColumn(size_t n, Pcg32* rng) const {
+  auto sampler = MakeColumnSampler(rng);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(sampler(rng));
+  return out;
+}
+
+namespace valuegen {
+
+std::string PadNumber(int64_t v, int width) {
+  return PadLeft(std::to_string(v), static_cast<size_t>(width), '0');
+}
+
+std::string FormatInt(int64_t v, bool separators) {
+  return separators ? WithThousandSeparators(v) : std::to_string(v);
+}
+
+std::string FormatFixed(double v, int decimals) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+const std::vector<std::string>& MonthNamesFull() {
+  static const std::vector<std::string> kMonths = {
+      "January", "February", "March",     "April",   "May",      "June",
+      "July",    "August",   "September", "October", "November", "December"};
+  return kMonths;
+}
+
+const std::vector<std::string>& MonthNamesAbbrev() {
+  static const std::vector<std::string> kMonths = {"Jan", "Feb", "Mar", "Apr",
+                                                   "May", "Jun", "Jul", "Aug",
+                                                   "Sep", "Oct", "Nov", "Dec"};
+  return kMonths;
+}
+
+const std::vector<std::string>& FirstNames() {
+  // Name lengths are spread 3-8 with several names per length, so every
+  // (first length, last length) pattern combination is well covered in the
+  // corpus statistics.
+  static const std::vector<std::string> kNames = {
+      "James", "Mary",    "Robert", "Patricia", "John",   "Jennifer", "Michael",
+      "Linda", "David",   "Sarah",  "William",  "Jessica", "Richard", "Karen",
+      "Thomas", "Nancy",  "Carlos", "Sofia",    "Wei",    "Yuki",     "Priya",
+      "Ahmed", "Fatima",  "Ivan",   "Elena",    "Pierre", "Marie",    "Hans",
+      "Ingrid", "Pedro",  "Ian",    "Lee",      "Ana",    "Max",      "Eva",
+      "Sam",   "Kim",     "Bo",     "Al"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Smith",   "Johnson", "Williams", "Brown",    "Jones",    "Garcia",
+      "Miller",  "Davis",   "Martinez", "Lopez",    "Wilson",   "Anderson",
+      "Taylor",  "Thomas",  "Moore",    "Jackson",  "Lee",      "Chen",
+      "Wang",    "Kumar",   "Singh",    "Tanaka",   "Mueller",  "Rossi",
+      "Ivanov",  "Kowalski", "Nguyen",  "Kim",      "Park",     "Silva"};
+  return kNames;
+}
+
+const std::vector<std::string>& CityNames() {
+  // Includes multi-word and punctuated names on purpose: real place-name
+  // columns mix "Seattle" with "New York" and "St. Louis", and that benign
+  // local diversity is precisely what defeats local outlier detectors
+  // while global co-occurrence statistics shrug it off (paper Sec. 1).
+  static const std::vector<std::string> kCities = {
+      "Seattle",   "London",    "Paris",     "Tokyo",    "Berlin",   "Madrid",
+      "Rome",      "Vienna",    "Prague",    "Dublin",   "Oslo",     "Helsinki",
+      "Warsaw",    "Lisbon",    "Athens",    "Budapest", "Brussels", "Amsterdam",
+      "Stockholm", "Copenhagen", "Toronto",  "Chicago",  "Boston",   "Denver",
+      "Austin",    "Portland",  "Houston",   "Phoenix",  "Atlanta",  "Miami",
+      "New York",  "Los Angeles", "San Francisco", "St. Louis", "New Orleans",
+      "Salt Lake City", "Rio de Janeiro", "Buenos Aires", "Cape Town",
+      "Hong Kong"};
+  return kCities;
+}
+
+const std::vector<std::string>& CommonWords() {
+  // Length spread is deliberate but *bounded* (3, 5, 6 or 8 chars): real
+  // text columns mix short and long tokens — that in-column diversity
+  // teaches Auto-Detect that a length mismatch alone is not an error — but
+  // the pattern space must stay coverable by a reduced-scale corpus (see
+  // DESIGN.md), or every long phrase becomes a statistically unseen
+  // pattern.
+  static const std::vector<std::string> kWords = {
+      "sea",    "sky",    "oak",    "inn",    "fox",    "bay",
+      "river",  "tower",  "ridge",  "manor",  "plaza",  "grove",
+      "bridge", "museum", "temple", "church", "school", "harbor",
+      "mountain", "hospital", "fortress", "aquaduct", "pavilion", "monument"};
+  return kWords;
+}
+
+int DaysInMonth(int month) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  AD_DCHECK(month >= 1 && month <= 12);
+  return kDays[month - 1];
+}
+
+std::string RenderPhone(const std::string& digits10, int format) {
+  AD_DCHECK(digits10.size() == 10);
+  std::string a = digits10.substr(0, 3), b = digits10.substr(3, 3),
+              c = digits10.substr(6, 4);
+  switch (format) {
+    case 0:
+      return "(" + a + ") " + b + "-" + c;
+    case 1:
+      return a + "-" + b + "-" + c;
+    case 2:
+      return a + "." + b + "." + c;
+    case 3:
+      return "+1 " + a + " " + b + " " + c;
+    default:
+      AD_LOG(Fatal) << "bad phone format " << format;
+      return "";
+  }
+}
+
+}  // namespace valuegen
+
+namespace {
+
+using valuegen::FormatFixed;
+using valuegen::FormatInt;
+using valuegen::PadNumber;
+
+using Sampler = std::function<std::string(Pcg32*)>;
+using SamplerFactory = std::function<Sampler(Pcg32*)>;
+
+/// Concrete domain defined by a factory lambda.
+class LambdaDomain final : public ValueDomain {
+ public:
+  LambdaDomain(std::string name, DomainCategory category, double base_weight,
+               SamplerFactory factory)
+      : ValueDomain(std::move(name), category, base_weight),
+        factory_(std::move(factory)) {}
+
+  Sampler MakeColumnSampler(Pcg32* rng) const override { return factory_(rng); }
+
+ private:
+  SamplerFactory factory_;
+};
+
+std::string RandomYear(Pcg32* rng) {
+  return std::to_string(rng->Uniform(1850, 2030));
+}
+
+/// Log-uniform positive integer with `min_digits`..`max_digits` decimal
+/// digits: digit count uniform, then value uniform within that width. Real
+/// count/population/amount columns mix magnitudes like this — the property
+/// that makes "100" and "1,000,000" genuinely co-occur in tables (paper
+/// Sec. 1, Col-1 discussion).
+int64_t LogUniformInt(Pcg32* rng, int min_digits, int max_digits) {
+  int digits = static_cast<int>(rng->Uniform(min_digits, max_digits));
+  int64_t lo = 1;
+  for (int i = 1; i < digits; ++i) lo *= 10;
+  int64_t hi = lo * 10 - 1;
+  if (digits == 1) lo = 0;
+  return rng->Uniform(lo, hi);
+}
+
+struct Ymd {
+  int y, m, d;
+};
+
+Ymd RandomDate(Pcg32* rng) {
+  int y = static_cast<int>(rng->Uniform(1900, 2025));
+  int m = static_cast<int>(rng->Uniform(1, 12));
+  int d = static_cast<int>(rng->Uniform(1, valuegen::DaysInMonth(m)));
+  return {y, m, d};
+}
+
+std::string RandomUpperWord(Pcg32* rng, int len) {
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(static_cast<char>('A' + rng->Below(26)));
+  return s;
+}
+
+void AddDomain(std::vector<std::unique_ptr<ValueDomain>>* out, std::string name,
+               DomainCategory cat, double weight, SamplerFactory factory) {
+  out->push_back(std::make_unique<LambdaDomain>(std::move(name), cat, weight,
+                                                std::move(factory)));
+}
+
+std::vector<std::unique_ptr<ValueDomain>> BuildDomains() {
+  std::vector<std::unique_ptr<ValueDomain>> d;
+
+  // ---------------------------------------------------------------- numeric
+  // Small integers of mixed width (counts, ranks, goals).
+  AddDomain(&d, "int_small", DomainCategory::kNumeric, 1.5, [](Pcg32* rng) -> Sampler {
+    int max_digits = static_cast<int>(rng->Uniform(2, 3));
+    return [max_digits](Pcg32* r) {
+      return std::to_string(LogUniformInt(r, 1, max_digits));
+    };
+  });
+
+  // The paper's Col-1: mixed magnitudes where values >= 1000 get thousand
+  // separators and smaller ones don't. Found in 2.2M real web columns.
+  AddDomain(&d, "int_mixed_separators", DomainCategory::kNumeric, 1.2,
+            [](Pcg32* rng) -> Sampler {
+              int max_digits = static_cast<int>(rng->Uniform(4, 7));
+              return [max_digits](Pcg32* r) {
+                int64_t v = LogUniformInt(r, 1, max_digits);
+                return FormatInt(v, /*separators=*/v >= 1000);
+              };
+            });
+
+  // Amount columns, consistently separator-formatted, magnitudes mixed
+  // ("1,234,567" next to "4,521").
+  AddDomain(&d, "int_separated", DomainCategory::kNumeric, 0.8,
+            [](Pcg32* rng) -> Sampler {
+              int max_digits = static_cast<int>(rng->Uniform(5, 9));
+              return [max_digits](Pcg32* r) {
+                return FormatInt(LogUniformInt(r, 4, max_digits), true);
+              };
+            });
+
+  // Plain unseparated integers across magnitudes (ids, raw exports).
+  AddDomain(&d, "int_plain_large", DomainCategory::kNumeric, 0.8,
+            [](Pcg32* rng) -> Sampler {
+              int max_digits = static_cast<int>(rng->Uniform(5, 8));
+              return [max_digits](Pcg32* r) {
+                return std::to_string(LogUniformInt(r, 1, max_digits));
+              };
+            });
+
+  // Mixed-magnitude counts (populations, attendances) — wide in-column
+  // length variety with no separators at all.
+  AddDomain(&d, "count_stat", DomainCategory::kNumeric, 1.0, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) { return std::to_string(LogUniformInt(r, 1, 6)); };
+  });
+
+  // The paper's Col-2: mostly integers with occasional floats.
+  AddDomain(&d, "int_with_floats", DomainCategory::kNumeric, 1.0,
+            [](Pcg32* rng) -> Sampler {
+              int decimals = static_cast<int>(rng->Uniform(1, 2));
+              double float_rate = 0.05 + rng->NextDouble() * 0.3;
+              return [decimals, float_rate](Pcg32* r) {
+                if (r->Chance(float_rate)) {
+                  return FormatFixed(r->NextDouble() * 100, decimals);
+                }
+                return std::to_string(LogUniformInt(r, 1, 3));
+              };
+            });
+
+  // Fixed-precision decimals with mixed integer-part width.
+  AddDomain(&d, "decimal_fixed", DomainCategory::kNumeric, 1.2, [](Pcg32* rng) -> Sampler {
+    int decimals = static_cast<int>(rng->Uniform(1, 4));
+    int max_digits = static_cast<int>(rng->Uniform(2, 4));
+    return [decimals, max_digits](Pcg32* r) {
+      double v = static_cast<double>(LogUniformInt(r, 1, max_digits)) + r->NextDouble();
+      return FormatFixed(v, decimals);
+    };
+  });
+
+  // Percentages; per-column choice of integer vs one-decimal, with/without %.
+  AddDomain(&d, "percent", DomainCategory::kNumeric, 0.7, [](Pcg32* rng) -> Sampler {
+    int decimals = rng->Chance(0.5) ? 0 : 1;
+    bool sign = rng->Chance(0.8);
+    return [decimals, sign](Pcg32* r) {
+      std::string s = FormatFixed(r->NextDouble() * 100, decimals);
+      if (sign) s += "%";
+      return s;
+    };
+  });
+
+  // Currency: one symbol+layout per column.
+  AddDomain(&d, "currency", DomainCategory::kNumeric, 0.9, [](Pcg32* rng) -> Sampler {
+    std::string symbol = rng->Pick(std::vector<std::string>{"$", "USD ", "EUR ", "£"});
+    bool cents = rng->Chance(0.6);
+    bool separators = rng->Chance(0.7);
+    return [symbol, cents, separators](Pcg32* r) {
+      int64_t dollars = LogUniformInt(r, 1, 5);
+      std::string s = symbol + FormatInt(dollars, separators && dollars >= 1000);
+      if (cents) s += StrFormat(".%02d", static_cast<int>(r->Below(100)));
+      return s;
+    };
+  });
+
+  // Signed deltas ("+1.5" / "-2.0").
+  AddDomain(&d, "signed_delta", DomainCategory::kNumeric, 0.5, [](Pcg32* rng) -> Sampler {
+    int decimals = static_cast<int>(rng->Uniform(0, 2));
+    return [decimals](Pcg32* r) {
+      double v = (r->NextDouble() - 0.5) * 20;
+      std::string s = FormatFixed(std::fabs(v), decimals);
+      return (v < 0 ? "-" : "+") + s;
+    };
+  });
+
+  // Scientific notation.
+  AddDomain(&d, "scientific", DomainCategory::kNumeric, 0.3, [](Pcg32* rng) -> Sampler {
+    bool upper_e = rng->Chance(0.5);
+    return [upper_e](Pcg32* r) {
+      return StrFormat("%.2f%s%+03d", 1.0 + r->NextDouble() * 9.0, upper_e ? "E" : "e",
+                       static_cast<int>(r->Uniform(-12, 12)));
+    };
+  });
+
+  // Plain years.
+  AddDomain(&d, "year", DomainCategory::kNumeric, 1.3, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) { return RandomYear(r); };
+  });
+
+  // Rank/position column: 1..n ascending-ish.
+  AddDomain(&d, "rank", DomainCategory::kNumeric, 0.8, [](Pcg32*) -> Sampler {
+    auto counter = std::make_shared<int>(0);
+    return [counter](Pcg32*) { return std::to_string(++*counter); };
+  });
+
+  // ------------------------------------------------------------------ dates
+  auto add_sep_date = [&](std::string name, double weight, std::string sep,
+                          bool ymd_order) {
+    std::string sep_copy = sep;
+    AddDomain(&d, std::move(name), DomainCategory::kDate, weight,
+              [sep_copy, ymd_order](Pcg32*) -> Sampler {
+                return [sep_copy, ymd_order](Pcg32* r) {
+                  Ymd t = RandomDate(r);
+                  if (ymd_order) {
+                    return std::to_string(t.y) + sep_copy + PadNumber(t.m, 2) +
+                           sep_copy + PadNumber(t.d, 2);
+                  }
+                  return PadNumber(t.m, 2) + sep_copy + PadNumber(t.d, 2) + sep_copy +
+                         std::to_string(t.y);
+                };
+              });
+  };
+  add_sep_date("date_iso", 1.5, "-", true);        // 2011-01-02
+  add_sep_date("date_slash_ymd", 0.8, "/", true);  // 2011/01/02
+  add_sep_date("date_dot_ymd", 0.5, ".", true);    // 2011.01.02
+  add_sep_date("date_us", 1.0, "/", false);        // 01/02/2011
+  add_sep_date("date_dot_dmy", 0.5, ".", false);   // 01.02.2011 (rendered mdY)
+
+  // "July 1, 1983" / "Jul 1, 1983" — per-column abbrev choice.
+  AddDomain(&d, "date_long", DomainCategory::kDate, 1.0, [](Pcg32* rng) -> Sampler {
+    bool abbrev = rng->Chance(0.4);
+    return [abbrev](Pcg32* r) {
+      Ymd t = RandomDate(r);
+      const auto& months =
+          abbrev ? valuegen::MonthNamesAbbrev() : valuegen::MonthNamesFull();
+      return months[static_cast<size_t>(t.m - 1)] + " " + std::to_string(t.d) + ", " +
+             std::to_string(t.y);
+    };
+  });
+
+  // "01-Jul-1983".
+  AddDomain(&d, "date_dmy_abbrev", DomainCategory::kDate, 0.6, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      Ymd t = RandomDate(r);
+      return PadNumber(t.d, 2) + "-" +
+             valuegen::MonthNamesAbbrev()[static_cast<size_t>(t.m - 1)] + "-" +
+             std::to_string(t.y);
+    };
+  });
+
+  // Month names only.
+  AddDomain(&d, "month_name", DomainCategory::kDate, 0.6, [](Pcg32* rng) -> Sampler {
+    bool abbrev = rng->Chance(0.3);
+    return [abbrev](Pcg32* r) {
+      const auto& months =
+          abbrev ? valuegen::MonthNamesAbbrev() : valuegen::MonthNamesFull();
+      return r->Pick(months);
+    };
+  });
+
+  // Month-day ("July-01" / "July 1") — the v4 of paper Example 2.
+  AddDomain(&d, "month_day", DomainCategory::kDate, 0.5, [](Pcg32* rng) -> Sampler {
+    bool dash = rng->Chance(0.5);
+    bool abbrev = rng->Chance(0.3);
+    return [dash, abbrev](Pcg32* r) {
+      Ymd t = RandomDate(r);
+      const auto& months =
+          abbrev ? valuegen::MonthNamesAbbrev() : valuegen::MonthNamesFull();
+      const std::string& m = months[static_cast<size_t>(t.m - 1)];
+      return dash ? m + "-" + PadNumber(t.d, 2) : m + " " + std::to_string(t.d);
+    };
+  });
+
+  // Year-month ("2014-01").
+  AddDomain(&d, "year_month", DomainCategory::kDate, 0.5, [](Pcg32* rng) -> Sampler {
+    std::string sep = rng->Pick(std::vector<std::string>{"-", "/"});
+    return [sep](Pcg32* r) {
+      Ymd t = RandomDate(r);
+      return std::to_string(t.y) + sep + PadNumber(t.m, 2);
+    };
+  });
+
+  // ------------------------------------------------------------------ times
+  AddDomain(&d, "time_hm", DomainCategory::kTime, 0.8, [](Pcg32* rng) -> Sampler {
+    bool seconds = rng->Chance(0.4);
+    return [seconds](Pcg32* r) {
+      std::string s = PadNumber(r->Uniform(0, 23), 2) + ":" +
+                      PadNumber(r->Uniform(0, 59), 2);
+      if (seconds) s += ":" + PadNumber(r->Uniform(0, 59), 2);
+      return s;
+    };
+  });
+
+  // Song lengths "3:45" (Fig. 1e).
+  AddDomain(&d, "song_length", DomainCategory::kTime, 0.7, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      return std::to_string(r->Uniform(1, 12)) + ":" + PadNumber(r->Uniform(0, 59), 2);
+    };
+  });
+
+  // Durations "1h 23m".
+  AddDomain(&d, "duration_hm", DomainCategory::kTime, 0.4, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      return std::to_string(r->Uniform(0, 12)) + "h " + std::to_string(r->Uniform(0, 59)) +
+             "m";
+    };
+  });
+
+  // ------------------------------------------------------------------- text
+  AddDomain(&d, "person_name", DomainCategory::kText, 1.3, [](Pcg32* rng) -> Sampler {
+    bool last_first = rng->Chance(0.3);
+    return [last_first](Pcg32* r) {
+      const std::string& first = r->Pick(valuegen::FirstNames());
+      const std::string& last = r->Pick(valuegen::LastNames());
+      // Benign real-world irregularity: mononyms and middle initials
+      // appear inside otherwise two-word name columns. (Both are
+      // pattern-stable families; hyphenated double surnames would explode
+      // the pattern space beyond what a reduced-scale corpus can cover.)
+      // The column's name ordering is respected by every variant —
+      // mixing "Last, First" with "First M. Last" in one column would be a
+      // real format inconsistency, not benign diversity.
+      if (r->Chance(0.06)) return first;  // mononym
+      // Middle initials only in First-Last columns; the "Last, First M."
+      // family is rare in real data and too pattern-sparse for a
+      // reduced-scale corpus to learn as compatible.
+      if (!last_first && r->Chance(0.08)) {
+        char initial = static_cast<char>('A' + r->Below(26));
+        return first + " " + std::string(1, initial) + ". " + last;
+      }
+      return last_first ? last + ", " + first : first + " " + last;
+    };
+  });
+
+  AddDomain(&d, "city", DomainCategory::kText, 1.0, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) { return r->Pick(valuegen::CityNames()); };
+  });
+
+  AddDomain(&d, "capitalized_word", DomainCategory::kText, 0.9, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      std::string w = r->Pick(valuegen::CommonWords());
+      w[0] = static_cast<char>(w[0] - 'a' + 'A');
+      return w;
+    };
+  });
+
+  // Multi-word titles of varying length (1-3 words) — naturally diverse
+  // but compatible.
+  AddDomain(&d, "title_text", DomainCategory::kText, 1.1, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      int words = static_cast<int>(r->Uniform(1, 3));
+      std::string s;
+      for (int i = 0; i < words; ++i) {
+        if (i) s += " ";
+        std::string w = r->Pick(valuegen::CommonWords());
+        if (i == 0) w[0] = static_cast<char>(w[0] - 'a' + 'A');
+        s += w;
+      }
+      return s;
+    };
+  });
+
+  // Free-form notes/labels: letters, digits and light punctuation mixed,
+  // lengths from 2 to ~30 chars in one column (remarks columns, captions).
+  AddDomain(&d, "freeform_note", DomainCategory::kText, 0.4, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      switch (r->Below(5)) {
+        case 0:
+          return r->Pick(valuegen::CommonWords());
+        case 1: {
+          std::string w = r->Pick(valuegen::CommonWords());
+          w[0] = static_cast<char>(w[0] - 'a' + 'A');
+          return w + " " + std::to_string(r->Uniform(1, 999));
+        }
+        case 2:
+          return std::to_string(r->Uniform(1, 9999));
+        case 3: {
+          std::string w = r->Pick(valuegen::CommonWords());
+          return w + ", " + r->Pick(valuegen::CommonWords());
+        }
+        default: {
+          std::string w = r->Pick(valuegen::CityNames());
+          return w + " (" + std::to_string(r->Uniform(1950, 2025)) + ")";
+        }
+      }
+    };
+  });
+
+  AddDomain(&d, "lower_word", DomainCategory::kText, 0.5, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) { return r->Pick(valuegen::CommonWords()); };
+  });
+
+  AddDomain(&d, "abbreviation", DomainCategory::kText, 0.6, [](Pcg32* rng) -> Sampler {
+    int len = static_cast<int>(rng->Uniform(2, 4));
+    return [len](Pcg32* r) { return RandomUpperWord(r, len); };
+  });
+
+  // ------------------------------------------------------------------- code
+  // Per-column code template like "AB-1234".
+  AddDomain(&d, "code_template", DomainCategory::kCode, 1.0, [](Pcg32* rng) -> Sampler {
+    int letters = static_cast<int>(rng->Uniform(1, 3));
+    int digits = static_cast<int>(rng->Uniform(2, 5));
+    std::string sep = rng->Pick(std::vector<std::string>{"-", "", "_", "/"});
+    return [letters, digits, sep](Pcg32* r) {
+      std::string s = RandomUpperWord(r, letters) + sep;
+      for (int i = 0; i < digits; ++i) s.push_back(static_cast<char>('0' + r->Below(10)));
+      return s;
+    };
+  });
+
+  // Hex-ish ids with a fixed per-column template (digit and letter
+  // positions fixed, like structured serials): random interleavings would
+  // give nearly every value its own digit/letter pattern — a combinatorial
+  // space no reduced-scale corpus can cover.
+  AddDomain(&d, "hex_id", DomainCategory::kCode, 0.4, [](Pcg32* rng) -> Sampler {
+    int len = static_cast<int>(rng->Uniform(4, 10));
+    std::string kind;  // 'd' = hex digit 0-9, 'l' = hex letter a-f
+    for (int i = 0; i < len; ++i) kind.push_back(rng->Chance(0.6) ? 'd' : 'l');
+    return [kind](Pcg32* r) {
+      std::string s;
+      for (char k : kind) {
+        s.push_back(k == 'd' ? static_cast<char>('0' + r->Below(10))
+                             : static_cast<char>('a' + r->Below(6)));
+      }
+      return s;
+    };
+  });
+
+  // ISBN-13.
+  AddDomain(&d, "isbn", DomainCategory::kCode, 0.3, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      return StrFormat("978-%d-%03d-%05d-%d", static_cast<int>(r->Below(10)),
+                       static_cast<int>(r->Below(1000)),
+                       static_cast<int>(r->Below(100000)),
+                       static_cast<int>(r->Below(10)));
+    };
+  });
+
+  // --------------------------------------------------------------- contact
+  AddDomain(&d, "phone_us", DomainCategory::kContact, 1.0, [](Pcg32* rng) -> Sampler {
+    int format = static_cast<int>(rng->Below(valuegen::kNumPhoneFormats));
+    return [format](Pcg32* r) {
+      std::string digits;
+      digits += std::to_string(r->Uniform(2, 9));
+      for (int i = 0; i < 9; ++i) digits.push_back(static_cast<char>('0' + r->Below(10)));
+      return valuegen::RenderPhone(digits, format);
+    };
+  });
+
+  // Emails with one user-name style per column (directory exports are
+  // format-uniform; free-style addresses would explode the pattern space).
+  AddDomain(&d, "email", DomainCategory::kContact, 0.8, [](Pcg32* rng) -> Sampler {
+    std::string host = rng->Pick(std::vector<std::string>{
+        "example.com", "mail.org", "corp.net", "uni.edu"});
+    bool with_last = rng->Chance(0.5);
+    bool with_digits = rng->Chance(0.3);
+    return [host, with_last, with_digits](Pcg32* r) {
+      std::string user = ToLowerAscii(r->Pick(valuegen::FirstNames()));
+      if (with_last) user += "." + ToLowerAscii(r->Pick(valuegen::LastNames()));
+      if (with_digits) user += std::to_string(r->Below(100));
+      return user + "@" + host;
+    };
+  });
+
+  AddDomain(&d, "ip_address", DomainCategory::kContact, 0.5, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      return StrFormat("%d.%d.%d.%d", static_cast<int>(r->Below(256)),
+                       static_cast<int>(r->Below(256)), static_cast<int>(r->Below(256)),
+                       static_cast<int>(r->Below(256)));
+    };
+  });
+
+  AddDomain(&d, "url", DomainCategory::kContact, 0.6, [](Pcg32* rng) -> Sampler {
+    bool https = rng->Chance(0.7);
+    return [https](Pcg32* r) {
+      std::string s = https ? "https://" : "http://";
+      s += "www." + r->Pick(valuegen::CommonWords()) + ".com";
+      if (r->Chance(0.5)) s += "/" + r->Pick(valuegen::CommonWords());
+      return s;
+    };
+  });
+
+  AddDomain(&d, "zip_code", DomainCategory::kContact, 0.5, [](Pcg32* rng) -> Sampler {
+    bool plus4 = rng->Chance(0.2);
+    return [plus4](Pcg32* r) {
+      std::string s = PadNumber(r->Uniform(501, 99950), 5);
+      if (plus4) s += "-" + PadNumber(r->Below(10000), 4);
+      return s;
+    };
+  });
+
+  // ------------------------------------------------------------------ misc
+  // Match scores "3-2" / "3–2"; per-column separator (Fig. 1g).
+  AddDomain(&d, "score", DomainCategory::kMisc, 0.8, [](Pcg32* rng) -> Sampler {
+    std::string sep = rng->Pick(std::vector<std::string>{"-", ":"});
+    return [sep](Pcg32* r) {
+      std::string s =
+          std::to_string(r->Below(12)) + sep + std::to_string(r->Below(12));
+      if (r->Chance(0.08)) s += " (OT)";  // overtime marker, benign
+      return s;
+    };
+  });
+
+  // Measurements with one per-column unit (Fig. 1c).
+  AddDomain(&d, "measurement", DomainCategory::kMisc, 0.9, [](Pcg32* rng) -> Sampler {
+    std::string unit =
+        rng->Pick(std::vector<std::string>{"kg", "lb", "km", "mi", "cm", "m", "ft"});
+    bool space = rng->Chance(0.7);
+    int decimals = static_cast<int>(rng->Uniform(0, 1));
+    return [unit, space, decimals](Pcg32* r) {
+      // Occasional precision flips (integer in a decimal column and vice
+      // versa) are benign and common in real measurement columns.
+      bool dec = r->Chance(0.15) ? !decimals : static_cast<bool>(decimals);
+      std::string num = dec ? FormatFixed(r->NextDouble() * 200, 1)
+                            : std::to_string(r->Uniform(1, 200));
+      return num + (space ? " " : "") + unit;
+    };
+  });
+
+  // Booleans; one vocabulary per column.
+  AddDomain(&d, "boolean", DomainCategory::kMisc, 0.7, [](Pcg32* rng) -> Sampler {
+    auto vocab = rng->Pick(std::vector<std::pair<std::string, std::string>>{
+        {"Yes", "No"}, {"TRUE", "FALSE"}, {"Y", "N"}, {"yes", "no"}});
+    return [vocab](Pcg32* r) {
+      if (r->Chance(0.04)) return std::string("Unknown");  // benign third state
+      return r->Chance(0.5) ? vocab.first : vocab.second;
+    };
+  });
+
+  // Ordinals "1st", "2nd", ...
+  AddDomain(&d, "ordinal", DomainCategory::kMisc, 0.4, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      int v = static_cast<int>(r->Uniform(1, 99));
+      const char* suffix = "th";
+      if (v % 100 < 11 || v % 100 > 13) {
+        if (v % 10 == 1) suffix = "st";
+        if (v % 10 == 2) suffix = "nd";
+        if (v % 10 == 3) suffix = "rd";
+      }
+      return std::to_string(v) + suffix;
+    };
+  });
+
+  // Parenthesized years "(1984)" (Fig. 1f).
+  AddDomain(&d, "paren_year", DomainCategory::kMisc, 0.3, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) { return "(" + RandomYear(r) + ")"; };
+  });
+
+  // Coordinates "47.61, -122.33".
+  AddDomain(&d, "coordinate", DomainCategory::kMisc, 0.3, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      return StrFormat("%.2f, %.2f", r->NextDouble() * 180 - 90,
+                       r->NextDouble() * 360 - 180);
+    };
+  });
+
+  // All-placeholder columns ("N/A" everywhere): real tables do contain
+  // them, and their existence gives placeholder tokens nonzero marginal
+  // counts without teaching that they belong next to data values.
+  AddDomain(&d, "placeholder_column", DomainCategory::kMisc, 0.2,
+            [](Pcg32* rng) -> Sampler {
+              std::string token = rng->Pick(
+                  std::vector<std::string>{"-", "N/A", "n/a", "TBD", "?", "--"});
+              return [token](Pcg32* r) {
+                // Occasionally a second placeholder variant in the column.
+                if (r->Chance(0.1)) return std::string("-");
+                return token;
+              };
+            });
+
+  // Fractions "3/4".
+  AddDomain(&d, "fraction", DomainCategory::kMisc, 0.3, [](Pcg32*) -> Sampler {
+    return [](Pcg32* r) {
+      return std::to_string(r->Uniform(1, 9)) + "/" + std::to_string(r->Uniform(2, 16));
+    };
+  });
+
+  return d;
+}
+
+}  // namespace
+
+const DomainRegistry& DomainRegistry::Global() {
+  static const DomainRegistry* kRegistry = new DomainRegistry();
+  return *kRegistry;
+}
+
+DomainRegistry::DomainRegistry() : domains_(BuildDomains()) {
+  views_.reserve(domains_.size());
+  for (const auto& d : domains_) views_.push_back(d.get());
+}
+
+const ValueDomain* DomainRegistry::ByName(std::string_view name) const {
+  for (const auto* d : views_) {
+    if (d->name() == name) return d;
+  }
+  return nullptr;
+}
+
+std::vector<const ValueDomain*> DomainRegistry::ByCategory(DomainCategory c) const {
+  std::vector<const ValueDomain*> out;
+  for (const auto* d : views_) {
+    if (d->category() == c) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file value_domains.h
+/// The synthetic value-domain catalogue that stands in for the paper's web
+/// table corpus (see DESIGN.md, "Substitutions"). Each domain generates
+/// *internally compatible* columns: it first fixes per-column format choices
+/// (date separator, currency symbol, phone layout, decimal precision, ...)
+/// and then samples values under those choices. Cross-format mixtures that
+/// are genuinely compatible in the wild — integers with and without
+/// thousand separators, integers with occasional floats, varying-width
+/// numbers — are produced *within* single domains, because that intra-column
+/// co-occurrence is exactly the signal Auto-Detect learns from.
+
+namespace autodetect {
+
+enum class DomainCategory : uint8_t {
+  kNumeric = 0,
+  kDate,
+  kTime,
+  kText,
+  kCode,
+  kContact,
+  kMisc,
+};
+
+constexpr int kNumDomainCategories = 7;
+
+std::string_view DomainCategoryName(DomainCategory c);
+
+/// \brief A family of columns sharing one semantic type.
+class ValueDomain {
+ public:
+  /// \param base_weight relative prevalence of the domain within its
+  /// category (e.g. ISO dates are more common than dotted dates).
+  ValueDomain(std::string name, DomainCategory category, double base_weight)
+      : name_(std::move(name)), category_(category), base_weight_(base_weight) {}
+  virtual ~ValueDomain() = default;
+
+  const std::string& name() const { return name_; }
+  DomainCategory category() const { return category_; }
+  double base_weight() const { return base_weight_; }
+
+  /// \brief Binds per-column format choices and returns a sampler producing
+  /// one value at a time, all mutually compatible.
+  virtual std::function<std::string(Pcg32*)> MakeColumnSampler(Pcg32* rng) const = 0;
+
+  /// \brief Generates an internally compatible column of `n` values.
+  std::vector<std::string> GenerateColumn(size_t n, Pcg32* rng) const;
+
+ private:
+  std::string name_;
+  DomainCategory category_;
+  double base_weight_;
+};
+
+/// \brief Global, immutable registry of all built-in domains.
+class DomainRegistry {
+ public:
+  static const DomainRegistry& Global();
+
+  const std::vector<const ValueDomain*>& all() const { return views_; }
+
+  /// nullptr when unknown.
+  const ValueDomain* ByName(std::string_view name) const;
+
+  /// Domains belonging to one category.
+  std::vector<const ValueDomain*> ByCategory(DomainCategory c) const;
+
+ private:
+  DomainRegistry();
+  std::vector<std::unique_ptr<ValueDomain>> domains_;
+  std::vector<const ValueDomain*> views_;
+};
+
+/// Shared formatting helpers (also used by the error injector to re-render
+/// values in conflicting formats).
+namespace valuegen {
+
+/// Zero-pads `v` to `width` digits.
+std::string PadNumber(int64_t v, int width);
+
+/// Formats with US thousand separators iff `separators`.
+std::string FormatInt(int64_t v, bool separators);
+
+/// Fixed-point decimal with `decimals` fractional digits.
+std::string FormatFixed(double v, int decimals);
+
+const std::vector<std::string>& MonthNamesFull();
+const std::vector<std::string>& MonthNamesAbbrev();
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& CityNames();
+const std::vector<std::string>& CommonWords();
+
+int DaysInMonth(int month);
+
+/// Renders phone digits (10 digits, "4255550123") in one of the known US
+/// phone layouts; `format` in [0, kNumPhoneFormats).
+constexpr int kNumPhoneFormats = 4;
+std::string RenderPhone(const std::string& digits10, int format);
+
+}  // namespace valuegen
+}  // namespace autodetect

@@ -1,0 +1,265 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "stats/npmi.h"
+#include "stats/stats_builder.h"
+#include "text/pattern.h"
+
+namespace autodetect {
+
+std::string_view AggregationName(Aggregation a) {
+  switch (a) {
+    case Aggregation::kMaxConfidence:
+      return "Auto-Detect";
+    case Aggregation::kAvgNpmi:
+      return "AvgNPMI";
+    case Aggregation::kMinNpmi:
+      return "MinNPMI";
+    case Aggregation::kMajorityVote:
+      return "MV";
+    case Aggregation::kWeightedMajorityVote:
+      return "WMV";
+    case Aggregation::kBestSingle:
+      return "BestOne";
+  }
+  return "?";
+}
+
+std::string PairExplanation::ToString() const {
+  std::string out = StrFormat("verdict: %s (confidence %.3f, min NPMI %+.3f)\n",
+                              verdict.incompatible ? "INCOMPATIBLE" : "compatible",
+                              verdict.confidence, verdict.min_npmi);
+  for (const auto& e : languages) {
+    out += StrFormat(
+        "  %-26s %-22s | %-22s c=%llu/%llu co=%llu npmi %+5.2f theta %+5.2f%s\n",
+        e.language_name.c_str(), e.pattern_u.c_str(), e.pattern_v.c_str(),
+        static_cast<unsigned long long>(e.count_u),
+        static_cast<unsigned long long>(e.count_v),
+        static_cast<unsigned long long>(e.co_count), e.npmi, e.threshold,
+        e.fired ? "  <-- fires" : "");
+  }
+  return out;
+}
+
+Detector::Detector(const Model* model) : Detector(model, DetectorOptions()) {}
+
+Detector::Detector(const Model* model, DetectorOptions options)
+    : model_(model), options_(options) {
+  AD_CHECK(model_ != nullptr);
+  AD_CHECK(!model_->languages.empty()) << "model has no languages";
+}
+
+std::vector<uint64_t> Detector::KeysOf(std::string_view value) const {
+  std::vector<uint64_t> keys;
+  keys.reserve(model_->languages.size());
+  for (const auto& l : model_->languages) {
+    keys.push_back(GeneralizeToKey(value, l.language()));
+  }
+  return keys;
+}
+
+PairVerdict Detector::ScoreKeys(const std::vector<uint64_t>& k1,
+                                const std::vector<uint64_t>& k2) const {
+  const auto& langs = model_->languages;
+  const size_t n = langs.size();
+  PairVerdict verdict;
+
+  // Per-language scores.
+  double sum_s = 0, min_s = 1.0;
+  size_t votes = 0;
+  double mass_in = 0, mass_out = 0;
+  double sum_theta = 0;
+  double best_conf = 0;
+  int best_lang = -1;
+  bool any_fired = false;
+
+  for (size_t i = 0; i < n; ++i) {
+    const ModelLanguage& l = langs[i];
+    NpmiScorer scorer(&l.stats, model_->smoothing_factor);
+    double s = scorer.Score(k1[i], k2[i]);
+    sum_s += s;
+    min_s = std::min(min_s, s);
+    sum_theta += l.threshold;
+    bool fired = s <= l.threshold;
+    if (fired) {
+      ++votes;
+      mass_in += l.threshold - s;
+      any_fired = true;
+    } else {
+      mass_out += s - l.threshold;
+    }
+    double conf = l.curve.PrecisionAt(s);
+    if (fired && (best_lang == -1 || conf > best_conf)) {
+      best_conf = conf;
+      best_lang = l.lang_id;
+    }
+    if (options_.aggregation == Aggregation::kBestSingle) break;  // only first
+  }
+
+  verdict.min_npmi = min_s;
+  verdict.best_language = best_lang;
+
+  const double avg_theta = sum_theta / static_cast<double>(n);
+  auto npmi_to_conf = [](double s) { return (1.0 - s) / 2.0; };
+
+  switch (options_.aggregation) {
+    case Aggregation::kMaxConfidence: {
+      verdict.incompatible = any_fired;
+      // Eq. 11: Q = max_k P_k(s_k) — but only languages that actually fired
+      // carry evidence of incompatibility.
+      verdict.confidence = any_fired ? best_conf : 0.0;
+      break;
+    }
+    case Aggregation::kAvgNpmi: {
+      double avg = sum_s / static_cast<double>(n);
+      verdict.incompatible = avg <= avg_theta;
+      verdict.confidence = npmi_to_conf(avg);
+      break;
+    }
+    case Aggregation::kMinNpmi: {
+      verdict.incompatible = min_s <= avg_theta;
+      verdict.confidence = npmi_to_conf(min_s);
+      break;
+    }
+    case Aggregation::kMajorityVote: {
+      verdict.incompatible = 2 * votes > n;
+      verdict.confidence = static_cast<double>(votes) / static_cast<double>(n);
+      break;
+    }
+    case Aggregation::kWeightedMajorityVote: {
+      verdict.incompatible = mass_in > mass_out;
+      verdict.confidence = mass_in / (mass_in + mass_out + 1e-9);
+      break;
+    }
+    case Aggregation::kBestSingle: {
+      const ModelLanguage& l = langs[0];
+      NpmiScorer scorer(&l.stats, model_->smoothing_factor);
+      double s = scorer.Score(k1[0], k2[0]);
+      verdict.incompatible = s <= l.threshold;
+      verdict.confidence = verdict.incompatible ? l.curve.PrecisionAt(s) : 0.0;
+      verdict.best_language = verdict.incompatible ? l.lang_id : -1;
+      verdict.min_npmi = s;
+      break;
+    }
+  }
+  return verdict;
+}
+
+PairVerdict Detector::ScorePair(std::string_view v1, std::string_view v2) const {
+  return ScoreKeys(KeysOf(v1), KeysOf(v2));
+}
+
+PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) const {
+  PairExplanation out;
+  std::vector<uint64_t> k1 = KeysOf(v1), k2 = KeysOf(v2);
+  out.verdict = ScoreKeys(k1, k2);
+  out.languages.reserve(model_->languages.size());
+  for (size_t i = 0; i < model_->languages.size(); ++i) {
+    const ModelLanguage& l = model_->languages[i];
+    NpmiScorer scorer(&l.stats, model_->smoothing_factor);
+    LanguageExplanation e;
+    e.lang_id = l.lang_id;
+    e.language_name = l.language().Name();
+    e.pattern_u = GeneralizeToString(v1, l.language());
+    e.pattern_v = GeneralizeToString(v2, l.language());
+    e.count_u = l.stats.Count(k1[i]);
+    e.count_v = l.stats.Count(k2[i]);
+    e.co_count = l.stats.CoCount(k1[i], k2[i]);
+    e.npmi = scorer.Score(k1[i], k2[i]);
+    e.threshold = l.threshold;
+    e.fired = e.npmi <= l.threshold;
+    e.confidence = l.curve.PrecisionAt(e.npmi);
+    out.languages.push_back(std::move(e));
+  }
+  return out;
+}
+
+ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) const {
+  ColumnReport report;
+  std::vector<std::string> distinct =
+      DistinctValuesForStats(values, options_.max_distinct_values);
+  report.distinct_values = distinct.size();
+  const size_t d = distinct.size();
+  if (d < 2) return report;
+
+  // Pre-generalize all distinct values under every model language.
+  std::vector<std::vector<uint64_t>> keys(d);
+  for (size_t i = 0; i < d; ++i) keys[i] = KeysOf(distinct[i]);
+
+  struct CellAgg {
+    uint32_t degree = 0;
+    double best_conf = 0;
+  };
+  std::vector<CellAgg> agg(d);
+
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) {
+      PairVerdict v = ScoreKeys(keys[i], keys[j]);
+      if (!v.incompatible || v.confidence < options_.min_confidence) continue;
+      report.pairs.push_back(PairFinding{distinct[i], distinct[j], v.confidence});
+      ++agg[i].degree;
+      ++agg[j].degree;
+      agg[i].best_conf = std::max(agg[i].best_conf, v.confidence);
+      agg[j].best_conf = std::max(agg[j].best_conf, v.confidence);
+    }
+  }
+
+  std::sort(report.pairs.begin(), report.pairs.end(),
+            [](const PairFinding& a, const PairFinding& b) {
+              return a.confidence > b.confidence;
+            });
+  if (report.pairs.size() > options_.max_pair_findings) {
+    report.pairs.resize(options_.max_pair_findings);
+  }
+
+  // Cell attribution: a cell is the likely error when it clashes with at
+  // least half of the other distinct values. With exactly two distinct
+  // values there is no majority — fall back to global pattern frequency
+  // (the rarer pattern corpus-wide is the suspect).
+  auto corpus_frequency = [&](size_t idx) {
+    uint64_t total = 0;
+    for (size_t li = 0; li < model_->languages.size(); ++li) {
+      total += model_->languages[li].stats.Count(keys[idx][li]);
+    }
+    return total;
+  };
+
+  // Row of first occurrence for each distinct value.
+  std::unordered_map<std::string_view, uint32_t> first_row;
+  for (size_t r = 0; r < values.size(); ++r) {
+    first_row.emplace(values[r], static_cast<uint32_t>(r));
+  }
+
+  for (size_t i = 0; i < d; ++i) {
+    if (agg[i].degree == 0) continue;
+    bool is_suspect;
+    if (d == 2) {
+      size_t other = 1 - i;
+      uint64_t mine = corpus_frequency(i);
+      uint64_t theirs = corpus_frequency(other);
+      is_suspect = mine < theirs || (mine == theirs && i == 1);
+    } else {
+      is_suspect = 2 * agg[i].degree >= (d - 1);
+    }
+    if (!is_suspect) continue;
+    CellFinding f;
+    f.row = first_row[distinct[i]];
+    f.value = distinct[i];
+    f.confidence = agg[i].best_conf;
+    f.incompatible_with = agg[i].degree;
+    report.cells.push_back(std::move(f));
+  }
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const CellFinding& a, const CellFinding& b) {
+              if (a.confidence != b.confidence) return a.confidence > b.confidence;
+              return a.incompatible_with > b.incompatible_with;
+            });
+  return report;
+}
+
+}  // namespace autodetect

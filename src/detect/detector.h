@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/model.h"
+
+/// \file detector.h
+/// The online half of Auto-Detect: score value pairs and scan columns for
+/// incompatible cells using a trained Model. The default aggregation is the
+/// paper's max-confidence union over selected languages (Sec. 3.2 /
+/// Appendix B); the alternatives of the Fig. 8(b) ablation are selectable.
+
+namespace autodetect {
+
+/// How per-language NPMI scores s_k(u,v) are fused into one prediction.
+enum class Aggregation : uint8_t {
+  /// Paper's method: flag iff ∃k with s_k <= θ_k; confidence is
+  /// max_k P_k(s_k) (Eq. 11).
+  kMaxConfidence = 0,
+  kAvgNpmi,              ///< average s_k, thresholded at mean θ
+  kMinNpmi,              ///< min s_k, thresholded at mean θ
+  kMajorityVote,         ///< count of languages voting incompatible
+  kWeightedMajorityVote, ///< votes weighted by margin |s_k − θ_k|
+  kBestSingle,           ///< only the single highest-coverage language
+};
+
+std::string_view AggregationName(Aggregation a);
+
+struct DetectorOptions {
+  Aggregation aggregation = Aggregation::kMaxConfidence;
+  /// Distinct values examined per column (mirrors the stats-build cap).
+  size_t max_distinct_values = 48;
+  /// Pair findings with confidence below this are not reported.
+  double min_confidence = 0.0;
+  /// Cap on reported pair findings per column.
+  size_t max_pair_findings = 16;
+};
+
+/// Verdict on a single value pair.
+struct PairVerdict {
+  bool incompatible = false;
+  /// Estimated precision of the "incompatible" call, in [0, 1]; comparable
+  /// across columns, used for global ranking (paper Sec. 4.2).
+  double confidence = 0.0;
+  /// The most damning NPMI among languages.
+  double min_npmi = 1.0;
+  /// lang_id of the language with the most confident incompatibility call;
+  /// -1 when no language fired.
+  int best_language = -1;
+};
+
+/// A cell-level finding within one column.
+struct CellFinding {
+  uint32_t row = 0;            ///< first row holding the value
+  std::string value;
+  double confidence = 0.0;     ///< max confidence over its flagged pairs
+  uint32_t incompatible_with = 0;  ///< distinct partners it clashes with
+};
+
+/// A pair-level finding (the unit the paper's Table 4 reports).
+struct PairFinding {
+  std::string u;
+  std::string v;
+  double confidence = 0.0;
+};
+
+struct ColumnReport {
+  std::vector<CellFinding> cells;  ///< sorted by confidence descending
+  std::vector<PairFinding> pairs;  ///< sorted by confidence descending
+  /// Distinct values actually examined.
+  size_t distinct_values = 0;
+
+  bool HasFindings() const { return !cells.empty(); }
+  /// Convenience: the top cell finding, if any.
+  std::optional<CellFinding> Top() const {
+    if (cells.empty()) return std::nullopt;
+    return cells.front();
+  }
+};
+
+/// Per-language detail of one pair judgment — the full evidence trail
+/// behind a PairVerdict, for UIs and debugging ("why was this flagged?").
+struct LanguageExplanation {
+  int lang_id = -1;
+  std::string language_name;
+  std::string pattern_u;  ///< canonical rendering of u's pattern
+  std::string pattern_v;
+  uint64_t count_u = 0;       ///< c(L(u)) in the training corpus
+  uint64_t count_v = 0;
+  uint64_t co_count = 0;      ///< c(L(u), L(v))
+  double npmi = 0.0;          ///< s_k(u, v)
+  double threshold = 0.0;     ///< θ_k
+  bool fired = false;         ///< s_k <= θ_k
+  double confidence = 0.0;    ///< P_k(s_k)
+};
+
+struct PairExplanation {
+  PairVerdict verdict;
+  std::vector<LanguageExplanation> languages;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+class Detector {
+ public:
+  /// \param model must outlive the detector.
+  explicit Detector(const Model* model);
+  Detector(const Model* model, DetectorOptions options);
+
+  /// \brief Scores one value pair under the configured aggregation.
+  PairVerdict ScorePair(std::string_view v1, std::string_view v2) const;
+
+  /// \brief ScorePair plus the per-language evidence behind the verdict.
+  PairExplanation ExplainPair(std::string_view v1, std::string_view v2) const;
+
+  /// \brief Scans a column and reports incompatible cells/pairs.
+  ColumnReport AnalyzeColumn(const std::vector<std::string>& values) const;
+
+  const Model& model() const { return *model_; }
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  /// Per-language keys of one value.
+  std::vector<uint64_t> KeysOf(std::string_view value) const;
+  PairVerdict ScoreKeys(const std::vector<uint64_t>& k1,
+                        const std::vector<uint64_t>& k2) const;
+
+  const Model* model_;
+  DetectorOptions options_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,92 @@
+#include "detect/model.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+namespace {
+constexpr char kMagic[] = "ADMODEL1";
+}
+
+size_t Model::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& l : languages) bytes += l.stats.MemoryBytes();
+  return bytes;
+}
+
+std::string Model::Summary() const {
+  std::string out = StrFormat(
+      "Auto-Detect model: %zu languages, %s, P>=%.2f, trained on %llu columns (%s)\n",
+      languages.size(), HumanBytes(MemoryBytes()).c_str(), precision_target,
+      static_cast<unsigned long long>(trained_columns), corpus_name.c_str());
+  for (const auto& l : languages) {
+    out += StrFormat("  [%3d] %-28s theta=%+.3f coverage=%llu size=%s%s\n", l.lang_id,
+                     l.language().Name().c_str(), l.threshold,
+                     static_cast<unsigned long long>(l.train_coverage),
+                     HumanBytes(l.stats.MemoryBytes()).c_str(),
+                     l.stats.uses_sketch() ? " (sketched)" : "");
+  }
+  return out;
+}
+
+void Model::Serialize(BinaryWriter* writer) const {
+  writer->WriteString(kMagic);
+  writer->WriteDouble(smoothing_factor);
+  writer->WriteDouble(precision_target);
+  writer->WriteString(corpus_name);
+  writer->WriteU64(trained_columns);
+  writer->WriteU64(languages.size());
+  for (const auto& l : languages) {
+    writer->WriteU32(static_cast<uint32_t>(l.lang_id));
+    writer->WriteDouble(l.threshold);
+    writer->WriteU64(l.train_coverage);
+    l.curve.Serialize(writer);
+    l.stats.Serialize(writer);
+  }
+}
+
+Result<Model> Model::Deserialize(BinaryReader* reader) {
+  AD_ASSIGN_OR_RETURN(std::string magic, reader->ReadString(16));
+  if (magic != kMagic) return Status::Corruption("not an Auto-Detect model file");
+  Model model;
+  AD_ASSIGN_OR_RETURN(model.smoothing_factor, reader->ReadDouble());
+  AD_ASSIGN_OR_RETURN(model.precision_target, reader->ReadDouble());
+  AD_ASSIGN_OR_RETURN(model.corpus_name, reader->ReadString());
+  AD_ASSIGN_OR_RETURN(model.trained_columns, reader->ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  if (n > 10000) return Status::Corruption("implausible language count");
+  for (uint64_t i = 0; i < n; ++i) {
+    ModelLanguage l;
+    AD_ASSIGN_OR_RETURN(uint32_t id, reader->ReadU32());
+    if (id >= static_cast<uint32_t>(LanguageSpace::kNumLanguages)) {
+      return Status::Corruption("language id out of range");
+    }
+    l.lang_id = static_cast<int>(id);
+    AD_ASSIGN_OR_RETURN(l.threshold, reader->ReadDouble());
+    AD_ASSIGN_OR_RETURN(l.train_coverage, reader->ReadU64());
+    AD_ASSIGN_OR_RETURN(l.curve, PrecisionCurve::Deserialize(reader));
+    AD_ASSIGN_OR_RETURN(l.stats, LanguageStats::Deserialize(reader));
+    model.languages.push_back(std::move(l));
+  }
+  return model;
+}
+
+Status Model::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  BinaryWriter writer(&out);
+  Serialize(&writer);
+  if (!writer.ok()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<Model> Model::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  BinaryReader reader(&in);
+  return Deserialize(&reader);
+}
+
+}  // namespace autodetect

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/language_stats.h"
+#include "text/language.h"
+#include "train/calibration.h"
+
+/// \file model.h
+/// The trained Auto-Detect artifact: the selected generalization languages
+/// L' with their statistics, calibrated thresholds θ_k and empirical
+/// precision curves P_k(·). A model is self-contained — save it once after
+/// offline training, load it client-side for detection (the paper's
+/// client-only deployment with a memory budget).
+
+namespace autodetect {
+
+/// One selected language and everything needed to score with it.
+struct ModelLanguage {
+  int lang_id = -1;
+  double threshold = -2.0;  ///< θ_k
+  /// Training negatives covered at θ_k — used to order languages (the
+  /// highest-coverage language is the "BestOne" of the ablation).
+  uint64_t train_coverage = 0;
+  PrecisionCurve curve;
+  LanguageStats stats;
+
+  const GeneralizationLanguage& language() const {
+    return LanguageSpace::All()[static_cast<size_t>(lang_id)];
+  }
+};
+
+class Model {
+ public:
+  /// Selected languages, ordered by descending training coverage.
+  std::vector<ModelLanguage> languages;
+  double smoothing_factor = 0.1;
+  double precision_target = 0.95;
+  std::string corpus_name;
+  uint64_t trained_columns = 0;
+
+  /// Estimated resident size — the quantity bounded by the training budget.
+  size_t MemoryBytes() const;
+
+  /// One-line-per-language human description.
+  std::string Summary() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Model> Deserialize(BinaryReader* reader);
+
+  Status Save(const std::string& path) const;
+  static Result<Model> Load(const std::string& path);
+};
+
+}  // namespace autodetect

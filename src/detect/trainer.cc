@@ -1,0 +1,291 @@
+#include "detect/trainer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace autodetect {
+
+namespace {
+
+/// Projected resident size of a language's stats if its co-occurrence
+/// dictionary were sketched at `ratio` (1.0 = exact). Mirrors
+/// LanguageStats::MemoryBytes()/CompressToSketch so the selection knapsack
+/// prices candidates at their post-compression cost.
+size_t ProjectedBytes(const LanguageStats& stats, double ratio) {
+  size_t exact = stats.MemoryBytes();
+  if (ratio >= 1.0) return exact;
+  constexpr size_t kBytesPerDictEntry = 24;
+  size_t co_bytes = stats.NumCoPairs() * kBytesPerDictEntry;
+  size_t count_bytes = exact - co_bytes;
+  size_t sketch_bytes =
+      std::max<size_t>(64, static_cast<size_t>(static_cast<double>(co_bytes) * ratio));
+  return count_bytes + sketch_bytes;
+}
+
+}  // namespace
+
+Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
+                                               TrainOptions options) {
+  options.calibration.precision_target = options.precision_target;
+  options.calibration.smoothing_factor = options.smoothing_factor;
+  // options.supervision.smoothing_factor is intentionally NOT tied to the
+  // detection smoothing factor — distant supervision prunes with unsmoothed
+  // crude-G NPMI (see DistantSupervisionOptions::smoothing_factor).
+
+  TrainingPipeline pipeline;
+
+  // Stage 1: statistics for all candidate languages.
+  source->Reset();
+  pipeline.stats_ = BuildCorpusStats(source, options.stats);
+
+  std::vector<int> candidate_ids = pipeline.stats_.LanguageIds();
+  AD_CHECK(!candidate_ids.empty());
+  pipeline.corpus_columns_ =
+      pipeline.stats_.ForLanguage(candidate_ids[0]).num_columns();
+  if (pipeline.corpus_columns_ == 0) {
+    return Status::Invalid("training corpus is empty");
+  }
+
+  // Stage 2: distant supervision, using crude-G statistics. If crude G was
+  // not among the candidates, build it on a dedicated pass.
+  int crude_id = LanguageSpace::IdOf(LanguageSpace::CrudeG());
+  CorpusStats crude_holder;
+  const LanguageStats* crude_stats = nullptr;
+  if (pipeline.stats_.Has(crude_id)) {
+    crude_stats = &pipeline.stats_.ForLanguage(crude_id);
+  } else {
+    StatsBuilderOptions crude_opts = options.stats;
+    crude_opts.language_ids = {crude_id};
+    source->Reset();
+    crude_holder = BuildCorpusStats(source, crude_opts);
+    crude_stats = &crude_holder.ForLanguage(crude_id);
+  }
+  source->Reset();
+  AD_ASSIGN_OR_RETURN(
+      pipeline.training_set_,
+      GenerateTrainingSet(source, *crude_stats, options.supervision));
+
+  // Stage 3: calibrate every candidate (parallel).
+  const auto& all_langs = LanguageSpace::All();
+  pipeline.lang_ids_ = candidate_ids;
+  pipeline.calibrations_.resize(candidate_ids.size());
+  ThreadPool::ParallelFor(candidate_ids.size(), options.num_threads, [&](size_t i) {
+    int id = candidate_ids[i];
+    pipeline.calibrations_[i] =
+        CalibrateLanguage(all_langs[static_cast<size_t>(id)],
+                          pipeline.stats_.ForLanguage(id), pipeline.training_set_,
+                          options.calibration);
+  });
+
+  pipeline.options_ = std::move(options);
+  return pipeline;
+}
+
+Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
+                                           double sketch_ratio) const {
+  if (sketch_ratio <= 0.0 || sketch_ratio > 1.0) {
+    return Status::Invalid("sketch_ratio must be in (0, 1]");
+  }
+
+  // Assemble selection candidates from usable calibrations.
+  std::vector<LanguageCandidate> candidates;
+  std::vector<size_t> candidate_to_pipeline;
+  for (size_t i = 0; i < lang_ids_.size(); ++i) {
+    const CalibrationResult& cal = calibrations_[i];
+    if (!cal.has_threshold || cal.covered_count == 0) continue;
+    LanguageCandidate c;
+    c.lang_id = lang_ids_[i];
+    c.size_bytes = ProjectedBytes(stats_.ForLanguage(lang_ids_[i]), sketch_ratio);
+    c.covered = cal.covered_negatives;
+    candidates.push_back(std::move(c));
+    candidate_to_pipeline.push_back(i);
+  }
+  if (candidates.empty()) {
+    return Status::Invalid(
+        "no language meets the precision target on the training set");
+  }
+
+  SelectionResult selection = SelectLanguagesGreedy(candidates, memory_budget_bytes);
+  if (selection.selected.empty()) {
+    return Status::CapacityExceeded(
+        "memory budget too small for any calibrated language");
+  }
+
+  Model model;
+  model.smoothing_factor = options_.smoothing_factor;
+  model.precision_target = options_.precision_target;
+  model.corpus_name = options_.corpus_name;
+  model.trained_columns = corpus_columns_;
+
+  for (size_t pick : selection.selected) {
+    size_t pi = candidate_to_pipeline[pick];
+    const CalibrationResult& cal = calibrations_[pi];
+    ModelLanguage ml;
+    ml.lang_id = lang_ids_[pi];
+    ml.threshold = cal.threshold;
+    ml.train_coverage = cal.covered_count;
+    ml.curve = cal.curve;
+    ml.stats = stats_.ForLanguage(ml.lang_id);  // copy, then maybe compress
+    if (sketch_ratio < 1.0) {
+      AD_RETURN_NOT_OK(ml.stats.CompressToSketch(
+          sketch_ratio, /*seed=*/0xadde7ec7 + static_cast<uint64_t>(ml.lang_id)));
+    }
+    model.languages.push_back(std::move(ml));
+  }
+
+  // Highest training coverage first: languages[0] is the BestOne baseline.
+  std::sort(model.languages.begin(), model.languages.end(),
+            [](const ModelLanguage& a, const ModelLanguage& b) {
+              return a.train_coverage > b.train_coverage;
+            });
+
+  AD_LOG(Info) << "built model:\n" << model.Summary();
+  return model;
+}
+
+Result<Model> TrainingPipeline::BuildModel() const {
+  return BuildModel(options_.memory_budget_bytes, options_.sketch_ratio);
+}
+
+void TrainingPipeline::RecalibrateInPlace(double smoothing_factor) {
+  options_.smoothing_factor = smoothing_factor;
+  options_.calibration.smoothing_factor = smoothing_factor;
+  const auto& all_langs = LanguageSpace::All();
+  ThreadPool::ParallelFor(lang_ids_.size(), options_.num_threads, [&](size_t i) {
+    int id = lang_ids_[i];
+    calibrations_[i] =
+        CalibrateLanguage(all_langs[static_cast<size_t>(id)],
+                          stats_.ForLanguage(id), training_set_,
+                          options_.calibration);
+  });
+}
+
+namespace {
+constexpr char kPipelineMagic[] = "ADPIPE1";
+
+void SerializeBitset(const DynamicBitset& b, BinaryWriter* w) {
+  w->WriteU64(b.size());
+  w->WriteU64(b.words().size());
+  for (uint64_t word : b.words()) w->WriteU64(word);
+}
+
+Result<DynamicBitset> DeserializeBitset(BinaryReader* r) {
+  AD_ASSIGN_OR_RETURN(uint64_t bits, r->ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t num_words, r->ReadU64());
+  if (num_words != (bits + 63) / 64 || bits > (1ull << 34)) {
+    return Status::Corruption("bitset shape mismatch");
+  }
+  std::vector<uint64_t> words(static_cast<size_t>(num_words));
+  for (auto& word : words) {
+    AD_ASSIGN_OR_RETURN(word, r->ReadU64());
+  }
+  return DynamicBitset::FromWords(static_cast<size_t>(bits), std::move(words));
+}
+}  // namespace
+
+Status TrainingPipeline::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  BinaryWriter w(&out);
+  w.WriteString(kPipelineMagic);
+  w.WriteDouble(options_.precision_target);
+  w.WriteDouble(options_.smoothing_factor);
+  w.WriteDouble(options_.calibration.max_threshold);
+  w.WriteString(options_.corpus_name);
+  w.WriteU64(corpus_columns_);
+  stats_.Serialize(&w);
+  w.WriteU64(training_set_.positives.size());
+  for (const auto& p : training_set_.positives) {
+    w.WriteString(p.u);
+    w.WriteString(p.v);
+  }
+  w.WriteU64(training_set_.negatives.size());
+  for (const auto& p : training_set_.negatives) {
+    w.WriteString(p.u);
+    w.WriteString(p.v);
+  }
+  w.WriteU64(lang_ids_.size());
+  for (size_t i = 0; i < lang_ids_.size(); ++i) {
+    w.WriteU32(static_cast<uint32_t>(lang_ids_[i]));
+    const CalibrationResult& cal = calibrations_[i];
+    w.WriteU8(cal.has_threshold ? 1 : 0);
+    w.WriteDouble(cal.threshold);
+    w.WriteDouble(cal.precision_at_threshold);
+    w.WriteU64(cal.covered_count);
+    SerializeBitset(cal.covered_negatives, &w);
+    cal.curve.Serialize(&w);
+  }
+  if (!w.ok()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<TrainingPipeline> TrainingPipeline::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  BinaryReader r(&in);
+  AD_ASSIGN_OR_RETURN(std::string magic, r.ReadString(16));
+  if (magic != kPipelineMagic) {
+    return Status::Corruption("not an Auto-Detect pipeline checkpoint");
+  }
+  TrainingPipeline p;
+  AD_ASSIGN_OR_RETURN(p.options_.precision_target, r.ReadDouble());
+  AD_ASSIGN_OR_RETURN(p.options_.smoothing_factor, r.ReadDouble());
+  AD_ASSIGN_OR_RETURN(p.options_.calibration.max_threshold, r.ReadDouble());
+  p.options_.calibration.precision_target = p.options_.precision_target;
+  p.options_.calibration.smoothing_factor = p.options_.smoothing_factor;
+  AD_ASSIGN_OR_RETURN(p.options_.corpus_name, r.ReadString());
+  AD_ASSIGN_OR_RETURN(p.corpus_columns_, r.ReadU64());
+  AD_ASSIGN_OR_RETURN(p.stats_, CorpusStats::Deserialize(&r));
+  AD_ASSIGN_OR_RETURN(uint64_t n_pos, r.ReadU64());
+  if (n_pos > (1ull << 30)) return Status::Corruption("implausible positive count");
+  p.training_set_.positives.reserve(static_cast<size_t>(n_pos));
+  for (uint64_t i = 0; i < n_pos; ++i) {
+    LabeledPair pair;
+    pair.compatible = true;
+    AD_ASSIGN_OR_RETURN(pair.u, r.ReadString());
+    AD_ASSIGN_OR_RETURN(pair.v, r.ReadString());
+    p.training_set_.positives.push_back(std::move(pair));
+  }
+  AD_ASSIGN_OR_RETURN(uint64_t n_neg, r.ReadU64());
+  if (n_neg > (1ull << 30)) return Status::Corruption("implausible negative count");
+  p.training_set_.negatives.reserve(static_cast<size_t>(n_neg));
+  for (uint64_t i = 0; i < n_neg; ++i) {
+    LabeledPair pair;
+    pair.compatible = false;
+    AD_ASSIGN_OR_RETURN(pair.u, r.ReadString());
+    AD_ASSIGN_OR_RETURN(pair.v, r.ReadString());
+    p.training_set_.negatives.push_back(std::move(pair));
+  }
+  AD_ASSIGN_OR_RETURN(uint64_t n_langs, r.ReadU64());
+  if (n_langs > static_cast<uint64_t>(LanguageSpace::kNumLanguages)) {
+    return Status::Corruption("implausible language count");
+  }
+  for (uint64_t i = 0; i < n_langs; ++i) {
+    AD_ASSIGN_OR_RETURN(uint32_t id, r.ReadU32());
+    if (id >= static_cast<uint32_t>(LanguageSpace::kNumLanguages)) {
+      return Status::Corruption("language id out of range");
+    }
+    p.lang_ids_.push_back(static_cast<int>(id));
+    CalibrationResult cal;
+    AD_ASSIGN_OR_RETURN(uint8_t has, r.ReadU8());
+    cal.has_threshold = has != 0;
+    AD_ASSIGN_OR_RETURN(cal.threshold, r.ReadDouble());
+    AD_ASSIGN_OR_RETURN(cal.precision_at_threshold, r.ReadDouble());
+    AD_ASSIGN_OR_RETURN(cal.covered_count, r.ReadU64());
+    AD_ASSIGN_OR_RETURN(cal.covered_negatives, DeserializeBitset(&r));
+    AD_ASSIGN_OR_RETURN(cal.curve, PrecisionCurve::Deserialize(&r));
+    p.calibrations_.push_back(std::move(cal));
+  }
+  return p;
+}
+
+Result<Model> TrainModel(ColumnSource* source, const TrainOptions& options) {
+  AD_ASSIGN_OR_RETURN(TrainingPipeline pipeline,
+                      TrainingPipeline::Run(source, options));
+  return pipeline.BuildModel();
+}
+
+}  // namespace autodetect

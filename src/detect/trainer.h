@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/column_source.h"
+#include "detect/model.h"
+#include "stats/stats_builder.h"
+#include "train/calibration.h"
+#include "train/distant_supervision.h"
+#include "train/selection.h"
+
+/// \file trainer.h
+/// Offline training orchestration: corpus statistics → distant supervision
+/// → per-language calibration → budgeted language selection → Model.
+///
+/// The intermediate `TrainingPipeline` is exposed so ablation benches can
+/// re-run only the cheap final stage under different memory budgets or
+/// sketch ratios (paper Figs. 7 and 8a) without re-scanning the corpus.
+
+namespace autodetect {
+
+struct TrainOptions {
+  /// Precision requirement P of Definition 5.
+  double precision_target = 0.95;
+  /// Memory budget M for the selected languages' statistics.
+  size_t memory_budget_bytes = 200ull << 20;
+  /// Jelinek-Mercer smoothing factor f (Eq. 10).
+  double smoothing_factor = 0.1;
+  /// Co-occurrence compression: 1.0 keeps exact dictionaries; r < 1
+  /// replaces each selected language's dictionary with a count-min sketch
+  /// of r times the size (Sec. 3.4).
+  double sketch_ratio = 1.0;
+  /// Human-readable provenance stored in the model.
+  std::string corpus_name = "corpus";
+
+  StatsBuilderOptions stats;
+  DistantSupervisionOptions supervision;
+  CalibrationOptions calibration;  ///< precision_target/smoothing overridden
+  size_t num_threads = 0;
+};
+
+/// \brief Everything computed before budget-dependent selection.
+class TrainingPipeline {
+ public:
+  /// \brief Runs stats building, supervision and calibration. `source` is
+  /// streamed twice (stats, then supervision) via Reset().
+  static Result<TrainingPipeline> Run(ColumnSource* source, TrainOptions options);
+
+  /// \brief Selects languages under `memory_budget_bytes`/`sketch_ratio`
+  /// (overriding the option defaults) and assembles a Model.
+  Result<Model> BuildModel(size_t memory_budget_bytes, double sketch_ratio) const;
+  Result<Model> BuildModel() const;
+
+  /// \brief Re-runs only the calibration stage with a different smoothing
+  /// factor, in place (stats and training set are reused, not copied — the
+  /// full 144-language statistics store is too large to duplicate). Used by
+  /// the smoothing ablation (paper Fig. 17a): calibration thresholds depend
+  /// on f, so a fair sweep recalibrates rather than just re-scoring.
+  void RecalibrateInPlace(double smoothing_factor);
+
+  /// \brief Checkpoints the pipeline (statistics for every candidate
+  /// language, training set, calibrations) so later processes can re-select
+  /// under different budgets/sketch ratios without re-scanning the corpus.
+  /// Only budget-independent state is stored; options revert to defaults
+  /// except the calibration-relevant ones.
+  Status Save(const std::string& path) const;
+  static Result<TrainingPipeline> Load(const std::string& path);
+
+  const TrainOptions& options() const { return options_; }
+  const CorpusStats& stats() const { return stats_; }
+  const TrainingSet& training_set() const { return training_set_; }
+  const std::vector<int>& lang_ids() const { return lang_ids_; }
+  const std::vector<CalibrationResult>& calibrations() const { return calibrations_; }
+  uint64_t corpus_columns() const { return corpus_columns_; }
+
+ private:
+  TrainOptions options_;
+  CorpusStats stats_;
+  TrainingSet training_set_;
+  std::vector<int> lang_ids_;  ///< calibrated candidates, aligned with below
+  std::vector<CalibrationResult> calibrations_;
+  uint64_t corpus_columns_ = 0;
+};
+
+/// \brief One-call convenience: pipeline + model assembly with the options'
+/// budget and sketch ratio.
+Result<Model> TrainModel(ColumnSource* source, const TrainOptions& options);
+
+}  // namespace autodetect

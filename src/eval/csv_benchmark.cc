@@ -1,0 +1,139 @@
+#include "eval/csv_benchmark.h"
+
+#include <filesystem>
+#include <map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/error_injector.h"
+#include "io/csv.h"
+
+namespace autodetect {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status GenerateFiles(const CsvBenchmarkOptions& options) {
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) return Status::IOError("cannot create " + options.directory);
+
+  Pcg32 rng(options.seed);
+  GeneratorOptions gen;
+  gen.profile = CorpusProfile::Wiki();
+  gen.num_columns = options.total_columns * 3 + 64;
+  gen.inject_errors = false;
+  gen.seed = options.seed ^ 0xc5f;
+  GeneratedColumnSource source(gen);
+  ErrorInjector injector;
+  std::vector<std::string> foreign_pool;
+
+  // Labels sidecar: file,column_index,dirty_row,dirty_value,error_class.
+  CsvTable labels;
+  labels.header = {"file", "column", "dirty_row", "dirty_value", "error_class"};
+
+  size_t columns_left = options.total_columns;
+  for (size_t f = 0; f < options.num_files; ++f) {
+    size_t files_left = options.num_files - f;
+    size_t cols_here;
+    if (files_left == 1) {
+      cols_here = columns_left;  // the last file absorbs the remainder
+    } else {
+      cols_here = std::max<size_t>(
+          1, std::min(columns_left - (files_left - 1),
+                      static_cast<size_t>(rng.Uniform(
+                          3, static_cast<int64_t>(std::max<size_t>(
+                                 4, columns_left / files_left + 4))))));
+    }
+    columns_left -= cols_here;
+
+    // All columns of a file share one row count.
+    size_t rows = static_cast<size_t>(rng.Uniform(12, 48));
+    std::vector<std::vector<std::string>> cols;
+    std::string file_name = StrFormat("table_%02zu.csv", f + 1);
+
+    for (size_t c = 0; c < cols_here; ++c) {
+      Column column;
+      // Pull until a column with enough rows arrives, then trim/pad.
+      while (true) {
+        if (!source.Next(&column)) return Status::Internal("column source exhausted");
+        if (column.values.size() >= 4) break;
+      }
+      auto& v = column.values;
+      while (v.size() < rows) v.push_back(v[v.size() % std::max<size_t>(1, v.size())]);
+      v.resize(rows);
+      for (const auto& val : v) {
+        if (foreign_pool.size() < 256) foreign_pool.push_back(val);
+      }
+
+      if (rng.Chance(options.dirty_fraction)) {
+        Pcg32 col_rng = rng.Fork();
+        if (injector.Inject(&column, foreign_pool, &col_rng)) {
+          labels.rows.push_back({file_name, std::to_string(c),
+                                 std::to_string(column.dirty_index),
+                                 column.dirty_value(),
+                                 std::string(ErrorClassName(column.error_class))});
+        }
+      }
+      cols.push_back(column.values);
+    }
+
+    CsvTable table;
+    table.name = file_name;
+    for (size_t c = 0; c < cols.size(); ++c) table.header.push_back("col" + std::to_string(c));
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      row.reserve(cols.size());
+      for (const auto& col : cols) row.push_back(col[r]);
+      table.rows.push_back(std::move(row));
+    }
+    AD_RETURN_NOT_OK(WriteCsvFile(table, options.directory + "/" + file_name));
+  }
+  AD_RETURN_NOT_OK(WriteCsvFile(labels, options.directory + "/labels.csv"));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<TestCase>> BuildCsvBenchmark(const CsvBenchmarkOptions& options) {
+  const std::string labels_path = options.directory + "/labels.csv";
+  if (!fs::exists(labels_path)) {
+    AD_RETURN_NOT_OK(GenerateFiles(options));
+  }
+
+  AD_ASSIGN_OR_RETURN(CsvTable labels, ReadCsvFile(labels_path));
+  // (file, column) -> (dirty_row, dirty_value, class)
+  std::map<std::pair<std::string, size_t>, std::pair<int32_t, std::string>> truth;
+  for (const auto& row : labels.rows) {
+    if (row.size() < 5) continue;
+    truth[{row[0], static_cast<size_t>(std::stoul(row[1]))}] = {
+        static_cast<int32_t>(std::stol(row[2])), row[3]};
+  }
+
+  std::vector<TestCase> cases;
+  for (size_t f = 1; f <= options.num_files; ++f) {
+    std::string file_name = StrFormat("table_%02zu.csv", f);
+    std::string path = options.directory + "/" + file_name;
+    if (!fs::exists(path)) continue;
+    AD_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      TestCase tc;
+      tc.values = table.Column(c);
+      auto it = truth.find({file_name, c});
+      if (it != truth.end()) {
+        tc.dirty = true;
+        tc.dirty_index = it->second.first;
+        tc.dirty_value = it->second.second;
+      }
+      tc.domain = file_name;
+      cases.push_back(std::move(tc));
+    }
+  }
+  if (cases.empty()) return Status::NotFound("no CSV benchmark columns found");
+  return cases;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+double MethodEvaluation::PrecisionAt(size_t k) const {
+  if (ranked.empty() || k == 0) return 0.0;
+  // Paper protocol: precision over the top-k ranked predictions. A method
+  // whose list is shorter than k is measured against k regardless — it had
+  // the chance to rank k predictions and produced fewer, so the deficit
+  // counts against it (this keeps low-recall methods from looking perfect
+  // at depths they never reach; the paper's k=5000 ~ its dirty-case count).
+  return static_cast<double>(CorrectAt(k)) / static_cast<double>(k);
+}
+
+size_t MethodEvaluation::CorrectAt(size_t k) const {
+  k = std::min(k, ranked.size());
+  size_t correct = 0;
+  for (size_t i = 0; i < k; ++i) correct += ranked[i].correct ? 1 : 0;
+  return correct;
+}
+
+double MethodEvaluation::RecallAt(size_t k) const {
+  if (num_dirty_cases == 0) return 0.0;
+  return static_cast<double>(CorrectAt(k)) / static_cast<double>(num_dirty_cases);
+}
+
+MethodEvaluation EvaluateMethod(const ErrorDetectorMethod& method,
+                                const std::vector<TestCase>& cases) {
+  MethodEvaluation eval;
+  eval.method = std::string(method.name());
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const TestCase& tc = cases[ci];
+    if (tc.dirty) ++eval.num_dirty_cases;
+    std::vector<Suspicion> predictions = method.RankColumn(tc.values);
+    if (predictions.empty()) continue;
+    // Top-1 per column: the protocol's unit of prediction.
+    const Suspicion& top = predictions.front();
+    bool correct = tc.dirty && top.value == tc.dirty_value;
+    eval.ranked.push_back(PooledPrediction{ci, top, correct});
+  }
+  std::stable_sort(eval.ranked.begin(), eval.ranked.end(),
+                   [](const PooledPrediction& a, const PooledPrediction& b) {
+                     return a.suspicion.score > b.suspicion.score;
+                   });
+  return eval;
+}
+
+std::string FormatPrecisionTable(const std::vector<MethodEvaluation>& evals,
+                                 const std::vector<size_t>& ks,
+                                 const std::string& title) {
+  std::string out = title + "\n";
+  out += StrFormat("%-14s", "method");
+  for (size_t k : ks) out += StrFormat(" P@%-6zu", k);
+  out += StrFormat(" %-6s\n", "preds");
+  for (const auto& e : evals) {
+    out += StrFormat("%-14s", e.method.c_str());
+    for (size_t k : ks) out += StrFormat(" %-8.3f", e.PrecisionAt(k));
+    out += StrFormat(" %-6zu\n", e.ranked.size());
+  }
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "eval/testcase.h"
+
+/// \file metrics.h
+/// Precision@K evaluation (paper Sec. 4.3/4.4): each method contributes its
+/// single most confident prediction per test column; predictions are pooled
+/// across columns, ranked by confidence, and precision is measured over the
+/// top K. A prediction is correct iff its column is dirty and the flagged
+/// value is the injected one.
+
+namespace autodetect {
+
+/// One pooled prediction.
+struct PooledPrediction {
+  size_t case_index;
+  Suspicion suspicion;
+  bool correct;
+};
+
+struct MethodEvaluation {
+  std::string method;
+  /// All pooled predictions, ranked by confidence descending.
+  std::vector<PooledPrediction> ranked;
+  size_t num_dirty_cases = 0;
+
+  /// Precision over the top k predictions (k capped at ranked.size(); 0
+  /// when there are no predictions at all).
+  double PrecisionAt(size_t k) const;
+  /// Correct predictions in the top k / number of dirty cases ("relative
+  /// recall" in the paper's discussion of Fig. 5).
+  double RecallAt(size_t k) const;
+  size_t CorrectAt(size_t k) const;
+};
+
+/// \brief Runs `method` over every test case (top-1 prediction per column)
+/// and pools the ranking.
+MethodEvaluation EvaluateMethod(const ErrorDetectorMethod& method,
+                                const std::vector<TestCase>& cases);
+
+/// \brief Renders a paper-style table: one row per method, one column per
+/// k. `metric` is "precision" or "recall".
+std::string FormatPrecisionTable(const std::vector<MethodEvaluation>& evals,
+                                 const std::vector<size_t>& ks,
+                                 const std::string& title);
+
+}  // namespace autodetect

@@ -1,0 +1,178 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+std::vector<std::string> CsvTable::Column(size_t col) const {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(col < row.size() ? row[col] : std::string());
+  }
+  return out;
+}
+
+Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool record_quoted = false;  // distinguishes `""` rows from blank lines
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    // A truly blank line (single empty unquoted field) is not a record; a
+    // quoted empty row ("") is.
+    bool blank = record.size() == 1 && record[0].empty() && !record_quoted;
+    if (!blank) records.push_back(std::move(record));
+    record.clear();
+    record_quoted = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+          record_quoted = true;
+        } else {
+          field.push_back(c);  // stray quote mid-field: keep literally
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_record();
+        break;
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV ends inside a quoted field");
+  }
+  // Flush a final record without trailing newline.
+  if (!field.empty() || field_started || !record.empty()) {
+    end_record();
+  }
+
+  CsvTable table;
+  if (records.empty()) return table;
+  size_t start = 0;
+  if (has_header) {
+    table.header = std::move(records[0]);
+    start = 1;
+  } else {
+    size_t width = 0;
+    for (const auto& r : records) width = std::max(width, r.size());
+    for (size_t i = 0; i < width; ++i) table.header.push_back("col" + std::to_string(i));
+  }
+  size_t width = table.header.size();
+  for (size_t i = start; i < records.size(); ++i) {
+    auto& r = records[i];
+    r.resize(std::max(width, r.size()));
+    if (r.size() > width) {
+      // Grow header for ragged over-wide rows.
+      while (table.header.size() < r.size()) {
+        table.header.push_back("col" + std::to_string(table.header.size()));
+      }
+      width = table.header.size();
+      for (auto& prev : table.rows) prev.resize(width);
+    }
+    r.resize(width);
+    table.rows.push_back(std::move(r));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  AD_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(ss.str(), has_header));
+  table.name = path;
+  return table;
+}
+
+namespace {
+void AppendCsvField(std::string_view v, std::string* out) {
+  bool needs_quote = v.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out->append(v);
+    return;
+  }
+  out->push_back('"');
+  for (char c : v) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i) out.push_back(',');
+    AppendCsvField(table.header[i], &out);
+  }
+  out.push_back('\n');
+  for (const auto& row : table.rows) {
+    if (row.size() == 1 && row[0].empty()) {
+      // A lone empty field would serialize as a blank line, which readers
+      // (including ours) skip; quote it to keep the row.
+      out += "\"\"\n";
+      continue;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      AppendCsvField(row[i], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  std::string text = WriteCsv(table);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace autodetect

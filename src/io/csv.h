@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file csv.h
+/// Minimal RFC-4180-style CSV reading/writing used by the CSV benchmark
+/// (paper Sec. 4.1, the 26-file / 441-column test set) and the example
+/// applications. Supports quoted fields with embedded separators, quotes
+/// ("" escaping) and newlines; both \n and \r\n row endings.
+
+namespace autodetect {
+
+/// A parsed CSV table: a header row plus data rows (ragged rows are padded
+/// with empty strings to the header width).
+struct CsvTable {
+  std::string name;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return header.size(); }
+
+  /// \brief Extracts column `col` as a vector of cell values.
+  std::vector<std::string> Column(size_t col) const;
+};
+
+/// \brief Parses CSV text. \param has_header when false, synthesizes
+/// "col0".."colN" names and treats every row as data.
+Result<CsvTable> ParseCsv(std::string_view text, bool has_header = true);
+
+/// \brief Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true);
+
+/// \brief Serializes a table to CSV text, quoting only where needed.
+std::string WriteCsv(const CsvTable& table);
+
+/// \brief Writes a table to a file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace autodetect

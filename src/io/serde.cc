@@ -1,0 +1,75 @@
+#include "io/serde.h"
+
+#include <cstring>
+
+namespace autodetect {
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+  WriteBytes(b, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+  WriteBytes(b, 8);
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::Corruption("unexpected end of stream");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  uint8_t v;
+  AD_RETURN_NOT_OK(ReadBytes(&v, 1));
+  return v;
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint8_t b[4];
+  AD_RETURN_NOT_OK(ReadBytes(b, 4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint8_t b[8];
+  AD_RETURN_NOT_OK(ReadBytes(b, 8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  AD_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString(size_t max_len) {
+  AD_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > max_len) return Status::Corruption("string length exceeds limit");
+  std::string s(static_cast<size_t>(len), '\0');
+  if (len > 0) AD_RETURN_NOT_OK(ReadBytes(s.data(), s.size()));
+  return s;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file serde.h
+/// Little-endian binary (de)serialization for model files. Values are
+/// written with explicit widths so files are portable across platforms; all
+/// readers validate lengths and report Corruption instead of crashing.
+
+namespace autodetect {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU8(uint8_t v) { WriteBytes(&v, 1); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v);
+  void WriteString(std::string_view s);
+
+  template <typename T, typename Fn>
+  void WriteVector(const std::vector<T>& v, Fn&& write_elem) {
+    WriteU64(v.size());
+    for (const auto& e : v) write_elem(this, e);
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  void WriteBytes(const void* data, size_t n) {
+    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  }
+  std::ostream* out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64() {
+    AD_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    return static_cast<int64_t>(v);
+  }
+  Result<double> ReadDouble();
+  /// \param max_len guards against corrupt length prefixes.
+  Result<std::string> ReadString(size_t max_len = 1 << 20);
+
+ private:
+  Status ReadBytes(void* data, size_t n);
+  std::istream* in_;
+};
+
+}  // namespace autodetect

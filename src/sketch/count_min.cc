@@ -1,0 +1,115 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace autodetect {
+
+namespace {
+constexpr uint32_t kCounterMax = std::numeric_limits<uint32_t>::max();
+
+uint32_t SaturatingAdd(uint32_t a, uint64_t b) {
+  uint64_t sum = static_cast<uint64_t>(a) + b;
+  return sum > kCounterMax ? kCounterMax : static_cast<uint32_t>(sum);
+}
+}  // namespace
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(std::max<size_t>(1, width)) {
+  depth = std::max<size_t>(1, depth);
+  Pcg32 rng(seed);
+  hashes_.reserve(depth);
+  for (size_t i = 0; i < depth; ++i) {
+    hashes_.emplace_back(rng.NextU64() % (PairwiseHash::kPrime - 1) + 1,
+                         rng.NextU64() % PairwiseHash::kPrime);
+  }
+  rows_.assign(depth * width_, 0);
+}
+
+CountMinSketch CountMinSketch::FromErrorBounds(double epsilon, double delta,
+                                               uint64_t seed) {
+  AD_CHECK(epsilon > 0 && epsilon < 1);
+  AD_CHECK(delta > 0 && delta < 1);
+  size_t width = static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon));
+  size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<size_t>(1, depth), seed);
+}
+
+CountMinSketch CountMinSketch::FromMemoryBudget(size_t budget_bytes, size_t depth,
+                                                uint64_t seed) {
+  depth = std::max<size_t>(1, depth);
+  size_t counters = std::max<size_t>(depth, budget_bytes / sizeof(uint32_t));
+  return CountMinSketch(counters / depth, depth, seed);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  const size_t d = hashes_.size();
+  for (size_t i = 0; i < d; ++i) {
+    size_t idx = i * width_ + hashes_[i](key, width_);
+    rows_[idx] = SaturatingAdd(rows_[idx], count);
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint32_t best = kCounterMax;
+  const size_t d = hashes_.size();
+  for (size_t i = 0; i < d; ++i) {
+    best = std::min(best, rows_[i * width_ + hashes_[i](key, width_)]);
+  }
+  return best;
+}
+
+void CountMinSketch::AddConservative(uint64_t key, uint64_t count) {
+  const size_t d = hashes_.size();
+  uint64_t target = Estimate(key) + count;
+  for (size_t i = 0; i < d; ++i) {
+    size_t idx = i * width_ + hashes_[i](key, width_);
+    if (rows_[idx] < target) {
+      rows_[idx] = target > kCounterMax ? kCounterMax : static_cast<uint32_t>(target);
+    }
+  }
+  total_ += count;
+}
+
+void CountMinSketch::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(width_);
+  writer->WriteU64(hashes_.size());
+  for (const auto& h : hashes_) {
+    writer->WriteU64(h.a());
+    writer->WriteU64(h.b());
+  }
+  writer->WriteU64(total_);
+  writer->WriteU64(rows_.size());
+  for (uint32_t v : rows_) writer->WriteU32(v);
+}
+
+Result<CountMinSketch> CountMinSketch::Deserialize(BinaryReader* reader) {
+  AD_ASSIGN_OR_RETURN(uint64_t width, reader->ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t depth, reader->ReadU64());
+  if (width == 0 || depth == 0 || width * depth > (1ULL << 33)) {
+    return Status::Corruption("implausible sketch dimensions");
+  }
+  CountMinSketch sketch(1, 1);
+  sketch.width_ = static_cast<size_t>(width);
+  sketch.hashes_.clear();
+  for (uint64_t i = 0; i < depth; ++i) {
+    AD_ASSIGN_OR_RETURN(uint64_t a, reader->ReadU64());
+    AD_ASSIGN_OR_RETURN(uint64_t b, reader->ReadU64());
+    sketch.hashes_.emplace_back(a, b);
+  }
+  AD_ASSIGN_OR_RETURN(sketch.total_, reader->ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  if (n != width * depth) return Status::Corruption("sketch size mismatch");
+  sketch.rows_.resize(static_cast<size_t>(n));
+  for (auto& v : sketch.rows_) {
+    AD_ASSIGN_OR_RETURN(v, reader->ReadU32());
+  }
+  return sketch;
+}
+
+}  // namespace autodetect

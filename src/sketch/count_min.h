@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "io/serde.h"
+
+/// \file count_min.h
+/// Count–min sketch (Cormode & Muthukrishnan 2005), used per paper Sec. 3.4
+/// to compress per-language co-occurrence dictionaries by 10–100x. The
+/// sketch never underestimates: estimate(k) >= true(k), and with
+/// width = ceil(e/eps), depth = ceil(ln(1/delta)) it overestimates by at
+/// most eps*N with probability 1-delta (N = total inserted mass).
+
+namespace autodetect {
+
+class CountMinSketch {
+ public:
+  /// \brief Direct sizing. \param width counters per row, \param depth rows.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed = 0xc0ffee);
+
+  /// \brief Sizing from the (eps, delta) guarantee.
+  static CountMinSketch FromErrorBounds(double epsilon, double delta,
+                                        uint64_t seed = 0xc0ffee);
+
+  /// \brief Sizes the sketch to approximately `budget_bytes` of counter
+  /// storage with the given depth.
+  static CountMinSketch FromMemoryBudget(size_t budget_bytes, size_t depth = 4,
+                                         uint64_t seed = 0xc0ffee);
+
+  /// Adds `count` to key. Counters saturate instead of wrapping.
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Point estimate: min over rows. Never below the true count.
+  uint64_t Estimate(uint64_t key) const;
+
+  /// Conservative update variant of Add: only raises counters that are
+  /// below the new estimate. Strictly reduces overestimation on skewed
+  /// (power-law) key distributions — the distribution shape the paper
+  /// observes for real co-occurrence counts.
+  void AddConservative(uint64_t key, uint64_t count = 1);
+
+  /// Total mass inserted (sum of all Add counts).
+  uint64_t TotalMass() const { return total_; }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return rows_.size() / (width_ ? width_ : 1); }
+
+  /// Bytes of counter storage (the dominant memory term).
+  size_t MemoryBytes() const { return rows_.size() * sizeof(uint32_t); }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<CountMinSketch> Deserialize(BinaryReader* reader);
+
+ private:
+  size_t width_;
+  std::vector<PairwiseHash> hashes_;  // one per row
+  std::vector<uint32_t> rows_;        // depth * width, row-major
+  uint64_t total_ = 0;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,132 @@
+#include "stats/language_stats.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace autodetect {
+
+namespace {
+/// Approximate bytes per unordered_map entry (key + value + bucket overhead).
+constexpr size_t kBytesPerDictEntry = 24;
+}  // namespace
+
+void LanguageStats::AddColumn(const std::vector<uint64_t>& distinct_keys) {
+  ++num_columns_;
+  for (uint64_t k : distinct_keys) ++counts_[k];
+  AD_DCHECK(!sketch_.has_value());  // building after compression is unsupported
+  for (size_t i = 0; i < distinct_keys.size(); ++i) {
+    for (size_t j = i + 1; j < distinct_keys.size(); ++j) {
+      ++co_counts_[CombineUnordered(distinct_keys[i], distinct_keys[j])];
+    }
+  }
+}
+
+uint64_t LanguageStats::Count(uint64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t LanguageStats::CoCount(uint64_t key1, uint64_t key2) const {
+  if (key1 == key2) return Count(key1);
+  uint64_t pair_key = CombineUnordered(key1, key2);
+  if (sketch_.has_value()) {
+    // The sketch returns nonzero noise for never-seen pairs; gate on both
+    // patterns existing to cut the worst false estimates.
+    if (Count(key1) == 0 || Count(key2) == 0) return 0;
+    return sketch_->Estimate(pair_key);
+  }
+  auto it = co_counts_.find(pair_key);
+  return it == co_counts_.end() ? 0 : it->second;
+}
+
+size_t LanguageStats::MemoryBytes() const {
+  size_t bytes = counts_.size() * kBytesPerDictEntry;
+  if (sketch_.has_value()) {
+    bytes += sketch_->MemoryBytes();
+  } else {
+    bytes += co_counts_.size() * kBytesPerDictEntry;
+  }
+  return bytes;
+}
+
+Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
+  if (sketch_.has_value()) return Status::Invalid("already compressed");
+  if (!(ratio > 0.0 && ratio <= 1.0)) {
+    return Status::Invalid("sketch ratio must be in (0, 1]");
+  }
+  size_t dict_bytes = co_counts_.size() * kBytesPerDictEntry;
+  size_t budget = std::max<size_t>(64, static_cast<size_t>(dict_bytes * ratio));
+  CountMinSketch sketch = CountMinSketch::FromMemoryBudget(budget, /*depth=*/4, seed);
+  for (const auto& [pair_key, count] : co_counts_) {
+    sketch.AddConservative(pair_key, count);
+  }
+  sketch_ = std::move(sketch);
+  co_counts_.clear();
+  return Status::OK();
+}
+
+void LanguageStats::ForEachCoCount(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  for (const auto& [k, v] : co_counts_) fn(k, v);
+}
+
+void LanguageStats::ForEachCount(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  for (const auto& [k, v] : counts_) fn(k, v);
+}
+
+void LanguageStats::Merge(const LanguageStats& other) {
+  AD_CHECK(!sketch_.has_value() && !other.sketch_.has_value());
+  num_columns_ += other.num_columns_;
+  for (const auto& [k, v] : other.counts_) counts_[k] += v;
+  for (const auto& [k, v] : other.co_counts_) co_counts_[k] += v;
+}
+
+void LanguageStats::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(num_columns_);
+  writer->WriteU64(counts_.size());
+  for (const auto& [k, v] : counts_) {
+    writer->WriteU64(k);
+    writer->WriteU64(v);
+  }
+  writer->WriteU8(sketch_.has_value() ? 1 : 0);
+  if (sketch_.has_value()) {
+    sketch_->Serialize(writer);
+  } else {
+    writer->WriteU64(co_counts_.size());
+    for (const auto& [k, v] : co_counts_) {
+      writer->WriteU64(k);
+      writer->WriteU64(v);
+    }
+  }
+}
+
+Result<LanguageStats> LanguageStats::Deserialize(BinaryReader* reader) {
+  LanguageStats stats;
+  AD_ASSIGN_OR_RETURN(stats.num_columns_, reader->ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t n_counts, reader->ReadU64());
+  stats.counts_.reserve(static_cast<size_t>(n_counts));
+  for (uint64_t i = 0; i < n_counts; ++i) {
+    AD_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
+    AD_ASSIGN_OR_RETURN(uint64_t v, reader->ReadU64());
+    stats.counts_[k] = v;
+  }
+  AD_ASSIGN_OR_RETURN(uint8_t has_sketch, reader->ReadU8());
+  if (has_sketch) {
+    AD_ASSIGN_OR_RETURN(CountMinSketch sketch, CountMinSketch::Deserialize(reader));
+    stats.sketch_ = std::move(sketch);
+  } else {
+    AD_ASSIGN_OR_RETURN(uint64_t n_pairs, reader->ReadU64());
+    stats.co_counts_.reserve(static_cast<size_t>(n_pairs));
+    for (uint64_t i = 0; i < n_pairs; ++i) {
+      AD_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
+      AD_ASSIGN_OR_RETURN(uint64_t v, reader->ReadU64());
+      stats.co_counts_[k] = v;
+    }
+  }
+  return stats;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "io/serde.h"
+#include "sketch/count_min.h"
+
+/// \file language_stats.h
+/// Per-language corpus statistics: for one generalization language L this
+/// stores c(p) — the number of corpus columns containing pattern p — and
+/// c(p1, p2) — the number of columns containing both patterns (paper
+/// Sec. 2.1). Co-occurrence can be held exactly (hash dictionary) or
+/// approximately (count–min sketch, Sec. 3.4). Patterns are identified by
+/// their 64-bit canonical keys (pattern.h).
+
+namespace autodetect {
+
+class LanguageStats {
+ public:
+  LanguageStats() = default;
+
+  /// \brief Ingests one column, given the column's *distinct* pattern keys.
+  /// Increments c(p) for each key and c(p,q) for each unordered pair.
+  void AddColumn(const std::vector<uint64_t>& distinct_keys);
+
+  /// Number of columns ingested (the N of Eq. 1).
+  uint64_t num_columns() const { return num_columns_; }
+
+  /// c(p): columns containing pattern `key`.
+  uint64_t Count(uint64_t key) const;
+
+  /// c(p1, p2): columns containing both patterns. For key1 == key2 this is
+  /// c(p) by definition (a value pair with identical patterns co-occurs
+  /// wherever the pattern occurs).
+  uint64_t CoCount(uint64_t key1, uint64_t key2) const;
+
+  /// Number of distinct patterns / distinct co-occurring pairs seen.
+  size_t NumPatterns() const { return counts_.size(); }
+  size_t NumCoPairs() const { return co_counts_.size(); }
+
+  /// \brief Estimated resident bytes of the statistics — the size(L) used
+  /// by the selection knapsack. Dictionary entries are costed at the open-
+  /// addressing rate of ~24 bytes/entry; sketches at their counter array.
+  size_t MemoryBytes() const;
+
+  /// \brief Replaces the exact co-occurrence dictionary with a count-min
+  /// sketch sized at `ratio` (0 < ratio <= 1) of the dictionary's bytes.
+  /// Pattern occurrence counts c(p) stay exact (they are small).
+  /// Conservative update is used, matching the power-law tightening the
+  /// paper describes.
+  Status CompressToSketch(double ratio, uint64_t seed = 0xc0ffee);
+
+  bool uses_sketch() const { return sketch_.has_value(); }
+
+  /// Iterates exact co-counts (unavailable after sketch compression).
+  void ForEachCoCount(
+      const std::function<void(uint64_t pair_key, uint64_t count)>& fn) const;
+
+  /// Iterates c(p) entries.
+  void ForEachCount(const std::function<void(uint64_t key, uint64_t count)>& fn) const;
+
+  /// \brief Merges another shard built over a disjoint set of columns.
+  void Merge(const LanguageStats& other);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<LanguageStats> Deserialize(BinaryReader* reader);
+
+ private:
+  uint64_t num_columns_ = 0;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  std::unordered_map<uint64_t, uint64_t> co_counts_;  // key: CombineUnordered
+  std::optional<CountMinSketch> sketch_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,63 @@
+#include "stats/npmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autodetect {
+
+double NpmiScorer::SmoothedCoCount(uint64_t key1, uint64_t key2) const {
+  double observed = static_cast<double>(stats_->CoCount(key1, key2));
+  if (f_ <= 0.0) return observed;
+  double n = static_cast<double>(stats_->num_columns());
+  if (n <= 0) return observed;
+  double expected = static_cast<double>(stats_->Count(key1)) *
+                    static_cast<double>(stats_->Count(key2)) / n;
+  return (1.0 - f_) * observed + f_ * expected;
+}
+
+double NpmiScorer::Score(uint64_t key1, uint64_t key2) const {
+  const double n = static_cast<double>(stats_->num_columns());
+  if (n <= 0) return -1.0;
+  const double c1 = static_cast<double>(stats_->Count(key1));
+  const double c2 = static_cast<double>(stats_->Count(key2));
+  // Identical patterns are perfectly compatible whenever they exist at all
+  // (two values indistinguishable under L carry no incompatibility signal).
+  if (key1 == key2 && c1 > 0) return 1.0;
+  if (c1 < static_cast<double>(min_support_) &&
+      c2 < static_cast<double>(min_support_)) {
+    return 0.0;  // both patterns too rare: no reliable evidence either way
+  }
+  if (c1 <= 0 || c2 <= 0) return -1.0;
+
+  // Co-occurrence deficit gate (see kDeficitRatio).
+  const double raw_c12 = static_cast<double>(stats_->CoCount(key1, key2));
+  const double expectation = c1 * c2 / n;
+  const bool deficit = raw_c12 < kDeficitRatio * expectation;
+
+  const double c12 = SmoothedCoCount(key1, key2);
+  if (c12 <= 0) return deficit ? -1.0 : 0.0;
+
+  const double p1 = c1 / n;
+  const double p2 = c2 / n;
+  // Smoothed co-count can exceed min(c1, c2) only through rounding noise;
+  // clamp the joint probability into a consistent range.
+  const double p12 = std::min(c12 / n, std::min(p1, p2));
+
+  if (p12 >= 1.0) return 1.0;  // co-occur in every column
+
+  const double pmi = std::log(p12 / (p1 * p2));
+  const double denom = -std::log(p12);
+  if (denom <= 0) return 1.0;
+  double npmi = std::clamp(pmi / denom, -1.0, 1.0);
+  if (!deficit && npmi < 0) return 0.0;
+  return npmi;
+}
+
+double NpmiOfValues(std::string_view v1, std::string_view v2,
+                    const GeneralizationLanguage& lang, const LanguageStats& stats,
+                    double smoothing_factor) {
+  NpmiScorer scorer(&stats, smoothing_factor);
+  return scorer.Score(GeneralizeToKey(v1, lang), GeneralizeToKey(v2, lang));
+}
+
+}  // namespace autodetect

@@ -1,0 +1,136 @@
+#include "stats/stats_builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace autodetect {
+
+const LanguageStats& CorpusStats::ForLanguage(int lang_id) const {
+  auto it = per_language_.find(lang_id);
+  AD_CHECK(it != per_language_.end()) << "no stats for language " << lang_id;
+  return it->second;
+}
+
+LanguageStats& CorpusStats::MutableForLanguage(int lang_id) {
+  auto it = per_language_.find(lang_id);
+  AD_CHECK(it != per_language_.end()) << "no stats for language " << lang_id;
+  return it->second;
+}
+
+std::vector<int> CorpusStats::LanguageIds() const {
+  std::vector<int> ids;
+  ids.reserve(per_language_.size());
+  for (const auto& [id, _] : per_language_) ids.push_back(id);
+  return ids;
+}
+
+void CorpusStats::Insert(int lang_id, LanguageStats stats) {
+  per_language_[lang_id] = std::move(stats);
+}
+
+void CorpusStats::Retain(const std::vector<int>& keep) {
+  std::map<int, LanguageStats> kept;
+  for (int id : keep) {
+    auto it = per_language_.find(id);
+    if (it != per_language_.end()) kept[id] = std::move(it->second);
+  }
+  per_language_ = std::move(kept);
+}
+
+void CorpusStats::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(per_language_.size());
+  for (const auto& [id, stats] : per_language_) {
+    writer->WriteU32(static_cast<uint32_t>(id));
+    stats.Serialize(writer);
+  }
+}
+
+Result<CorpusStats> CorpusStats::Deserialize(BinaryReader* reader) {
+  CorpusStats out;
+  AD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  if (n > 100000) return Status::Corruption("implausible language count");
+  for (uint64_t i = 0; i < n; ++i) {
+    AD_ASSIGN_OR_RETURN(uint32_t id, reader->ReadU32());
+    AD_ASSIGN_OR_RETURN(LanguageStats stats, LanguageStats::Deserialize(reader));
+    out.per_language_[static_cast<int>(id)] = std::move(stats);
+  }
+  return out;
+}
+
+std::vector<std::string> DistinctValuesForStats(const std::vector<std::string>& values,
+                                                size_t max_distinct) {
+  std::vector<std::string> distinct;
+  std::unordered_set<std::string_view> seen;
+  distinct.reserve(std::min(values.size(), max_distinct * 2));
+  for (const auto& v : values) {
+    if (seen.insert(v).second) distinct.push_back(v);
+  }
+  if (distinct.size() > max_distinct) {
+    // Deterministic stride subsample keeps head and tail representation.
+    std::vector<std::string> sampled;
+    sampled.reserve(max_distinct);
+    double stride = static_cast<double>(distinct.size()) / static_cast<double>(max_distinct);
+    for (size_t i = 0; i < max_distinct; ++i) {
+      sampled.push_back(distinct[static_cast<size_t>(i * stride)]);
+    }
+    return sampled;
+  }
+  return distinct;
+}
+
+CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& options) {
+  std::vector<int> lang_ids = options.language_ids;
+  if (lang_ids.empty()) {
+    for (int i = 0; i < LanguageSpace::kNumLanguages; ++i) lang_ids.push_back(i);
+  }
+  const auto& all_langs = LanguageSpace::All();
+  for (int id : lang_ids) {
+    AD_CHECK(id >= 0 && id < static_cast<int>(all_langs.size()));
+  }
+
+  std::vector<LanguageStats> per_lang(lang_ids.size());
+
+  std::vector<std::vector<std::string>> batch;
+  batch.reserve(options.batch_columns);
+
+  auto flush = [&] {
+    if (batch.empty()) return;
+    ThreadPool::ParallelFor(
+        lang_ids.size(), options.num_threads, [&](size_t li) {
+          const GeneralizationLanguage& lang = all_langs[static_cast<size_t>(lang_ids[li])];
+          std::vector<uint64_t> keys;
+          for (const auto& distinct_values : batch) {
+            keys.clear();
+            for (const auto& v : distinct_values) {
+              keys.push_back(GeneralizeToKey(v, lang, options.generalize_options));
+            }
+            std::sort(keys.begin(), keys.end());
+            keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+            if (keys.size() > options.max_distinct_patterns_per_column) {
+              keys.resize(options.max_distinct_patterns_per_column);
+            }
+            per_lang[li].AddColumn(keys);
+          }
+        });
+    batch.clear();
+  };
+
+  Column column;
+  while (source->Next(&column)) {
+    batch.push_back(
+        DistinctValuesForStats(column.values, options.max_distinct_values_per_column));
+    if (batch.size() >= options.batch_columns) flush();
+  }
+  flush();
+
+  CorpusStats out;
+  for (size_t i = 0; i < lang_ids.size(); ++i) {
+    out.Insert(lang_ids[i], std::move(per_lang[i]));
+  }
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/column_source.h"
+#include "stats/language_stats.h"
+#include "text/language.h"
+#include "text/pattern.h"
+
+/// \file stats_builder.h
+/// Builds per-language corpus statistics for many candidate languages in one
+/// streaming pass over a column source, parallelized across languages. This
+/// is the "training" half of Auto-Detect's offline phase (the other half —
+/// calibration and selection — lives in src/train).
+
+namespace autodetect {
+
+struct StatsBuilderOptions {
+  /// Ids into LanguageSpace::All(); empty means all 144 candidates.
+  std::vector<int> language_ids;
+  /// Distinct raw values per column fed to pattern counting; columns with
+  /// more distinct values are subsampled deterministically. Bounds the
+  /// quadratic pair blow-up per column.
+  size_t max_distinct_values_per_column = 48;
+  /// Distinct *patterns* per column per language; the co-occurrence pair
+  /// count per column is at most this choose 2.
+  size_t max_distinct_patterns_per_column = 24;
+  size_t num_threads = 0;  ///< 0 = hardware concurrency
+  size_t batch_columns = 2048;
+  GeneralizeOptions generalize_options;
+};
+
+/// \brief Statistics for a set of languages over one corpus.
+class CorpusStats {
+ public:
+  bool Has(int lang_id) const { return per_language_.count(lang_id) > 0; }
+  const LanguageStats& ForLanguage(int lang_id) const;
+  LanguageStats& MutableForLanguage(int lang_id);
+
+  std::vector<int> LanguageIds() const;
+  void Insert(int lang_id, LanguageStats stats);
+  /// Drops all languages except `keep` (used after selection to shed the
+  /// memory of unselected candidates).
+  void Retain(const std::vector<int>& keep);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<CorpusStats> Deserialize(BinaryReader* reader);
+
+ private:
+  std::map<int, LanguageStats> per_language_;
+};
+
+/// \brief Streams `source` once and builds statistics for every requested
+/// language. Deterministic for a given source and options.
+CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& options);
+
+/// \brief The distinct-value preprocessing used per column (exposed for
+/// tests and for the distant-supervision module, which must mirror it):
+/// order-preserving dedupe, then deterministic subsample to `max_distinct`.
+std::vector<std::string> DistinctValuesForStats(const std::vector<std::string>& values,
+                                                size_t max_distinct);
+
+}  // namespace autodetect

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file char_class.h
+/// Character classification over the ASCII alphabet Σ used by the
+/// generalization tree (paper Fig. 3). Non-ASCII bytes are treated as
+/// symbols, which keeps the tree total over arbitrary input.
+
+namespace autodetect {
+
+/// Base character classes — the four subtrees directly relevant to
+/// generalization decisions. (Letters split further into upper/lower in the
+/// tree itself.)
+enum class CharClass : uint8_t {
+  kUpper = 0,   ///< 'A'..'Z'
+  kLower = 1,   ///< 'a'..'z'
+  kDigit = 2,   ///< '0'..'9'
+  kSymbol = 3,  ///< everything else (punctuation, space, non-ASCII)
+};
+
+inline CharClass ClassifyChar(char c) {
+  if (c >= 'A' && c <= 'Z') return CharClass::kUpper;
+  if (c >= 'a' && c <= 'z') return CharClass::kLower;
+  if (c >= '0' && c <= '9') return CharClass::kDigit;
+  return CharClass::kSymbol;
+}
+
+inline std::string_view CharClassName(CharClass c) {
+  switch (c) {
+    case CharClass::kUpper:
+      return "upper";
+    case CharClass::kLower:
+      return "lower";
+    case CharClass::kDigit:
+      return "digit";
+    case CharClass::kSymbol:
+      return "symbol";
+  }
+  return "?";
+}
+
+constexpr int kNumCharClasses = 4;
+
+}  // namespace autodetect

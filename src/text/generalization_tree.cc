@@ -1,0 +1,73 @@
+#include "text/generalization_tree.h"
+
+#include "common/logging.h"
+
+namespace autodetect {
+
+std::string_view TreeNodeToken(TreeNode node) {
+  switch (node) {
+    case TreeNode::kLeaf:
+      return "";
+    case TreeNode::kUpper:
+      return "\\U";
+    case TreeNode::kLower:
+      return "\\l";
+    case TreeNode::kLetter:
+      return "\\L";
+    case TreeNode::kDigit:
+      return "\\D";
+    case TreeNode::kSymbol:
+      return "\\S";
+    case TreeNode::kAny:
+      return "\\A";
+  }
+  return "?";
+}
+
+const std::vector<TreeNode>& GeneralizationTree::ChainFor(CharClass cls) {
+  static const std::vector<TreeNode> kUpperChain = {TreeNode::kLeaf, TreeNode::kUpper,
+                                                    TreeNode::kLetter, TreeNode::kAny};
+  static const std::vector<TreeNode> kLowerChain = {TreeNode::kLeaf, TreeNode::kLower,
+                                                    TreeNode::kLetter, TreeNode::kAny};
+  static const std::vector<TreeNode> kDigitChain = {TreeNode::kLeaf, TreeNode::kDigit,
+                                                    TreeNode::kAny};
+  static const std::vector<TreeNode> kSymbolChain = {TreeNode::kLeaf, TreeNode::kSymbol,
+                                                     TreeNode::kAny};
+  switch (cls) {
+    case CharClass::kUpper:
+      return kUpperChain;
+    case CharClass::kLower:
+      return kLowerChain;
+    case CharClass::kDigit:
+      return kDigitChain;
+    case CharClass::kSymbol:
+      return kSymbolChain;
+  }
+  AD_LOG(Fatal) << "unreachable char class";
+  return kSymbolChain;
+}
+
+bool GeneralizationTree::IsValidFor(TreeNode node, CharClass cls) {
+  for (TreeNode n : ChainFor(cls)) {
+    if (n == node) return true;
+  }
+  return false;
+}
+
+int GeneralizationTree::Depth(TreeNode node, CharClass cls) {
+  const auto& chain = ChainFor(cls);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i] == node) {
+      // chain is specific->root; depth counts from root.
+      return static_cast<int>(chain.size() - 1 - i);
+    }
+  }
+  AD_LOG(Fatal) << "node not on chain for class " << CharClassName(cls);
+  return -1;
+}
+
+TreeNode GeneralizationTree::Coarser(TreeNode a, TreeNode b, CharClass cls) {
+  return Depth(a, cls) <= Depth(b, cls) ? a : b;
+}
+
+}  // namespace autodetect

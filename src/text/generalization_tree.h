@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/char_class.h"
+
+/// \file generalization_tree.h
+/// The generalization tree H of paper Definition 1 / Figure 3:
+///
+///   \A (any) -+- \L (letter) -+- \U -- leaves A..Z
+///             |               +- \l -- leaves a..z
+///             +- \D (digit) ----- leaves 0..9
+///             +- \S (symbol) ---- leaves (each symbol char)
+///
+/// Each leaf is a character of Σ; each internal node is the union of its
+/// children. A generalization language (language.h) assigns every character
+/// a node on its leaf-to-root chain.
+
+namespace autodetect {
+
+/// Internal (and leaf-marker) nodes of H. kLeaf stands for "the character
+/// itself", i.e. no generalization.
+enum class TreeNode : uint8_t {
+  kLeaf = 0,
+  kUpper = 1,   ///< \U : any of A-Z
+  kLower = 2,   ///< \l : any of a-z
+  kLetter = 3,  ///< \L : any letter
+  kDigit = 4,   ///< \D : any digit
+  kSymbol = 5,  ///< \S : any symbol
+  kAny = 6,     ///< \A : root
+};
+
+constexpr int kNumTreeNodes = 7;
+
+/// \brief Rendering used in canonical pattern strings ("\\U", "\\A", ...).
+std::string_view TreeNodeToken(TreeNode node);
+
+/// \brief Static queries over the fixed tree H of Figure 3.
+class GeneralizationTree {
+ public:
+  /// Nodes on the leaf-to-root chain for a character class, ordered from
+  /// most specific (kLeaf) to the root (kAny). These are exactly the valid
+  /// targets a language may map that class to.
+  static const std::vector<TreeNode>& ChainFor(CharClass cls);
+
+  /// True iff `node` lies on the chain for class `cls` (i.e. `node` is an
+  /// ancestor-or-self of that class's leaves).
+  static bool IsValidFor(TreeNode node, CharClass cls);
+
+  /// Depth of a node: root = 0, \L/\D/\S = 1, \U/\l = 2 (digits/symbols'
+  /// leaves are depth 2, letters' leaves depth 3).
+  static int Depth(TreeNode node, CharClass cls);
+
+  /// The coarser (closer to root) of two nodes on the same chain.
+  /// Precondition: both valid for `cls`.
+  static TreeNode Coarser(TreeNode a, TreeNode b, CharClass cls);
+};
+
+}  // namespace autodetect

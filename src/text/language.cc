@@ -1,0 +1,145 @@
+#include "text/language.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace autodetect {
+
+Result<GeneralizationLanguage> GeneralizationLanguage::Make(TreeNode upper,
+                                                            TreeNode lower,
+                                                            TreeNode digit,
+                                                            TreeNode symbol) {
+  if (!GeneralizationTree::IsValidFor(upper, CharClass::kUpper)) {
+    return Status::Invalid("invalid target for upper-case chain");
+  }
+  if (!GeneralizationTree::IsValidFor(lower, CharClass::kLower)) {
+    return Status::Invalid("invalid target for lower-case chain");
+  }
+  if (!GeneralizationTree::IsValidFor(digit, CharClass::kDigit)) {
+    return Status::Invalid("invalid target for digit chain");
+  }
+  if (!GeneralizationTree::IsValidFor(symbol, CharClass::kSymbol)) {
+    return Status::Invalid("invalid target for symbol chain");
+  }
+  return GeneralizationLanguage(upper, lower, digit, symbol);
+}
+
+namespace {
+std::string TargetName(TreeNode node) {
+  return node == TreeNode::kLeaf ? "." : std::string(TreeNodeToken(node));
+}
+}  // namespace
+
+std::string GeneralizationLanguage::Name() const {
+  return StrFormat("U>%s|l>%s|D>%s|S>%s",
+                   TargetName(TargetFor(CharClass::kUpper)).c_str(),
+                   TargetName(TargetFor(CharClass::kLower)).c_str(),
+                   TargetName(TargetFor(CharClass::kDigit)).c_str(),
+                   TargetName(TargetFor(CharClass::kSymbol)).c_str());
+}
+
+bool GeneralizationLanguage::IsRootLanguage() const {
+  for (int i = 0; i < kNumCharClasses; ++i) {
+    if (targets_[i] != TreeNode::kAny) return false;
+  }
+  return true;
+}
+
+bool GeneralizationLanguage::IsLeafLanguage() const {
+  for (int i = 0; i < kNumCharClasses; ++i) {
+    if (targets_[i] != TreeNode::kLeaf) return false;
+  }
+  return true;
+}
+
+bool GeneralizationLanguage::CoarserOrEqual(const GeneralizationLanguage& other) const {
+  // Pointwise: every class generalizes at least as far up its chain.
+  for (int i = 0; i < kNumCharClasses; ++i) {
+    CharClass cls = static_cast<CharClass>(i);
+    if (GeneralizationTree::Depth(targets_[i], cls) >
+        GeneralizationTree::Depth(other.targets_[i], cls)) {
+      return false;
+    }
+  }
+  // Partition: classes merged by `other` must stay merged here (leaf
+  // targets never merge distinct classes).
+  for (int i = 0; i < kNumCharClasses; ++i) {
+    for (int j = i + 1; j < kNumCharClasses; ++j) {
+      bool other_merges = other.targets_[i] != TreeNode::kLeaf &&
+                          other.targets_[i] == other.targets_[j];
+      bool self_merges =
+          targets_[i] != TreeNode::kLeaf && targets_[i] == targets_[j];
+      if (other_merges && !self_merges) return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<GeneralizationLanguage>& LanguageSpace::All() {
+  static const std::vector<GeneralizationLanguage> kAll = [] {
+    std::vector<GeneralizationLanguage> out;
+    const auto& uppers = GeneralizationTree::ChainFor(CharClass::kUpper);
+    const auto& lowers = GeneralizationTree::ChainFor(CharClass::kLower);
+    const auto& digits = GeneralizationTree::ChainFor(CharClass::kDigit);
+    const auto& symbols = GeneralizationTree::ChainFor(CharClass::kSymbol);
+    for (TreeNode u : uppers) {
+      for (TreeNode l : lowers) {
+        for (TreeNode d : digits) {
+          for (TreeNode s : symbols) {
+            auto lang = GeneralizationLanguage::Make(u, l, d, s);
+            AD_CHECK(lang.ok());
+            out.push_back(*lang);
+          }
+        }
+      }
+    }
+    AD_CHECK(out.size() == static_cast<size_t>(kNumLanguages));
+    return out;
+  }();
+  return kAll;
+}
+
+GeneralizationLanguage LanguageSpace::PaperL1() {
+  auto r = GeneralizationLanguage::Make(TreeNode::kAny, TreeNode::kAny, TreeNode::kAny,
+                                        TreeNode::kLeaf);
+  AD_CHECK(r.ok());
+  return *r;
+}
+
+GeneralizationLanguage LanguageSpace::PaperL2() {
+  auto r = GeneralizationLanguage::Make(TreeNode::kLetter, TreeNode::kLetter,
+                                        TreeNode::kDigit, TreeNode::kSymbol);
+  AD_CHECK(r.ok());
+  return *r;
+}
+
+GeneralizationLanguage LanguageSpace::CrudeG() {
+  auto r = GeneralizationLanguage::Make(TreeNode::kUpper, TreeNode::kLower,
+                                        TreeNode::kDigit, TreeNode::kLeaf);
+  AD_CHECK(r.ok());
+  return *r;
+}
+
+GeneralizationLanguage LanguageSpace::Leaf() {
+  auto r = GeneralizationLanguage::Make(TreeNode::kLeaf, TreeNode::kLeaf,
+                                        TreeNode::kLeaf, TreeNode::kLeaf);
+  AD_CHECK(r.ok());
+  return *r;
+}
+
+GeneralizationLanguage LanguageSpace::Root() {
+  auto r = GeneralizationLanguage::Make(TreeNode::kAny, TreeNode::kAny, TreeNode::kAny,
+                                        TreeNode::kAny);
+  AD_CHECK(r.ok());
+  return *r;
+}
+
+int LanguageSpace::IdOf(const GeneralizationLanguage& lang) {
+  const auto& all = All();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == lang) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "text/generalization_tree.h"
+
+/// \file language.h
+/// Generalization languages (paper Definition 2) and the candidate space L.
+///
+/// A language maps every character of Σ to a node of the tree H. With the
+/// paper's practical restriction that all characters of a class generalize
+/// to the same level, a language is fully described by four targets:
+/// one per class chain. That yields 4 (upper) × 4 (lower) × 3 (digit) ×
+/// 3 (symbol) = 144 candidate languages — the figure quoted in Sec. 2.2.
+
+namespace autodetect {
+
+class GeneralizationLanguage {
+ public:
+  /// Constructs the identity ("leaf") language.
+  GeneralizationLanguage() = default;
+
+  /// \brief Validated construction; fails if a target is not on the
+  /// corresponding class chain of H.
+  static Result<GeneralizationLanguage> Make(TreeNode upper, TreeNode lower,
+                                             TreeNode digit, TreeNode symbol);
+
+  /// Target node for a character class.
+  TreeNode TargetFor(CharClass cls) const {
+    return targets_[static_cast<int>(cls)];
+  }
+
+  /// Maps one character to its generalization (paper: L(α)).
+  TreeNode Map(char c) const { return TargetFor(ClassifyChar(c)); }
+
+  /// \brief Compact stable name, e.g. "U>\\L|l>\\L|D>\\D|S>." (a dot means
+  /// kept at leaf level). Used in logs, benches and model files.
+  std::string Name() const;
+
+  /// True if every class is generalized to the root (the useless L_root).
+  bool IsRootLanguage() const;
+  /// True if every class stays at leaf level (the sparse L_leaf).
+  bool IsLeafLanguage() const;
+
+  /// \brief Partial order on languages: true iff this language generalizes
+  /// at least as much as `other` on every class chain AND merges every pair
+  /// of character classes that `other` merges (e.g. if `other` sends both
+  /// cases to \L, this language must not split them again via \A on one
+  /// side only). Under this definition, any two values indistinguishable
+  /// under `other` stay indistinguishable under this language
+  /// (property-tested); the pointwise condition alone would not suffice.
+  bool CoarserOrEqual(const GeneralizationLanguage& other) const;
+
+  bool operator==(const GeneralizationLanguage& other) const {
+    for (int i = 0; i < kNumCharClasses; ++i) {
+      if (targets_[i] != other.targets_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  GeneralizationLanguage(TreeNode upper, TreeNode lower, TreeNode digit,
+                         TreeNode symbol)
+      : targets_{upper, lower, digit, symbol} {}
+
+  TreeNode targets_[kNumCharClasses] = {TreeNode::kLeaf, TreeNode::kLeaf,
+                                        TreeNode::kLeaf, TreeNode::kLeaf};
+};
+
+/// \brief The candidate language space L induced by H with the same-level
+/// restriction (144 languages), plus the named special members the paper
+/// uses in examples.
+class LanguageSpace {
+ public:
+  /// All 144 candidate languages, in a deterministic order. Index in this
+  /// vector is the language's stable id across the whole system.
+  static const std::vector<GeneralizationLanguage>& All();
+
+  static constexpr int kNumLanguages = 144;
+
+  /// Paper Example 2, L1: symbols kept, everything else to root.
+  static GeneralizationLanguage PaperL1();
+  /// Paper Example 2, L2: letters to \L, digits to \D, symbols to \S.
+  static GeneralizationLanguage PaperL2();
+  /// The crude generalization G of Appendix F: digits to \D, upper to \U,
+  /// lower to \l, symbols kept at leaves. Used by distant supervision.
+  static GeneralizationLanguage CrudeG();
+  /// L_leaf — no generalization at all.
+  static GeneralizationLanguage Leaf();
+  /// L_root — everything to \A.
+  static GeneralizationLanguage Root();
+
+  /// \brief Id (index in All()) of a language; -1 if not in the space
+  /// (cannot happen for languages built from valid targets).
+  static int IdOf(const GeneralizationLanguage& lang);
+};
+
+}  // namespace autodetect

@@ -1,0 +1,160 @@
+#include "text/pattern.h"
+
+namespace autodetect {
+
+namespace {
+
+/// Appends the canonical rendering of one token to `out`.
+void RenderToken(const PatternToken& t, bool collapse, std::string* out) {
+  if (t.node == TreeNode::kLeaf) {
+    // Escape characters that collide with the token syntax so the rendering
+    // stays injective.
+    if (t.ch == '\\' || t.ch == '[' || t.ch == ']' || t.ch == '+') out->push_back('\\');
+    out->push_back(t.ch);
+  } else {
+    out->append(TreeNodeToken(t.node));
+  }
+  if (collapse) {
+    if (t.count > 1) out->push_back('+');
+  } else if (t.count > 1) {
+    out->push_back('[');
+    out->append(std::to_string(t.count));
+    out->push_back(']');
+  }
+}
+
+}  // namespace
+
+Pattern Pattern::Generalize(std::string_view value, const GeneralizationLanguage& lang,
+                            const GeneralizeOptions& options) {
+  Pattern p;
+  if (value.size() > options.max_value_length) {
+    value = value.substr(0, options.max_value_length);
+  }
+  p.tokens_.reserve(8);
+  for (char c : value) {
+    TreeNode node = lang.Map(c);
+    char leaf_ch = (node == TreeNode::kLeaf) ? c : 0;
+    if (!p.tokens_.empty() && p.tokens_.back().node == node &&
+        p.tokens_.back().ch == leaf_ch) {
+      ++p.tokens_.back().count;
+    } else {
+      p.tokens_.push_back(PatternToken{node, leaf_ch, 1});
+    }
+  }
+  if (options.collapse_run_lengths) {
+    p.collapsed_ = true;
+    for (auto& t : p.tokens_) {
+      if (t.count > 1) t.count = 2;  // canonical "more than one" marker
+    }
+  }
+  return p;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  out.reserve(tokens_.size() * 3);
+  for (const auto& t : tokens_) {
+    RenderToken(t, collapsed_, &out);
+  }
+  return out;
+}
+
+size_t Pattern::ValueLength() const {
+  size_t n = 0;
+  for (const auto& t : tokens_) n += t.count;
+  return n;
+}
+
+std::string GeneralizeToString(std::string_view value,
+                               const GeneralizationLanguage& lang,
+                               const GeneralizeOptions& options) {
+  if (value.size() > options.max_value_length) {
+    value = value.substr(0, options.max_value_length);
+  }
+  std::string out;
+  out.reserve(value.size() + 4);
+  size_t i = 0;
+  while (i < value.size()) {
+    char c = value[i];
+    TreeNode node = lang.Map(c);
+    size_t j = i + 1;
+    if (node == TreeNode::kLeaf) {
+      while (j < value.size() && lang.Map(value[j]) == TreeNode::kLeaf &&
+             value[j] == c) {
+        ++j;
+      }
+    } else {
+      while (j < value.size() && lang.Map(value[j]) == node) ++j;
+    }
+    PatternToken t{node, node == TreeNode::kLeaf ? c : static_cast<char>(0),
+                   static_cast<uint32_t>(j - i)};
+    RenderToken(t, options.collapse_run_lengths, &out);
+    i = j;
+  }
+  return out;
+}
+
+namespace {
+
+/// Incremental FNV-1a, bit-identical to hashing the canonical rendering.
+struct FnvHasher {
+  uint64_t h = 14695981039346656037ULL;
+  void Byte(unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  void Str(std::string_view s) {
+    for (unsigned char c : s) Byte(c);
+  }
+};
+
+}  // namespace
+
+uint64_t GeneralizeToKey(std::string_view value, const GeneralizationLanguage& lang,
+                         const GeneralizeOptions& options) {
+  // Allocation-free fused generalize+hash: must stay in lockstep with
+  // GeneralizeToString (verified by tests).
+  if (value.size() > options.max_value_length) {
+    value = value.substr(0, options.max_value_length);
+  }
+  FnvHasher hasher;
+  char digits[12];
+  size_t i = 0;
+  while (i < value.size()) {
+    char c = value[i];
+    TreeNode node = lang.Map(c);
+    size_t j = i + 1;
+    if (node == TreeNode::kLeaf) {
+      while (j < value.size() && lang.Map(value[j]) == TreeNode::kLeaf &&
+             value[j] == c) {
+        ++j;
+      }
+      if (c == '\\' || c == '[' || c == ']' || c == '+') hasher.Byte('\\');
+      hasher.Byte(static_cast<unsigned char>(c));
+    } else {
+      while (j < value.size() && lang.Map(value[j]) == node) ++j;
+      hasher.Str(TreeNodeToken(node));
+    }
+    size_t count = j - i;
+    if (count > 1) {
+      if (options.collapse_run_lengths) {
+        hasher.Byte('+');
+      } else {
+        hasher.Byte('[');
+        int len = 0;
+        size_t v = count;
+        while (v > 0) {
+          digits[len++] = static_cast<char>('0' + v % 10);
+          v /= 10;
+        }
+        for (int k = len - 1; k >= 0; --k) hasher.Byte(static_cast<unsigned char>(digits[k]));
+        hasher.Byte(']');
+      }
+    }
+    i = j;
+  }
+  return hasher.h;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "text/language.h"
+
+/// \file pattern.h
+/// Generalized patterns: the result of applying a generalization language to
+/// a cell value, run-length encoded the way the paper renders them
+/// ("\\D[4]-\\D[2]-\\D[2]"). Patterns are the unit that all corpus
+/// statistics are computed over.
+
+namespace autodetect {
+
+/// One run of identical generalizations. For `node == kLeaf`, `ch` holds the
+/// literal character of the run; otherwise `ch` is 0.
+struct PatternToken {
+  TreeNode node = TreeNode::kLeaf;
+  char ch = 0;
+  uint32_t count = 1;
+
+  bool operator==(const PatternToken& other) const {
+    return node == other.node && ch == other.ch && count == other.count;
+  }
+};
+
+/// Options controlling value -> pattern conversion.
+struct GeneralizeOptions {
+  /// Paper default: keep run lengths ("\\D[4]" != "\\D[2]"). Setting this to
+  /// true collapses runs to "one or more" ("\\D+") — an ablation extension,
+  /// not part of the 144-language candidate space.
+  bool collapse_run_lengths = false;
+  /// Values longer than this are truncated before generalization; guards the
+  /// statistics store against pathological cells (e.g. whole documents
+  /// pasted into one cell).
+  size_t max_value_length = 256;
+};
+
+/// \brief A generalized, run-length-encoded pattern.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// \brief Generalizes `value` under `lang` (paper Eq. 3 plus run-length
+  /// coalescing). Deterministic and total: any byte string yields a pattern.
+  static Pattern Generalize(std::string_view value, const GeneralizationLanguage& lang,
+                            const GeneralizeOptions& options = {});
+
+  const std::vector<PatternToken>& tokens() const { return tokens_; }
+  bool empty() const { return tokens_.empty(); }
+
+  /// \brief Canonical rendering, e.g. "\\A[4]-\\A[2]-\\A[2]". Injective:
+  /// distinct patterns always render distinctly (literals that could clash
+  /// with the token syntax are escaped).
+  std::string ToString() const;
+
+  /// \brief Stable 64-bit key of the canonical rendering; the key the
+  /// statistics dictionaries and sketches are indexed by.
+  uint64_t Key() const { return Fnv1a64(ToString()); }
+
+  /// Total character length this pattern stands for.
+  size_t ValueLength() const;
+
+  bool operator==(const Pattern& other) const {
+    return tokens_ == other.tokens_ && collapsed_ == other.collapsed_;
+  }
+
+ private:
+  std::vector<PatternToken> tokens_;
+  bool collapsed_ = false;
+};
+
+/// \brief Convenience fused path used by the statistics builder: generalize
+/// and return the canonical string without keeping the token vector.
+std::string GeneralizeToString(std::string_view value, const GeneralizationLanguage& lang,
+                               const GeneralizeOptions& options = {});
+
+/// \brief Fused generalize+hash; the hot path of corpus processing.
+uint64_t GeneralizeToKey(std::string_view value, const GeneralizationLanguage& lang,
+                         const GeneralizeOptions& options = {});
+
+}  // namespace autodetect

@@ -1,0 +1,97 @@
+#include "text/pattern_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace autodetect {
+
+namespace {
+
+/// True when two tokens belong to the same class chain of H (so one could
+/// generalize into the other).
+bool SameChain(const PatternToken& a, const PatternToken& b) {
+  auto class_of = [](const PatternToken& t) -> int {
+    switch (t.node) {
+      case TreeNode::kLeaf:
+        return static_cast<int>(ClassifyChar(t.ch));
+      case TreeNode::kUpper:
+        return static_cast<int>(CharClass::kUpper);
+      case TreeNode::kLower:
+        return static_cast<int>(CharClass::kLower);
+      case TreeNode::kDigit:
+        return static_cast<int>(CharClass::kDigit);
+      case TreeNode::kSymbol:
+        return static_cast<int>(CharClass::kSymbol);
+      case TreeNode::kLetter:
+      case TreeNode::kAny:
+        return 4;  // spans multiple classes; treat as its own bucket
+    }
+    return 5;
+  };
+  int ca = class_of(a), cb = class_of(b);
+  if (ca == 4 || cb == 4) {
+    // \L relates to letters, \A relates to everything.
+    if (a.node == TreeNode::kAny || b.node == TreeNode::kAny) return true;
+    auto letter_related = [](const PatternToken& t) {
+      if (t.node == TreeNode::kLetter || t.node == TreeNode::kUpper ||
+          t.node == TreeNode::kLower)
+        return true;
+      return t.node == TreeNode::kLeaf && (ClassifyChar(t.ch) == CharClass::kUpper ||
+                                           ClassifyChar(t.ch) == CharClass::kLower);
+    };
+    return letter_related(a) && letter_related(b);
+  }
+  return ca == cb;
+}
+
+double SubstitutionCost(const PatternToken& a, const PatternToken& b,
+                        const PatternDistanceOptions& opt) {
+  if (a == b) return 0.0;
+  if (a.node == b.node && a.ch == b.ch) return opt.length_mismatch_cost;
+  if (SameChain(a, b)) {
+    double cost = opt.related_substitution_cost;
+    if (a.count != b.count) cost += opt.length_mismatch_cost;
+    return std::min(cost, opt.unrelated_substitution_cost);
+  }
+  return opt.unrelated_substitution_cost;
+}
+
+}  // namespace
+
+double PatternDistance(const Pattern& a, const Pattern& b,
+                       const PatternDistanceOptions& opt) {
+  const auto& ta = a.tokens();
+  const auto& tb = b.tokens();
+  const size_t n = ta.size(), m = tb.size();
+  if (n == 0) return static_cast<double>(m) * opt.insert_delete_cost;
+  if (m == 0) return static_cast<double>(n) * opt.insert_delete_cost;
+  std::vector<double> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j) * opt.insert_delete_cost;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<double>(i) * opt.insert_delete_cost;
+    for (size_t j = 1; j <= m; ++j) {
+      double del = prev[j] + opt.insert_delete_cost;
+      double ins = curr[j - 1] + opt.insert_delete_cost;
+      double sub = prev[j - 1] + SubstitutionCost(ta[i - 1], tb[j - 1], opt);
+      curr[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double NormalizedPatternDistance(const Pattern& a, const Pattern& b,
+                                 const PatternDistanceOptions& opt) {
+  size_t denom = std::max(a.tokens().size(), b.tokens().size());
+  if (denom == 0) return 0.0;
+  return PatternDistance(a, b, opt) / static_cast<double>(denom);
+}
+
+double ValuePatternDistance(std::string_view v1, std::string_view v2,
+                            const GeneralizationLanguage& lang,
+                            const PatternDistanceOptions& opt) {
+  return NormalizedPatternDistance(Pattern::Generalize(v1, lang),
+                                   Pattern::Generalize(v2, lang), opt);
+}
+
+}  // namespace autodetect

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string_view>
+
+#include "text/pattern.h"
+
+/// \file pattern_distance.h
+/// Alignment-based distance between generalized patterns, in the spirit of
+/// the pattern distance from TEGRA [Chu et al., SIGMOD'15] that the paper's
+/// SVDD/DBOD baselines use. The distance is a token-level edit distance
+/// where substituting related tokens (same class chain, different level or
+/// length) is cheaper than substituting unrelated tokens.
+
+namespace autodetect {
+
+/// \brief Cost model for token-level alignment.
+struct PatternDistanceOptions {
+  double insert_delete_cost = 1.0;
+  /// Same tree node, different run length (e.g. \D[4] vs \D[2]).
+  double length_mismatch_cost = 0.25;
+  /// Different node on the same chain (e.g. \U vs \L, or leaf 'a' vs \l).
+  double related_substitution_cost = 0.5;
+  /// Unrelated tokens (e.g. \D vs \S).
+  double unrelated_substitution_cost = 1.0;
+};
+
+/// \brief Token-level edit distance between two patterns. Symmetric,
+/// non-negative, zero iff equal; satisfies the triangle inequality for the
+/// default cost model (property-tested).
+double PatternDistance(const Pattern& a, const Pattern& b,
+                       const PatternDistanceOptions& options = {});
+
+/// \brief Distance normalized into [0, 1] by the larger token count.
+double NormalizedPatternDistance(const Pattern& a, const Pattern& b,
+                                 const PatternDistanceOptions& options = {});
+
+/// \brief Convenience: generalize both values under `lang` then measure.
+double ValuePatternDistance(std::string_view v1, std::string_view v2,
+                            const GeneralizationLanguage& lang,
+                            const PatternDistanceOptions& options = {});
+
+}  // namespace autodetect

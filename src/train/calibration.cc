@@ -1,0 +1,155 @@
+#include "train/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/npmi.h"
+#include "text/pattern.h"
+
+namespace autodetect {
+
+double PrecisionCurve::PrecisionAt(double score) const {
+  if (points_.empty()) return 0.0;
+  if (score <= points_.front().score) return points_.front().precision;
+  // Largest point with point.score <= score.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), score,
+      [](double s, const Point& p) { return s < p.score; });
+  return std::prev(it)->precision;
+}
+
+void PrecisionCurve::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(points_.size());
+  for (const auto& p : points_) {
+    writer->WriteDouble(p.score);
+    writer->WriteDouble(p.precision);
+  }
+}
+
+Result<PrecisionCurve> PrecisionCurve::Deserialize(BinaryReader* reader) {
+  AD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  if (n > (1ULL << 24)) return Status::Corruption("implausible curve size");
+  std::vector<PrecisionCurve::Point> points;
+  points.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    PrecisionCurve::Point p;
+    AD_ASSIGN_OR_RETURN(p.score, reader->ReadDouble());
+    AD_ASSIGN_OR_RETURN(p.precision, reader->ReadDouble());
+    points.push_back(p);
+  }
+  return PrecisionCurve(std::move(points));
+}
+
+std::vector<double> ScoreTrainingSet(const GeneralizationLanguage& lang,
+                                     const LanguageStats& stats,
+                                     const TrainingSet& train,
+                                     double smoothing_factor) {
+  NpmiScorer scorer(&stats, smoothing_factor);
+  std::vector<double> scores;
+  scores.reserve(train.size());
+  auto score_pair = [&](const LabeledPair& p) {
+    return scorer.Score(GeneralizeToKey(p.u, lang), GeneralizeToKey(p.v, lang));
+  };
+  for (const auto& p : train.positives) scores.push_back(score_pair(p));
+  for (const auto& p : train.negatives) scores.push_back(score_pair(p));
+  return scores;
+}
+
+CalibrationResult CalibrateLanguage(const GeneralizationLanguage& lang,
+                                    const LanguageStats& stats,
+                                    const TrainingSet& train,
+                                    const CalibrationOptions& options) {
+  CalibrationResult result;
+  result.covered_negatives = DynamicBitset(train.negatives.size());
+  if (train.size() == 0) return result;
+
+  struct Scored {
+    double score;
+    bool is_negative;
+    uint32_t neg_index;  // valid when is_negative
+  };
+  std::vector<double> scores =
+      ScoreTrainingSet(lang, stats, train, options.smoothing_factor);
+
+  std::vector<Scored> items;
+  items.reserve(scores.size());
+  for (size_t i = 0; i < train.positives.size(); ++i) {
+    items.push_back(Scored{scores[i], false, 0});
+  }
+  for (size_t i = 0; i < train.negatives.size(); ++i) {
+    items.push_back(Scored{scores[train.positives.size() + i], true,
+                           static_cast<uint32_t>(i)});
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Scored& a, const Scored& b) { return a.score < b.score; });
+
+  // Walk prefixes grouped by tied scores. A prefix is "valid" when every
+  // group boundary so far had precision >= P; θ_k is the last valid
+  // boundary's score (Eq. 8).
+  size_t negatives_so_far = 0;
+  size_t total_so_far = 0;
+  size_t valid_prefix_end = 0;  // item count of the best valid prefix
+  double valid_threshold = -2.0;
+  double valid_precision = 0.0;
+  bool still_valid = true;
+
+  std::vector<PrecisionCurve::Point> curve_points;
+
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].score == items[i].score) ++j;
+    for (size_t k = i; k < j; ++k) negatives_so_far += items[k].is_negative ? 1 : 0;
+    total_so_far = j;
+    double precision =
+        static_cast<double>(negatives_so_far) / static_cast<double>(total_so_far);
+    // The stored curve uses a Laplace-smoothed estimate: it never saturates
+    // at exactly 1.0, so deeper (better-supported) prefixes rank above
+    // shallow ones and detection-time confidences stay discriminative.
+    double smoothed = (static_cast<double>(negatives_so_far) + 0.5) /
+                      (static_cast<double>(total_so_far) + 1.0);
+    curve_points.push_back(PrecisionCurve::Point{items[i].score, smoothed});
+    if (still_valid && items[i].score > options.max_threshold) {
+      still_valid = false;  // θ_k may not exceed the semantic cap
+    }
+    if (still_valid) {
+      if (precision >= options.precision_target) {
+        valid_prefix_end = j;
+        valid_threshold = items[i].score;
+        valid_precision = precision;
+      } else {
+        still_valid = false;  // Eq. 8: all θ' <= θ_k must satisfy P
+      }
+    }
+    i = j;
+  }
+
+  if (valid_prefix_end > 0) {
+    result.has_threshold = true;
+    result.threshold = valid_threshold;
+    result.precision_at_threshold = valid_precision;
+    for (size_t k = 0; k < valid_prefix_end; ++k) {
+      if (items[k].is_negative) {
+        result.covered_negatives.Set(items[k].neg_index);
+        ++result.covered_count;
+      }
+    }
+  }
+
+  // Downsample the curve for storage, always keeping first and last points.
+  if (curve_points.size() > options.max_curve_points) {
+    std::vector<PrecisionCurve::Point> sampled;
+    sampled.reserve(options.max_curve_points);
+    double stride = static_cast<double>(curve_points.size() - 1) /
+                    static_cast<double>(options.max_curve_points - 1);
+    for (size_t k = 0; k < options.max_curve_points; ++k) {
+      sampled.push_back(curve_points[static_cast<size_t>(std::round(k * stride))]);
+    }
+    curve_points = std::move(sampled);
+  }
+  result.curve = PrecisionCurve(std::move(curve_points));
+  return result;
+}
+
+}  // namespace autodetect

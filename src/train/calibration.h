@@ -1,0 +1,89 @@
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "io/serde.h"
+#include "stats/language_stats.h"
+#include "text/language.h"
+#include "train/distant_supervision.h"
+
+/// \file calibration.h
+/// Static-threshold calibration (paper Sec. 3.2, Eq. 7-8): for each
+/// candidate language L_k, find the largest NPMI threshold θ_k such that
+/// predicting "incompatible" for every training pair scoring <= θ' keeps
+/// precision >= P for ALL θ' <= θ_k. Also records the empirical
+/// score→precision curve, which at detection time provides the confidence
+/// estimate P_k(s) used by max-confidence aggregation (Appendix B).
+
+namespace autodetect {
+
+/// \brief Empirical precision-at-threshold curve of one language on T.
+/// Points are (score, precision of all predictions with score <= point's
+/// score), sorted by score ascending.
+class PrecisionCurve {
+ public:
+  struct Point {
+    double score;
+    double precision;
+  };
+
+  PrecisionCurve() = default;
+  explicit PrecisionCurve(std::vector<Point> points) : points_(std::move(points)) {}
+
+  /// \brief Estimated precision P_k(s) when flagging at threshold `score`.
+  /// Returns 0 for an empty curve.
+  double PrecisionAt(double score) const;
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<PrecisionCurve> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<Point> points_;
+};
+
+struct CalibrationResult {
+  /// θ_k. Only meaningful when has_threshold.
+  double threshold = -2.0;
+  /// False when no non-empty prefix meets the precision target (the
+  /// language is unusable at this P and must not be selected).
+  bool has_threshold = false;
+  double precision_at_threshold = 0.0;
+  /// Bit i set iff training negative T−[i] scores <= θ_k (the H_k^- set).
+  DynamicBitset covered_negatives;
+  size_t covered_count = 0;
+  PrecisionCurve curve;
+};
+
+struct CalibrationOptions {
+  double precision_target = 0.95;  ///< the P of Definition 5
+  double smoothing_factor = 0.1;
+  /// Upper bound on θ_k. NPMI > 0 means the patterns co-occur *more* than
+  /// chance (Sec. 2.1), so an "incompatible" call above 0 would contradict
+  /// the score's semantics no matter what the training prefix precision
+  /// says; all thresholds in the paper's worked examples are negative.
+  /// Strictly negative so that score 0 — the scorer's "no reliable
+  /// evidence" sentinel — can never fire.
+  double max_threshold = -0.01;
+  /// Max points retained in the stored precision curve.
+  size_t max_curve_points = 256;
+};
+
+/// \brief Calibrates one language against the training set.
+CalibrationResult CalibrateLanguage(const GeneralizationLanguage& lang,
+                                    const LanguageStats& stats,
+                                    const TrainingSet& train,
+                                    const CalibrationOptions& options);
+
+/// \brief Scores every pair of `train` under `lang`; returned in the order
+/// positives-then-negatives. Exposed for the aggregation ablation bench.
+std::vector<double> ScoreTrainingSet(const GeneralizationLanguage& lang,
+                                     const LanguageStats& stats,
+                                     const TrainingSet& train,
+                                     double smoothing_factor);
+
+}  // namespace autodetect

@@ -1,0 +1,210 @@
+#include "train/selection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace autodetect {
+
+namespace {
+
+size_t UnionCoverage(const std::vector<LanguageCandidate>& candidates,
+                     const std::vector<size_t>& picks) {
+  if (picks.empty()) return 0;
+  DynamicBitset acc(candidates[picks[0]].covered.size());
+  for (size_t p : picks) acc.UnionWith(candidates[p].covered);
+  return acc.Popcount();
+}
+
+}  // namespace
+
+SelectionResult SelectLanguagesGreedy(const std::vector<LanguageCandidate>& candidates,
+                                      size_t memory_budget_bytes) {
+  SelectionResult result;
+  if (candidates.empty()) return result;
+  const size_t num_negatives = candidates[0].covered.size();
+
+  // Greedy phase (Algorithm 1, lines 2-7).
+  DynamicBitset covered(num_negatives);
+  std::vector<bool> picked(candidates.size(), false);
+  size_t used_bytes = 0;
+  while (true) {
+    double best_ratio = 0.0;
+    size_t best = candidates.size();
+    size_t best_gain = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (picked[i]) continue;
+      if (used_bytes + candidates[i].size_bytes > memory_budget_bytes) continue;
+      size_t gain = candidates[i].covered.CountNewOver(covered);
+      if (gain == 0) continue;
+      double ratio = static_cast<double>(gain) /
+                     static_cast<double>(std::max<size_t>(1, candidates[i].size_bytes));
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == candidates.size()) break;
+    picked[best] = true;
+    covered.UnionWith(candidates[best].covered);
+    used_bytes += candidates[best].size_bytes;
+    result.selected.push_back(best);
+    (void)best_gain;
+  }
+  result.total_bytes = used_bytes;
+  result.covered_count = covered.Popcount();
+
+  // Best-singleton fallback (lines 8-12).
+  size_t best_single = candidates.size();
+  size_t best_single_cover = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].size_bytes > memory_budget_bytes) continue;
+    size_t c = candidates[i].covered.Popcount();
+    if (c > best_single_cover) {
+      best_single_cover = c;
+      best_single = i;
+    }
+  }
+  if (best_single < candidates.size() && best_single_cover > result.covered_count) {
+    result.selected = {best_single};
+    result.total_bytes = candidates[best_single].size_bytes;
+    result.covered_count = best_single_cover;
+    result.singleton_fallback = true;
+  }
+  return result;
+}
+
+DtSelectionResult SelectLanguagesDT(const std::vector<DtSelectionInput>& inputs,
+                                    const DtSelectionOptions& options) {
+  DtSelectionResult result;
+  if (inputs.empty()) return result;
+  const size_t num_neg = inputs[0].negative_scores.size();
+  const size_t num_pos = inputs[0].positive_scores.size();
+
+  // Per-language candidate threshold grids: quantiles of its negative
+  // scores, clamped strictly below 0 (see CalibrationOptions::max_threshold).
+  struct Grid {
+    std::vector<double> thetas;
+  };
+  std::vector<Grid> grids(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    std::vector<double> sorted = inputs[i].negative_scores;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t q = 1; q <= options.threshold_grid; ++q) {
+      double theta =
+          sorted[std::min(sorted.size() - 1,
+                          q * sorted.size() / (options.threshold_grid + 1))];
+      if (theta >= -0.01) continue;
+      if (grids[i].thetas.empty() || grids[i].thetas.back() != theta) {
+        grids[i].thetas.push_back(theta);
+      }
+    }
+  }
+
+  DynamicBitset covered_neg(num_neg), covered_pos(num_pos);
+  // Per selected language: its current theta (index into grid), or -1.
+  std::vector<int> chosen_theta(inputs.size(), -1);
+  size_t used_bytes = 0;
+
+  auto union_counts_with = [&](size_t li, double theta, size_t* new_neg,
+                               size_t* new_pos) {
+    size_t nn = 0, np = 0;
+    for (size_t j = 0; j < num_neg; ++j) {
+      if (!covered_neg.Test(j) && inputs[li].negative_scores[j] <= theta) ++nn;
+    }
+    for (size_t j = 0; j < num_pos; ++j) {
+      if (!covered_pos.Test(j) && inputs[li].positive_scores[j] <= theta) ++np;
+    }
+    *new_neg = nn;
+    *new_pos = np;
+  };
+
+  while (true) {
+    double best_gain = 0;
+    size_t best_li = inputs.size();
+    double best_theta = 0;
+    size_t cur_neg = covered_neg.Popcount();
+    size_t cur_pos = covered_pos.Popcount();
+    for (size_t li = 0; li < inputs.size(); ++li) {
+      size_t extra_bytes = chosen_theta[li] == -1 ? inputs[li].size_bytes : 0;
+      if (used_bytes + extra_bytes > options.memory_budget_bytes) continue;
+      for (double theta : grids[li].thetas) {
+        if (chosen_theta[li] != -1 &&
+            theta <= grids[li].thetas[static_cast<size_t>(chosen_theta[li])]) {
+          continue;  // only widening an already-selected language helps
+        }
+        size_t nn, np;
+        union_counts_with(li, theta, &nn, &np);
+        if (nn == 0) continue;
+        double precision =
+            static_cast<double>(cur_neg + nn) /
+            static_cast<double>(cur_neg + nn + cur_pos + np);
+        if (precision < options.precision_target) continue;
+        double gain = static_cast<double>(nn) /
+                      static_cast<double>(std::max<size_t>(1, extra_bytes) + 64);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_li = li;
+          best_theta = theta;
+        }
+      }
+    }
+    if (best_li == inputs.size()) break;
+    if (chosen_theta[best_li] == -1) used_bytes += inputs[best_li].size_bytes;
+    // Record the chosen theta's grid index.
+    const auto& thetas = grids[best_li].thetas;
+    chosen_theta[best_li] = static_cast<int>(
+        std::find(thetas.begin(), thetas.end(), best_theta) - thetas.begin());
+    for (size_t j = 0; j < num_neg; ++j) {
+      if (inputs[best_li].negative_scores[j] <= best_theta) covered_neg.Set(j);
+    }
+    for (size_t j = 0; j < num_pos; ++j) {
+      if (inputs[best_li].positive_scores[j] <= best_theta) covered_pos.Set(j);
+    }
+  }
+
+  for (size_t li = 0; li < inputs.size(); ++li) {
+    if (chosen_theta[li] == -1) continue;
+    result.selected.emplace_back(
+        inputs[li].lang_id,
+        grids[li].thetas[static_cast<size_t>(chosen_theta[li])]);
+    result.total_bytes += inputs[li].size_bytes;
+  }
+  result.covered_negatives = covered_neg.Popcount();
+  result.covered_positives = covered_pos.Popcount();
+  size_t denom = result.covered_negatives + result.covered_positives;
+  result.precision =
+      denom ? static_cast<double>(result.covered_negatives) /
+                  static_cast<double>(denom)
+            : 0.0;
+  return result;
+}
+
+SelectionResult SelectLanguagesExhaustive(
+    const std::vector<LanguageCandidate>& candidates, size_t memory_budget_bytes) {
+  AD_CHECK(candidates.size() <= 24) << "exhaustive selection limited to 24 candidates";
+  SelectionResult best;
+  const size_t n = candidates.size();
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    size_t bytes = 0;
+    std::vector<size_t> picks;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        bytes += candidates[i].size_bytes;
+        picks.push_back(i);
+      }
+    }
+    if (bytes > memory_budget_bytes) continue;
+    size_t cover = UnionCoverage(candidates, picks);
+    if (cover > best.covered_count ||
+        (cover == best.covered_count && bytes < best.total_bytes)) {
+      best.covered_count = cover;
+      best.total_bytes = bytes;
+      best.selected = std::move(picks);
+    }
+  }
+  return best;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitset.h"
+
+/// \file selection.h
+/// Language-subset selection under a memory budget (paper Definition 5,
+/// ST aggregation). The problem is budgeted maximum coverage — NP-hard
+/// (paper Theorem 2) — solved by the greedy of Algorithm 1, which carries a
+/// 1/2·(1−1/e) approximation guarantee (Lemma 3): pick by marginal coverage
+/// per byte, then compare against the best affordable singleton and return
+/// the better of the two. An exhaustive solver is provided for small
+/// instances (tests verify the greedy against it).
+
+namespace autodetect {
+
+/// \brief One calibrated candidate: its memory cost and which training
+/// negatives it covers at its threshold θ_k.
+struct LanguageCandidate {
+  int lang_id = -1;
+  size_t size_bytes = 0;
+  DynamicBitset covered;  ///< over T− indices (H_k^-)
+};
+
+struct SelectionResult {
+  /// Indices into the candidates vector, in pick order.
+  std::vector<size_t> selected;
+  size_t total_bytes = 0;
+  size_t covered_count = 0;
+  /// True when the best-singleton fallback of Algorithm 1 (lines 8-12) won.
+  bool singleton_fallback = false;
+};
+
+/// \brief Algorithm 1. Candidates with zero coverage are never picked.
+SelectionResult SelectLanguagesGreedy(const std::vector<LanguageCandidate>& candidates,
+                                      size_t memory_budget_bytes);
+
+/// \brief Exact optimum by subset enumeration; requires
+/// candidates.size() <= 24. For tests and small ablations only.
+SelectionResult SelectLanguagesExhaustive(
+    const std::vector<LanguageCandidate>& candidates, size_t memory_budget_bytes);
+
+// ---------------------------------------------------------------------------
+// DT aggregation (paper Definition 4) — extension.
+//
+// The paper formalizes dynamic-threshold aggregation, proves it NP-hard and
+// hard to approximate (Theorem 1), and falls back to ST. This greedy
+// heuristic implements DT anyway for the ablation: candidates are
+// (language, threshold) pairs; each step picks the pair with the best
+// marginal covered-negatives per byte whose addition keeps the *global*
+// union precision above the target. No approximation guarantee exists (per
+// Theorem 1); it is evaluated empirically against ST.
+
+/// Per-language training scores handed to the DT optimizer.
+struct DtSelectionInput {
+  int lang_id = -1;
+  size_t size_bytes = 0;
+  /// Score of every T− / T+ pair under this language (index-aligned across
+  /// inputs).
+  std::vector<double> negative_scores;
+  std::vector<double> positive_scores;
+};
+
+struct DtSelectionResult {
+  /// Selected languages with their individually chosen thresholds.
+  std::vector<std::pair<int, double>> selected;  // (lang_id, theta)
+  size_t total_bytes = 0;
+  size_t covered_negatives = 0;
+  size_t covered_positives = 0;  ///< false positives of the union
+  double precision = 0.0;
+};
+
+struct DtSelectionOptions {
+  size_t memory_budget_bytes = 0;
+  double precision_target = 0.95;
+  /// Candidate thresholds per language = this many negative-score quantiles
+  /// (clamped to < 0).
+  size_t threshold_grid = 8;
+};
+
+/// \brief Greedy heuristic for Definition 4.
+DtSelectionResult SelectLanguagesDT(const std::vector<DtSelectionInput>& inputs,
+                                    const DtSelectionOptions& options);
+
+}  // namespace autodetect

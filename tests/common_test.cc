@@ -1,0 +1,410 @@
+// Unit tests for the common runtime: Status/Result, RNG, hashing, strings,
+// bitset, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/bitset.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace autodetect {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Invalid("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalid());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid: bad input");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyAndMoveSemantics) {
+  Status s = Status::NotFound("missing");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+  EXPECT_EQ(moved.message(), "missing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::Invalid("a"), Status::Invalid("a"));
+  EXPECT_FALSE(Status::Invalid("a") == Status::Invalid("b"));
+  EXPECT_FALSE(Status::Invalid("a") == Status::OK());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    AD_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(std::move(r).ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> Result<int> {
+    if (ok) return 7;
+    return Status::Invalid("no");
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    AD_ASSIGN_OR_RETURN(int v, producer(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(*consumer(true), 14);
+  EXPECT_TRUE(consumer(false).status().IsInvalid());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST(RandomTest, DeterministicForSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU32() == b.NextU32());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, BelowStaysInRange) {
+  Pcg32 rng(9);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(RandomTest, BelowOneIsAlwaysZero) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RandomTest, UniformCoversInclusiveRange) {
+  Pcg32 rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ChanceZeroAndOne) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RandomTest, ChanceApproximatesProbability) {
+  Pcg32 rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Pcg32 rng(23);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks) {
+  Pcg32 rng(29);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    uint32_t v = rng.NextZipf(100, 1.5);
+    EXPECT_LT(v, 100u);
+    low += v < 10 ? 1 : 0;
+  }
+  EXPECT_GT(low, n / 2);  // heavy head
+}
+
+TEST(RandomTest, ShufflePreservesMultiset) {
+  Pcg32 rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end()), b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomTest, ForkIsIndependentOfParentContinuation) {
+  Pcg32 a(77);
+  Pcg32 child = a.Fork();
+  uint32_t child_first = child.NextU32();
+  // Recreate: forking at the same state yields the same child stream.
+  Pcg32 b(77);
+  Pcg32 child2 = b.Fork();
+  EXPECT_EQ(child2.NextU32(), child_first);
+}
+
+// ------------------------------------------------------------------ Hash
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, CombineUnorderedIsSymmetric) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextU64(), b = rng.NextU64();
+    EXPECT_EQ(CombineUnordered(a, b), CombineUnordered(b, a));
+  }
+}
+
+TEST(HashTest, CombineUnorderedSeparatesPairs) {
+  EXPECT_NE(CombineUnordered(1, 2), CombineUnordered(1, 3));
+  EXPECT_NE(CombineUnordered(1, 2), CombineUnordered(2, 2));
+}
+
+TEST(HashTest, PairwiseHashInRangeAndDeterministic) {
+  PairwiseHash h(12345, 67890);
+  for (uint64_t x : {0ULL, 1ULL, 999ULL, ~0ULL}) {
+    uint64_t v = h(x, 100);
+    EXPECT_LT(v, 100u);
+    EXPECT_EQ(v, h(x, 100));
+  }
+}
+
+TEST(HashTest, PairwiseHashFamilyMembersDiffer) {
+  PairwiseHash h1(3, 5), h2(7, 11);
+  int same = 0;
+  for (uint64_t x = 0; x < 200; ++x) same += (h1(x, 1024) == h2(x, 1024));
+  EXPECT_LT(same, 20);
+}
+
+// ------------------------------------------------------------- StringUtil
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  Pcg32 rng(41);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::string> parts;
+    int n = static_cast<int>(rng.Uniform(1, 5));
+    for (int j = 0; j < n; ++j) {
+      std::string p;
+      for (int k = static_cast<int>(rng.Uniform(0, 4)); k > 0; --k) {
+        p.push_back(static_cast<char>('a' + rng.Below(26)));
+      }
+      parts.push_back(p);
+    }
+    EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+  }
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, ToLowerAsciiOnlyTouchesAsciiLetters) {
+  EXPECT_EQ(ToLowerAscii("AbC-12"), "abc-12");
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, PadLeft) {
+  EXPECT_EQ(PadLeft("7", 3, '0'), "007");
+  EXPECT_EQ(PadLeft("1234", 3, '0'), "1234");
+  EXPECT_EQ(PadLeft("", 2, 'x'), "xx");
+}
+
+TEST(StringUtilTest, ThousandSeparators) {
+  EXPECT_EQ(WithThousandSeparators(0), "0");
+  EXPECT_EQ(WithThousandSeparators(999), "999");
+  EXPECT_EQ(WithThousandSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandSeparators(-1234), "-1,234");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KB");
+  EXPECT_EQ(HumanBytes(3ull << 20), "3.0 MB");
+}
+
+// ---------------------------------------------------------------- Bitset
+
+TEST(BitsetTest, SetAndTest) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Popcount(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Popcount(), 3u);
+}
+
+TEST(BitsetTest, UnionAndCountNew) {
+  DynamicBitset a(100), b(100);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_EQ(b.CountNewOver(a), 1u);  // only bit 3 is new
+  a.UnionWith(b);
+  EXPECT_EQ(a.Popcount(), 3u);
+  EXPECT_EQ(b.CountNewOver(a), 0u);
+}
+
+TEST(BitsetTest, EqualityAndSelfUnion) {
+  DynamicBitset a(64), b(64);
+  a.Set(5);
+  b.Set(5);
+  EXPECT_EQ(a, b);
+  a.UnionWith(a);
+  EXPECT_EQ(a.Popcount(), 1u);
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  ThreadPool::ParallelFor(hits.size(), 4,
+                          [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool::ParallelFor(0, 4, [](size_t) { FAIL(); });
+  int calls = 0;
+  ThreadPool::ParallelFor(1, 4, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace autodetect

@@ -1,0 +1,430 @@
+// Tests for the corpus substrate: value domains, the corpus generator and
+// the error injector.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/column_source.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/error_injector.h"
+#include "corpus/value_domains.h"
+
+namespace autodetect {
+namespace {
+
+// ---------------------------------------------------------------- Domains
+
+TEST(DomainRegistryTest, HasManyDomainsWithUniqueNames) {
+  const auto& all = DomainRegistry::Global().all();
+  EXPECT_GE(all.size(), 30u);
+  std::set<std::string> names;
+  for (const auto* d : all) names.insert(d->name());
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(DomainRegistryTest, LookupByName) {
+  EXPECT_NE(DomainRegistry::Global().ByName("date_iso"), nullptr);
+  EXPECT_NE(DomainRegistry::Global().ByName("phone_us"), nullptr);
+  EXPECT_EQ(DomainRegistry::Global().ByName("no_such_domain"), nullptr);
+}
+
+TEST(DomainRegistryTest, EveryCategoryPopulated) {
+  for (int c = 0; c < kNumDomainCategories; ++c) {
+    EXPECT_FALSE(
+        DomainRegistry::Global().ByCategory(static_cast<DomainCategory>(c)).empty())
+        << DomainCategoryName(static_cast<DomainCategory>(c));
+  }
+}
+
+// Property sweep: every domain produces non-empty, printable, bounded
+// values, deterministically for a fixed seed.
+class EveryDomainTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EveryDomainTest, GeneratesSaneValues) {
+  const ValueDomain* domain = DomainRegistry::Global().all()[GetParam()];
+  Pcg32 rng(77);
+  auto values = domain->GenerateColumn(50, &rng);
+  ASSERT_EQ(values.size(), 50u);
+  for (const auto& v : values) {
+    EXPECT_FALSE(v.empty()) << domain->name();
+    EXPECT_LE(v.size(), 64u) << domain->name() << ": " << v;
+    for (char c : v) {
+      EXPECT_GE(c, 0x20) << domain->name() << ": " << v;
+      EXPECT_LT(c, 0x7f) << domain->name() << ": " << v;
+    }
+  }
+}
+
+TEST_P(EveryDomainTest, DeterministicForSeed) {
+  const ValueDomain* domain = DomainRegistry::Global().all()[GetParam()];
+  Pcg32 a(123), b(123);
+  EXPECT_EQ(domain->GenerateColumn(20, &a), domain->GenerateColumn(20, &b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, EveryDomainTest,
+    ::testing::Range<size_t>(0, DomainRegistry::Global().all().size()));
+
+TEST(DomainTest, DateColumnsUseOneSeparatorPerColumn) {
+  const ValueDomain* iso = DomainRegistry::Global().ByName("date_iso");
+  Pcg32 rng(5);
+  for (const auto& v : iso->GenerateColumn(30, &rng)) {
+    EXPECT_EQ(v.size(), 10u) << v;
+    EXPECT_EQ(v[4], '-') << v;
+    EXPECT_EQ(v[7], '-') << v;
+  }
+}
+
+TEST(DomainTest, PhoneColumnsShareOneFormat) {
+  const ValueDomain* phone = DomainRegistry::Global().ByName("phone_us");
+  Pcg32 rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto values = phone->GenerateColumn(20, &rng);
+    // All values in a column must share their symbol skeleton.
+    auto skeleton = [](const std::string& v) {
+      std::string s;
+      for (char c : v) {
+        if (!(c >= '0' && c <= '9')) s.push_back(c);
+      }
+      return s;
+    };
+    for (const auto& v : values) EXPECT_EQ(skeleton(v), skeleton(values[0]));
+  }
+}
+
+TEST(DomainTest, MixedSeparatorIntsProduceBothForms) {
+  const ValueDomain* d = DomainRegistry::Global().ByName("int_mixed_separators");
+  Pcg32 rng(7);
+  bool saw_plain = false, saw_separated = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const auto& v : d->GenerateColumn(30, &rng)) {
+      if (v.find(',') != std::string::npos) {
+        saw_separated = true;
+      } else {
+        saw_plain = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_plain);
+  EXPECT_TRUE(saw_separated);
+}
+
+TEST(ValuegenTest, Helpers) {
+  EXPECT_EQ(valuegen::PadNumber(7, 2), "07");
+  EXPECT_EQ(valuegen::FormatInt(1234567, true), "1,234,567");
+  EXPECT_EQ(valuegen::FormatInt(1234567, false), "1234567");
+  EXPECT_EQ(valuegen::FormatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(valuegen::DaysInMonth(2), 28);
+  EXPECT_EQ(valuegen::DaysInMonth(12), 31);
+  EXPECT_EQ(valuegen::MonthNamesFull().size(), 12u);
+  EXPECT_EQ(valuegen::MonthNamesAbbrev().size(), 12u);
+}
+
+TEST(ValuegenTest, PhoneRendering) {
+  EXPECT_EQ(valuegen::RenderPhone("4255550123", 0), "(425) 555-0123");
+  EXPECT_EQ(valuegen::RenderPhone("4255550123", 1), "425-555-0123");
+  EXPECT_EQ(valuegen::RenderPhone("4255550123", 2), "425.555.0123");
+  EXPECT_EQ(valuegen::RenderPhone("4255550123", 3), "+1 425 555 0123");
+}
+
+// -------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, ProducesRequestedColumnCount) {
+  GeneratorOptions opts;
+  opts.num_columns = 500;
+  opts.seed = 9;
+  Corpus corpus = GenerateCorpus(opts);
+  EXPECT_EQ(corpus.size(), 500u);
+  EXPECT_GT(corpus.TotalCells(), 500u * opts.profile.min_rows - 1);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.num_columns = 200;
+  opts.seed = 10;
+  Corpus a = GenerateCorpus(opts);
+  Corpus b = GenerateCorpus(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+    EXPECT_EQ(a[i].domain, b[i].domain);
+    EXPECT_EQ(a[i].dirty_index, b[i].dirty_index);
+  }
+}
+
+TEST(GeneratorTest, ResetReplaysIdentically) {
+  GeneratorOptions opts;
+  opts.num_columns = 100;
+  opts.seed = 11;
+  GeneratedColumnSource source(opts);
+  std::vector<Column> first;
+  Column c;
+  while (source.Next(&c)) first.push_back(c);
+  EXPECT_EQ(first.size(), 100u);
+  source.Reset();
+  size_t i = 0;
+  while (source.Next(&c)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_EQ(c.values, first[i].values);
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(GeneratorTest, DirtyRateApproximatesProfile) {
+  GeneratorOptions opts;
+  opts.profile = CorpusProfile::Web();  // 6.9%
+  opts.num_columns = 5000;
+  opts.seed = 12;
+  Corpus corpus = GenerateCorpus(opts);
+  double rate = static_cast<double>(corpus.CountDirty()) /
+                static_cast<double>(corpus.size());
+  EXPECT_NEAR(rate, 0.069, 0.02);
+}
+
+TEST(GeneratorTest, CleanModeInjectsNothing) {
+  GeneratorOptions opts;
+  opts.num_columns = 1000;
+  opts.inject_errors = false;
+  opts.seed = 13;
+  Corpus corpus = GenerateCorpus(opts);
+  EXPECT_EQ(corpus.CountDirty(), 0u);
+}
+
+TEST(GeneratorTest, DirtyGroundTruthIsConsistent) {
+  GeneratorOptions opts;
+  opts.profile = CorpusProfile::Web();
+  opts.profile.dirty_rate = 0.5;  // force many dirty columns
+  opts.num_columns = 1000;
+  opts.seed = 14;
+  Corpus corpus = GenerateCorpus(opts);
+  size_t dirty = 0;
+  for (const auto& col : corpus.columns()) {
+    if (!col.dirty()) continue;
+    ++dirty;
+    ASSERT_GE(col.dirty_index, 0);
+    ASSERT_LT(static_cast<size_t>(col.dirty_index), col.size());
+    EXPECT_NE(col.error_class, ErrorClass::kNone);
+  }
+  EXPECT_GT(dirty, 300u);
+}
+
+TEST(GeneratorTest, RowCountsWithinProfileBounds) {
+  GeneratorOptions opts;
+  opts.num_columns = 300;
+  opts.profile.min_rows = 5;
+  opts.profile.max_rows = 12;
+  opts.seed = 15;
+  Corpus corpus = GenerateCorpus(opts);
+  for (const auto& col : corpus.columns()) {
+    EXPECT_GE(col.size(), 5u);
+    EXPECT_LE(col.size(), 12u);
+  }
+}
+
+TEST(GeneratorTest, ProfilesDifferInMix) {
+  GeneratorOptions web;
+  web.num_columns = 3000;
+  web.seed = 16;
+  GeneratorOptions ent = web;
+  ent.profile = CorpusProfile::EntXls();
+  auto numeric_share = [](const Corpus& corpus) {
+    size_t numeric = 0;
+    for (const auto& col : corpus.columns()) {
+      const ValueDomain* d = DomainRegistry::Global().ByName(col.domain);
+      if (d->category() == DomainCategory::kNumeric) ++numeric;
+    }
+    return static_cast<double>(numeric) / static_cast<double>(corpus.size());
+  };
+  EXPECT_GT(numeric_share(GenerateCorpus(ent)), numeric_share(GenerateCorpus(web)));
+}
+
+TEST(CorpusSourceTest, WrapsInMemoryCorpus) {
+  GeneratorOptions opts;
+  opts.num_columns = 50;
+  opts.seed = 17;
+  Corpus corpus = GenerateCorpus(opts);
+  CorpusSource source(&corpus);
+  EXPECT_EQ(source.SizeHint(), 50u);
+  Column c;
+  size_t n = 0;
+  while (source.Next(&c)) ++n;
+  EXPECT_EQ(n, 50u);
+  source.Reset();
+  EXPECT_TRUE(source.Next(&c));
+}
+
+// --------------------------------------------------------------- Injector
+
+TEST(InjectorTest, ExtraDotAppendsDot) {
+  Pcg32 rng(1);
+  auto r = ApplyErrorClass(ErrorClass::kExtraDot, "1874", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "1874.");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kExtraDot, "abc", &rng).ok());
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kExtraDot, "", &rng).ok());
+}
+
+TEST(InjectorTest, MixedDateFormatSwapsSeparator) {
+  Pcg32 rng(2);
+  auto r = ApplyErrorClass(ErrorClass::kMixedDateFormat, "2011-01-02", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(*r, "2011-01-02");
+  EXPECT_TRUE(r->find('-') == std::string::npos);
+  EXPECT_EQ(r->size(), 10u);
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kMixedDateFormat, "hello", &rng).ok());
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kMixedDateFormat, "12-34", &rng).ok());
+}
+
+TEST(InjectorTest, ExtraSpaceAddsExactlyOneSpace) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    auto r = ApplyErrorClass(ErrorClass::kExtraSpace, "abc", &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 4u);
+    EXPECT_NE(r->find(' '), std::string::npos);
+  }
+  // Single-character values are handled (no middle position exists).
+  auto r = ApplyErrorClass(ErrorClass::kExtraSpace, "x", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(InjectorTest, PlaceholderReplaces) {
+  Pcg32 rng(4);
+  auto r = ApplyErrorClass(ErrorClass::kPlaceholder, "Seattle", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(*r, "Seattle");
+  EXPECT_LE(r->size(), 3u);
+  // A short symbol-ish value is already placeholder-like: precondition fails.
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kPlaceholder, "-", &rng).ok());
+}
+
+TEST(InjectorTest, TruncatedDigitsDropsLast) {
+  Pcg32 rng(5);
+  auto r = ApplyErrorClass(ErrorClass::kTruncatedDigits, "1875", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "187");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kTruncatedDigits, "12", &rng).ok());
+}
+
+TEST(InjectorTest, MixedPhoneChangesFormatKeepsDigits) {
+  Pcg32 rng(6);
+  auto r = ApplyErrorClass(ErrorClass::kMixedPhoneFormat, "(425) 555-0123", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(*r, "(425) 555-0123");
+  std::string digits;
+  for (char c : *r) {
+    if (c >= '0' && c <= '9') digits.push_back(c);
+  }
+  if (digits.size() == 11) digits = digits.substr(1);  // +1 prefix form
+  EXPECT_EQ(digits, "4255550123");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kMixedPhoneFormat, "12345", &rng).ok());
+}
+
+TEST(InjectorTest, NumberAsText) {
+  Pcg32 rng(7);
+  auto r = ApplyErrorClass(ErrorClass::kNumberAsText, "123", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r == "'123" || *r == "\"123\"");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kNumberAsText, "12a", &rng).ok());
+}
+
+TEST(InjectorTest, UnitMismatchSwapsUnit) {
+  Pcg32 rng(8);
+  auto r = ApplyErrorClass(ErrorClass::kUnitMismatch, "79 kg", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "79 lb");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kUnitMismatch, "79", &rng).ok());
+}
+
+TEST(InjectorTest, CaseMangledLowersFirstLetter) {
+  Pcg32 rng(9);
+  auto r = ApplyErrorClass(ErrorClass::kCaseMangled, "Seattle", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "seattle");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kCaseMangled, "seattle", &rng).ok());
+}
+
+TEST(InjectorTest, SeparatorSwap) {
+  Pcg32 rng(10);
+  auto r = ApplyErrorClass(ErrorClass::kSeparatorSwap, "1,234.5", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "1.234,5");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kSeparatorSwap, "1234", &rng).ok());
+}
+
+TEST(InjectorTest, MixedTimeFormat) {
+  Pcg32 rng(11);
+  auto r = ApplyErrorClass(ErrorClass::kMixedTimeFormat, "3:45", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(*r, "3:45");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kMixedTimeFormat, "345", &rng).ok());
+}
+
+TEST(InjectorTest, Parenthesis) {
+  Pcg32 rng(12);
+  auto r = ApplyErrorClass(ErrorClass::kParenthesis, "1984", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "(1984)");
+  EXPECT_FALSE(ApplyErrorClass(ErrorClass::kParenthesis, "(1984)", &rng).ok());
+}
+
+TEST(InjectorTest, ApplicableClassesMatchPreconditions) {
+  auto classes = ApplicableErrorClasses("2011-01-02");
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ErrorClass::kMixedDateFormat),
+            classes.end());
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ErrorClass::kExtraDot),
+            classes.end());
+  EXPECT_EQ(std::find(classes.begin(), classes.end(), ErrorClass::kCaseMangled),
+            classes.end());
+}
+
+TEST(InjectorTest, InjectRecordsGroundTruth) {
+  ErrorInjector injector;
+  Pcg32 rng(13);
+  Column column;
+  for (int i = 0; i < 10; ++i) column.values.push_back("20" + std::to_string(10 + i));
+  std::vector<std::string> original = column.values;
+  ASSERT_TRUE(injector.Inject(&column, {}, &rng));
+  ASSERT_TRUE(column.dirty());
+  EXPECT_NE(column.dirty_value(),
+            original[static_cast<size_t>(column.dirty_index)]);
+  EXPECT_NE(column.error_class, ErrorClass::kNone);
+  // Exactly one cell changed.
+  int changed = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    changed += column.values[i] != original[i] ? 1 : 0;
+  }
+  EXPECT_EQ(changed, 1);
+}
+
+TEST(InjectorTest, ForeignValueComesFromPool) {
+  ErrorInjector injector(ErrorInjector::Options{/*foreign_value_weight=*/1.0});
+  Pcg32 rng(14);
+  Column column;
+  for (int i = 0; i < 8; ++i) column.values.push_back(std::to_string(1900 + i));
+  std::vector<std::string> pool = {"SomethingForeign"};
+  ASSERT_TRUE(injector.Inject(&column, pool, &rng));
+  EXPECT_EQ(column.error_class, ErrorClass::kForeignValue);
+  EXPECT_EQ(column.dirty_value(), "SomethingForeign");
+}
+
+TEST(InjectorTest, EmptyColumnFails) {
+  ErrorInjector injector;
+  Pcg32 rng(15);
+  Column column;
+  EXPECT_FALSE(injector.Inject(&column, {}, &rng));
+}
+
+TEST(InjectorTest, ErrorClassNamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int e = 0; e <= static_cast<int>(ErrorClass::kParenthesis); ++e) {
+    names.insert(ErrorClassName(static_cast<ErrorClass>(e)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(ErrorClass::kParenthesis) + 1);
+}
+
+}  // namespace
+}  // namespace autodetect

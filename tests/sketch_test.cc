@@ -1,0 +1,158 @@
+// Tests for the count-min sketch: never-underestimate invariant, (eps,
+// delta) error bound, conservative update, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/random.h"
+#include "sketch/count_min.h"
+
+namespace autodetect {
+namespace {
+
+TEST(CountMinTest, ExactWhenNoCollisions) {
+  CountMinSketch sketch(1024, 4);
+  sketch.Add(1, 5);
+  sketch.Add(2, 7);
+  EXPECT_EQ(sketch.Estimate(1), 5u);
+  EXPECT_EQ(sketch.Estimate(2), 7u);
+  EXPECT_EQ(sketch.TotalMass(), 12u);
+}
+
+TEST(CountMinTest, UnseenKeyOftenZeroInSparseSketch) {
+  CountMinSketch sketch(4096, 4);
+  for (uint64_t k = 0; k < 10; ++k) sketch.Add(k, 1);
+  // With 10 keys in 4096 buckets, an unseen key collides with ~0 prob.
+  size_t zeros = 0;
+  for (uint64_t k = 1000; k < 1100; ++k) zeros += sketch.Estimate(k) == 0 ? 1 : 0;
+  EXPECT_GE(zeros, 95u);
+}
+
+// Property: the sketch never underestimates, for random streams.
+class CountMinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountMinPropertyTest, NeverUnderestimates) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()));
+  CountMinSketch sketch(64, 4, static_cast<uint64_t>(GetParam()));
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t key = rng.NextZipf(500, 1.3);  // skewed, forces collisions
+    uint64_t count = rng.Uniform(1, 5);
+    sketch.Add(key, count);
+    truth[key] += count;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count);
+  }
+}
+
+TEST_P(CountMinPropertyTest, ConservativeUpdateNeverUnderestimatesAndIsTighter) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) + 100);
+  CountMinSketch plain(64, 4, 42);
+  CountMinSketch conservative(64, 4, 42);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t key = rng.NextZipf(500, 1.3);
+    plain.Add(key, 1);
+    conservative.AddConservative(key, 1);
+    truth[key] += 1;
+  }
+  uint64_t plain_err = 0, cons_err = 0;
+  for (const auto& [key, count] : truth) {
+    ASSERT_GE(conservative.Estimate(key), count);
+    plain_err += plain.Estimate(key) - count;
+    cons_err += conservative.Estimate(key) - count;
+  }
+  EXPECT_LE(cons_err, plain_err);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountMinPropertyTest, ::testing::Range(1, 6));
+
+TEST(CountMinTest, EpsilonDeltaBoundHolds) {
+  const double eps = 0.01, delta = 0.01;
+  CountMinSketch sketch = CountMinSketch::FromErrorBounds(eps, delta, 7);
+  Pcg32 rng(7);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Below(2000);
+    sketch.Add(key);
+    truth[key] += 1;
+  }
+  const double bound = eps * static_cast<double>(sketch.TotalMass());
+  size_t violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (static_cast<double>(sketch.Estimate(key) - count) > bound) ++violations;
+  }
+  // P(violation) <= delta per key; allow generous slack.
+  EXPECT_LE(violations, truth.size() / 20);
+}
+
+TEST(CountMinTest, FromErrorBoundsSizing) {
+  CountMinSketch sketch = CountMinSketch::FromErrorBounds(0.01, 0.05);
+  EXPECT_GE(sketch.width(), static_cast<size_t>(std::exp(1.0) / 0.01));
+  EXPECT_GE(sketch.depth(), 3u);  // ln(20) ~ 3
+}
+
+TEST(CountMinTest, FromMemoryBudgetRespectsBudget) {
+  for (size_t budget : {256u, 4096u, 1u << 20}) {
+    CountMinSketch sketch = CountMinSketch::FromMemoryBudget(budget, 4);
+    EXPECT_LE(sketch.MemoryBytes(), budget + 4 * sizeof(uint32_t));
+    EXPECT_EQ(sketch.depth(), 4u);
+  }
+}
+
+TEST(CountMinTest, TinyBudgetStillWorks) {
+  CountMinSketch sketch = CountMinSketch::FromMemoryBudget(1, 4);
+  sketch.Add(5, 3);
+  EXPECT_GE(sketch.Estimate(5), 3u);
+}
+
+TEST(CountMinTest, SaturatesInsteadOfWrapping) {
+  CountMinSketch sketch(4, 1);
+  sketch.Add(1, (1ull << 32) - 10);
+  sketch.Add(1, 100);  // would wrap a u32
+  EXPECT_EQ(sketch.Estimate(1), 0xffffffffull);
+}
+
+TEST(CountMinTest, SerializationRoundTrip) {
+  CountMinSketch sketch(128, 3, 99);
+  Pcg32 rng(3);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 500; ++i) {
+    uint64_t k = rng.Below(200);
+    sketch.Add(k);
+    truth[k] += 1;
+  }
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  sketch.Serialize(&w);
+  BinaryReader r(&ss);
+  auto restored = CountMinSketch::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->TotalMass(), sketch.TotalMass());
+  EXPECT_EQ(restored->width(), sketch.width());
+  EXPECT_EQ(restored->depth(), sketch.depth());
+  for (const auto& [key, _] : truth) {
+    EXPECT_EQ(restored->Estimate(key), sketch.Estimate(key));
+  }
+}
+
+TEST(CountMinTest, DeserializeRejectsGarbage) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU64(0);  // width 0
+  w.WriteU64(4);
+  BinaryReader r(&ss);
+  EXPECT_FALSE(CountMinSketch::Deserialize(&r).ok());
+}
+
+TEST(CountMinTest, MemoryBytesMatchesDimensions) {
+  CountMinSketch sketch(100, 5);
+  EXPECT_EQ(sketch.MemoryBytes(), 100u * 5u * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace autodetect

@@ -1,0 +1,339 @@
+// Tests for the statistics subsystem: per-language (co-)occurrence counts,
+// NPMI with smoothing and reliability gates, and the streaming builder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "corpus/corpus_generator.h"
+#include "stats/language_stats.h"
+#include "stats/npmi.h"
+#include "stats/stats_builder.h"
+#include "text/pattern.h"
+
+namespace autodetect {
+namespace {
+
+// ----------------------------------------------------------- LanguageStats
+
+TEST(LanguageStatsTest, CountsColumnsNotOccurrences) {
+  LanguageStats stats;
+  stats.AddColumn({1, 2});
+  stats.AddColumn({1});
+  EXPECT_EQ(stats.num_columns(), 2u);
+  EXPECT_EQ(stats.Count(1), 2u);
+  EXPECT_EQ(stats.Count(2), 1u);
+  EXPECT_EQ(stats.Count(99), 0u);
+  EXPECT_EQ(stats.CoCount(1, 2), 1u);
+  EXPECT_EQ(stats.CoCount(2, 1), 1u);  // unordered
+  EXPECT_EQ(stats.CoCount(1, 99), 0u);
+}
+
+TEST(LanguageStatsTest, SelfCoCountEqualsCount) {
+  LanguageStats stats;
+  stats.AddColumn({7, 8});
+  stats.AddColumn({7});
+  EXPECT_EQ(stats.CoCount(7, 7), 2u);
+}
+
+TEST(LanguageStatsTest, AllPairsCountedPerColumn) {
+  LanguageStats stats;
+  stats.AddColumn({1, 2, 3});
+  EXPECT_EQ(stats.CoCount(1, 2), 1u);
+  EXPECT_EQ(stats.CoCount(1, 3), 1u);
+  EXPECT_EQ(stats.CoCount(2, 3), 1u);
+  EXPECT_EQ(stats.NumCoPairs(), 3u);
+  EXPECT_EQ(stats.NumPatterns(), 3u);
+}
+
+TEST(LanguageStatsTest, MergeAccumulates) {
+  LanguageStats a, b;
+  a.AddColumn({1, 2});
+  b.AddColumn({2, 3});
+  b.AddColumn({1, 2});
+  a.Merge(b);
+  EXPECT_EQ(a.num_columns(), 3u);
+  EXPECT_EQ(a.Count(2), 3u);
+  EXPECT_EQ(a.CoCount(1, 2), 2u);
+  EXPECT_EQ(a.CoCount(2, 3), 1u);
+}
+
+TEST(LanguageStatsTest, SerializationRoundTrip) {
+  LanguageStats stats;
+  stats.AddColumn({1, 2, 3});
+  stats.AddColumn({2, 3});
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  stats.Serialize(&w);
+  BinaryReader r(&ss);
+  auto restored = LanguageStats::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_columns(), 2u);
+  EXPECT_EQ(restored->Count(2), 2u);
+  EXPECT_EQ(restored->CoCount(2, 3), 2u);
+  EXPECT_EQ(restored->CoCount(1, 3), 1u);
+}
+
+TEST(LanguageStatsTest, SketchCompressionPreservesUpperBoundedCounts) {
+  LanguageStats stats;
+  Pcg32 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint64_t> keys;
+    for (int j = 0; j < 5; ++j) keys.push_back(rng.Below(40));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    stats.AddColumn(keys);
+  }
+  LanguageStats exact = stats;
+  ASSERT_TRUE(stats.CompressToSketch(0.5).ok());
+  EXPECT_TRUE(stats.uses_sketch());
+  // Count() stays exact; CoCount() never underestimates.
+  for (uint64_t k = 0; k < 40; ++k) {
+    EXPECT_EQ(stats.Count(k), exact.Count(k));
+    for (uint64_t j = k + 1; j < 40; ++j) {
+      EXPECT_GE(stats.CoCount(k, j), exact.CoCount(k, j));
+    }
+  }
+  EXPECT_LE(stats.MemoryBytes(), exact.MemoryBytes());
+}
+
+TEST(LanguageStatsTest, SketchSerializationRoundTrip) {
+  LanguageStats stats;
+  stats.AddColumn({1, 2, 3});
+  ASSERT_TRUE(stats.CompressToSketch(1.0).ok());
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  stats.Serialize(&w);
+  BinaryReader r(&ss);
+  auto restored = LanguageStats::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->uses_sketch());
+  EXPECT_EQ(restored->CoCount(1, 2), stats.CoCount(1, 2));
+}
+
+TEST(LanguageStatsTest, DoubleCompressionRejected) {
+  LanguageStats stats;
+  stats.AddColumn({1, 2});
+  ASSERT_TRUE(stats.CompressToSketch(0.5).ok());
+  EXPECT_FALSE(stats.CompressToSketch(0.5).ok());
+  EXPECT_FALSE(LanguageStats().CompressToSketch(1.5).ok());
+}
+
+TEST(LanguageStatsTest, SketchGatesUnknownPatterns) {
+  LanguageStats stats;
+  stats.AddColumn({1, 2});
+  ASSERT_TRUE(stats.CompressToSketch(1.0).ok());
+  // Pattern 99 was never seen: sketch noise must not invent co-occurrence.
+  EXPECT_EQ(stats.CoCount(1, 99), 0u);
+}
+
+// ------------------------------------------------------------------- NPMI
+
+/// Builds stats where key 1 and 2 co-occur in every column, and 1 / 3
+/// appear often but never together.
+LanguageStats MakeCorrelationStats() {
+  LanguageStats stats;
+  for (int i = 0; i < 50; ++i) stats.AddColumn({1, 2});
+  for (int i = 0; i < 50; ++i) stats.AddColumn({3});
+  return stats;
+}
+
+TEST(NpmiTest, PositivelyCorrelatedPairScoresHigh) {
+  LanguageStats stats = MakeCorrelationStats();
+  NpmiScorer scorer(&stats, 0.0);
+  EXPECT_GT(scorer.Score(1, 2), 0.5);
+}
+
+TEST(NpmiTest, NeverCoOccurringCommonPatternsScoreMinusOneUnsmoothed) {
+  LanguageStats stats = MakeCorrelationStats();
+  NpmiScorer scorer(&stats, 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(1, 3), -1.0);
+}
+
+TEST(NpmiTest, SmoothingLiftsNeverCoOccurringAboveMinusOne) {
+  LanguageStats stats = MakeCorrelationStats();
+  NpmiScorer smoothed(&stats, 0.1);
+  double s = smoothed.Score(1, 3);
+  EXPECT_GT(s, -1.0);
+  EXPECT_LT(s, 0.0);
+}
+
+TEST(NpmiTest, IdenticalExistingPatternIsPerfectlyCompatible) {
+  LanguageStats stats;
+  stats.AddColumn({5});
+  NpmiScorer scorer(&stats, 0.1);
+  EXPECT_DOUBLE_EQ(scorer.Score(5, 5), 1.0);
+}
+
+TEST(NpmiTest, UnseenPatternAgainstCommonIsMinusOne) {
+  LanguageStats stats = MakeCorrelationStats();
+  NpmiScorer scorer(&stats, 0.1);
+  EXPECT_DOUBLE_EQ(scorer.Score(1, 777), -1.0);
+}
+
+TEST(NpmiTest, BothRarePatternsAreUnknown) {
+  LanguageStats stats = MakeCorrelationStats();
+  stats.AddColumn({100});
+  stats.AddColumn({200});
+  NpmiScorer scorer(&stats, 0.1, /*min_pattern_support=*/3);
+  EXPECT_DOUBLE_EQ(scorer.Score(100, 200), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(100, 999), 0.0);
+}
+
+TEST(NpmiTest, DeficitGateClampsMildAnticorrelation) {
+  // Keys 1 and 2 co-occur in 20 of 100 columns; expectation is
+  // 50*40/100 = 20 -> ratio 1.0, no deficit -> score clamped to >= 0.
+  LanguageStats stats;
+  for (int i = 0; i < 20; ++i) stats.AddColumn({1, 2});
+  for (int i = 0; i < 30; ++i) stats.AddColumn({1});
+  for (int i = 0; i < 20; ++i) stats.AddColumn({2});
+  for (int i = 0; i < 30; ++i) stats.AddColumn({9});
+  NpmiScorer scorer(&stats, 0.1);
+  EXPECT_GE(scorer.Score(1, 2), 0.0);
+}
+
+TEST(NpmiTest, SmoothedCoCountMatchesEquation10) {
+  LanguageStats stats = MakeCorrelationStats();
+  // c(1)=50, c(3)=50, c13=0, N=100 -> E = 25. f=0.2 -> smoothed = 5.
+  NpmiScorer scorer(&stats, 0.2);
+  EXPECT_NEAR(scorer.SmoothedCoCount(1, 3), 0.2 * 25.0, 1e-9);
+  // c12=50, E=25 -> 0.8*50 + 0.2*25 = 45.
+  EXPECT_NEAR(scorer.SmoothedCoCount(1, 2), 45.0, 1e-9);
+}
+
+TEST(NpmiTest, EmptyStatsScoreMinusOne) {
+  LanguageStats stats;
+  NpmiScorer scorer(&stats, 0.1);
+  EXPECT_DOUBLE_EQ(scorer.Score(1, 2), -1.0);
+}
+
+TEST(NpmiTest, ScoreIsSymmetric) {
+  LanguageStats stats = MakeCorrelationStats();
+  NpmiScorer scorer(&stats, 0.1);
+  EXPECT_DOUBLE_EQ(scorer.Score(1, 3), scorer.Score(3, 1));
+  EXPECT_DOUBLE_EQ(scorer.Score(1, 2), scorer.Score(2, 1));
+}
+
+TEST(NpmiTest, ValueConvenienceUsesLanguage) {
+  // Build stats under paper L1 from two columns of dates.
+  GeneralizationLanguage l1 = LanguageSpace::PaperL1();
+  LanguageStats stats;
+  for (int i = 0; i < 10; ++i) {
+    stats.AddColumn({GeneralizeToKey("2011-01-01", l1)});
+    stats.AddColumn({GeneralizeToKey("2011.01.01", l1)});
+  }
+  double s = NpmiOfValues("2015-03-04", "2016.05.06", l1, stats, 0.0);
+  EXPECT_DOUBLE_EQ(s, -1.0);  // formats never share a column
+  EXPECT_DOUBLE_EQ(NpmiOfValues("2015-03-04", "1999-12-31", l1, stats, 0.0), 1.0);
+}
+
+// ------------------------------------------------------------- Builder
+
+TEST(StatsBuilderTest, DistinctValuesDedupePreservesOrder) {
+  std::vector<std::string> values = {"b", "a", "b", "c", "a"};
+  auto distinct = DistinctValuesForStats(values, 10);
+  EXPECT_EQ(distinct, (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(StatsBuilderTest, DistinctValuesSubsamplesDeterministically) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 100; ++i) values.push_back(std::to_string(i));
+  auto a = DistinctValuesForStats(values, 10);
+  auto b = DistinctValuesForStats(values, 10);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[0], "0");  // head kept
+}
+
+TEST(StatsBuilderTest, CountsKnownTinyCorpus) {
+  // Two columns: one ISO dates, one mixed ISO/slash.
+  Corpus corpus;
+  Column c1;
+  c1.values = {"2011-01-01", "2012-02-02"};
+  Column c2;
+  c2.values = {"2013-03-03", "2013/03/04"};
+  corpus.Add(c1);
+  corpus.Add(c2);
+  CorpusSource source(&corpus);
+
+  StatsBuilderOptions opts;
+  int l1_id = LanguageSpace::IdOf(LanguageSpace::PaperL1());
+  opts.language_ids = {l1_id};
+  CorpusStats stats = BuildCorpusStats(&source, opts);
+  const LanguageStats& l1 = stats.ForLanguage(l1_id);
+
+  GeneralizationLanguage lang = LanguageSpace::PaperL1();
+  uint64_t iso = GeneralizeToKey("2011-01-01", lang);
+  uint64_t slash = GeneralizeToKey("2011/01/01", lang);
+  EXPECT_EQ(l1.num_columns(), 2u);
+  EXPECT_EQ(l1.Count(iso), 2u);   // both columns contain the ISO pattern
+  EXPECT_EQ(l1.Count(slash), 1u);
+  EXPECT_EQ(l1.CoCount(iso, slash), 1u);  // only the mixed column
+}
+
+TEST(StatsBuilderTest, BuildsAllLanguagesByDefault) {
+  GeneratorOptions gen;
+  gen.num_columns = 50;
+  gen.seed = 31;
+  Corpus corpus = GenerateCorpus(gen);
+  CorpusSource source(&corpus);
+  StatsBuilderOptions opts;
+  CorpusStats stats = BuildCorpusStats(&source, opts);
+  EXPECT_EQ(stats.LanguageIds().size(),
+            static_cast<size_t>(LanguageSpace::kNumLanguages));
+  EXPECT_EQ(stats.ForLanguage(0).num_columns(), 50u);
+}
+
+TEST(StatsBuilderTest, PatternCapBoundsPairs) {
+  Corpus corpus;
+  Column c;
+  for (int i = 0; i < 100; ++i) c.values.push_back("v" + std::to_string(i));
+  corpus.Add(c);
+  CorpusSource source(&corpus);
+  StatsBuilderOptions opts;
+  opts.language_ids = {LanguageSpace::IdOf(LanguageSpace::Leaf())};
+  opts.max_distinct_values_per_column = 50;
+  opts.max_distinct_patterns_per_column = 8;
+  CorpusStats stats = BuildCorpusStats(&source, opts);
+  const LanguageStats& leaf = stats.ForLanguage(opts.language_ids[0]);
+  EXPECT_LE(leaf.NumCoPairs(), 8u * 7u / 2u);
+}
+
+TEST(StatsBuilderTest, RetainDropsOtherLanguages) {
+  GeneratorOptions gen;
+  gen.num_columns = 20;
+  gen.seed = 32;
+  Corpus corpus = GenerateCorpus(gen);
+  CorpusSource source(&corpus);
+  StatsBuilderOptions opts;
+  opts.language_ids = {0, 1, 2};
+  CorpusStats stats = BuildCorpusStats(&source, opts);
+  stats.Retain({1});
+  EXPECT_TRUE(stats.Has(1));
+  EXPECT_FALSE(stats.Has(0));
+  EXPECT_FALSE(stats.Has(2));
+}
+
+TEST(StatsBuilderTest, CorpusStatsSerializationRoundTrip) {
+  GeneratorOptions gen;
+  gen.num_columns = 30;
+  gen.seed = 33;
+  Corpus corpus = GenerateCorpus(gen);
+  CorpusSource source(&corpus);
+  StatsBuilderOptions opts;
+  opts.language_ids = {3, 17};
+  CorpusStats stats = BuildCorpusStats(&source, opts);
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  stats.Serialize(&w);
+  BinaryReader r(&ss);
+  auto restored = CorpusStats::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->Has(3));
+  EXPECT_TRUE(restored->Has(17));
+  EXPECT_EQ(restored->ForLanguage(3).num_columns(), 30u);
+}
+
+}  // namespace
+}  // namespace autodetect

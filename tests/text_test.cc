@@ -1,0 +1,351 @@
+// Unit and property tests for the text subsystem: character classes, the
+// generalization tree, the 144-language space, patterns and distances.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "text/char_class.h"
+#include "text/generalization_tree.h"
+#include "text/language.h"
+#include "text/pattern.h"
+#include "text/pattern_distance.h"
+
+namespace autodetect {
+namespace {
+
+// ------------------------------------------------------------- CharClass
+
+TEST(CharClassTest, Classification) {
+  EXPECT_EQ(ClassifyChar('A'), CharClass::kUpper);
+  EXPECT_EQ(ClassifyChar('Z'), CharClass::kUpper);
+  EXPECT_EQ(ClassifyChar('a'), CharClass::kLower);
+  EXPECT_EQ(ClassifyChar('z'), CharClass::kLower);
+  EXPECT_EQ(ClassifyChar('0'), CharClass::kDigit);
+  EXPECT_EQ(ClassifyChar('9'), CharClass::kDigit);
+  EXPECT_EQ(ClassifyChar('-'), CharClass::kSymbol);
+  EXPECT_EQ(ClassifyChar(' '), CharClass::kSymbol);
+  EXPECT_EQ(ClassifyChar('\xe4'), CharClass::kSymbol);  // non-ASCII byte
+}
+
+// ---------------------------------------------------------------- Tree H
+
+TEST(TreeTest, ChainsRunLeafToRoot) {
+  for (int c = 0; c < kNumCharClasses; ++c) {
+    const auto& chain = GeneralizationTree::ChainFor(static_cast<CharClass>(c));
+    ASSERT_GE(chain.size(), 3u);
+    EXPECT_EQ(chain.front(), TreeNode::kLeaf);
+    EXPECT_EQ(chain.back(), TreeNode::kAny);
+  }
+}
+
+TEST(TreeTest, LetterChainsIncludeCaseAndLetter) {
+  const auto& upper = GeneralizationTree::ChainFor(CharClass::kUpper);
+  EXPECT_EQ(upper, (std::vector<TreeNode>{TreeNode::kLeaf, TreeNode::kUpper,
+                                          TreeNode::kLetter, TreeNode::kAny}));
+  const auto& lower = GeneralizationTree::ChainFor(CharClass::kLower);
+  EXPECT_EQ(lower[1], TreeNode::kLower);
+}
+
+TEST(TreeTest, ValidityMatchesChains) {
+  EXPECT_TRUE(GeneralizationTree::IsValidFor(TreeNode::kUpper, CharClass::kUpper));
+  EXPECT_FALSE(GeneralizationTree::IsValidFor(TreeNode::kUpper, CharClass::kLower));
+  EXPECT_FALSE(GeneralizationTree::IsValidFor(TreeNode::kDigit, CharClass::kSymbol));
+  EXPECT_TRUE(GeneralizationTree::IsValidFor(TreeNode::kAny, CharClass::kDigit));
+  EXPECT_TRUE(GeneralizationTree::IsValidFor(TreeNode::kLeaf, CharClass::kSymbol));
+}
+
+TEST(TreeTest, DepthDecreasesTowardRoot) {
+  EXPECT_EQ(GeneralizationTree::Depth(TreeNode::kAny, CharClass::kUpper), 0);
+  EXPECT_EQ(GeneralizationTree::Depth(TreeNode::kLetter, CharClass::kUpper), 1);
+  EXPECT_EQ(GeneralizationTree::Depth(TreeNode::kUpper, CharClass::kUpper), 2);
+  EXPECT_EQ(GeneralizationTree::Depth(TreeNode::kLeaf, CharClass::kUpper), 3);
+  EXPECT_EQ(GeneralizationTree::Depth(TreeNode::kDigit, CharClass::kDigit), 1);
+}
+
+TEST(TreeTest, CoarserPicksCloserToRoot) {
+  EXPECT_EQ(GeneralizationTree::Coarser(TreeNode::kAny, TreeNode::kUpper,
+                                        CharClass::kUpper),
+            TreeNode::kAny);
+  EXPECT_EQ(GeneralizationTree::Coarser(TreeNode::kLeaf, TreeNode::kDigit,
+                                        CharClass::kDigit),
+            TreeNode::kDigit);
+}
+
+TEST(TreeTest, NodeTokens) {
+  EXPECT_EQ(TreeNodeToken(TreeNode::kAny), "\\A");
+  EXPECT_EQ(TreeNodeToken(TreeNode::kDigit), "\\D");
+  EXPECT_EQ(TreeNodeToken(TreeNode::kLetter), "\\L");
+  EXPECT_EQ(TreeNodeToken(TreeNode::kSymbol), "\\S");
+  EXPECT_EQ(TreeNodeToken(TreeNode::kUpper), "\\U");
+  EXPECT_EQ(TreeNodeToken(TreeNode::kLower), "\\l");
+  EXPECT_EQ(TreeNodeToken(TreeNode::kLeaf), "");
+}
+
+// -------------------------------------------------------------- Language
+
+TEST(LanguageTest, MakeRejectsInvalidTargets) {
+  EXPECT_FALSE(GeneralizationLanguage::Make(TreeNode::kDigit, TreeNode::kLower,
+                                            TreeNode::kDigit, TreeNode::kSymbol)
+                   .ok());
+  EXPECT_FALSE(GeneralizationLanguage::Make(TreeNode::kUpper, TreeNode::kUpper,
+                                            TreeNode::kDigit, TreeNode::kSymbol)
+                   .ok());
+  EXPECT_TRUE(GeneralizationLanguage::Make(TreeNode::kUpper, TreeNode::kLower,
+                                           TreeNode::kDigit, TreeNode::kSymbol)
+                  .ok());
+}
+
+TEST(LanguageTest, SpaceHasExactly144DistinctLanguages) {
+  const auto& all = LanguageSpace::All();
+  ASSERT_EQ(all.size(), 144u);  // 4 * 4 * 3 * 3, the paper's count
+  std::set<std::string> names;
+  for (const auto& l : all) names.insert(l.Name());
+  EXPECT_EQ(names.size(), 144u);
+}
+
+TEST(LanguageTest, SpecialLanguagesAreInTheSpace) {
+  EXPECT_GE(LanguageSpace::IdOf(LanguageSpace::PaperL1()), 0);
+  EXPECT_GE(LanguageSpace::IdOf(LanguageSpace::PaperL2()), 0);
+  EXPECT_GE(LanguageSpace::IdOf(LanguageSpace::CrudeG()), 0);
+  EXPECT_GE(LanguageSpace::IdOf(LanguageSpace::Leaf()), 0);
+  EXPECT_GE(LanguageSpace::IdOf(LanguageSpace::Root()), 0);
+}
+
+TEST(LanguageTest, LeafAndRootPredicates) {
+  EXPECT_TRUE(LanguageSpace::Leaf().IsLeafLanguage());
+  EXPECT_FALSE(LanguageSpace::Leaf().IsRootLanguage());
+  EXPECT_TRUE(LanguageSpace::Root().IsRootLanguage());
+  EXPECT_FALSE(LanguageSpace::Root().IsLeafLanguage());
+  EXPECT_FALSE(LanguageSpace::PaperL1().IsRootLanguage());  // symbols at leaf
+}
+
+TEST(LanguageTest, MapRespectsTargets) {
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  EXPECT_EQ(l2.Map('A'), TreeNode::kLetter);
+  EXPECT_EQ(l2.Map('a'), TreeNode::kLetter);
+  EXPECT_EQ(l2.Map('5'), TreeNode::kDigit);
+  EXPECT_EQ(l2.Map('-'), TreeNode::kSymbol);
+}
+
+TEST(LanguageTest, CoarserOrEqualIsPartialOrder) {
+  auto root = LanguageSpace::Root();
+  auto leaf = LanguageSpace::Leaf();
+  EXPECT_TRUE(root.CoarserOrEqual(leaf));
+  EXPECT_FALSE(leaf.CoarserOrEqual(root));
+  // Reflexivity for every language.
+  for (const auto& l : LanguageSpace::All()) {
+    EXPECT_TRUE(l.CoarserOrEqual(l));
+  }
+}
+
+TEST(LanguageTest, IdOfRoundTripsForAll) {
+  const auto& all = LanguageSpace::All();
+  for (int i = 0; i < static_cast<int>(all.size()); ++i) {
+    EXPECT_EQ(LanguageSpace::IdOf(all[static_cast<size_t>(i)]), i);
+  }
+}
+
+// --------------------------------------------------------------- Pattern
+
+TEST(PatternTest, PaperExample2RenderingsL1) {
+  // L1 keeps symbols, generalizes everything else to the root.
+  GeneralizationLanguage l1 = LanguageSpace::PaperL1();
+  EXPECT_EQ(GeneralizeToString("2011-01-01", l1), "\\A[4]-\\A[2]-\\A[2]");
+  EXPECT_EQ(GeneralizeToString("2011.01.02", l1), "\\A[4].\\A[2].\\A[2]");
+  EXPECT_EQ(GeneralizeToString("2014-01", l1), "\\A[4]-\\A[2]");
+  EXPECT_EQ(GeneralizeToString("July-01", l1), "\\A[4]-\\A[2]");
+}
+
+TEST(PatternTest, PaperExample2RenderingsL2) {
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  EXPECT_EQ(GeneralizeToString("2011-01-01", l2),
+            "\\D[4]\\S\\D[2]\\S\\D[2]");
+  // L2 cannot distinguish separators: same pattern for dotted dates.
+  EXPECT_EQ(GeneralizeToString("2011.01.02", l2), GeneralizeToString("2011-01-01", l2));
+  EXPECT_EQ(GeneralizeToString("2014-01", l2), "\\D[4]\\S\\D[2]");
+  EXPECT_EQ(GeneralizeToString("July-01", l2), "\\L[4]\\S\\D[2]");
+}
+
+TEST(PatternTest, LeafLanguageKeepsLiteralsWithRunLengths) {
+  GeneralizationLanguage leaf = LanguageSpace::Leaf();
+  EXPECT_EQ(GeneralizeToString("aab", leaf), "a[2]b");
+  EXPECT_EQ(GeneralizeToString("aaa", leaf), "a[3]");
+  EXPECT_EQ(GeneralizeToString("abc", leaf), "abc");
+}
+
+TEST(PatternTest, EscapingKeepsRenderingInjective) {
+  GeneralizationLanguage leaf = LanguageSpace::Leaf();
+  // "[2]" as literal characters must not collide with the run-length syntax.
+  std::string a = GeneralizeToString("a[2]", leaf);
+  std::string b = GeneralizeToString("aa", leaf);
+  EXPECT_NE(a, b);
+  std::string c = GeneralizeToString("\\", leaf);
+  std::string d = GeneralizeToString("\\\\", leaf);
+  EXPECT_NE(c, d);
+}
+
+TEST(PatternTest, EmptyValueYieldsEmptyPattern) {
+  Pattern p = Pattern::Generalize("", LanguageSpace::PaperL2());
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.ToString(), "");
+  EXPECT_EQ(GeneralizeToString("", LanguageSpace::PaperL2()), "");
+}
+
+TEST(PatternTest, TruncationCapsLength) {
+  GeneralizeOptions opts;
+  opts.max_value_length = 8;
+  std::string longv(100, 'x');
+  Pattern p = Pattern::Generalize(longv, LanguageSpace::PaperL2(), opts);
+  EXPECT_EQ(p.ValueLength(), 8u);
+}
+
+TEST(PatternTest, CollapseRunLengths) {
+  GeneralizeOptions collapse;
+  collapse.collapse_run_lengths = true;
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  EXPECT_EQ(GeneralizeToString("2011", l2, collapse),
+            GeneralizeToString("20", l2, collapse));
+  EXPECT_NE(GeneralizeToString("2011", l2, collapse),
+            GeneralizeToString("2", l2, collapse));  // run vs single
+}
+
+TEST(PatternTest, ValueLengthSumsRuns) {
+  Pattern p = Pattern::Generalize("2011-01-01", LanguageSpace::PaperL2());
+  EXPECT_EQ(p.ValueLength(), 10u);
+}
+
+// Property: the fused GeneralizeToKey matches hashing the canonical string,
+// and Pattern::Generalize().ToString() matches GeneralizeToString — across
+// every language in the space.
+class AllLanguagesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllLanguagesTest, FusedPathsAgreeOnRandomValues) {
+  const GeneralizationLanguage& lang =
+      LanguageSpace::All()[static_cast<size_t>(GetParam())];
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const std::string alphabet = "abzABZ019 -./\\[]+,";
+  for (int i = 0; i < 60; ++i) {
+    std::string value;
+    int len = static_cast<int>(rng.Uniform(0, 20));
+    for (int j = 0; j < len; ++j) {
+      value.push_back(alphabet[rng.Below(static_cast<uint32_t>(alphabet.size()))]);
+    }
+    std::string canonical = GeneralizeToString(value, lang);
+    EXPECT_EQ(Pattern::Generalize(value, lang).ToString(), canonical);
+    EXPECT_EQ(GeneralizeToKey(value, lang), Fnv1a64(canonical));
+  }
+}
+
+TEST_P(AllLanguagesTest, CoarserLanguagePreservesIndistinguishability) {
+  // If two values share a pattern under a language, they share it under any
+  // coarser-or-equal language.
+  const auto& all = LanguageSpace::All();
+  const GeneralizationLanguage& fine = all[static_cast<size_t>(GetParam())];
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) + 5000);
+  std::vector<const GeneralizationLanguage*> coarser;
+  for (const auto& l : all) {
+    if (l.CoarserOrEqual(fine)) coarser.push_back(&l);
+  }
+  const std::string alphabet = "abAB01-.";
+  for (int i = 0; i < 20; ++i) {
+    std::string v1, v2;
+    int len = static_cast<int>(rng.Uniform(1, 8));
+    for (int j = 0; j < len; ++j) {
+      v1.push_back(alphabet[rng.Below(8)]);
+      v2.push_back(alphabet[rng.Below(8)]);
+    }
+    if (GeneralizeToString(v1, fine) != GeneralizeToString(v2, fine)) continue;
+    for (const auto* l : coarser) {
+      EXPECT_EQ(GeneralizeToString(v1, *l), GeneralizeToString(v2, *l))
+          << "fine=" << fine.Name() << " coarse=" << l->Name() << " v1=" << v1
+          << " v2=" << v2;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Space, AllLanguagesTest,
+                         ::testing::Range(0, LanguageSpace::kNumLanguages, 7));
+
+// --------------------------------------------------------------- Distance
+
+TEST(PatternDistanceTest, IdenticalPatternsAreZero) {
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  Pattern a = Pattern::Generalize("2011-01-01", l2);
+  EXPECT_EQ(PatternDistance(a, a), 0.0);
+  EXPECT_EQ(NormalizedPatternDistance(a, a), 0.0);
+}
+
+TEST(PatternDistanceTest, Symmetric) {
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  Pattern a = Pattern::Generalize("2011-01-01", l2);
+  Pattern b = Pattern::Generalize("July-01", l2);
+  EXPECT_DOUBLE_EQ(PatternDistance(a, b), PatternDistance(b, a));
+}
+
+TEST(PatternDistanceTest, RelatedCheaperThanUnrelated) {
+  GeneralizationLanguage leaf = LanguageSpace::Leaf();
+  Pattern d4 = Pattern::Generalize("1234", LanguageSpace::PaperL2());
+  Pattern d2 = Pattern::Generalize("12", LanguageSpace::PaperL2());
+  Pattern word = Pattern::Generalize("abcd", LanguageSpace::PaperL2());
+  (void)leaf;
+  EXPECT_LT(PatternDistance(d4, d2), PatternDistance(d4, word));
+}
+
+TEST(PatternDistanceTest, EmptyVsNonEmpty) {
+  Pattern empty;
+  Pattern a = Pattern::Generalize("ab", LanguageSpace::PaperL2());
+  EXPECT_GT(PatternDistance(empty, a), 0.0);
+  EXPECT_EQ(PatternDistance(empty, empty), 0.0);
+}
+
+TEST(PatternDistanceTest, NormalizedBoundedByOne) {
+  Pcg32 rng(99);
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  const std::string alphabet = "ab01-. ";
+  for (int i = 0; i < 100; ++i) {
+    std::string v1, v2;
+    for (int j = static_cast<int>(rng.Uniform(0, 12)); j > 0; --j) {
+      v1.push_back(alphabet[rng.Below(7)]);
+    }
+    for (int j = static_cast<int>(rng.Uniform(0, 12)); j > 0; --j) {
+      v2.push_back(alphabet[rng.Below(7)]);
+    }
+    double d = NormalizedPatternDistance(Pattern::Generalize(v1, l2),
+                                         Pattern::Generalize(v2, l2));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-9) << v1 << " vs " << v2;
+  }
+}
+
+TEST(PatternDistanceTest, TriangleInequalitySampled) {
+  Pcg32 rng(7);
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  const std::string alphabet = "aA0-.";
+  for (int i = 0; i < 200; ++i) {
+    std::string v[3];
+    for (auto& s : v) {
+      for (int j = static_cast<int>(rng.Uniform(0, 8)); j > 0; --j) {
+        s.push_back(alphabet[rng.Below(5)]);
+      }
+    }
+    Pattern p0 = Pattern::Generalize(v[0], l2);
+    Pattern p1 = Pattern::Generalize(v[1], l2);
+    Pattern p2 = Pattern::Generalize(v[2], l2);
+    EXPECT_LE(PatternDistance(p0, p2),
+              PatternDistance(p0, p1) + PatternDistance(p1, p2) + 1e-9);
+  }
+}
+
+TEST(PatternDistanceTest, ValueConvenienceMatchesExplicit) {
+  GeneralizationLanguage l2 = LanguageSpace::PaperL2();
+  double via_values = ValuePatternDistance("2014-01", "July-01", l2);
+  double explicit_d = NormalizedPatternDistance(
+      Pattern::Generalize("2014-01", l2), Pattern::Generalize("July-01", l2));
+  EXPECT_DOUBLE_EQ(via_values, explicit_d);
+}
+
+}  // namespace
+}  // namespace autodetect

@@ -1,0 +1,210 @@
+/// \file autodetect_cli.cpp
+/// Command-line front end for the library — the "spell-checker for data"
+/// deployment shape the paper targets:
+///
+///   autodetect_cli train --columns 30000 --profile WEB --budget-mb 64 \
+///                        --precision 0.95 --out model.bin
+///   autodetect_cli scan  --model model.bin data/*.csv
+///   autodetect_cli pair  --model model.bin "2011-01-01" "2011/01/02"
+///   autodetect_cli info  --model model.bin
+///
+/// `train` uses the synthetic corpus substrate; plug a real corpus in by
+/// implementing ColumnSource and linking against the library.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "corpus/corpus_generator.h"
+#include "detect/detector.h"
+#include "detect/trainer.h"
+#include "io/csv.h"
+
+using namespace autodetect;
+
+namespace {
+
+/// Tiny --key value / --flag parser: everything after the command.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "true";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+CorpusProfile ProfileByName(const std::string& name) {
+  if (name == "WEB") return CorpusProfile::Web();
+  if (name == "WIKI") return CorpusProfile::Wiki();
+  if (name == "PUB-XLS") return CorpusProfile::PubXls();
+  if (name == "ENT-XLS") return CorpusProfile::EntXls();
+  std::fprintf(stderr, "unknown profile '%s' (WEB, WIKI, PUB-XLS, ENT-XLS)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int CmdTrain(const Args& args) {
+  GeneratorOptions gen;
+  gen.profile = ProfileByName(args.Get("profile", "WEB"));
+  gen.num_columns = static_cast<size_t>(args.GetInt("columns", 30000));
+  gen.inject_errors = false;
+  gen.seed = static_cast<uint64_t>(args.GetInt("seed", 20180610));
+  GeneratedColumnSource source(gen);
+
+  TrainOptions train;
+  train.precision_target = args.GetDouble("precision", 0.95);
+  train.memory_budget_bytes =
+      static_cast<size_t>(args.GetInt("budget-mb", 64)) << 20;
+  train.sketch_ratio = args.GetDouble("sketch", 1.0);
+  train.smoothing_factor = args.GetDouble("smoothing", 0.1);
+  train.corpus_name = gen.profile.name + "-synthetic";
+
+  std::printf("training on %zu %s columns (P>=%.2f, budget %s)...\n",
+              gen.num_columns, gen.profile.name.c_str(), train.precision_target,
+              HumanBytes(train.memory_budget_bytes).c_str());
+  auto model = TrainModel(&source, train);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = args.Get("out", "autodetect.model");
+  Status saved = model->Save(out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", model->Summary().c_str());
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+Result<Model> LoadModelArg(const Args& args) {
+  std::string path = args.Get("model", "autodetect.model");
+  auto model = Model::Load(path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "cannot load model '%s': %s\n(train one first: autodetect_cli train --out %s)\n",
+                 path.c_str(), model.status().ToString().c_str(), path.c_str());
+  }
+  return model;
+}
+
+int CmdScan(const Args& args) {
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return 1;
+  Detector detector(&*model);
+  double min_confidence = args.GetDouble("min-confidence", 0.0);
+
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: autodetect_cli scan --model m.bin file.csv...\n");
+    return 2;
+  }
+  size_t total_findings = 0;
+  for (const auto& path : args.positional()) {
+    auto table = ReadCsvFile(path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      continue;
+    }
+    for (size_t c = 0; c < table->num_cols(); ++c) {
+      ColumnReport report = detector.AnalyzeColumn(table->Column(c));
+      for (const auto& cell : report.cells) {
+        if (cell.confidence < min_confidence) continue;
+        ++total_findings;
+        std::printf("%s:%s:row %u: suspicious value \"%s\" (confidence %.3f, "
+                    "clashes with %u values)\n",
+                    path.c_str(), table->header[c].c_str(), cell.row + 2,
+                    cell.value.c_str(), cell.confidence, cell.incompatible_with);
+      }
+    }
+  }
+  std::printf("%zu finding(s)\n", total_findings);
+  return 0;
+}
+
+int CmdPair(const Args& args) {
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return 1;
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr, "usage: autodetect_cli pair --model m.bin VALUE1 VALUE2\n");
+    return 2;
+  }
+  Detector detector(&*model);
+  PairExplanation explanation =
+      detector.ExplainPair(args.positional()[0], args.positional()[1]);
+  std::printf("\"%s\" vs \"%s\"\n%s", args.positional()[0].c_str(),
+              args.positional()[1].c_str(), explanation.ToString().c_str());
+  return explanation.verdict.incompatible ? 3 : 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return 1;
+  std::printf("%s", model->Summary().c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "autodetect_cli — corpus-statistics error detection "
+               "(Auto-Detect, SIGMOD'18)\n\n"
+               "commands:\n"
+               "  train --columns N --profile WEB|WIKI|PUB-XLS|ENT-XLS\n"
+               "        --precision P --budget-mb M [--sketch R] [--seed S]\n"
+               "        [--out FILE]                     train + save a model\n"
+               "  scan  --model FILE [--min-confidence C] file.csv...\n"
+               "                                         flag suspicious cells\n"
+               "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
+               "  info  --model FILE                     describe a model\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "train") return CmdTrain(args);
+  if (command == "scan") return CmdScan(args);
+  if (command == "pair") return CmdPair(args);
+  if (command == "info") return CmdInfo(args);
+  Usage();
+  return 2;
+}

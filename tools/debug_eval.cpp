@@ -1,0 +1,58 @@
+/// \file debug_eval.cpp
+/// Developer tool: runs Auto-Detect on a splice test set and prints the top
+/// ranked predictions with ground truth, to diagnose ranking and
+/// false-positive behaviour.
+
+#include <cstdio>
+
+#include "../bench/bench_util.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  size_t ratio = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 10;
+  HarnessConfig config = StandardConfig();
+  auto model = TrainOrLoadModel(config);
+  AD_CHECK_OK(model.status());
+  Detector detector(&*model);
+  AutoDetectMethod method(&detector);
+
+  auto cases = SpliceSet(config, CorpusProfile::Wiki(), 400, ratio, 1000 + ratio);
+  MethodEvaluation eval = EvaluateMethod(method, cases);
+
+  std::printf("predictions=%zu dirty_cases=%zu\n", eval.ranked.size(),
+              eval.num_dirty_cases);
+
+  // Detail the first few false positives: which pairs fired, under which
+  // language, with what statistics.
+  int fp_shown = 0;
+  for (const auto& p : eval.ranked) {
+    if (p.correct || fp_shown >= 3) continue;
+    const TestCase& tc = cases[p.case_index];
+    ++fp_shown;
+    std::printf("\nFP detail: \"%s\" in %s column (%s)\n", p.suspicion.value.c_str(),
+                tc.domain.c_str(), tc.dirty ? "dirty elsewhere" : "clean");
+    ColumnReport report = detector.AnalyzeColumn(tc.values);
+    for (size_t i = 0; i < report.pairs.size() && i < 4; ++i) {
+      const auto& pair = report.pairs[i];
+      PairVerdict v = detector.ScorePair(pair.u, pair.v);
+      std::printf("  pair \"%s\" ~ \"%s\": conf=%.3f min_npmi=%+.3f lang=%d\n",
+                  pair.u.c_str(), pair.v.c_str(), pair.confidence, v.min_npmi,
+                  v.best_language);
+    }
+  }
+  std::printf("\n");
+  std::printf("%-4s %-5s %-8s %-24s %-18s %s\n", "rank", "ok?", "conf", "value",
+              "domain", "truth");
+  for (size_t i = 0; i < eval.ranked.size() && i < 60; ++i) {
+    const auto& p = eval.ranked[i];
+    const TestCase& tc = cases[p.case_index];
+    std::printf("%-4zu %-5s %-8.4f %-24.24s %-18s %s\n", i + 1,
+                p.correct ? "ok" : "FP", p.suspicion.score,
+                p.suspicion.value.c_str(), tc.domain.c_str(),
+                tc.dirty ? tc.dirty_value.c_str() : "(clean)");
+  }
+  return 0;
+}

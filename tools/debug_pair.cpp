@@ -1,0 +1,78 @@
+/// \file debug_pair.cpp
+/// Developer tool: trains (or loads a cached) model, then prints the
+/// per-language NPMI breakdown for interesting value pairs. Not installed;
+/// used to diagnose corpus-realism issues during development.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "corpus/corpus_generator.h"
+#include "detect/detector.h"
+#include "detect/trainer.h"
+#include "stats/npmi.h"
+#include "text/pattern.h"
+
+using namespace autodetect;
+
+static void Explain(const Model& model, const std::string& u, const std::string& v) {
+  std::printf("\n--- \"%s\" vs \"%s\"\n", u.c_str(), v.c_str());
+  for (const auto& l : model.languages) {
+    NpmiScorer scorer(&l.stats, model.smoothing_factor);
+    uint64_t ku = GeneralizeToKey(u, l.language());
+    uint64_t kv = GeneralizeToKey(v, l.language());
+    double s = scorer.Score(ku, kv);
+    std::printf(
+        "  L%-3d %-26s  pu=%-22s pv=%-22s c(u)=%-6llu c(v)=%-6llu c(uv)=%-6llu "
+        "npmi=%+.3f theta=%+.3f %s conf=%.3f\n",
+        l.lang_id, l.language().Name().c_str(),
+        GeneralizeToString(u, l.language()).c_str(),
+        GeneralizeToString(v, l.language()).c_str(),
+        static_cast<unsigned long long>(l.stats.Count(ku)),
+        static_cast<unsigned long long>(l.stats.Count(kv)),
+        static_cast<unsigned long long>(l.stats.CoCount(ku, kv)),
+        s, l.threshold, s <= l.threshold ? "FIRE" : "    ",
+        l.curve.PrecisionAt(s));
+  }
+}
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kInfo);
+  size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 20000;
+  const std::string cache = "/tmp/ad_debug_model_" + std::to_string(n) + ".bin";
+
+  Model model;
+  auto loaded = Model::Load(cache);
+  if (loaded.ok()) {
+    model = std::move(*loaded);
+    std::printf("loaded cached model %s\n", cache.c_str());
+  } else {
+    GeneratorOptions gen;
+    gen.profile = CorpusProfile::Web();
+    gen.num_columns = n;
+    gen.inject_errors = false;
+    gen.seed = 20180610;
+    GeneratedColumnSource source(gen);
+    TrainOptions train;
+    train.memory_budget_bytes = 64ull << 20;
+    train.corpus_name = "WEB-synthetic";
+    auto r = TrainModel(&source, train);
+    AD_CHECK_OK(r.status());
+    model = std::move(*r);
+    AD_CHECK_OK(model.Save(cache));
+  }
+  std::printf("%s", model.Summary().c_str());
+
+  Explain(model, "99", "1.99");
+  Explain(model, "100", "1,000,000");
+  Explain(model, "2011-01-01", "2011/01/06");
+  Explain(model, "1962", "1865.");
+  Explain(model, "999", "1,000");
+  Explain(model, "July-01", "2014-01");
+  Explain(model, "Seattle", "N/A");
+  Explain(model, "Wei", "Anderson, Robert");
+  Explain(model, "Wei", "Robert Anderson");
+  Explain(model, "Wei", "Priya");
+  return 0;
+}
