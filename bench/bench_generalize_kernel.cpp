@@ -1,0 +1,175 @@
+/// \file bench_generalize_kernel.cpp
+/// Old vs new generalization hot path (google-benchmark). The unit of work
+/// is one (value, language) pattern key over the full 144-language candidate
+/// space, on values drawn from the WEB corpus profile — so items/sec is
+/// directly comparable between:
+///   BM_PerLanguageLoop    the pre-kernel path: GeneralizeToKey re-scans the
+///                         value string once per language (144 scans/value);
+///   BM_MultiKernel        tokenize once + MultiGeneralizer::KeysFor, with
+///                         class-mask key sharing across languages;
+///   BM_MultiKernelKeysOnly the same minus tokenization (the stats builder's
+///                         shape: batches are tokenized once, upfront).
+/// Also reports the two ends of the training pipeline that sit on the
+/// kernel: BM_StatsBuild (corpus pass) and BM_PreKeyedCalibration (stage 3).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_generator.h"
+#include "stats/stats_builder.h"
+#include "text/language.h"
+#include "text/pattern.h"
+#include "text/run_tokenizer.h"
+#include "train/calibration.h"
+#include "train/distant_supervision.h"
+
+using namespace autodetect;
+
+namespace {
+
+/// Distinct values drawn once from the WEB profile, shared by all runs.
+const std::vector<std::string>& Values() {
+  static const std::vector<std::string>* kValues = [] {
+    GeneratorOptions opts;
+    opts.profile = CorpusProfile::Web();
+    opts.seed = 20180610;
+    opts.num_columns = 200;
+    opts.inject_errors = false;
+    GeneratedColumnSource source(opts);
+    auto* values = new std::vector<std::string>();
+    Column column;
+    while (source.Next(&column)) {
+      for (auto& v : column.values) values->push_back(std::move(v));
+    }
+    return values;
+  }();
+  return *kValues;
+}
+
+std::vector<int> AllIds() {
+  std::vector<int> ids(LanguageSpace::kNumLanguages);
+  for (int i = 0; i < LanguageSpace::kNumLanguages; ++i) ids[i] = i;
+  return ids;
+}
+
+int64_t KeysPerPass() {
+  return static_cast<int64_t>(Values().size()) * LanguageSpace::kNumLanguages;
+}
+
+void BM_PerLanguageLoop(benchmark::State& state) {
+  const auto& values = Values();
+  const auto& langs = LanguageSpace::All();
+  const GeneralizeOptions options;
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (const auto& v : values) {
+      for (const auto& lang : langs) {
+        acc ^= GeneralizeToKey(v, lang, options);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * KeysPerPass());
+}
+
+void BM_MultiKernel(benchmark::State& state) {
+  const auto& values = Values();
+  const GeneralizeOptions options;
+  MultiGeneralizer multi = MultiGeneralizer::ForIds(AllIds(), options);
+  std::vector<uint64_t> keys(multi.num_languages());
+  std::vector<ClassRun> runs;
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (const auto& v : values) {
+      uint8_t mask = TokenizeRuns(v, options, &runs);
+      multi.KeysFor(RunSpan(runs), mask, keys.data());
+      acc ^= keys[0] ^ keys[keys.size() - 1];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * KeysPerPass());
+}
+
+void BM_MultiKernelKeysOnly(benchmark::State& state) {
+  const auto& values = Values();
+  const GeneralizeOptions options;
+  MultiGeneralizer multi = MultiGeneralizer::ForIds(AllIds(), options);
+  TokenizedValues arena;
+  for (const auto& v : values) arena.Add(v, options);
+  std::vector<uint64_t> keys(multi.num_languages());
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < arena.size(); ++i) {
+      multi.KeysFor(arena.Runs(i), arena.ClassMask(i), keys.data());
+      acc ^= keys[0] ^ keys[keys.size() - 1];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * KeysPerPass());
+}
+
+void BM_StatsBuild(benchmark::State& state) {
+  GeneratorOptions gen;
+  gen.profile = CorpusProfile::Web();
+  gen.seed = 20180610;
+  gen.num_columns = 300;
+  gen.inject_errors = false;
+  StatsBuilderOptions opts;
+  opts.num_threads = 1;  // isolate kernel throughput from parallelism
+  size_t columns = 0;
+  for (auto _ : state) {
+    GeneratedColumnSource source(gen);
+    CorpusStats stats = BuildCorpusStats(&source, opts);
+    benchmark::DoNotOptimize(stats);
+    columns += gen.num_columns;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(columns));
+}
+
+void BM_PreKeyedCalibration(benchmark::State& state) {
+  // A synthetic T with the real one's shape: positives pair values within a
+  // column, negatives splice across columns. Only the values' text matters
+  // for keying throughput, not label quality.
+  static const TrainingSet* kTrain = [] {
+    GeneratorOptions gen;
+    gen.profile = CorpusProfile::Web();
+    gen.seed = 20180610;
+    gen.num_columns = 400;
+    gen.inject_errors = false;
+    GeneratedColumnSource source(gen);
+    auto* train = new TrainingSet();
+    Column column;
+    std::string prev_first;
+    while (source.Next(&column) && train->size() < 8000) {
+      if (column.values.size() < 2) continue;
+      train->positives.push_back(
+          LabeledPair{column.values[0], column.values[1], true});
+      if (!prev_first.empty()) {
+        train->negatives.push_back(
+            LabeledPair{prev_first, column.values[0], false});
+      }
+      prev_first = column.values[0];
+    }
+    return train;
+  }();
+  const std::vector<int> ids = AllIds();
+  for (auto _ : state) {
+    PreKeyedTrainingSet prekeyed(*kTrain, ids);
+    benchmark::DoNotOptimize(prekeyed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kTrain->size()) *
+                          LanguageSpace::kNumLanguages);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PerLanguageLoop)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MultiKernel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MultiKernelKeysOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StatsBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PreKeyedCalibration)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+/// \file flat_map.h
+/// Open-addressing u64→u64 hash map for the statistics dictionaries. The
+/// pattern-count hot loop is dominated by random-access increments into
+/// std::unordered_map, whose node allocations and pointer chases are the
+/// wrong shape for that workload. This map stores key/value pairs inline in
+/// one power-of-two array with linear probing — one cache line per lookup in
+/// the common case, no per-entry allocation. It is tombstone-free: the
+/// statistics never erase individual keys (CompressToSketch drops the whole
+/// dictionary), so no erase operation is offered and probe chains never
+/// degrade.
+
+namespace autodetect {
+
+/// Key 0 is the empty-slot sentinel internally; it is still a valid user key
+/// (pattern keys are FNV/mix outputs, so 0 is possible in principle) and is
+/// handled in a dedicated side slot.
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Backing-array bytes actually resident — the size(L) input of the
+  /// selection knapsack.
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+  /// \brief Ensures capacity for `n` entries without rehashing. Call before
+  /// bulk insertion (merge, deserialize) to avoid rehash storms.
+  void Reserve(size_t n) {
+    size_t needed = RequiredCapacity(n);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// \brief Find-or-insert; inserted values start at 0 (counts increment
+  /// through this reference).
+  uint64_t& operator[](uint64_t key) {
+    if (key == 0) {
+      has_zero_ = true;
+      return zero_value_;
+    }
+    if (RequiredCapacity(size_ + 1) > slots_.size()) {
+      Rehash(RequiredCapacity(size_ + 1));
+    }
+    size_t i = ProbeStart(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == 0) {
+        s.key = key;
+        ++size_;
+        return s.value;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  const uint64_t* Find(uint64_t key) const {
+    if (key == 0) return has_zero_ ? &zero_value_ : nullptr;
+    if (slots_.empty()) return nullptr;
+    size_t i = ProbeStart(key);
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == 0) return nullptr;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  /// Value for `key`, or `fallback` if absent.
+  uint64_t GetOr(uint64_t key, uint64_t fallback = 0) const {
+    const uint64_t* v = Find(key);
+    return v == nullptr ? fallback : *v;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  /// Drops all entries and releases the backing array.
+  void Clear() {
+    std::vector<Slot>().swap(slots_);
+    size_ = 0;
+    has_zero_ = false;
+    zero_value_ = 0;
+  }
+
+  /// Visits every (key, value) pair. Order is the probe-array order: stable
+  /// for a fixed insertion sequence, unspecified otherwise.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(static_cast<uint64_t>(0), zero_value_);
+    for (const Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  /// Smallest power-of-two capacity keeping load factor <= 0.75 for n keys.
+  static size_t RequiredCapacity(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;
+    return cap;
+  }
+
+  size_t ProbeStart(uint64_t key) const {
+    return static_cast<size_t>(Mix64(key)) & (slots_.size() - 1);
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      size_t i = static_cast<size_t>(Mix64(s.key)) & (new_capacity - 1);
+      while (slots_[i].key != 0) i = (i + 1) & (new_capacity - 1);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;  ///< non-zero keys stored in slots_
+  bool has_zero_ = false;
+  uint64_t zero_value_ = 0;
+};
+
+}  // namespace autodetect

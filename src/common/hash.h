@@ -23,6 +23,21 @@ inline uint64_t Fnv1a64(std::string_view s) {
   return h;
 }
 
+/// \brief Incremental FNV-1a: feeding bytes one at a time yields exactly the
+/// hash Fnv1a64 computes over the concatenation. The fused generalize+hash
+/// paths (pattern.cc, run_tokenizer.cc) rely on this equivalence to stay
+/// bit-identical to hashing the canonical pattern rendering.
+struct Fnv1aHasher {
+  uint64_t h = 14695981039346656037ULL;
+  void Byte(unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  void Str(std::string_view s) {
+    for (unsigned char c : s) Byte(c);
+  }
+};
+
 /// \brief Finalization mix from MurmurHash3 / splitmix64.
 inline uint64_t Mix64(uint64_t x) {
   x ^= x >> 33;

@@ -46,20 +46,27 @@ std::string PairExplanation::ToString() const {
   return out;
 }
 
+namespace {
+
+MultiGeneralizer KernelForModel(const Model* model) {
+  AD_CHECK(model != nullptr);
+  AD_CHECK(!model->languages.empty()) << "model has no languages";
+  std::vector<int> ids;
+  ids.reserve(model->languages.size());
+  for (const auto& l : model->languages) ids.push_back(l.lang_id);
+  return MultiGeneralizer::ForIds(ids);
+}
+
+}  // namespace
+
 Detector::Detector(const Model* model) : Detector(model, DetectorOptions()) {}
 
 Detector::Detector(const Model* model, DetectorOptions options)
-    : model_(model), options_(options) {
-  AD_CHECK(model_ != nullptr);
-  AD_CHECK(!model_->languages.empty()) << "model has no languages";
-}
+    : model_(model), options_(options), multi_keys_(KernelForModel(model)) {}
 
 std::vector<uint64_t> Detector::KeysOf(std::string_view value) const {
-  std::vector<uint64_t> keys;
-  keys.reserve(model_->languages.size());
-  for (const auto& l : model_->languages) {
-    keys.push_back(GeneralizeToKey(value, l.language()));
-  }
+  std::vector<uint64_t> keys(model_->languages.size());
+  multi_keys_.KeysForValue(value, keys.data());
   return keys;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "detect/model.h"
+#include "text/run_tokenizer.h"
 
 /// \file detector.h
 /// The online half of Auto-Detect: score value pairs and scan columns for
@@ -132,6 +133,9 @@ class Detector {
 
   const Model* model_;
   DetectorOptions options_;
+  /// Shared-tokenization kernel over the model's selected languages: every
+  /// scored value is scanned once, not once per language.
+  MultiGeneralizer multi_keys_;
 };
 
 }  // namespace autodetect

@@ -17,8 +17,7 @@ namespace {
 size_t ProjectedBytes(const LanguageStats& stats, double ratio) {
   size_t exact = stats.MemoryBytes();
   if (ratio >= 1.0) return exact;
-  constexpr size_t kBytesPerDictEntry = 24;
-  size_t co_bytes = stats.NumCoPairs() * kBytesPerDictEntry;
+  size_t co_bytes = stats.CoMemoryBytes();
   size_t count_bytes = exact - co_bytes;
   size_t sketch_bytes =
       std::max<size_t>(64, static_cast<size_t>(static_cast<double>(co_bytes) * ratio));
@@ -68,17 +67,21 @@ Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
       pipeline.training_set_,
       GenerateTrainingSet(source, *crude_stats, options.supervision));
 
-  // Stage 3: calibrate every candidate (parallel).
-  const auto& all_langs = LanguageSpace::All();
+  // Stage 3: calibrate every candidate (parallel). The training set is
+  // pre-keyed once under every candidate language via the shared-
+  // tokenization kernel; per-language workers then score from keys alone
+  // instead of re-generalizing every pair 144 times.
   pipeline.lang_ids_ = candidate_ids;
   pipeline.calibrations_.resize(candidate_ids.size());
-  ThreadPool::ParallelFor(candidate_ids.size(), options.num_threads, [&](size_t i) {
-    int id = candidate_ids[i];
-    pipeline.calibrations_[i] =
-        CalibrateLanguage(all_langs[static_cast<size_t>(id)],
-                          pipeline.stats_.ForLanguage(id), pipeline.training_set_,
-                          options.calibration);
-  });
+  {
+    PreKeyedTrainingSet prekeyed(pipeline.training_set_, candidate_ids,
+                                 options.stats.generalize_options);
+    ThreadPool::ParallelFor(candidate_ids.size(), options.num_threads, [&](size_t i) {
+      pipeline.calibrations_[i] =
+          CalibrateLanguage(i, pipeline.stats_.ForLanguage(candidate_ids[i]),
+                            prekeyed, options.calibration);
+    });
+  }
 
   pipeline.options_ = std::move(options);
   return pipeline;
@@ -153,13 +156,11 @@ Result<Model> TrainingPipeline::BuildModel() const {
 void TrainingPipeline::RecalibrateInPlace(double smoothing_factor) {
   options_.smoothing_factor = smoothing_factor;
   options_.calibration.smoothing_factor = smoothing_factor;
-  const auto& all_langs = LanguageSpace::All();
+  PreKeyedTrainingSet prekeyed(training_set_, lang_ids_,
+                               options_.stats.generalize_options);
   ThreadPool::ParallelFor(lang_ids_.size(), options_.num_threads, [&](size_t i) {
-    int id = lang_ids_[i];
-    calibrations_[i] =
-        CalibrateLanguage(all_langs[static_cast<size_t>(id)],
-                          stats_.ForLanguage(id), training_set_,
-                          options_.calibration);
+    calibrations_[i] = CalibrateLanguage(i, stats_.ForLanguage(lang_ids_[i]),
+                                         prekeyed, options_.calibration);
   });
 }
 

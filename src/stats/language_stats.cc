@@ -7,11 +7,6 @@
 
 namespace autodetect {
 
-namespace {
-/// Approximate bytes per unordered_map entry (key + value + bucket overhead).
-constexpr size_t kBytesPerDictEntry = 24;
-}  // namespace
-
 void LanguageStats::AddColumn(const std::vector<uint64_t>& distinct_keys) {
   ++num_columns_;
   for (uint64_t k : distinct_keys) ++counts_[k];
@@ -23,11 +18,6 @@ void LanguageStats::AddColumn(const std::vector<uint64_t>& distinct_keys) {
   }
 }
 
-uint64_t LanguageStats::Count(uint64_t key) const {
-  auto it = counts_.find(key);
-  return it == counts_.end() ? 0 : it->second;
-}
-
 uint64_t LanguageStats::CoCount(uint64_t key1, uint64_t key2) const {
   if (key1 == key2) return Count(key1);
   uint64_t pair_key = CombineUnordered(key1, key2);
@@ -37,18 +27,15 @@ uint64_t LanguageStats::CoCount(uint64_t key1, uint64_t key2) const {
     if (Count(key1) == 0 || Count(key2) == 0) return 0;
     return sketch_->Estimate(pair_key);
   }
-  auto it = co_counts_.find(pair_key);
-  return it == co_counts_.end() ? 0 : it->second;
+  return co_counts_.GetOr(pair_key);
 }
 
 size_t LanguageStats::MemoryBytes() const {
-  size_t bytes = counts_.size() * kBytesPerDictEntry;
-  if (sketch_.has_value()) {
-    bytes += sketch_->MemoryBytes();
-  } else {
-    bytes += co_counts_.size() * kBytesPerDictEntry;
-  }
-  return bytes;
+  return counts_.MemoryBytes() + CoMemoryBytes();
+}
+
+size_t LanguageStats::CoMemoryBytes() const {
+  return sketch_.has_value() ? sketch_->MemoryBytes() : co_counts_.MemoryBytes();
 }
 
 Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
@@ -56,50 +43,52 @@ Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
   if (!(ratio > 0.0 && ratio <= 1.0)) {
     return Status::Invalid("sketch ratio must be in (0, 1]");
   }
-  size_t dict_bytes = co_counts_.size() * kBytesPerDictEntry;
+  size_t dict_bytes = co_counts_.MemoryBytes();
   size_t budget = std::max<size_t>(64, static_cast<size_t>(dict_bytes * ratio));
   CountMinSketch sketch = CountMinSketch::FromMemoryBudget(budget, /*depth=*/4, seed);
-  for (const auto& [pair_key, count] : co_counts_) {
+  co_counts_.ForEach([&](uint64_t pair_key, uint64_t count) {
     sketch.AddConservative(pair_key, count);
-  }
+  });
   sketch_ = std::move(sketch);
-  co_counts_.clear();
+  co_counts_.Clear();
   return Status::OK();
 }
 
 void LanguageStats::ForEachCoCount(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  for (const auto& [k, v] : co_counts_) fn(k, v);
+  co_counts_.ForEach(fn);
 }
 
 void LanguageStats::ForEachCount(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  for (const auto& [k, v] : counts_) fn(k, v);
+  counts_.ForEach(fn);
 }
 
 void LanguageStats::Merge(const LanguageStats& other) {
   AD_CHECK(!sketch_.has_value() && !other.sketch_.has_value());
   num_columns_ += other.num_columns_;
-  for (const auto& [k, v] : other.counts_) counts_[k] += v;
-  for (const auto& [k, v] : other.co_counts_) co_counts_[k] += v;
+  counts_.Reserve(counts_.size() + other.counts_.size());
+  other.counts_.ForEach([&](uint64_t k, uint64_t v) { counts_[k] += v; });
+  co_counts_.Reserve(co_counts_.size() + other.co_counts_.size());
+  other.co_counts_.ForEach([&](uint64_t k, uint64_t v) { co_counts_[k] += v; });
 }
 
 void LanguageStats::Serialize(BinaryWriter* writer) const {
   writer->WriteU64(num_columns_);
   writer->WriteU64(counts_.size());
-  for (const auto& [k, v] : counts_) {
+  counts_.ForEach([&](uint64_t k, uint64_t v) {
     writer->WriteU64(k);
     writer->WriteU64(v);
-  }
+  });
   writer->WriteU8(sketch_.has_value() ? 1 : 0);
   if (sketch_.has_value()) {
     sketch_->Serialize(writer);
   } else {
     writer->WriteU64(co_counts_.size());
-    for (const auto& [k, v] : co_counts_) {
+    co_counts_.ForEach([&](uint64_t k, uint64_t v) {
       writer->WriteU64(k);
       writer->WriteU64(v);
-    }
+    });
   }
 }
 
@@ -107,7 +96,7 @@ Result<LanguageStats> LanguageStats::Deserialize(BinaryReader* reader) {
   LanguageStats stats;
   AD_ASSIGN_OR_RETURN(stats.num_columns_, reader->ReadU64());
   AD_ASSIGN_OR_RETURN(uint64_t n_counts, reader->ReadU64());
-  stats.counts_.reserve(static_cast<size_t>(n_counts));
+  stats.counts_.Reserve(static_cast<size_t>(n_counts));
   for (uint64_t i = 0; i < n_counts; ++i) {
     AD_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
     AD_ASSIGN_OR_RETURN(uint64_t v, reader->ReadU64());
@@ -119,7 +108,7 @@ Result<LanguageStats> LanguageStats::Deserialize(BinaryReader* reader) {
     stats.sketch_ = std::move(sketch);
   } else {
     AD_ASSIGN_OR_RETURN(uint64_t n_pairs, reader->ReadU64());
-    stats.co_counts_.reserve(static_cast<size_t>(n_pairs));
+    stats.co_counts_.Reserve(static_cast<size_t>(n_pairs));
     for (uint64_t i = 0; i < n_pairs; ++i) {
       AD_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
       AD_ASSIGN_OR_RETURN(uint64_t v, reader->ReadU64());

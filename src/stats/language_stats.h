@@ -3,9 +3,9 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/result.h"
 #include "io/serde.h"
 #include "sketch/count_min.h"
@@ -14,9 +14,9 @@
 /// Per-language corpus statistics: for one generalization language L this
 /// stores c(p) — the number of corpus columns containing pattern p — and
 /// c(p1, p2) — the number of columns containing both patterns (paper
-/// Sec. 2.1). Co-occurrence can be held exactly (hash dictionary) or
-/// approximately (count–min sketch, Sec. 3.4). Patterns are identified by
-/// their 64-bit canonical keys (pattern.h).
+/// Sec. 2.1). Co-occurrence can be held exactly (open-addressing flat map)
+/// or approximately (count–min sketch, Sec. 3.4). Patterns are identified
+/// by their 64-bit canonical keys (pattern.h).
 
 namespace autodetect {
 
@@ -32,7 +32,7 @@ class LanguageStats {
   uint64_t num_columns() const { return num_columns_; }
 
   /// c(p): columns containing pattern `key`.
-  uint64_t Count(uint64_t key) const;
+  uint64_t Count(uint64_t key) const { return counts_.GetOr(key); }
 
   /// c(p1, p2): columns containing both patterns. For key1 == key2 this is
   /// c(p) by definition (a value pair with identical patterns co-occurs
@@ -44,9 +44,15 @@ class LanguageStats {
   size_t NumCoPairs() const { return co_counts_.size(); }
 
   /// \brief Estimated resident bytes of the statistics — the size(L) used
-  /// by the selection knapsack. Dictionary entries are costed at the open-
-  /// addressing rate of ~24 bytes/entry; sketches at their counter array.
+  /// by the selection knapsack. Dictionaries are costed at their actual
+  /// open-addressing backing arrays (16 bytes/slot at <= 0.75 load);
+  /// sketches at their counter array.
   size_t MemoryBytes() const;
+
+  /// \brief Bytes of the co-occurrence store alone (dictionary or sketch);
+  /// MemoryBytes() minus the c(p) dictionary. The selection knapsack uses
+  /// this to price sketch-compressed candidates consistently.
+  size_t CoMemoryBytes() const;
 
   /// \brief Replaces the exact co-occurrence dictionary with a count-min
   /// sketch sized at `ratio` (0 < ratio <= 1) of the dictionary's bytes.
@@ -72,8 +78,8 @@ class LanguageStats {
 
  private:
   uint64_t num_columns_ = 0;
-  std::unordered_map<uint64_t, uint64_t> counts_;
-  std::unordered_map<uint64_t, uint64_t> co_counts_;  // key: CombineUnordered
+  FlatMap64 counts_;
+  FlatMap64 co_counts_;  // key: CombineUnordered
   std::optional<CountMinSketch> sketch_;
 };
 

@@ -1,10 +1,17 @@
 #include "stats/stats_builder.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "text/run_tokenizer.h"
 
 namespace autodetect {
 
@@ -81,6 +88,33 @@ std::vector<std::string> DistinctValuesForStats(const std::vector<std::string>& 
   return distinct;
 }
 
+namespace {
+
+/// One batch of columns, each reduced to its distinct values and tokenized
+/// ONCE into char-class runs. Every language chunk derives its pattern keys
+/// from these shared run lists — the corpus bytes are scanned a single time
+/// no matter how many candidate languages are in play.
+struct TokenizedBatch {
+  std::vector<TokenizedValues> columns;
+  std::atomic<size_t> chunks_remaining{0};
+};
+
+/// A contiguous range of candidate languages owned by exactly one task
+/// chain: batches queue up per chunk and are drained strictly in order, so
+/// each LanguageStats sees columns in the global stream order (same results
+/// as the old serial-per-language loop) without any cross-batch barrier —
+/// the reader keeps tokenizing batch k+1 while workers count batch k.
+struct LanguageChunk {
+  size_t begin = 0;  ///< index range into lang_ids
+  size_t end = 0;
+  std::unique_ptr<MultiGeneralizer> keys;
+  std::mutex mu;
+  std::deque<std::shared_ptr<TokenizedBatch>> pending;
+  bool draining = false;
+};
+
+}  // namespace
+
 CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& options) {
   std::vector<int> lang_ids = options.language_ids;
   if (lang_ids.empty()) {
@@ -93,29 +127,107 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
 
   std::vector<LanguageStats> per_lang(lang_ids.size());
 
+  size_t num_threads = options.num_threads != 0
+                           ? options.num_threads
+                           : std::max<size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool pool(num_threads);
+
+  // ~2 chunks per worker keeps the chains load-balanced; chunks own disjoint
+  // language ranges, so they never contend on a LanguageStats.
+  size_t num_chunks = std::min(lang_ids.size(), std::max<size_t>(1, num_threads * 2));
+  std::vector<LanguageChunk> chunks(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    chunks[c].begin = c * lang_ids.size() / num_chunks;
+    chunks[c].end = (c + 1) * lang_ids.size() / num_chunks;
+    std::vector<int> chunk_ids(lang_ids.begin() + static_cast<ptrdiff_t>(chunks[c].begin),
+                               lang_ids.begin() + static_cast<ptrdiff_t>(chunks[c].end));
+    chunks[c].keys = std::make_unique<MultiGeneralizer>(
+        MultiGeneralizer::ForIds(chunk_ids, options.generalize_options));
+  }
+
+  // Backpressure: bounds resident tokenized batches (reader vs workers).
+  constexpr size_t kMaxBatchesInFlight = 4;
+  std::mutex flight_mu;
+  std::condition_variable flight_cv;
+  size_t batches_in_flight = 0;
+
+  auto process_batch = [&](LanguageChunk& chunk, const TokenizedBatch& tokenized) {
+    const size_t n_langs = chunk.end - chunk.begin;
+    std::vector<uint64_t> value_keys(n_langs);
+    std::vector<std::vector<uint64_t>> col_keys(n_langs);
+    for (const TokenizedValues& column : tokenized.columns) {
+      for (auto& keys : col_keys) keys.clear();
+      for (size_t v = 0; v < column.size(); ++v) {
+        chunk.keys->KeysFor(column.Runs(v), column.ClassMask(v), value_keys.data());
+        for (size_t s = 0; s < n_langs; ++s) col_keys[s].push_back(value_keys[s]);
+      }
+      for (size_t s = 0; s < n_langs; ++s) {
+        auto& keys = col_keys[s];
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        if (keys.size() > options.max_distinct_patterns_per_column) {
+          keys.resize(options.max_distinct_patterns_per_column);
+        }
+        per_lang[chunk.begin + s].AddColumn(keys);
+      }
+    }
+  };
+
+  auto drain_chunk = [&](LanguageChunk& chunk) {
+    for (;;) {
+      std::shared_ptr<TokenizedBatch> tokenized;
+      {
+        std::unique_lock<std::mutex> lock(chunk.mu);
+        if (chunk.pending.empty()) {
+          chunk.draining = false;
+          return;
+        }
+        tokenized = std::move(chunk.pending.front());
+        chunk.pending.pop_front();
+      }
+      process_batch(chunk, *tokenized);
+      if (tokenized->chunks_remaining.fetch_sub(1) == 1) {
+        std::unique_lock<std::mutex> lock(flight_mu);
+        --batches_in_flight;
+        flight_cv.notify_all();
+      }
+    }
+  };
+
   std::vector<std::vector<std::string>> batch;
   batch.reserve(options.batch_columns);
 
   auto flush = [&] {
     if (batch.empty()) return;
-    ThreadPool::ParallelFor(
-        lang_ids.size(), options.num_threads, [&](size_t li) {
-          const GeneralizationLanguage& lang = all_langs[static_cast<size_t>(lang_ids[li])];
-          std::vector<uint64_t> keys;
-          for (const auto& distinct_values : batch) {
-            keys.clear();
-            for (const auto& v : distinct_values) {
-              keys.push_back(GeneralizeToKey(v, lang, options.generalize_options));
-            }
-            std::sort(keys.begin(), keys.end());
-            keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-            if (keys.size() > options.max_distinct_patterns_per_column) {
-              keys.resize(options.max_distinct_patterns_per_column);
-            }
-            per_lang[li].AddColumn(keys);
-          }
-        });
+    auto tokenized = std::make_shared<TokenizedBatch>();
+    tokenized->columns.resize(batch.size());
+    for (size_t c = 0; c < batch.size(); ++c) {
+      for (const auto& v : batch[c]) {
+        tokenized->columns[c].Add(v, options.generalize_options);
+      }
+    }
     batch.clear();
+    tokenized->chunks_remaining.store(num_chunks);
+    {
+      std::unique_lock<std::mutex> lock(flight_mu);
+      flight_cv.wait(lock,
+                     [&] { return batches_in_flight < kMaxBatchesInFlight; });
+      ++batches_in_flight;
+    }
+    for (auto& chunk : chunks) {
+      bool start_drainer = false;
+      {
+        std::unique_lock<std::mutex> lock(chunk.mu);
+        chunk.pending.push_back(tokenized);
+        if (!chunk.draining) {
+          chunk.draining = true;
+          start_drainer = true;
+        }
+      }
+      if (start_drainer) {
+        pool.Submit([&drain_chunk, &chunk] { drain_chunk(chunk); });
+      }
+    }
   };
 
   Column column;
@@ -125,6 +237,12 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
     if (batch.size() >= options.batch_columns) flush();
   }
   flush();
+
+  {
+    std::unique_lock<std::mutex> lock(flight_mu);
+    flight_cv.wait(lock, [&] { return batches_in_flight == 0; });
+  }
+  pool.WaitIdle();
 
   CorpusStats out;
   for (size_t i = 0; i < lang_ids.size(); ++i) {

@@ -134,12 +134,35 @@ GeneralizationLanguage LanguageSpace::Root() {
   return *r;
 }
 
-int LanguageSpace::IdOf(const GeneralizationLanguage& lang) {
-  const auto& all = All();
-  for (size_t i = 0; i < all.size(); ++i) {
-    if (all[i] == lang) return static_cast<int>(i);
+namespace {
+
+/// Packs a language's four targets into a base-7 index (< 7^4 = 2401).
+size_t PackTargets(const GeneralizationLanguage& lang) {
+  size_t packed = 0;
+  for (int c = kNumCharClasses - 1; c >= 0; --c) {
+    packed = packed * kNumTreeNodes +
+             static_cast<size_t>(lang.TargetFor(static_cast<CharClass>(c)));
   }
-  return -1;
+  return packed;
+}
+
+}  // namespace
+
+int LanguageSpace::IdOf(const GeneralizationLanguage& lang) {
+  // IdOf sits on hot setup paths (trainer, detector, benches) and used to
+  // linear-scan all 144 languages with operator==; a lazily built dense
+  // index over the packed target tuple makes it one array load.
+  static const std::vector<int16_t> kIndex = [] {
+    std::vector<int16_t> index(kNumTreeNodes * kNumTreeNodes * kNumTreeNodes *
+                                   kNumTreeNodes,
+                               int16_t{-1});
+    const auto& all = All();
+    for (size_t i = 0; i < all.size(); ++i) {
+      index[PackTargets(all[i])] = static_cast<int16_t>(i);
+    }
+    return index;
+  }();
+  return kIndex[PackTargets(lang)];
 }
 
 }  // namespace autodetect

@@ -95,22 +95,6 @@ std::string GeneralizeToString(std::string_view value,
   return out;
 }
 
-namespace {
-
-/// Incremental FNV-1a, bit-identical to hashing the canonical rendering.
-struct FnvHasher {
-  uint64_t h = 14695981039346656037ULL;
-  void Byte(unsigned char c) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  void Str(std::string_view s) {
-    for (unsigned char c : s) Byte(c);
-  }
-};
-
-}  // namespace
-
 uint64_t GeneralizeToKey(std::string_view value, const GeneralizationLanguage& lang,
                          const GeneralizeOptions& options) {
   // Allocation-free fused generalize+hash: must stay in lockstep with
@@ -118,7 +102,7 @@ uint64_t GeneralizeToKey(std::string_view value, const GeneralizationLanguage& l
   if (value.size() > options.max_value_length) {
     value = value.substr(0, options.max_value_length);
   }
-  FnvHasher hasher;
+  Fnv1aHasher hasher;
   char digits[12];
   size_t i = 0;
   while (i < value.size()) {

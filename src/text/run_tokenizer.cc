@@ -1,0 +1,156 @@
+#include "text/run_tokenizer.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace autodetect {
+
+uint8_t TokenizeRuns(std::string_view value, const GeneralizeOptions& options,
+                     std::vector<ClassRun>* out) {
+  if (value.size() > options.max_value_length) {
+    value = value.substr(0, options.max_value_length);
+  }
+  out->clear();
+  uint8_t mask = 0;
+  size_t i = 0;
+  while (i < value.size()) {
+    char c = value[i];
+    size_t j = i + 1;
+    while (j < value.size() && value[j] == c) ++j;
+    uint8_t cls = static_cast<uint8_t>(ClassifyChar(c));
+    mask |= static_cast<uint8_t>(1u << cls);
+    out->push_back(ClassRun{c, cls, static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return mask;
+}
+
+namespace {
+
+/// The O(#runs) derivation core: merge adjacent runs whose classes map to
+/// the same node under `targets`, hashing each merged segment exactly the
+/// way GeneralizeToKey renders it. Leaf segments never span runs: adjacent
+/// runs differ in character by construction, and leaf runs only merge on
+/// equal characters.
+uint64_t HashRuns(RunSpan runs, const TreeNode* targets, bool collapse) {
+  Fnv1aHasher hasher;
+  char digits[20];
+  const size_t n = runs.size();
+  size_t i = 0;
+  while (i < n) {
+    TreeNode node = targets[runs[i].cls];
+    uint64_t count = runs[i].count;
+    size_t j = i + 1;
+    if (node == TreeNode::kLeaf) {
+      char c = runs[i].ch;
+      if (c == '\\' || c == '[' || c == ']' || c == '+') hasher.Byte('\\');
+      hasher.Byte(static_cast<unsigned char>(c));
+    } else {
+      while (j < n && targets[runs[j].cls] == node) {
+        count += runs[j].count;
+        ++j;
+      }
+      hasher.Str(TreeNodeToken(node));
+    }
+    if (count > 1) {
+      if (collapse) {
+        hasher.Byte('+');
+      } else {
+        hasher.Byte('[');
+        int len = 0;
+        uint64_t v = count;
+        while (v > 0) {
+          digits[len++] = static_cast<char>('0' + v % 10);
+          v /= 10;
+        }
+        for (int k = len - 1; k >= 0; --k) {
+          hasher.Byte(static_cast<unsigned char>(digits[k]));
+        }
+        hasher.Byte(']');
+      }
+    }
+    i = j;
+  }
+  return hasher.h;
+}
+
+}  // namespace
+
+uint64_t GeneralizeRunsToKey(RunSpan runs, const GeneralizationLanguage& lang,
+                             bool collapse_run_lengths) {
+  TreeNode targets[kNumCharClasses];
+  for (int c = 0; c < kNumCharClasses; ++c) {
+    targets[c] = lang.TargetFor(static_cast<CharClass>(c));
+  }
+  return HashRuns(runs, targets, collapse_run_lengths);
+}
+
+void TokenizedValues::Add(std::string_view value, const GeneralizeOptions& options) {
+  masks_.push_back(TokenizeRuns(value, options, &scratch_));
+  runs_.insert(runs_.end(), scratch_.begin(), scratch_.end());
+  offsets_.push_back(static_cast<uint32_t>(runs_.size()));
+}
+
+MultiGeneralizer::MultiGeneralizer(std::vector<GeneralizationLanguage> langs,
+                                   GeneralizeOptions options)
+    : langs_(std::move(langs)), options_(options) {
+  AD_CHECK(langs_.size() <= (1u << 16)) << "too many languages";
+  for (uint8_t mask = 0; mask < (1u << kNumCharClasses); ++mask) {
+    auto& groups = groups_by_mask_[mask];
+    for (size_t li = 0; li < langs_.size(); ++li) {
+      std::array<TreeNode, kNumCharClasses> targets;
+      for (int c = 0; c < kNumCharClasses; ++c) {
+        // Classes absent from the mask cannot influence the key; pin them to
+        // kLeaf so languages differing only there share one group.
+        targets[c] = (mask >> c) & 1
+                         ? langs_[li].TargetFor(static_cast<CharClass>(c))
+                         : TreeNode::kLeaf;
+      }
+      Group* group = nullptr;
+      for (auto& g : groups) {
+        if (g.targets == targets) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(Group{targets, {}});
+        group = &groups.back();
+      }
+      group->members.push_back(static_cast<uint16_t>(li));
+    }
+  }
+}
+
+MultiGeneralizer MultiGeneralizer::ForIds(const std::vector<int>& lang_ids,
+                                          GeneralizeOptions options) {
+  const auto& all = LanguageSpace::All();
+  std::vector<GeneralizationLanguage> langs;
+  langs.reserve(lang_ids.size());
+  for (int id : lang_ids) {
+    AD_CHECK(id >= 0 && id < static_cast<int>(all.size())) << "bad language id";
+    langs.push_back(all[static_cast<size_t>(id)]);
+  }
+  return MultiGeneralizer(std::move(langs), options);
+}
+
+void MultiGeneralizer::KeysFor(RunSpan runs, uint8_t class_mask,
+                               uint64_t* out_keys) const {
+  for (const Group& g : groups_by_mask_[class_mask & 0xf]) {
+    uint64_t key = HashRuns(runs, g.targets.data(), options_.collapse_run_lengths);
+    for (uint16_t m : g.members) out_keys[m] = key;
+  }
+}
+
+void MultiGeneralizer::KeysForValue(std::string_view value, uint64_t* out_keys) const {
+  std::vector<ClassRun> runs;
+  uint8_t mask = TokenizeRuns(value, options_, &runs);
+  KeysFor(RunSpan(runs), mask, out_keys);
+}
+
+void MultiGeneralizeToKeys(std::string_view value, const std::vector<int>& lang_ids,
+                           const GeneralizeOptions& options, uint64_t* out_keys) {
+  MultiGeneralizer::ForIds(lang_ids, options).KeysForValue(value, out_keys);
+}
+
+}  // namespace autodetect

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "stats/npmi.h"
 #include "text/pattern.h"
+#include "text/run_tokenizer.h"
 
 namespace autodetect {
 
@@ -56,29 +59,78 @@ std::vector<double> ScoreTrainingSet(const GeneralizationLanguage& lang,
   return scores;
 }
 
-CalibrationResult CalibrateLanguage(const GeneralizationLanguage& lang,
-                                    const LanguageStats& stats,
-                                    const TrainingSet& train,
-                                    const CalibrationOptions& options) {
+PreKeyedTrainingSet::PreKeyedTrainingSet(const TrainingSet& train,
+                                         const std::vector<int>& lang_ids,
+                                         const GeneralizeOptions& options)
+    : lang_ids_(lang_ids) {
+  // Intern distinct values: training pairs reuse values heavily (splice
+  // negatives pair one donor against many hosts), so keying per distinct
+  // value rather than per pair side is itself a large saving.
+  std::unordered_map<std::string_view, uint32_t> index;
+  std::vector<std::string_view> distinct;
+  auto intern = [&](const std::string& v) {
+    auto [it, inserted] =
+        index.emplace(v, static_cast<uint32_t>(distinct.size()));
+    if (inserted) distinct.push_back(v);
+    return it->second;
+  };
+  positives_.reserve(train.positives.size());
+  for (const auto& p : train.positives) {
+    positives_.emplace_back(intern(p.u), intern(p.v));
+  }
+  negatives_.reserve(train.negatives.size());
+  for (const auto& p : train.negatives) {
+    negatives_.emplace_back(intern(p.u), intern(p.v));
+  }
+
+  MultiGeneralizer multi = MultiGeneralizer::ForIds(lang_ids_, options);
+  keys_.resize(distinct.size() * lang_ids_.size());
+  std::vector<ClassRun> runs;
+  for (size_t v = 0; v < distinct.size(); ++v) {
+    uint8_t mask = TokenizeRuns(distinct[v], options, &runs);
+    multi.KeysFor(RunSpan(runs), mask, keys_.data() + v * lang_ids_.size());
+  }
+}
+
+std::vector<double> PreKeyedTrainingSet::Score(size_t lang_pos,
+                                               const LanguageStats& stats,
+                                               double smoothing_factor) const {
+  AD_CHECK(lang_pos < lang_ids_.size());
+  NpmiScorer scorer(&stats, smoothing_factor);
+  std::vector<double> scores;
+  scores.reserve(size());
+  for (const auto& [u, v] : positives_) {
+    scores.push_back(scorer.Score(Key(u, lang_pos), Key(v, lang_pos)));
+  }
+  for (const auto& [u, v] : negatives_) {
+    scores.push_back(scorer.Score(Key(u, lang_pos), Key(v, lang_pos)));
+  }
+  return scores;
+}
+
+namespace {
+
+/// The Eq. 8 threshold walk over pre-computed scores (ordered positives
+/// then negatives) — shared by the string-based and pre-keyed entry points.
+CalibrationResult CalibrateFromScores(const std::vector<double>& scores,
+                                      size_t num_positives, size_t num_negatives,
+                                      const CalibrationOptions& options) {
   CalibrationResult result;
-  result.covered_negatives = DynamicBitset(train.negatives.size());
-  if (train.size() == 0) return result;
+  result.covered_negatives = DynamicBitset(num_negatives);
+  if (scores.empty()) return result;
 
   struct Scored {
     double score;
     bool is_negative;
     uint32_t neg_index;  // valid when is_negative
   };
-  std::vector<double> scores =
-      ScoreTrainingSet(lang, stats, train, options.smoothing_factor);
-
   std::vector<Scored> items;
   items.reserve(scores.size());
-  for (size_t i = 0; i < train.positives.size(); ++i) {
+  for (size_t i = 0; i < num_positives; ++i) {
     items.push_back(Scored{scores[i], false, 0});
   }
-  for (size_t i = 0; i < train.negatives.size(); ++i) {
-    items.push_back(Scored{scores[train.positives.size() + i], true,
+  for (size_t i = 0; i < num_negatives; ++i) {
+    items.push_back(Scored{scores[num_positives + i], true,
                            static_cast<uint32_t>(i)});
   }
   std::stable_sort(items.begin(), items.end(),
@@ -150,6 +202,27 @@ CalibrationResult CalibrateLanguage(const GeneralizationLanguage& lang,
   }
   result.curve = PrecisionCurve(std::move(curve_points));
   return result;
+}
+
+}  // namespace
+
+CalibrationResult CalibrateLanguage(const GeneralizationLanguage& lang,
+                                    const LanguageStats& stats,
+                                    const TrainingSet& train,
+                                    const CalibrationOptions& options) {
+  std::vector<double> scores =
+      ScoreTrainingSet(lang, stats, train, options.smoothing_factor);
+  return CalibrateFromScores(scores, train.positives.size(),
+                             train.negatives.size(), options);
+}
+
+CalibrationResult CalibrateLanguage(size_t lang_pos, const LanguageStats& stats,
+                                    const PreKeyedTrainingSet& train,
+                                    const CalibrationOptions& options) {
+  std::vector<double> scores =
+      train.Score(lang_pos, stats, options.smoothing_factor);
+  return CalibrateFromScores(scores, train.num_positives(),
+                             train.num_negatives(), options);
 }
 
 }  // namespace autodetect

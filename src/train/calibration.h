@@ -7,6 +7,7 @@
 #include "io/serde.h"
 #include "stats/language_stats.h"
 #include "text/language.h"
+#include "text/run_tokenizer.h"
 #include "train/distant_supervision.h"
 
 /// \file calibration.h
@@ -73,10 +74,53 @@ struct CalibrationOptions {
   size_t max_curve_points = 256;
 };
 
+/// \brief Training set pre-keyed under every candidate language at once.
+/// Calibrating the 144 candidates used to re-generalize every training value
+/// per language — 144 full string scans per value. Construction instead
+/// tokenizes each *distinct* value once (run_tokenizer) and derives all
+/// per-language keys with the shared-tokenization kernel; per-language
+/// calibration then reads keys with no string work at all.
+class PreKeyedTrainingSet {
+ public:
+  /// \param lang_ids ids into LanguageSpace::All(); the `lang_pos` of the
+  /// accessors below indexes into this vector.
+  PreKeyedTrainingSet(const TrainingSet& train, const std::vector<int>& lang_ids,
+                      const GeneralizeOptions& options = {});
+
+  size_t num_languages() const { return lang_ids_.size(); }
+  const std::vector<int>& lang_ids() const { return lang_ids_; }
+  size_t num_positives() const { return positives_.size(); }
+  size_t num_negatives() const { return negatives_.size(); }
+  size_t size() const { return positives_.size() + negatives_.size(); }
+
+  /// \brief NPMI scores of every pair under language `lang_pos`, in the
+  /// order positives-then-negatives (same contract as ScoreTrainingSet).
+  std::vector<double> Score(size_t lang_pos, const LanguageStats& stats,
+                            double smoothing_factor) const;
+
+ private:
+  uint64_t Key(uint32_t value_idx, size_t lang_pos) const {
+    return keys_[static_cast<size_t>(value_idx) * lang_ids_.size() + lang_pos];
+  }
+
+  std::vector<int> lang_ids_;
+  /// Key of distinct value v under language l at keys_[v * L + l].
+  std::vector<uint64_t> keys_;
+  /// Pairs as indices into the distinct-value key matrix.
+  std::vector<std::pair<uint32_t, uint32_t>> positives_;
+  std::vector<std::pair<uint32_t, uint32_t>> negatives_;
+};
+
 /// \brief Calibrates one language against the training set.
 CalibrationResult CalibrateLanguage(const GeneralizationLanguage& lang,
                                     const LanguageStats& stats,
                                     const TrainingSet& train,
+                                    const CalibrationOptions& options);
+
+/// \brief Calibrates the language at `lang_pos` of `train.lang_ids()` from
+/// pre-computed keys; identical result to the string-based overload.
+CalibrationResult CalibrateLanguage(size_t lang_pos, const LanguageStats& stats,
+                                    const PreKeyedTrainingSet& train,
                                     const CalibrationOptions& options);
 
 /// \brief Scores every pair of `train` under `lang`; returned in the order

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <set>
 #include <thread>
+#include <unordered_map>
 
 #include "common/bitset.h"
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -371,6 +374,100 @@ TEST(BitsetTest, EqualityAndSelfUnion) {
   EXPECT_EQ(a, b);
   a.UnionWith(a);
   EXPECT_EQ(a.Popcount(), 1u);
+}
+
+// -------------------------------------------------------------- FlatMap64
+
+TEST(FlatMapTest, InsertFindAndGrowth) {
+  FlatMap64 m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.Contains(7));
+  for (uint64_t k = 1; k <= 1000; ++k) m[k * 0x9E3779B97F4A7C15ULL] = k;
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    const uint64_t* v = m.Find(k * 0x9E3779B97F4A7C15ULL);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(m.Find(12345), nullptr);
+  EXPECT_EQ(m.GetOr(12345, 99), 99u);
+  // Power-of-two capacity at <= 0.75 load.
+  EXPECT_GE(m.capacity() * 3, m.size() * 4);
+  EXPECT_EQ(m.capacity() & (m.capacity() - 1), 0u);
+}
+
+TEST(FlatMapTest, OperatorBracketIncrementsInPlace) {
+  FlatMap64 m;
+  for (int i = 0; i < 5; ++i) ++m[42];
+  EXPECT_EQ(m.GetOr(42), 5u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, ZeroKeyIsAValidKey) {
+  FlatMap64 m;
+  EXPECT_FALSE(m.Contains(0));
+  m[0] = 17;
+  EXPECT_TRUE(m.Contains(0));
+  EXPECT_EQ(m.GetOr(0), 17u);
+  EXPECT_EQ(m.size(), 1u);
+  size_t visited = 0;
+  m.ForEach([&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(k, 0u);
+    EXPECT_EQ(v, 17u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehashAndClearReleases) {
+  FlatMap64 m;
+  m.Reserve(1000);
+  size_t cap = m.capacity();
+  EXPECT_GE(cap * 3, 1000u * 4);
+  for (uint64_t k = 1; k <= 1000; ++k) m[k];
+  EXPECT_EQ(m.capacity(), cap);  // no growth after Reserve
+  EXPECT_GT(m.MemoryBytes(), 0u);
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.MemoryBytes(), 0u);
+  EXPECT_FALSE(m.Contains(1));
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatMap64 m;
+  std::map<uint64_t, uint64_t> reference;
+  Pcg32 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t k = rng.NextU64() >> (i % 32);  // mix of sparse and clustered keys
+    ++m[k];
+    ++reference[k];
+  }
+  std::map<uint64_t, uint64_t> seen;
+  m.ForEach([&](uint64_t k, uint64_t v) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "key visited twice";
+  });
+  EXPECT_EQ(seen, reference);
+}
+
+TEST(FlatMapTest, FuzzAgainstUnorderedMap) {
+  FlatMap64 m;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Pcg32 rng(20180610);
+  for (int i = 0; i < 20000; ++i) {
+    // Small key space forces heavy update-vs-insert mixing and collisions.
+    uint64_t k = rng.Below(4096);
+    uint64_t delta = rng.Below(100);
+    m[k] += delta;
+    reference[k] += delta;
+    if (i % 97 == 0) {
+      uint64_t probe = rng.Below(8192);
+      auto it = reference.find(probe);
+      EXPECT_EQ(m.GetOr(probe, ~0ULL),
+                it == reference.end() ? ~0ULL : it->second);
+    }
+  }
+  EXPECT_EQ(m.size(), reference.size());
+  for (const auto& [k, v] : reference) EXPECT_EQ(m.GetOr(k), v);
 }
 
 // ------------------------------------------------------------- ThreadPool

@@ -12,6 +12,7 @@
 #include "text/language.h"
 #include "text/pattern.h"
 #include "text/pattern_distance.h"
+#include "text/run_tokenizer.h"
 
 namespace autodetect {
 namespace {
@@ -268,6 +269,176 @@ TEST_P(AllLanguagesTest, CoarserLanguagePreservesIndistinguishability) {
 
 INSTANTIATE_TEST_SUITE_P(Space, AllLanguagesTest,
                          ::testing::Range(0, LanguageSpace::kNumLanguages, 7));
+
+// ----------------------------------------------------- Run tokenizer kernel
+
+namespace {
+
+/// Random ASCII value stressing the kernel's edge cases: the escape set
+/// (\ [ ] +), long same-character runs, class transitions, and occasional
+/// values longer than GeneralizeOptions::max_value_length.
+std::string RandomKernelValue(Pcg32& rng) {
+  static const std::string alphabet = "abzABZ019 -./\\[]+,;";
+  std::string value;
+  int segments = static_cast<int>(rng.Uniform(0, 6));
+  for (int s = 0; s < segments; ++s) {
+    char c = alphabet[rng.Below(static_cast<uint32_t>(alphabet.size()))];
+    int64_t run = 1;
+    uint32_t shape = rng.Below(24);
+    if (shape == 0) {
+      run = rng.Uniform(250, 300);  // crosses the default truncation cap
+    } else if (shape < 6) {
+      run = rng.Uniform(2, 30);
+    }
+    value.append(static_cast<size_t>(run), c);
+  }
+  return value;
+}
+
+std::vector<int> AllLanguageIds() {
+  std::vector<int> ids(LanguageSpace::kNumLanguages);
+  for (int i = 0; i < LanguageSpace::kNumLanguages; ++i) ids[static_cast<size_t>(i)] = i;
+  return ids;
+}
+
+}  // namespace
+
+TEST(RunTokenizerTest, TokenizeRunsReportsMaximalRunsAndClassMask) {
+  std::vector<ClassRun> runs;
+  uint8_t mask = TokenizeRuns("aaB19--", GeneralizeOptions(), &runs);
+  ASSERT_EQ(runs.size(), 5u);
+  EXPECT_EQ(runs[0].ch, 'a');
+  EXPECT_EQ(runs[0].count, 2u);
+  EXPECT_EQ(runs[1].ch, 'B');
+  EXPECT_EQ(runs[4].ch, '-');
+  EXPECT_EQ(runs[4].count, 2u);
+  // All four classes present.
+  EXPECT_EQ(mask, 0b1111);
+  EXPECT_EQ(TokenizeRuns("123", GeneralizeOptions(), &runs),
+            uint8_t{1} << static_cast<int>(CharClass::kDigit));
+  EXPECT_EQ(TokenizeRuns("", GeneralizeOptions(), &runs), 0);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(RunTokenizerTest, TokenizeRunsHonorsTruncation) {
+  GeneralizeOptions opts;
+  opts.max_value_length = 5;
+  std::vector<ClassRun> runs;
+  TokenizeRuns("aaaaabbb", opts, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 5u);
+}
+
+// The tentpole property: the multi-language kernel is bit-identical to the
+// per-language scalar path — and both match hashing the canonical rendering
+// — over 10k random adversarial values and the whole 144-language space.
+TEST(RunTokenizerTest, MultiKernelMatchesScalarPathOn10kRandomValues) {
+  const auto& all = LanguageSpace::All();
+  const GeneralizeOptions options;
+  MultiGeneralizer multi(all, options);
+  ASSERT_EQ(multi.num_languages(), all.size());
+
+  Pcg32 rng(20180610);
+  std::vector<uint64_t> keys(all.size());
+  std::vector<ClassRun> runs;
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::string value = RandomKernelValue(rng);
+    uint8_t mask = TokenizeRuns(value, options, &runs);
+    multi.KeysFor(RunSpan(runs), mask, keys.data());
+    for (size_t li = 0; li < all.size(); ++li) {
+      ASSERT_EQ(keys[li], GeneralizeToKey(value, all[li], options))
+          << "value=" << value << " lang=" << all[li].Name();
+    }
+    // The canonical-string ground truth is O(n) string building per
+    // language, so check it on a deterministic stride.
+    for (size_t li = static_cast<size_t>(iter) % 7; li < all.size(); li += 7) {
+      ASSERT_EQ(keys[li], Fnv1a64(GeneralizeToString(value, all[li], options)))
+          << "value=" << value << " lang=" << all[li].Name();
+    }
+  }
+}
+
+TEST(RunTokenizerTest, MultiKernelMatchesScalarPathWithCollapseAndTruncation) {
+  const auto& all = LanguageSpace::All();
+  GeneralizeOptions options;
+  options.collapse_run_lengths = true;
+  options.max_value_length = 12;
+  MultiGeneralizer multi(all, options);
+
+  Pcg32 rng(42);
+  std::vector<uint64_t> keys(all.size());
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string value = RandomKernelValue(rng);
+    multi.KeysForValue(value, keys.data());
+    for (size_t li = 0; li < all.size(); ++li) {
+      ASSERT_EQ(keys[li], GeneralizeToKey(value, all[li], options))
+          << "value=" << value << " lang=" << all[li].Name();
+    }
+  }
+}
+
+TEST(RunTokenizerTest, GeneralizeRunsToKeyMatchesScalarPath) {
+  Pcg32 rng(7);
+  std::vector<ClassRun> runs;
+  const GeneralizeOptions options;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string value = RandomKernelValue(rng);
+    TokenizeRuns(value, options, &runs);
+    for (const auto& lang :
+         {LanguageSpace::Leaf(), LanguageSpace::Root(), LanguageSpace::PaperL1(),
+          LanguageSpace::PaperL2(), LanguageSpace::CrudeG()}) {
+      EXPECT_EQ(GeneralizeRunsToKey(RunSpan(runs), lang),
+                GeneralizeToKey(value, lang, options))
+          << "value=" << value << " lang=" << lang.Name();
+    }
+  }
+}
+
+TEST(RunTokenizerTest, TokenizedValuesArenaRoundTrips) {
+  const GeneralizeOptions options;
+  std::vector<std::string> values = {"",      "2011-01-01", "aaa",
+                                     "a[2]+", "\\\\x",      "Mixed 19 runs!!"};
+  TokenizedValues arena;
+  for (const auto& v : values) arena.Add(v, options);
+  ASSERT_EQ(arena.size(), values.size());
+
+  MultiGeneralizer multi = MultiGeneralizer::ForIds(AllLanguageIds(), options);
+  std::vector<uint64_t> keys(LanguageSpace::kNumLanguages);
+  const auto& all = LanguageSpace::All();
+  for (size_t v = 0; v < values.size(); ++v) {
+    multi.KeysFor(arena.Runs(v), arena.ClassMask(v), keys.data());
+    for (size_t li = 0; li < all.size(); ++li) {
+      EXPECT_EQ(keys[li], GeneralizeToKey(values[v], all[li], options))
+          << "value=" << values[v] << " lang=" << all[li].Name();
+    }
+  }
+  arena.Clear();
+  EXPECT_EQ(arena.size(), 0u);
+}
+
+TEST(RunTokenizerTest, MultiGeneralizeToKeysConvenienceMatches) {
+  std::vector<int> ids = {0, 17, 143};
+  std::vector<uint64_t> keys(ids.size());
+  MultiGeneralizeToKeys("2011-01-01", ids, GeneralizeOptions(), keys.data());
+  const auto& all = LanguageSpace::All();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(keys[i], GeneralizeToKey("2011-01-01", all[static_cast<size_t>(ids[i])]));
+  }
+}
+
+TEST(LanguageTest, IdOfRoundTripsForReconstructedLanguages) {
+  // Languages rebuilt from their own targets (fresh instances, not the
+  // All() objects) must resolve to the same id — IdOf keys on structure.
+  const auto& all = LanguageSpace::All();
+  for (int i = 0; i < static_cast<int>(all.size()); ++i) {
+    const auto& l = all[static_cast<size_t>(i)];
+    auto rebuilt = GeneralizationLanguage::Make(
+        l.TargetFor(CharClass::kUpper), l.TargetFor(CharClass::kLower),
+        l.TargetFor(CharClass::kDigit), l.TargetFor(CharClass::kSymbol));
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(LanguageSpace::IdOf(*rebuilt), i);
+  }
+}
 
 // --------------------------------------------------------------- Distance
 

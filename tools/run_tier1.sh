@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite, then run the
+# generalization-kernel benchmark and leave its JSON report in the build
+# directory (BENCH_generalize.json). Run from anywhere; exits non-zero on
+# the first failing step.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# Kernel throughput report: old per-language loop vs the shared-tokenization
+# kernel, plus the stats-build and calibration stages that sit on it.
+"$BUILD_DIR/bench/bench_generalize_kernel" \
+  --benchmark_min_time=0.1 \
+  --benchmark_out="$BUILD_DIR/BENCH_generalize.json" \
+  --benchmark_out_format=json
+
+echo "tier-1 green; benchmark report: $BUILD_DIR/BENCH_generalize.json"
