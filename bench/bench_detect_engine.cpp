@@ -1,0 +1,98 @@
+/// \file bench_detect_engine.cpp
+/// Serving-layer throughput: single-thread sequential Detector vs the
+/// DetectionEngine's DetectBatch at 1/2/4/8 workers, with and without the
+/// sharded pair-verdict cache, on a WEB-profile eval batch (google-benchmark;
+/// tools/run_tier1.sh writes the JSON report to BENCH_detect.json).
+///
+/// Counters: items/s is columns/s (SetItemsProcessed); `cache_hit_rate` is
+/// the engine cache's cumulative hit rate at the end of the run — high
+/// because a steady-state service re-sees the same value pairs, which is
+/// exactly the effect the cache exploits. Thread scaling is meaningful only
+/// on a machine with that many cores; the benchmark reports whatever the
+/// hardware gives it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "serve/detection_engine.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+namespace {
+
+/// WEB-profile eval columns (mixed sizes, errors injected), built once.
+const std::vector<ColumnRequest>& Batch() {
+  static const std::vector<ColumnRequest>* kBatch = [] {
+    SetLogLevel(LogLevel::kWarning);
+    RealisticTestOptions opts;
+    opts.num_dirty = 64;
+    opts.num_clean = 448;
+    opts.seed = 20180610;
+    auto cases = GenerateRealisticTestSet(CorpusProfile::Web(), opts);
+    return new std::vector<ColumnRequest>(RequestsFromCases(cases));
+  }();
+  return *kBatch;
+}
+
+const Model& SharedModel() {
+  static const Model* kModel = [] {
+    auto model = TrainOrLoadModel(StandardConfig());
+    AD_CHECK_OK(model.status());
+    return new Model(std::move(*model));
+  }();
+  return *kModel;
+}
+
+/// Baseline: the strictly sequential Detector, fresh scratch per column
+/// (the pre-engine calling convention).
+void BM_SequentialDetector(benchmark::State& state) {
+  Detector detector(&SharedModel());
+  const auto& batch = Batch();
+  for (auto _ : state) {
+    for (const auto& request : batch) {
+      ColumnReport report = detector.AnalyzeColumn(request.values);
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch.size()));
+}
+
+void RunEngine(benchmark::State& state, size_t threads, size_t cache_bytes) {
+  EngineOptions opts;
+  opts.num_threads = threads;
+  opts.cache_bytes = cache_bytes;
+  DetectionEngine engine(&SharedModel(), opts);
+  const auto& batch = Batch();
+  for (auto _ : state) {
+    std::vector<ColumnReport> reports = engine.DetectBatch(batch);
+    benchmark::DoNotOptimize(reports);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch.size()));
+  state.counters["cache_hit_rate"] = engine.Stats().cache.HitRate();
+}
+
+void BM_EngineCached(benchmark::State& state) {
+  RunEngine(state, static_cast<size_t>(state.range(0)), 32ull << 20);
+}
+
+void BM_EngineNoCache(benchmark::State& state) {
+  RunEngine(state, static_cast<size_t>(state.range(0)), 0);
+}
+
+}  // namespace
+
+// UseRealTime everywhere: the engine's work happens on pool threads, so the
+// main thread's CPU clock (the default basis for items/s) would overstate
+// throughput by orders of magnitude.
+BENCHMARK(BM_SequentialDetector)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_EngineCached)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_EngineNoCache)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

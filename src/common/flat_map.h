@@ -86,6 +86,15 @@ class FlatMap64 {
 
   bool Contains(uint64_t key) const { return Find(key) != nullptr; }
 
+  /// \brief Adds every (key, value) pair of `other` into this map, summing
+  /// values on overlapping keys (the shard-merge operation of the statistics
+  /// builder). Reserves for the no-overlap worst case up front, so at most
+  /// one rehash occurs.
+  void MergeAdd(const FlatMap64& other) {
+    Reserve(size() + other.size());
+    other.ForEach([this](uint64_t key, uint64_t value) { (*this)[key] += value; });
+  }
+
   /// Drops all entries and releases the backing array.
   void Clear() {
     std::vector<Slot>().swap(slots_);

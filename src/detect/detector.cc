@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "stats/npmi.h"
@@ -66,12 +67,36 @@ Detector::Detector(const Model* model, DetectorOptions options)
 
 std::vector<uint64_t> Detector::KeysOf(std::string_view value) const {
   std::vector<uint64_t> keys(model_->languages.size());
-  multi_keys_.KeysForValue(value, keys.data());
+  std::vector<ClassRun> runs;
+  KeysInto(value, &runs, keys.data());
   return keys;
 }
 
-PairVerdict Detector::ScoreKeys(const std::vector<uint64_t>& k1,
-                                const std::vector<uint64_t>& k2) const {
+void Detector::KeysInto(std::string_view value, std::vector<ClassRun>* runs,
+                        uint64_t* out) const {
+  uint8_t mask = TokenizeRuns(value, multi_keys_.options(), runs);
+  multi_keys_.KeysFor(RunSpan(*runs), mask, out);
+}
+
+namespace {
+
+/// FNV over the little-endian bytes of one per-language key row.
+uint64_t RowSignature(const uint64_t* keys, size_t n) {
+  Fnv1aHasher hasher;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t k = keys[i];
+    for (int b = 0; b < 64; b += 8) hasher.Byte(static_cast<unsigned char>(k >> b));
+  }
+  return hasher.h;
+}
+
+}  // namespace
+
+uint64_t Detector::PairCacheKey(const uint64_t* k1, const uint64_t* k2, size_t n) {
+  return CombineUnordered(RowSignature(k1, n), RowSignature(k2, n));
+}
+
+PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2) const {
   const auto& langs = model_->languages;
   const size_t n = langs.size();
   PairVerdict verdict;
@@ -158,13 +183,13 @@ PairVerdict Detector::ScoreKeys(const std::vector<uint64_t>& k1,
 }
 
 PairVerdict Detector::ScorePair(std::string_view v1, std::string_view v2) const {
-  return ScoreKeys(KeysOf(v1), KeysOf(v2));
+  return ScoreKeys(KeysOf(v1).data(), KeysOf(v2).data());
 }
 
 PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) const {
   PairExplanation out;
   std::vector<uint64_t> k1 = KeysOf(v1), k2 = KeysOf(v2);
-  out.verdict = ScoreKeys(k1, k2);
+  out.verdict = ScoreKeys(k1.data(), k2.data());
   out.languages.reserve(model_->languages.size());
   for (size_t i = 0; i < model_->languages.size(); ++i) {
     const ModelLanguage& l = model_->languages[i];
@@ -187,6 +212,13 @@ PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) 
 }
 
 ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) const {
+  ColumnScratch scratch;
+  return AnalyzeColumn(values, &scratch, nullptr);
+}
+
+ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values,
+                                     ColumnScratch* scratch,
+                                     PairVerdictCache* cache) const {
   ColumnReport report;
   std::vector<std::string> distinct =
       DistinctValuesForStats(values, options_.max_distinct_values);
@@ -194,9 +226,21 @@ ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) con
   const size_t d = distinct.size();
   if (d < 2) return report;
 
-  // Pre-generalize all distinct values under every model language.
-  std::vector<std::vector<uint64_t>> keys(d);
-  for (size_t i = 0; i < d; ++i) keys[i] = KeysOf(distinct[i]);
+  // Pre-generalize all distinct values under every model language into the
+  // scratch's flat key matrix (row i = value i's per-language keys).
+  const size_t n = model_->languages.size();
+  scratch->keys.resize(d * n);
+  uint64_t* keys = scratch->keys.data();
+  for (size_t i = 0; i < d; ++i) KeysInto(distinct[i], &scratch->runs, keys + i * n);
+
+  // With a cache, each value gets a signature over its key row; a pair is
+  // looked up by the order-independent combination of the two signatures.
+  if (cache != nullptr) {
+    scratch->signatures.resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      scratch->signatures[i] = RowSignature(keys + i * n, n);
+    }
+  }
 
   struct CellAgg {
     uint32_t degree = 0;
@@ -206,7 +250,17 @@ ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) con
 
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = i + 1; j < d; ++j) {
-      PairVerdict v = ScoreKeys(keys[i], keys[j]);
+      PairVerdict v;
+      if (cache != nullptr) {
+        uint64_t pair_key =
+            CombineUnordered(scratch->signatures[i], scratch->signatures[j]);
+        if (!cache->Lookup(pair_key, &v)) {
+          v = ScoreKeys(keys + i * n, keys + j * n);
+          cache->Insert(pair_key, v);
+        }
+      } else {
+        v = ScoreKeys(keys + i * n, keys + j * n);
+      }
       if (!v.incompatible || v.confidence < options_.min_confidence) continue;
       report.pairs.push_back(PairFinding{distinct[i], distinct[j], v.confidence});
       ++agg[i].degree;
@@ -230,8 +284,8 @@ ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) con
   // (the rarer pattern corpus-wide is the suspect).
   auto corpus_frequency = [&](size_t idx) {
     uint64_t total = 0;
-    for (size_t li = 0; li < model_->languages.size(); ++li) {
-      total += model_->languages[li].stats.Count(keys[idx][li]);
+    for (size_t li = 0; li < n; ++li) {
+      total += model_->languages[li].stats.Count(keys[idx * n + li]);
     }
     return total;
   };

@@ -83,6 +83,30 @@ struct ColumnReport {
   }
 };
 
+/// Reusable buffers for AnalyzeColumn. The scan of one column needs a flat
+/// d × |languages| key matrix, per-value cache signatures and the
+/// tokenizer's run scratch; with a caller-provided ColumnScratch none of
+/// them is reallocated per column (or per value), which is what the serving
+/// engine's per-worker buffers rely on.
+struct ColumnScratch {
+  std::vector<uint64_t> keys;        ///< row-major, one row per distinct value
+  std::vector<uint64_t> signatures;  ///< per-value pair-cache signatures
+  std::vector<ClassRun> runs;        ///< tokenizer run scratch
+};
+
+/// Memoization hook for pair verdicts, keyed by the order-independent hash
+/// of the two values' per-language key rows. Detector never caches on its
+/// own; a caller that scans many columns against one model (serve/) plugs an
+/// implementation in. Implementations shared across threads must be
+/// thread-safe (see serve/pair_cache.h).
+class PairVerdictCache {
+ public:
+  virtual ~PairVerdictCache() = default;
+  /// Returns true and fills `*out` on a hit.
+  virtual bool Lookup(uint64_t pair_key, PairVerdict* out) = 0;
+  virtual void Insert(uint64_t pair_key, const PairVerdict& verdict) = 0;
+};
+
 /// Per-language detail of one pair judgment — the full evidence trail
 /// behind a PairVerdict, for UIs and debugging ("why was this flagged?").
 struct LanguageExplanation {
@@ -122,14 +146,31 @@ class Detector {
   /// \brief Scans a column and reports incompatible cells/pairs.
   ColumnReport AnalyzeColumn(const std::vector<std::string>& values) const;
 
+  /// \brief AnalyzeColumn with caller-owned buffers and an optional pair
+  /// cache. Output is bit-identical to the scratch-free overload; `scratch`
+  /// is grown as needed and reused across calls, and `cache` (may be null)
+  /// memoizes verdicts across columns — repeated value pairs skip NPMI
+  /// lookup entirely.
+  ColumnReport AnalyzeColumn(const std::vector<std::string>& values,
+                             ColumnScratch* scratch,
+                             PairVerdictCache* cache = nullptr) const;
+
   const Model& model() const { return *model_; }
   const DetectorOptions& options() const { return options_; }
 
+  /// \brief Order-independent cache key of two per-language key rows, as
+  /// used with PairVerdictCache (exposed for cache tests).
+  static uint64_t PairCacheKey(const uint64_t* k1, const uint64_t* k2, size_t n);
+
  private:
-  /// Per-language keys of one value.
+  /// Per-language keys of one value (allocating convenience for the
+  /// two-value entry points).
   std::vector<uint64_t> KeysOf(std::string_view value) const;
-  PairVerdict ScoreKeys(const std::vector<uint64_t>& k1,
-                        const std::vector<uint64_t>& k2) const;
+  /// Allocation-free key derivation into `out[0 .. |languages|)`, using
+  /// `runs` as tokenizer scratch.
+  void KeysInto(std::string_view value, std::vector<ClassRun>* runs,
+                uint64_t* out) const;
+  PairVerdict ScoreKeys(const uint64_t* k1, const uint64_t* k2) const;
 
   const Model* model_;
   DetectorOptions options_;

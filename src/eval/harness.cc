@@ -89,6 +89,16 @@ Result<LanguageStats> BuildOrLoadCrudeStats(const HarnessConfig& config) {
   return crude;
 }
 
+std::vector<ColumnRequest> RequestsFromCases(const std::vector<TestCase>& cases) {
+  std::vector<ColumnRequest> requests;
+  requests.reserve(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    requests.push_back(ColumnRequest{
+        StrFormat("case%zu/%s", i, cases[i].domain.c_str()), cases[i].values});
+  }
+  return requests;
+}
+
 MethodSet MethodSet::All(const Detector* detector) {
   MethodSet set;
   set.owned_.push_back(std::make_unique<AutoDetectMethod>(detector));

@@ -10,6 +10,8 @@
 #include "corpus/corpus_generator.h"
 #include "detect/detector.h"
 #include "detect/trainer.h"
+#include "eval/testcase.h"
+#include "serve/detection_engine.h"
 
 /// \file harness.h
 /// Shared plumbing for benches and examples: train-or-load cached models
@@ -34,6 +36,11 @@ Result<Model> TrainOrLoadModel(const HarnessConfig& config);
 /// \brief Crude-G statistics over the same training corpus (needed by
 /// splice-test generation), cached alongside the model.
 Result<LanguageStats> BuildOrLoadCrudeStats(const HarnessConfig& config);
+
+/// \brief Shapes a test set into a DetectionEngine batch (one request per
+/// case, named "case<i>/<domain>"); the runtime benches feed the serving
+/// layer with exactly the columns the accuracy benches score.
+std::vector<ColumnRequest> RequestsFromCases(const std::vector<TestCase>& cases);
 
 /// \brief A set of comparison methods with shared ownership semantics.
 class MethodSet {

@@ -1,0 +1,96 @@
+#include "serve/detection_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+
+namespace autodetect {
+
+DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
+    : model_(model),
+      options_(options),
+      detector_(model, options.detector),
+      pool_(options.num_threads) {
+  if (options_.cache_bytes > 0) {
+    PairCacheOptions cache_opts;
+    cache_opts.capacity_bytes = options_.cache_bytes;
+    cache_opts.num_shards = options_.cache_shards;
+    cache_ = std::make_unique<ShardedPairCache>(cache_opts);
+  }
+  // Seed the scratch pool so steady-state batches never allocate one.
+  for (size_t i = 0; i < pool_.num_threads(); ++i) {
+    scratch_pool_.push_back(std::make_unique<ColumnScratch>());
+  }
+}
+
+std::unique_ptr<ColumnScratch> DetectionEngine::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_pool_.empty()) {
+      auto scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  // Concurrent batches can outnumber the seeded scratches; grow on demand.
+  return std::make_unique<ColumnScratch>();
+}
+
+void DetectionEngine::ReleaseScratch(std::unique_ptr<ColumnScratch> scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
+std::vector<ColumnReport> DetectionEngine::DetectBatch(
+    const std::vector<ColumnRequest>& batch) {
+  std::vector<ColumnReport> results(batch.size());
+  if (batch.empty()) return results;
+
+  const size_t workers = std::min(pool_.num_threads(), batch.size());
+
+  // Per-batch completion latch: WaitIdle() would also wait on concurrent
+  // batches' tasks, so each batch counts its own workers down instead.
+  struct BatchState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  } state;
+  state.remaining = workers;
+
+  for (size_t w = 0; w < workers; ++w) {
+    pool_.Submit([this, &batch, &results, &state] {
+      std::unique_ptr<ColumnScratch> scratch = AcquireScratch();
+      while (true) {
+        size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.size()) break;
+        results[i] =
+            detector_.AnalyzeColumn(batch[i].values, scratch.get(), cache_.get());
+      }
+      ReleaseScratch(std::move(scratch));
+      // Notify under the mutex: once the waiter observes remaining == 0 it
+      // destroys `state`, so the signal must complete before the lock is
+      // released — an unlocked notify could touch a dead condition variable.
+      std::lock_guard<std::mutex> lock(state.mu);
+      --state.remaining;
+      state.done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] { return state.remaining == 0; });
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  columns_.fetch_add(batch.size(), std::memory_order_relaxed);
+  return results;
+}
+
+EngineStats DetectionEngine::Stats() const {
+  EngineStats stats;
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.columns = columns_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) stats.cache = cache_->Stats();
+  return stats;
+}
+
+}  // namespace autodetect

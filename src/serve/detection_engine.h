@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "detect/detector.h"
+#include "detect/model.h"
+#include "serve/pair_cache.h"
+
+/// \file detection_engine.h
+/// The serving layer: a batch detection engine that owns an immutable Model
+/// snapshot and fans column requests out over a worker pool. This is the
+/// deployment shape of the paper's "spell-checker for data" at service
+/// scale — a request is a table's worth of columns, and the engine must
+/// return exactly what the sequential Detector would, only faster.
+///
+/// Guarantees:
+///  * Determinism — DetectBatch returns reports in request order, and every
+///    report is bit-identical to Detector::AnalyzeColumn on the same values,
+///    regardless of worker count, scheduling, or cache state. Workers claim
+///    columns dynamically (atomic cursor) but write results into the
+///    request's slot, so ordering never depends on completion order.
+///  * No allocation churn — each worker leases a ColumnScratch from a pool,
+///    so per-value key-buffer allocations are amortized away across the
+///    whole batch (the Detector's scratch path).
+///  * Cross-column memoization — a ShardedPairCache shared by all workers
+///    serves repeated value pairs (the common case in real tables) without
+///    touching the per-language statistics.
+///
+/// Thread safety: DetectBatch may be called concurrently from multiple
+/// threads; batches share the pool, cache, and scratch pool.
+
+namespace autodetect {
+
+/// One column to scan. `name` is echoed back to callers by the CLI/eval
+/// plumbing and does not influence detection.
+struct ColumnRequest {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+struct EngineOptions {
+  size_t num_threads = 0;  ///< worker count; 0 = hardware concurrency
+  /// Pair-cache budget; 0 disables caching entirely.
+  size_t cache_bytes = 32ull << 20;
+  size_t cache_shards = 16;
+  DetectorOptions detector;
+};
+
+/// Point-in-time engine counters.
+struct EngineStats {
+  uint64_t batches = 0;
+  uint64_t columns = 0;
+  PairCacheStats cache;  ///< zeros when the cache is disabled
+};
+
+class DetectionEngine {
+ public:
+  /// \param model must outlive the engine; the engine never mutates it.
+  explicit DetectionEngine(const Model* model, EngineOptions options = {});
+
+  /// \brief Scans every requested column and returns one report per request,
+  /// in request order.
+  std::vector<ColumnReport> DetectBatch(const std::vector<ColumnRequest>& batch);
+
+  EngineStats Stats() const;
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  bool cache_enabled() const { return cache_ != nullptr; }
+  const Detector& detector() const { return detector_; }
+  const Model& model() const { return *model_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<ColumnScratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<ColumnScratch> scratch);
+
+  const Model* model_;
+  EngineOptions options_;
+  Detector detector_;
+  std::unique_ptr<ShardedPairCache> cache_;
+  ThreadPool pool_;
+
+  std::mutex scratch_mu_;
+  std::vector<std::unique_ptr<ColumnScratch>> scratch_pool_;
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> columns_{0};
+};
+
+}  // namespace autodetect

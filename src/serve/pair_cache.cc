@@ -1,0 +1,134 @@
+#include "serve/pair_cache.h"
+
+#include <algorithm>
+
+namespace autodetect {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedPairCache::ShardedPairCache(PairCacheOptions options) {
+  size_t shards = RoundUpPow2(std::max<size_t>(1, options.num_shards));
+  size_t total_entries =
+      std::max<size_t>(shards, options.capacity_bytes / kBytesPerEntry);
+  size_t per_shard = std::max<size_t>(1, total_entries / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = per_shard;
+    shard->slab.reserve(per_shard);
+    shard->index.reserve(per_shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedPairCache::Shard::Unlink(uint32_t slot) {
+  Entry& e = slab[slot];
+  if (e.prev != kNil) {
+    slab[e.prev].next = e.next;
+  } else {
+    mru = e.next;
+  }
+  if (e.next != kNil) {
+    slab[e.next].prev = e.prev;
+  } else {
+    lru = e.prev;
+  }
+  e.prev = e.next = kNil;
+}
+
+void ShardedPairCache::Shard::PushFront(uint32_t slot) {
+  Entry& e = slab[slot];
+  e.prev = kNil;
+  e.next = mru;
+  if (mru != kNil) slab[mru].prev = slot;
+  mru = slot;
+  if (lru == kNil) lru = slot;
+}
+
+bool ShardedPairCache::Lookup(uint64_t pair_key, PairVerdict* out) {
+  Shard& shard = ShardFor(pair_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(pair_key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  uint32_t slot = it->second;
+  *out = shard.slab[slot].verdict;
+  if (shard.mru != slot) {
+    shard.Unlink(slot);
+    shard.PushFront(slot);
+  }
+  return true;
+}
+
+void ShardedPairCache::Insert(uint64_t pair_key, const PairVerdict& verdict) {
+  Shard& shard = ShardFor(pair_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.insertions;
+  auto it = shard.index.find(pair_key);
+  if (it != shard.index.end()) {
+    uint32_t slot = it->second;
+    shard.slab[slot].verdict = verdict;
+    if (shard.mru != slot) {
+      shard.Unlink(slot);
+      shard.PushFront(slot);
+    }
+    return;
+  }
+  uint32_t slot;
+  if (shard.slab.size() < shard.capacity) {
+    slot = static_cast<uint32_t>(shard.slab.size());
+    shard.slab.emplace_back();
+  } else {
+    // Evict the least-recently-used entry and reuse its slot.
+    slot = shard.lru;
+    shard.Unlink(slot);
+    shard.index.erase(shard.slab[slot].key);
+    ++shard.evictions;
+  }
+  Entry& e = shard.slab[slot];
+  e.key = pair_key;
+  e.verdict = verdict;
+  shard.PushFront(slot);
+  shard.index.emplace(pair_key, slot);
+}
+
+PairCacheStats ShardedPairCache::Stats() const {
+  PairCacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->index.size();
+  }
+  return stats;
+}
+
+void ShardedPairCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->slab.clear();
+    shard->mru = shard->lru = kNil;
+  }
+}
+
+size_t ShardedPairCache::capacity_entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->capacity;
+  return total;
+}
+
+}  // namespace autodetect

@@ -67,10 +67,8 @@ void LanguageStats::ForEachCount(
 void LanguageStats::Merge(const LanguageStats& other) {
   AD_CHECK(!sketch_.has_value() && !other.sketch_.has_value());
   num_columns_ += other.num_columns_;
-  counts_.Reserve(counts_.size() + other.counts_.size());
-  other.counts_.ForEach([&](uint64_t k, uint64_t v) { counts_[k] += v; });
-  co_counts_.Reserve(co_counts_.size() + other.co_counts_.size());
-  other.co_counts_.ForEach([&](uint64_t k, uint64_t v) { co_counts_[k] += v; });
+  counts_.MergeAdd(other.counts_);
+  co_counts_.MergeAdd(other.co_counts_);
 }
 
 void LanguageStats::Serialize(BinaryWriter* writer) const {

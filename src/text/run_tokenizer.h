@@ -96,6 +96,7 @@ class MultiGeneralizer {
 
   size_t num_languages() const { return langs_.size(); }
   const GeneralizationLanguage& language(size_t i) const { return langs_[i]; }
+  const GeneralizeOptions& options() const { return options_; }
 
   /// \brief Writes one key per language (constructor order) into
   /// `out_keys[0 .. num_languages())`. `class_mask` must be the mask

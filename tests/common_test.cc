@@ -470,6 +470,108 @@ TEST(FlatMapTest, FuzzAgainstUnorderedMap) {
   for (const auto& [k, v] : reference) EXPECT_EQ(m.GetOr(k), v);
 }
 
+TEST(FlatMapTest, GrowthExactlyAtMaxLoadFactor) {
+  // Fill to the 0.75 boundary of each capacity and step across it; every
+  // entry must survive the rehash and capacity must stay a power of two.
+  FlatMap64 m;
+  size_t last_cap = 0;
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    m[Mix64(k)] = k;
+    ASSERT_GE(m.capacity() * 3, m.size() * 4) << "load factor above 0.75";
+    ASSERT_EQ(m.capacity() & (m.capacity() - 1), 0u);
+    if (m.capacity() != last_cap) {
+      // Just grew: everything inserted so far must still be reachable.
+      for (uint64_t p = 1; p <= k; ++p) ASSERT_EQ(m.GetOr(Mix64(p)), p);
+      last_cap = m.capacity();
+    }
+  }
+  EXPECT_EQ(m.size(), 10000u);
+}
+
+TEST(FlatMapTest, ReserveZeroAndNoopReserves) {
+  FlatMap64 m;
+  m.Reserve(0);  // must not allocate or crash
+  EXPECT_TRUE(m.empty());
+  m[1] = 2;
+  size_t cap = m.capacity();
+  m.Reserve(0);  // never shrinks
+  m.Reserve(1);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.GetOr(1), 2u);
+}
+
+TEST(FlatMapTest, ExtremeKeysZeroAndMax) {
+  FlatMap64 m;
+  m[0] = 11;
+  m[UINT64_MAX] = 22;
+  m[1] = 33;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.GetOr(0), 11u);
+  EXPECT_EQ(m.GetOr(UINT64_MAX), 22u);
+  // Both extremes survive growth.
+  for (uint64_t k = 2; k <= 500; ++k) m[k] = k;
+  EXPECT_EQ(m.GetOr(0), 11u);
+  EXPECT_EQ(m.GetOr(UINT64_MAX), 22u);
+  EXPECT_EQ(m.size(), 502u);
+}
+
+TEST(FlatMapTest, MergeAddIntoNonEmptyWithOverlap) {
+  FlatMap64 a, b;
+  a[0] = 1;
+  a[10] = 100;
+  a[20] = 200;
+  b[0] = 2;      // overlaps the zero-key side slot
+  b[20] = 50;    // overlaps a regular key
+  b[30] = 300;   // disjoint
+  a.MergeAdd(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.GetOr(0), 3u);
+  EXPECT_EQ(a.GetOr(10), 100u);
+  EXPECT_EQ(a.GetOr(20), 250u);
+  EXPECT_EQ(a.GetOr(30), 300u);
+  // `b` is untouched.
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.GetOr(20), 50u);
+
+  // Merging an empty map is a no-op; merging into an empty map copies.
+  FlatMap64 empty;
+  a.MergeAdd(empty);
+  EXPECT_EQ(a.size(), 4u);
+  empty.MergeAdd(a);
+  EXPECT_EQ(empty.size(), 4u);
+  EXPECT_EQ(empty.GetOr(0), 3u);
+}
+
+TEST(FlatMapTest, MergeAddFuzzAgainstUnorderedMap) {
+  Pcg32 rng(777);
+  std::unordered_map<uint64_t, uint64_t> reference;
+  FlatMap64 merged;
+  for (int shard = 0; shard < 8; ++shard) {
+    FlatMap64 part;
+    for (int i = 0; i < 500; ++i) {
+      uint64_t k = rng.Below(256);  // heavy cross-shard overlap, includes 0
+      uint64_t delta = 1 + rng.Below(10);
+      part[k] += delta;
+      reference[k] += delta;
+    }
+    merged.MergeAdd(part);
+  }
+  EXPECT_EQ(merged.size(), reference.size());
+  for (const auto& [k, v] : reference) EXPECT_EQ(merged.GetOr(k), v);
+}
+
+TEST(FlatMapTest, MemoryBytesMonotoneUnderInserts) {
+  FlatMap64 m;
+  size_t last = m.MemoryBytes();
+  for (uint64_t k = 1; k <= 5000; ++k) {
+    m[Mix64(k)] = k;
+    size_t now = m.MemoryBytes();
+    ASSERT_GE(now, last) << "MemoryBytes shrank during insert " << k;
+    last = now;
+  }
+  EXPECT_GT(last, 5000u * 16u * 3u / 4u);  // at least n slots at <=0.75 load
+}
+
 // ------------------------------------------------------------- ThreadPool
 
 TEST(ThreadPoolTest, ExecutesAllTasks) {

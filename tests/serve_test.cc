@@ -1,0 +1,366 @@
+// Tests for the serving layer: ShardedPairCache unit behaviour and the
+// DetectionEngine's concurrency contract — batch reports bit-identical to
+// the sequential Detector, deterministic under rescheduling and request
+// shuffles, and unchanged by the pair cache.
+//
+// The stress/determinism test here (8 workers x 200 mixed-size columns) is
+// what tools/run_tier1.sh runs under SANITIZE=thread: data races in
+// DetectionEngine/ShardedPairCache fail that gate rather than flaking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "corpus/corpus_generator.h"
+#include "detect/trainer.h"
+#include "serve/detection_engine.h"
+
+namespace autodetect {
+namespace {
+
+/// Byte-exact rendering of a report: doubles go through %a (hexfloat), so
+/// two fingerprints match iff the reports are bit-identical.
+std::string Fingerprint(const ColumnReport& report) {
+  std::string out = StrFormat("d=%zu\n", report.distinct_values);
+  for (const auto& c : report.cells) {
+    out += StrFormat("c %u \"%s\" %a %u\n", c.row, c.value.c_str(), c.confidence,
+                     c.incompatible_with);
+  }
+  for (const auto& p : report.pairs) {
+    out += StrFormat("p \"%s\"|\"%s\" %a\n", p.u.c_str(), p.v.c_str(), p.confidence);
+  }
+  return out;
+}
+
+std::vector<std::string> Fingerprints(const std::vector<ColumnReport>& reports) {
+  std::vector<std::string> out;
+  out.reserve(reports.size());
+  for (const auto& r : reports) out.push_back(Fingerprint(r));
+  return out;
+}
+
+/// 200 mixed-size WEB columns with injected errors, plus a few handcrafted
+/// columns that are guaranteed to produce findings under any decent model.
+std::vector<ColumnRequest> StressBatch() {
+  std::vector<ColumnRequest> batch;
+  GeneratorOptions gen;
+  gen.num_columns = 196;
+  gen.inject_errors = true;
+  gen.seed = 777;
+  GeneratedColumnSource source(gen);
+  Column column;
+  while (source.Next(&column)) {
+    batch.push_back(ColumnRequest{column.domain, column.values});
+  }
+  batch.push_back(ColumnRequest{
+      "dates", {"2011-01-01", "2011-01-02", "2011-01-03", "2011-01-04", "2011/01/05"}});
+  batch.push_back(ColumnRequest{"years", {"1962", "1981", "1974", "1990", "1865."}});
+  batch.push_back(ColumnRequest{"tiny", {"x"}});
+  batch.push_back(ColumnRequest{"empty", {}});
+  return batch;
+}
+
+/// Trains one small model for all engine tests: a handful of candidate
+/// languages over a pinned-seed corpus keeps the fixture seconds-cheap while
+/// exercising the full multi-language scoring path.
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions gen;
+    gen.num_columns = 1200;
+    gen.inject_errors = false;
+    gen.seed = 20180610;
+    GeneratedColumnSource source(gen);
+    TrainOptions train;
+    train.memory_budget_bytes = 16ull << 20;
+    train.stats.language_ids = {
+        LanguageSpace::IdOf(LanguageSpace::CrudeG()),
+        LanguageSpace::IdOf(LanguageSpace::PaperL1()),
+        LanguageSpace::IdOf(LanguageSpace::PaperL2()),
+        5, 40, 77, 120};
+    train.supervision.target_positives = 3000;
+    train.supervision.target_negatives = 3000;
+    train.corpus_name = "serve-test-web";
+    auto model = TrainModel(&source, train);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new Model(std::move(*model));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  static Model* model_;
+};
+
+Model* ServeFixture::model_ = nullptr;
+
+// ------------------------------------------------------------ pair cache
+
+PairVerdict MakeVerdict(double confidence) {
+  PairVerdict v;
+  v.incompatible = true;
+  v.confidence = confidence;
+  v.min_npmi = -confidence;
+  v.best_language = 7;
+  return v;
+}
+
+TEST(PairCacheTest, MissThenHitRoundTrips) {
+  ShardedPairCache cache;
+  PairVerdict out;
+  EXPECT_FALSE(cache.Lookup(42, &out));
+  cache.Insert(42, MakeVerdict(0.75));
+  ASSERT_TRUE(cache.Lookup(42, &out));
+  EXPECT_TRUE(out.incompatible);
+  EXPECT_DOUBLE_EQ(out.confidence, 0.75);
+  EXPECT_EQ(out.best_language, 7);
+  PairCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(PairCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  PairCacheOptions opts;
+  opts.num_shards = 5;
+  ShardedPairCache cache(opts);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(PairCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so LRU order is global and capacity is exact.
+  PairCacheOptions opts;
+  opts.num_shards = 1;
+  opts.capacity_bytes = 4 * ShardedPairCache::kBytesPerEntry;
+  ShardedPairCache cache(opts);
+  ASSERT_EQ(cache.capacity_entries(), 4u);
+  for (uint64_t k = 1; k <= 4; ++k) cache.Insert(k, MakeVerdict(0.1 * k));
+  // Touch 1 so 2 becomes the LRU, then overflow.
+  PairVerdict out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  cache.Insert(5, MakeVerdict(0.5));
+  EXPECT_FALSE(cache.Lookup(2, &out)) << "LRU entry should have been evicted";
+  EXPECT_TRUE(cache.Lookup(1, &out));
+  EXPECT_TRUE(cache.Lookup(3, &out));
+  EXPECT_TRUE(cache.Lookup(4, &out));
+  EXPECT_TRUE(cache.Lookup(5, &out));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().entries, 4u);
+}
+
+TEST(PairCacheTest, InsertingExistingKeyRefreshesValueAndPosition) {
+  PairCacheOptions opts;
+  opts.num_shards = 1;
+  opts.capacity_bytes = 2 * ShardedPairCache::kBytesPerEntry;
+  ShardedPairCache cache(opts);
+  cache.Insert(1, MakeVerdict(0.1));
+  cache.Insert(2, MakeVerdict(0.2));
+  cache.Insert(1, MakeVerdict(0.9));  // refresh: 2 is now the LRU
+  cache.Insert(3, MakeVerdict(0.3));
+  PairVerdict out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  EXPECT_DOUBLE_EQ(out.confidence, 0.9);
+  EXPECT_FALSE(cache.Lookup(2, &out));
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(PairCacheTest, ClearDropsEntriesKeepsCounters) {
+  ShardedPairCache cache;
+  cache.Insert(1, MakeVerdict(0.5));
+  PairVerdict out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  PairCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(PairCacheTest, ConcurrentMixedUseIsSafe) {
+  // Hammer one small cache from 8 threads; TSan (SANITIZE=thread) turns any
+  // locking mistake here into a hard failure. Assertions are sanity only —
+  // the real oracle is the sanitizer.
+  PairCacheOptions opts;
+  opts.num_shards = 4;
+  opts.capacity_bytes = 64 * ShardedPairCache::kBytesPerEntry;
+  ShardedPairCache cache(opts);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      Pcg32 rng(static_cast<uint64_t>(t) + 1);
+      PairVerdict out;
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t key = rng.Below(256) + 1;
+        if (rng.Chance(0.5)) {
+          cache.Insert(key, MakeVerdict(static_cast<double>(key) / 256.0));
+        } else if (cache.Lookup(key, &out)) {
+          ASSERT_DOUBLE_EQ(out.confidence, static_cast<double>(key) / 256.0);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  PairCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_LE(stats.entries, cache.capacity_entries());
+}
+
+// ------------------------------------------------------- detection engine
+
+TEST_F(ServeFixture, BatchIsBitIdenticalToSequentialDetector) {
+  std::vector<ColumnRequest> batch = StressBatch();
+  Detector sequential(model_);
+  std::vector<std::string> expected;
+  for (const auto& request : batch) {
+    expected.push_back(Fingerprint(sequential.AnalyzeColumn(request.values)));
+  }
+
+  EngineOptions opts;
+  opts.num_threads = 8;
+  opts.cache_bytes = 4ull << 20;
+  DetectionEngine engine(model_, opts);
+  std::vector<ColumnReport> reports = engine.DetectBatch(batch);
+  ASSERT_EQ(reports.size(), batch.size());
+  std::vector<std::string> actual = Fingerprints(reports);
+  size_t with_findings = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "column " << i << " (" << batch[i].name << ")";
+    if (reports[i].HasFindings()) ++with_findings;
+  }
+  // The batch must actually exercise the finding paths, not just agree on
+  // empty reports.
+  EXPECT_GT(with_findings, 0u);
+}
+
+TEST_F(ServeFixture, RepeatedRunsAndShufflesAreDeterministic) {
+  std::vector<ColumnRequest> batch = StressBatch();
+  EngineOptions opts;
+  opts.num_threads = 8;
+  opts.cache_bytes = 4ull << 20;
+  DetectionEngine engine(model_, opts);
+  std::vector<std::string> first = Fingerprints(engine.DetectBatch(batch));
+
+  // Same batch, different schedules (and a now-warm cache).
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(Fingerprints(engine.DetectBatch(batch)), first) << "run " << run;
+  }
+
+  // Shuffled request order: reports must follow the requests.
+  std::vector<size_t> perm(batch.size());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Pcg32 rng(2024);
+  rng.Shuffle(&perm);
+  std::vector<ColumnRequest> shuffled;
+  shuffled.reserve(batch.size());
+  for (size_t i : perm) shuffled.push_back(batch[i]);
+  std::vector<std::string> shuffled_prints = Fingerprints(engine.DetectBatch(shuffled));
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(shuffled_prints[i], first[perm[i]]) << "shuffled position " << i;
+  }
+}
+
+TEST_F(ServeFixture, CacheDoesNotChangeReports) {
+  std::vector<ColumnRequest> batch = StressBatch();
+  EngineOptions cached;
+  cached.num_threads = 4;
+  cached.cache_bytes = 1ull << 20;
+  EngineOptions uncached;
+  uncached.num_threads = 4;
+  uncached.cache_bytes = 0;
+  DetectionEngine engine_cached(model_, cached);
+  DetectionEngine engine_uncached(model_, uncached);
+  EXPECT_FALSE(engine_uncached.cache_enabled());
+  EXPECT_TRUE(engine_cached.cache_enabled());
+  EXPECT_EQ(Fingerprints(engine_cached.DetectBatch(batch)),
+            Fingerprints(engine_uncached.DetectBatch(batch)));
+  EXPECT_EQ(engine_uncached.Stats().cache.insertions, 0u);
+}
+
+TEST_F(ServeFixture, CacheHitsAccumulateAcrossBatches) {
+  std::vector<ColumnRequest> batch = StressBatch();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  DetectionEngine engine(model_, opts);
+  engine.DetectBatch(batch);
+  uint64_t misses_after_first = engine.Stats().cache.misses;
+  engine.DetectBatch(batch);
+  PairCacheStats stats = engine.Stats().cache;
+  // The second identical batch is served from cache almost entirely.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, misses_after_first);
+  EXPECT_GT(stats.HitRate(), 0.4);
+  EXPECT_EQ(engine.Stats().batches, 2u);
+  EXPECT_EQ(engine.Stats().columns, 2 * batch.size());
+}
+
+TEST_F(ServeFixture, SingleWorkerAndEmptyBatches) {
+  EngineOptions opts;
+  opts.num_threads = 1;
+  DetectionEngine engine(model_, opts);
+  EXPECT_EQ(engine.num_threads(), 1u);
+  EXPECT_TRUE(engine.DetectBatch({}).empty());
+  std::vector<ColumnRequest> batch = {
+      ColumnRequest{"dates",
+                    {"2011-01-01", "2011-01-02", "2011-01-03", "2011/01/04"}}};
+  std::vector<ColumnReport> reports = engine.DetectBatch(batch);
+  ASSERT_EQ(reports.size(), 1u);
+  Detector sequential(model_);
+  EXPECT_EQ(Fingerprint(reports[0]),
+            Fingerprint(sequential.AnalyzeColumn(batch[0].values)));
+}
+
+TEST_F(ServeFixture, ConcurrentDetectBatchCallersAreIsolated) {
+  // Multiple application threads sharing one engine: each must get its own
+  // batch's reports, in its own request order.
+  std::vector<ColumnRequest> batch = StressBatch();
+  Detector sequential(model_);
+  std::vector<std::string> expected;
+  for (const auto& request : batch) {
+    expected.push_back(Fingerprint(sequential.AnalyzeColumn(request.values)));
+  }
+  EngineOptions opts;
+  opts.num_threads = 4;
+  DetectionEngine engine(model_, opts);
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::string>> results(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&engine, &batch, &results, t] {
+      results[t] = Fingerprints(engine.DetectBatch(batch));
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(results[t].size(), expected.size()) << "caller " << t;
+    EXPECT_EQ(results[t], expected) << "caller " << t;
+  }
+}
+
+TEST_F(ServeFixture, ScratchOverloadMatchesAllocatingPath) {
+  // The Detector-level contract the engine builds on: scratch reuse and the
+  // cache hook leave reports bit-identical.
+  Detector detector(model_);
+  ColumnScratch scratch;
+  ShardedPairCache cache;
+  std::vector<ColumnRequest> batch = StressBatch();
+  for (const auto& request : batch) {
+    std::string baseline = Fingerprint(detector.AnalyzeColumn(request.values));
+    EXPECT_EQ(Fingerprint(detector.AnalyzeColumn(request.values, &scratch, nullptr)),
+              baseline);
+    EXPECT_EQ(Fingerprint(detector.AnalyzeColumn(request.values, &scratch, &cache)),
+              baseline);
+    // Second pass with a warm cache.
+    EXPECT_EQ(Fingerprint(detector.AnalyzeColumn(request.values, &scratch, &cache)),
+              baseline);
+  }
+  EXPECT_GT(cache.Stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace autodetect

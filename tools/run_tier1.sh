@@ -1,13 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, run the full test suite, then run the
-# generalization-kernel benchmark and leave its JSON report in the build
-# directory (BENCH_generalize.json). Run from anywhere; exits non-zero on
-# the first failing step.
+# generalization-kernel and detection-engine benchmarks and leave their JSON
+# reports in the build directory (BENCH_generalize.json, BENCH_detect.json).
+# Run from anywhere; exits non-zero on the first failing step.
+#
+# Opt-in sanitizer mode: SANITIZE=thread (or address/undefined) builds the
+# library and the serving-layer stress test in a separate build-$SANITIZE
+# tree with -fsanitize=$SANITIZE and runs serve_test under it, so data races
+# in DetectionEngine/ShardedPairCache fail the gate deterministically
+# instead of flaking. Example:
+#
+#   SANITIZE=thread tools/run_tier1.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 JOBS="${JOBS:-$(nproc)}"
+SANITIZE="${SANITIZE:-}"
+
+if [[ -n "$SANITIZE" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-$SANITIZE}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+    -DAUTODETECT_SANITIZE="$SANITIZE" \
+    -DAUTODETECT_BUILD_BENCHMARKS=OFF \
+    -DAUTODETECT_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target serve_test
+  "$BUILD_DIR/tests/serve_test"
+  echo "serve_test green under -fsanitize=$SANITIZE"
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -21,4 +43,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
   --benchmark_out="$BUILD_DIR/BENCH_generalize.json" \
   --benchmark_out_format=json
 
-echo "tier-1 green; benchmark report: $BUILD_DIR/BENCH_generalize.json"
+# Serving throughput report: sequential Detector vs DetectionEngine at
+# 1/2/4/8 workers, cached and uncached (columns/s + cache hit rate).
+"$BUILD_DIR/bench/bench_detect_engine" \
+  --benchmark_min_time=0.1 \
+  --benchmark_out="$BUILD_DIR/BENCH_detect.json" \
+  --benchmark_out_format=json
+
+echo "tier-1 green; benchmark reports: $BUILD_DIR/BENCH_generalize.json $BUILD_DIR/BENCH_detect.json"
