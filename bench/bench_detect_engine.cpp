@@ -1,19 +1,22 @@
 /// \file bench_detect_engine.cpp
 /// Serving-layer throughput: single-thread sequential Detector vs the
-/// DetectionEngine's DetectBatch at 1/2/4/8 workers, with and without the
+/// DetectionEngine's Detect at 1/2/4/8 workers, with and without the
 /// sharded pair-verdict cache, on a WEB-profile eval batch (google-benchmark;
 /// tools/run_tier1.sh writes the JSON report to BENCH_detect.json).
 ///
 /// Counters: items/s is columns/s (SetItemsProcessed); `cache_hit_rate` is
 /// the engine cache's cumulative hit rate at the end of the run — high
 /// because a steady-state service re-sees the same value pairs, which is
-/// exactly the effect the cache exploits. Thread scaling is meaningful only
-/// on a machine with that many cores; the benchmark reports whatever the
-/// hardware gives it.
+/// exactly the effect the cache exploits. `col_p50_us`/`col_p99_us` are
+/// per-column scan latency quantiles pulled from a bench-private metrics
+/// registry (zero when built with AUTODETECT_NO_METRICS). Thread scaling is
+/// meaningful only on a machine with that many cores; the benchmark reports
+/// whatever the hardware gives it.
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "serve/detection_engine.h"
 
 using namespace autodetect;
@@ -44,32 +47,46 @@ const Model& SharedModel() {
   return *kModel;
 }
 
-/// Baseline: the strictly sequential Detector, fresh scratch per column
-/// (the pre-engine calling convention).
+/// Adds per-column latency quantiles from `registry` to the run's counters.
+void ReportLatencyQuantiles(benchmark::State& state, MetricsRegistry* registry) {
+  HistogramSnapshot lat =
+      registry->GetHistogram("detect.column_latency_us")->Snapshot();
+  state.counters["col_p50_us"] = static_cast<double>(lat.ValueAtQuantile(0.50));
+  state.counters["col_p99_us"] = static_cast<double>(lat.ValueAtQuantile(0.99));
+}
+
+/// Baseline: the sequential executor of the unified API, one scratch reused
+/// across the whole batch, on the calling thread.
 void BM_SequentialDetector(benchmark::State& state) {
-  Detector detector(&SharedModel());
+  MetricsRegistry registry;
+  DetectorOptions opts;
+  opts.metrics = &registry;
+  Detector detector(&SharedModel(), opts);
+  SequentialExecutor executor(&detector);
   const auto& batch = Batch();
   for (auto _ : state) {
-    for (const auto& request : batch) {
-      ColumnReport report = detector.AnalyzeColumn(request.values);
-      benchmark::DoNotOptimize(report);
-    }
+    std::vector<DetectReport> reports = executor.Detect(batch);
+    benchmark::DoNotOptimize(reports);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch.size()));
+  ReportLatencyQuantiles(state, &registry);
 }
 
 void RunEngine(benchmark::State& state, size_t threads, size_t cache_bytes) {
+  MetricsRegistry registry;
   EngineOptions opts;
   opts.num_threads = threads;
   opts.cache_bytes = cache_bytes;
+  opts.metrics = &registry;
   DetectionEngine engine(&SharedModel(), opts);
   const auto& batch = Batch();
   for (auto _ : state) {
-    std::vector<ColumnReport> reports = engine.DetectBatch(batch);
+    std::vector<DetectReport> reports = engine.Detect(batch);
     benchmark::DoNotOptimize(reports);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch.size()));
   state.counters["cache_hit_rate"] = engine.Stats().cache.HitRate();
+  ReportLatencyQuantiles(state, &registry);
 }
 
 void BM_EngineCached(benchmark::State& state) {

@@ -17,6 +17,7 @@ int main() {
   auto model = TrainOrLoadModel(config);
   AD_CHECK_OK(model.status());
   Detector detector(&*model);
+  SequentialExecutor executor(&detector);
 
   RealisticTestOptions opts;
   opts.num_dirty = 400;
@@ -30,7 +31,8 @@ int main() {
   };
   std::vector<Row> rows;
   for (const auto& tc : cases) {
-    ColumnReport report = detector.AnalyzeColumn(tc.values);
+    ColumnReport report =
+        executor.DetectOne(DetectRequest{tc.domain, tc.values, tc.domain}).column;
     if (report.pairs.empty()) continue;
     const PairFinding& top = report.pairs.front();
     PairVerdict v = detector.ScorePair(top.u, top.v);

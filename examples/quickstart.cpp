@@ -21,16 +21,16 @@ using namespace autodetect;
 
 namespace {
 
-void ScanColumn(const Detector& detector, const std::string& title,
+void ScanColumn(SequentialExecutor& executor, const std::string& title,
                 const std::vector<std::string>& values) {
-  ColumnReport report = detector.AnalyzeColumn(values);
+  DetectReport report = executor.DetectOne(DetectRequest{title, values, "quickstart"});
   std::printf("\n== %s (%zu values, %zu distinct)\n", title.c_str(), values.size(),
-              report.distinct_values);
-  if (!report.HasFindings()) {
+              report.column.distinct_values);
+  if (!report.column.HasFindings()) {
     std::printf("   no incompatible values found\n");
     return;
   }
-  for (const auto& cell : report.cells) {
+  for (const auto& cell : report.column.cells) {
     std::printf("   SUSPECT row %u: \"%s\"  (confidence %.3f, clashes with %u values)\n",
                 cell.row, cell.value.c_str(), cell.confidence, cell.incompatible_with);
   }
@@ -66,27 +66,30 @@ int main(int argc, char** argv) {
   std::printf("%s", model.Summary().c_str());
 
   Detector detector(&model);
+  // The sequential executor of the unified detection API: one scratch,
+  // reused across every scan below.
+  SequentialExecutor executor(&detector);
 
   // 3a. Paper Col-1: mixed thousand separators are NOT errors.
   std::vector<std::string> col1;
   for (int i = 990; i <= 999; ++i) col1.push_back(std::to_string(i));
   col1.push_back("1,000");
-  ScanColumn(detector, "Col-1: integers with one separated value (clean)", col1);
+  ScanColumn(executor, "Col-1: integers with one separated value (clean)", col1);
 
   // 3b. Paper Col-2: occasional floats among integers are NOT errors.
   std::vector<std::string> col2;
   for (int i = 90; i <= 99; ++i) col2.push_back(std::to_string(i));
   col2.push_back("1.99");
-  ScanColumn(detector, "Col-2: integers with one float (clean)", col2);
+  ScanColumn(executor, "Col-2: integers with one float (clean)", col2);
 
   // 3c. Paper Col-3: mixed date formats ARE errors.
   std::vector<std::string> col3 = {"2011-01-01", "2011-01-02", "2011-01-03",
                                    "2011-01-04", "2011-01-05", "2011/01/06"};
-  ScanColumn(detector, "Col-3: mixed date formats (dirty)", col3);
+  ScanColumn(executor, "Col-3: mixed date formats (dirty)", col3);
 
   // 3d. An extra trailing dot (paper Fig. 1a / Table 4).
   std::vector<std::string> col4 = {"1962", "1981", "1974", "1990", "2003", "1865."};
-  ScanColumn(detector, "Years with a stray trailing dot (dirty)", col4);
+  ScanColumn(executor, "Years with a stray trailing dot (dirty)", col4);
 
   // 3e. Pairwise API.
   auto verdict = detector.ScorePair("2011-01-01", "2011.01.02");

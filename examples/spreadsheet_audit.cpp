@@ -32,7 +32,7 @@ Result<Model> GetModel() {
   return TrainOrLoadModel(config);
 }
 
-void AuditFile(const Detector& detector, const std::string& path) {
+void AuditFile(SequentialExecutor& executor, const std::string& path) {
   auto table = ReadCsvFile(path);
   if (!table.ok()) {
     std::printf("  ! cannot parse %s: %s\n", path.c_str(),
@@ -41,7 +41,9 @@ void AuditFile(const Detector& detector, const std::string& path) {
   }
   size_t findings = 0;
   for (size_t c = 0; c < table->num_cols(); ++c) {
-    ColumnReport report = detector.AnalyzeColumn(table->Column(c));
+    ColumnReport report =
+        executor.DetectOne(DetectRequest{table->header[c], table->Column(c), "audit"})
+            .column;
     for (const auto& cell : report.cells) {
       ++findings;
       std::printf("  %-24s column %-12s row %-4u  \"%s\"  (confidence %.3f)\n",
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
   auto model = GetModel();
   AD_CHECK_OK(model.status());
   Detector detector(&*model);
+  SequentialExecutor executor(&detector);
   std::printf("model: %zu languages, %s resident\n\n", model->languages.size(),
               HumanBytes(model->MemoryBytes()).c_str());
 
@@ -87,7 +90,7 @@ int main(int argc, char** argv) {
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.path().extension() != ".csv") continue;
     if (entry.path().filename() == "labels.csv") continue;
-    AuditFile(detector, entry.path().string());
+    AuditFile(executor, entry.path().string());
     ++files;
   }
   std::printf("\naudited %zu files\n", files);

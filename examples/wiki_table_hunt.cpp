@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   auto model = TrainOrLoadModel(config);
   AD_CHECK_OK(model.status());
   Detector detector(&*model);
+  SequentialExecutor executor(&detector);
 
   // WIKI-style columns at the paper's measured cleanliness (97.8% clean).
   GeneratorOptions gen;
@@ -43,7 +44,8 @@ int main(int argc, char** argv) {
   size_t flagged = 0, correct = 0;
   std::map<std::string, std::pair<size_t, size_t>> per_class;  // hit, total
   for (const auto& column : corpus.columns()) {
-    ColumnReport report = detector.AnalyzeColumn(column.values);
+    ColumnReport report =
+        executor.DetectOne(DetectRequest{column.domain, column.values, "wiki"}).column;
     if (column.dirty()) {
       auto& bucket = per_class[std::string(ErrorClassName(column.error_class))];
       ++bucket.second;

@@ -21,7 +21,10 @@ class AutoDetectMethod final : public ErrorDetectorMethod {
 
   std::vector<Suspicion> RankColumn(
       const std::vector<std::string>& values) const override {
-    ColumnReport report = detector_->AnalyzeColumn(values);
+    DetectRequest request;
+    request.values = values;
+    request.tag = "baseline";
+    ColumnReport report = detector_->Detect(request).column;
     std::vector<Suspicion> out;
     out.reserve(report.cells.size());
     for (const auto& cell : report.cells) {

@@ -103,6 +103,14 @@ class Status {
   /// \brief Renders "OK" or "<Code>: <message>".
   std::string ToString() const;
 
+  /// \brief Returns this status with "<context>: " prepended to the message
+  /// (same code); OK stays OK. For layering location onto low-level errors
+  /// as they propagate ("loading model.bin: Corruption: ...").
+  Status WithContext(std::string_view context) const {
+    if (ok()) return Status();
+    return Status(code(), std::string(context) + ": " + message());
+  }
+
   bool operator==(const Status& other) const {
     if (ok() || other.ok()) return ok() == other.ok();
     return code() == other.code() && message() == other.message();

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file api.h
+/// The unified detection API: every way of asking Auto-Detect to scan a
+/// column — the sequential Detector, the batching DetectionEngine, the CLI,
+/// the eval harness and the benches — speaks DetectRequest/DetectReport.
+/// The sequential and parallel paths are two executors of the same request
+/// type (SequentialExecutor in detector.h, DetectionEngine in serve/), and
+/// both are required to produce bit-identical ColumnReports for the same
+/// values and model.
+///
+/// Requests carry an optional metrics `tag`; executors route per-tag
+/// counters/latency histograms through the metrics registry (obs/metrics.h)
+/// so multi-tenant callers can attribute cost and findings per workload.
+///
+/// The pre-redesign entry points — Detector::AnalyzeColumn and
+/// DetectionEngine::DetectBatch — survive as thin deprecated forwarders.
+
+namespace autodetect {
+
+/// One column to scan.
+struct DetectRequest {
+  /// Echoed back on the report; does not influence detection.
+  std::string name;
+  std::vector<std::string> values;
+  /// Optional metrics label (e.g. tenant, dataset, eval domain): executors
+  /// maintain `detect.tag.<tag>.*` counters/histograms for non-empty tags.
+  /// Default-initialized so pre-redesign `{name, values}` aggregate call
+  /// sites compile warning-free.
+  std::string tag = {};
+};
+
+/// A cell-level finding within one column.
+struct CellFinding {
+  uint32_t row = 0;            ///< first row holding the value
+  std::string value;
+  double confidence = 0.0;     ///< max confidence over its flagged pairs
+  uint32_t incompatible_with = 0;  ///< distinct partners it clashes with
+};
+
+/// A pair-level finding (the unit the paper's Table 4 reports).
+struct PairFinding {
+  std::string u;
+  std::string v;
+  double confidence = 0.0;
+};
+
+/// The detection result for one column. Deterministic for a given model and
+/// values — identical across executors, worker counts and cache states.
+struct ColumnReport {
+  std::vector<CellFinding> cells;  ///< sorted by confidence descending
+  std::vector<PairFinding> pairs;  ///< sorted by confidence descending
+  /// Distinct values actually examined.
+  size_t distinct_values = 0;
+
+  bool HasFindings() const { return !cells.empty(); }
+  /// Convenience: the top cell finding, if any.
+  std::optional<CellFinding> Top() const {
+    if (cells.empty()) return std::nullopt;
+    return cells.front();
+  }
+};
+
+/// One request's result: the deterministic ColumnReport plus per-request
+/// execution metadata (which may vary run to run and is excluded from the
+/// determinism contract).
+struct DetectReport {
+  std::string name;  ///< echoed from the request
+  std::string tag;   ///< echoed from the request
+  ColumnReport column;
+  /// Wall-clock scan latency of this column, microseconds. Report payload,
+  /// not gated instrumentation: populated even under AUTODETECT_NO_METRICS.
+  uint64_t latency_us = 0;
+};
+
+/// Anything that can execute detection requests. Implementations:
+///  * SequentialExecutor (detector.h) — one column at a time on the calling
+///    thread, reusing one scratch; not thread-safe.
+///  * DetectionEngine (serve/detection_engine.h) — batches fanned out over a
+///    worker pool with a shared verdict cache; thread-safe.
+class DetectionExecutor {
+ public:
+  virtual ~DetectionExecutor() = default;
+
+  /// \brief Executes every request and returns one report per request, in
+  /// request order.
+  virtual std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) = 0;
+
+  /// \brief Single-request convenience.
+  virtual DetectReport DetectOne(const DetectRequest& request) {
+    std::vector<DetectRequest> batch;
+    batch.push_back(request);
+    std::vector<DetectReport> reports = Detect(batch);
+    return reports.empty() ? DetectReport{} : std::move(reports.front());
+  }
+};
+
+}  // namespace autodetect

@@ -1,12 +1,14 @@
 #include "detect/detector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "stats/npmi.h"
 #include "stats/stats_builder.h"
 #include "text/pattern.h"
@@ -63,7 +65,31 @@ MultiGeneralizer KernelForModel(const Model* model) {
 Detector::Detector(const Model* model) : Detector(model, DetectorOptions()) {}
 
 Detector::Detector(const Model* model, DetectorOptions options)
-    : model_(model), options_(options), multi_keys_(KernelForModel(model)) {}
+    : model_(model),
+      options_(options),
+      multi_keys_(KernelForModel(model)),
+      registry_(OrDefaultRegistry(options.metrics)) {
+  metrics_.columns = registry_->GetCounter("detect.columns_total");
+  metrics_.pairs_scored = registry_->GetCounter("detect.pairs_scored_total");
+  metrics_.pairs_cache_hits = registry_->GetCounter("detect.pairs_cache_hits_total");
+  metrics_.rare_fallbacks = registry_->GetCounter("detect.rare_fallbacks_total");
+  metrics_.column_latency_us = registry_->GetHistogram("detect.column_latency_us");
+  metrics_.key_stage_us = registry_->GetHistogram("detect.stage.key_us");
+  metrics_.score_stage_us = registry_->GetHistogram("detect.stage.score_us");
+}
+
+const Detector::TagMetrics& Detector::MetricsForTag(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(tag_mu_);
+  auto it = tag_metrics_.find(tag);
+  if (it == tag_metrics_.end()) {
+    TagMetrics m;
+    m.columns = registry_->GetCounter("detect.tag." + tag + ".columns_total");
+    m.column_latency_us =
+        registry_->GetHistogram("detect.tag." + tag + ".column_latency_us");
+    it = tag_metrics_.emplace(tag, m).first;
+  }
+  return it->second;
+}
 
 std::vector<uint64_t> Detector::KeysOf(std::string_view value) const {
   std::vector<uint64_t> keys(model_->languages.size());
@@ -96,7 +122,8 @@ uint64_t Detector::PairCacheKey(const uint64_t* k1, const uint64_t* k2, size_t n
   return CombineUnordered(RowSignature(k1, n), RowSignature(k2, n));
 }
 
-PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2) const {
+PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
+                                uint64_t* rare_fallbacks) const {
   const auto& langs = model_->languages;
   const size_t n = langs.size();
   PairVerdict verdict;
@@ -113,7 +140,9 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2) const {
   for (size_t i = 0; i < n; ++i) {
     const ModelLanguage& l = langs[i];
     NpmiScorer scorer(&l.stats, model_->smoothing_factor);
-    double s = scorer.Score(k1[i], k2[i]);
+    NpmiScorer::ScoreDetail detail;
+    double s = scorer.Score(k1[i], k2[i], &detail);
+    if (detail.rare_fallback && rare_fallbacks != nullptr) ++*rare_fallbacks;
     sum_s += s;
     min_s = std::min(min_s, s);
     sum_theta += l.threshold;
@@ -183,7 +212,7 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2) const {
 }
 
 PairVerdict Detector::ScorePair(std::string_view v1, std::string_view v2) const {
-  return ScoreKeys(KeysOf(v1).data(), KeysOf(v2).data());
+  return ScoreKeys(KeysOf(v1).data(), KeysOf(v2).data(), nullptr);
 }
 
 PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) const {
@@ -213,12 +242,46 @@ PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) 
 
 ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) const {
   ColumnScratch scratch;
-  return AnalyzeColumn(values, &scratch, nullptr);
+  return Scan(values, &scratch, nullptr);
 }
 
 ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values,
                                      ColumnScratch* scratch,
                                      PairVerdictCache* cache) const {
+  return Scan(values, scratch, cache);
+}
+
+DetectReport Detector::Detect(const DetectRequest& request, ColumnScratch* scratch,
+                              PairVerdictCache* cache) const {
+  DetectReport report;
+  report.name = request.name;
+  report.tag = request.tag;
+  // latency_us is report payload (not gated instrumentation): one clock read
+  // pair per column, always on.
+  const auto start = std::chrono::steady_clock::now();
+  if (scratch != nullptr) {
+    report.column = Scan(request.values, scratch, cache);
+  } else {
+    ColumnScratch local;
+    report.column = Scan(request.values, &local, cache);
+  }
+  report.latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (!request.tag.empty()) {
+    const TagMetrics& tag = MetricsForTag(request.tag);
+    tag.columns->Add(1);
+    tag.column_latency_us->Record(report.latency_us);
+  }
+  return report;
+}
+
+ColumnReport Detector::Scan(const std::vector<std::string>& values,
+                            ColumnScratch* scratch, PairVerdictCache* cache) const {
+  metrics_.columns->Add(1);
+  StageTimer column_timer(metrics_.column_latency_us);
+
   ColumnReport report;
   std::vector<std::string> distinct =
       DistinctValuesForStats(values, options_.max_distinct_values);
@@ -229,18 +292,24 @@ ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values,
   // Pre-generalize all distinct values under every model language into the
   // scratch's flat key matrix (row i = value i's per-language keys).
   const size_t n = model_->languages.size();
-  scratch->keys.resize(d * n);
-  uint64_t* keys = scratch->keys.data();
-  for (size_t i = 0; i < d; ++i) KeysInto(distinct[i], &scratch->runs, keys + i * n);
-
-  // With a cache, each value gets a signature over its key row; a pair is
-  // looked up by the order-independent combination of the two signatures.
-  if (cache != nullptr) {
-    scratch->signatures.resize(d);
+  {
+    StageTimer key_timer(metrics_.key_stage_us);
+    scratch->keys.resize(d * n);
+    uint64_t* keys = scratch->keys.data();
     for (size_t i = 0; i < d; ++i) {
-      scratch->signatures[i] = RowSignature(keys + i * n, n);
+      KeysInto(distinct[i], &scratch->runs, keys + i * n);
+    }
+
+    // With a cache, each value gets a signature over its key row; a pair is
+    // looked up by the order-independent combination of the two signatures.
+    if (cache != nullptr) {
+      scratch->signatures.resize(d);
+      for (size_t i = 0; i < d; ++i) {
+        scratch->signatures[i] = RowSignature(keys + i * n, n);
+      }
     }
   }
+  uint64_t* keys = scratch->keys.data();
 
   struct CellAgg {
     uint32_t degree = 0;
@@ -248,27 +317,41 @@ ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values,
   };
   std::vector<CellAgg> agg(d);
 
-  for (size_t i = 0; i < d; ++i) {
-    for (size_t j = i + 1; j < d; ++j) {
-      PairVerdict v;
-      if (cache != nullptr) {
-        uint64_t pair_key =
-            CombineUnordered(scratch->signatures[i], scratch->signatures[j]);
-        if (!cache->Lookup(pair_key, &v)) {
-          v = ScoreKeys(keys + i * n, keys + j * n);
-          cache->Insert(pair_key, v);
+  // Per-column aggregates, flushed into the registry in one Add each — the
+  // pair loop is the hot path and must not touch shared cache lines per
+  // pair.
+  uint64_t pairs_scored = 0, cache_hits = 0, rare_fallbacks = 0;
+  {
+    StageTimer score_timer(metrics_.score_stage_us);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        PairVerdict v;
+        if (cache != nullptr) {
+          uint64_t pair_key =
+              CombineUnordered(scratch->signatures[i], scratch->signatures[j]);
+          if (cache->Lookup(pair_key, &v)) {
+            ++cache_hits;
+          } else {
+            ++pairs_scored;
+            v = ScoreKeys(keys + i * n, keys + j * n, &rare_fallbacks);
+            cache->Insert(pair_key, v);
+          }
+        } else {
+          ++pairs_scored;
+          v = ScoreKeys(keys + i * n, keys + j * n, &rare_fallbacks);
         }
-      } else {
-        v = ScoreKeys(keys + i * n, keys + j * n);
+        if (!v.incompatible || v.confidence < options_.min_confidence) continue;
+        report.pairs.push_back(PairFinding{distinct[i], distinct[j], v.confidence});
+        ++agg[i].degree;
+        ++agg[j].degree;
+        agg[i].best_conf = std::max(agg[i].best_conf, v.confidence);
+        agg[j].best_conf = std::max(agg[j].best_conf, v.confidence);
       }
-      if (!v.incompatible || v.confidence < options_.min_confidence) continue;
-      report.pairs.push_back(PairFinding{distinct[i], distinct[j], v.confidence});
-      ++agg[i].degree;
-      ++agg[j].degree;
-      agg[i].best_conf = std::max(agg[i].best_conf, v.confidence);
-      agg[j].best_conf = std::max(agg[j].best_conf, v.confidence);
     }
   }
+  metrics_.pairs_scored->Add(pairs_scored);
+  metrics_.pairs_cache_hits->Add(cache_hits);
+  metrics_.rare_fallbacks->Add(rare_fallbacks);
 
   std::sort(report.pairs.begin(), report.pairs.end(),
             [](const PairFinding& a, const PairFinding& b) {
@@ -321,6 +404,20 @@ ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values,
               return a.incompatible_with > b.incompatible_with;
             });
   return report;
+}
+
+std::vector<DetectReport> SequentialExecutor::Detect(
+    const std::vector<DetectRequest>& batch) {
+  std::vector<DetectReport> reports;
+  reports.reserve(batch.size());
+  for (const DetectRequest& request : batch) {
+    reports.push_back(detector_->Detect(request, &scratch_, cache_));
+  }
+  return reports;
+}
+
+DetectReport SequentialExecutor::DetectOne(const DetectRequest& request) {
+  return detector_->Detect(request, &scratch_, cache_);
 }
 
 }  // namespace autodetect

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "detect/api.h"
 #include "detect/model.h"
+#include "obs/metrics.h"
 #include "text/run_tokenizer.h"
 
 /// \file detector.h
@@ -14,6 +17,10 @@
 /// incompatible cells using a trained Model. The default aggregation is the
 /// paper's max-confidence union over selected languages (Sec. 3.2 /
 /// Appendix B); the alternatives of the Fig. 8(b) ablation are selectable.
+///
+/// Request/report types live in detect/api.h (the unified detection API);
+/// this header provides the scoring core (Detector) and the sequential
+/// executor of that API (SequentialExecutor).
 
 namespace autodetect {
 
@@ -39,6 +46,9 @@ struct DetectorOptions {
   double min_confidence = 0.0;
   /// Cap on reported pair findings per column.
   size_t max_pair_findings = 16;
+  /// Metrics destination; null means the process default registry. Metric
+  /// handles are resolved once at Detector construction.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Verdict on a single value pair.
@@ -54,36 +64,7 @@ struct PairVerdict {
   int best_language = -1;
 };
 
-/// A cell-level finding within one column.
-struct CellFinding {
-  uint32_t row = 0;            ///< first row holding the value
-  std::string value;
-  double confidence = 0.0;     ///< max confidence over its flagged pairs
-  uint32_t incompatible_with = 0;  ///< distinct partners it clashes with
-};
-
-/// A pair-level finding (the unit the paper's Table 4 reports).
-struct PairFinding {
-  std::string u;
-  std::string v;
-  double confidence = 0.0;
-};
-
-struct ColumnReport {
-  std::vector<CellFinding> cells;  ///< sorted by confidence descending
-  std::vector<PairFinding> pairs;  ///< sorted by confidence descending
-  /// Distinct values actually examined.
-  size_t distinct_values = 0;
-
-  bool HasFindings() const { return !cells.empty(); }
-  /// Convenience: the top cell finding, if any.
-  std::optional<CellFinding> Top() const {
-    if (cells.empty()) return std::nullopt;
-    return cells.front();
-  }
-};
-
-/// Reusable buffers for AnalyzeColumn. The scan of one column needs a flat
+/// Reusable buffers for column scans. The scan of one column needs a flat
 /// d × |languages| key matrix, per-value cache signatures and the
 /// tokenizer's run scratch; with a caller-provided ColumnScratch none of
 /// them is reallocated per column (or per value), which is what the serving
@@ -143,14 +124,22 @@ class Detector {
   /// \brief ScorePair plus the per-language evidence behind the verdict.
   PairExplanation ExplainPair(std::string_view v1, std::string_view v2) const;
 
-  /// \brief Scans a column and reports incompatible cells/pairs.
+  /// \brief Executes one detection request (the unified API entry point).
+  /// `scratch` may be null (an internal temporary is used); `cache` (may be
+  /// null) memoizes verdicts across columns. Thread-safe when each thread
+  /// uses its own scratch and the cache implementation is thread-safe.
+  /// Records per-column metrics (and per-tag metrics when request.tag is
+  /// non-empty) into the registry given at construction.
+  DetectReport Detect(const DetectRequest& request, ColumnScratch* scratch = nullptr,
+                      PairVerdictCache* cache = nullptr) const;
+
+  /// \brief Deprecated forwarder (pre-unified-API entry point): scans a
+  /// column and reports incompatible cells/pairs. Prefer Detect().
   ColumnReport AnalyzeColumn(const std::vector<std::string>& values) const;
 
-  /// \brief AnalyzeColumn with caller-owned buffers and an optional pair
-  /// cache. Output is bit-identical to the scratch-free overload; `scratch`
-  /// is grown as needed and reused across calls, and `cache` (may be null)
-  /// memoizes verdicts across columns — repeated value pairs skip NPMI
-  /// lookup entirely.
+  /// \brief Deprecated forwarder with caller-owned buffers and an optional
+  /// pair cache; equivalent to Detect(request, scratch, cache).column.
+  /// Output is bit-identical to the scratch-free overload.
   ColumnReport AnalyzeColumn(const std::vector<std::string>& values,
                              ColumnScratch* scratch,
                              PairVerdictCache* cache = nullptr) const;
@@ -163,6 +152,22 @@ class Detector {
   static uint64_t PairCacheKey(const uint64_t* k1, const uint64_t* k2, size_t n);
 
  private:
+  /// Hot counters/histograms, resolved once at construction (registration
+  /// takes a lock; recording is relaxed-atomic only).
+  struct Metrics {
+    Counter* columns = nullptr;
+    Counter* pairs_scored = nullptr;      ///< pairs that ran NPMI scoring
+    Counter* pairs_cache_hits = nullptr;  ///< pairs served by the verdict cache
+    Counter* rare_fallbacks = nullptr;    ///< pair-language scores punted on rarity
+    Histogram* column_latency_us = nullptr;
+    Histogram* key_stage_us = nullptr;    ///< tokenize + per-language keying
+    Histogram* score_stage_us = nullptr;  ///< stats lookup + NPMI + cache probes
+  };
+  struct TagMetrics {
+    Counter* columns = nullptr;
+    Histogram* column_latency_us = nullptr;
+  };
+
   /// Per-language keys of one value (allocating convenience for the
   /// two-value entry points).
   std::vector<uint64_t> KeysOf(std::string_view value) const;
@@ -170,13 +175,47 @@ class Detector {
   /// `runs` as tokenizer scratch.
   void KeysInto(std::string_view value, std::vector<ClassRun>* runs,
                 uint64_t* out) const;
-  PairVerdict ScoreKeys(const uint64_t* k1, const uint64_t* k2) const;
+  /// \param rare_fallbacks when non-null, incremented by the number of
+  /// languages whose score was punted for lack of pattern support.
+  PairVerdict ScoreKeys(const uint64_t* k1, const uint64_t* k2,
+                        uint64_t* rare_fallbacks = nullptr) const;
+  /// The scan core shared by Detect and the AnalyzeColumn forwarders.
+  ColumnReport Scan(const std::vector<std::string>& values, ColumnScratch* scratch,
+                    PairVerdictCache* cache) const;
+  const TagMetrics& MetricsForTag(const std::string& tag) const;
 
   const Model* model_;
   DetectorOptions options_;
   /// Shared-tokenization kernel over the model's selected languages: every
   /// scored value is scanned once, not once per language.
   MultiGeneralizer multi_keys_;
+  MetricsRegistry* registry_;
+  Metrics metrics_;
+  /// Lazily resolved per-tag metric handles (tags are open-ended).
+  mutable std::mutex tag_mu_;
+  mutable std::unordered_map<std::string, TagMetrics> tag_metrics_;
+};
+
+/// The sequential executor of the unified API: one column at a time on the
+/// calling thread, reusing a single scratch across requests, with an
+/// optional caller-owned verdict cache. NOT thread-safe (the scratch is
+/// shared across calls) — that is the point: zero synchronization for
+/// embedded single-threaded callers. For concurrency use DetectionEngine.
+class SequentialExecutor : public DetectionExecutor {
+ public:
+  /// \param detector not owned; must outlive the executor.
+  /// \param cache optional, not owned; may be null.
+  explicit SequentialExecutor(const Detector* detector,
+                              PairVerdictCache* cache = nullptr)
+      : detector_(detector), cache_(cache) {}
+
+  std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) override;
+  DetectReport DetectOne(const DetectRequest& request) override;
+
+ private:
+  const Detector* detector_;
+  PairVerdictCache* cache_;
+  ColumnScratch scratch_;
 };
 
 }  // namespace autodetect

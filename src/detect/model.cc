@@ -78,8 +78,7 @@ Status Model::Save(const std::string& path) const {
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   BinaryWriter writer(&out);
   Serialize(&writer);
-  if (!writer.ok()) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  return writer.status().WithContext("writing " + path);
 }
 
 Result<Model> Model::Load(const std::string& path) {

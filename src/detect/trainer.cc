@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace autodetect {
 
@@ -35,10 +36,14 @@ Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
   // crude-G NPMI (see DistantSupervisionOptions::smoothing_factor).
 
   TrainingPipeline pipeline;
+  MetricsRegistry* registry = OrDefaultRegistry(options.stats.metrics);
 
   // Stage 1: statistics for all candidate languages.
-  source->Reset();
-  pipeline.stats_ = BuildCorpusStats(source, options.stats);
+  {
+    TraceSpan span(registry, "train.stage.stats_build_us");
+    source->Reset();
+    pipeline.stats_ = BuildCorpusStats(source, options.stats);
+  }
 
   std::vector<int> candidate_ids = pipeline.stats_.LanguageIds();
   AD_CHECK(!candidate_ids.empty());
@@ -53,19 +58,22 @@ Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
   int crude_id = LanguageSpace::IdOf(LanguageSpace::CrudeG());
   CorpusStats crude_holder;
   const LanguageStats* crude_stats = nullptr;
-  if (pipeline.stats_.Has(crude_id)) {
-    crude_stats = &pipeline.stats_.ForLanguage(crude_id);
-  } else {
-    StatsBuilderOptions crude_opts = options.stats;
-    crude_opts.language_ids = {crude_id};
+  {
+    TraceSpan span(registry, "train.stage.supervision_us");
+    if (pipeline.stats_.Has(crude_id)) {
+      crude_stats = &pipeline.stats_.ForLanguage(crude_id);
+    } else {
+      StatsBuilderOptions crude_opts = options.stats;
+      crude_opts.language_ids = {crude_id};
+      source->Reset();
+      crude_holder = BuildCorpusStats(source, crude_opts);
+      crude_stats = &crude_holder.ForLanguage(crude_id);
+    }
     source->Reset();
-    crude_holder = BuildCorpusStats(source, crude_opts);
-    crude_stats = &crude_holder.ForLanguage(crude_id);
+    AD_ASSIGN_OR_RETURN(
+        pipeline.training_set_,
+        GenerateTrainingSet(source, *crude_stats, options.supervision));
   }
-  source->Reset();
-  AD_ASSIGN_OR_RETURN(
-      pipeline.training_set_,
-      GenerateTrainingSet(source, *crude_stats, options.supervision));
 
   // Stage 3: calibrate every candidate (parallel). The training set is
   // pre-keyed once under every candidate language via the shared-
@@ -74,6 +82,7 @@ Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
   pipeline.lang_ids_ = candidate_ids;
   pipeline.calibrations_.resize(candidate_ids.size());
   {
+    TraceSpan span(registry, "train.stage.calibration_us");
     PreKeyedTrainingSet prekeyed(pipeline.training_set_, candidate_ids,
                                  options.stats.generalize_options);
     ThreadPool::ParallelFor(candidate_ids.size(), options.num_threads, [&](size_t i) {
@@ -219,8 +228,7 @@ Status TrainingPipeline::Save(const std::string& path) const {
     SerializeBitset(cal.covered_negatives, &w);
     cal.curve.Serialize(&w);
   }
-  if (!w.ok()) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  return w.status().WithContext("writing " + path);
 }
 
 Result<TrainingPipeline> TrainingPipeline::Load(const std::string& path) {

@@ -89,12 +89,15 @@ Result<LanguageStats> BuildOrLoadCrudeStats(const HarnessConfig& config) {
   return crude;
 }
 
-std::vector<ColumnRequest> RequestsFromCases(const std::vector<TestCase>& cases) {
-  std::vector<ColumnRequest> requests;
+std::vector<DetectRequest> RequestsFromCases(const std::vector<TestCase>& cases) {
+  std::vector<DetectRequest> requests;
   requests.reserve(cases.size());
   for (size_t i = 0; i < cases.size(); ++i) {
-    requests.push_back(ColumnRequest{
-        StrFormat("case%zu/%s", i, cases[i].domain.c_str()), cases[i].values});
+    // The domain doubles as the metrics tag, so per-domain scan counts and
+    // latency quantiles fall out of any engine run over an eval set.
+    requests.push_back(DetectRequest{
+        StrFormat("case%zu/%s", i, cases[i].domain.c_str()), cases[i].values,
+        cases[i].domain});
   }
   return requests;
 }

@@ -37,10 +37,11 @@ Result<Model> TrainOrLoadModel(const HarnessConfig& config);
 /// splice-test generation), cached alongside the model.
 Result<LanguageStats> BuildOrLoadCrudeStats(const HarnessConfig& config);
 
-/// \brief Shapes a test set into a DetectionEngine batch (one request per
-/// case, named "case<i>/<domain>"); the runtime benches feed the serving
-/// layer with exactly the columns the accuracy benches score.
-std::vector<ColumnRequest> RequestsFromCases(const std::vector<TestCase>& cases);
+/// \brief Shapes a test set into a unified-API batch (one request per case,
+/// named "case<i>/<domain>", tagged with the domain); the runtime benches
+/// feed the serving layer with exactly the columns the accuracy benches
+/// score.
+std::vector<DetectRequest> RequestsFromCases(const std::vector<TestCase>& cases);
 
 /// \brief A set of comparison methods with shared ownership semantics.
 class MethodSet {

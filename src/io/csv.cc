@@ -23,6 +23,8 @@ Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
   bool in_quotes = false;
   bool field_started = false;
   bool record_quoted = false;  // distinguishes `""` rows from blank lines
+  size_t line = 1;             // 1-based, for error messages
+  size_t quote_open_line = 0;  // line where the current quoted field began
 
   auto end_field = [&] {
     record.push_back(std::move(field));
@@ -42,6 +44,7 @@ Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     if (in_quotes) {
+      if (c == '\n') ++line;
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
           field.push_back('"');
@@ -60,6 +63,7 @@ Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
           in_quotes = true;
           field_started = true;
           record_quoted = true;
+          quote_open_line = line;
         } else {
           field.push_back(c);  // stray quote mid-field: keep literally
         }
@@ -69,9 +73,11 @@ Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
         break;
       case '\r':
         if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        ++line;
         end_record();
         break;
       case '\n':
+        ++line;
         end_record();
         break;
       default:
@@ -81,7 +87,8 @@ Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
     }
   }
   if (in_quotes) {
-    return Status::Corruption("CSV ends inside a quoted field");
+    return Status::Corruption("CSV ends inside a quoted field opened on line " +
+                              std::to_string(quote_open_line));
   }
   // Flush a final record without trailing newline.
   if (!field.empty() || field_started || !record.empty()) {
@@ -122,9 +129,11 @@ Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  AD_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(ss.str(), has_header));
-  table.name = path;
-  return table;
+  if (in.bad()) return Status::IOError("failed reading " + path);
+  auto parsed = ParseCsv(ss.str(), has_header);
+  if (!parsed.ok()) return parsed.status().WithContext(path);
+  parsed->name = path;
+  return parsed;
 }
 
 namespace {

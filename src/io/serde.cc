@@ -2,7 +2,18 @@
 
 #include <cstring>
 
+#include "common/string_util.h"
+
 namespace autodetect {
+
+Status BinaryWriter::status() const {
+  if (ok()) return Status::OK();
+  if (failed_) {
+    return Status::IOError(
+        StrFormat("binary write failed at byte offset %zu", failed_at_));
+  }
+  return Status::IOError("output stream in failed state");
+}
 
 void BinaryWriter::WriteU32(uint32_t v) {
   uint8_t b[4];

@@ -32,13 +32,28 @@ class BinaryWriter {
     for (const auto& e : v) write_elem(this, e);
   }
 
-  bool ok() const { return out_->good(); }
+  bool ok() const { return !failed_ && out_->good(); }
+
+  /// \brief Structured write state: OK, or an IOError naming the byte offset
+  /// of the first failed write (the bool `ok()` told callers only *that*
+  /// writing failed, never where).
+  Status status() const;
 
  private:
   void WriteBytes(const void* data, size_t n) {
+    if (failed_) return;
     out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (!out_->good()) {
+      failed_ = true;
+      failed_at_ = bytes_written_;
+    } else {
+      bytes_written_ += n;
+    }
   }
   std::ostream* out_;
+  size_t bytes_written_ = 0;
+  size_t failed_at_ = 0;
+  bool failed_ = false;
 };
 
 class BinaryReader {

@@ -1,0 +1,70 @@
+#include "obs/dump.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+MetricsFormat MetricsFormatForPath(const std::string& path) {
+  if (EndsWith(path, ".prom") || EndsWith(path, ".txt")) {
+    return MetricsFormat::kPrometheus;
+  }
+  return MetricsFormat::kJson;
+}
+
+Status WriteMetricsFile(MetricsRegistry* registry, const std::string& path,
+                        MetricsFormat format) {
+  registry = OrDefaultRegistry(registry);
+  std::string text = format == MetricsFormat::kPrometheus ? registry->ToPrometheus()
+                                                          : registry->ToJson();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!out) return Status::IOError("failed writing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+MetricsDumper::MetricsDumper(MetricsRegistry* registry, std::string path,
+                             uint64_t interval_ms)
+    : registry_(OrDefaultRegistry(registry)),
+      path_(std::move(path)),
+      interval_ms_(interval_ms == 0 ? 1000 : interval_ms) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;  // final snapshot is written by Stop()
+      }
+      lock.unlock();
+      // Dump errors are not fatal mid-run; the final Stop() write reports.
+      (void)WriteMetricsFile(registry_, path_);
+      lock.lock();
+    }
+  });
+}
+
+Status MetricsDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::OK();
+    stop_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  return WriteMetricsFile(registry_, path_);
+}
+
+MetricsDumper::~MetricsDumper() { (void)Stop(); }
+
+}  // namespace autodetect

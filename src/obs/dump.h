@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+/// \file dump.h
+/// Snapshot export to files: one-shot dumps for `--metrics-out` and a
+/// background MetricsDumper thread for `--metrics-interval-ms` periodic
+/// dumps (each dump atomically replaces the file via rename, so readers
+/// never observe a torn snapshot).
+
+namespace autodetect {
+
+enum class MetricsFormat {
+  kJson,
+  kPrometheus,
+};
+
+/// \brief Infers the format from the file extension: ".prom"/".txt" means
+/// Prometheus text, everything else JSON.
+MetricsFormat MetricsFormatForPath(const std::string& path);
+
+/// \brief Snapshots `registry` and writes it to `path` (write-temp-then-
+/// rename, so a concurrent reader sees either the old or the new snapshot).
+Status WriteMetricsFile(MetricsRegistry* registry, const std::string& path,
+                        MetricsFormat format);
+inline Status WriteMetricsFile(MetricsRegistry* registry, const std::string& path) {
+  return WriteMetricsFile(registry, path, MetricsFormatForPath(path));
+}
+
+/// Background periodic dumper: writes a snapshot of `registry` to `path`
+/// every `interval_ms`, plus a final snapshot when stopped/destroyed. The
+/// long-running CLI verbs run one of these so an operator can watch a scan
+/// or training run converge live.
+class MetricsDumper {
+ public:
+  /// \param registry null means the process default registry.
+  MetricsDumper(MetricsRegistry* registry, std::string path, uint64_t interval_ms);
+  ~MetricsDumper();
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  /// \brief Stops the thread and writes the final snapshot; idempotent.
+  /// Returns the status of the final write.
+  Status Stop();
+
+ private:
+  MetricsRegistry* registry_;
+  std::string path_;
+  uint64_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,317 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+namespace {
+
+/// Stable small per-thread id used to pick a histogram stripe. Plain
+/// round-robin assignment keeps stripe occupancy balanced regardless of how
+/// the runtime numbers its threads.
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % Histogram::kStripes;
+}
+
+/// Relaxed atomic min/max update; contention is per-stripe, so the CAS loop
+/// almost always succeeds first try.
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON string escaping for metric names (which are ASCII identifiers in
+/// practice, but garbage in should still be valid JSON out).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip-ish double rendering: integral values print without
+/// a fraction so counters-published-as-gauges stay readable.
+std::string JsonDouble(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 11);
+  out += "autodetect_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram() {
+  for (auto& stripe : stripes_) {
+    stripe.buckets = std::vector<std::atomic<uint64_t>>(kNumBuckets);
+  }
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // msb >= kSubBucketBits. The top (kSubBucketBits + 1) bits select the
+  // octave and the linear sub-bucket within it.
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - static_cast<int>(kSubBucketBits);
+  const size_t sub = static_cast<size_t>(value >> shift) - kSubBuckets;
+  return kSubBuckets + static_cast<size_t>(shift) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t shift = (index - kSubBuckets) / kSubBuckets;
+  const size_t sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << shift;
+}
+
+void Histogram::Record(uint64_t value) {
+#ifndef AUTODETECT_NO_METRICS
+  Stripe& stripe = stripes_[ThreadStripe()];
+  stripe.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&stripe.min, value);
+  AtomicMax(&stripe.max, value);
+#else
+  (void)value;
+#endif
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t min = UINT64_MAX;
+  std::vector<uint64_t> merged(kNumBuckets, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      merged[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    min = std::min(min, stripe.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, stripe.max.load(std::memory_order_relaxed));
+  }
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (merged[i] == 0) continue;
+    snap.count += merged[i];
+    snap.buckets.emplace_back(BucketLowerBound(i), merged[i]);
+  }
+  snap.min = snap.count == 0 ? 0 : min;
+  return snap;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i].second;
+    if (seen >= rank) {
+      // Midpoint between this bucket's lower bound and the next bucket
+      // boundary, clamped into the observed range.
+      uint64_t lower = buckets[i].first;
+      size_t idx = Histogram::BucketIndex(lower);
+      uint64_t upper = idx + 1 < Histogram::kNumBuckets
+                           ? Histogram::BucketLowerBound(idx + 1) - 1
+                           : lower;
+      uint64_t mid = lower + (upper - lower) / 2;
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+size_t MetricsRegistry::AddCollector(std::function<void(MetricsRegistry*)> collector) {
+  std::lock_guard<std::mutex> lock(collectors_mu_);
+  size_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(collector));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(size_t id) {
+  std::lock_guard<std::mutex> lock(collectors_mu_);
+  collectors_.erase(id);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  {
+    // Collectors publish component-internal counters (which live behind the
+    // component's own locks) into gauges before the capture below. They run
+    // under collectors_mu_ so RemoveCollector can guarantee quiescence.
+    std::lock_guard<std::mutex> lock(collectors_mu_);
+    for (const auto& [id, collect] : collectors_) collect(this);
+  }
+
+  // Copy the metric pointers under the lock, read values outside it: reads
+  // are relaxed loads and must not serialize against writers.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) histograms.emplace_back(name, h.get());
+  }
+
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters) snap.counters.emplace(name, c->Value());
+  for (const auto& [name, g] : gauges) snap.gauges.emplace(name, g->Value());
+  for (const auto& [name, h] : histograms) snap.histograms.emplace(name, h->Snapshot());
+  return snap;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // leaked: safe at exit
+  return instance;
+}
+
+// ---------------------------------------------------------------- Exporters
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",",
+                     JsonEscape(name).c_str(), JsonDouble(value).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"mean\": %s, \"p50\": %llu, \"p90\": %llu, "
+        "\"p99\": %llu, \"buckets\": [",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.min),
+        static_cast<unsigned long long>(h.max), JsonDouble(h.Mean()).c_str(),
+        static_cast<unsigned long long>(h.ValueAtQuantile(0.50)),
+        static_cast<unsigned long long>(h.ValueAtQuantile(0.90)),
+        static_cast<unsigned long long>(h.ValueAtQuantile(0.99)));
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      out += StrFormat("%s[%llu, %llu]", i == 0 ? "" : ", ",
+                       static_cast<unsigned long long>(h.buckets[i].first),
+                       static_cast<unsigned long long>(h.buckets[i].second));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string pname = PrometheusName(name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", pname.c_str(), pname.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string pname = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %s\n", pname.c_str(), pname.c_str(),
+                     JsonDouble(value).c_str());
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string pname = PrometheusName(name);
+    out += StrFormat("# TYPE %s summary\n", pname.c_str());
+    for (double q : {0.5, 0.9, 0.99}) {
+      out += StrFormat("%s{quantile=\"%g\"} %llu\n", pname.c_str(), q,
+                       static_cast<unsigned long long>(h.ValueAtQuantile(q)));
+    }
+    out += StrFormat("%s_sum %llu\n%s_count %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(h.sum), pname.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+}  // namespace autodetect

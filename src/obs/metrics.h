@@ -1,0 +1,219 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.h
+/// Lock-cheap runtime metrics for the whole stack: named counters, gauges
+/// and log-bucketed histograms collected in a MetricsRegistry and exported
+/// as structured JSON or Prometheus text. Auto-Detect's quality hinges on
+/// corpus statistics and calibrated thresholds (paper Eqs. 8/10); the
+/// registry makes the runtime behaviour of those knobs — cache hit rates,
+/// per-stage latencies, smoothing fallbacks — observable in production
+/// instead of only inside ad-hoc benches.
+///
+/// Cost model (see DESIGN.md §9):
+///  * Counter::Add / Gauge::Set are single relaxed atomic operations.
+///  * Histogram::Record is two relaxed atomic adds into a per-thread stripe
+///    (no locks, no false sharing across stripes in the common case).
+///  * Registration (Get*) takes a mutex and allocates — resolve metric
+///    pointers once at construction time, never on hot paths.
+///  * Snapshot/ToJson take the registry mutex briefly to copy the metric
+///    list, then read each metric with relaxed loads; safe concurrently
+///    with writers (values may lag by an operation or two, never tear).
+///
+/// Compile-out: building with -DAUTODETECT_NO_METRICS turns every mutation
+/// (Add/Set/Record and the RAII timers in trace.h) into a no-op — no clock
+/// reads, no atomic traffic — while the registry and exporters still compile
+/// and produce (all-zero) snapshots, so call sites need no #ifdefs.
+
+namespace autodetect {
+
+#ifdef AUTODETECT_NO_METRICS
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Monotonically increasing event count. A single cache line of relaxed
+/// atomic traffic; batch per-item increments into one Add per column/batch
+/// on hot paths (see detector.cc for the idiom).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+#ifndef AUTODETECT_NO_METRICS
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, hit rate, resident entries). Doubles so
+/// collectors can publish ratios; integral levels up to 2^53 are exact.
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef AUTODETECT_NO_METRICS
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(double delta) {
+#ifndef AUTODETECT_NO_METRICS
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)delta;
+#endif
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only view of a histogram at one instant; buckets are merged across
+/// the per-thread stripes. `buckets` is sparse: (lower_bound, count) pairs
+/// for non-empty buckets only, ascending by bound.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when count == 0
+  uint64_t max = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  /// \brief Value at quantile q in [0, 1], resolved to the midpoint of the
+  /// containing bucket (<= 1/16 relative error by construction). 0 when
+  /// empty.
+  uint64_t ValueAtQuantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Fixed log-bucketed latency/size histogram, mergeable across threads.
+///
+/// Bucketing: values below 2^kSubBucketBits are exact; above, each power-of-
+/// two octave is split into 2^kSubBucketBits linear sub-buckets, so any
+/// recorded value lands in a bucket whose width is at most 1/16 of its
+/// magnitude (HdrHistogram-style, coarse). The bucket array is fixed at
+/// compile time — Record never allocates.
+///
+/// Concurrency: recordings go into one of kStripes stripes chosen by a
+/// per-thread id, so concurrent workers touch disjoint cache lines; Snapshot
+/// merges the stripes with relaxed loads.
+class Histogram {
+ public:
+  static constexpr size_t kSubBucketBits = 4;
+  static constexpr size_t kSubBuckets = 1u << kSubBucketBits;  // 16
+  /// Buckets 0..15 are exact; octaves for bit widths 5..64 contribute 16
+  /// sub-buckets each.
+  static constexpr size_t kNumBuckets = kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+  static constexpr size_t kStripes = 8;
+
+  Histogram();
+
+  void Record(uint64_t value);
+
+  /// \brief Merged view across all stripes.
+  HistogramSnapshot Snapshot() const;
+
+  /// \brief Index of the bucket holding `value` (exposed for tests).
+  static size_t BucketIndex(uint64_t value);
+  /// \brief Smallest value mapping to bucket `index` (exposed for tests).
+  static uint64_t BucketLowerBound(size_t index);
+
+ private:
+  struct alignas(64) Stripe {
+    std::vector<std::atomic<uint64_t>> buckets;  // kNumBuckets
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// A full registry snapshot, ready for serialization. Maps are ordered so
+/// output is deterministic given deterministic values.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// \brief Structured JSON: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99,
+  /// buckets: [[lower, count], ...]}}}.
+  std::string ToJson() const;
+  /// \brief Prometheus text exposition format; dots in names become
+  /// underscores and histograms export as summaries (quantile series plus
+  /// _sum/_count).
+  std::string ToPrometheus() const;
+};
+
+/// Named metric registry. Get* registers on first use and returns a pointer
+/// that stays valid for the registry's lifetime; callers resolve once and
+/// keep the pointer. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// \brief Registers a callback run at the start of every Snapshot(), for
+  /// components whose counters live behind their own locks (e.g. the pair
+  /// cache publishes hit/miss gauges this way). Collectors may call Get* on
+  /// this registry but must not call Snapshot or Add/RemoveCollector.
+  /// Returns an id for RemoveCollector.
+  size_t AddCollector(std::function<void(MetricsRegistry*)> collector);
+
+  /// \brief Unregisters a collector. Blocks until any in-flight Snapshot has
+  /// finished running collectors, so a component may safely free the state
+  /// its collector captured right after this returns.
+  void RemoveCollector(size_t id);
+
+  /// \brief Runs collectors, then captures every registered metric.
+  MetricsSnapshot Snapshot();
+
+  std::string ToJson() { return Snapshot().ToJson(); }
+  std::string ToPrometheus() { return Snapshot().ToPrometheus(); }
+
+  /// \brief Process-wide default registry (never destroyed). Components take
+  /// a `MetricsRegistry*` option defaulting to null == this.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::mutex collectors_mu_;
+  std::map<size_t, std::function<void(MetricsRegistry*)>> collectors_;
+  size_t next_collector_id_ = 0;
+};
+
+/// \brief `registry` if non-null, else the process default. The idiom for
+/// options structs: `MetricsRegistry* metrics = nullptr` means "default".
+inline MetricsRegistry* OrDefaultRegistry(MetricsRegistry* registry) {
+  return registry != nullptr ? registry : MetricsRegistry::Default();
+}
+
+}  // namespace autodetect

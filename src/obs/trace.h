@@ -1,0 +1,82 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+/// \file trace.h
+/// RAII stage timing on top of the metrics registry. A StageTimer binds to a
+/// pre-resolved Histogram* and records elapsed microseconds on destruction —
+/// the hot-path shape (two clock reads per scope, no name lookup). TraceSpan
+/// resolves its histogram by name per use — the convenience shape for cold
+/// paths like training stages.
+///
+/// Under AUTODETECT_NO_METRICS both are empty structs: no clock reads, no
+/// stores, and the optimizer erases the scope entirely.
+
+namespace autodetect {
+
+#ifndef AUTODETECT_NO_METRICS
+
+/// Times one scope into a pre-resolved histogram (microseconds). Pass null
+/// to disable dynamically (e.g. metrics-free test paths).
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_(histogram != nullptr ? Clock::now() : Clock::time_point()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedMicros());
+  }
+
+  /// \brief Microseconds since construction (also usable mid-scope).
+  uint64_t ElapsedMicros() const {
+    if (histogram_ == nullptr) return 0;
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     Clock::now() - start_)
+                                     .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+/// Times one scope into `registry`'s histogram named `stage` (microseconds),
+/// resolving the name at construction. Cold paths only.
+class TraceSpan {
+ public:
+  TraceSpan(MetricsRegistry* registry, const char* stage)
+      : timer_(OrDefaultRegistry(registry)->GetHistogram(stage)) {}
+
+  uint64_t ElapsedMicros() const { return timer_.ElapsedMicros(); }
+
+ private:
+  StageTimer timer_;
+};
+
+#else  // AUTODETECT_NO_METRICS
+
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram*) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  uint64_t ElapsedMicros() const { return 0; }
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(MetricsRegistry*, const char*) {}
+  uint64_t ElapsedMicros() const { return 0; }
+};
+
+#endif  // AUTODETECT_NO_METRICS
+
+}  // namespace autodetect

@@ -1,24 +1,89 @@
 #include "serve/detection_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace autodetect {
 
+namespace {
+
+/// The engine owns the wiring: a null detector.metrics inherits the engine's
+/// registry so one `metrics` field redirects the whole stack.
+EngineOptions NormalizeOptions(EngineOptions options) {
+  if (options.detector.metrics == nullptr) {
+    options.detector.metrics = options.metrics;
+  }
+  return options;
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+}  // namespace
+
 DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
     : model_(model),
-      options_(options),
-      detector_(model, options.detector),
-      pool_(options.num_threads) {
+      options_(NormalizeOptions(std::move(options))),
+      detector_(model, options_.detector),
+      pool_(options_.num_threads),
+      registry_(OrDefaultRegistry(options_.metrics)) {
   if (options_.cache_bytes > 0) {
     PairCacheOptions cache_opts;
     cache_opts.capacity_bytes = options_.cache_bytes;
     cache_opts.num_shards = options_.cache_shards;
     cache_ = std::make_unique<ShardedPairCache>(cache_opts);
   }
+  metrics_.batches = registry_->GetCounter("serve.batches_total");
+  metrics_.columns = registry_->GetCounter("serve.columns_total");
+  metrics_.worker_busy_us = registry_->GetCounter("serve.worker_busy_us_total");
+  metrics_.batch_latency_us = registry_->GetHistogram("serve.batch_latency_us");
+  metrics_.dispatch_us = registry_->GetHistogram("serve.stage.dispatch_us");
+  metrics_.queue_depth = registry_->GetGauge("serve.queue_depth");
+  metrics_.workers = registry_->GetGauge("serve.workers");
+  metrics_.workers->Set(static_cast<double>(pool_.num_threads()));
+  if (cache_ != nullptr) {
+    // The cache's counters live behind its shard mutexes; publish them as
+    // gauges lazily, at snapshot time, instead of taxing the hot path.
+    cache_collector_id_ = registry_->AddCollector(
+        [this](MetricsRegistry* registry) { PublishCacheMetrics(registry); });
+    cache_collector_registered_ = true;
+  }
   // Seed the scratch pool so steady-state batches never allocate one.
   for (size_t i = 0; i < pool_.num_threads(); ++i) {
     scratch_pool_.push_back(std::make_unique<ColumnScratch>());
+  }
+}
+
+DetectionEngine::~DetectionEngine() {
+  // RemoveCollector blocks until in-flight snapshots have finished running
+  // collectors, so the lambda can never observe a dead `this`.
+  if (cache_collector_registered_) registry_->RemoveCollector(cache_collector_id_);
+}
+
+void DetectionEngine::PublishCacheMetrics(MetricsRegistry* registry) const {
+  PairCacheStats total = cache_->Stats();
+  registry->GetGauge("serve.cache.hits")->Set(static_cast<double>(total.hits));
+  registry->GetGauge("serve.cache.misses")->Set(static_cast<double>(total.misses));
+  registry->GetGauge("serve.cache.insertions")
+      ->Set(static_cast<double>(total.insertions));
+  registry->GetGauge("serve.cache.evictions")
+      ->Set(static_cast<double>(total.evictions));
+  registry->GetGauge("serve.cache.entries")->Set(static_cast<double>(total.entries));
+  registry->GetGauge("serve.cache.hit_rate")->Set(total.HitRate());
+  const std::vector<PairCacheStats> shards = cache_->PerShardStats();
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const std::string prefix = StrFormat("serve.cache.shard%zu.", i);
+    registry->GetGauge(prefix + "hits")->Set(static_cast<double>(shards[i].hits));
+    registry->GetGauge(prefix + "misses")->Set(static_cast<double>(shards[i].misses));
+    registry->GetGauge(prefix + "entries")->Set(static_cast<double>(shards[i].entries));
   }
 }
 
@@ -40,10 +105,18 @@ void DetectionEngine::ReleaseScratch(std::unique_ptr<ColumnScratch> scratch) {
   scratch_pool_.push_back(std::move(scratch));
 }
 
-std::vector<ColumnReport> DetectionEngine::DetectBatch(
-    const std::vector<ColumnRequest>& batch) {
-  std::vector<ColumnReport> results(batch.size());
+std::vector<DetectReport> DetectionEngine::Detect(
+    const std::vector<DetectRequest>& batch) {
+  std::vector<DetectReport> results(batch.size());
   if (batch.empty()) return results;
+
+  StageTimer batch_timer(metrics_.batch_latency_us);
+  if (kMetricsEnabled) {
+    metrics_.queue_depth->Set(static_cast<double>(
+        inflight_columns_.fetch_add(static_cast<int64_t>(batch.size()),
+                                    std::memory_order_relaxed) +
+        static_cast<int64_t>(batch.size())));
+  }
 
   const size_t workers = std::min(pool_.num_threads(), batch.size());
 
@@ -57,23 +130,31 @@ std::vector<ColumnReport> DetectionEngine::DetectBatch(
   } state;
   state.remaining = workers;
 
-  for (size_t w = 0; w < workers; ++w) {
-    pool_.Submit([this, &batch, &results, &state] {
-      std::unique_ptr<ColumnScratch> scratch = AcquireScratch();
-      while (true) {
-        size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batch.size()) break;
-        results[i] =
-            detector_.AnalyzeColumn(batch[i].values, scratch.get(), cache_.get());
-      }
-      ReleaseScratch(std::move(scratch));
-      // Notify under the mutex: once the waiter observes remaining == 0 it
-      // destroys `state`, so the signal must complete before the lock is
-      // released — an unlocked notify could touch a dead condition variable.
-      std::lock_guard<std::mutex> lock(state.mu);
-      --state.remaining;
-      state.done.notify_one();
-    });
+  {
+    StageTimer dispatch_timer(metrics_.dispatch_us);
+    for (size_t w = 0; w < workers; ++w) {
+      pool_.Submit([this, &batch, &results, &state] {
+        const auto worker_start = std::chrono::steady_clock::now();
+        std::unique_ptr<ColumnScratch> scratch = AcquireScratch();
+        uint64_t claimed = 0;
+        while (true) {
+          size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= batch.size()) break;
+          results[i] = detector_.Detect(batch[i], scratch.get(), cache_.get());
+          ++claimed;
+        }
+        ReleaseScratch(std::move(scratch));
+        if (kMetricsEnabled && claimed > 0) {
+          metrics_.worker_busy_us->Add(ElapsedUs(worker_start));
+        }
+        // Notify under the mutex: once the waiter observes remaining == 0 it
+        // destroys `state`, so the signal must complete before the lock is
+        // released — an unlocked notify could touch a dead condition variable.
+        std::lock_guard<std::mutex> lock(state.mu);
+        --state.remaining;
+        state.done.notify_one();
+      });
+    }
   }
   {
     std::unique_lock<std::mutex> lock(state.mu);
@@ -82,6 +163,23 @@ std::vector<ColumnReport> DetectionEngine::DetectBatch(
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   columns_.fetch_add(batch.size(), std::memory_order_relaxed);
+  metrics_.batches->Add(1);
+  metrics_.columns->Add(batch.size());
+  if (kMetricsEnabled) {
+    metrics_.queue_depth->Set(static_cast<double>(
+        inflight_columns_.fetch_sub(static_cast<int64_t>(batch.size()),
+                                    std::memory_order_relaxed) -
+        static_cast<int64_t>(batch.size())));
+  }
+  return results;
+}
+
+std::vector<ColumnReport> DetectionEngine::DetectBatch(
+    const std::vector<ColumnRequest>& batch) {
+  std::vector<DetectReport> reports = Detect(batch);
+  std::vector<ColumnReport> results;
+  results.reserve(reports.size());
+  for (DetectReport& r : reports) results.push_back(std::move(r.column));
   return results;
 }
 

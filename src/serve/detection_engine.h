@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "detect/api.h"
 #include "detect/detector.h"
 #include "detect/model.h"
+#include "obs/metrics.h"
 #include "serve/pair_cache.h"
 
 /// \file detection_engine.h
@@ -17,14 +19,17 @@
 /// snapshot and fans column requests out over a worker pool. This is the
 /// deployment shape of the paper's "spell-checker for data" at service
 /// scale — a request is a table's worth of columns, and the engine must
-/// return exactly what the sequential Detector would, only faster.
+/// return exactly what the sequential Detector would, only faster. It is the
+/// parallel executor of the unified detection API (detect/api.h).
 ///
 /// Guarantees:
-///  * Determinism — DetectBatch returns reports in request order, and every
-///    report is bit-identical to Detector::AnalyzeColumn on the same values,
-///    regardless of worker count, scheduling, or cache state. Workers claim
-///    columns dynamically (atomic cursor) but write results into the
-///    request's slot, so ordering never depends on completion order.
+///  * Determinism — Detect returns reports in request order, and every
+///    report's ColumnReport is bit-identical to Detector::AnalyzeColumn on
+///    the same values, regardless of worker count, scheduling, or cache
+///    state. Workers claim columns dynamically (atomic cursor) but write
+///    results into the request's slot, so ordering never depends on
+///    completion order. (DetectReport::latency_us is execution metadata and
+///    outside the determinism contract.)
 ///  * No allocation churn — each worker leases a ColumnScratch from a pool,
 ///    so per-value key-buffer allocations are amortized away across the
 ///    whole batch (the Detector's scratch path).
@@ -32,17 +37,20 @@
 ///    serves repeated value pairs (the common case in real tables) without
 ///    touching the per-language statistics.
 ///
-/// Thread safety: DetectBatch may be called concurrently from multiple
-/// threads; batches share the pool, cache, and scratch pool.
+/// Thread safety: Detect may be called concurrently from multiple threads;
+/// batches share the pool, cache, and scratch pool.
+///
+/// Observability: the engine records serve.* metrics (batch counts/latency,
+/// dispatch overhead, queue depth, worker busy time) and registers a
+/// collector that publishes serve.cache.* gauges from the pair cache on
+/// every registry snapshot; the collector is deregistered in the destructor.
 
 namespace autodetect {
 
-/// One column to scan. `name` is echoed back to callers by the CLI/eval
-/// plumbing and does not influence detection.
-struct ColumnRequest {
-  std::string name;
-  std::vector<std::string> values;
-};
+/// Pre-redesign name of the engine's request type; DetectRequest aggregate
+/// initialization is a superset (the added `tag` member defaults), so
+/// existing `ColumnRequest{name, values}` call sites compile unchanged.
+using ColumnRequest = DetectRequest;
 
 struct EngineOptions {
   size_t num_threads = 0;  ///< worker count; 0 = hardware concurrency
@@ -50,6 +58,10 @@ struct EngineOptions {
   size_t cache_bytes = 32ull << 20;
   size_t cache_shards = 16;
   DetectorOptions detector;
+  /// Metrics destination; null means the process default registry. Also
+  /// fills detector.metrics when that is null, so one field wires the whole
+  /// engine to a private registry (as the benches do).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Point-in-time engine counters.
@@ -59,26 +71,45 @@ struct EngineStats {
   PairCacheStats cache;  ///< zeros when the cache is disabled
 };
 
-class DetectionEngine {
+class DetectionEngine : public DetectionExecutor {
  public:
   /// \param model must outlive the engine; the engine never mutates it.
   explicit DetectionEngine(const Model* model, EngineOptions options = {});
+  ~DetectionEngine() override;
 
-  /// \brief Scans every requested column and returns one report per request,
-  /// in request order.
+  /// \brief Executes every request on the worker pool and returns one report
+  /// per request, in request order (the unified-API entry point).
+  std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) override;
+
+  /// \brief Deprecated forwarder (pre-unified-API entry point): like Detect
+  /// but stripped down to the deterministic ColumnReports.
   std::vector<ColumnReport> DetectBatch(const std::vector<ColumnRequest>& batch);
 
   EngineStats Stats() const;
 
   size_t num_threads() const { return pool_.num_threads(); }
   bool cache_enabled() const { return cache_ != nullptr; }
+  /// \brief The shared pair cache, null when disabled.
+  const ShardedPairCache* cache() const { return cache_.get(); }
   const Detector& detector() const { return detector_; }
   const Model& model() const { return *model_; }
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// Engine-level metric handles, resolved once at construction.
+  struct Metrics {
+    Counter* batches = nullptr;
+    Counter* columns = nullptr;
+    Counter* worker_busy_us = nullptr;  ///< summed worker wall-time in batches
+    Histogram* batch_latency_us = nullptr;
+    Histogram* dispatch_us = nullptr;  ///< submit-to-first-claim overhead
+    Gauge* queue_depth = nullptr;      ///< columns admitted but not finished
+    Gauge* workers = nullptr;
+  };
+
   std::unique_ptr<ColumnScratch> AcquireScratch();
   void ReleaseScratch(std::unique_ptr<ColumnScratch> scratch);
+  void PublishCacheMetrics(MetricsRegistry* registry) const;
 
   const Model* model_;
   EngineOptions options_;
@@ -86,11 +117,17 @@ class DetectionEngine {
   std::unique_ptr<ShardedPairCache> cache_;
   ThreadPool pool_;
 
+  MetricsRegistry* registry_;
+  Metrics metrics_;
+  size_t cache_collector_id_ = 0;
+  bool cache_collector_registered_ = false;
+
   std::mutex scratch_mu_;
   std::vector<std::unique_ptr<ColumnScratch>> scratch_pool_;
 
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> columns_{0};
+  std::atomic<int64_t> inflight_columns_{0};
 };
 
 }  // namespace autodetect

@@ -116,6 +116,22 @@ PairCacheStats ShardedPairCache::Stats() const {
   return stats;
 }
 
+std::vector<PairCacheStats> ShardedPairCache::PerShardStats() const {
+  std::vector<PairCacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    PairCacheStats s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.insertions = shard->insertions;
+    s.evictions = shard->evictions;
+    s.entries = shard->index.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
 void ShardedPairCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -65,6 +65,10 @@ class ShardedPairCache : public PairVerdictCache {
 
   PairCacheStats Stats() const;
 
+  /// Per-shard counters, in shard order (for the obs/ collector: shard
+  /// imbalance is the first thing to look at when hit rates sag).
+  std::vector<PairCacheStats> PerShardStats() const;
+
   /// Drops all entries (counters are kept).
   void Clear();
 

@@ -15,7 +15,7 @@ double NpmiScorer::SmoothedCoCount(uint64_t key1, uint64_t key2) const {
   return (1.0 - f_) * observed + f_ * expected;
 }
 
-double NpmiScorer::Score(uint64_t key1, uint64_t key2) const {
+double NpmiScorer::Score(uint64_t key1, uint64_t key2, ScoreDetail* detail) const {
   const double n = static_cast<double>(stats_->num_columns());
   if (n <= 0) return -1.0;
   const double c1 = static_cast<double>(stats_->Count(key1));
@@ -25,6 +25,7 @@ double NpmiScorer::Score(uint64_t key1, uint64_t key2) const {
   if (key1 == key2 && c1 > 0) return 1.0;
   if (c1 < static_cast<double>(min_support_) &&
       c2 < static_cast<double>(min_support_)) {
+    if (detail != nullptr) detail->rare_fallback = true;
     return 0.0;  // both patterns too rare: no reliable evidence either way
   }
   if (c1 <= 0 || c2 <= 0) return -1.0;

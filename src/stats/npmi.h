@@ -39,6 +39,14 @@ class NpmiScorer {
   /// millions). Scores for non-deficit pairs are clamped to >= 0.
   static constexpr double kDeficitRatio = 0.25;
 
+  /// Optional evidence-quality detail reported by Score (for observability;
+  /// does not affect the score itself).
+  struct ScoreDetail {
+    /// Both patterns were below min_pattern_support: the scorer punted and
+    /// returned 0 (unknown) instead of trusting thin co-occurrence evidence.
+    bool rare_fallback = false;
+  };
+
   /// \brief NPMI of two pattern keys, in [-1, 1]. Conventions for the
   /// corners (limits of Eq. 2):
   ///  - identical patterns that exist in the corpus score +1;
@@ -46,7 +54,8 @@ class NpmiScorer {
   ///    together -> maximally incompatible);
   ///  - a pattern never seen at all (c(p) == 0) also yields -1, since the
   ///    corpus offers no evidence it belongs anywhere.
-  double Score(uint64_t key1, uint64_t key2) const;
+  /// \param detail when non-null, filled with evidence-quality flags.
+  double Score(uint64_t key1, uint64_t key2, ScoreDetail* detail = nullptr) const;
 
   /// \brief Smoothed co-occurrence count (Eq. 10):
   /// (1-f)*c(p1,p2) + f*c(p1)*c(p2)/N.

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "text/run_tokenizer.h"
 
 namespace autodetect {
@@ -127,6 +128,13 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
 
   std::vector<LanguageStats> per_lang(lang_ids.size());
 
+  MetricsRegistry* registry = OrDefaultRegistry(options.metrics);
+  Counter* columns_total = registry->GetCounter("train.columns_total");
+  Counter* values_total = registry->GetCounter("train.values_total");
+  Counter* patterns_total = registry->GetCounter("train.patterns_total");
+  Histogram* tokenize_us = registry->GetHistogram("train.stage.tokenize_us");
+  Histogram* count_us = registry->GetHistogram("train.stage.count_us");
+
   size_t num_threads = options.num_threads != 0
                            ? options.num_threads
                            : std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -152,9 +160,11 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
   size_t batches_in_flight = 0;
 
   auto process_batch = [&](LanguageChunk& chunk, const TokenizedBatch& tokenized) {
+    StageTimer count_timer(count_us);
     const size_t n_langs = chunk.end - chunk.begin;
     std::vector<uint64_t> value_keys(n_langs);
     std::vector<std::vector<uint64_t>> col_keys(n_langs);
+    uint64_t patterns_ingested = 0;
     for (const TokenizedValues& column : tokenized.columns) {
       for (auto& keys : col_keys) keys.clear();
       for (size_t v = 0; v < column.size(); ++v) {
@@ -168,9 +178,11 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
         if (keys.size() > options.max_distinct_patterns_per_column) {
           keys.resize(options.max_distinct_patterns_per_column);
         }
+        patterns_ingested += keys.size();
         per_lang[chunk.begin + s].AddColumn(keys);
       }
     }
+    patterns_total->Add(patterns_ingested);
   };
 
   auto drain_chunk = [&](LanguageChunk& chunk) {
@@ -201,11 +213,18 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
     if (batch.empty()) return;
     auto tokenized = std::make_shared<TokenizedBatch>();
     tokenized->columns.resize(batch.size());
-    for (size_t c = 0; c < batch.size(); ++c) {
-      for (const auto& v : batch[c]) {
-        tokenized->columns[c].Add(v, options.generalize_options);
+    uint64_t batch_values = 0;
+    {
+      StageTimer tokenize_timer(tokenize_us);
+      for (size_t c = 0; c < batch.size(); ++c) {
+        batch_values += batch[c].size();
+        for (const auto& v : batch[c]) {
+          tokenized->columns[c].Add(v, options.generalize_options);
+        }
       }
     }
+    columns_total->Add(batch.size());
+    values_total->Add(batch_values);
     batch.clear();
     tokenized->chunks_remaining.store(num_chunks);
     {

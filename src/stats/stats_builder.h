@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "corpus/column_source.h"
+#include "obs/metrics.h"
 #include "stats/language_stats.h"
 #include "text/language.h"
 #include "text/pattern.h"
@@ -30,6 +31,8 @@ struct StatsBuilderOptions {
   size_t num_threads = 0;  ///< 0 = hardware concurrency
   size_t batch_columns = 2048;
   GeneralizeOptions generalize_options;
+  /// Metrics destination (train.* series); null means the process default.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Statistics for a set of languages over one corpus.

@@ -254,7 +254,9 @@ TEST_F(DetectFixture, ExplainPairShowsEvidence) {
     EXPECT_GE(e.npmi, -1.0);
     EXPECT_LE(e.npmi, 1.0);
     any_fired |= e.fired;
-    if (e.fired) EXPECT_LE(e.npmi, e.threshold);
+    if (e.fired) {
+      EXPECT_LE(e.npmi, e.threshold);
+    }
   }
   EXPECT_TRUE(any_fired);
   std::string rendered = explanation.ToString();

@@ -1,0 +1,331 @@
+/// Tests for the observability layer (src/obs): counter/gauge/histogram
+/// semantics under concurrency, bucket math, registry snapshots, the JSON
+/// and Prometheus exporters, and file dumping. Value assertions are gated on
+/// kMetricsEnabled so the suite also passes (as structural checks) under
+/// AUTODETECT_NO_METRICS.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/dump.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace autodetect {
+namespace {
+
+TEST(CounterTest, ConcurrentAddsAllLand) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.hits");
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Add(1);
+    });
+  }
+  pool.WaitIdle();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  } else {
+    EXPECT_EQ(counter->Value(), 0u);
+  }
+}
+
+TEST(GaugeTest, AddIsAtomicUnderContention) {
+  Gauge gauge;
+  constexpr size_t kThreads = 8;
+  constexpr int kPerThread = 10000;
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge.Add(1.0);
+        gauge.Add(-1.0);
+      }
+      gauge.Add(1.0);
+    });
+  }
+  pool.WaitIdle();
+  if (kMetricsEnabled) {
+    EXPECT_DOUBLE_EQ(gauge.Value(), static_cast<double>(kThreads));
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotonicAndConsistent) {
+  // Every bucket's lower bound must map back to that bucket, and indices
+  // must be non-decreasing in the value.
+  size_t prev = 0;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{15}, uint64_t{16},
+                     uint64_t{17}, uint64_t{31}, uint64_t{32}, uint64_t{100},
+                     uint64_t{1000}, uint64_t{65535}, uint64_t{65536},
+                     uint64_t{1} << 40, UINT64_MAX}) {
+    size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_GE(idx, prev) << "value " << v;
+    prev = idx;
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << "value " << v;
+  }
+  for (size_t idx = 0; idx < Histogram::kNumBuckets; idx += 7) {
+    uint64_t lower = Histogram::BucketLowerBound(idx);
+    EXPECT_EQ(Histogram::BucketIndex(lower), idx) << "bucket " << idx;
+  }
+}
+
+TEST(HistogramTest, BucketRelativeErrorIsBounded) {
+  // Above the exact range, bucket width must stay within 1/16 of the lower
+  // bound (the documented quantile error bound).
+  for (size_t idx = Histogram::kSubBuckets; idx + 1 < Histogram::kNumBuckets;
+       ++idx) {
+    uint64_t lo = Histogram::BucketLowerBound(idx);
+    uint64_t hi = Histogram::BucketLowerBound(idx + 1);
+    if (hi <= lo) continue;  // saturated top of the range
+    EXPECT_LE(hi - lo, lo / (Histogram::kSubBuckets - 1) + 1)
+        << "bucket " << idx;
+  }
+}
+
+TEST(HistogramTest, SnapshotMergesStripesExactly) {
+  // Recordings land in per-thread stripes; the merged snapshot must see
+  // every recording exactly once regardless of which stripe it hit.
+  Histogram histogram;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(t * 1000 + (i % 100));
+      }
+    });
+  }
+  pool.WaitIdle();
+  HistogramSnapshot snap = histogram.Snapshot();
+  if (!kMetricsEnabled) {
+    EXPECT_EQ(snap.count, 0u);
+    return;
+  }
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  uint64_t prev_bound = 0;
+  bool first = true;
+  for (const auto& [bound, count] : snap.buckets) {
+    if (!first) {
+      EXPECT_GT(bound, prev_bound);
+    }
+    first = false;
+    prev_bound = bound;
+    EXPECT_GT(count, 0u);
+    bucket_total += count;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, (kThreads - 1) * 1000 + 99);
+  // Exact sum: each thread contributes sum_i (t*1000 + i%100).
+  uint64_t expected_sum = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    expected_sum += kPerThread * t * 1000;
+    expected_sum += (kPerThread / 100) * (99 * 100 / 2);
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketError) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 10000; ++v) histogram.Record(v);
+  HistogramSnapshot snap = histogram.Snapshot();
+  if (!kMetricsEnabled) return;
+  uint64_t p50 = snap.ValueAtQuantile(0.5);
+  uint64_t p99 = snap.ValueAtQuantile(0.99);
+  // Bucket midpoint resolution: within 1/16 relative error of the true rank
+  // value, with slack for bucket-edge rounding.
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 / 8);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 / 8);
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), snap.min);
+  EXPECT_LE(snap.ValueAtQuantile(1.0), snap.max * 17 / 16 + 1);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("x.count")),
+            static_cast<void*>(a));  // namespaces are per-type
+  Histogram* h = registry.GetHistogram("x.lat");
+  EXPECT_EQ(h, registry.GetHistogram("x.lat"));
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndUse) {
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&registry] {
+      for (int i = 0; i < 200; ++i) {
+        registry.GetCounter("shared.count")->Add(1);
+        registry.GetHistogram("shared.lat")->Record(static_cast<uint64_t>(i));
+        (void)registry.Snapshot();  // snapshots race with registration
+      }
+    });
+  }
+  pool.WaitIdle();
+  MetricsSnapshot snap = registry.Snapshot();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(snap.counters.at("shared.count"), kThreads * 200);
+    EXPECT_EQ(snap.histograms.at("shared.lat").count, kThreads * 200);
+  }
+}
+
+TEST(RegistryTest, CollectorRunsAtSnapshotAndRemoveBlocks) {
+  MetricsRegistry registry;
+  int runs = 0;
+  size_t id = registry.AddCollector([&runs](MetricsRegistry* r) {
+    ++runs;
+    r->GetGauge("collected.level")->Set(42.0);
+  });
+  (void)registry.Snapshot();
+  (void)registry.Snapshot();
+  EXPECT_EQ(runs, 2);
+  registry.RemoveCollector(id);
+  (void)registry.Snapshot();
+  EXPECT_EQ(runs, 2);  // removed collectors never fire again
+  if (kMetricsEnabled) {
+    EXPECT_DOUBLE_EQ(registry.Snapshot().gauges.at("collected.level"), 42.0);
+  }
+}
+
+TEST(SnapshotTest, JsonGolden) {
+  // Deterministic inputs -> exact JSON. This pins the export schema; update
+  // deliberately if the schema changes (DESIGN.md §9 documents it).
+  MetricsRegistry registry;
+  registry.GetCounter("detect.columns_total")->Add(3);
+  registry.GetGauge("serve.cache.hit_rate")->Set(0.25);
+  Histogram* lat = registry.GetHistogram("detect.column_latency_us");
+  lat->Record(7);  // exact bucket: below 16
+  lat->Record(7);
+  std::string json = registry.ToJson();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(json,
+              "{\n"
+              "  \"counters\": {\n"
+              "    \"detect.columns_total\": 3\n"
+              "  },\n"
+              "  \"gauges\": {\n"
+              "    \"serve.cache.hit_rate\": 0.25\n"
+              "  },\n"
+              "  \"histograms\": {\n"
+              "    \"detect.column_latency_us\": {\"count\": 2, \"sum\": 14, "
+              "\"min\": 7, \"max\": 7, \"mean\": 7, \"p50\": 7, \"p90\": 7, "
+              "\"p99\": 7, \"buckets\": [[7, 2]]}\n"
+              "  }\n"
+              "}\n");
+  } else {
+    // Structure survives compile-out; values are zero.
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"detect.columns_total\": 0"), std::string::npos);
+  }
+}
+
+TEST(SnapshotTest, PrometheusExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("detect.pairs_scored_total")->Add(5);
+  registry.GetGauge("serve.queue_depth")->Set(2.0);
+  registry.GetHistogram("serve.batch_latency_us")->Record(100);
+  std::string text = registry.ToPrometheus();
+  // Dots become underscores under an autodetect_ prefix; counters get a
+  // TYPE line.
+  EXPECT_NE(text.find("# TYPE autodetect_detect_pairs_scored_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("autodetect_serve_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("autodetect_serve_batch_latency_us_count"),
+            std::string::npos);
+  if (kMetricsEnabled) {
+    EXPECT_NE(text.find("autodetect_detect_pairs_scored_total 5"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceTest, StageTimerRecordsIntoHistogram) {
+  MetricsRegistry registry;
+  Histogram* stage = registry.GetHistogram("test.stage_us");
+  {
+    StageTimer timer(stage);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  HistogramSnapshot snap = stage->Snapshot();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_GE(snap.min, 1000u);  // slept >= 2ms, recorded in microseconds
+  } else {
+    EXPECT_EQ(snap.count, 0u);
+  }
+}
+
+TEST(TraceTest, TraceSpanResolvesByName) {
+  MetricsRegistry registry;
+  {
+    TraceSpan span(&registry, "train.stage.test_us");
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(snap.histograms.at("train.stage.test_us").count, 1u);
+  }
+}
+
+TEST(DumpTest, WriteMetricsFileAtomicReplace) {
+  MetricsRegistry registry;
+  registry.GetCounter("dump.count")->Add(9);
+  std::string path = ::testing::TempDir() + "/obs_test_metrics.json";
+  ASSERT_TRUE(WriteMetricsFile(&registry, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"dump.count\""), std::string::npos);
+  if (kMetricsEnabled) {
+    EXPECT_NE(content.find(": 9"), std::string::npos);
+  }
+  // Second write replaces, never appends.
+  registry.GetCounter("dump.count")->Add(1);
+  ASSERT_TRUE(WriteMetricsFile(&registry, path).ok());
+  std::ifstream in2(path);
+  std::string content2((std::istreambuf_iterator<char>(in2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(content2.find("\"dump.count\""),
+            content2.rfind("\"dump.count\""));
+  std::remove(path.c_str());
+}
+
+TEST(DumpTest, FormatInference) {
+  EXPECT_EQ(MetricsFormatForPath("m.json"), MetricsFormat::kJson);
+  EXPECT_EQ(MetricsFormatForPath("m.prom"), MetricsFormat::kPrometheus);
+  EXPECT_EQ(MetricsFormatForPath("m.txt"), MetricsFormat::kPrometheus);
+  EXPECT_EQ(MetricsFormatForPath("metrics"), MetricsFormat::kJson);
+}
+
+TEST(DumpTest, DumperWritesFinalSnapshotOnStop) {
+  MetricsRegistry registry;
+  std::string path = ::testing::TempDir() + "/obs_test_dumper.json";
+  {
+    MetricsDumper dumper(&registry, path, 10);
+    registry.GetCounter("late.count")->Add(4);
+    ASSERT_TRUE(dumper.Stop().ok());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // The counter was bumped after construction; the final stop-snapshot must
+  // still include it.
+  EXPECT_NE(content.find("\"late.count\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autodetect

@@ -342,6 +342,95 @@ TEST_F(ServeFixture, ConcurrentDetectBatchCallersAreIsolated) {
   }
 }
 
+TEST_F(ServeFixture, MetricsAgreeWithEngineStats) {
+  // The serve.cache.* gauges are published by a snapshot-time collector; they
+  // must agree with the engine's own Stats() accounting, and the detect/serve
+  // counters must match the work actually submitted.
+  MetricsRegistry registry;
+  std::vector<ColumnRequest> batch = StressBatch();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.metrics = &registry;
+  DetectionEngine engine(model_, opts);
+  engine.DetectBatch(batch);
+  engine.DetectBatch(batch);  // warm-cache pass so hits are non-zero
+
+  EngineStats stats = engine.Stats();
+  MetricsSnapshot snap = registry.Snapshot();
+  if (!kMetricsEnabled) {
+    EXPECT_EQ(snap.counters.at("serve.columns_total"), 0u);
+    return;
+  }
+  EXPECT_EQ(snap.counters.at("serve.batches_total"), stats.batches);
+  EXPECT_EQ(snap.counters.at("serve.columns_total"), stats.columns);
+  EXPECT_EQ(snap.counters.at("detect.columns_total"), 2 * batch.size());
+  EXPECT_DOUBLE_EQ(snap.gauges.at("serve.cache.hits"),
+                   static_cast<double>(stats.cache.hits));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("serve.cache.misses"),
+                   static_cast<double>(stats.cache.misses));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("serve.cache.entries"),
+                   static_cast<double>(stats.cache.entries));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("serve.cache.hit_rate"), stats.cache.HitRate());
+  EXPECT_GT(snap.gauges.at("serve.cache.hits"), 0.0);
+  // Detector-level counters: pairs_scored counts fresh scores (cache
+  // misses), pairs_cache_hits counts hits — together they partition the
+  // pair lookups, so both must agree with the cache's own accounting.
+  uint64_t pairs = snap.counters.at("detect.pairs_scored_total");
+  uint64_t hits = snap.counters.at("detect.pairs_cache_hits_total");
+  EXPECT_GT(pairs, 0u);
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(hits, stats.cache.hits);
+  EXPECT_EQ(pairs, stats.cache.misses);
+  // Per-shard gauges sum to the totals.
+  double shard_hits = 0.0;
+  std::vector<PairCacheStats> per_shard = engine.cache()->PerShardStats();
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    shard_hits += snap.gauges.at(StrFormat("serve.cache.shard%zu.hits", i));
+  }
+  EXPECT_DOUBLE_EQ(shard_hits, static_cast<double>(stats.cache.hits));
+  // Latency histograms recorded one entry per column / per batch.
+  EXPECT_EQ(snap.histograms.at("detect.column_latency_us").count, 2 * batch.size());
+  EXPECT_EQ(snap.histograms.at("serve.batch_latency_us").count, 2u);
+}
+
+TEST_F(ServeFixture, UnifiedDetectCarriesNamesTagsAndLatency) {
+  // The DetectReport envelope: names/tags echo the request, latency is
+  // always populated (it is report payload, not gated instrumentation), and
+  // per-tag metrics aggregate only tagged requests.
+  MetricsRegistry registry;
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.metrics = &registry;
+  DetectionEngine engine(model_, opts);
+  std::vector<DetectRequest> batch = {
+      DetectRequest{"dates",
+                    {"2011-01-01", "2011-01-02", "2011-01-03", "2011/01/04"},
+                    "t1.csv"},
+      DetectRequest{"years", {"1962", "1981", "1974", "1990", "1865."}, "t1.csv"},
+      DetectRequest{"untagged", {"a", "b", "c"}, ""},
+  };
+  std::vector<DetectReport> reports = engine.Detect(batch);
+  ASSERT_EQ(reports.size(), 3u);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].name, batch[i].name);
+    EXPECT_EQ(reports[i].tag, batch[i].tag);
+  }
+  // And the sequential executor produces the identical column reports.
+  Detector sequential(model_);
+  SequentialExecutor executor(&sequential);
+  std::vector<DetectReport> seq_reports = executor.Detect(batch);
+  ASSERT_EQ(seq_reports.size(), 3u);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(Fingerprint(reports[i].column), Fingerprint(seq_reports[i].column));
+  }
+  if (kMetricsEnabled) {
+    MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.counters.at("detect.tag.t1.csv.columns_total"), 2u);
+    EXPECT_EQ(snap.histograms.at("detect.tag.t1.csv.column_latency_us").count, 2u);
+    EXPECT_EQ(snap.counters.count("detect.tag..columns_total"), 0u);
+  }
+}
+
 TEST_F(ServeFixture, ScratchOverloadMatchesAllocatingPath) {
   // The Detector-level contract the engine builds on: scratch reuse and the
   // cache hook leave reports bit-identical.

@@ -2,18 +2,21 @@
 /// Command-line front end for the library — the "spell-checker for data"
 /// deployment shape the paper targets:
 ///
-///   autodetect_cli train --columns 30000 --profile WEB --budget-mb 64 \
+///   autodetect_cli train --columns 30000 --profile WEB --budget-mb 64
 ///                        --precision 0.95 --out model.bin
 ///   autodetect_cli scan  --model model.bin data/*.csv
+///   autodetect_cli scan  --model model.bin --metrics-out scan_metrics.json data/*.csv
 ///   autodetect_cli pair  --model model.bin "2011-01-01" "2011/01/02"
 ///   autodetect_cli info  --model model.bin
 ///
 /// `train` uses the synthetic corpus substrate; plug a real corpus in by
 /// implementing ColumnSource and linking against the library.
+///
+/// Error handling: any unreadable input (bad flag, missing model, corrupt
+/// CSV) aborts the run with a structured message on stderr and a non-zero
+/// exit — a scan never half-completes silently.
 
 #include <cstdio>
-#include <cstdlib>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -23,146 +26,155 @@
 #include "corpus/corpus_generator.h"
 #include "detect/detector.h"
 #include "detect/trainer.h"
+#include "flag_set.h"
 #include "io/csv.h"
+#include "obs/dump.h"
 #include "serve/detection_engine.h"
 
 using namespace autodetect;
 
 namespace {
 
-/// Tiny --key value / --flag parser: everything after the command.
-class Args {
- public:
-  Args(int argc, char** argv, int start) {
-    for (int i = start; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
-        std::string key = arg.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          options_[key] = argv[++i];
-        } else {
-          options_[key] = "true";
-        }
-      } else {
-        positional_.push_back(arg);
-      }
-    }
-  }
-
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = options_.find(key);
-    return it == options_.end() ? fallback : it->second;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = options_.find(key);
-    return it == options_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    auto it = options_.find(key);
-    return it == options_.end() ? fallback : std::atoll(it->second.c_str());
-  }
-  const std::vector<std::string>& positional() const { return positional_; }
-
- private:
-  std::map<std::string, std::string> options_;
-  std::vector<std::string> positional_;
-};
-
-CorpusProfile ProfileByName(const std::string& name) {
+Result<CorpusProfile> ProfileByName(const std::string& name) {
   if (name == "WEB") return CorpusProfile::Web();
   if (name == "WIKI") return CorpusProfile::Wiki();
   if (name == "PUB-XLS") return CorpusProfile::PubXls();
   if (name == "ENT-XLS") return CorpusProfile::EntXls();
-  std::fprintf(stderr, "unknown profile '%s' (WEB, WIKI, PUB-XLS, ENT-XLS)\n",
-               name.c_str());
-  std::exit(2);
+  return Status::Invalid("unknown profile '" + name +
+                         "' (expected WEB, WIKI, PUB-XLS or ENT-XLS)");
 }
 
-int CmdTrain(const Args& args) {
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool ParseOrUsage(FlagSet& flags, int argc, char** argv) {
+  Status parsed = flags.Parse(argc, argv, 2);
+  if (parsed.ok()) return true;
+  std::fprintf(stderr, "error: %s\nflags:\n%s", parsed.ToString().c_str(),
+               flags.Usage().c_str());
+  return false;
+}
+
+int CmdTrain(int argc, char** argv) {
+  std::string profile_name = "WEB", out = "autodetect.model";
+  int64_t columns = 30000, seed = 20180610, budget_mb = 64;
+  double precision = 0.95, sketch = 1.0, smoothing = 0.1;
+  int64_t jobs = 0;
+  MetricsFlags metrics;
+
+  FlagSet flags;
+  flags.String("profile", &profile_name, "training corpus profile");
+  flags.Int("columns", &columns, "training columns to synthesize");
+  flags.Int("seed", &seed, "corpus seed");
+  flags.Int("budget-mb", &budget_mb, "model memory budget");
+  flags.Double("precision", &precision, "precision target");
+  flags.Double("sketch", &sketch, "co-occurrence sketch ratio (0,1]");
+  flags.Double("smoothing", &smoothing, "NPMI smoothing factor");
+  flags.Int("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.String("out", &out, "model output path");
+  metrics.Register(&flags);
+  if (!ParseOrUsage(flags, argc, argv)) return 2;
+
+  auto profile = ProfileByName(profile_name);
+  if (!profile.ok()) return Fail(profile.status());
+
   GeneratorOptions gen;
-  gen.profile = ProfileByName(args.Get("profile", "WEB"));
-  gen.num_columns = static_cast<size_t>(args.GetInt("columns", 30000));
+  gen.profile = *profile;
+  gen.num_columns = static_cast<size_t>(columns);
   gen.inject_errors = false;
-  gen.seed = static_cast<uint64_t>(args.GetInt("seed", 20180610));
+  gen.seed = static_cast<uint64_t>(seed);
   GeneratedColumnSource source(gen);
 
   TrainOptions train;
-  train.precision_target = args.GetDouble("precision", 0.95);
-  train.memory_budget_bytes =
-      static_cast<size_t>(args.GetInt("budget-mb", 64)) << 20;
-  train.sketch_ratio = args.GetDouble("sketch", 1.0);
-  train.smoothing_factor = args.GetDouble("smoothing", 0.1);
-  train.num_threads = static_cast<size_t>(args.GetInt("jobs", 0));
+  train.precision_target = precision;
+  train.memory_budget_bytes = static_cast<size_t>(budget_mb) << 20;
+  train.sketch_ratio = sketch;
+  train.smoothing_factor = smoothing;
+  train.num_threads = static_cast<size_t>(jobs);
   train.corpus_name = gen.profile.name + "-synthetic";
+
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
 
   std::printf("training on %zu %s columns (P>=%.2f, budget %s)...\n",
               gen.num_columns, gen.profile.name.c_str(), train.precision_target,
               HumanBytes(train.memory_budget_bytes).c_str());
   auto model = TrainModel(&source, train);
-  if (!model.ok()) {
-    std::fprintf(stderr, "training failed: %s\n", model.status().ToString().c_str());
-    return 1;
-  }
-  std::string out = args.Get("out", "autodetect.model");
+  if (!model.ok()) return Fail(model.status().WithContext("training failed"));
   Status saved = model->Save(out);
-  if (!saved.ok()) {
-    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
-    return 1;
-  }
+  if (!saved.ok()) return Fail(saved.WithContext("save failed"));
   std::printf("%s", model->Summary().c_str());
   std::printf("saved to %s\n", out.c_str());
+
+  Status dumped = metrics.Finish(registry, std::move(dumper));
+  if (!dumped.ok()) return Fail(dumped.WithContext("metrics export failed"));
+  if (metrics.enabled()) std::printf("metrics written to %s\n", metrics.metrics_out.c_str());
   return 0;
 }
 
-Result<Model> LoadModelArg(const Args& args) {
-  std::string path = args.Get("model", "autodetect.model");
+Result<Model> LoadModel(const std::string& path) {
   auto model = Model::Load(path);
   if (!model.ok()) {
-    std::fprintf(stderr, "cannot load model '%s': %s\n(train one first: autodetect_cli train --out %s)\n",
-                 path.c_str(), model.status().ToString().c_str(), path.c_str());
+    return model.status().WithContext(
+        "cannot load model '" + path + "' (train one first: autodetect_cli train --out " +
+        path + ")");
   }
   return model;
 }
 
-int CmdScan(const Args& args) {
-  auto model = LoadModelArg(args);
-  if (!model.ok()) return 1;
-  double min_confidence = args.GetDouble("min-confidence", 0.0);
+int CmdScan(int argc, char** argv) {
+  std::string model_path = "autodetect.model";
+  double min_confidence = 0.0;
+  EngineFlags engine_flags;
+  MetricsFlags metrics;
 
-  if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: autodetect_cli scan --model m.bin "
-                 "[--jobs N] [--cache-mb M] file.csv...\n");
+  FlagSet flags;
+  flags.String("model", &model_path, "trained model file");
+  flags.Double("min-confidence", &min_confidence, "suppress findings below this");
+  engine_flags.Register(&flags);
+  metrics.Register(&flags);
+  if (!ParseOrUsage(flags, argc, argv)) return 2;
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: autodetect_cli scan --model m.bin [options] file.csv...\n%s",
+                 flags.Usage().c_str());
     return 2;
   }
 
+  auto model = LoadModel(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
+
   EngineOptions engine_opts;
-  engine_opts.num_threads = static_cast<size_t>(args.GetInt("jobs", 0));
-  engine_opts.cache_bytes =
-      static_cast<size_t>(args.GetInt("cache-mb", 32)) << 20;
+  engine_flags.Apply(&engine_opts);
+  engine_opts.metrics = registry;
   DetectionEngine engine(&*model, engine_opts);
 
   Stopwatch timer;
   size_t total_findings = 0;
-  for (const auto& path : args.positional()) {
+  for (const auto& path : flags.positional()) {
     auto table = ReadCsvFile(path);
-    if (!table.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   table.status().ToString().c_str());
-      continue;
-    }
-    std::vector<ColumnRequest> batch;
+    // Fail fast: a bad input file aborts the scan with a non-zero exit
+    // instead of being skipped into a silently partial report.
+    if (!table.ok()) return Fail(table.status());
+    std::vector<DetectRequest> batch;
     batch.reserve(table->num_cols());
     for (size_t c = 0; c < table->num_cols(); ++c) {
-      batch.push_back(ColumnRequest{table->header[c], table->Column(c)});
+      batch.push_back(DetectRequest{table->header[c], table->Column(c), path});
     }
-    std::vector<ColumnReport> reports = engine.DetectBatch(batch);
-    for (size_t c = 0; c < reports.size(); ++c) {
-      for (const auto& cell : reports[c].cells) {
+    std::vector<DetectReport> reports = engine.Detect(batch);
+    for (const DetectReport& report : reports) {
+      for (const auto& cell : report.column.cells) {
         if (cell.confidence < min_confidence) continue;
         ++total_findings;
         std::printf("%s:%s:row %u: suspicious value \"%s\" (confidence %.3f, "
                     "clashes with %u values)\n",
-                    path.c_str(), batch[c].name.c_str(), cell.row + 2,
+                    path.c_str(), report.name.c_str(), cell.row + 2,
                     cell.value.c_str(), cell.confidence, cell.incompatible_with);
       }
     }
@@ -176,27 +188,39 @@ int CmdScan(const Args& args) {
               engine.num_threads(), elapsed,
               elapsed > 0 ? static_cast<double>(stats.columns) / elapsed : 0.0,
               stats.cache.HitRate() * 100.0);
+
+  Status dumped = metrics.Finish(registry, std::move(dumper));
+  if (!dumped.ok()) return Fail(dumped.WithContext("metrics export failed"));
+  if (metrics.enabled()) std::printf("metrics written to %s\n", metrics.metrics_out.c_str());
   return 0;
 }
 
-int CmdPair(const Args& args) {
-  auto model = LoadModelArg(args);
-  if (!model.ok()) return 1;
-  if (args.positional().size() != 2) {
+int CmdPair(int argc, char** argv) {
+  std::string model_path = "autodetect.model";
+  FlagSet flags;
+  flags.String("model", &model_path, "trained model file");
+  if (!ParseOrUsage(flags, argc, argv)) return 2;
+  if (flags.positional().size() != 2) {
     std::fprintf(stderr, "usage: autodetect_cli pair --model m.bin VALUE1 VALUE2\n");
     return 2;
   }
+  auto model = LoadModel(model_path);
+  if (!model.ok()) return Fail(model.status());
   Detector detector(&*model);
   PairExplanation explanation =
-      detector.ExplainPair(args.positional()[0], args.positional()[1]);
-  std::printf("\"%s\" vs \"%s\"\n%s", args.positional()[0].c_str(),
-              args.positional()[1].c_str(), explanation.ToString().c_str());
+      detector.ExplainPair(flags.positional()[0], flags.positional()[1]);
+  std::printf("\"%s\" vs \"%s\"\n%s", flags.positional()[0].c_str(),
+              flags.positional()[1].c_str(), explanation.ToString().c_str());
   return explanation.verdict.incompatible ? 3 : 0;
 }
 
-int CmdInfo(const Args& args) {
-  auto model = LoadModelArg(args);
-  if (!model.ok()) return 1;
+int CmdInfo(int argc, char** argv) {
+  std::string model_path = "autodetect.model";
+  FlagSet flags;
+  flags.String("model", &model_path, "trained model file");
+  if (!ParseOrUsage(flags, argc, argv)) return 2;
+  auto model = LoadModel(model_path);
+  if (!model.ok()) return Fail(model.status());
   std::printf("%s", model->Summary().c_str());
   return 0;
 }
@@ -214,7 +238,10 @@ void Usage() {
                "        (--jobs 0 = all cores; --cache-mb 0 disables the\n"
                "         cross-column pair-verdict cache)\n"
                "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
-               "  info  --model FILE                     describe a model\n");
+               "  info  --model FILE                     describe a model\n\n"
+               "train and scan also accept --metrics-out FILE (JSON, or\n"
+               "Prometheus text for .prom/.txt) and --metrics-interval-ms N\n"
+               "for live-updating snapshots.\n");
 }
 
 }  // namespace
@@ -226,11 +253,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string command = argv[1];
-  Args args(argc, argv, 2);
-  if (command == "train") return CmdTrain(args);
-  if (command == "scan") return CmdScan(args);
-  if (command == "pair") return CmdPair(args);
-  if (command == "info") return CmdInfo(args);
+  if (command == "train") return CmdTrain(argc, argv);
+  if (command == "scan") return CmdScan(argc, argv);
+  if (command == "pair") return CmdPair(argc, argv);
+  if (command == "info") return CmdInfo(argc, argv);
   Usage();
   return 2;
 }

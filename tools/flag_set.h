@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/dump.h"
+#include "serve/detection_engine.h"
+
+/// \file flag_set.h
+/// Shared typed flag parsing for the CLI tools. Each tool registers the
+/// flags it understands (or whole reusable groups like the engine and
+/// metrics flags, which used to be copy-pasted per command) and gets strict
+/// parsing in return: unknown flags, malformed numbers and missing values
+/// are Status errors instead of silently-ignored strings, so a typo'd
+/// `--jobz 8` fails the run rather than quietly single-threading it.
+
+namespace autodetect {
+
+/// Typed --key value / --switch parser over argv. Values bind to caller-owned
+/// storage (which also carries the default), so a parsed flag set IS the
+/// tool's config struct.
+class FlagSet {
+ public:
+  /// Registration. `help` is shown by Usage(); the flag name is spelled
+  /// without the leading "--".
+  void String(std::string name, std::string* target, std::string help) {
+    Register(std::move(name), Flag{Flag::kString, target, std::move(help)});
+  }
+  void Double(std::string name, double* target, std::string help) {
+    Register(std::move(name), Flag{Flag::kDouble, target, std::move(help)});
+  }
+  void Int(std::string name, int64_t* target, std::string help) {
+    Register(std::move(name), Flag{Flag::kInt, target, std::move(help)});
+  }
+  /// A presence switch: `--flag` sets the bool, no value is consumed.
+  void Bool(std::string name, bool* target, std::string help) {
+    Register(std::move(name), Flag{Flag::kBool, target, std::move(help)});
+  }
+
+  /// \brief Parses argv[start..argc). Flags may appear in any position;
+  /// non-flag tokens accumulate as positionals (readable via positional()).
+  Status Parse(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      std::string name = arg.substr(2);
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::Invalid("unknown flag --" + name);
+      }
+      Flag& flag = it->second;
+      if (flag.type == Flag::kBool) {
+        *static_cast<bool*>(flag.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::Invalid("flag --" + name + " requires a value");
+      }
+      AD_RETURN_NOT_OK(flag.Assign(name, argv[++i]));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// \brief One "  --name  help" line per registered flag, sorted by name.
+  std::string Usage() const {
+    std::string out;
+    for (const auto& [name, flag] : flags_) {
+      out += "  --" + name;
+      if (flag.type != Flag::kBool) out += " <v>";
+      out += "  " + flag.help + "\n";
+    }
+    return out;
+  }
+
+ private:
+  struct Flag {
+    enum Type { kString, kDouble, kInt, kBool };
+    Type type;
+    void* target;
+    std::string help;
+
+    Status Assign(const std::string& name, const char* value) {
+      errno = 0;
+      char* end = nullptr;
+      switch (type) {
+        case kString:
+          *static_cast<std::string*>(target) = value;
+          return Status::OK();
+        case kDouble: {
+          double v = std::strtod(value, &end);
+          if (end == value || *end != '\0' || errno == ERANGE) {
+            return Status::Invalid("flag --" + name + ": '" + value +
+                                   "' is not a number");
+          }
+          *static_cast<double*>(target) = v;
+          return Status::OK();
+        }
+        case kInt: {
+          long long v = std::strtoll(value, &end, 10);
+          if (end == value || *end != '\0' || errno == ERANGE) {
+            return Status::Invalid("flag --" + name + ": '" + value +
+                                   "' is not an integer");
+          }
+          *static_cast<int64_t*>(target) = v;
+          return Status::OK();
+        }
+        case kBool:
+          return Status::Internal("bool flag --" + name + " consumed a value");
+      }
+      return Status::Internal("unreachable");
+    }
+  };
+
+  void Register(std::string name, Flag flag) { flags_.emplace(std::move(name), flag); }
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// The engine knobs shared by every scanning command.
+struct EngineFlags {
+  int64_t jobs = 0;       ///< worker threads; 0 = all cores
+  int64_t cache_mb = 32;  ///< pair-verdict cache budget; 0 disables
+
+  void Register(FlagSet* flags) {
+    flags->Int("jobs", &jobs, "worker threads (0 = all cores)");
+    flags->Int("cache-mb", &cache_mb, "pair-verdict cache MB (0 = off)");
+  }
+
+  void Apply(EngineOptions* options) const {
+    options->num_threads = static_cast<size_t>(jobs);
+    options->cache_bytes = static_cast<size_t>(cache_mb) << 20;
+  }
+};
+
+/// The metrics export knobs shared by every long-running command.
+struct MetricsFlags {
+  std::string metrics_out;       ///< empty = no export
+  int64_t metrics_interval_ms = 0;  ///< 0 = one final dump only
+
+  void Register(FlagSet* flags) {
+    flags->String("metrics-out", &metrics_out,
+                  "write metrics snapshot here (.json, or .prom/.txt for "
+                  "Prometheus text)");
+    flags->Int("metrics-interval-ms", &metrics_interval_ms,
+               "also rewrite the snapshot every N ms while running");
+  }
+
+  bool enabled() const { return !metrics_out.empty(); }
+
+  /// \brief Starts the periodic dumper when an interval was requested.
+  /// Returns null when disabled or in one-shot mode; call Finish() at exit
+  /// either way.
+  std::unique_ptr<MetricsDumper> StartDumper(MetricsRegistry* registry) const {
+    if (!enabled() || metrics_interval_ms <= 0) return nullptr;
+    return std::make_unique<MetricsDumper>(registry, metrics_out,
+                                           static_cast<uint64_t>(metrics_interval_ms));
+  }
+
+  /// \brief Writes the final snapshot (stopping `dumper` first if running).
+  Status Finish(MetricsRegistry* registry,
+                std::unique_ptr<MetricsDumper> dumper) const {
+    if (!enabled()) return Status::OK();
+    if (dumper != nullptr) return dumper->Stop();
+    return WriteMetricsFile(registry, metrics_out);
+  }
+};
+
+}  // namespace autodetect

@@ -11,11 +11,32 @@
 # instead of flaking. Example:
 #
 #   SANITIZE=thread tools/run_tier1.sh
+#
+# Opt-in compile-out mode: METRICS=off builds the whole tree with
+# -DAUTODETECT_NO_METRICS=ON in a separate build-nometrics tree and runs the
+# full test suite there, proving the observability layer compiles out
+# cleanly (call sites need no #ifdefs and tests stay green with all-zero
+# snapshots):
+#
+#   METRICS=off tools/run_tier1.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 SANITIZE="${SANITIZE:-}"
+METRICS="${METRICS:-on}"
+
+if [[ "$METRICS" == "off" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nometrics}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+    -DAUTODETECT_NO_METRICS=ON \
+    -DAUTODETECT_BUILD_BENCHMARKS=OFF \
+    -DAUTODETECT_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+  echo "tests green with -DAUTODETECT_NO_METRICS=ON"
+  exit 0
+fi
 
 if [[ -n "$SANITIZE" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-$SANITIZE}"
