@@ -25,15 +25,15 @@ using namespace autodetect::benchutil;
 namespace {
 
 /// WEB-profile eval columns (mixed sizes, errors injected), built once.
-const std::vector<ColumnRequest>& Batch() {
-  static const std::vector<ColumnRequest>* kBatch = [] {
+const std::vector<DetectRequest>& Batch() {
+  static const std::vector<DetectRequest>* kBatch = [] {
     SetLogLevel(LogLevel::kWarning);
     RealisticTestOptions opts;
     opts.num_dirty = 64;
     opts.num_clean = 448;
     opts.seed = 20180610;
     auto cases = GenerateRealisticTestSet(CorpusProfile::Web(), opts);
-    return new std::vector<ColumnRequest>(RequestsFromCases(cases));
+    return new std::vector<DetectRequest>(RequestsFromCases(cases));
   }();
   return *kBatch;
 }

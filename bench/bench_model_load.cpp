@@ -1,0 +1,161 @@
+/// \file bench_model_load.cpp
+/// Model artifact load-time benchmark: ADMODEL1 (streamed, rebuilds the hash
+/// tables on load) vs ADMODEL2 (mmap + checksum pass, tables served directly
+/// from the mapped bytes). Handwritten main rather than google-benchmark so
+/// the run can also assert the two correctness invariants the format change
+/// must preserve and emit them next to the timings:
+///
+///   * reports_identical — a v1-loaded and a v2-loaded copy of the same model
+///     produce byte-identical DetectReports (hexfloat-rendered confidences,
+///     so string equality is bit equality);
+///   * reload_consistent — a batch detected before and after a mid-run
+///     ModelRegistry::Reload of the same artifact is byte-identical.
+///
+/// Writes BENCH_model_load.json (path overridable via argv[1]) with
+/// v1_load_ms / v2_load_ms medians, the speedup ratio, and both flags.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "detect/model_provider.h"
+#include "serve/detection_engine.h"
+#include "serve/model_registry.h"
+
+using namespace autodetect;
+using namespace autodetect::benchutil;
+
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Bit-exact rendering of one report (same idiom as model_v2_test).
+std::string Fingerprint(const DetectReport& report) {
+  std::string out = StrFormat("d=%zu\n", report.column.distinct_values);
+  for (const auto& c : report.column.cells) {
+    out += StrFormat("c %u \"%s\" %a %u\n", c.row, c.value.c_str(),
+                     c.confidence, c.incompatible_with);
+  }
+  for (const auto& p : report.column.pairs) {
+    out += StrFormat("p \"%s\"|\"%s\" %a\n", p.u.c_str(), p.v.c_str(),
+                     p.confidence);
+  }
+  return out;
+}
+
+std::vector<std::string> Fingerprints(const std::vector<DetectReport>& reports) {
+  std::vector<std::string> out;
+  out.reserve(reports.size());
+  for (const auto& r : reports) out.push_back(Fingerprint(r));
+  return out;
+}
+
+/// Median of repeated cold loads. Each iteration re-opens and fully loads the
+/// file; the page cache is warm for both formats, so the comparison isolates
+/// parse/rebuild cost (v1) vs map + checksum cost (v2), which is the part the
+/// format redesign targets.
+double MedianLoadMs(const std::string& path, int iters) {
+  std::vector<double> ms;
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch watch;
+    auto model = Model::Load(path);
+    AD_CHECK_OK(model.status());
+    ms.push_back(watch.ElapsedSeconds() * 1e3);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_model_load.json");
+
+  auto model = TrainOrLoadModel(StandardConfig());
+  AD_CHECK_OK(model.status());
+
+  const std::string v1_path = TempPath("bench_model_load.admodel1");
+  const std::string v2_path = TempPath("bench_model_load.admodel2");
+  AD_CHECK_OK(model->Save(v1_path, ModelFormat::kV1));
+  AD_CHECK_OK(model->Save(v2_path, ModelFormat::kV2));
+  const auto v1_bytes = std::filesystem::file_size(v1_path);
+  const auto v2_bytes = std::filesystem::file_size(v2_path);
+
+  constexpr int kIters = 9;
+  const double v1_ms = MedianLoadMs(v1_path, kIters);
+  const double v2_ms = MedianLoadMs(v2_path, kIters);
+  const double speedup = v1_ms / v2_ms;
+
+  // Correctness leg 1: identical reports from v1- and v2-loaded copies.
+  RealisticTestOptions opts;
+  opts.num_dirty = 32;
+  opts.num_clean = 96;
+  opts.seed = 20180610;
+  auto cases = GenerateRealisticTestSet(CorpusProfile::Web(), opts);
+  const std::vector<DetectRequest> batch = RequestsFromCases(cases);
+
+  auto v1_model = Model::Load(v1_path);
+  auto v2_model = Model::Load(v2_path);
+  AD_CHECK_OK(v1_model.status());
+  AD_CHECK_OK(v2_model.status());
+  FixedModel v1_provider(&*v1_model);
+  FixedModel v2_provider(&*v2_model);
+  DetectionEngine v1_engine(&v1_provider);
+  DetectionEngine v2_engine(&v2_provider);
+  const auto v1_prints = Fingerprints(v1_engine.Detect(batch));
+  const auto v2_prints = Fingerprints(v2_engine.Detect(batch));
+  const bool reports_identical = v1_prints == v2_prints;
+
+  // Correctness leg 2: byte-identical reports across a mid-run hot reload.
+  ModelRegistry registry;
+  AD_CHECK_OK(registry.Reload(v2_path));
+  DetectionEngine engine(&registry);
+  const auto before = Fingerprints(engine.Detect(batch));
+  AD_CHECK_OK(registry.Reload(v1_path));  // format swap, same model
+  const auto after = Fingerprints(engine.Detect(batch));
+  const bool reload_consistent =
+      before == after && before == v2_prints && registry.Generation() == 2;
+
+  std::printf("v1 load: %8.3f ms (%s)\n", v1_ms, HumanBytes(v1_bytes).c_str());
+  std::printf("v2 load: %8.3f ms (%s)\n", v2_ms, HumanBytes(v2_bytes).c_str());
+  std::printf("speedup: %7.2fx\n", speedup);
+  std::printf("reports_identical: %s\n", reports_identical ? "true" : "false");
+  std::printf("reload_consistent: %s\n", reload_consistent ? "true" : "false");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  AD_CHECK(f != nullptr) << "cannot write " << out_path;
+  std::fprintf(f,
+               "{\n"
+               "  \"v1_load_ms\": %.3f,\n"
+               "  \"v2_load_ms\": %.3f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"v1_file_bytes\": %zu,\n"
+               "  \"v2_file_bytes\": %zu,\n"
+               "  \"load_iters\": %d,\n"
+               "  \"reports_identical\": %s,\n"
+               "  \"reload_consistent\": %s\n"
+               "}\n",
+               v1_ms, v2_ms, speedup, static_cast<size_t>(v1_bytes),
+               static_cast<size_t>(v2_bytes), kIters,
+               reports_identical ? "true" : "false",
+               reload_consistent ? "true" : "false");
+  std::fclose(f);
+
+  std::filesystem::remove(v1_path);
+  std::filesystem::remove(v2_path);
+
+  if (!reports_identical || !reload_consistent || speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: invariants not met (see %s)\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("ok; wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,10 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/result.h"
 
 /// \file flat_map.h
 /// Open-addressing u64→u64 hash map for the statistics dictionaries. The
@@ -25,6 +28,17 @@ namespace autodetect {
 /// handled in a dedicated side slot.
 class FlatMap64 {
  public:
+  /// One probe-array entry. 16 bytes, trivially copyable — the frozen model
+  /// format stores these verbatim, so the layout is part of the ADMODEL2
+  /// on-disk contract.
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+  static_assert(sizeof(Slot) == 16);
+
+  class FrozenView;
+
   FlatMap64() = default;
 
   size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
@@ -113,12 +127,25 @@ class FlatMap64 {
     }
   }
 
- private:
-  struct Slot {
-    uint64_t key = 0;
-    uint64_t value = 0;
-  };
+  /// Frozen blob size in bytes (always a multiple of 8).
+  size_t FrozenBytes() const { return kFrozenHeaderWords * 8 + slots_.size() * sizeof(Slot); }
 
+  /// \brief Appends the frozen representation to `out`: a 4-word header
+  /// (size, has_zero, zero_value, capacity) followed by the probe array
+  /// verbatim. The caller is responsible for placing the blob at an 8-byte
+  /// aligned offset; FrozenView::FromBytes rejects misaligned input.
+  void AppendFrozen(std::string* out) const {
+    uint64_t header[kFrozenHeaderWords] = {size_, has_zero_ ? 1u : 0u, zero_value_,
+                                           slots_.size()};
+    out->append(reinterpret_cast<const char*>(header), sizeof(header));
+    if (!slots_.empty()) {
+      out->append(reinterpret_cast<const char*>(slots_.data()),
+                  slots_.size() * sizeof(Slot));
+    }
+  }
+
+ private:
+  static constexpr size_t kFrozenHeaderWords = 4;
   static constexpr size_t kMinCapacity = 16;
 
   /// Smallest power-of-two capacity keeping load factor <= 0.75 for n keys.
@@ -145,6 +172,124 @@ class FlatMap64 {
 
   std::vector<Slot> slots_;
   size_t size_ = 0;  ///< non-zero keys stored in slots_
+  bool has_zero_ = false;
+  uint64_t zero_value_ = 0;
+};
+
+/// \brief Read-only view over a frozen FlatMap64 blob — typically bytes
+/// inside a memory-mapped ADMODEL2 section. Probing runs directly against
+/// the stored array: no deserialization, no allocation, pages fault in
+/// lazily as keys are looked up. The view does not own the bytes; whoever
+/// produced them (the mapped file) must outlive it.
+class FlatMap64::FrozenView {
+ public:
+  FrozenView() = default;
+
+  /// \brief Validates and adopts a frozen blob at `data` (which must be
+  /// 8-byte aligned). Consumes exactly FrozenSize(capacity) bytes from the
+  /// front of [data, data + len); trailing bytes are the caller's problem.
+  /// Fails with Corruption on misalignment, a non-power-of-two capacity, or
+  /// an implausible size, and with IOError when `len` is too short.
+  static Result<FrozenView> FromBytes(const void* data, size_t len) {
+    constexpr size_t kHeader = kFrozenHeaderWords * 8;
+    if (reinterpret_cast<uintptr_t>(data) % 8 != 0) {
+      return Status::Corruption("frozen map blob is not 8-byte aligned");
+    }
+    if (len < kHeader) {
+      return Status::IOError("truncated frozen map: header needs 32 bytes, got " +
+                             std::to_string(len));
+    }
+    uint64_t header[kFrozenHeaderWords];
+    std::memcpy(header, data, sizeof(header));
+    FrozenView view;
+    view.size_ = static_cast<size_t>(header[0]);
+    view.has_zero_ = header[1] != 0;
+    view.zero_value_ = header[2];
+    const uint64_t capacity = header[3];
+    if (header[1] > 1) {
+      return Status::Corruption("frozen map header: has_zero flag out of range");
+    }
+    if (capacity != 0 && (capacity & (capacity - 1)) != 0) {
+      return Status::Corruption("frozen map capacity is not a power of two");
+    }
+    if (view.size_ > capacity) {
+      return Status::Corruption("frozen map size exceeds capacity");
+    }
+    const uint64_t body = capacity * sizeof(Slot);
+    if (len - kHeader < body) {
+      return Status::IOError("truncated frozen map: slot array needs " +
+                             std::to_string(body) + " bytes, got " +
+                             std::to_string(len - kHeader));
+    }
+    view.capacity_ = static_cast<size_t>(capacity);
+    view.slots_ = capacity == 0
+                      ? nullptr
+                      : reinterpret_cast<const Slot*>(
+                            static_cast<const uint8_t*>(data) + kHeader);
+    return view;
+  }
+
+  /// Total bytes the blob occupies (header + slot array).
+  size_t bytes() const { return kFrozenHeaderWords * 8 + capacity_ * sizeof(Slot); }
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return capacity_; }
+
+  const uint64_t* Find(uint64_t key) const {
+    if (key == 0) return has_zero_ ? &zero_value_ : nullptr;
+    if (capacity_ == 0) return nullptr;
+    size_t i = static_cast<size_t>(Mix64(key)) & (capacity_ - 1);
+    // Bounded by capacity_ probes: a corrupt blob with a full slot array and
+    // no match must not spin forever.
+    for (size_t probes = 0; probes < capacity_; ++probes) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == 0) return nullptr;
+      i = (i + 1) & (capacity_ - 1);
+    }
+    return nullptr;
+  }
+
+  uint64_t GetOr(uint64_t key, uint64_t fallback = 0) const {
+    const uint64_t* v = Find(key);
+    return v == nullptr ? fallback : *v;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(static_cast<uint64_t>(0), zero_value_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].key != 0) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// \brief Re-emits the frozen blob (header + slot array) so a mapped model
+  /// can be re-serialized without thawing.
+  void AppendTo(std::string* out) const {
+    uint64_t header[kFrozenHeaderWords] = {size_, has_zero_ ? 1u : 0u, zero_value_,
+                                           capacity_};
+    out->append(reinterpret_cast<const char*>(header), sizeof(header));
+    if (capacity_ != 0) {
+      out->append(reinterpret_cast<const char*>(slots_), capacity_ * sizeof(Slot));
+    }
+  }
+
+  /// Rebuilds an owning FlatMap64 with the same contents (used when a frozen
+  /// model must be mutated, e.g. merged into a new training run).
+  FlatMap64 Thaw() const {
+    FlatMap64 map;
+    map.Reserve(size());
+    ForEach([&map](uint64_t key, uint64_t value) { map[key] = value; });
+    return map;
+  }
+
+ private:
+  const Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
   bool has_zero_ = false;
   uint64_t zero_value_ = 0;
 };

@@ -19,7 +19,8 @@
 /// so multi-tenant callers can attribute cost and findings per workload.
 ///
 /// The pre-redesign entry points — Detector::AnalyzeColumn and
-/// DetectionEngine::DetectBatch — survive as thin deprecated forwarders.
+/// DetectionEngine::DetectBatch — have been removed; this is the only
+/// detection surface.
 
 namespace autodetect {
 

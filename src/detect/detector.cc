@@ -240,17 +240,6 @@ PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) 
   return out;
 }
 
-ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values) const {
-  ColumnScratch scratch;
-  return Scan(values, &scratch, nullptr);
-}
-
-ColumnReport Detector::AnalyzeColumn(const std::vector<std::string>& values,
-                                     ColumnScratch* scratch,
-                                     PairVerdictCache* cache) const {
-  return Scan(values, scratch, cache);
-}
-
 DetectReport Detector::Detect(const DetectRequest& request, ColumnScratch* scratch,
                               PairVerdictCache* cache) const {
   DetectReport report;
@@ -406,18 +395,33 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
   return report;
 }
 
+const Detector* SequentialExecutor::CurrentDetector() {
+  if (provider_ == nullptr) return detector_;
+  const uint64_t generation = provider_->Generation();
+  if (!snapshot_detector_.has_value() || generation != snapshot_generation_) {
+    snapshot_model_ = provider_->Snapshot();
+    AD_CHECK(snapshot_model_ != nullptr);  // provider must be loaded first
+    snapshot_detector_.emplace(snapshot_model_.get(), options_);
+    snapshot_generation_ = generation;
+  }
+  return &*snapshot_detector_;
+}
+
 std::vector<DetectReport> SequentialExecutor::Detect(
     const std::vector<DetectRequest>& batch) {
+  // One snapshot per batch: a provider swap mid-batch must not split the
+  // batch across models.
+  const Detector* detector = CurrentDetector();
   std::vector<DetectReport> reports;
   reports.reserve(batch.size());
   for (const DetectRequest& request : batch) {
-    reports.push_back(detector_->Detect(request, &scratch_, cache_));
+    reports.push_back(detector->Detect(request, &scratch_, cache_));
   }
   return reports;
 }
 
 DetectReport SequentialExecutor::DetectOne(const DetectRequest& request) {
-  return detector_->Detect(request, &scratch_, cache_);
+  return CurrentDetector()->Detect(request, &scratch_, cache_);
 }
 
 }  // namespace autodetect

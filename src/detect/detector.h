@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -9,6 +11,7 @@
 
 #include "detect/api.h"
 #include "detect/model.h"
+#include "detect/model_provider.h"
 #include "obs/metrics.h"
 #include "text/run_tokenizer.h"
 
@@ -133,17 +136,6 @@ class Detector {
   DetectReport Detect(const DetectRequest& request, ColumnScratch* scratch = nullptr,
                       PairVerdictCache* cache = nullptr) const;
 
-  /// \brief Deprecated forwarder (pre-unified-API entry point): scans a
-  /// column and reports incompatible cells/pairs. Prefer Detect().
-  ColumnReport AnalyzeColumn(const std::vector<std::string>& values) const;
-
-  /// \brief Deprecated forwarder with caller-owned buffers and an optional
-  /// pair cache; equivalent to Detect(request, scratch, cache).column.
-  /// Output is bit-identical to the scratch-free overload.
-  ColumnReport AnalyzeColumn(const std::vector<std::string>& values,
-                             ColumnScratch* scratch,
-                             PairVerdictCache* cache = nullptr) const;
-
   const Model& model() const { return *model_; }
   const DetectorOptions& options() const { return options_; }
 
@@ -179,7 +171,7 @@ class Detector {
   /// languages whose score was punted for lack of pattern support.
   PairVerdict ScoreKeys(const uint64_t* k1, const uint64_t* k2,
                         uint64_t* rare_fallbacks = nullptr) const;
-  /// The scan core shared by Detect and the AnalyzeColumn forwarders.
+  /// The scan core behind Detect.
   ColumnReport Scan(const std::vector<std::string>& values, ColumnScratch* scratch,
                     PairVerdictCache* cache) const;
   const TagMetrics& MetricsForTag(const std::string& tag) const;
@@ -201,6 +193,12 @@ class Detector {
 /// optional caller-owned verdict cache. NOT thread-safe (the scratch is
 /// shared across calls) — that is the point: zero synchronization for
 /// embedded single-threaded callers. For concurrency use DetectionEngine.
+///
+/// Model acquisition is either fixed (a caller-owned Detector pinned to one
+/// model) or provider-backed: given a ModelProvider, the executor pins the
+/// current snapshot per call and rebuilds its detector when the provider
+/// swaps models, so a hot reload takes effect on the next Detect/DetectOne
+/// without any caller involvement.
 class SequentialExecutor : public DetectionExecutor {
  public:
   /// \param detector not owned; must outlive the executor.
@@ -209,12 +207,31 @@ class SequentialExecutor : public DetectionExecutor {
                               PairVerdictCache* cache = nullptr)
       : detector_(detector), cache_(cache) {}
 
+  /// \param provider not owned; must outlive the executor and have a loaded
+  /// model by the first Detect call.
+  explicit SequentialExecutor(ModelProvider* provider,
+                              DetectorOptions options = {},
+                              PairVerdictCache* cache = nullptr)
+      : provider_(provider), options_(options), cache_(cache) {}
+
   std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) override;
   DetectReport DetectOne(const DetectRequest& request) override;
 
  private:
-  const Detector* detector_;
+  /// The detector to use for this call; refreshes the pinned snapshot in
+  /// provider mode when the provider's generation moved.
+  const Detector* CurrentDetector();
+
+  const Detector* detector_ = nullptr;
+  ModelProvider* provider_ = nullptr;
+  DetectorOptions options_;
   PairVerdictCache* cache_;
+  /// Provider mode only: the pinned snapshot and its detector. The model
+  /// shared_ptr keeps the snapshot (and any mapped file behind it) alive
+  /// while this executor still points at it.
+  std::shared_ptr<const Model> snapshot_model_;
+  std::optional<Detector> snapshot_detector_;
+  uint64_t snapshot_generation_ = 0;
   ColumnScratch scratch_;
 };
 

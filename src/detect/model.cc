@@ -1,14 +1,39 @@
 #include "detect/model.h"
 
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/string_util.h"
+#include "common/xxhash64.h"
 
 namespace autodetect {
 
 namespace {
+
 constexpr char kMagic[] = "ADMODEL1";
+constexpr char kMagicV2[] = "ADMODEL2";
+
+/// ADMODEL2 fixed header: magic[8], u32 version, u32 native endian marker,
+/// u64 alignment, u64 file_size, then (offset, length, xxhash64) for the
+/// META and DATA sections. Header is padded with zeros to `alignment`.
+constexpr uint32_t kV2Version = 2;
+constexpr uint64_t kV2Alignment = 4096;
+constexpr size_t kV2HeaderBytes = 8 + 4 + 4 + 8 + 8 + 6 * 8;
+
+uint64_t RoundUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
 }
+
+/// Per-language blob locations inside the DATA section.
+struct LangLocation {
+  uint64_t curve_off = 0;
+  uint64_t curve_len = 0;
+  uint64_t stats_off = 0;
+  uint64_t stats_len = 0;
+};
+
+}  // namespace
 
 size_t Model::MemoryBytes() const {
   size_t bytes = 0;
@@ -73,7 +98,8 @@ Result<Model> Model::Deserialize(BinaryReader* reader) {
   return model;
 }
 
-Status Model::Save(const std::string& path) const {
+Status Model::Save(const std::string& path, ModelFormat format) const {
+  if (format == ModelFormat::kV2) return SaveV2(path);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   BinaryWriter writer(&out);
@@ -81,11 +107,199 @@ Status Model::Save(const std::string& path) const {
   return writer.status().WithContext("writing " + path);
 }
 
+Status Model::SaveV2(const std::string& path) const {
+  // DATA: per-language frozen blobs, concatenated. Every blob is a multiple
+  // of 8 bytes and DATA itself lands page-aligned, so each blob starts
+  // 8-aligned — the invariant FrozenView::FromBytes enforces at load.
+  std::string data;
+  std::vector<LangLocation> locations;
+  locations.reserve(languages.size());
+  for (const auto& l : languages) {
+    LangLocation loc;
+    loc.curve_off = data.size();
+    l.curve.AppendFrozen(&data);
+    loc.curve_len = data.size() - loc.curve_off;
+    loc.stats_off = data.size();
+    l.stats.AppendFrozen(&data);
+    loc.stats_len = data.size() - loc.stats_off;
+    locations.push_back(loc);
+  }
+
+  // META: everything except the bulk tables, via the portable serde path.
+  std::ostringstream meta_stream;
+  BinaryWriter meta(&meta_stream);
+  meta.WriteDouble(smoothing_factor);
+  meta.WriteDouble(precision_target);
+  meta.WriteString(corpus_name);
+  meta.WriteU64(trained_columns);
+  meta.WriteU64(languages.size());
+  for (size_t i = 0; i < languages.size(); ++i) {
+    const auto& l = languages[i];
+    const auto& loc = locations[i];
+    meta.WriteU32(static_cast<uint32_t>(l.lang_id));
+    meta.WriteDouble(l.threshold);
+    meta.WriteU64(l.train_coverage);
+    meta.WriteU64(loc.curve_off);
+    meta.WriteU64(loc.curve_len);
+    meta.WriteU64(loc.stats_off);
+    meta.WriteU64(loc.stats_len);
+  }
+  const std::string meta_bytes = std::move(meta_stream).str();
+
+  const uint64_t meta_off = kV2Alignment;
+  const uint64_t data_off = RoundUp(meta_off + meta_bytes.size(), kV2Alignment);
+  const uint64_t file_size = data_off + data.size();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  BinaryWriter w(&out);
+  w.WriteRaw(kMagicV2, 8);
+  w.WriteU32(kV2Version);
+  // Native endianness marker: frozen sections hold host-endian words, so a
+  // reader on the other byte order must reject the file instead of probing
+  // garbage. Written raw (not via the LE serde path) on purpose.
+  const uint32_t endian_marker = 1;
+  w.WriteRaw(&endian_marker, 4);
+  w.WriteU64(kV2Alignment);
+  w.WriteU64(file_size);
+  w.WriteU64(meta_off);
+  w.WriteU64(meta_bytes.size());
+  w.WriteU64(XxHash64(meta_bytes.data(), meta_bytes.size()));
+  w.WriteU64(data_off);
+  w.WriteU64(data.size());
+  w.WriteU64(XxHash64(data.data(), data.size()));
+  w.AlignTo(kV2Alignment);
+  w.WriteRaw(meta_bytes.data(), meta_bytes.size());
+  w.AlignTo(kV2Alignment);
+  w.WriteRaw(data.data(), data.size());
+  return w.status().WithContext("writing " + path);
+}
+
 Result<Model> Model::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  char magic[8] = {0};
+  in.read(magic, 8);
+  if (in.gcount() == 8 && std::memcmp(magic, kMagicV2, 8) == 0) {
+    in.close();
+    return LoadV2(path);
+  }
+  in.clear();
+  in.seekg(0);
   BinaryReader reader(&in);
-  return Deserialize(&reader);
+  auto model = Deserialize(&reader);
+  if (!model.ok()) return model.status().WithContext("loading " + path);
+  return model;
+}
+
+Result<Model> Model::LoadV2(const std::string& path) {
+  AD_ASSIGN_OR_RETURN(MmapFile mapped, MmapFile::Open(path));
+  auto backing = std::make_shared<MmapFile>(std::move(mapped));
+  const uint8_t* base = backing->data();
+  const size_t actual_size = backing->size();
+  if (actual_size < kV2HeaderBytes) {
+    return Status::IOError(StrFormat(
+        "truncated model header in %s: needed %zu bytes, got %zu", path.c_str(),
+        kV2HeaderBytes, actual_size));
+  }
+  if (std::memcmp(base, kMagicV2, 8) != 0) {
+    return Status::Corruption("not an ADMODEL2 file: " + path);
+  }
+  uint32_t endian_marker;
+  std::memcpy(&endian_marker, base + 12, 4);
+  if (endian_marker != 1) {
+    return Status::Corruption(
+        "model file byte order does not match this host: " + path);
+  }
+  BinaryReader header(base + 8, kV2HeaderBytes - 8);
+  AD_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  if (version != kV2Version) {
+    return Status::Corruption(
+        StrFormat("unsupported ADMODEL2 version %u in %s", version, path.c_str()));
+  }
+  AD_RETURN_NOT_OK(header.ReadU32().status());  // endian marker, checked above
+  AD_ASSIGN_OR_RETURN(uint64_t alignment, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t file_size, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t meta_off, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t meta_len, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t meta_checksum, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t data_off, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t data_len, header.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t data_checksum, header.ReadU64());
+
+  if (alignment < 8 || alignment > (1ULL << 24) ||
+      (alignment & (alignment - 1)) != 0) {
+    return Status::Corruption("implausible section alignment in " + path);
+  }
+  if (actual_size < file_size) {
+    // The one failure a half-copied file produces: the header promises more
+    // bytes than arrived. Distinct from Corruption so operators know to
+    // re-copy rather than re-train.
+    return Status::IOError(StrFormat(
+        "truncated model file %s: header declares %llu bytes, file has %zu",
+        path.c_str(), static_cast<unsigned long long>(file_size), actual_size));
+  }
+  if (actual_size > file_size) {
+    return Status::Corruption("model file has trailing bytes: " + path);
+  }
+  auto section_ok = [&](uint64_t off, uint64_t len) {
+    return off >= kV2HeaderBytes && off % 8 == 0 && off <= file_size &&
+           len <= file_size - off;
+  };
+  if (!section_ok(meta_off, meta_len) || !section_ok(data_off, data_len)) {
+    return Status::Corruption("section bounds out of range in " + path);
+  }
+
+  // Integrity: one sequential pass over both sections. Fail closed — a bad
+  // checksum never yields a model.
+  backing->Advise(MmapFile::Advice::kSequential);
+  if (XxHash64(base + meta_off, meta_len) != meta_checksum) {
+    return Status::Corruption("META section checksum mismatch in " + path);
+  }
+  if (XxHash64(base + data_off, data_len) != data_checksum) {
+    return Status::Corruption("DATA section checksum mismatch in " + path);
+  }
+  // Detection probes the tables randomly; stop the kernel from read-ahead
+  // faulting pages the knapsack said we cannot afford.
+  backing->Advise(MmapFile::Advice::kRandom, data_off, data_len);
+
+  Model model;
+  model.format_ = ModelFormat::kV2;
+  model.backing_ = backing;
+  const uint8_t* data = base + data_off;
+  BinaryReader meta(base + meta_off, meta_len);
+  AD_ASSIGN_OR_RETURN(model.smoothing_factor, meta.ReadDouble());
+  AD_ASSIGN_OR_RETURN(model.precision_target, meta.ReadDouble());
+  AD_ASSIGN_OR_RETURN(model.corpus_name, meta.ReadString());
+  AD_ASSIGN_OR_RETURN(model.trained_columns, meta.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t n, meta.ReadU64());
+  if (n > 10000) return meta.Corrupt("implausible language count");
+  for (uint64_t i = 0; i < n; ++i) {
+    ModelLanguage l;
+    AD_ASSIGN_OR_RETURN(uint32_t id, meta.ReadU32());
+    if (id >= static_cast<uint32_t>(LanguageSpace::kNumLanguages)) {
+      return meta.Corrupt("language id out of range");
+    }
+    l.lang_id = static_cast<int>(id);
+    AD_ASSIGN_OR_RETURN(l.threshold, meta.ReadDouble());
+    AD_ASSIGN_OR_RETURN(l.train_coverage, meta.ReadU64());
+    AD_ASSIGN_OR_RETURN(uint64_t curve_off, meta.ReadU64());
+    AD_ASSIGN_OR_RETURN(uint64_t curve_len, meta.ReadU64());
+    AD_ASSIGN_OR_RETURN(uint64_t stats_off, meta.ReadU64());
+    AD_ASSIGN_OR_RETURN(uint64_t stats_len, meta.ReadU64());
+    auto blob_ok = [&](uint64_t off, uint64_t len) {
+      return off % 8 == 0 && off <= data_len && len <= data_len - off;
+    };
+    if (!blob_ok(curve_off, curve_len) || !blob_ok(stats_off, stats_len)) {
+      return meta.Corrupt("language blob bounds out of range");
+    }
+    AD_ASSIGN_OR_RETURN(l.curve,
+                        PrecisionCurve::FromFrozen(data + curve_off, curve_len));
+    AD_ASSIGN_OR_RETURN(l.stats,
+                        LanguageStats::FromFrozen(data + stats_off, stats_len));
+    model.languages.push_back(std::move(l));
+  }
+  return model;
 }
 
 }  // namespace autodetect

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "io/mmap_file.h"
 #include "stats/language_stats.h"
 #include "text/language.h"
 #include "train/calibration.h"
@@ -14,6 +16,18 @@
 /// precision curves P_k(·). A model is self-contained — save it once after
 /// offline training, load it client-side for detection (the paper's
 /// client-only deployment with a memory budget).
+///
+/// Two on-disk formats coexist:
+///  * ADMODEL1 — the original streamed blob. Loading rebuilds every hash
+///    table (O(model size) allocation + hashing per process start).
+///  * ADMODEL2 — zero-copy artifact: a page-aligned header + META + DATA
+///    layout where the hot tables (pattern counts, co-occurrence maps,
+///    precision curves) are stored in their in-memory representation and
+///    the loaded Model points straight at the memory-mapped bytes. Load
+///    cost is one checksum pass; table pages fault in lazily as detection
+///    probes them, and concurrent processes share one page-cache copy.
+/// `Save` writes either format; `Load` dispatches on the leading magic, so
+/// existing ADMODEL1 files keep working.
 
 namespace autodetect {
 
@@ -30,6 +44,12 @@ struct ModelLanguage {
   const GeneralizationLanguage& language() const {
     return LanguageSpace::All()[static_cast<size_t>(lang_id)];
   }
+};
+
+/// On-disk model format selector.
+enum class ModelFormat {
+  kV1 = 1,  ///< ADMODEL1 streamed blob (legacy; still written for compat)
+  kV2 = 2,  ///< ADMODEL2 zero-copy mapped artifact (default)
 };
 
 class Model {
@@ -50,8 +70,33 @@ class Model {
   void Serialize(BinaryWriter* writer) const;
   static Result<Model> Deserialize(BinaryReader* reader);
 
-  Status Save(const std::string& path) const;
+  /// \brief Writes the model to `path`. kV2 is the default: the zero-copy
+  /// artifact a client maps at load time. kV1 keeps producing files older
+  /// binaries can read.
+  Status Save(const std::string& path, ModelFormat format = ModelFormat::kV2) const;
+
+  /// \brief Loads a model file of either format, dispatching on the leading
+  /// magic. ADMODEL2 fails closed: any checksum, bounds, or alignment
+  /// violation is an error (IOError for truncation, Corruption otherwise) —
+  /// never a partially-loaded model.
   static Result<Model> Load(const std::string& path);
+
+  /// Format this model was loaded from (kV1 for freshly trained models —
+  /// the in-memory representation matches the v1 owning layout).
+  ModelFormat format() const { return format_; }
+  /// True when the model's tables view a live file mapping.
+  bool mapped() const { return backing_ != nullptr && backing_->mapped(); }
+  /// Size of the backing model file (0 for trained/v1-loaded models).
+  size_t FileBytes() const { return backing_ == nullptr ? 0 : backing_->size(); }
+
+ private:
+  static Result<Model> LoadV2(const std::string& path);
+  Status SaveV2(const std::string& path) const;
+
+  ModelFormat format_ = ModelFormat::kV1;
+  /// Keeps the mapped ADMODEL2 file alive for the lifetime of the frozen
+  /// views inside `languages`. Shared so Model copies stay cheap and safe.
+  std::shared_ptr<MmapFile> backing_;
 };
 
 }  // namespace autodetect

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "detect/model.h"
+
+/// \file model_provider.h
+/// Where executors get their Model. Before this interface, every executor
+/// took a raw `const Model*` and a retrained model meant tearing the engine
+/// down; now executors ask a ModelProvider for the current snapshot, so the
+/// embedding case (one fixed model) and the serving case (hot-reloadable
+/// registry, serve/model_registry.h) share one acquisition path.
+///
+/// Snapshot semantics are RCU-style: a snapshot handed out stays valid and
+/// immutable for as long as the caller holds the shared_ptr, even if the
+/// provider swaps in a newer model concurrently. In-flight work therefore
+/// finishes on the model it started with; only new work observes a swap.
+
+namespace autodetect {
+
+class ModelProvider {
+ public:
+  virtual ~ModelProvider() = default;
+
+  /// \brief The current model. May be null before a registry's first
+  /// successful load; never null for FixedModel. The returned snapshot is
+  /// immutable and outlives any subsequent swap.
+  virtual std::shared_ptr<const Model> Snapshot() const = 0;
+
+  /// \brief Monotonic counter bumped on every successful swap. Executors
+  /// poll this as a cheap "did the model change" probe (one relaxed load)
+  /// instead of refcount traffic on the snapshot itself.
+  virtual uint64_t Generation() const = 0;
+};
+
+/// The fixed-snapshot provider: always serves the same model. This is the
+/// embedding case — model trained or loaded in-process, swap never happens.
+class FixedModel : public ModelProvider {
+ public:
+  explicit FixedModel(std::shared_ptr<const Model> model)
+      : model_(std::move(model)) {}
+
+  /// Non-owning convenience for stack- or caller-owned models; `model` must
+  /// outlive every snapshot user.
+  explicit FixedModel(const Model* model)
+      : model_(std::shared_ptr<const Model>(model, [](const Model*) {})) {}
+
+  std::shared_ptr<const Model> Snapshot() const override { return model_; }
+  uint64_t Generation() const override { return 1; }
+
+ private:
+  std::shared_ptr<const Model> model_;
+};
+
+}  // namespace autodetect

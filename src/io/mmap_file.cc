@@ -1,0 +1,115 @@
+#include "io/mmap_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AUTODETECT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace autodetect {
+
+namespace {
+
+/// Buffered-read fallback shared by the no-mmap build and mmap failures.
+Status ReadWhole(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), static_cast<std::streamsize>(size))) {
+    return Status::IOError("short read of " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  MmapFile file;
+#if AUTODETECT_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return file;  // empty file: valid, unmapped, size 0
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base != MAP_FAILED) {
+    file.map_base_ = base;
+    file.data_ = static_cast<const uint8_t*>(base);
+    file.size_ = size;
+    return file;
+  }
+  // Fall through to the buffered path (e.g. filesystems refusing MAP_PRIVATE).
+#endif
+  AD_RETURN_NOT_OK(ReadWhole(path, &file.fallback_));
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  return file;
+}
+
+MmapFile::~MmapFile() {
+#if AUTODETECT_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, size_);
+#endif
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+#if AUTODETECT_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, size_);
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  map_base_ = other.map_base_;
+  fallback_ = std::move(other.fallback_);
+  if (!fallback_.empty()) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.map_base_ = nullptr;
+  return *this;
+}
+
+void MmapFile::Advise(Advice advice) const { Advise(advice, 0, size_); }
+
+void MmapFile::Advise(Advice advice, size_t offset, size_t length) const {
+#if AUTODETECT_HAVE_MMAP
+  if (map_base_ == nullptr || length == 0 || offset >= size_) return;
+  if (length > size_ - offset) length = size_ - offset;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  // Widen to page boundaries: madvise requires a page-aligned start.
+  uintptr_t begin = reinterpret_cast<uintptr_t>(data_) + offset;
+  uintptr_t aligned = begin & ~(page - 1);
+  length += static_cast<size_t>(begin - aligned);
+  int flag = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal: flag = MADV_NORMAL; break;
+    case Advice::kSequential: flag = MADV_SEQUENTIAL; break;
+    case Advice::kRandom: flag = MADV_RANDOM; break;
+    case Advice::kWillNeed: flag = MADV_WILLNEED; break;
+  }
+  ::madvise(reinterpret_cast<void*>(aligned), length, flag);  // best-effort
+#else
+  (void)advice;
+  (void)offset;
+  (void)length;
+#endif
+}
+
+}  // namespace autodetect

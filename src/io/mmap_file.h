@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file mmap_file.h
+/// Read-only memory-mapped file with RAII unmap — the substrate of the
+/// zero-copy ADMODEL2 model path. Mapping a model file means a client
+/// process pays page faults only for the tables it actually probes (the
+/// paper's client-side deployment under a memory budget), and N processes
+/// loading the same model share one page-cache copy.
+///
+/// On platforms without mmap — or when the map call fails (e.g. special
+/// filesystems) — Open falls back to a buffered read into an owned heap
+/// buffer, so callers never branch on platform: data()/size() behave the
+/// same either way, only mapped() reports which mode is live.
+
+namespace autodetect {
+
+class MmapFile {
+ public:
+  /// Access-pattern hints forwarded to madvise (no-ops in fallback mode or
+  /// where madvise is unavailable; hints are best-effort by contract).
+  enum class Advice {
+    kNormal,
+    kSequential,  ///< read-ahead aggressively (checksum pass)
+    kRandom,      ///< disable read-ahead (point probes into hash tables)
+    kWillNeed,    ///< fault pages in eagerly
+  };
+
+  /// \brief Maps `path` read-only. An empty file opens successfully with
+  /// size() == 0 and data() == nullptr.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when backed by a live mapping; false in buffered-fallback mode.
+  bool mapped() const { return map_base_ != nullptr; }
+
+  /// \brief Applies an access-pattern hint to the whole file.
+  void Advise(Advice advice) const;
+  /// \brief Applies a hint to the byte range [offset, offset + length);
+  /// the range is widened to page boundaries internally.
+  void Advise(Advice advice, size_t offset, size_t length) const;
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  void* map_base_ = nullptr;          ///< non-null only when mmap'ed
+  std::vector<uint8_t> fallback_;     ///< owns the bytes in fallback mode
+};
+
+}  // namespace autodetect

@@ -38,11 +38,51 @@ void BinaryWriter::WriteString(std::string_view s) {
   WriteBytes(s.data(), s.size());
 }
 
-Status BinaryReader::ReadBytes(void* data, size_t n) {
-  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (static_cast<size_t>(in_->gcount()) != n) {
-    return Status::Corruption("unexpected end of stream");
+void BinaryWriter::AlignTo(size_t alignment) {
+  static constexpr uint8_t kZeros[64] = {0};
+  size_t rem = bytes_written_ & (alignment - 1);
+  if (rem == 0) return;
+  size_t pad = alignment - rem;
+  while (pad > 0 && !failed_) {
+    size_t chunk = pad < sizeof(kZeros) ? pad : sizeof(kZeros);
+    WriteBytes(kZeros, chunk);
+    pad -= chunk;
   }
+}
+
+Status BinaryReader::Corrupt(std::string_view msg) const {
+  return Status::Corruption(
+      StrFormat("%.*s (at byte offset %zu)", static_cast<int>(msg.size()),
+                msg.data(), offset_));
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  if (in_ == nullptr) {
+    // Memory mode: bounds are known up front, so truncation is detected
+    // before touching the bytes.
+    if (n > mem_size_ - offset_ || offset_ > mem_size_) {
+      return Status::IOError(
+          StrFormat("truncated input at byte offset %zu: needed %zu bytes, "
+                    "got %zu",
+                    offset_, n, mem_size_ - offset_));
+    }
+    std::memcpy(data, mem_ + offset_, n);
+    offset_ += n;
+    return Status::OK();
+  }
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  const size_t got = static_cast<size_t>(in_->gcount());
+  if (got != n) {
+    if (in_->bad()) {
+      return Status::IOError(
+          StrFormat("read error at byte offset %zu", offset_ + got));
+    }
+    return Status::IOError(
+        StrFormat("truncated input at byte offset %zu: needed %zu bytes, "
+                  "got %zu",
+                  offset_, n, got));
+  }
+  offset_ += n;
   return Status::OK();
 }
 
@@ -77,7 +117,7 @@ Result<double> BinaryReader::ReadDouble() {
 
 Result<std::string> BinaryReader::ReadString(size_t max_len) {
   AD_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
-  if (len > max_len) return Status::Corruption("string length exceeds limit");
+  if (len > max_len) return Corrupt("string length exceeds limit");
   std::string s(static_cast<size_t>(len), '\0');
   if (len > 0) AD_RETURN_NOT_OK(ReadBytes(s.data(), s.size()));
   return s;

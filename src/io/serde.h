@@ -11,7 +11,18 @@
 /// \file serde.h
 /// Little-endian binary (de)serialization for model files. Values are
 /// written with explicit widths so files are portable across platforms; all
-/// readers validate lengths and report Corruption instead of crashing.
+/// readers validate lengths and report structured errors instead of
+/// crashing.
+///
+/// Error taxonomy (model files get half-copied in the real world, and the
+/// two failure shapes need different operator responses):
+///  * Truncated input — the stream/buffer ended mid-read. Reported as
+///    IOError naming the byte offset and the shortfall ("re-copy the
+///    file").
+///  * Corrupt section — bytes were present but semantically invalid
+///    (implausible length prefix, bad magic, checksum mismatch). Reported
+///    as Corruption, with the byte offset where decoding stopped
+///    ("regenerate the file").
 
 namespace autodetect {
 
@@ -26,6 +37,15 @@ class BinaryWriter {
   void WriteDouble(double v);
   void WriteString(std::string_view s);
 
+  /// \brief Writes `n` raw bytes verbatim (no length prefix). The bulk path
+  /// of the frozen-table writer: slot arrays go out with one write instead
+  /// of one call per word.
+  void WriteRaw(const void* data, size_t n) { WriteBytes(data, n); }
+
+  /// \brief Pads with zero bytes until bytes_written() is a multiple of
+  /// `alignment` (which must be a power of two).
+  void AlignTo(size_t alignment);
+
   template <typename T, typename Fn>
   void WriteVector(const std::vector<T>& v, Fn&& write_elem) {
     WriteU64(v.size());
@@ -33,6 +53,10 @@ class BinaryWriter {
   }
 
   bool ok() const { return !failed_ && out_->good(); }
+
+  /// Bytes successfully written so far — section offsets in the ADMODEL2
+  /// writer are derived from this.
+  size_t bytes_written() const { return bytes_written_; }
 
   /// \brief Structured write state: OK, or an IOError naming the byte offset
   /// of the first failed write (the bool `ok()` told callers only *that*
@@ -56,9 +80,17 @@ class BinaryWriter {
   bool failed_ = false;
 };
 
+/// Reads the explicit-width little-endian encoding, from either a stream or
+/// an in-memory byte range (the zero-copy model path parses mapped sections
+/// through the memory mode — same API, no copies, offsets relative to the
+/// range start).
 class BinaryReader {
  public:
   explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  /// Memory mode over [data, data + size); the reader does not own the bytes.
+  BinaryReader(const void* data, size_t size)
+      : mem_(static_cast<const uint8_t*>(data)), mem_size_(size) {}
 
   Result<uint8_t> ReadU8();
   Result<uint32_t> ReadU32();
@@ -71,9 +103,21 @@ class BinaryReader {
   /// \param max_len guards against corrupt length prefixes.
   Result<std::string> ReadString(size_t max_len = 1 << 20);
 
+  /// Bytes consumed so far. Deserializers fold this into their own
+  /// Corruption messages so a bad section is locatable in the file.
+  size_t offset() const { return offset_; }
+
+  /// \brief Returns Corruption with `msg` suffixed by the current byte
+  /// offset — the uniform way for deserializers to report semantically
+  /// invalid sections.
+  Status Corrupt(std::string_view msg) const;
+
  private:
   Status ReadBytes(void* data, size_t n);
-  std::istream* in_;
+  std::istream* in_ = nullptr;
+  const uint8_t* mem_ = nullptr;
+  size_t mem_size_ = 0;
+  size_t offset_ = 0;
 };
 
 }  // namespace autodetect

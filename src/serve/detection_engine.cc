@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
 
@@ -29,18 +30,38 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
-    : model_(model),
+DetectionEngine::Snapshot::Snapshot(std::shared_ptr<const Model> model_in,
+                                    uint64_t generation_in,
+                                    const EngineOptions& options)
+    : model(std::move(model_in)),
+      generation(generation_in),
+      detector(model.get(), options.detector) {
+  if (options.cache_bytes > 0) {
+    PairCacheOptions cache_opts;
+    cache_opts.capacity_bytes = options.cache_bytes;
+    cache_opts.num_shards = options.cache_shards;
+    cache = std::make_unique<ShardedPairCache>(cache_opts);
+  }
+}
+
+DetectionEngine::DetectionEngine(ModelProvider* provider, EngineOptions options)
+    : provider_(provider),
       options_(NormalizeOptions(std::move(options))),
-      detector_(model, options_.detector),
       pool_(options_.num_threads),
       registry_(OrDefaultRegistry(options_.metrics)) {
-  if (options_.cache_bytes > 0) {
-    PairCacheOptions cache_opts;
-    cache_opts.capacity_bytes = options_.cache_bytes;
-    cache_opts.num_shards = options_.cache_shards;
-    cache_ = std::make_unique<ShardedPairCache>(cache_opts);
-  }
+  InitCommon();
+}
+
+DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
+    : owned_provider_(std::make_unique<FixedModel>(model)),
+      provider_(owned_provider_.get()),
+      options_(NormalizeOptions(std::move(options))),
+      pool_(options_.num_threads),
+      registry_(OrDefaultRegistry(options_.metrics)) {
+  InitCommon();
+}
+
+void DetectionEngine::InitCommon() {
   metrics_.batches = registry_->GetCounter("serve.batches_total");
   metrics_.columns = registry_->GetCounter("serve.columns_total");
   metrics_.worker_busy_us = registry_->GetCounter("serve.worker_busy_us_total");
@@ -49,7 +70,7 @@ DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
   metrics_.queue_depth = registry_->GetGauge("serve.queue_depth");
   metrics_.workers = registry_->GetGauge("serve.workers");
   metrics_.workers->Set(static_cast<double>(pool_.num_threads()));
-  if (cache_ != nullptr) {
+  if (options_.cache_bytes > 0) {
     // The cache's counters live behind its shard mutexes; publish them as
     // gauges lazily, at snapshot time, instead of taxing the hot path.
     cache_collector_id_ = registry_->AddCollector(
@@ -60,6 +81,9 @@ DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
   for (size_t i = 0; i < pool_.num_threads(); ++i) {
     scratch_pool_.push_back(std::make_unique<ColumnScratch>());
   }
+  // Build the first snapshot eagerly when a model is already available, so
+  // the first batch pays no detector-construction latency.
+  if (provider_->Snapshot() != nullptr) CurrentSnapshot();
 }
 
 DetectionEngine::~DetectionEngine() {
@@ -68,8 +92,30 @@ DetectionEngine::~DetectionEngine() {
   if (cache_collector_registered_) registry_->RemoveCollector(cache_collector_id_);
 }
 
+std::shared_ptr<DetectionEngine::Snapshot> DetectionEngine::CurrentSnapshot() {
+  const uint64_t generation = provider_->Generation();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_ == nullptr || snapshot_->generation != generation) {
+    std::shared_ptr<const Model> model = provider_->Snapshot();
+    AD_CHECK(model != nullptr);  // provider must be loaded before detection
+    snapshot_ = std::make_shared<Snapshot>(std::move(model), generation, options_);
+  }
+  return snapshot_;
+}
+
+const ShardedPairCache* DetectionEngine::cache() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_ == nullptr ? nullptr : snapshot_->cache.get();
+}
+
 void DetectionEngine::PublishCacheMetrics(MetricsRegistry* registry) const {
-  PairCacheStats total = cache_->Stats();
+  std::shared_ptr<Snapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot = snapshot_;
+  }
+  if (snapshot == nullptr || snapshot->cache == nullptr) return;
+  PairCacheStats total = snapshot->cache->Stats();
   registry->GetGauge("serve.cache.hits")->Set(static_cast<double>(total.hits));
   registry->GetGauge("serve.cache.misses")->Set(static_cast<double>(total.misses));
   registry->GetGauge("serve.cache.insertions")
@@ -78,7 +124,7 @@ void DetectionEngine::PublishCacheMetrics(MetricsRegistry* registry) const {
       ->Set(static_cast<double>(total.evictions));
   registry->GetGauge("serve.cache.entries")->Set(static_cast<double>(total.entries));
   registry->GetGauge("serve.cache.hit_rate")->Set(total.HitRate());
-  const std::vector<PairCacheStats> shards = cache_->PerShardStats();
+  const std::vector<PairCacheStats> shards = snapshot->cache->PerShardStats();
   for (size_t i = 0; i < shards.size(); ++i) {
     const std::string prefix = StrFormat("serve.cache.shard%zu.", i);
     registry->GetGauge(prefix + "hits")->Set(static_cast<double>(shards[i].hits));
@@ -110,6 +156,11 @@ std::vector<DetectReport> DetectionEngine::Detect(
   std::vector<DetectReport> results(batch.size());
   if (batch.empty()) return results;
 
+  // Pin one snapshot for the whole batch: a concurrent reload must not
+  // split the batch across models. The shared_ptr keeps the snapshot (and
+  // its mapped model file) alive even if the engine swaps mid-batch.
+  const std::shared_ptr<Snapshot> snapshot = CurrentSnapshot();
+
   StageTimer batch_timer(metrics_.batch_latency_us);
   if (kMetricsEnabled) {
     metrics_.queue_depth->Set(static_cast<double>(
@@ -130,17 +181,19 @@ std::vector<DetectReport> DetectionEngine::Detect(
   } state;
   state.remaining = workers;
 
+  Snapshot* const snap = snapshot.get();
   {
     StageTimer dispatch_timer(metrics_.dispatch_us);
     for (size_t w = 0; w < workers; ++w) {
-      pool_.Submit([this, &batch, &results, &state] {
+      pool_.Submit([this, &batch, &results, &state, snap] {
         const auto worker_start = std::chrono::steady_clock::now();
         std::unique_ptr<ColumnScratch> scratch = AcquireScratch();
         uint64_t claimed = 0;
         while (true) {
           size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
           if (i >= batch.size()) break;
-          results[i] = detector_.Detect(batch[i], scratch.get(), cache_.get());
+          results[i] =
+              snap->detector.Detect(batch[i], scratch.get(), snap->cache.get());
           ++claimed;
         }
         ReleaseScratch(std::move(scratch));
@@ -174,20 +227,14 @@ std::vector<DetectReport> DetectionEngine::Detect(
   return results;
 }
 
-std::vector<ColumnReport> DetectionEngine::DetectBatch(
-    const std::vector<ColumnRequest>& batch) {
-  std::vector<DetectReport> reports = Detect(batch);
-  std::vector<ColumnReport> results;
-  results.reserve(reports.size());
-  for (DetectReport& r : reports) results.push_back(std::move(r.column));
-  return results;
-}
-
 EngineStats DetectionEngine::Stats() const {
   EngineStats stats;
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.columns = columns_.load(std::memory_order_relaxed);
-  if (cache_ != nullptr) stats.cache = cache_->Stats();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_ != nullptr && snapshot_->cache != nullptr) {
+    stats.cache = snapshot_->cache->Stats();
+  }
   return stats;
 }
 

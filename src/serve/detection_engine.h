@@ -11,50 +11,52 @@
 #include "detect/api.h"
 #include "detect/detector.h"
 #include "detect/model.h"
+#include "detect/model_provider.h"
 #include "obs/metrics.h"
 #include "serve/pair_cache.h"
 
 /// \file detection_engine.h
-/// The serving layer: a batch detection engine that owns an immutable Model
-/// snapshot and fans column requests out over a worker pool. This is the
-/// deployment shape of the paper's "spell-checker for data" at service
-/// scale — a request is a table's worth of columns, and the engine must
-/// return exactly what the sequential Detector would, only faster. It is the
-/// parallel executor of the unified detection API (detect/api.h).
+/// The serving layer: a batch detection engine that fans column requests out
+/// over a worker pool. This is the deployment shape of the paper's
+/// "spell-checker for data" at service scale — a request is a table's worth
+/// of columns, and the engine must return exactly what the sequential
+/// Detector would, only faster. It is the parallel executor of the unified
+/// detection API (detect/api.h).
+///
+/// Model lifecycle: the engine acquires models through a ModelProvider
+/// (detect/model_provider.h). Each batch pins one immutable snapshot —
+/// {model, detector, pair cache} — for its whole duration; when the
+/// provider swaps models (ModelRegistry hot reload), in-flight batches
+/// finish on the old snapshot and the next batch builds a fresh one. The
+/// pair cache lives inside the snapshot on purpose: cached verdicts are a
+/// function of the model's statistics, so carrying them across a reload
+/// would silently serve the old model's judgments.
 ///
 /// Guarantees:
 ///  * Determinism — Detect returns reports in request order, and every
-///    report's ColumnReport is bit-identical to Detector::AnalyzeColumn on
-///    the same values, regardless of worker count, scheduling, or cache
-///    state. Workers claim columns dynamically (atomic cursor) but write
-///    results into the request's slot, so ordering never depends on
-///    completion order. (DetectReport::latency_us is execution metadata and
-///    outside the determinism contract.)
-///  * No allocation churn — each worker leases a ColumnScratch from a pool,
-///    so per-value key-buffer allocations are amortized away across the
-///    whole batch (the Detector's scratch path).
-///  * Cross-column memoization — a ShardedPairCache shared by all workers
-///    serves repeated value pairs (the common case in real tables) without
-///    touching the per-language statistics.
+///    report's ColumnReport is bit-identical to Detector::Detect on the
+///    same values against the same snapshot, regardless of worker count,
+///    scheduling, or cache state. (DetectReport::latency_us is execution
+///    metadata and outside the determinism contract.)
+///  * Snapshot consistency — every report of a batch is produced by exactly
+///    one model snapshot, even when a reload races the batch.
+///  * No allocation churn — each worker leases a ColumnScratch from a pool.
 ///
 /// Thread safety: Detect may be called concurrently from multiple threads;
-/// batches share the pool, cache, and scratch pool.
+/// batches share the pool and scratch pool, and may share or not share a
+/// snapshot depending on reload timing.
 ///
 /// Observability: the engine records serve.* metrics (batch counts/latency,
 /// dispatch overhead, queue depth, worker busy time) and registers a
-/// collector that publishes serve.cache.* gauges from the pair cache on
-/// every registry snapshot; the collector is deregistered in the destructor.
+/// collector that publishes serve.cache.* gauges from the current
+/// snapshot's pair cache on every registry snapshot; the collector is
+/// deregistered in the destructor.
 
 namespace autodetect {
 
-/// Pre-redesign name of the engine's request type; DetectRequest aggregate
-/// initialization is a superset (the added `tag` member defaults), so
-/// existing `ColumnRequest{name, values}` call sites compile unchanged.
-using ColumnRequest = DetectRequest;
-
 struct EngineOptions {
   size_t num_threads = 0;  ///< worker count; 0 = hardware concurrency
-  /// Pair-cache budget; 0 disables caching entirely.
+  /// Per-snapshot pair-cache budget; 0 disables caching entirely.
   size_t cache_bytes = 32ull << 20;
   size_t cache_shards = 16;
   DetectorOptions detector;
@@ -68,31 +70,37 @@ struct EngineOptions {
 struct EngineStats {
   uint64_t batches = 0;
   uint64_t columns = 0;
-  PairCacheStats cache;  ///< zeros when the cache is disabled
+  PairCacheStats cache;  ///< current snapshot's cache; zeros when disabled
 };
 
 class DetectionEngine : public DetectionExecutor {
  public:
-  /// \param model must outlive the engine; the engine never mutates it.
+  /// \param provider not owned; must outlive the engine and have a loaded
+  /// model by the first Detect call (a ModelRegistry after Reload, or any
+  /// FixedModel).
+  explicit DetectionEngine(ModelProvider* provider, EngineOptions options = {});
+
+  /// Fixed-model convenience: wraps `model` (not owned, must outlive the
+  /// engine) in an internal FixedModel provider.
   explicit DetectionEngine(const Model* model, EngineOptions options = {});
+
   ~DetectionEngine() override;
 
   /// \brief Executes every request on the worker pool and returns one report
   /// per request, in request order (the unified-API entry point).
   std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) override;
 
-  /// \brief Deprecated forwarder (pre-unified-API entry point): like Detect
-  /// but stripped down to the deterministic ColumnReports.
-  std::vector<ColumnReport> DetectBatch(const std::vector<ColumnRequest>& batch);
-
   EngineStats Stats() const;
 
   size_t num_threads() const { return pool_.num_threads(); }
-  bool cache_enabled() const { return cache_ != nullptr; }
-  /// \brief The shared pair cache, null when disabled.
-  const ShardedPairCache* cache() const { return cache_.get(); }
-  const Detector& detector() const { return detector_; }
-  const Model& model() const { return *model_; }
+  bool cache_enabled() const { return options_.cache_bytes > 0; }
+  /// \brief The current snapshot's pair cache, null when disabled or before
+  /// the first snapshot. The pointer is invalidated by the next reload —
+  /// hold the engine's Detect results, not this, across batches.
+  const ShardedPairCache* cache() const;
+  /// \brief The current model snapshot (null before a registry's first
+  /// load). The returned shared_ptr keeps the snapshot alive.
+  std::shared_ptr<const Model> model() const { return provider_->Snapshot(); }
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -107,20 +115,41 @@ class DetectionEngine : public DetectionExecutor {
     Gauge* workers = nullptr;
   };
 
+  /// One immutable serving snapshot. Batches hold it via shared_ptr, so a
+  /// snapshot (and the mapped model file behind it) stays alive until the
+  /// last in-flight batch drops it.
+  struct Snapshot {
+    Snapshot(std::shared_ptr<const Model> model_in, uint64_t generation_in,
+             const EngineOptions& options);
+    std::shared_ptr<const Model> model;
+    uint64_t generation = 0;
+    Detector detector;
+    std::unique_ptr<ShardedPairCache> cache;  ///< null when caching disabled
+  };
+
+  /// Shared constructor body (metric handles, scratch pool, collector).
+  void InitCommon();
+
+  /// Returns the snapshot for the provider's current generation, building
+  /// one if the provider swapped models since the last batch.
+  std::shared_ptr<Snapshot> CurrentSnapshot();
+
   std::unique_ptr<ColumnScratch> AcquireScratch();
   void ReleaseScratch(std::unique_ptr<ColumnScratch> scratch);
   void PublishCacheMetrics(MetricsRegistry* registry) const;
 
-  const Model* model_;
+  std::unique_ptr<FixedModel> owned_provider_;  ///< raw-model ctor only
+  ModelProvider* provider_;
   EngineOptions options_;
-  Detector detector_;
-  std::unique_ptr<ShardedPairCache> cache_;
   ThreadPool pool_;
 
   MetricsRegistry* registry_;
   Metrics metrics_;
   size_t cache_collector_id_ = 0;
   bool cache_collector_registered_ = false;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<Snapshot> snapshot_;
 
   std::mutex scratch_mu_;
   std::vector<std::unique_ptr<ColumnScratch>> scratch_pool_;

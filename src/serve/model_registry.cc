@@ -1,0 +1,123 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace autodetect {
+
+namespace fs = std::filesystem;
+
+ModelRegistry::ModelRegistry(MetricsRegistry* metrics) {
+  MetricsRegistry* registry = OrDefaultRegistry(metrics);
+  reload_total_ = registry->GetCounter("model.reload.total");
+  reload_errors_ = registry->GetCounter("model.reload.errors_total");
+  reload_latency_us_ = registry->GetHistogram("model.reload.latency_us");
+  model_bytes_ = registry->GetGauge("model.bytes");
+  model_generation_ = registry->GetGauge("model.generation");
+}
+
+ModelRegistry::~ModelRegistry() { StopWatch(); }
+
+void ModelRegistry::PublishModelMetrics(const std::shared_ptr<const Model>& model,
+                                        uint64_t generation) {
+  // FileBytes is the artifact size for mapped v2 models; v1/installed models
+  // have no backing file, so fall back to the estimated resident size.
+  size_t bytes = model->FileBytes();
+  if (bytes == 0) bytes = model->MemoryBytes();
+  model_bytes_->Set(static_cast<double>(bytes));
+  model_generation_->Set(static_cast<double>(generation));
+}
+
+Status ModelRegistry::Reload(const std::string& path) {
+  StageTimer timer(reload_latency_us_);
+  Result<Model> loaded = Model::Load(path);
+  if (!loaded.ok()) {
+    reload_errors_->Add(1);
+    return loaded.status().WithContext("reloading model from " + path);
+  }
+  auto model = std::make_shared<const Model>(std::move(loaded).ValueOrDie());
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    model_ = model;
+    path_ = path;
+    // Release-publish after the snapshot is in place: an executor that sees
+    // the new generation is guaranteed to read the new model.
+    generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  reload_total_->Add(1);
+  PublishModelMetrics(model, generation);
+  return Status::OK();
+}
+
+void ModelRegistry::Install(std::shared_ptr<const Model> model) {
+  AD_CHECK(model != nullptr);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    model_ = model;
+    generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  reload_total_->Add(1);
+  PublishModelMetrics(model, generation);
+}
+
+std::shared_ptr<const Model> ModelRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_;
+}
+
+std::string ModelRegistry::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+Status ModelRegistry::StartWatch(const std::string& path,
+                                 std::chrono::milliseconds poll) {
+  if (watcher_.joinable()) return Status::Invalid("already watching");
+  watch_path_ = path;
+  watch_poll_ = poll;
+  std::error_code ec;
+  watch_mtime_ = fs::last_write_time(path, ec);  // epoch on error; retried below
+  Status initial = Reload(path);
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = false;
+  }
+  watcher_ = std::thread([this] { WatchLoop(); });
+  return initial;
+}
+
+void ModelRegistry::StopWatch() {
+  if (!watcher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  watcher_.join();
+}
+
+void ModelRegistry::WatchLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watch_mu_);
+      if (watch_cv_.wait_for(lock, watch_poll_, [this] { return watch_stop_; })) {
+        return;
+      }
+    }
+    std::error_code ec;
+    fs::file_time_type mtime = fs::last_write_time(watch_path_, ec);
+    if (ec) continue;  // file briefly absent mid-swap; try again next poll
+    if (mtime == watch_mtime_) continue;
+    watch_mtime_ = mtime;
+    // Reload already counts errors and keeps the old snapshot on failure;
+    // nothing further to do here — the next mtime change retries.
+    Status status = Reload(watch_path_);
+    (void)status;
+  }
+}
+
+}  // namespace autodetect

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "detect/model_provider.h"
+#include "obs/metrics.h"
+
+/// \file model_registry.h
+/// Hot-reloadable model lifecycle for serving. A ModelRegistry owns the
+/// current `shared_ptr<const Model>` snapshot and swaps it atomically on
+/// Reload: executors holding the old snapshot finish their in-flight
+/// columns against it (RCU — no reader ever blocks on a reload, no column
+/// ever sees a half-swapped model), while the next batch picks up the new
+/// one via the bumped generation counter.
+///
+/// Reload fails closed: if loading the new file errors (truncated copy,
+/// checksum mismatch, …) the registry keeps serving the old model and bumps
+/// `model.reload.errors_total` — a bad artifact push degrades to a no-op
+/// instead of an outage.
+///
+/// An optional watcher polls the file's mtime and reloads on change, which
+/// is the `--model-watch` CLI mode: retrain offline, `mv` the new artifact
+/// over the old path, and every serving process picks it up within one poll
+/// interval.
+///
+/// Metrics (into the registry passed at construction):
+///   model.reload.total        successful reloads (includes the first load)
+///   model.reload.errors_total failed reload attempts (old model kept)
+///   model.reload.latency_us   load+swap latency histogram
+///   model.bytes               backing artifact bytes of the live model
+///   model.generation          current snapshot generation
+
+namespace autodetect {
+
+class ModelRegistry : public ModelProvider {
+ public:
+  /// \param metrics null means the process default registry.
+  explicit ModelRegistry(MetricsRegistry* metrics = nullptr);
+  ~ModelRegistry() override;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// \brief Loads `path` and atomically swaps it in as the current snapshot.
+  /// On failure the previous snapshot (if any) keeps serving and the error
+  /// is returned. Thread-safe; concurrent Snapshot() calls see either the
+  /// old or the new model, never a mix.
+  Status Reload(const std::string& path);
+
+  /// \brief Installs an already-loaded model (tests, trained-in-process
+  /// serving). Same swap semantics as Reload.
+  void Install(std::shared_ptr<const Model> model);
+
+  std::shared_ptr<const Model> Snapshot() const override;
+  uint64_t Generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Path of the last successful Reload ("" before the first).
+  std::string path() const;
+
+  /// \brief Starts a background thread that polls `path`'s mtime every
+  /// `poll` and Reloads on change. Performs one synchronous initial load —
+  /// its Status is returned, and the watcher runs regardless (the file may
+  /// appear or be fixed later). No-op error if already watching.
+  Status StartWatch(const std::string& path,
+                    std::chrono::milliseconds poll = std::chrono::milliseconds(1000));
+
+  /// \brief Stops the watcher thread (joins it). Safe to call when not
+  /// watching. Also called by the destructor.
+  void StopWatch();
+
+  bool watching() const { return watcher_.joinable(); }
+
+ private:
+  void WatchLoop();
+  void PublishModelMetrics(const std::shared_ptr<const Model>& model,
+                           uint64_t generation);
+
+  mutable std::mutex mu_;  ///< guards model_ and path_
+  std::shared_ptr<const Model> model_;
+  std::string path_;
+  std::atomic<uint64_t> generation_{0};
+
+  std::mutex watch_mu_;  ///< guards stop + cv for the watcher thread
+  std::condition_variable watch_cv_;
+  bool watch_stop_ = false;
+  std::thread watcher_;
+  std::string watch_path_;
+  std::chrono::milliseconds watch_poll_{1000};
+  std::filesystem::file_time_type watch_mtime_{};
+
+  Counter* reload_total_;
+  Counter* reload_errors_;
+  Histogram* reload_latency_us_;
+  Gauge* model_bytes_;
+  Gauge* model_generation_;
+};
+
+/// Interface-style name for the registry-backed provider (the counterpart
+/// of FixedModel in the ModelProvider family).
+using RegistryModel = ModelRegistry;
+
+}  // namespace autodetect

@@ -1,6 +1,8 @@
 #include "stats/language_stats.h"
 
 #include <algorithm>
+#include <cstring>
+#include <sstream>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -8,6 +10,7 @@
 namespace autodetect {
 
 void LanguageStats::AddColumn(const std::vector<uint64_t>& distinct_keys) {
+  AD_CHECK(!frozen_);  // frozen stats are immutable by contract
   ++num_columns_;
   for (uint64_t k : distinct_keys) ++counts_[k];
   AD_DCHECK(!sketch_.has_value());  // building after compression is unsupported
@@ -27,18 +30,20 @@ uint64_t LanguageStats::CoCount(uint64_t key1, uint64_t key2) const {
     if (Count(key1) == 0 || Count(key2) == 0) return 0;
     return sketch_->Estimate(pair_key);
   }
-  return co_counts_.GetOr(pair_key);
+  return frozen_ ? co_view_.GetOr(pair_key) : co_counts_.GetOr(pair_key);
 }
 
 size_t LanguageStats::MemoryBytes() const {
-  return counts_.MemoryBytes() + CoMemoryBytes();
+  return (frozen_ ? counts_view_.bytes() : counts_.MemoryBytes()) + CoMemoryBytes();
 }
 
 size_t LanguageStats::CoMemoryBytes() const {
-  return sketch_.has_value() ? sketch_->MemoryBytes() : co_counts_.MemoryBytes();
+  if (sketch_.has_value()) return sketch_->MemoryBytes();
+  return frozen_ ? co_view_.bytes() : co_counts_.MemoryBytes();
 }
 
 Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
+  if (frozen_) return Status::Invalid("cannot compress frozen stats");
   if (sketch_.has_value()) return Status::Invalid("already compressed");
   if (!(ratio > 0.0 && ratio <= 1.0)) {
     return Status::Invalid("sketch ratio must be in (0, 1]");
@@ -56,15 +61,24 @@ Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
 
 void LanguageStats::ForEachCoCount(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  co_counts_.ForEach(fn);
+  if (frozen_) {
+    co_view_.ForEach(fn);
+  } else {
+    co_counts_.ForEach(fn);
+  }
 }
 
 void LanguageStats::ForEachCount(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  counts_.ForEach(fn);
+  if (frozen_) {
+    counts_view_.ForEach(fn);
+  } else {
+    counts_.ForEach(fn);
+  }
 }
 
 void LanguageStats::Merge(const LanguageStats& other) {
+  AD_CHECK(!frozen_ && !other.frozen_);
   AD_CHECK(!sketch_.has_value() && !other.sketch_.has_value());
   num_columns_ += other.num_columns_;
   counts_.MergeAdd(other.counts_);
@@ -73,8 +87,8 @@ void LanguageStats::Merge(const LanguageStats& other) {
 
 void LanguageStats::Serialize(BinaryWriter* writer) const {
   writer->WriteU64(num_columns_);
-  writer->WriteU64(counts_.size());
-  counts_.ForEach([&](uint64_t k, uint64_t v) {
+  writer->WriteU64(NumPatterns());
+  ForEachCount([&](uint64_t k, uint64_t v) {
     writer->WriteU64(k);
     writer->WriteU64(v);
   });
@@ -82,12 +96,81 @@ void LanguageStats::Serialize(BinaryWriter* writer) const {
   if (sketch_.has_value()) {
     sketch_->Serialize(writer);
   } else {
-    writer->WriteU64(co_counts_.size());
-    co_counts_.ForEach([&](uint64_t k, uint64_t v) {
+    writer->WriteU64(NumCoPairs());
+    ForEachCoCount([&](uint64_t k, uint64_t v) {
       writer->WriteU64(k);
       writer->WriteU64(v);
     });
   }
+}
+
+void LanguageStats::AppendFrozen(std::string* out) const {
+  uint64_t head[2] = {num_columns_, sketch_.has_value() ? 1u : 0u};
+  out->append(reinterpret_cast<const char*>(head), sizeof(head));
+  if (frozen_) {
+    counts_view_.AppendTo(out);
+  } else {
+    counts_.AppendFrozen(out);
+  }
+  if (sketch_.has_value()) {
+    std::ostringstream sketch_bytes;
+    BinaryWriter sketch_writer(&sketch_bytes);
+    sketch_->Serialize(&sketch_writer);
+    std::string s = std::move(sketch_bytes).str();
+    uint64_t len = s.size();
+    out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out->append(s);
+    out->append((8 - s.size() % 8) % 8, '\0');  // keep the blob 8-aligned
+  } else if (frozen_) {
+    co_view_.AppendTo(out);
+  } else {
+    co_counts_.AppendFrozen(out);
+  }
+}
+
+Result<LanguageStats> LanguageStats::FromFrozen(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (reinterpret_cast<uintptr_t>(p) % 8 != 0) {
+    return Status::Corruption("frozen stats blob is not 8-byte aligned");
+  }
+  if (len < 16) {
+    return Status::IOError("truncated frozen stats: header needs 16 bytes, got " +
+                           std::to_string(len));
+  }
+  uint64_t head[2];
+  std::memcpy(head, p, sizeof(head));
+  if (head[1] > 1) {
+    return Status::Corruption("frozen stats header: unknown flags");
+  }
+  LanguageStats stats;
+  stats.frozen_ = true;
+  stats.num_columns_ = head[0];
+  size_t off = 16;
+  AD_ASSIGN_OR_RETURN(stats.counts_view_,
+                      FlatMap64::FrozenView::FromBytes(p + off, len - off));
+  off += stats.counts_view_.bytes();
+  if (head[1] & 1) {
+    BinaryReader reader(p + off, len - off);
+    AD_ASSIGN_OR_RETURN(uint64_t sketch_len, reader.ReadU64());
+    if (sketch_len > len - off - 8) {
+      return Status::Corruption("frozen stats: sketch length exceeds blob");
+    }
+    AD_ASSIGN_OR_RETURN(CountMinSketch sketch, CountMinSketch::Deserialize(&reader));
+    if (reader.offset() - 8 != sketch_len) {
+      return Status::Corruption("frozen stats: sketch length mismatch");
+    }
+    stats.sketch_ = std::move(sketch);
+    off += 8 + static_cast<size_t>(sketch_len) + (8 - sketch_len % 8) % 8;
+  } else {
+    AD_ASSIGN_OR_RETURN(stats.co_view_,
+                        FlatMap64::FrozenView::FromBytes(p + off, len - off));
+    off += stats.co_view_.bytes();
+  }
+  if (off != len) {
+    return Status::Corruption("frozen stats: blob has " + std::to_string(len - off) +
+                              " trailing bytes");
+  }
+  return stats;
 }
 
 Result<LanguageStats> LanguageStats::Deserialize(BinaryReader* reader) {

@@ -17,6 +17,12 @@
 /// Sec. 2.1). Co-occurrence can be held exactly (open-addressing flat map)
 /// or approximately (count–min sketch, Sec. 3.4). Patterns are identified
 /// by their 64-bit canonical keys (pattern.h).
+///
+/// A LanguageStats is either *owned* (mutable, dictionaries in heap
+/// FlatMap64s — the training representation) or *frozen* (read-only views
+/// over a caller-provided byte blob, typically inside a memory-mapped
+/// ADMODEL2 file — the serving representation). Lookups behave identically
+/// in both modes; mutation of a frozen instance is a programming error.
 
 namespace autodetect {
 
@@ -32,7 +38,9 @@ class LanguageStats {
   uint64_t num_columns() const { return num_columns_; }
 
   /// c(p): columns containing pattern `key`.
-  uint64_t Count(uint64_t key) const { return counts_.GetOr(key); }
+  uint64_t Count(uint64_t key) const {
+    return frozen_ ? counts_view_.GetOr(key) : counts_.GetOr(key);
+  }
 
   /// c(p1, p2): columns containing both patterns. For key1 == key2 this is
   /// c(p) by definition (a value pair with identical patterns co-occurs
@@ -40,8 +48,12 @@ class LanguageStats {
   uint64_t CoCount(uint64_t key1, uint64_t key2) const;
 
   /// Number of distinct patterns / distinct co-occurring pairs seen.
-  size_t NumPatterns() const { return counts_.size(); }
-  size_t NumCoPairs() const { return co_counts_.size(); }
+  size_t NumPatterns() const {
+    return frozen_ ? counts_view_.size() : counts_.size();
+  }
+  size_t NumCoPairs() const {
+    return frozen_ ? co_view_.size() : co_counts_.size();
+  }
 
   /// \brief Estimated resident bytes of the statistics — the size(L) used
   /// by the selection knapsack. Dictionaries are costed at their actual
@@ -76,11 +88,34 @@ class LanguageStats {
   void Serialize(BinaryWriter* writer) const;
   static Result<LanguageStats> Deserialize(BinaryReader* reader);
 
+  /// True when backed by views over external bytes (zero-copy model path).
+  bool frozen() const { return frozen_; }
+
+  /// \brief Appends the frozen representation to `out`. Layout (all fields
+  /// 8-byte aligned provided the blob itself starts 8-aligned):
+  ///   u64 num_columns
+  ///   u64 flags            (bit 0: co-occurrence held as a sketch)
+  ///   [counts frozen map]  (FlatMap64 frozen blob)
+  ///   [co frozen map]      (exact mode) | u64 sketch_len + bytes + pad to 8
+  /// Works for both owned and frozen sources.
+  void AppendFrozen(std::string* out) const;
+
+  /// \brief Builds a frozen instance viewing exactly [data, data + len).
+  /// The bytes must stay alive and unmodified for the lifetime of the
+  /// result (the mapped model file guarantees this). The sketch, when
+  /// present, is copied — it is small by design (Sec. 3.4) and its row
+  /// seeds need parsing anyway. Fails closed: any length/alignment
+  /// inconsistency is an error, trailing unconsumed bytes are Corruption.
+  static Result<LanguageStats> FromFrozen(const void* data, size_t len);
+
  private:
   uint64_t num_columns_ = 0;
   FlatMap64 counts_;
   FlatMap64 co_counts_;  // key: CombineUnordered
   std::optional<CountMinSketch> sketch_;
+  bool frozen_ = false;
+  FlatMap64::FrozenView counts_view_;  ///< live iff frozen_
+  FlatMap64::FrozenView co_view_;      ///< live iff frozen_ and no sketch
 };
 
 }  // namespace autodetect

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 
@@ -13,21 +15,52 @@
 namespace autodetect {
 
 double PrecisionCurve::PrecisionAt(double score) const {
-  if (points_.empty()) return 0.0;
-  if (score <= points_.front().score) return points_.front().precision;
+  const Point* begin = data();
+  const Point* end = begin + size();
+  if (begin == end) return 0.0;
+  if (score <= begin->score) return begin->precision;
   // Largest point with point.score <= score.
-  auto it = std::upper_bound(
-      points_.begin(), points_.end(), score,
-      [](double s, const Point& p) { return s < p.score; });
+  const Point* it = std::upper_bound(
+      begin, end, score, [](double s, const Point& p) { return s < p.score; });
   return std::prev(it)->precision;
 }
 
 void PrecisionCurve::Serialize(BinaryWriter* writer) const {
-  writer->WriteU64(points_.size());
-  for (const auto& p : points_) {
-    writer->WriteDouble(p.score);
-    writer->WriteDouble(p.precision);
+  writer->WriteU64(size());
+  const Point* p = data();
+  for (size_t i = 0; i < size(); ++i) {
+    writer->WriteDouble(p[i].score);
+    writer->WriteDouble(p[i].precision);
   }
+}
+
+void PrecisionCurve::AppendFrozen(std::string* out) const {
+  uint64_t n = size();
+  out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n > 0) out->append(reinterpret_cast<const char*>(data()), n * sizeof(Point));
+}
+
+Result<PrecisionCurve> PrecisionCurve::FromFrozen(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (reinterpret_cast<uintptr_t>(p) % 8 != 0) {
+    return Status::Corruption("frozen curve blob is not 8-byte aligned");
+  }
+  if (len < 8) {
+    return Status::IOError("truncated frozen curve: count needs 8 bytes, got " +
+                           std::to_string(len));
+  }
+  uint64_t n;
+  std::memcpy(&n, p, 8);
+  if (n > (1ULL << 24)) return Status::Corruption("implausible curve size");
+  if (len - 8 != n * sizeof(Point)) {
+    return Status::Corruption("frozen curve length mismatch: count " +
+                              std::to_string(n) + " vs " +
+                              std::to_string(len - 8) + " payload bytes");
+  }
+  PrecisionCurve curve;
+  curve.view_size_ = static_cast<size_t>(n);
+  curve.view_data_ = n == 0 ? nullptr : reinterpret_cast<const Point*>(p + 8);
+  return curve;
 }
 
 Result<PrecisionCurve> PrecisionCurve::Deserialize(BinaryReader* reader) {

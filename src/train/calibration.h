@@ -23,12 +23,19 @@ namespace autodetect {
 /// \brief Empirical precision-at-threshold curve of one language on T.
 /// Points are (score, precision of all predictions with score <= point's
 /// score), sorted by score ascending.
+///
+/// The curve either owns its points (training path) or views a caller-owned
+/// array — the zero-copy path points it directly at Point records inside a
+/// memory-mapped ADMODEL2 section. Lookups are identical in both modes.
 class PrecisionCurve {
  public:
   struct Point {
     double score;
     double precision;
   };
+  // Points are stored verbatim in the frozen model format; the layout is
+  // part of the on-disk contract.
+  static_assert(sizeof(Point) == 16);
 
   PrecisionCurve() = default;
   explicit PrecisionCurve(std::vector<Point> points) : points_(std::move(points)) {}
@@ -37,14 +44,26 @@ class PrecisionCurve {
   /// Returns 0 for an empty curve.
   double PrecisionAt(double score) const;
 
-  bool empty() const { return points_.empty(); }
-  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return size() == 0; }
+  size_t size() const { return points_.empty() ? view_size_ : points_.size(); }
+  const Point* data() const { return points_.empty() ? view_data_ : points_.data(); }
 
   void Serialize(BinaryWriter* writer) const;
   static Result<PrecisionCurve> Deserialize(BinaryReader* reader);
 
+  /// Frozen blob size: u64 count + points verbatim.
+  size_t FrozenBytes() const { return 8 + size() * sizeof(Point); }
+  /// \brief Appends the frozen representation (count + Point array) to
+  /// `out`; the blob must land at an 8-byte aligned offset.
+  void AppendFrozen(std::string* out) const;
+  /// \brief Builds a non-owning curve viewing exactly [data, data + len);
+  /// the bytes must outlive the result.
+  static Result<PrecisionCurve> FromFrozen(const void* data, size_t len);
+
  private:
   std::vector<Point> points_;
+  const Point* view_data_ = nullptr;  ///< live iff points_ is empty and set
+  size_t view_size_ = 0;
 };
 
 struct CalibrationResult {

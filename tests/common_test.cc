@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <map>
 #include <set>
 #include <thread>
 #include <unordered_map>
 
 #include "common/bitset.h"
+#include "common/xxhash64.h"
 #include "common/flat_map.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -603,6 +605,151 @@ TEST(ThreadPoolTest, ParallelForZeroAndOne) {
     ++calls;
   });
   EXPECT_EQ(calls, 1);
+}
+
+
+// --------------------------------------------------------------- XxHash64
+
+TEST(XxHash64Test, PublishedVectors) {
+  // Reference vectors from the canonical xxHash implementation.
+  EXPECT_EQ(XxHash64("", 0), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(XxHash64("a", 1), 0xD24EC4F1A98C6E5Bull);
+  EXPECT_EQ(XxHash64("abc", 3), 0x44BC2CF5AD770999ull);
+  const char* fox = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(XxHash64(fox, 43), 0x0B242D361FDA71BCull);
+}
+
+TEST(XxHash64Test, SeedAndLengthSensitivity) {
+  EXPECT_NE(XxHash64("a", 1, 0), XxHash64("a", 1, 1));
+  EXPECT_NE(XxHash64("ab", 2), XxHash64("ba", 2));
+  // Stress every input-length residue of the 32/8/4/1-byte tail loops.
+  std::set<uint64_t> seen;
+  std::string buf;
+  for (int n = 0; n <= 100; ++n) {
+    seen.insert(XxHash64(buf.data(), buf.size()));
+    buf.push_back(static_cast<char>('a' + n % 26));
+  }
+  EXPECT_EQ(seen.size(), 101u);
+}
+
+// ------------------------------------------------------------ FrozenView
+
+/// Freezes `map` into 8-byte-aligned storage and returns a validated view.
+FlatMap64::FrozenView Freeze(const FlatMap64& map, std::vector<uint64_t>* storage) {
+  std::string blob;
+  map.AppendFrozen(&blob);
+  EXPECT_EQ(blob.size(), map.FrozenBytes());
+  storage->assign((blob.size() + 7) / 8, 0);
+  std::memcpy(storage->data(), blob.data(), blob.size());
+  auto view = FlatMap64::FrozenView::FromBytes(storage->data(), blob.size());
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  return *view;
+}
+
+TEST(FrozenViewTest, MatchesLiveMapOnRandomKeys) {
+  Pcg32 rng(31337);
+  FlatMap64 map;
+  std::map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 5000; ++i) {
+    // Narrow key space so collisions and probe chains actually occur; key 0
+    // (the internal empty-slot sentinel) is exercised on purpose.
+    uint64_t key = rng.Below(8192);
+    uint64_t value = rng.NextU64();
+    map[key] = value;
+    reference[key] = value;
+  }
+  std::vector<uint64_t> storage;
+  FlatMap64::FrozenView view = Freeze(map, &storage);
+  EXPECT_EQ(view.size(), reference.size());
+  EXPECT_EQ(view.bytes(), map.FrozenBytes());
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(view.Contains(key)) << key;
+    EXPECT_EQ(view.GetOr(key), value) << key;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t probe = rng.NextU64();
+    EXPECT_EQ(view.GetOr(probe, 123), map.GetOr(probe, 123)) << probe;
+  }
+  // ForEach visits exactly the reference pairs.
+  std::map<uint64_t, uint64_t> visited;
+  view.ForEach([&](uint64_t k, uint64_t v) { visited[k] = v; });
+  EXPECT_EQ(visited, reference);
+  // Thaw round-trips back to an owning map with identical contents.
+  FlatMap64 thawed = view.Thaw();
+  EXPECT_EQ(thawed.size(), map.size());
+  for (const auto& [key, value] : reference) EXPECT_EQ(thawed.GetOr(key), value);
+  // AppendTo re-emits a blob an identical view can be built from.
+  std::string reblob;
+  view.AppendTo(&reblob);
+  EXPECT_EQ(reblob.size(), view.bytes());
+}
+
+TEST(FrozenViewTest, EmptyMapFreezes) {
+  FlatMap64 empty;
+  std::vector<uint64_t> storage;
+  FlatMap64::FrozenView view = Freeze(empty, &storage);
+  EXPECT_TRUE(view.empty());
+  EXPECT_FALSE(view.Contains(7));
+  EXPECT_EQ(view.GetOr(0, 9), 9u);
+}
+
+TEST(FrozenViewTest, RejectsBadBlobs) {
+  FlatMap64 map;
+  map[1] = 10;
+  map[0] = 5;
+  std::string blob;
+  map.AppendFrozen(&blob);
+  std::vector<uint64_t> storage((blob.size() + 7) / 8, 0);
+  std::memcpy(storage.data(), blob.data(), blob.size());
+
+  // Misaligned base pointer.
+  auto misaligned = FlatMap64::FrozenView::FromBytes(
+      reinterpret_cast<const uint8_t*>(storage.data()) + 1, blob.size() - 1);
+  EXPECT_TRUE(misaligned.status().IsCorruption());
+
+  // Truncated: shorter than the header, and shorter than the slot array.
+  EXPECT_TRUE(
+      FlatMap64::FrozenView::FromBytes(storage.data(), 8).status().IsIOError());
+  EXPECT_TRUE(FlatMap64::FrozenView::FromBytes(storage.data(), blob.size() - 16)
+                  .status()
+                  .IsIOError());
+
+  // Corrupt header fields: non-power-of-two capacity, size > capacity,
+  // has_zero out of range.
+  std::vector<uint64_t> bad = storage;
+  bad[3] = 3;
+  EXPECT_TRUE(FlatMap64::FrozenView::FromBytes(bad.data(), blob.size())
+                  .status()
+                  .IsCorruption());
+  bad = storage;
+  bad[0] = bad[3] + 1;
+  EXPECT_TRUE(FlatMap64::FrozenView::FromBytes(bad.data(), blob.size())
+                  .status()
+                  .IsCorruption());
+  bad = storage;
+  bad[1] = 2;
+  EXPECT_TRUE(FlatMap64::FrozenView::FromBytes(bad.data(), blob.size())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(FrozenViewTest, FullCorruptTableFindTerminates) {
+  // A blob whose slot array is full of non-matching keys must not probe
+  // forever: Find is bounded to capacity_ probes.
+  constexpr uint64_t kCapacity = 16;
+  std::vector<uint64_t> words(4 + kCapacity * 2);
+  words[0] = kCapacity;  // size
+  words[1] = 0;          // has_zero
+  words[2] = 0;
+  words[3] = kCapacity;
+  for (uint64_t i = 0; i < kCapacity; ++i) {
+    words[4 + 2 * i] = 1000 + i;  // key
+    words[5 + 2 * i] = i;         // value
+  }
+  auto view = FlatMap64::FrozenView::FromBytes(words.data(), words.size() * 8);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->Find(42), nullptr);  // absent key, full table: must return
+  EXPECT_EQ(view->GetOr(1003, 0), 3u);
 }
 
 }  // namespace

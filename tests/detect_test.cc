@@ -13,6 +13,11 @@
 namespace autodetect {
 namespace {
 
+/// Column-scan convenience over the unified API (detect/api.h).
+ColumnReport Analyze(const Detector& detector, const std::vector<std::string>& values) {
+  return detector.Detect(DetectRequest{"", values}).column;
+}
+
 /// Trains one shared small model (the expensive part) for all tests here.
 class DetectFixture : public ::testing::Test {
  protected:
@@ -76,7 +81,7 @@ TEST_F(DetectFixture, PaperCol1SeparatorsAreCompatible) {
   std::vector<std::string> col;
   for (int i = 990; i <= 999; ++i) col.push_back(std::to_string(i));
   col.push_back("1,000");
-  ColumnReport report = detector.AnalyzeColumn(col);
+  ColumnReport report = Analyze(detector, col);
   EXPECT_TRUE(report.cells.empty())
       << "flagged: " << (report.cells.empty() ? "" : report.cells[0].value);
 }
@@ -85,7 +90,7 @@ TEST_F(DetectFixture, PaperCol3MixedDatesAreFlagged) {
   Detector detector(model_);
   std::vector<std::string> col = {"2011-01-01", "2011-01-02", "2011-01-03",
                                   "2011-01-04", "2011/01/05"};
-  ColumnReport report = detector.AnalyzeColumn(col);
+  ColumnReport report = Analyze(detector, col);
   ASSERT_TRUE(report.HasFindings());
   EXPECT_EQ(report.Top()->value, "2011/01/05");
   EXPECT_EQ(report.Top()->row, 4u);
@@ -95,7 +100,7 @@ TEST_F(DetectFixture, PaperCol3MixedDatesAreFlagged) {
 TEST_F(DetectFixture, TrailingDotFlagged) {
   Detector detector(model_);
   std::vector<std::string> col = {"1962", "1981", "1974", "1990", "1865."};
-  ColumnReport report = detector.AnalyzeColumn(col);
+  ColumnReport report = Analyze(detector, col);
   ASSERT_TRUE(report.HasFindings());
   EXPECT_EQ(report.Top()->value, "1865.");
 }
@@ -118,10 +123,10 @@ TEST_F(DetectFixture, ScorePairIsSymmetric) {
 
 TEST_F(DetectFixture, TinyColumnsProduceNoFindings) {
   Detector detector(model_);
-  EXPECT_FALSE(detector.AnalyzeColumn({}).HasFindings());
-  EXPECT_FALSE(detector.AnalyzeColumn({"a"}).HasFindings());
+  EXPECT_FALSE(Analyze(detector, {}).HasFindings());
+  EXPECT_FALSE(Analyze(detector, {"a"}).HasFindings());
   // All-identical values: one distinct value, nothing to compare.
-  EXPECT_FALSE(detector.AnalyzeColumn({"x", "x", "x"}).HasFindings());
+  EXPECT_FALSE(Analyze(detector, {"x", "x", "x"}).HasFindings());
 }
 
 TEST_F(DetectFixture, PairFindingsAreCappedAndSorted) {
@@ -130,7 +135,7 @@ TEST_F(DetectFixture, PairFindingsAreCappedAndSorted) {
   Detector detector(model_, opts);
   std::vector<std::string> col = {"2011-01-01", "2011-01-02", "2011-01-03",
                                   "2011/01/04", "2011.01.05", "Jul-06"};
-  ColumnReport report = detector.AnalyzeColumn(col);
+  ColumnReport report = Analyze(detector, col);
   EXPECT_LE(report.pairs.size(), 3u);
   for (size_t i = 1; i < report.pairs.size(); ++i) {
     EXPECT_GE(report.pairs[i - 1].confidence, report.pairs[i].confidence);
@@ -142,7 +147,7 @@ TEST_F(DetectFixture, MinConfidenceFilters) {
   opts.min_confidence = 1.1;  // unattainable
   Detector detector(model_, opts);
   std::vector<std::string> col = {"2011-01-01", "2011-01-02", "2011/01/03"};
-  EXPECT_FALSE(detector.AnalyzeColumn(col).HasFindings());
+  EXPECT_FALSE(Analyze(detector, col).HasFindings());
 }
 
 TEST_F(DetectFixture, AggregationVariantsAllRun) {
@@ -154,7 +159,7 @@ TEST_F(DetectFixture, AggregationVariantsAllRun) {
     DetectorOptions opts;
     opts.aggregation = a;
     Detector detector(model_, opts);
-    ColumnReport report = detector.AnalyzeColumn(col);  // must not crash
+    ColumnReport report = Analyze(detector, col);  // must not crash
     (void)report;
     auto verdict = detector.ScorePair("1962", "1865.");
     EXPECT_GE(verdict.confidence, 0.0) << AggregationName(a);
@@ -225,7 +230,7 @@ TEST_F(DetectFixture, SketchedModelStillDetects) {
   Detector detector(&*sketched);
   std::vector<std::string> col = {"2011-01-01", "2011-01-02", "2011-01-03",
                                   "2011-01-04", "2011/01/05"};
-  ColumnReport report = detector.AnalyzeColumn(col);
+  ColumnReport report = Analyze(detector, col);
   ASSERT_TRUE(report.HasFindings());
   EXPECT_EQ(report.Top()->value, "2011/01/05");
 }

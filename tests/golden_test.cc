@@ -54,8 +54,8 @@ Result<Model> TrainGoldenModel() {
 /// The pinned eval tables: 48 WEB columns with injected errors plus the
 /// paper's flagship hand examples. Changing this set invalidates the golden
 /// file by construction — regenerate and commit together.
-std::vector<ColumnRequest> GoldenBatch() {
-  std::vector<ColumnRequest> batch;
+std::vector<DetectRequest> GoldenBatch() {
+  std::vector<DetectRequest> batch;
   GeneratorOptions gen;
   gen.num_columns = 48;
   gen.inject_errors = true;
@@ -63,23 +63,23 @@ std::vector<ColumnRequest> GoldenBatch() {
   GeneratedColumnSource source(gen);
   Column column;
   while (source.Next(&column)) {
-    batch.push_back(ColumnRequest{column.domain, column.values});
+    batch.push_back(DetectRequest{column.domain, column.values});
   }
-  batch.push_back(ColumnRequest{
+  batch.push_back(DetectRequest{
       "paper-dates",
       {"2011-01-01", "2011-01-02", "2011-01-03", "2011-01-04", "2011/01/05"}});
-  batch.push_back(ColumnRequest{"paper-years", {"1962", "1981", "1974", "1990", "1865."}});
-  batch.push_back(ColumnRequest{"paper-thousands", {"995", "996", "997", "998", "999", "1,000"}});
+  batch.push_back(DetectRequest{"paper-years", {"1962", "1981", "1974", "1990", "1865."}});
+  batch.push_back(DetectRequest{"paper-thousands", {"995", "996", "997", "998", "999", "1,000"}});
   return batch;
 }
 
 /// Stable human-auditable rendering: confidences at 6 decimals, findings in
-/// report order (which AnalyzeColumn already sorts deterministically).
-std::string RenderFindings(const std::vector<ColumnRequest>& batch,
-                           const std::vector<ColumnReport>& reports) {
+/// report order (which the detector already sorts deterministically).
+std::string RenderFindings(const std::vector<DetectRequest>& batch,
+                           const std::vector<DetectReport>& reports) {
   std::string out;
   for (size_t i = 0; i < batch.size(); ++i) {
-    const ColumnReport& r = reports[i];
+    const ColumnReport& r = reports[i].column;
     out += StrFormat("[%zu] %s: distinct=%zu cells=%zu pairs=%zu\n", i,
                      batch[i].name.c_str(), r.distinct_values, r.cells.size(),
                      r.pairs.size());
@@ -101,18 +101,30 @@ TEST(GoldenTest, FindingsMatchCheckedInGolden) {
 
   // Round-trip through the on-disk format: the golden file also guards the
   // serializer, and detection runs on the loaded copy like a real deployment.
+  // AD_MODEL_FORMAT=v1 routes the round trip through the legacy streamed
+  // format instead of the default zero-copy ADMODEL2 — the golden output
+  // must be byte-identical either way (that is the v1/v2 equivalence gate
+  // tools/run_tier1.sh runs).
+  ModelFormat format = ModelFormat::kV2;
+  if (const char* env = std::getenv("AD_MODEL_FORMAT")) {
+    ASSERT_TRUE(std::string(env) == "v1" || std::string(env) == "v2")
+        << "AD_MODEL_FORMAT must be v1 or v2, got '" << env << "'";
+    if (std::string(env) == "v1") format = ModelFormat::kV1;
+  }
   std::string model_path =
       (std::filesystem::temp_directory_path() / "ad_golden_model.bin").string();
-  ASSERT_TRUE(trained->Save(model_path).ok());
+  ASSERT_TRUE(trained->Save(model_path, format).ok());
   auto model = Model::Load(model_path);
   ASSERT_TRUE(model.ok()) << model.status().ToString();
-  std::filesystem::remove(model_path);
+  EXPECT_EQ(model->format(), format);
 
-  std::vector<ColumnRequest> batch = GoldenBatch();
+  std::vector<DetectRequest> batch = GoldenBatch();
   EngineOptions opts;
   opts.num_threads = 8;
   DetectionEngine engine(&*model, opts);
-  std::string rendered = RenderFindings(batch, engine.DetectBatch(batch));
+  std::string rendered = RenderFindings(batch, engine.Detect(batch));
+  // The mapped file must stay alive until detection is done; remove after.
+  std::filesystem::remove(model_path);
 
   if (std::getenv("AD_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(kGoldenFile, std::ios::binary);

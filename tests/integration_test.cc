@@ -19,6 +19,11 @@
 namespace autodetect {
 namespace {
 
+/// Column-scan convenience over the unified API (detect/api.h).
+ColumnReport Analyze(const Detector& detector, const std::vector<std::string>& values) {
+  return detector.Detect(DetectRequest{"", values}).column;
+}
+
 class IntegrationFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -75,18 +80,18 @@ TEST_F(IntegrationFixture, PaperIntroductionScenarios) {
   std::vector<std::string> col1;
   for (int i = 990; i <= 999; ++i) col1.push_back(std::to_string(i));
   col1.push_back("1,000");
-  EXPECT_FALSE(detector.AnalyzeColumn(col1).HasFindings());
+  EXPECT_FALSE(Analyze(detector, col1).HasFindings());
 
   // Col-2: a float among integers is NOT an error.
   std::vector<std::string> col2;
   for (int i = 90; i <= 99; ++i) col2.push_back(std::to_string(i));
   col2.push_back("1.99");
-  EXPECT_FALSE(detector.AnalyzeColumn(col2).HasFindings());
+  EXPECT_FALSE(Analyze(detector, col2).HasFindings());
 
   // Col-3: a slash date among ISO dates IS an error.
   std::vector<std::string> col3 = {"2011-01-01", "2011-01-02", "2011-01-03",
                                    "2011-01-04", "2011/01/05"};
-  auto report = detector.AnalyzeColumn(col3);
+  auto report = Analyze(detector, col3);
   ASSERT_TRUE(report.HasFindings());
   EXPECT_EQ(report.Top()->value, "2011/01/05");
 }
@@ -153,7 +158,7 @@ TEST_F(IntegrationFixture, DetectionSurvivesModelRoundTripThroughDisk) {
   ASSERT_TRUE(loaded.ok());
   Detector detector(&*loaded);
   std::vector<std::string> col = {"1962", "1981", "1974", "1990", "1865."};
-  auto report = detector.AnalyzeColumn(col);
+  auto report = Analyze(detector, col);
   ASSERT_TRUE(report.HasFindings());
   EXPECT_EQ(report.Top()->value, "1865.");
   std::filesystem::remove(path);

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/random.h"
 #include "io/csv.h"
+#include "io/mmap_file.h"
 #include "io/serde.h"
 
 namespace autodetect {
@@ -182,12 +185,17 @@ TEST(SerdeTest, RandomRoundTrip) {
   }
 }
 
-TEST(SerdeTest, TruncatedStreamIsCorruption) {
+TEST(SerdeTest, TruncatedStreamIsIOErrorWithOffset) {
+  // Running out of bytes is a truncated-input IOError (re-copy the file),
+  // NOT Corruption (the file is wrong) — and the message names the offset.
   std::stringstream ss;
   BinaryWriter w(&ss);
   w.WriteU32(1);
   BinaryReader r(&ss);
-  EXPECT_TRUE(r.ReadU64().status().IsCorruption());
+  Status status = r.ReadU64().status();
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.ToString().find("truncated"), std::string::npos);
+  EXPECT_NE(status.ToString().find("byte offset 0"), std::string::npos);
 }
 
 TEST(SerdeTest, OversizedStringLengthIsCorruption) {
@@ -218,6 +226,113 @@ TEST(SerdeTest, SpecialDoubles) {
   EXPECT_EQ(*r.ReadDouble(), -0.0);
   EXPECT_EQ(*r.ReadDouble(), std::numeric_limits<double>::infinity());
   EXPECT_EQ(*r.ReadDouble(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(SerdeTest, MemoryModeReadsAndTracksOffset) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(42);
+  w.WriteString("zero-copy");
+  std::string bytes = ss.str();
+
+  BinaryReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(r.offset(), 0u);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.offset(), 4u);
+  EXPECT_EQ(*r.ReadU64(), 42u);
+  EXPECT_EQ(*r.ReadString(), "zero-copy");
+  EXPECT_EQ(r.offset(), bytes.size());
+  // One byte past the end: truncation IOError with the precise offset.
+  Status past = r.ReadU8().status();
+  EXPECT_TRUE(past.IsIOError()) << past.ToString();
+  EXPECT_NE(past.ToString().find("truncated"), std::string::npos);
+}
+
+TEST(SerdeTest, AlignToPadsWithZeros) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU8(0xff);
+  w.AlignTo(64);
+  w.WriteU8(0xee);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.bytes_written(), 65u);
+  std::string bytes = ss.str();
+  ASSERT_EQ(bytes.size(), 65u);
+  for (size_t i = 1; i < 64; ++i) EXPECT_EQ(bytes[i], '\0') << "pad byte " << i;
+  EXPECT_EQ(static_cast<unsigned char>(bytes[64]), 0xee);
+  // Already-aligned position: no padding emitted.
+  w.AlignTo(1);
+  EXPECT_EQ(w.bytes_written(), 65u);
+}
+
+TEST(SerdeTest, CorruptTagsSemanticErrorsWithOffset) {
+  std::string bytes(16, '\0');
+  BinaryReader r(bytes.data(), bytes.size());
+  ASSERT_TRUE(r.ReadU64().ok());
+  Status status = r.Corrupt("bad section id");
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.ToString().find("bad section id"), std::string::npos);
+  EXPECT_NE(status.ToString().find("byte offset 8"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Mmap
+
+std::string WriteTempFile(const std::string& name, const std::string& contents) {
+  std::string path = (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  return path;
+}
+
+TEST(MmapFileTest, MapsWholeFileReadOnly) {
+  std::string contents = "The quick brown fox jumps over the lazy dog";
+  std::string path = WriteTempFile("ad_mmap_test.bin", contents);
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), contents.size());
+  ASSERT_NE(mapped->data(), nullptr);
+  EXPECT_EQ(std::memcmp(mapped->data(), contents.data(), contents.size()), 0);
+  // Advice is best-effort and must never crash on a valid mapping.
+  mapped->Advise(MmapFile::Advice::kSequential);
+  mapped->Advise(MmapFile::Advice::kRandom, 0, mapped->size());
+  mapped->Advise(MmapFile::Advice::kWillNeed, 5, 10);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, EmptyFileIsValidWithZeroSize) {
+  std::string path = WriteTempFile("ad_mmap_empty.bin", "");
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, MissingFileIsIOError) {
+  auto mapped = MmapFile::Open("/no/such/dir/ad_mmap.bin");
+  EXPECT_TRUE(mapped.status().IsIOError());
+}
+
+TEST(MmapFileTest, MoveTransfersOwnership) {
+  std::string contents = "move me";
+  std::string path = WriteTempFile("ad_mmap_move.bin", contents);
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  MmapFile moved = std::move(*mapped);
+  EXPECT_EQ(moved.size(), contents.size());
+  EXPECT_EQ(std::memcmp(moved.data(), contents.data(), contents.size()), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, SurvivesUnlinkWhileMapped) {
+  // The retrain-and-mv deployment: the old artifact may be unlinked while a
+  // snapshot still maps it. POSIX keeps the pages valid until munmap.
+  std::string contents = "still here after unlink";
+  std::string path = WriteTempFile("ad_mmap_unlink.bin", contents);
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  std::filesystem::remove(path);
+  EXPECT_EQ(std::memcmp(mapped->data(), contents.data(), contents.size()), 0);
 }
 
 }  // namespace

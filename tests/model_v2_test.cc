@@ -1,0 +1,318 @@
+// ADMODEL2 format tests: v1/v2 round-trips must produce byte-identical
+// detection reports, the v2 loader must fail closed on every corruption we
+// can synthesize (truncation, bit flips, header field damage), and the
+// re-serialization paths (v2 -> v1, v2 -> v2 from a mapped model) must
+// preserve behaviour. The fuzz cases run under the ASan/UBSan tier-1 legs:
+// a crash on any mangled input fails the gate, not just a wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "corpus/corpus_generator.h"
+#include "detect/detector.h"
+#include "detect/trainer.h"
+
+namespace autodetect {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+/// Byte-exact report rendering (hexfloat doubles), as in serve_test.
+std::string Fingerprint(const ColumnReport& report) {
+  std::string out = StrFormat("d=%zu\n", report.distinct_values);
+  for (const auto& c : report.cells) {
+    out += StrFormat("c %u \"%s\" %a %u\n", c.row, c.value.c_str(), c.confidence,
+                     c.incompatible_with);
+  }
+  for (const auto& p : report.pairs) {
+    out += StrFormat("p \"%s\"|\"%s\" %a\n", p.u.c_str(), p.v.c_str(), p.confidence);
+  }
+  return out;
+}
+
+/// A small eval batch with guaranteed findings plus generated variety.
+std::vector<std::vector<std::string>> EvalColumns() {
+  std::vector<std::vector<std::string>> columns = {
+      {"2011-01-01", "2011-01-02", "2011-01-03", "2011-01-04", "2011/01/05"},
+      {"1962", "1981", "1974", "1990", "1865."},
+      {"995", "996", "997", "998", "999", "1,000"},
+      {"x"},
+      {},
+  };
+  GeneratorOptions gen;
+  gen.num_columns = 24;
+  gen.inject_errors = true;
+  gen.seed = 99;
+  GeneratedColumnSource source(gen);
+  Column column;
+  while (source.Next(&column)) columns.push_back(column.values);
+  return columns;
+}
+
+std::vector<std::string> AllFingerprints(const Model& model) {
+  Detector detector(&model);
+  std::vector<std::string> out;
+  for (const auto& values : EvalColumns()) {
+    out.push_back(Fingerprint(detector.Detect(DetectRequest{"", values}).column));
+  }
+  return out;
+}
+
+/// One trained pipeline for all cases; a plain and a sketched model cover
+/// both frozen co-occurrence layouts (open map vs count-min sketch).
+class ModelV2Fixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions gen;
+    gen.num_columns = 1200;
+    gen.inject_errors = false;
+    gen.seed = 20180610;
+    GeneratedColumnSource source(gen);
+    TrainOptions train;
+    train.memory_budget_bytes = 16ull << 20;
+    train.stats.language_ids = {
+        LanguageSpace::IdOf(LanguageSpace::CrudeG()),
+        LanguageSpace::IdOf(LanguageSpace::PaperL1()),
+        LanguageSpace::IdOf(LanguageSpace::PaperL2()),
+        5, 40, 77, 120};
+    train.supervision.target_positives = 3000;
+    train.supervision.target_negatives = 3000;
+    train.corpus_name = "model-v2-test";
+    auto pipeline = TrainingPipeline::Run(&source, train);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    auto model = pipeline->BuildModel();
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new Model(std::move(*model));
+    auto sketched = pipeline->BuildModel(16ull << 20, 0.25);
+    ASSERT_TRUE(sketched.ok()) << sketched.status().ToString();
+    sketched_ = new Model(std::move(*sketched));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete sketched_;
+    model_ = nullptr;
+    sketched_ = nullptr;
+  }
+
+  static Model* model_;
+  static Model* sketched_;
+};
+
+Model* ModelV2Fixture::model_ = nullptr;
+Model* ModelV2Fixture::sketched_ = nullptr;
+
+TEST_F(ModelV2Fixture, V1AndV2RoundTripsAreByteIdentical) {
+  for (const Model* source : {model_, sketched_}) {
+    std::vector<std::string> baseline = AllFingerprints(*source);
+
+    std::string v1_path = TempPath("ad_v2test_v1.bin");
+    std::string v2_path = TempPath("ad_v2test_v2.bin");
+    ASSERT_TRUE(source->Save(v1_path, ModelFormat::kV1).ok());
+    ASSERT_TRUE(source->Save(v2_path, ModelFormat::kV2).ok());
+
+    auto v1 = Model::Load(v1_path);
+    auto v2 = Model::Load(v2_path);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    EXPECT_EQ(v1->format(), ModelFormat::kV1);
+    EXPECT_EQ(v2->format(), ModelFormat::kV2);
+    EXPECT_FALSE(v1->mapped());
+    EXPECT_GT(v2->FileBytes(), 0u);
+    EXPECT_EQ(v2->FileBytes(), std::filesystem::file_size(v2_path));
+    EXPECT_EQ(v1->languages.size(), source->languages.size());
+    EXPECT_EQ(v2->languages.size(), source->languages.size());
+    EXPECT_EQ(v2->corpus_name, source->corpus_name);
+    EXPECT_EQ(v2->trained_columns, source->trained_columns);
+
+    EXPECT_EQ(AllFingerprints(*v1), baseline);
+    EXPECT_EQ(AllFingerprints(*v2), baseline);
+
+    std::filesystem::remove(v1_path);
+    std::filesystem::remove(v2_path);
+  }
+}
+
+TEST_F(ModelV2Fixture, MappedModelReserializesInBothFormats) {
+  // A v2-loaded (frozen, possibly mapped) model must be savable again in
+  // either format without thawing losses: load -> save -> load -> same
+  // reports.
+  std::string v2_path = TempPath("ad_v2test_reser.bin");
+  ASSERT_TRUE(sketched_->Save(v2_path, ModelFormat::kV2).ok());
+  auto mapped = Model::Load(v2_path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  std::vector<std::string> baseline = AllFingerprints(*mapped);
+
+  std::string again_v1 = TempPath("ad_v2test_reser_v1.bin");
+  std::string again_v2 = TempPath("ad_v2test_reser_v2.bin");
+  ASSERT_TRUE(mapped->Save(again_v1, ModelFormat::kV1).ok());
+  ASSERT_TRUE(mapped->Save(again_v2, ModelFormat::kV2).ok());
+  auto from_v1 = Model::Load(again_v1);
+  auto from_v2 = Model::Load(again_v2);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+  EXPECT_EQ(AllFingerprints(*from_v1), baseline);
+  EXPECT_EQ(AllFingerprints(*from_v2), baseline);
+
+  std::filesystem::remove(v2_path);
+  std::filesystem::remove(again_v1);
+  std::filesystem::remove(again_v2);
+}
+
+TEST_F(ModelV2Fixture, TruncationIsAlwaysATypedError) {
+  std::string path = TempPath("ad_v2test_trunc.bin");
+  ASSERT_TRUE(model_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+
+  Pcg32 rng(1234);
+  std::vector<size_t> cuts = {0, 1, 7, 8, 79, 80, 4095, 4096, 4097,
+                              bytes->size() - 1};
+  for (int i = 0; i < 40; ++i) cuts.push_back(rng.Below(static_cast<uint32_t>(bytes->size())));
+  for (size_t cut : cuts) {
+    WriteFileBytes(path, bytes->substr(0, cut));
+    auto loaded = Model::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut << " loaded successfully";
+    EXPECT_TRUE(loaded.status().IsIOError() || loaded.status().IsCorruption())
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
+  // The untruncated file still loads.
+  WriteFileBytes(path, *bytes);
+  EXPECT_TRUE(Model::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelV2Fixture, BitFlipFuzzNeverCrashesAndNeverServesWrongReports) {
+  std::string path = TempPath("ad_v2test_flip.bin");
+  ASSERT_TRUE(sketched_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<std::string> baseline = AllFingerprints(*sketched_);
+
+  Pcg32 rng(987654321);
+  size_t rejected = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    std::string mangled = *bytes;
+    size_t pos = rng.Below(static_cast<uint32_t>(mangled.size()));
+    mangled[pos] = static_cast<char>(mangled[pos] ^ (1u << rng.Below(8)));
+    WriteFileBytes(path, mangled);
+    auto loaded = Model::Load(path);
+    if (!loaded.ok()) {
+      ++rejected;
+      EXPECT_TRUE(loaded.status().IsIOError() || loaded.status().IsCorruption())
+          << "flip at " << pos << ": " << loaded.status().ToString();
+      continue;
+    }
+    // A flip that survives validation can only have landed in dead padding —
+    // the loaded model must behave exactly like the original.
+    EXPECT_EQ(AllFingerprints(*loaded), baseline) << "flip at " << pos;
+  }
+  // The checksums must actually be doing work: most flips land in live
+  // sections and must be rejected.
+  EXPECT_GT(rejected, 60u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelV2Fixture, TargetedHeaderAndSectionCorruptions) {
+  std::string path = TempPath("ad_v2test_target.bin");
+  ASSERT_TRUE(model_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+
+  auto load_mangled = [&](size_t offset, uint64_t value) {
+    std::string mangled = *bytes;
+    std::memcpy(&mangled[offset], &value, sizeof(value));
+    WriteFileBytes(path, mangled);
+    return Model::Load(path);
+  };
+
+  // Version bump -> rejected.
+  {
+    std::string mangled = *bytes;
+    uint32_t version = 99;
+    std::memcpy(&mangled[8], &version, sizeof(version));
+    WriteFileBytes(path, mangled);
+    auto loaded = Model::Load(path);
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  }
+  // Endianness marker from another byte order -> rejected with a clear
+  // message, not garbage decoding.
+  {
+    std::string mangled = *bytes;
+    uint32_t marker = 0x01000000;
+    std::memcpy(&mangled[12], &marker, sizeof(marker));
+    WriteFileBytes(path, mangled);
+    auto loaded = Model::Load(path);
+    ASSERT_TRUE(loaded.status().IsCorruption());
+    EXPECT_NE(loaded.status().ToString().find("byte order"), std::string::npos);
+  }
+  // Misaligned / out-of-bounds section offsets -> rejected (never mapped
+  // through).
+  EXPECT_FALSE(load_mangled(32, 4097).ok());                  // meta_off odd page
+  EXPECT_FALSE(load_mangled(32, bytes->size() + 4096).ok());  // meta_off OOB
+  EXPECT_FALSE(load_mangled(56, 81).ok());                    // data_off unaligned
+  EXPECT_FALSE(load_mangled(40, uint64_t{1} << 60).ok());     // meta_len absurd
+  // Checksum field damage -> Corruption naming the checksum.
+  {
+    auto loaded = load_mangled(48, 0xdeadbeefdeadbeefull);
+    ASSERT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+    EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos);
+  }
+  // A flipped byte inside DATA -> checksum mismatch.
+  {
+    uint64_t data_off = 0;
+    std::memcpy(&data_off, bytes->data() + 56, sizeof(data_off));
+    std::string mangled = *bytes;
+    mangled[data_off + 8] = static_cast<char>(mangled[data_off + 8] ^ 0x40);
+    WriteFileBytes(path, mangled);
+    auto loaded = Model::Load(path);
+    ASSERT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+    EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos);
+  }
+  // Trailing garbage after file_size bytes -> rejected, not ignored.
+  {
+    std::string mangled = *bytes + std::string(64, 'Z');
+    WriteFileBytes(path, mangled);
+    EXPECT_FALSE(Model::Load(path).ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelV2Fixture, V1FilesKeepLoadingUnchanged) {
+  // Compatibility gate: the v2 dispatch must leave v1 loading untouched,
+  // including its error behaviour on garbage.
+  std::string path = TempPath("ad_v2test_v1compat.bin");
+  ASSERT_TRUE(model_->Save(path, ModelFormat::kV1).ok());
+  auto loaded = Model::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->format(), ModelFormat::kV1);
+  EXPECT_EQ(loaded->FileBytes(), 0u);
+  WriteFileBytes(path, "definitely not a model");
+  EXPECT_FALSE(Model::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace autodetect

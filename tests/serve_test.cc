@@ -10,14 +10,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "corpus/corpus_generator.h"
 #include "detect/trainer.h"
 #include "serve/detection_engine.h"
+#include "serve/model_registry.h"
 
 namespace autodetect {
 namespace {
@@ -36,17 +42,24 @@ std::string Fingerprint(const ColumnReport& report) {
   return out;
 }
 
-std::vector<std::string> Fingerprints(const std::vector<ColumnReport>& reports) {
+std::vector<std::string> Fingerprints(const std::vector<DetectReport>& reports) {
   std::vector<std::string> out;
   out.reserve(reports.size());
-  for (const auto& r : reports) out.push_back(Fingerprint(r));
+  for (const auto& r : reports) out.push_back(Fingerprint(r.column));
   return out;
+}
+
+/// Sequential-baseline convenience over the unified API.
+ColumnReport Analyze(const Detector& detector, const std::vector<std::string>& values,
+                     ColumnScratch* scratch = nullptr,
+                     PairVerdictCache* cache = nullptr) {
+  return detector.Detect(DetectRequest{"", values}, scratch, cache).column;
 }
 
 /// 200 mixed-size WEB columns with injected errors, plus a few handcrafted
 /// columns that are guaranteed to produce findings under any decent model.
-std::vector<ColumnRequest> StressBatch() {
-  std::vector<ColumnRequest> batch;
+std::vector<DetectRequest> StressBatch() {
+  std::vector<DetectRequest> batch;
   GeneratorOptions gen;
   gen.num_columns = 196;
   gen.inject_errors = true;
@@ -54,13 +67,13 @@ std::vector<ColumnRequest> StressBatch() {
   GeneratedColumnSource source(gen);
   Column column;
   while (source.Next(&column)) {
-    batch.push_back(ColumnRequest{column.domain, column.values});
+    batch.push_back(DetectRequest{column.domain, column.values});
   }
-  batch.push_back(ColumnRequest{
+  batch.push_back(DetectRequest{
       "dates", {"2011-01-01", "2011-01-02", "2011-01-03", "2011-01-04", "2011/01/05"}});
-  batch.push_back(ColumnRequest{"years", {"1962", "1981", "1974", "1990", "1865."}});
-  batch.push_back(ColumnRequest{"tiny", {"x"}});
-  batch.push_back(ColumnRequest{"empty", {}});
+  batch.push_back(DetectRequest{"years", {"1962", "1981", "1974", "1990", "1865."}});
+  batch.push_back(DetectRequest{"tiny", {"x"}});
+  batch.push_back(DetectRequest{"empty", {}});
   return batch;
 }
 
@@ -215,24 +228,24 @@ TEST(PairCacheTest, ConcurrentMixedUseIsSafe) {
 // ------------------------------------------------------- detection engine
 
 TEST_F(ServeFixture, BatchIsBitIdenticalToSequentialDetector) {
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   Detector sequential(model_);
   std::vector<std::string> expected;
   for (const auto& request : batch) {
-    expected.push_back(Fingerprint(sequential.AnalyzeColumn(request.values)));
+    expected.push_back(Fingerprint(Analyze(sequential, request.values)));
   }
 
   EngineOptions opts;
   opts.num_threads = 8;
   opts.cache_bytes = 4ull << 20;
   DetectionEngine engine(model_, opts);
-  std::vector<ColumnReport> reports = engine.DetectBatch(batch);
+  std::vector<DetectReport> reports = engine.Detect(batch);
   ASSERT_EQ(reports.size(), batch.size());
   std::vector<std::string> actual = Fingerprints(reports);
   size_t with_findings = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     EXPECT_EQ(actual[i], expected[i]) << "column " << i << " (" << batch[i].name << ")";
-    if (reports[i].HasFindings()) ++with_findings;
+    if (reports[i].column.HasFindings()) ++with_findings;
   }
   // The batch must actually exercise the finding paths, not just agree on
   // empty reports.
@@ -240,16 +253,16 @@ TEST_F(ServeFixture, BatchIsBitIdenticalToSequentialDetector) {
 }
 
 TEST_F(ServeFixture, RepeatedRunsAndShufflesAreDeterministic) {
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   EngineOptions opts;
   opts.num_threads = 8;
   opts.cache_bytes = 4ull << 20;
   DetectionEngine engine(model_, opts);
-  std::vector<std::string> first = Fingerprints(engine.DetectBatch(batch));
+  std::vector<std::string> first = Fingerprints(engine.Detect(batch));
 
   // Same batch, different schedules (and a now-warm cache).
   for (int run = 0; run < 3; ++run) {
-    EXPECT_EQ(Fingerprints(engine.DetectBatch(batch)), first) << "run " << run;
+    EXPECT_EQ(Fingerprints(engine.Detect(batch)), first) << "run " << run;
   }
 
   // Shuffled request order: reports must follow the requests.
@@ -257,17 +270,17 @@ TEST_F(ServeFixture, RepeatedRunsAndShufflesAreDeterministic) {
   std::iota(perm.begin(), perm.end(), size_t{0});
   Pcg32 rng(2024);
   rng.Shuffle(&perm);
-  std::vector<ColumnRequest> shuffled;
+  std::vector<DetectRequest> shuffled;
   shuffled.reserve(batch.size());
   for (size_t i : perm) shuffled.push_back(batch[i]);
-  std::vector<std::string> shuffled_prints = Fingerprints(engine.DetectBatch(shuffled));
+  std::vector<std::string> shuffled_prints = Fingerprints(engine.Detect(shuffled));
   for (size_t i = 0; i < perm.size(); ++i) {
     EXPECT_EQ(shuffled_prints[i], first[perm[i]]) << "shuffled position " << i;
   }
 }
 
 TEST_F(ServeFixture, CacheDoesNotChangeReports) {
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   EngineOptions cached;
   cached.num_threads = 4;
   cached.cache_bytes = 1ull << 20;
@@ -278,19 +291,19 @@ TEST_F(ServeFixture, CacheDoesNotChangeReports) {
   DetectionEngine engine_uncached(model_, uncached);
   EXPECT_FALSE(engine_uncached.cache_enabled());
   EXPECT_TRUE(engine_cached.cache_enabled());
-  EXPECT_EQ(Fingerprints(engine_cached.DetectBatch(batch)),
-            Fingerprints(engine_uncached.DetectBatch(batch)));
+  EXPECT_EQ(Fingerprints(engine_cached.Detect(batch)),
+            Fingerprints(engine_uncached.Detect(batch)));
   EXPECT_EQ(engine_uncached.Stats().cache.insertions, 0u);
 }
 
 TEST_F(ServeFixture, CacheHitsAccumulateAcrossBatches) {
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   EngineOptions opts;
   opts.num_threads = 4;
   DetectionEngine engine(model_, opts);
-  engine.DetectBatch(batch);
+  engine.Detect(batch);
   uint64_t misses_after_first = engine.Stats().cache.misses;
-  engine.DetectBatch(batch);
+  engine.Detect(batch);
   PairCacheStats stats = engine.Stats().cache;
   // The second identical batch is served from cache almost entirely.
   EXPECT_GT(stats.hits, 0u);
@@ -305,25 +318,25 @@ TEST_F(ServeFixture, SingleWorkerAndEmptyBatches) {
   opts.num_threads = 1;
   DetectionEngine engine(model_, opts);
   EXPECT_EQ(engine.num_threads(), 1u);
-  EXPECT_TRUE(engine.DetectBatch({}).empty());
-  std::vector<ColumnRequest> batch = {
-      ColumnRequest{"dates",
+  EXPECT_TRUE(engine.Detect({}).empty());
+  std::vector<DetectRequest> batch = {
+      DetectRequest{"dates",
                     {"2011-01-01", "2011-01-02", "2011-01-03", "2011/01/04"}}};
-  std::vector<ColumnReport> reports = engine.DetectBatch(batch);
+  std::vector<DetectReport> reports = engine.Detect(batch);
   ASSERT_EQ(reports.size(), 1u);
   Detector sequential(model_);
-  EXPECT_EQ(Fingerprint(reports[0]),
-            Fingerprint(sequential.AnalyzeColumn(batch[0].values)));
+  EXPECT_EQ(Fingerprint(reports[0].column),
+            Fingerprint(Analyze(sequential, batch[0].values)));
 }
 
-TEST_F(ServeFixture, ConcurrentDetectBatchCallersAreIsolated) {
+TEST_F(ServeFixture, ConcurrentDetectCallersAreIsolated) {
   // Multiple application threads sharing one engine: each must get its own
   // batch's reports, in its own request order.
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   Detector sequential(model_);
   std::vector<std::string> expected;
   for (const auto& request : batch) {
-    expected.push_back(Fingerprint(sequential.AnalyzeColumn(request.values)));
+    expected.push_back(Fingerprint(Analyze(sequential, request.values)));
   }
   EngineOptions opts;
   opts.num_threads = 4;
@@ -332,7 +345,7 @@ TEST_F(ServeFixture, ConcurrentDetectBatchCallersAreIsolated) {
   std::vector<std::vector<std::string>> results(4);
   for (int t = 0; t < 4; ++t) {
     callers.emplace_back([&engine, &batch, &results, t] {
-      results[t] = Fingerprints(engine.DetectBatch(batch));
+      results[t] = Fingerprints(engine.Detect(batch));
     });
   }
   for (auto& th : callers) th.join();
@@ -347,13 +360,13 @@ TEST_F(ServeFixture, MetricsAgreeWithEngineStats) {
   // must agree with the engine's own Stats() accounting, and the detect/serve
   // counters must match the work actually submitted.
   MetricsRegistry registry;
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   EngineOptions opts;
   opts.num_threads = 4;
   opts.metrics = &registry;
   DetectionEngine engine(model_, opts);
-  engine.DetectBatch(batch);
-  engine.DetectBatch(batch);  // warm-cache pass so hits are non-zero
+  engine.Detect(batch);
+  engine.Detect(batch);  // warm-cache pass so hits are non-zero
 
   EngineStats stats = engine.Stats();
   MetricsSnapshot snap = registry.Snapshot();
@@ -437,18 +450,188 @@ TEST_F(ServeFixture, ScratchOverloadMatchesAllocatingPath) {
   Detector detector(model_);
   ColumnScratch scratch;
   ShardedPairCache cache;
-  std::vector<ColumnRequest> batch = StressBatch();
+  std::vector<DetectRequest> batch = StressBatch();
   for (const auto& request : batch) {
-    std::string baseline = Fingerprint(detector.AnalyzeColumn(request.values));
-    EXPECT_EQ(Fingerprint(detector.AnalyzeColumn(request.values, &scratch, nullptr)),
+    std::string baseline = Fingerprint(Analyze(detector, request.values));
+    EXPECT_EQ(Fingerprint(Analyze(detector, request.values, &scratch, nullptr)),
               baseline);
-    EXPECT_EQ(Fingerprint(detector.AnalyzeColumn(request.values, &scratch, &cache)),
+    EXPECT_EQ(Fingerprint(Analyze(detector, request.values, &scratch, &cache)),
               baseline);
     // Second pass with a warm cache.
-    EXPECT_EQ(Fingerprint(detector.AnalyzeColumn(request.values, &scratch, &cache)),
+    EXPECT_EQ(Fingerprint(Analyze(detector, request.values, &scratch, &cache)),
               baseline);
   }
   EXPECT_GT(cache.Stats().hits, 0u);
+}
+
+// -------------------------------------------------------- model registry
+
+/// A second, deliberately different model (single crude language, different
+/// corpus) so reload tests can tell "old snapshot" from "new snapshot" by
+/// report content. Trained once, lazily.
+const Model& VariantModel() {
+  static const Model* model = [] {
+    GeneratorOptions gen;
+    gen.num_columns = 600;
+    gen.inject_errors = false;
+    gen.seed = 4242;
+    GeneratedColumnSource source(gen);
+    TrainOptions train;
+    train.memory_budget_bytes = 8ull << 20;
+    train.stats.language_ids = {LanguageSpace::IdOf(LanguageSpace::CrudeG())};
+    train.supervision.target_positives = 1500;
+    train.supervision.target_negatives = 1500;
+    train.corpus_name = "serve-test-variant";
+    auto trained = TrainModel(&source, train);
+    AD_CHECK(trained.ok()) << trained.status().ToString();
+    return new Model(std::move(*trained));
+  }();
+  return *model;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST_F(ServeFixture, RegistryFailedReloadKeepsServingOldModel) {
+  std::string good = TempPath("ad_serve_registry_good.bin");
+  std::string bad = TempPath("ad_serve_registry_bad.bin");
+  ASSERT_TRUE(model_->Save(good).ok());
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << "ADMODEL2 this is not a model";
+  }
+
+  MetricsRegistry metrics;
+  ModelRegistry registry(&metrics);
+  EXPECT_EQ(registry.Snapshot(), nullptr);
+  ASSERT_TRUE(registry.Reload(good).ok());
+  std::shared_ptr<const Model> snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  uint64_t generation = registry.Generation();
+  EXPECT_GT(generation, 0u);
+  EXPECT_EQ(registry.path(), good);
+
+  Status failed = registry.Reload(bad);
+  EXPECT_FALSE(failed.ok());
+  // Fails closed: same snapshot pointer, same generation, path unchanged.
+  EXPECT_EQ(registry.Snapshot(), snapshot);
+  EXPECT_EQ(registry.Generation(), generation);
+  EXPECT_EQ(registry.path(), good);
+  if (kMetricsEnabled) {
+    MetricsSnapshot snap = metrics.Snapshot();
+    EXPECT_EQ(snap.counters.at("model.reload.total"), 1u);
+    EXPECT_EQ(snap.counters.at("model.reload.errors_total"), 1u);
+    EXPECT_GT(snap.gauges.at("model.bytes"), 0.0);
+  }
+  std::filesystem::remove(good);
+  std::filesystem::remove(bad);
+}
+
+TEST_F(ServeFixture, RegistryReloadRacingBatchesStaysSnapshotConsistent) {
+  // The snapshot-consistency guarantee under fire: batches race hot reloads
+  // that flip between two different models, and every batch's reports must
+  // match exactly one of them — never a mix.
+  std::string path_a = TempPath("ad_serve_reload_a.bin");
+  std::string path_b = TempPath("ad_serve_reload_b.bin");
+  ASSERT_TRUE(model_->Save(path_a).ok());
+  ASSERT_TRUE(VariantModel().Save(path_b).ok());
+
+  std::vector<DetectRequest> batch = StressBatch();
+  batch.resize(48);  // keep the race loop cheap; plenty of columns per batch
+
+  auto loaded_a = Model::Load(path_a);
+  auto loaded_b = Model::Load(path_b);
+  ASSERT_TRUE(loaded_a.ok()) << loaded_a.status().ToString();
+  ASSERT_TRUE(loaded_b.ok()) << loaded_b.status().ToString();
+  Detector seq_a(&*loaded_a);
+  Detector seq_b(&*loaded_b);
+  std::vector<std::string> expected_a, expected_b;
+  for (const auto& request : batch) {
+    expected_a.push_back(Fingerprint(Analyze(seq_a, request.values)));
+    expected_b.push_back(Fingerprint(Analyze(seq_b, request.values)));
+  }
+  // The mix check below is vacuous unless the two models actually disagree.
+  ASSERT_NE(expected_a, expected_b);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Reload(path_a).ok());
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.cache_bytes = 1ull << 20;
+  DetectionEngine engine(&registry, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread reloader([&] {
+    int flip = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_TRUE(registry.Reload((++flip % 2) ? path_b : path_a).ok());
+    }
+  });
+
+  constexpr int kBatches = 16;
+  std::vector<std::vector<std::string>> runs(kBatches);
+  std::vector<std::thread> callers;
+  std::atomic<int> next{0};
+  for (int t = 0; t < 2; ++t) {
+    callers.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < kBatches; i = next.fetch_add(1)) {
+        runs[i] = Fingerprints(engine.Detect(batch));
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  stop.store(true);
+  reloader.join();
+
+  for (int i = 0; i < kBatches; ++i) {
+    bool is_a = runs[i] == expected_a;
+    bool is_b = runs[i] == expected_b;
+    EXPECT_TRUE(is_a || is_b)
+        << "batch " << i << " mixed reports from two model snapshots";
+  }
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+TEST_F(ServeFixture, WatcherPicksUpRewrittenArtifact) {
+  std::string path = TempPath("ad_serve_watch.bin");
+  ASSERT_TRUE(model_->Save(path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.StartWatch(path, std::chrono::milliseconds(10)).ok());
+  EXPECT_TRUE(registry.watching());
+  uint64_t gen0 = registry.Generation();
+  ASSERT_GT(gen0, 0u);
+
+  // The sequential executor in provider mode follows the swap too.
+  std::vector<std::string> values = {"2011-01-01", "2011-01-02", "2011/01/03"};
+  SequentialExecutor executor(&registry);
+  DetectReport before = executor.DetectOne(DetectRequest{"dates", values});
+
+  // Rewrite the artifact in place (retrain-and-mv shape) and nudge the mtime
+  // forward in case the filesystem clock is coarse.
+  ASSERT_TRUE(VariantModel().Save(path).ok());
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() + std::chrono::seconds(2),
+      ec);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (registry.Generation() == gen0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(registry.Generation(), gen0) << "watcher never picked up the rewrite";
+  registry.StopWatch();
+  EXPECT_FALSE(registry.watching());
+
+  DetectReport after = executor.DetectOne(DetectRequest{"dates", values});
+  Detector variant_detector(&VariantModel());
+  EXPECT_EQ(Fingerprint(after.column), Fingerprint(Analyze(variant_detector, values)));
+  (void)before;
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -208,7 +208,7 @@ TEST(CalibrationTest, CurveSerializationRoundTrip) {
   BinaryReader r(&ss);
   auto restored = PrecisionCurve::Deserialize(&r);
   ASSERT_TRUE(restored.ok());
-  ASSERT_EQ(restored->points().size(), 2u);
+  ASSERT_EQ(restored->size(), 2u);
   EXPECT_DOUBLE_EQ(restored->PrecisionAt(-1.0), 0.99);
 }
 

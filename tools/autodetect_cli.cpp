@@ -17,6 +17,7 @@
 /// exit — a scan never half-completes silently.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -58,7 +59,7 @@ bool ParseOrUsage(FlagSet& flags, int argc, char** argv) {
 }
 
 int CmdTrain(int argc, char** argv) {
-  std::string profile_name = "WEB", out = "autodetect.model";
+  std::string profile_name = "WEB", out = "autodetect.model", format_name = "v2";
   int64_t columns = 30000, seed = 20180610, budget_mb = 64;
   double precision = 0.95, sketch = 1.0, smoothing = 0.1;
   int64_t jobs = 0;
@@ -74,8 +75,20 @@ int CmdTrain(int argc, char** argv) {
   flags.Double("smoothing", &smoothing, "NPMI smoothing factor");
   flags.Int("jobs", &jobs, "worker threads (0 = all cores)");
   flags.String("out", &out, "model output path");
+  flags.String("format", &format_name,
+               "model file format: v2 (zero-copy, default) or v1 (legacy)");
   metrics.Register(&flags);
   if (!ParseOrUsage(flags, argc, argv)) return 2;
+
+  ModelFormat format;
+  if (format_name == "v1") {
+    format = ModelFormat::kV1;
+  } else if (format_name == "v2") {
+    format = ModelFormat::kV2;
+  } else {
+    return Fail(Status::Invalid("unknown --format '" + format_name +
+                                "' (expected v1 or v2)"));
+  }
 
   auto profile = ProfileByName(profile_name);
   if (!profile.ok()) return Fail(profile.status());
@@ -103,10 +116,11 @@ int CmdTrain(int argc, char** argv) {
               HumanBytes(train.memory_budget_bytes).c_str());
   auto model = TrainModel(&source, train);
   if (!model.ok()) return Fail(model.status().WithContext("training failed"));
-  Status saved = model->Save(out);
+  Status saved = model->Save(out, format);
   if (!saved.ok()) return Fail(saved.WithContext("save failed"));
   std::printf("%s", model->Summary().c_str());
-  std::printf("saved to %s\n", out.c_str());
+  std::printf("saved to %s (%s)\n", out.c_str(),
+              format == ModelFormat::kV2 ? "ADMODEL2" : "ADMODEL1");
 
   Status dumped = metrics.Finish(registry, std::move(dumper));
   if (!dumped.ok()) return Fail(dumped.WithContext("metrics export failed"));
@@ -114,24 +128,14 @@ int CmdTrain(int argc, char** argv) {
   return 0;
 }
 
-Result<Model> LoadModel(const std::string& path) {
-  auto model = Model::Load(path);
-  if (!model.ok()) {
-    return model.status().WithContext(
-        "cannot load model '" + path + "' (train one first: autodetect_cli train --out " +
-        path + ")");
-  }
-  return model;
-}
-
 int CmdScan(int argc, char** argv) {
-  std::string model_path = "autodetect.model";
   double min_confidence = 0.0;
+  ModelFlags model_flags;
   EngineFlags engine_flags;
   MetricsFlags metrics;
 
   FlagSet flags;
-  flags.String("model", &model_path, "trained model file");
+  model_flags.Register(&flags);
   flags.Double("min-confidence", &min_confidence, "suppress findings below this");
   engine_flags.Register(&flags);
   metrics.Register(&flags);
@@ -144,16 +148,18 @@ int CmdScan(int argc, char** argv) {
     return 2;
   }
 
-  auto model = LoadModel(model_path);
-  if (!model.ok()) return Fail(model.status());
-
   MetricsRegistry* registry = MetricsRegistry::Default();
   std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
+
+  // FixedModel for a one-shot scan, or a watching ModelRegistry under
+  // --model-watch; the engine refreshes its snapshot per batch either way.
+  auto provider = model_flags.MakeProvider(registry);
+  if (!provider.ok()) return Fail(provider.status());
 
   EngineOptions engine_opts;
   engine_flags.Apply(&engine_opts);
   engine_opts.metrics = registry;
-  DetectionEngine engine(&*model, engine_opts);
+  DetectionEngine engine(provider->get(), engine_opts);
 
   Stopwatch timer;
   size_t total_findings = 0;
@@ -196,15 +202,15 @@ int CmdScan(int argc, char** argv) {
 }
 
 int CmdPair(int argc, char** argv) {
-  std::string model_path = "autodetect.model";
+  ModelFlags model_flags;
   FlagSet flags;
-  flags.String("model", &model_path, "trained model file");
+  model_flags.Register(&flags);
   if (!ParseOrUsage(flags, argc, argv)) return 2;
   if (flags.positional().size() != 2) {
     std::fprintf(stderr, "usage: autodetect_cli pair --model m.bin VALUE1 VALUE2\n");
     return 2;
   }
-  auto model = LoadModel(model_path);
+  auto model = model_flags.Load();
   if (!model.ok()) return Fail(model.status());
   Detector detector(&*model);
   PairExplanation explanation =
@@ -215,13 +221,21 @@ int CmdPair(int argc, char** argv) {
 }
 
 int CmdInfo(int argc, char** argv) {
-  std::string model_path = "autodetect.model";
+  ModelFlags model_flags;
   FlagSet flags;
-  flags.String("model", &model_path, "trained model file");
+  model_flags.Register(&flags);
   if (!ParseOrUsage(flags, argc, argv)) return 2;
-  auto model = LoadModel(model_path);
+  auto model = model_flags.Load();
   if (!model.ok()) return Fail(model.status());
   std::printf("%s", model->Summary().c_str());
+  // A v1 model is fully deserialized, not file-backed, so report the
+  // artifact's on-disk size rather than FileBytes() (0 when unmapped).
+  std::error_code ec;
+  const auto file_bytes = std::filesystem::file_size(model_flags.model, ec);
+  std::printf("format: %s%s, file %s\n",
+              model->format() == ModelFormat::kV2 ? "ADMODEL2" : "ADMODEL1",
+              model->mapped() ? " (memory-mapped)" : "",
+              HumanBytes(ec ? 0 : file_bytes).c_str());
   return 0;
 }
 
@@ -232,11 +246,15 @@ void Usage() {
                "commands:\n"
                "  train --columns N --profile WEB|WIKI|PUB-XLS|ENT-XLS\n"
                "        --precision P --budget-mb M [--sketch R] [--seed S]\n"
-               "        [--out FILE]                     train + save a model\n"
+               "        [--out FILE] [--format v2|v1]    train + save a model\n"
+               "        (v2 = zero-copy mmap ADMODEL2, the default;\n"
+               "         v1 = legacy streamed ADMODEL1)\n"
                "  scan  --model FILE [--min-confidence C] [--jobs N]\n"
-               "        [--cache-mb M] file.csv...        flag suspicious cells\n"
+               "        [--cache-mb M] [--model-watch [--model-poll-ms N]]\n"
+               "        file.csv...                       flag suspicious cells\n"
                "        (--jobs 0 = all cores; --cache-mb 0 disables the\n"
-               "         cross-column pair-verdict cache)\n"
+               "         cross-column pair-verdict cache; --model-watch\n"
+               "         hot-reloads the model when the file changes)\n"
                "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
                "  info  --model FILE                     describe a model\n\n"
                "train and scan also accept --metrics-out FILE (JSON, or\n"

@@ -1,14 +1,20 @@
 #pragma once
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
+#include "detect/model_provider.h"
 #include "obs/dump.h"
 #include "serve/detection_engine.h"
+#include "serve/model_registry.h"
 
 /// \file flag_set.h
 /// Shared typed flag parsing for the CLI tools. Each tool registers the
@@ -41,6 +47,13 @@ class FlagSet {
     Register(std::move(name), Flag{Flag::kBool, target, std::move(help)});
   }
 
+  /// \brief Registers a retired spelling. Using it is a parse error that
+  /// names the replacement — strictly better than silently accepting two
+  /// spellings forever or "unknown flag" with no hint.
+  void Deprecated(std::string name, std::string replacement) {
+    deprecated_.emplace(std::move(name), std::move(replacement));
+  }
+
   /// \brief Parses argv[start..argc). Flags may appear in any position;
   /// non-flag tokens accumulate as positionals (readable via positional()).
   Status Parse(int argc, char** argv, int start) {
@@ -51,6 +64,11 @@ class FlagSet {
         continue;
       }
       std::string name = arg.substr(2);
+      auto dep = deprecated_.find(name);
+      if (dep != deprecated_.end()) {
+        return Status::Invalid("flag --" + name + " was renamed; use --" +
+                               dep->second);
+      }
       auto it = flags_.find(name);
       if (it == flags_.end()) {
         return Status::Invalid("unknown flag --" + name);
@@ -123,7 +141,58 @@ class FlagSet {
   void Register(std::string name, Flag flag) { flags_.emplace(std::move(name), flag); }
 
   std::map<std::string, Flag> flags_;
+  std::map<std::string, std::string> deprecated_;  ///< old name -> new name
   std::vector<std::string> positional_;
+};
+
+/// The model-acquisition knobs shared by every model-consuming command:
+/// `--model PATH` names the artifact, `--model-watch` turns on hot reload
+/// (mtime-polled via ModelRegistry). Old flag spellings are registered as
+/// deprecated so users get pointed at the new name instead of a bare
+/// "unknown flag".
+struct ModelFlags {
+  std::string model = "autodetect.model";
+  bool model_watch = false;
+  int64_t model_poll_ms = 1000;
+
+  void Register(FlagSet* flags) {
+    flags->String("model", &model, "trained model file (ADMODEL1 or ADMODEL2)");
+    flags->Bool("model-watch", &model_watch,
+                "hot-reload the model when the file changes");
+    flags->Int("model-poll-ms", &model_poll_ms,
+               "mtime poll interval for --model-watch");
+    flags->Deprecated("model-path", "model");
+    flags->Deprecated("model-file", "model");
+    flags->Deprecated("watch", "model-watch");
+  }
+
+  /// \brief Loads the model once, with a hint appended to load failures.
+  Result<Model> Load() const {
+    auto loaded = Model::Load(model);
+    if (!loaded.ok()) {
+      return loaded.status().WithContext(
+          "cannot load model '" + model +
+          "' (train one first: autodetect_cli train --out " + model + ")");
+    }
+    return loaded;
+  }
+
+  /// \brief Builds the provider the flags describe: a FixedModel around one
+  /// load, or a watching ModelRegistry when --model-watch is set. The
+  /// returned provider owns the model/registry; keep it alive as long as
+  /// any executor built on it.
+  Result<std::unique_ptr<ModelProvider>> MakeProvider(
+      MetricsRegistry* metrics) const {
+    if (model_watch) {
+      auto registry = std::make_unique<ModelRegistry>(metrics);
+      AD_RETURN_NOT_OK(registry->StartWatch(
+          model, std::chrono::milliseconds(model_poll_ms)));
+      return std::unique_ptr<ModelProvider>(std::move(registry));
+    }
+    AD_ASSIGN_OR_RETURN(Model loaded, Load());
+    return std::unique_ptr<ModelProvider>(std::make_unique<FixedModel>(
+        std::make_shared<const Model>(std::move(loaded))));
+  }
 };
 
 /// The engine knobs shared by every scanning command.

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, run the full test suite, then run the
-# generalization-kernel and detection-engine benchmarks and leave their JSON
-# reports in the build directory (BENCH_generalize.json, BENCH_detect.json).
+# Tier-1 gate: configure, build, run the full test suite (the golden leg
+# runs once per model artifact format, MODEL=v1 and MODEL=v2, and must
+# produce identical reports), then run the generalization-kernel,
+# detection-engine and model-load benchmarks and leave their JSON reports in
+# the build directory (BENCH_generalize.json, BENCH_detect.json,
+# BENCH_model_load.json — the last also asserts v2 cold-load speedup and
+# v1/v2 + hot-reload report equivalence, failing the gate otherwise).
 # Run from anywhere; exits non-zero on the first failing step.
 #
 # Opt-in sanitizer mode: SANITIZE=thread (or address/undefined) builds the
-# library and the serving-layer stress test in a separate build-$SANITIZE
-# tree with -fsanitize=$SANITIZE and runs serve_test under it, so data races
-# in DetectionEngine/ShardedPairCache fail the gate deterministically
-# instead of flaking. Example:
+# library and the concurrency/fuzz-sensitive tests in a separate
+# build-$SANITIZE tree with -fsanitize=$SANITIZE and runs serve_test
+# (DetectionEngine/ShardedPairCache races, ModelRegistry reload races),
+# io_test (mmap + serde bounds) and model_v2_test (ADMODEL2
+# truncation/bit-flip fuzz) under it, so races and out-of-bounds reads fail
+# the gate deterministically instead of flaking. Example:
 #
 #   SANITIZE=thread tools/run_tier1.sh
 #
@@ -19,12 +25,20 @@
 # snapshots):
 #
 #   METRICS=off tools/run_tier1.sh
+#
+# Opt-in model-format mode: MODEL=v1 (or v2) builds the default tree and
+# runs just the golden detection suite with the model round-tripped through
+# that artifact format — the full gate already runs both; this is the quick
+# single-format spelling:
+#
+#   MODEL=v1 tools/run_tier1.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 SANITIZE="${SANITIZE:-}"
 METRICS="${METRICS:-on}"
+MODEL="${MODEL:-}"
 
 if [[ "$METRICS" == "off" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nometrics}"
@@ -38,15 +52,30 @@ if [[ "$METRICS" == "off" ]]; then
   exit 0
 fi
 
+if [[ -n "$MODEL" ]]; then
+  if [[ "$MODEL" != "v1" && "$MODEL" != "v2" ]]; then
+    echo "MODEL must be v1 or v2, got '$MODEL'" >&2
+    exit 2
+  fi
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target golden_test
+  AD_MODEL_FORMAT="$MODEL" "$BUILD_DIR/tests/golden_test"
+  echo "golden detection suite green with the $MODEL model artifact"
+  exit 0
+fi
+
 if [[ -n "$SANITIZE" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-$SANITIZE}"
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
     -DAUTODETECT_SANITIZE="$SANITIZE" \
     -DAUTODETECT_BUILD_BENCHMARKS=OFF \
     -DAUTODETECT_BUILD_EXAMPLES=OFF
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target serve_test
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target serve_test io_test model_v2_test
   "$BUILD_DIR/tests/serve_test"
-  echo "serve_test green under -fsanitize=$SANITIZE"
+  "$BUILD_DIR/tests/io_test"
+  "$BUILD_DIR/tests/model_v2_test"
+  echo "serve_test + io_test + model_v2_test green under -fsanitize=$SANITIZE"
   exit 0
 fi
 
@@ -56,6 +85,11 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# Golden reports must be byte-identical regardless of the on-disk model
+# format the pipeline round-trips through (ctest already ran the v2 default).
+AD_MODEL_FORMAT=v1 "$BUILD_DIR/tests/golden_test"
+AD_MODEL_FORMAT=v2 "$BUILD_DIR/tests/golden_test"
 
 # Kernel throughput report: old per-language loop vs the shared-tokenization
 # kernel, plus the stats-build and calibration stages that sit on it.
@@ -71,4 +105,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
   --benchmark_out="$BUILD_DIR/BENCH_detect.json" \
   --benchmark_out_format=json
 
-echo "tier-1 green; benchmark reports: $BUILD_DIR/BENCH_generalize.json $BUILD_DIR/BENCH_detect.json"
+# Model artifact report: ADMODEL1 vs ADMODEL2 cold-load medians plus the
+# report-equivalence invariants; exits non-zero if v2 is not >=5x faster or
+# any v1/v2/hot-reload report differs.
+"$BUILD_DIR/bench/bench_model_load" "$BUILD_DIR/BENCH_model_load.json"
+
+echo "tier-1 green; benchmark reports: $BUILD_DIR/BENCH_generalize.json $BUILD_DIR/BENCH_detect.json $BUILD_DIR/BENCH_model_load.json"
