@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+/// \file cancel.h
+/// Cooperative cancellation with optional deadlines. A CancelSource owns the
+/// cancellation state; the CancelTokens it hands out are cheap copies that
+/// workers poll at safe points (between pair-scoring rows, between columns).
+/// Cancellation is advisory — nothing is interrupted preemptively — which is
+/// exactly what the serving layer needs: a column past its deadline stops at
+/// the next poll and returns the findings it already has, instead of
+/// blocking the batch (or being torn down mid-scan with live scratch
+/// buffers).
+///
+/// Cost model: a default-constructed token is inert — `active()` is one
+/// pointer test and Cancelled() never reads the clock — so request paths
+/// with no deadline pay one predictable branch, preserving the engine's
+/// throughput contract. An active token costs one relaxed atomic load per
+/// poll, plus a steady_clock read only when a deadline was set.
+
+namespace autodetect {
+
+namespace internal {
+struct CancelState {
+  std::atomic<bool> cancelled{false};  ///< explicit Cancel()
+  std::atomic<bool> expired{false};    ///< deadline observed passed (sticky)
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+}  // namespace internal
+
+/// Shared, copyable view of one cancellation scope. Thread-safe.
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, no clock reads, no allocation.
+  CancelToken() = default;
+
+  /// True when this token can ever cancel (i.e. it came from a source).
+  bool active() const { return state_ != nullptr; }
+
+  /// \brief True once the source was cancelled or the deadline passed.
+  /// Sticky: once the deadline is observed expired the flag is set, so
+  /// later polls skip the clock read.
+  bool Cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (state_->expired.load(std::memory_order_relaxed)) return true;
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      state_->expired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// \brief True when cancellation came from the deadline (vs an explicit
+  /// Cancel()). Meaningful only after Cancelled() returned true; an explicit
+  /// Cancel() racing an expiring deadline may report either reason.
+  bool ExpiredDeadline() const {
+    return state_ != nullptr && state_->expired.load(std::memory_order_relaxed);
+  }
+
+  /// True when a deadline was attached (Cancelled() may flip on its own).
+  bool has_deadline() const { return state_ != nullptr && state_->has_deadline; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<internal::CancelState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// Owner of one cancellation scope. Typically one per batch: created with
+/// the request's deadline, its token copied into every column's request.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+  /// \brief Source whose token auto-cancels `budget` from now.
+  static CancelSource WithDeadline(std::chrono::milliseconds budget) {
+    CancelSource source;
+    source.state_->has_deadline = true;
+    source.state_->deadline = std::chrono::steady_clock::now() + budget;
+    return source;
+  }
+
+  /// \brief Requests cancellation. Idempotent, thread-safe.
+  void Cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace autodetect

@@ -1,0 +1,190 @@
+#include "common/failpoint.h"
+
+#ifdef AUTODETECT_FAILPOINTS
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace autodetect {
+namespace failpoint {
+
+namespace {
+
+struct ArmedPoint {
+  FailpointSpec spec;
+  FailpointStats stats;
+  Pcg32 rng{0};
+  bool armed = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ArmedPoint, std::less<>> points;
+  bool env_loaded = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // never destroyed: Fire may
+  return *registry;                            // race static teardown
+}
+
+/// Seeds a point's RNG from its name so probabilistic specs replay the same
+/// fire sequence run to run.
+Pcg32 RngFor(std::string_view name) {
+  Fnv1aHasher hasher;
+  for (char c : name) hasher.Byte(static_cast<unsigned char>(c));
+  return Pcg32(hasher.h);
+}
+
+Result<FailpointSpec> ParseSpec(std::string_view spec) {
+  FailpointSpec out;
+  // Optional "skipN" prefix, optionally followed by '*' and a trigger.
+  if (spec.rfind("skip", 0) == 0) {
+    size_t end = 4;
+    while (end < spec.size() && spec[end] >= '0' && spec[end] <= '9') ++end;
+    if (end == 4) return Status::Invalid("failpoint spec: skip needs a count");
+    out.skip = std::strtoll(std::string(spec.substr(4, end - 4)).c_str(), nullptr, 10);
+    if (end == spec.size()) return out;  // "skipN": fire always after N
+    if (spec[end] != '*') return Status::Invalid("failpoint spec: expected '*' after skipN");
+    spec = spec.substr(end + 1);
+  }
+  if (spec == "on") return out;
+  if (spec == "once") {
+    out.max_hits = 1;
+    return out;
+  }
+  if (!spec.empty() && spec[0] == 'p') {
+    char* end = nullptr;
+    std::string body(spec.substr(1));
+    double p = std::strtod(body.c_str(), &end);
+    if (end == body.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::Invalid("failpoint spec: bad probability '" + body + "'");
+    }
+    out.probability = p;
+    return out;
+  }
+  if (!spec.empty() && spec.back() == 'x') {
+    char* end = nullptr;
+    std::string body(spec.substr(0, spec.size() - 1));
+    long long n = std::strtoll(body.c_str(), &end, 10);
+    if (end == body.c_str() || *end != '\0' || n < 0) {
+      return Status::Invalid("failpoint spec: bad count '" + body + "'");
+    }
+    out.max_hits = n;
+    return out;
+  }
+  return Status::Invalid("failpoint spec: unrecognized trigger '" +
+                         std::string(spec) + "'");
+}
+
+/// Arms everything named in AD_FAILPOINTS ("a=once;b=p0.5"). Parse errors
+/// abort loudly — a chaos run with a typo'd spec silently testing nothing is
+/// worse than a crash.
+void LoadEnvLocked(Registry& registry) {
+  registry.env_loaded = true;
+  const char* env = std::getenv("AD_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    size_t semi = rest.find(';');
+    std::string_view entry = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view() : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    std::string_view name = entry.substr(0, eq);
+    std::string_view spec = eq == std::string_view::npos ? "on" : entry.substr(eq + 1);
+    Result<FailpointSpec> parsed = ParseSpec(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fatal: AD_FAILPOINTS entry '%.*s': %s\n",
+                   static_cast<int>(entry.size()), entry.data(),
+                   parsed.status().ToString().c_str());
+      std::abort();
+    }
+    ArmedPoint& point = registry.points[std::string(name)];
+    point.spec = *parsed;
+    point.stats = {};
+    point.rng = RngFor(name);
+    point.armed = true;
+  }
+}
+
+}  // namespace
+
+void Enable(std::string_view name, FailpointSpec spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.env_loaded) LoadEnvLocked(registry);
+  ArmedPoint& point = registry.points[std::string(name)];
+  point.spec = spec;
+  point.stats = {};
+  point.rng = RngFor(name);
+  point.armed = true;
+}
+
+Status EnableFromString(std::string_view name, std::string_view spec) {
+  AD_ASSIGN_OR_RETURN(FailpointSpec parsed, ParseSpec(spec));
+  Enable(name, parsed);
+  return Status::OK();
+}
+
+void Disable(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it != registry.points.end()) it->second.armed = false;
+}
+
+void DisableAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+}
+
+FailpointStats Stats(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? FailpointStats{} : it->second.stats;
+}
+
+std::vector<std::string> Armed() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, point] : registry.points) {
+    if (point.armed) out.push_back(name);
+  }
+  return out;
+}
+
+bool Fire(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.env_loaded) LoadEnvLocked(registry);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end() || !it->second.armed) return false;
+  ArmedPoint& point = it->second;
+  const uint64_t eval = point.stats.evaluations++;
+  if (static_cast<int64_t>(eval) < point.spec.skip) return false;
+  if (point.spec.max_hits >= 0 &&
+      point.stats.hits >= static_cast<uint64_t>(point.spec.max_hits)) {
+    return false;
+  }
+  if (point.spec.probability < 1.0 && !point.rng.Chance(point.spec.probability)) {
+    return false;
+  }
+  ++point.stats.hits;
+  return true;
+}
+
+}  // namespace failpoint
+}  // namespace autodetect
+
+#endif  // AUTODETECT_FAILPOINTS

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file failpoint.h
+/// Compile-time-zero-cost fault injection for chaos testing. A failpoint is
+/// a named site in production code —
+///
+///   if (AD_FAILPOINT("io.read.short")) { /* inject the failure */ }
+///
+/// — that tests arm by name (via the API or the AD_FAILPOINTS environment
+/// variable) with a trigger: always, probabilistic, fire-once, first-N, or
+/// skip-M-then-fire. Armed sites let the resilience suite deterministically
+/// reproduce the failures that matter for serving — short reads, checksum
+/// corruption, failed model reloads, slow workers — without root privileges,
+/// fault-injecting filesystems, or sleeps-and-hope races.
+///
+/// Cost model: the default build compiles failpoints OUT. AD_FAILPOINT(name)
+/// expands to the literal `false`, so the injection branch is dead code, the
+/// site name never reaches the binary, and hot loops pay nothing — not even
+/// a load. tools/run_tier1.sh verifies this with a symbol check on the
+/// default build. Chaos builds (-DAUTODETECT_FAILPOINTS=ON, or
+/// FAILPOINTS=on tools/run_tier1.sh) compile the sites in; an unarmed site
+/// then costs one mutex-guarded map probe — acceptable for test builds,
+/// which is the only place this configuration exists.
+///
+/// Activation grammar (API spec string or AD_FAILPOINTS env entries joined
+/// with ';'):
+///   name=on         fire every evaluation
+///   name=once       fire exactly once
+///   name=3x         fire the first 3 evaluations
+///   name=p0.25      fire each evaluation with probability 0.25
+///   name=skip2      skip the first 2 evaluations, then fire always
+///   name=skip2*once skip the first 2 evaluations, then fire once
+/// Probability draws use a per-failpoint PCG32 seeded from the site name, so
+/// a given spec fires on the same evaluation sequence run after run.
+
+namespace autodetect {
+
+#ifdef AUTODETECT_FAILPOINTS
+inline constexpr bool kFailpointsEnabled = true;
+/// Evaluates to true when the named failpoint is armed and its trigger
+/// fires. Usable in any boolean context; the injected branch must be the
+/// failure behaviour (short read, error return, sleep, ...).
+#define AD_FAILPOINT(name) (::autodetect::failpoint::Fire(name))
+#else
+inline constexpr bool kFailpointsEnabled = false;
+/// Compiled out: literal false, no symbol, no string, no evaluation.
+#define AD_FAILPOINT(name) (false)
+#endif
+
+namespace failpoint {
+
+/// Trigger for one armed failpoint. Defaults fire on every evaluation.
+struct FailpointSpec {
+  double probability = 1.0;  ///< chance of firing once past `skip`
+  int64_t max_hits = -1;     ///< total fires allowed; -1 = unlimited
+  int64_t skip = 0;          ///< evaluations to ignore before arming
+};
+
+/// Point-in-time counters for one failpoint (armed or historical).
+struct FailpointStats {
+  uint64_t evaluations = 0;  ///< times the site was reached while armed
+  uint64_t hits = 0;         ///< times it actually fired
+};
+
+#ifdef AUTODETECT_FAILPOINTS
+
+/// \brief Arms `name` with `spec`. Re-arming resets the counters.
+void Enable(std::string_view name, FailpointSpec spec = {});
+
+/// \brief Arms `name` from a grammar string ("on", "once", "3x", "p0.25",
+/// "skip2", "skip2*once"). Invalid specs are an error.
+Status EnableFromString(std::string_view name, std::string_view spec);
+
+/// \brief Disarms `name`. Counters are retained for Stats() until re-armed.
+void Disable(std::string_view name);
+
+/// \brief Disarms everything and drops all counters (test teardown).
+void DisableAll();
+
+/// \brief Counters for `name` (zeros if never armed).
+FailpointStats Stats(std::string_view name);
+
+/// \brief Names of currently armed failpoints, sorted (the catalog check).
+std::vector<std::string> Armed();
+
+/// \brief The AD_FAILPOINT hook: true iff `name` is armed and its trigger
+/// fires. Thread-safe. On first call, arms everything named in the
+/// AD_FAILPOINTS environment variable ("a=once;b=p0.5").
+bool Fire(std::string_view name);
+
+#else
+
+// Compiled-out stubs: tests and tools can call the API unconditionally; the
+// calls collapse to no-ops with no out-of-line symbols (which the tier-1
+// symbol check relies on).
+inline void Enable(std::string_view, FailpointSpec = {}) {}
+inline Status EnableFromString(std::string_view, std::string_view) {
+  return Status::NotImplemented("failpoints compiled out");
+}
+inline void Disable(std::string_view) {}
+inline void DisableAll() {}
+inline FailpointStats Stats(std::string_view) { return {}; }
+inline std::vector<std::string> Armed() { return {}; }
+inline bool Fire(std::string_view) { return false; }
+
+#endif  // AUTODETECT_FAILPOINTS
+
+/// RAII arm/disarm for tests: arms in the constructor, disarms in the
+/// destructor, so a failing assertion cannot leak an armed site into the
+/// next test case. No-op when failpoints are compiled out.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name, FailpointSpec spec = {})
+      : name_(std::move(name)) {
+    Enable(name_, spec);
+  }
+  ~ScopedFailpoint() { Disable(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace failpoint
+}  // namespace autodetect

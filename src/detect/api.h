@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/cancel.h"
 
 /// \file api.h
 /// The unified detection API: every way of asking Auto-Detect to scan a
@@ -34,7 +37,37 @@ struct DetectRequest {
   /// Default-initialized so pre-redesign `{name, values}` aggregate call
   /// sites compile warning-free.
   std::string tag = {};
+  /// Optional cancellation/deadline scope. The default token is inert (no
+  /// clock reads, no cancellation); an active token makes executors poll it
+  /// at safe points and return a partial report with the matching
+  /// ColumnStatus when it fires. Typically one CancelSource per batch with
+  /// its token copied into every column request (the engine's
+  /// default_deadline_ms does exactly that).
+  CancelToken cancel = {};
 };
+
+/// How one column's scan ended — the per-column resilience verdict. Ordered
+/// as a degradation ladder: everything above kOk means the report may be
+/// missing findings and says why. Execution metadata (like latency_us), NOT
+/// part of the determinism contract: with no deadline, no cancellation and
+/// no admission pressure, every report is kOk.
+enum class ColumnStatus : uint8_t {
+  kOk = 0,
+  /// Scored under the degraded single-language fallback (the crude G of
+  /// paper Sec. 3.1) after the per-column score budget ran out; findings are
+  /// present but came from a weaker ensemble past the switch point.
+  kDegraded,
+  /// The request's deadline fired mid-scan; the report holds the findings
+  /// accumulated up to that point (possibly none).
+  kDeadlineExceeded,
+  /// The request's token was cancelled explicitly; partial like deadline.
+  kCancelled,
+  /// Admission control refused or evicted the column; it was never scanned
+  /// and the report is empty.
+  kShed,
+};
+
+std::string_view ColumnStatusName(ColumnStatus status);
 
 /// A cell-level finding within one column.
 struct CellFinding {
@@ -77,6 +110,11 @@ struct DetectReport {
   /// Wall-clock scan latency of this column, microseconds. Report payload,
   /// not gated instrumentation: populated even under AUTODETECT_NO_METRICS.
   uint64_t latency_us = 0;
+  /// How the scan ended (see ColumnStatus). kOk whenever no deadline,
+  /// cancellation or admission pressure applied — the resilience guarantee
+  /// is that statuses are always accurate, never silently kOk on a partial
+  /// report.
+  ColumnStatus status = ColumnStatus::kOk;
 };
 
 /// Anything that can execute detection requests. Implementations:

@@ -15,6 +15,22 @@
 
 namespace autodetect {
 
+std::string_view ColumnStatusName(ColumnStatus status) {
+  switch (status) {
+    case ColumnStatus::kOk:
+      return "ok";
+    case ColumnStatus::kDegraded:
+      return "degraded";
+    case ColumnStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ColumnStatus::kCancelled:
+      return "cancelled";
+    case ColumnStatus::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
 std::string_view AggregationName(Aggregation a) {
   switch (a) {
     case Aggregation::kMaxConfidence:
@@ -73,9 +89,21 @@ Detector::Detector(const Model* model, DetectorOptions options)
   metrics_.pairs_scored = registry_->GetCounter("detect.pairs_scored_total");
   metrics_.pairs_cache_hits = registry_->GetCounter("detect.pairs_cache_hits_total");
   metrics_.rare_fallbacks = registry_->GetCounter("detect.rare_fallbacks_total");
+  metrics_.columns_degraded = registry_->GetCounter("detect.columns_degraded_total");
+  metrics_.columns_cancelled = registry_->GetCounter("detect.columns_cancelled_total");
   metrics_.column_latency_us = registry_->GetHistogram("detect.column_latency_us");
   metrics_.key_stage_us = registry_->GetHistogram("detect.stage.key_us");
   metrics_.score_stage_us = registry_->GetHistogram("detect.stage.score_us");
+  // Degraded fallback language: prefer the crude single-language G (paper
+  // Sec. 3.1) when the model selected it, else the highest-coverage
+  // language (index 0 — the languages are coverage-ordered).
+  const int crude_id = LanguageSpace::IdOf(LanguageSpace::CrudeG());
+  for (size_t i = 0; i < model_->languages.size(); ++i) {
+    if (model_->languages[i].lang_id == crude_id) {
+      degrade_lang_ = i;
+      break;
+    }
+  }
 }
 
 const Detector::TagMetrics& Detector::MetricsForTag(const std::string& tag) const {
@@ -211,6 +239,18 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
   return verdict;
 }
 
+PairVerdict Detector::ScoreKeysDegraded(const uint64_t* k1, const uint64_t* k2) const {
+  const ModelLanguage& l = model_->languages[degrade_lang_];
+  NpmiScorer scorer(&l.stats, model_->smoothing_factor);
+  double s = scorer.Score(k1[degrade_lang_], k2[degrade_lang_]);
+  PairVerdict verdict;
+  verdict.incompatible = s <= l.threshold;
+  verdict.confidence = verdict.incompatible ? l.curve.PrecisionAt(s) : 0.0;
+  verdict.best_language = verdict.incompatible ? l.lang_id : -1;
+  verdict.min_npmi = s;
+  return verdict;
+}
+
 PairVerdict Detector::ScorePair(std::string_view v1, std::string_view v2) const {
   return ScoreKeys(KeysOf(v1).data(), KeysOf(v2).data(), nullptr);
 }
@@ -241,18 +281,31 @@ PairExplanation Detector::ExplainPair(std::string_view v1, std::string_view v2) 
 }
 
 DetectReport Detector::Detect(const DetectRequest& request, ColumnScratch* scratch,
-                              PairVerdictCache* cache) const {
+                              PairVerdictCache* cache,
+                              const CancelToken& fallback_cancel) const {
   DetectReport report;
   report.name = request.name;
   report.tag = request.tag;
+  // A request-level token always wins; the fallback is the engine's batch
+  // default deadline (inert unless default_deadline_ms is set).
+  const CancelToken& cancel =
+      request.cancel.active() ? request.cancel : fallback_cancel;
   // latency_us is report payload (not gated instrumentation): one clock read
   // pair per column, always on.
   const auto start = std::chrono::steady_clock::now();
+  ColumnStatus status = ColumnStatus::kOk;
   if (scratch != nullptr) {
-    report.column = Scan(request.values, scratch, cache);
+    report.column = Scan(request.values, scratch, cache, cancel, &status);
   } else {
     ColumnScratch local;
-    report.column = Scan(request.values, &local, cache);
+    report.column = Scan(request.values, &local, cache, cancel, &status);
+  }
+  report.status = status;
+  if (status == ColumnStatus::kDegraded) {
+    metrics_.columns_degraded->Add(1);
+  } else if (status == ColumnStatus::kDeadlineExceeded ||
+             status == ColumnStatus::kCancelled) {
+    metrics_.columns_cancelled->Add(1);
   }
   report.latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -266,12 +319,35 @@ DetectReport Detector::Detect(const DetectRequest& request, ColumnScratch* scrat
   return report;
 }
 
+namespace {
+
+/// The status a tripped token maps to.
+ColumnStatus CancelStatus(const CancelToken& cancel) {
+  return cancel.ExpiredDeadline() ? ColumnStatus::kDeadlineExceeded
+                                  : ColumnStatus::kCancelled;
+}
+
+}  // namespace
+
 ColumnReport Detector::Scan(const std::vector<std::string>& values,
-                            ColumnScratch* scratch, PairVerdictCache* cache) const {
+                            ColumnScratch* scratch, PairVerdictCache* cache,
+                            const CancelToken& cancel, ColumnStatus* status) const {
   metrics_.columns->Add(1);
   StageTimer column_timer(metrics_.column_latency_us);
+  *status = ColumnStatus::kOk;
 
   ColumnReport report;
+  // A token that tripped before any work: return an empty partial report
+  // without paying the distinct-value pass.
+  if (cancel.active() && cancel.Cancelled()) {
+    *status = CancelStatus(cancel);
+    return report;
+  }
+  // Budget clock: one read at scan start, one per pair-scoring row, and only
+  // when a budget was configured — the default path reads no clock here.
+  const bool budgeted = options_.column_budget_us > 0;
+  const auto scan_start =
+      budgeted ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point();
   std::vector<std::string> distinct =
       DistinctValuesForStats(values, options_.max_distinct_values);
   report.distinct_values = distinct.size();
@@ -310,12 +386,32 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
   // pair loop is the hot path and must not touch shared cache lines per
   // pair.
   uint64_t pairs_scored = 0, cache_hits = 0, rare_fallbacks = 0;
+  bool degraded = false, tripped = false;
   {
     StageTimer score_timer(metrics_.score_stage_us);
     for (size_t i = 0; i < d; ++i) {
+      // Safe point, once per row (≤ max_distinct_values polls per column):
+      // a tripped token keeps the findings accumulated so far; a spent
+      // budget downgrades the remaining rows to the single-language
+      // fallback instead of aborting them.
+      if (cancel.active() && cancel.Cancelled()) {
+        tripped = true;
+        break;
+      }
+      if (budgeted && !degraded &&
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - scan_start)
+                  .count() >= static_cast<int64_t>(options_.column_budget_us)) {
+        degraded = true;
+      }
       for (size_t j = i + 1; j < d; ++j) {
         PairVerdict v;
-        if (cache != nullptr) {
+        if (degraded) {
+          // Degraded verdicts come from a weaker ensemble: bypass the cache
+          // entirely so they can never be served to a full-fidelity scan.
+          ++pairs_scored;
+          v = ScoreKeysDegraded(keys + i * n, keys + j * n);
+        } else if (cache != nullptr) {
           uint64_t pair_key =
               CombineUnordered(scratch->signatures[i], scratch->signatures[j]);
           if (cache->Lookup(pair_key, &v)) {
@@ -337,6 +433,11 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
         agg[j].best_conf = std::max(agg[j].best_conf, v.confidence);
       }
     }
+  }
+  if (tripped) {
+    *status = CancelStatus(cancel);
+  } else if (degraded) {
+    *status = ColumnStatus::kDegraded;
   }
   metrics_.pairs_scored->Add(pairs_scored);
   metrics_.pairs_cache_hits->Add(cache_hits);

@@ -49,6 +49,13 @@ struct DetectorOptions {
   double min_confidence = 0.0;
   /// Cap on reported pair findings per column.
   size_t max_pair_findings = 16;
+  /// Per-column score budget in microseconds; 0 = unlimited. When a scan
+  /// exceeds the budget mid-column, remaining pairs are scored under the
+  /// degraded single-language fallback (the crude G of paper Sec. 3.1 when
+  /// the model carries it, else the highest-coverage language) and the
+  /// report is flagged ColumnStatus::kDegraded — bounded latency instead of
+  /// a silently slow column.
+  uint64_t column_budget_us = 0;
   /// Metrics destination; null means the process default registry. Metric
   /// handles are resolved once at Detector construction.
   MetricsRegistry* metrics = nullptr;
@@ -132,9 +139,13 @@ class Detector {
   /// null) memoizes verdicts across columns. Thread-safe when each thread
   /// uses its own scratch and the cache implementation is thread-safe.
   /// Records per-column metrics (and per-tag metrics when request.tag is
-  /// non-empty) into the registry given at construction.
+  /// non-empty) into the registry given at construction. `fallback_cancel`
+  /// applies only when the request carries no active token of its own (how
+  /// the engine threads a batch-wide default deadline through without
+  /// copying requests); the default is the inert token.
   DetectReport Detect(const DetectRequest& request, ColumnScratch* scratch = nullptr,
-                      PairVerdictCache* cache = nullptr) const;
+                      PairVerdictCache* cache = nullptr,
+                      const CancelToken& fallback_cancel = {}) const;
 
   const Model& model() const { return *model_; }
   const DetectorOptions& options() const { return options_; }
@@ -151,6 +162,8 @@ class Detector {
     Counter* pairs_scored = nullptr;      ///< pairs that ran NPMI scoring
     Counter* pairs_cache_hits = nullptr;  ///< pairs served by the verdict cache
     Counter* rare_fallbacks = nullptr;    ///< pair-language scores punted on rarity
+    Counter* columns_degraded = nullptr;  ///< budget-exceeded fallback scans
+    Counter* columns_cancelled = nullptr; ///< deadline/cancel partial scans
     Histogram* column_latency_us = nullptr;
     Histogram* key_stage_us = nullptr;    ///< tokenize + per-language keying
     Histogram* score_stage_us = nullptr;  ///< stats lookup + NPMI + cache probes
@@ -171,13 +184,22 @@ class Detector {
   /// languages whose score was punted for lack of pattern support.
   PairVerdict ScoreKeys(const uint64_t* k1, const uint64_t* k2,
                         uint64_t* rare_fallbacks = nullptr) const;
-  /// The scan core behind Detect.
+  /// Single-language degraded verdict over the fallback language (the
+  /// kBestSingle shape pinned to degrade_lang_).
+  PairVerdict ScoreKeysDegraded(const uint64_t* k1, const uint64_t* k2) const;
+  /// The scan core behind Detect. Polls `cancel` between pair-scoring rows
+  /// and switches to the degraded fallback once column_budget_us is spent;
+  /// `*status` reports how the scan ended.
   ColumnReport Scan(const std::vector<std::string>& values, ColumnScratch* scratch,
-                    PairVerdictCache* cache) const;
+                    PairVerdictCache* cache, const CancelToken& cancel,
+                    ColumnStatus* status) const;
   const TagMetrics& MetricsForTag(const std::string& tag) const;
 
   const Model* model_;
   DetectorOptions options_;
+  /// Language index used by the degraded fallback: the crude G when the
+  /// model selected it, else index 0 (highest training coverage).
+  size_t degrade_lang_ = 0;
   /// Shared-tokenization kernel over the model's selected languages: every
   /// scored value is scanned once, not once per language.
   MultiGeneralizer multi_keys_;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/xxhash64.h"
 
@@ -253,6 +254,13 @@ Result<Model> Model::LoadV2(const std::string& path) {
   // Integrity: one sequential pass over both sections. Fail closed — a bad
   // checksum never yields a model.
   backing->Advise(MmapFile::Advice::kSequential);
+  // Chaos: pretend the artifact's bytes do not match its recorded digest —
+  // the cheap way to prove loads fail closed on silent corruption.
+  if (AD_FAILPOINT("model.load.corrupt")) {
+    return Status::Corruption(
+        "META section checksum mismatch in " + path +
+        " (failpoint model.load.corrupt)");
+  }
   if (XxHash64(base + meta_off, meta_len) != meta_checksum) {
     return Status::Corruption("META section checksum mismatch in " + path);
   }

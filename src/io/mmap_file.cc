@@ -1,8 +1,11 @@
 #include "io/mmap_file.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
+
+#include "common/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define AUTODETECT_HAVE_MMAP 1
@@ -17,6 +20,54 @@ namespace autodetect {
 namespace {
 
 /// Buffered-read fallback shared by the no-mmap build and mmap failures.
+/// On POSIX this is a raw read(2) retry loop: reads may legitimately come
+/// back short (network/FUSE filesystems) or fail with EINTR (a signal
+/// landed), and both must resume where they left off instead of erroring.
+/// The io.read.short / io.read.eintr failpoints inject exactly those
+/// outcomes so the loop stays regression-tested.
+#if defined(__unix__) || defined(__APPLE__)
+Status ReadWhole(const std::string& path, std::vector<uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    size_t want = out->size() - off;
+    // Chaos: deliver one byte instead of the full remainder — the loop must
+    // carry on from the new offset.
+    if (AD_FAILPOINT("io.read.short")) want = 1;
+    ssize_t n;
+    if (AD_FAILPOINT("io.read.eintr")) {
+      // Chaos: behave exactly as read(2) does when a signal interrupts it.
+      n = -1;
+      errno = EINTR;
+    } else {
+      n = ::read(fd, out->data() + off, want);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted before any bytes: retry
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("read failed for " + path + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;  // premature EOF: file shrank mid-read
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (off != out->size()) {
+    return Status::IOError("short read of " + path + ": got " +
+                           std::to_string(off) + " of " +
+                           std::to_string(out->size()) + " bytes");
+  }
+  return Status::OK();
+}
+#else
 Status ReadWhole(const std::string& path, std::vector<uint8_t>* out) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IOError("cannot open " + path);
@@ -30,6 +81,7 @@ Status ReadWhole(const std::string& path, std::vector<uint8_t>* out) {
   }
   return Status::OK();
 }
+#endif
 
 }  // namespace
 
@@ -48,7 +100,11 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
     ::close(fd);
     return file;  // empty file: valid, unmapped, size 0
   }
-  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // Chaos: pretend mmap refused (as some filesystems do for MAP_PRIVATE) so
+  // the buffered fallback is exercised on filesystems where it never fires.
+  void* base = AD_FAILPOINT("io.mmap.fallback")
+                   ? MAP_FAILED
+                   : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping holds its own reference
   if (base != MAP_FAILED) {
     file.map_base_ = base;

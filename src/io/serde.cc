@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace autodetect {
@@ -57,6 +58,15 @@ Status BinaryReader::Corrupt(std::string_view msg) const {
 }
 
 Status BinaryReader::ReadBytes(void* data, size_t n) {
+  // Chaos: behave as if the input ended here — exercises every caller's
+  // truncated-artifact handling (model load fails closed, registry keeps
+  // the old snapshot) without hand-crafting cut files.
+  if (AD_FAILPOINT("serde.read.truncate")) {
+    return Status::IOError(
+        StrFormat("truncated input at byte offset %zu: needed %zu bytes, "
+                  "got 0 (failpoint serde.read.truncate)",
+                  offset_, n));
+  }
   if (in_ == nullptr) {
     // Memory mode: bounds are known up front, so truncation is detected
     // before touching the bytes.

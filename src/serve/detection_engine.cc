@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
@@ -13,13 +15,25 @@ namespace autodetect {
 
 namespace {
 
-/// The engine owns the wiring: a null detector.metrics inherits the engine's
-/// registry so one `metrics` field redirects the whole stack.
+/// The engine owns the wiring: a null detector.metrics (or admission
+/// metrics) inherits the engine's registry so one `metrics` field redirects
+/// the whole stack.
 EngineOptions NormalizeOptions(EngineOptions options) {
   if (options.detector.metrics == nullptr) {
     options.detector.metrics = options.metrics;
   }
+  if (options.admission.metrics == nullptr) {
+    options.admission.metrics = options.metrics;
+  }
   return options;
+}
+
+/// An empty report for a column admission refused: name/tag echoed, status
+/// accurate, nothing scanned.
+void FillShedReport(const DetectRequest& request, DetectReport* report) {
+  report->name = request.name;
+  report->tag = request.tag;
+  report->status = ColumnStatus::kShed;
 }
 
 uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
@@ -62,6 +76,9 @@ DetectionEngine::DetectionEngine(const Model* model, EngineOptions options)
 }
 
 void DetectionEngine::InitCommon() {
+  if (options_.admission.queue_cap_columns > 0) {
+    admission_ = std::make_unique<AdmissionController>(options_.admission);
+  }
   metrics_.batches = registry_->GetCounter("serve.batches_total");
   metrics_.columns = registry_->GetCounter("serve.columns_total");
   metrics_.worker_busy_us = registry_->GetCounter("serve.worker_busy_us_total");
@@ -156,6 +173,32 @@ std::vector<DetectReport> DetectionEngine::Detect(
   std::vector<DetectReport> results(batch.size());
   if (batch.empty()) return results;
 
+  // Admission first: a rejected batch (kReject over capacity, kBlock
+  // timeout) needs no snapshot and no workers — every column comes back
+  // kShed, visibly, and the rejection shows up in serve.admission.*.
+  std::shared_ptr<AdmissionController::Ticket> ticket;
+  if (admission_ != nullptr) {
+    ticket = admission_->Admit(batch.size());
+    if (ticket == nullptr) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        FillShedReport(batch[i], &results[i]);
+      }
+      admission_->CountShedColumns(batch.size());
+      return results;
+    }
+  }
+
+  // Batch-wide default deadline: one token shared by every column that has
+  // no request-level token of its own (Detector prefers the request token).
+  // The token owns the deadline state, so nothing here must outlive the
+  // workers beyond what the completion latch already guarantees.
+  CancelToken batch_cancel;
+  if (options_.default_deadline_ms > 0) {
+    batch_cancel = CancelSource::WithDeadline(
+                       std::chrono::milliseconds(options_.default_deadline_ms))
+                       .token();
+  }
+
   // Pin one snapshot for the whole batch: a concurrent reload must not
   // split the batch across models. The shared_ptr keeps the snapshot (and
   // its mapped model file) alive even if the engine swaps mid-batch.
@@ -175,6 +218,7 @@ std::vector<DetectReport> DetectionEngine::Detect(
   // batches' tasks, so each batch counts its own workers down instead.
   struct BatchState {
     std::atomic<size_t> next{0};
+    std::atomic<size_t> shed{0};  ///< columns returned kShed mid-batch
     std::mutex mu;
     std::condition_variable done;
     size_t remaining;
@@ -182,18 +226,33 @@ std::vector<DetectReport> DetectionEngine::Detect(
   state.remaining = workers;
 
   Snapshot* const snap = snapshot.get();
+  // Raw pointer into the shared_ptr held on this frame; the completion
+  // latch below keeps it valid for every worker.
+  AdmissionController::Ticket* const tick = ticket.get();
   {
     StageTimer dispatch_timer(metrics_.dispatch_us);
     for (size_t w = 0; w < workers; ++w) {
-      pool_.Submit([this, &batch, &results, &state, snap] {
+      pool_.Submit([this, &batch, &results, &state, snap, tick, &batch_cancel] {
         const auto worker_start = std::chrono::steady_clock::now();
         std::unique_ptr<ColumnScratch> scratch = AcquireScratch();
         uint64_t claimed = 0;
         while (true) {
           size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
           if (i >= batch.size()) break;
-          results[i] =
-              snap->detector.Detect(batch[i], scratch.get(), snap->cache.get());
+          if (tick != nullptr && tick->shed()) {
+            // Shed mid-flight (a shed-oldest victim): unstarted columns
+            // return immediately; columns already scanning finish normally.
+            FillShedReport(batch[i], &results[i]);
+            state.shed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (AD_FAILPOINT("serve.worker.slow")) {
+            // Chaos hook: stretch one column's scan so deadline/shedding
+            // races become reachable in tests.
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          }
+          results[i] = snap->detector.Detect(batch[i], scratch.get(),
+                                             snap->cache.get(), batch_cancel);
           ++claimed;
         }
         ReleaseScratch(std::move(scratch));
@@ -214,6 +273,11 @@ std::vector<DetectReport> DetectionEngine::Detect(
     state.done.wait(lock, [&state] { return state.remaining == 0; });
   }
 
+  if (admission_ != nullptr) {
+    admission_->CountShedColumns(state.shed.load(std::memory_order_relaxed));
+    admission_->Release(ticket);
+  }
+
   batches_.fetch_add(1, std::memory_order_relaxed);
   columns_.fetch_add(batch.size(), std::memory_order_relaxed);
   metrics_.batches->Add(1);
@@ -231,6 +295,7 @@ EngineStats DetectionEngine::Stats() const {
   EngineStats stats;
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.columns = columns_.load(std::memory_order_relaxed);
+  if (admission_ != nullptr) stats.admission = admission_->Stats();
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   if (snapshot_ != nullptr && snapshot_->cache != nullptr) {
     stats.cache = snapshot_->cache->Stats();

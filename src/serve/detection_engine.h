@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "detect/api.h"
 #include "detect/detector.h"
@@ -14,6 +15,7 @@
 #include "detect/model_provider.h"
 #include "obs/metrics.h"
 #include "serve/pair_cache.h"
+#include "serve/resilience.h"
 
 /// \file detection_engine.h
 /// The serving layer: a batch detection engine that fans column requests out
@@ -60,6 +62,15 @@ struct EngineOptions {
   size_t cache_bytes = 32ull << 20;
   size_t cache_shards = 16;
   DetectorOptions detector;
+  /// Deadline applied to every batch whose requests carry no token of their
+  /// own (one CancelSource per batch, its token copied into each column).
+  /// 0 = none. Requests with an active token keep it — per-request budgets
+  /// override the engine default.
+  uint64_t default_deadline_ms = 0;
+  /// Admission control in front of the engine; queue_cap_columns == 0 (the
+  /// default) disables it. The admission registry inherits `metrics` below
+  /// when its own is null.
+  AdmissionOptions admission;
   /// Metrics destination; null means the process default registry. Also
   /// fills detector.metrics when that is null, so one field wires the whole
   /// engine to a private registry (as the benches do).
@@ -70,7 +81,8 @@ struct EngineOptions {
 struct EngineStats {
   uint64_t batches = 0;
   uint64_t columns = 0;
-  PairCacheStats cache;  ///< current snapshot's cache; zeros when disabled
+  PairCacheStats cache;       ///< current snapshot's cache; zeros when disabled
+  AdmissionStats admission;   ///< zeros when admission control is disabled
 };
 
 class DetectionEngine : public DetectionExecutor {
@@ -102,6 +114,9 @@ class DetectionEngine : public DetectionExecutor {
   /// load). The returned shared_ptr keeps the snapshot alive.
   std::shared_ptr<const Model> model() const { return provider_->Snapshot(); }
   const EngineOptions& options() const { return options_; }
+  /// \brief The admission controller, null when admission control is
+  /// disabled (queue_cap_columns == 0).
+  const AdmissionController* admission() const { return admission_.get(); }
 
  private:
   /// Engine-level metric handles, resolved once at construction.
@@ -141,6 +156,7 @@ class DetectionEngine : public DetectionExecutor {
   std::unique_ptr<FixedModel> owned_provider_;  ///< raw-model ctor only
   ModelProvider* provider_;
   EngineOptions options_;
+  std::unique_ptr<AdmissionController> admission_;  ///< null when disabled
   ThreadPool pool_;
 
   MetricsRegistry* registry_;

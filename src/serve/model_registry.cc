@@ -1,19 +1,33 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "obs/trace.h"
 
 namespace autodetect {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Watcher retry backoff: first retry after ~kBackoffBaseMs, doubling to
+/// kBackoffMaxMs, each jittered into [base/2, base] so a fleet of watchers
+/// pointed at one shared artifact does not retry in lockstep.
+constexpr int64_t kBackoffBaseMs = 50;
+constexpr int64_t kBackoffMaxMs = 10'000;
+
+}  // namespace
+
 ModelRegistry::ModelRegistry(MetricsRegistry* metrics) {
   MetricsRegistry* registry = OrDefaultRegistry(metrics);
   reload_total_ = registry->GetCounter("model.reload.total");
   reload_errors_ = registry->GetCounter("model.reload.errors_total");
   reload_latency_us_ = registry->GetHistogram("model.reload.latency_us");
+  reload_backoff_ms_ = registry->GetGauge("model.reload.backoff_ms");
   model_bytes_ = registry->GetGauge("model.bytes");
   model_generation_ = registry->GetGauge("model.generation");
 }
@@ -32,6 +46,11 @@ void ModelRegistry::PublishModelMetrics(const std::shared_ptr<const Model>& mode
 
 Status ModelRegistry::Reload(const std::string& path) {
   StageTimer timer(reload_latency_us_);
+  if (AD_FAILPOINT("registry.reload.fail")) {
+    reload_errors_->Add(1);
+    return Status::IOError("failpoint registry.reload.fail: artifact unreadable")
+        .WithContext("reloading model from " + path);
+  }
   Result<Model> loaded = Model::Load(path);
   if (!loaded.ok()) {
     reload_errors_->Add(1);
@@ -101,22 +120,44 @@ void ModelRegistry::StopWatch() {
 }
 
 void ModelRegistry::WatchLoop() {
+  // Backoff state is watcher-local: `failures` drives the exponential base,
+  // `backoff` is the jittered wait actually in effect (zero = healthy).
+  // Seeded from `this` so concurrent registries in one process jitter
+  // independently; reproducibility does not matter for retry spacing.
+  Pcg32 jitter(reinterpret_cast<uintptr_t>(this) | 1u);
+  int failures = 0;
+  std::chrono::milliseconds backoff{0};
   while (true) {
+    const std::chrono::milliseconds wait =
+        backoff.count() > 0 ? backoff : watch_poll_;
     {
       std::unique_lock<std::mutex> lock(watch_mu_);
-      if (watch_cv_.wait_for(lock, watch_poll_, [this] { return watch_stop_; })) {
+      if (watch_cv_.wait_for(lock, wait, [this] { return watch_stop_; })) {
         return;
       }
     }
     std::error_code ec;
     fs::file_time_type mtime = fs::last_write_time(watch_path_, ec);
     if (ec) continue;  // file briefly absent mid-swap; try again next poll
-    if (mtime == watch_mtime_) continue;
+    // A pending backoff retries even without a new mtime — the common
+    // failure is a half-written artifact that becomes whole under the same
+    // timestamp granule, and waiting for the next push would serve stale.
+    if (mtime == watch_mtime_ && backoff.count() == 0) continue;
     watch_mtime_ = mtime;
-    // Reload already counts errors and keeps the old snapshot on failure;
-    // nothing further to do here — the next mtime change retries.
     Status status = Reload(watch_path_);
-    (void)status;
+    if (status.ok()) {
+      failures = 0;
+      backoff = std::chrono::milliseconds{0};
+      reload_backoff_ms_->Set(0);
+      continue;
+    }
+    // Reload counted the error and kept the old snapshot; schedule a retry.
+    const int64_t base =
+        std::min(kBackoffMaxMs, kBackoffBaseMs << std::min(failures, 20));
+    failures = std::min(failures + 1, 20);
+    const int64_t jittered = jitter.Uniform(base / 2, base);
+    backoff = std::chrono::milliseconds{jittered};
+    reload_backoff_ms_->Set(static_cast<double>(jittered));
   }
 }
 

@@ -31,12 +31,26 @@
 /// over the old path, and every serving process picks it up within one poll
 /// interval.
 ///
+/// Failed watcher reloads are retried on their own schedule — exponential
+/// backoff with jitter (50ms doubling to a 10s cap), independent of any new
+/// mtime change. Without this, a transiently bad artifact (half-copied file,
+/// checksum race with the trainer's rename) would leave the registry stale
+/// until the *next* artifact push; with it, the watcher converges as soon as
+/// the file is whole. The jitter decorrelates fleets watching a shared path.
+/// The current backoff is exported as the model.reload.backoff_ms gauge
+/// (0 = healthy, polling normally).
+///
 /// Metrics (into the registry passed at construction):
 ///   model.reload.total        successful reloads (includes the first load)
 ///   model.reload.errors_total failed reload attempts (old model kept)
+///   model.reload.backoff_ms   current watcher retry backoff (0 = healthy)
 ///   model.reload.latency_us   load+swap latency histogram
 ///   model.bytes               backing artifact bytes of the live model
 ///   model.generation          current snapshot generation
+///
+/// Failpoints (chaos builds only): registry.reload.fail makes Reload fail
+/// as if the artifact were unreadable — the standard way to exercise the
+/// fail-closed path and the watcher's backoff in tests.
 
 namespace autodetect {
 
@@ -101,6 +115,7 @@ class ModelRegistry : public ModelProvider {
   Counter* reload_total_;
   Counter* reload_errors_;
   Histogram* reload_latency_us_;
+  Gauge* reload_backoff_ms_;
   Gauge* model_bytes_;
   Gauge* model_generation_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace autodetect {
 
 namespace {
@@ -54,6 +56,15 @@ void ShardedPairCache::Shard::PushFront(uint32_t slot) {
 }
 
 bool ShardedPairCache::Lookup(uint64_t pair_key, PairVerdict* out) {
+  // Chaos: force a miss — every verdict recomputes, which must change
+  // nothing but latency (the determinism contract says reports are
+  // identical across cache states; this failpoint makes that testable).
+  if (AD_FAILPOINT("serve.cache.miss")) {
+    Shard& shard = ShardFor(pair_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
+    return false;
+  }
   Shard& shard = ShardFor(pair_key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(pair_key);

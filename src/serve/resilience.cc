@@ -1,0 +1,139 @@
+#include "serve/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace autodetect {
+
+std::string_view AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kShedOldest:
+      return "shed-oldest";
+    case AdmissionPolicy::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+Result<AdmissionPolicy> ParseAdmissionPolicy(std::string_view name) {
+  if (name == "block") return AdmissionPolicy::kBlock;
+  if (name == "shed-oldest") return AdmissionPolicy::kShedOldest;
+  if (name == "reject") return AdmissionPolicy::kReject;
+  return Status::Invalid("unknown admission policy '" + std::string(name) +
+                         "' (expected block, shed-oldest or reject)");
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  MetricsRegistry* registry = OrDefaultRegistry(options_.metrics);
+  metrics_.admitted = registry->GetCounter("serve.admission.admitted_total");
+  metrics_.rejected = registry->GetCounter("serve.admission.rejected_total");
+  metrics_.shed_columns = registry->GetCounter("serve.admission.shed_columns_total");
+  metrics_.block_timeouts =
+      registry->GetCounter("serve.admission.block_timeouts_total");
+  metrics_.queue_wait_us = registry->GetHistogram("serve.admission.queue_wait_us");
+  metrics_.inflight_columns = registry->GetGauge("serve.admission.inflight_columns");
+}
+
+size_t AdmissionController::LiveColumnsLocked() const {
+  size_t total = 0;
+  for (const auto& ticket : live_) {
+    if (!ticket->shed()) total += ticket->columns();
+  }
+  return total;
+}
+
+void AdmissionController::ShedOldestLocked(size_t needed) {
+  // Oldest first: the deque is admission-ordered, so walk from the front
+  // until the newcomer fits. Shed tickets stop counting toward capacity
+  // immediately — their columns return kShed within one column's latency.
+  // Shed column accounting happens at report time (the engine counts the
+  // columns it actually returns kShed), not here — a victim's already-
+  // scanned columns still deliver their full reports.
+  for (auto& ticket : live_) {
+    if (LiveColumnsLocked() + needed <= options_.queue_cap_columns) return;
+    if (ticket->shed()) continue;
+    ticket->shed_.store(true, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<AdmissionController::Ticket> AdmissionController::Admit(
+    size_t columns) {
+  if (!enabled()) return nullptr;  // engine treats "disabled" as always-admit
+  StageTimer wait_timer(metrics_.queue_wait_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  // A batch larger than the cap can never fit beside other work; admit it
+  // alone (cap bounds backlog, not table width).
+  auto fits = [&] {
+    const size_t live = LiveColumnsLocked();
+    return live + columns <= options_.queue_cap_columns ||
+           (live == 0 && columns > options_.queue_cap_columns);
+  };
+  if (!fits()) {
+    switch (options_.policy) {
+      case AdmissionPolicy::kReject:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.rejected->Add(1);
+        return nullptr;
+      case AdmissionPolicy::kShedOldest:
+        ShedOldestLocked(columns);
+        capacity_cv_.notify_all();  // blocked admitters may fit now too
+        break;
+      case AdmissionPolicy::kBlock: {
+        const bool got_capacity = capacity_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.block_timeout_ms), fits);
+        if (!got_capacity) {
+          block_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.block_timeouts->Add(1);
+          metrics_.rejected->Add(1);
+          return nullptr;
+        }
+        break;
+      }
+    }
+  }
+  auto ticket = std::shared_ptr<Ticket>(new Ticket(columns));
+  ticket->seq_ = next_seq_++;
+  live_.push_back(ticket);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.admitted->Add(1);
+  metrics_.inflight_columns->Set(static_cast<double>(LiveColumnsLocked()));
+  return ticket;
+}
+
+void AdmissionController::Release(const std::shared_ptr<Ticket>& ticket) {
+  AD_CHECK(ticket != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(live_.begin(), live_.end(), ticket);
+    AD_CHECK(it != live_.end()) << "double Release of an admission ticket";
+    live_.erase(it);
+    metrics_.inflight_columns->Set(static_cast<double>(LiveColumnsLocked()));
+  }
+  capacity_cv_.notify_all();
+}
+
+void AdmissionController::CountShedColumns(size_t n) {
+  if (n == 0) return;
+  shed_columns_.fetch_add(n, std::memory_order_relaxed);
+  metrics_.shed_columns->Add(n);
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  AdmissionStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.shed_columns = shed_columns_.load(std::memory_order_relaxed);
+  stats.block_timeouts = block_timeouts_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.inflight_columns = LiveColumnsLocked();
+  return stats;
+}
+
+}  // namespace autodetect

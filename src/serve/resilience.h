@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+/// \file resilience.h
+/// Admission control for the serving layer: the component that stands
+/// between callers and the DetectionEngine and decides, per batch, whether
+/// the engine should take on more work. Without it, overload has exactly one
+/// behaviour — every caller blocks while the worker pool grinds through an
+/// unbounded backlog; with it, overload degrades by policy:
+///
+///   kBlock      callers wait for capacity up to a timeout, then the batch
+///               is rejected (backpressure with a bound — the default).
+///   kShedOldest the newest batch is admitted immediately and the oldest
+///               in-flight batches are marked shed; their remaining columns
+///               return ColumnStatus::kShed without being scanned, freeing
+///               capacity within one column's latency (freshness wins).
+///   kReject     over capacity, new batches are refused outright and every
+///               column reports kShed (fail-fast for callers with their own
+///               retry budget).
+///
+/// Capacity is counted in columns (the engine's unit of work), admitted at
+/// batch granularity. A batch larger than the cap is admitted alone when
+/// nothing else is in flight — a cap should bound the backlog, not make big
+/// tables unscannable.
+///
+/// Shedding is cooperative, mirroring cancellation: a ticket carries an
+/// atomic shed flag the engine polls before scanning each column. Columns
+/// already being scanned finish (their scratch stays valid); unstarted ones
+/// return immediately with an accurate status. Nothing is ever dropped
+/// silently — a shed column is visible in its report AND in the
+/// serve.admission.* counters.
+///
+/// Metrics (into the registry passed in options):
+///   serve.admission.admitted_total       batches admitted
+///   serve.admission.rejected_total       batches refused (reject/timeout)
+///   serve.admission.shed_columns_total   columns returned kShed
+///   serve.admission.block_timeouts_total kBlock waits that hit the timeout
+///   serve.admission.queue_wait_us        histogram of admission wait time
+///   serve.admission.inflight_columns     gauge of admitted, unreleased work
+
+namespace autodetect {
+
+enum class AdmissionPolicy : uint8_t {
+  kBlock = 0,   ///< wait for capacity up to block_timeout_ms, then reject
+  kShedOldest,  ///< admit now; shed oldest in-flight batches to make room
+  kReject,      ///< refuse immediately when over capacity
+};
+
+std::string_view AdmissionPolicyName(AdmissionPolicy policy);
+/// Parses "block" | "shed-oldest" | "reject" (the CLI spellings).
+Result<AdmissionPolicy> ParseAdmissionPolicy(std::string_view name);
+
+struct AdmissionOptions {
+  /// Column capacity across all in-flight batches. 0 disables admission
+  /// control entirely (every batch is admitted, nothing is tracked).
+  size_t queue_cap_columns = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// kBlock only: longest a caller waits for capacity before the batch is
+  /// rejected.
+  uint64_t block_timeout_ms = 1000;
+  /// Metrics destination; null means the process default registry.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Point-in-time admission counters.
+struct AdmissionStats {
+  uint64_t admitted = 0;        ///< batches
+  uint64_t rejected = 0;        ///< batches
+  uint64_t shed_columns = 0;    ///< columns marked shed (victims + rejects)
+  uint64_t block_timeouts = 0;  ///< kBlock waits that expired
+  size_t inflight_columns = 0;  ///< live admitted work
+};
+
+class AdmissionController {
+ public:
+  /// One admitted batch's handle. The engine polls shed() before each
+  /// column; the controller's shed-oldest policy flips it. Thread-safe.
+  class Ticket {
+   public:
+    bool shed() const { return shed_.load(std::memory_order_relaxed); }
+    size_t columns() const { return columns_; }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(size_t columns) : columns_(columns) {}
+    std::atomic<bool> shed_{false};
+    size_t columns_;
+    uint64_t seq_ = 0;  ///< admission order, for oldest-first shedding
+  };
+
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// \brief Asks to admit a batch of `columns`. Returns a live ticket, or
+  /// null when the batch was rejected (kReject over capacity, or kBlock
+  /// timeout) — the caller then reports every column kShed. Never returns
+  /// null under kShedOldest. Thread-safe.
+  std::shared_ptr<Ticket> Admit(size_t columns);
+
+  /// \brief Returns a ticket's capacity. Must be called exactly once per
+  /// successful Admit, after the batch finishes (shed or not).
+  void Release(const std::shared_ptr<Ticket>& ticket);
+
+  /// \brief Counts `n` columns that came back kShed (ticket shed flag or a
+  /// rejected batch) — keeps the shed accounting in one place.
+  void CountShedColumns(size_t n);
+
+  AdmissionStats Stats() const;
+  const AdmissionOptions& options() const { return options_; }
+  bool enabled() const { return options_.queue_cap_columns > 0; }
+
+ private:
+  /// Live (admitted, unreleased) column count, excluding shed tickets.
+  size_t LiveColumnsLocked() const;
+  /// Marks oldest live tickets shed until `needed` columns fit. Lock held.
+  void ShedOldestLocked(size_t needed);
+
+  AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable capacity_cv_;
+  std::deque<std::shared_ptr<Ticket>> live_;  ///< admission order
+  uint64_t next_seq_ = 0;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_columns_{0};
+  std::atomic<uint64_t> block_timeouts_{0};
+
+  struct Metrics {
+    Counter* admitted = nullptr;
+    Counter* rejected = nullptr;
+    Counter* shed_columns = nullptr;
+    Counter* block_timeouts = nullptr;
+    Histogram* queue_wait_us = nullptr;
+    Gauge* inflight_columns = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace autodetect

@@ -122,7 +122,14 @@ TEST(GoldenTest, FindingsMatchCheckedInGolden) {
   EngineOptions opts;
   opts.num_threads = 8;
   DetectionEngine engine(&*model, opts);
-  std::string rendered = RenderFindings(batch, engine.Detect(batch));
+  std::vector<DetectReport> reports = engine.Detect(batch);
+  // Resilience guard: with no deadline, no cancellation and no admission
+  // pressure, the scan path must be untouched — every status kOk and the
+  // rendering below byte-identical to the seed golden file.
+  for (const auto& report : reports) {
+    ASSERT_EQ(report.status, ColumnStatus::kOk) << report.name;
+  }
+  std::string rendered = RenderFindings(batch, reports);
   // The mapped file must stay alive until detection is done; remove after.
   std::filesystem::remove(model_path);
 

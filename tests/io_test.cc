@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "io/csv.h"
 #include "io/mmap_file.h"
@@ -333,6 +334,54 @@ TEST(MmapFileTest, SurvivesUnlinkWhileMapped) {
   ASSERT_TRUE(mapped.ok());
   std::filesystem::remove(path);
   EXPECT_EQ(std::memcmp(mapped->data(), contents.data(), contents.size()), 0);
+}
+
+TEST(MmapFileTest, BufferedFallbackAbsorbsShortReadsAndEintr) {
+  // The chaos regression for the buffered read loop: force the mmap path to
+  // fall back, then make read(2) return short and fail with EINTR — the
+  // loop must resume each time and the bytes come back exact. (In the
+  // default build the failpoints are compiled out and this degenerates to a
+  // plain fallback-free open, which is still a valid pass.)
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (build with "
+                    "-DAUTODETECT_FAILPOINTS=ON)";
+  }
+  std::string contents;
+  for (int i = 0; i < 512; ++i) contents += static_cast<char>('a' + (i % 26));
+  std::string path = WriteTempFile("ad_mmap_chaos.bin", contents);
+
+  failpoint::ScopedFailpoint fallback("io.mmap.fallback");
+  failpoint::FailpointSpec some_short;
+  some_short.max_hits = 5;  // 5 one-byte deliveries scattered into the loop
+  failpoint::ScopedFailpoint short_reads("io.read.short", some_short);
+  failpoint::FailpointSpec some_eintr;
+  some_eintr.max_hits = 3;
+  some_eintr.skip = 2;  // let a couple of reads through, then interrupt
+  failpoint::ScopedFailpoint eintr("io.read.eintr", some_eintr);
+
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->size(), contents.size());
+  EXPECT_EQ(std::memcmp(mapped->data(), contents.data(), contents.size()), 0);
+  EXPECT_GE(failpoint::Stats("io.read.short").hits, 1u);
+  EXPECT_GE(failpoint::Stats("io.read.eintr").hits, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(SerdeTest, TruncateFailpointFailsReadsClosed) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (build with "
+                    "-DAUTODETECT_FAILPOINTS=ON)";
+  }
+  std::stringstream ss;
+  BinaryWriter writer(&ss);
+  writer.WriteU64(0xabcdef);
+  ASSERT_TRUE(writer.ok());
+  BinaryReader reader(&ss);
+  failpoint::ScopedFailpoint truncate("serde.read.truncate");
+  auto value = reader.ReadU64();
+  ASSERT_FALSE(value.ok());
+  EXPECT_TRUE(value.status().IsIOError());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <numeric>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -353,6 +354,46 @@ TEST_F(ServeFixture, ConcurrentDetectCallersAreIsolated) {
     ASSERT_EQ(results[t].size(), expected.size()) << "caller " << t;
     EXPECT_EQ(results[t], expected) << "caller " << t;
   }
+}
+
+TEST_F(ServeFixture, CancelledBatchesLeaveEngineStateIntact) {
+  // Cancellation stress for the SANITIZE=thread/address gate: batches are
+  // cancelled mid-flight from another thread while workers are scanning,
+  // which exercises the partial-report early-out against the scratch
+  // free-list and per-batch latch. The sanitizer is the oracle for
+  // use-after-free/races; afterwards an untimed batch must still be
+  // bit-identical to the sequential baseline, proving the cancelled runs
+  // did not corrupt any pooled state.
+  std::vector<DetectRequest> batch = StressBatch();
+  Detector sequential(model_);
+  std::vector<std::string> expected;
+  for (const auto& request : batch) {
+    expected.push_back(Fingerprint(Analyze(sequential, request.values)));
+  }
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.cache_bytes = 1ull << 20;
+  DetectionEngine engine(model_, opts);
+  for (int round = 0; round < 8; ++round) {
+    CancelSource source;
+    std::vector<DetectRequest> timed = batch;
+    for (auto& request : timed) request.cancel = source.token();
+    std::thread canceller([&source, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      source.Cancel();
+    });
+    std::vector<DetectReport> reports = engine.Detect(timed);
+    canceller.join();
+    ASSERT_EQ(reports.size(), timed.size());
+    for (const auto& report : reports) {
+      EXPECT_TRUE(report.status == ColumnStatus::kOk ||
+                  report.status == ColumnStatus::kCancelled)
+          << static_cast<int>(report.status);
+    }
+  }
+  EXPECT_EQ(Fingerprints(engine.Detect(batch)), expected)
+      << "cancelled batches corrupted pooled engine state";
 }
 
 TEST_F(ServeFixture, MetricsAgreeWithEngineStats) {

@@ -157,12 +157,14 @@ int CmdScan(int argc, char** argv) {
   if (!provider.ok()) return Fail(provider.status());
 
   EngineOptions engine_opts;
-  engine_flags.Apply(&engine_opts);
+  Status applied = engine_flags.Apply(&engine_opts);
+  if (!applied.ok()) return Fail(applied);
   engine_opts.metrics = registry;
   DetectionEngine engine(provider->get(), engine_opts);
 
   Stopwatch timer;
   size_t total_findings = 0;
+  size_t degraded = 0, partial = 0, shed = 0;
   for (const auto& path : flags.positional()) {
     auto table = ReadCsvFile(path);
     // Fail fast: a bad input file aborts the scan with a non-zero exit
@@ -175,6 +177,13 @@ int CmdScan(int argc, char** argv) {
     }
     std::vector<DetectReport> reports = engine.Detect(batch);
     for (const DetectReport& report : reports) {
+      switch (report.status) {
+        case ColumnStatus::kOk: break;
+        case ColumnStatus::kDegraded: ++degraded; break;
+        case ColumnStatus::kDeadlineExceeded:
+        case ColumnStatus::kCancelled: ++partial; break;
+        case ColumnStatus::kShed: ++shed; break;
+      }
       for (const auto& cell : report.column.cells) {
         if (cell.confidence < min_confidence) continue;
         ++total_findings;
@@ -188,6 +197,13 @@ int CmdScan(int argc, char** argv) {
   double elapsed = timer.ElapsedSeconds();
   EngineStats stats = engine.Stats();
   std::printf("%zu finding(s)\n", total_findings);
+  // Resilience accounting: anything other than a clean full-fidelity scan
+  // is called out, never silent.
+  if (degraded + partial + shed > 0) {
+    std::printf("resilience: %zu column(s) degraded, %zu partial "
+                "(deadline/cancel), %zu shed\n",
+                degraded, partial, shed);
+  }
   std::printf("scanned %llu column(s) with %zu thread(s) in %.3fs "
               "(%.0f columns/s, cache hit rate %.1f%%)\n",
               static_cast<unsigned long long>(stats.columns),
@@ -251,10 +267,17 @@ void Usage() {
                "         v1 = legacy streamed ADMODEL1)\n"
                "  scan  --model FILE [--min-confidence C] [--jobs N]\n"
                "        [--cache-mb M] [--model-watch [--model-poll-ms N]]\n"
+               "        [--deadline-ms N] [--column-budget-us N]\n"
+               "        [--queue-cap N [--admission-policy block|shed-oldest|\n"
+               "         reject] [--admission-timeout-ms N]]\n"
                "        file.csv...                       flag suspicious cells\n"
                "        (--jobs 0 = all cores; --cache-mb 0 disables the\n"
                "         cross-column pair-verdict cache; --model-watch\n"
-               "         hot-reloads the model when the file changes)\n"
+               "         hot-reloads the model when the file changes;\n"
+               "         --deadline-ms bounds batch latency with partial\n"
+               "         reports; --column-budget-us degrades slow columns to\n"
+               "         the single-language fallback; --queue-cap bounds\n"
+               "         in-flight work by admission policy)\n"
                "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
                "  info  --model FILE                     describe a model\n\n"
                "train and scan also accept --metrics-out FILE (JSON, or\n"

@@ -32,6 +32,20 @@
 # single-format spelling:
 #
 #   MODEL=v1 tools/run_tier1.sh
+#
+# Opt-in chaos mode: FAILPOINTS=on builds a separate build-failpoints tree
+# with -DAUTODETECT_FAILPOINTS=ON and runs (a) resilience_test, which arms
+# failpoints through the API (reload failures, short reads, forced cache
+# misses, slow workers), (b) the serve/io/model suites with all failpoints
+# disarmed — a chaos build must change nothing until a site is armed — and
+# (c) io_test with AD_FAILPOINTS injecting short reads and EINTR, proving
+# the buffered read loop recovers byte-exactly:
+#
+#   FAILPOINTS=on tools/run_tier1.sh
+#
+# The default build compiles failpoints OUT (AD_FAILPOINT expands to a
+# literal `false`); the default leg asserts no failpoint site string leaks
+# into the shipped binary.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,6 +53,7 @@ JOBS="${JOBS:-$(nproc)}"
 SANITIZE="${SANITIZE:-}"
 METRICS="${METRICS:-on}"
 MODEL="${MODEL:-}"
+FAILPOINTS="${FAILPOINTS:-off}"
 
 if [[ "$METRICS" == "off" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nometrics}"
@@ -65,17 +80,40 @@ if [[ -n "$MODEL" ]]; then
   exit 0
 fi
 
+if [[ "$FAILPOINTS" == "on" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-failpoints}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+    -DAUTODETECT_FAILPOINTS=ON \
+    -DAUTODETECT_BUILD_BENCHMARKS=OFF \
+    -DAUTODETECT_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target resilience_test serve_test io_test model_v2_test
+  # The chaos suite proper: arms failpoints via the API per test case.
+  "$BUILD_DIR/tests/resilience_test"
+  # Disarmed chaos build must behave exactly like the default build.
+  "$BUILD_DIR/tests/serve_test"
+  "$BUILD_DIR/tests/io_test"
+  "$BUILD_DIR/tests/model_v2_test"
+  # Env-armed injection: short reads and EINTR on the buffered read path
+  # must be absorbed by the retry loop with byte-exact results.
+  AD_FAILPOINTS="io.read.short=4x;io.read.eintr=2x" "$BUILD_DIR/tests/io_test"
+  echo "chaos suite green with -DAUTODETECT_FAILPOINTS=ON"
+  exit 0
+fi
+
 if [[ -n "$SANITIZE" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-$SANITIZE}"
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
     -DAUTODETECT_SANITIZE="$SANITIZE" \
     -DAUTODETECT_BUILD_BENCHMARKS=OFF \
     -DAUTODETECT_BUILD_EXAMPLES=OFF
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target serve_test io_test model_v2_test
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target serve_test io_test model_v2_test resilience_test
   "$BUILD_DIR/tests/serve_test"
   "$BUILD_DIR/tests/io_test"
   "$BUILD_DIR/tests/model_v2_test"
-  echo "serve_test + io_test + model_v2_test green under -fsanitize=$SANITIZE"
+  "$BUILD_DIR/tests/resilience_test"
+  echo "serve_test + io_test + model_v2_test + resilience_test green under -fsanitize=$SANITIZE"
   exit 0
 fi
 
@@ -85,6 +123,14 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# Failpoints must be compiled OUT of the default build: AD_FAILPOINT(name)
+# expands to a literal `false`, so no site name may survive as a string in
+# the shipped binary (grep -a scans the raw binary).
+if grep -aq "serve.worker.slow" "$BUILD_DIR/tools/autodetect_cli"; then
+  echo "failpoint site strings leaked into the default build" >&2
+  exit 1
+fi
 
 # Golden reports must be byte-identical regardless of the on-disk model
 # format the pipeline round-trips through (ctest already ran the v2 default).
