@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file cpu.h
+/// Runtime CPU feature detection for the SIMD dispatch in src/text. One
+/// binary serves every x86-64 microarchitecture: kernels are compiled per
+/// ISA tier behind `__attribute__((target(...)))` and selected once at
+/// startup from CPUID, so the build needs no -march flags and never executes
+/// an instruction the host cannot retire. Non-x86 builds (and builds with
+/// -DAUTODETECT_NO_SIMD) report no features and fall back to the scalar
+/// reference paths.
+
+/// True when the toolchain + target can compile the x86 SIMD kernels at all.
+/// The kill switch -DAUTODETECT_NO_SIMD forces 0, keeping a pure-scalar
+/// binary buildable on any compiler for debugging and for A/B perf runs.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(AUTODETECT_NO_SIMD)
+#define AUTODETECT_X86_SIMD 1
+#else
+#define AUTODETECT_X86_SIMD 0
+#endif
+
+namespace autodetect {
+
+/// The ISA features the dispatchers care about, detected once per process.
+struct CpuFeatures {
+  bool ssse3 = false;  ///< pshufb — the 16-byte nibble-LUT tokenizer tier
+  bool avx2 = false;   ///< 32-byte vectors — the widest tokenizer tier
+};
+
+/// \brief Cached CPUID probe. Thread-safe (C++ static init); never throws.
+inline const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if AUTODETECT_X86_SIMD
+    f.ssse3 = __builtin_cpu_supports("ssse3");
+    f.avx2 = __builtin_cpu_supports("avx2");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace autodetect

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -112,6 +113,16 @@ class FlatMap64 {
   /// Drops all entries and releases the backing array.
   void Clear() {
     std::vector<Slot>().swap(slots_);
+    size_ = 0;
+    has_zero_ = false;
+    zero_value_ = 0;
+  }
+
+  /// \brief Drops all entries but keeps the backing array for reuse — the
+  /// per-column reset of the value interner, where Clear()'s deallocation
+  /// would buy a malloc/free pair per column.
+  void Reset() {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
     size_ = 0;
     has_zero_ = false;
     zero_value_ = 0;

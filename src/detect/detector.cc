@@ -94,6 +94,16 @@ Detector::Detector(const Model* model, DetectorOptions options)
   metrics_.column_latency_us = registry_->GetHistogram("detect.column_latency_us");
   metrics_.key_stage_us = registry_->GetHistogram("detect.stage.key_us");
   metrics_.score_stage_us = registry_->GetHistogram("detect.stage.score_us");
+  metrics_.dedup_values_skipped =
+      registry_->GetCounter("detect.dedup.values_skipped_total");
+  metrics_.dedup_pairs_skipped =
+      registry_->GetCounter("detect.dedup.pairs_skipped_total");
+  metrics_.dedup_distinct_ratio =
+      registry_->GetHistogram("detect.dedup.distinct_ratio_pct");
+  // Which tokenizer tier this process dispatched (SimdTier numeric value) —
+  // lets production dumps confirm the SIMD path is actually live.
+  registry_->GetGauge("text.simd.isa")
+      ->Set(static_cast<double>(static_cast<uint8_t>(ActiveSimdTier())));
   // Degraded fallback language: prefer the crude single-language G (paper
   // Sec. 3.1) when the model selected it, else the highest-coverage
   // language (index 0 — the languages are coverage-ordered).
@@ -348,8 +358,47 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
   const bool budgeted = options_.column_budget_us > 0;
   const auto scan_start =
       budgeted ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point();
-  std::vector<std::string> distinct =
-      DistinctValuesForStats(values, options_.max_distinct_values);
+
+  // Reduce the column to the distinct values to score, each with its
+  // first-occurrence row. The interned path indexes the column once through
+  // the FlatMap64 (no string copies, no per-row node allocations); the
+  // legacy path reproduces the pre-interner pipeline for A/B runs. Both
+  // yield the same value sequence and rows, so reports are byte-identical.
+  std::vector<std::string> legacy_distinct;
+  std::vector<std::string_view> distinct;
+  std::vector<uint32_t> first_rows;
+  if (options_.dedup) {
+    scratch->interner.Intern(values);
+    scratch->interner.SampleIndices(options_.max_distinct_values, &scratch->sampled);
+    distinct.reserve(scratch->sampled.size());
+    first_rows.reserve(scratch->sampled.size());
+    for (uint32_t idx : scratch->sampled) {
+      const ValueInterner::Entry& e = scratch->interner.entry(idx);
+      distinct.push_back(e.value);
+      first_rows.push_back(e.first_row);
+    }
+    const uint64_t nv = scratch->interner.num_values();
+    const uint64_t nd = scratch->interner.num_distinct();
+    const uint64_t ds = distinct.size();
+    metrics_.dedup_values_skipped->Add(nv - nd);
+    // Pairs a non-deduping scorer would have visited minus pairs this scan
+    // actually considers.
+    metrics_.dedup_pairs_skipped->Add(nv * (nv - 1) / 2 - ds * (ds - 1) / 2);
+    metrics_.dedup_distinct_ratio->Record(
+        nv == 0 ? 100.0 : 100.0 * static_cast<double>(nd) / static_cast<double>(nv));
+  } else {
+    legacy_distinct = DistinctValuesForStats(values, options_.max_distinct_values);
+    std::unordered_map<std::string_view, uint32_t> first_row;
+    for (size_t r = 0; r < values.size(); ++r) {
+      first_row.emplace(values[r], static_cast<uint32_t>(r));
+    }
+    distinct.reserve(legacy_distinct.size());
+    first_rows.reserve(legacy_distinct.size());
+    for (const std::string& v : legacy_distinct) {
+      distinct.push_back(v);
+      first_rows.push_back(first_row[v]);
+    }
+  }
   report.distinct_values = distinct.size();
   const size_t d = distinct.size();
   if (d < 2) return report;
@@ -426,7 +475,8 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
           v = ScoreKeys(keys + i * n, keys + j * n, &rare_fallbacks);
         }
         if (!v.incompatible || v.confidence < options_.min_confidence) continue;
-        report.pairs.push_back(PairFinding{distinct[i], distinct[j], v.confidence});
+        report.pairs.push_back(PairFinding{std::string(distinct[i]),
+                                           std::string(distinct[j]), v.confidence});
         ++agg[i].degree;
         ++agg[j].degree;
         agg[i].best_conf = std::max(agg[i].best_conf, v.confidence);
@@ -463,12 +513,6 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
     return total;
   };
 
-  // Row of first occurrence for each distinct value.
-  std::unordered_map<std::string_view, uint32_t> first_row;
-  for (size_t r = 0; r < values.size(); ++r) {
-    first_row.emplace(values[r], static_cast<uint32_t>(r));
-  }
-
   for (size_t i = 0; i < d; ++i) {
     if (agg[i].degree == 0) continue;
     bool is_suspect;
@@ -482,8 +526,8 @@ ColumnReport Detector::Scan(const std::vector<std::string>& values,
     }
     if (!is_suspect) continue;
     CellFinding f;
-    f.row = first_row[distinct[i]];
-    f.value = distinct[i];
+    f.row = first_rows[i];
+    f.value = std::string(distinct[i]);
     f.confidence = agg[i].best_conf;
     f.incompatible_with = agg[i].degree;
     report.cells.push_back(std::move(f));

@@ -13,6 +13,7 @@
 #include "detect/model.h"
 #include "detect/model_provider.h"
 #include "obs/metrics.h"
+#include "stats/value_interner.h"
 #include "text/run_tokenizer.h"
 
 /// \file detector.h
@@ -56,6 +57,12 @@ struct DetectorOptions {
   /// report is flagged ColumnStatus::kDegraded — bounded latency instead of
   /// a silently slow column.
   uint64_t column_budget_us = 0;
+  /// Reduce each column to (distinct value, multiplicity, first row) via the
+  /// FlatMap64-backed ValueInterner before keying/scoring, instead of the
+  /// allocation-heavy DistinctValuesForStats + first-row map. Reports are
+  /// byte-identical either way (fuzz-verified); off is an escape hatch for
+  /// A/B runs and bisection (`scan --no-dedup`).
+  bool dedup = true;
   /// Metrics destination; null means the process default registry. Metric
   /// handles are resolved once at Detector construction.
   MetricsRegistry* metrics = nullptr;
@@ -83,6 +90,8 @@ struct ColumnScratch {
   std::vector<uint64_t> keys;        ///< row-major, one row per distinct value
   std::vector<uint64_t> signatures;  ///< per-value pair-cache signatures
   std::vector<ClassRun> runs;        ///< tokenizer run scratch
+  ValueInterner interner;            ///< per-column distinct-value index
+  std::vector<uint32_t> sampled;     ///< interner entry indices actually scored
 };
 
 /// Memoization hook for pair verdicts, keyed by the order-independent hash
@@ -167,6 +176,9 @@ class Detector {
     Histogram* column_latency_us = nullptr;
     Histogram* key_stage_us = nullptr;    ///< tokenize + per-language keying
     Histogram* score_stage_us = nullptr;  ///< stats lookup + NPMI + cache probes
+    Counter* dedup_values_skipped = nullptr;  ///< duplicate rows folded away
+    Counter* dedup_pairs_skipped = nullptr;   ///< pairs a non-deduped scorer would score
+    Histogram* dedup_distinct_ratio = nullptr;  ///< distinct/total per column, percent
   };
   struct TagMetrics {
     Counter* columns = nullptr;

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "stats/value_interner.h"
 #include "text/run_tokenizer.h"
 
 namespace autodetect {
@@ -134,6 +135,8 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
   Counter* patterns_total = registry->GetCounter("train.patterns_total");
   Histogram* tokenize_us = registry->GetHistogram("train.stage.tokenize_us");
   Histogram* count_us = registry->GetHistogram("train.stage.count_us");
+  registry->GetGauge("text.simd.isa")
+      ->Set(static_cast<double>(static_cast<uint8_t>(ActiveSimdTier())));
 
   size_t num_threads = options.num_threads != 0
                            ? options.num_threads
@@ -206,26 +209,14 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
     }
   };
 
-  std::vector<std::vector<std::string>> batch;
-  batch.reserve(options.batch_columns);
+  auto tokenized = std::make_shared<TokenizedBatch>();
+  uint64_t batch_values = 0;
 
   auto flush = [&] {
-    if (batch.empty()) return;
-    auto tokenized = std::make_shared<TokenizedBatch>();
-    tokenized->columns.resize(batch.size());
-    uint64_t batch_values = 0;
-    {
-      StageTimer tokenize_timer(tokenize_us);
-      for (size_t c = 0; c < batch.size(); ++c) {
-        batch_values += batch[c].size();
-        for (const auto& v : batch[c]) {
-          tokenized->columns[c].Add(v, options.generalize_options);
-        }
-      }
-    }
-    columns_total->Add(batch.size());
+    if (tokenized->columns.empty()) return;
+    columns_total->Add(tokenized->columns.size());
     values_total->Add(batch_values);
-    batch.clear();
+    batch_values = 0;
     tokenized->chunks_remaining.store(num_chunks);
     {
       std::unique_lock<std::mutex> lock(flight_mu);
@@ -247,13 +238,30 @@ CorpusStats BuildCorpusStats(ColumnSource* source, const StatsBuilderOptions& op
         pool.Submit([&drain_chunk, &chunk] { drain_chunk(chunk); });
       }
     }
+    tokenized = std::make_shared<TokenizedBatch>();
+    tokenized->columns.reserve(options.batch_columns);
   };
 
+  // Each column is interned (distinct value + multiplicity, no string
+  // copies) and tokenized straight into the current batch while the source's
+  // buffers are still alive — the sampled selection matches
+  // DistinctValuesForStats index for index, so stats are unchanged; the
+  // unordered_set, its node allocations and the copied value vectors of the
+  // old pipeline are gone.
+  ValueInterner interner;
+  std::vector<uint32_t> sampled;
   Column column;
   while (source->Next(&column)) {
-    batch.push_back(
-        DistinctValuesForStats(column.values, options.max_distinct_values_per_column));
-    if (batch.size() >= options.batch_columns) flush();
+    StageTimer tokenize_timer(tokenize_us);
+    interner.Intern(column.values);
+    interner.SampleIndices(options.max_distinct_values_per_column, &sampled);
+    tokenized->columns.emplace_back();
+    TokenizedValues& runs = tokenized->columns.back();
+    for (uint32_t idx : sampled) {
+      runs.Add(interner.entry(idx).value, options.generalize_options);
+    }
+    batch_values += sampled.size();
+    if (tokenized->columns.size() >= options.batch_columns) flush();
   }
   flush();
 

@@ -1,0 +1,57 @@
+#include "stats/value_interner.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace autodetect {
+
+void ValueInterner::Intern(const std::vector<std::string>& values) {
+  map_.Reset();
+  entries_.clear();
+  num_values_ = values.size();
+  // Seed capacity for the common case; genuinely high-cardinality columns
+  // grow by amortized rehash instead of pre-paying rows-sized memory.
+  map_.Reserve(std::min<size_t>(values.size(), 4096));
+  entries_.reserve(std::min<size_t>(values.size(), 4096));
+  for (size_t row = 0; row < values.size(); ++row) {
+    const std::string& v = values[row];
+    uint64_t key = Fnv1a64(v);
+    for (;; ++key) {
+      uint64_t& slot = map_[key];
+      if (slot == 0) {
+        slot = entries_.size() + 1;
+        entries_.push_back(Entry{v, 1, static_cast<uint32_t>(row)});
+        break;
+      }
+      Entry& e = entries_[slot - 1];
+      if (e.value == v) {
+        ++e.multiplicity;
+        break;
+      }
+      // True 64-bit hash collision between distinct values: walk to the
+      // next key. Deterministic, and vanishingly rare.
+    }
+  }
+}
+
+void ValueInterner::SampleIndices(size_t max_distinct,
+                                  std::vector<uint32_t>* out) const {
+  out->clear();
+  const size_t d = entries_.size();
+  if (d <= max_distinct) {
+    out->reserve(d);
+    for (size_t i = 0; i < d; ++i) out->push_back(static_cast<uint32_t>(i));
+    return;
+  }
+  // Must match the stride arithmetic of DistinctValuesForStats exactly:
+  // reports are byte-compared between the two paths.
+  out->reserve(max_distinct);
+  double stride = static_cast<double>(d) / static_cast<double>(max_distinct);
+  for (size_t i = 0; i < max_distinct; ++i) {
+    out->push_back(static_cast<uint32_t>(static_cast<size_t>(
+        static_cast<double>(i) * stride)));
+  }
+}
+
+}  // namespace autodetect

@@ -1,9 +1,261 @@
 #include "text/run_tokenizer.h"
 
+#include <atomic>
+#include <cstring>
+
+#include "common/cpu.h"
 #include "common/hash.h"
 #include "common/logging.h"
 
+#if AUTODETECT_X86_SIMD
+#include <immintrin.h>
+#endif
+
 namespace autodetect {
+
+namespace {
+
+uint8_t TokenizeScalarImpl(const char* data, size_t n, std::vector<ClassRun>* out) {
+  uint8_t mask = 0;
+  size_t i = 0;
+  while (i < n) {
+    char c = data[i];
+    size_t j = i + 1;
+    while (j < n && data[j] == c) ++j;
+    uint8_t cls = static_cast<uint8_t>(ClassifyChar(c));
+    mask |= static_cast<uint8_t>(1u << cls);
+    out->push_back(ClassRun{c, cls, static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return mask;
+}
+
+#if AUTODETECT_X86_SIMD
+
+/// The SIMD tiers classify 16/32 bytes with two pshufb nibble lookups whose
+/// AND is non-zero exactly on the ASCII letter/digit ranges. Each high
+/// nibble that contains letters or digits owns one bit, and the low-nibble
+/// LUT re-asserts the bits whose range covers that low nibble:
+///   hi=3 -> 0x01 ('0'-'9': lo<=9)    hi=4 -> 0x02 ('A'-'O': lo>=1)
+///   hi=5 -> 0x08 ('P'-'Z': lo<=0xA)  hi=6 -> 0x04 ('a'-'o': lo>=1)
+///   hi=7 -> 0x10 ('p'-'z': lo<=0xA)  else    0    (symbol, incl. >=0x80)
+/// so m & 0x01 = digit, m & 0x0A = upper, m & 0x14 = lower, m == 0 = symbol.
+/// lo_lut[l] = (l<=9 ? 0x01 : 0) | (l>=1 ? 0x06 : 0) | (l<=0xA ? 0x18 : 0).
+/// The class byte is then 3 - 1*digit - 2*lower - 3*upper, matching
+/// CharClass{kUpper=0, kLower=1, kDigit=2, kSymbol=3}.
+
+__attribute__((target("ssse3"))) inline __m128i ClassifyVec16(__m128i v) {
+  const __m128i hi_lut =
+      _mm_setr_epi8(0, 0, 0, 0x01, 0x02, 0x08, 0x04, 0x10, 0, 0, 0, 0, 0, 0, 0, 0);
+  const __m128i lo_lut =
+      _mm_setr_epi8(0x19, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F,
+                    0x1E, 0x06, 0x06, 0x06, 0x06, 0x06);
+  const __m128i nibble = _mm_set1_epi8(0x0F);
+  __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), nibble);
+  __m128i lo = _mm_and_si128(v, nibble);
+  __m128i m = _mm_and_si128(_mm_shuffle_epi8(hi_lut, hi),
+                            _mm_shuffle_epi8(lo_lut, lo));
+  const __m128i zero = _mm_setzero_si128();
+  __m128i digit = _mm_cmpgt_epi8(_mm_and_si128(m, _mm_set1_epi8(0x01)), zero);
+  __m128i upper = _mm_cmpgt_epi8(_mm_and_si128(m, _mm_set1_epi8(0x0A)), zero);
+  __m128i lower = _mm_cmpgt_epi8(_mm_and_si128(m, _mm_set1_epi8(0x14)), zero);
+  __m128i cls = _mm_set1_epi8(3);
+  cls = _mm_sub_epi8(cls, _mm_and_si128(digit, _mm_set1_epi8(1)));
+  cls = _mm_sub_epi8(cls, _mm_and_si128(lower, _mm_set1_epi8(2)));
+  cls = _mm_sub_epi8(cls, _mm_and_si128(upper, _mm_set1_epi8(3)));
+  return cls;
+}
+
+__attribute__((target("ssse3")))
+uint8_t TokenizeSsse3(const char* data, size_t n, std::vector<ClassRun>* out) {
+  if (n == 0) return 0;
+  char cur_ch = data[0];
+  uint8_t cur_cls = static_cast<uint8_t>(ClassifyChar(cur_ch));
+  uint8_t mask = static_cast<uint8_t>(1u << cur_cls);
+  size_t run_start = 0;
+  size_t i = 1;
+  alignas(16) uint8_t cls_buf[16];
+  // Boundary b in the block starting at i means data[i+b] != data[i+b-1];
+  // one unaligned load shifted back a byte gives all 16 comparisons at once.
+  // Blocks inside a long run have no boundaries and cost only cmp+movemask.
+  while (i + 16 <= n) {
+    __m128i curr = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    __m128i prev = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i - 1));
+    uint32_t neq =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(curr, prev))) ^
+        0xFFFFu;
+    if (neq != 0) {
+      _mm_store_si128(reinterpret_cast<__m128i*>(cls_buf), ClassifyVec16(curr));
+      do {
+        unsigned b = static_cast<unsigned>(__builtin_ctz(neq));
+        neq &= neq - 1;
+        size_t p = i + b;
+        out->push_back(ClassRun{cur_ch, cur_cls, static_cast<uint32_t>(p - run_start)});
+        cur_ch = data[p];
+        cur_cls = cls_buf[b];
+        mask |= static_cast<uint8_t>(1u << cur_cls);
+        run_start = p;
+      } while (neq != 0);
+    }
+    i += 16;
+  }
+  if (i < n) {
+    // Tail: replay the same comparison from a zero-padded copy (including
+    // the preceding byte) and trim the boundary mask to the live lanes.
+    const size_t r = n - i;
+    alignas(16) unsigned char buf[32];
+    std::memset(buf, 0, sizeof(buf));
+    std::memcpy(buf, data + i - 1, r + 1);
+    __m128i prev = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    __m128i curr = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 1));
+    uint32_t neq =
+        (static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(curr, prev))) ^
+         0xFFFFu) &
+        ((1u << r) - 1u);
+    if (neq != 0) {
+      _mm_store_si128(reinterpret_cast<__m128i*>(cls_buf), ClassifyVec16(curr));
+      do {
+        unsigned b = static_cast<unsigned>(__builtin_ctz(neq));
+        neq &= neq - 1;
+        size_t p = i + b;
+        out->push_back(ClassRun{cur_ch, cur_cls, static_cast<uint32_t>(p - run_start)});
+        cur_ch = data[p];
+        cur_cls = cls_buf[b];
+        mask |= static_cast<uint8_t>(1u << cur_cls);
+        run_start = p;
+      } while (neq != 0);
+    }
+  }
+  out->push_back(ClassRun{cur_ch, cur_cls, static_cast<uint32_t>(n - run_start)});
+  return mask;
+}
+
+__attribute__((target("avx2"))) inline __m256i ClassifyVec32(__m256i v) {
+  // Same LUTs as ClassifyVec16, duplicated per 128-bit lane because
+  // vpshufb shuffles within lanes.
+  const __m256i hi_lut = _mm256_setr_epi8(
+      0, 0, 0, 0x01, 0x02, 0x08, 0x04, 0x10, 0, 0, 0, 0, 0, 0, 0, 0,
+      0, 0, 0, 0x01, 0x02, 0x08, 0x04, 0x10, 0, 0, 0, 0, 0, 0, 0, 0);
+  const __m256i lo_lut = _mm256_setr_epi8(
+      0x19, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1E, 0x06,
+      0x06, 0x06, 0x06, 0x06, 0x19, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F, 0x1F,
+      0x1F, 0x1F, 0x1E, 0x06, 0x06, 0x06, 0x06, 0x06);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nibble);
+  __m256i lo = _mm256_and_si256(v, nibble);
+  __m256i m = _mm256_and_si256(_mm256_shuffle_epi8(hi_lut, hi),
+                               _mm256_shuffle_epi8(lo_lut, lo));
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i digit = _mm256_cmpgt_epi8(_mm256_and_si256(m, _mm256_set1_epi8(0x01)), zero);
+  __m256i upper = _mm256_cmpgt_epi8(_mm256_and_si256(m, _mm256_set1_epi8(0x0A)), zero);
+  __m256i lower = _mm256_cmpgt_epi8(_mm256_and_si256(m, _mm256_set1_epi8(0x14)), zero);
+  __m256i cls = _mm256_set1_epi8(3);
+  cls = _mm256_sub_epi8(cls, _mm256_and_si256(digit, _mm256_set1_epi8(1)));
+  cls = _mm256_sub_epi8(cls, _mm256_and_si256(lower, _mm256_set1_epi8(2)));
+  cls = _mm256_sub_epi8(cls, _mm256_and_si256(upper, _mm256_set1_epi8(3)));
+  return cls;
+}
+
+__attribute__((target("avx2")))
+uint8_t TokenizeAvx2(const char* data, size_t n, std::vector<ClassRun>* out) {
+  if (n == 0) return 0;
+  char cur_ch = data[0];
+  uint8_t cur_cls = static_cast<uint8_t>(ClassifyChar(cur_ch));
+  uint8_t mask = static_cast<uint8_t>(1u << cur_cls);
+  size_t run_start = 0;
+  size_t i = 1;
+  alignas(32) uint8_t cls_buf[32];
+  while (i + 32 <= n) {
+    __m256i curr = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i prev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i - 1));
+    uint32_t neq =
+        static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(curr, prev))) ^
+        0xFFFFFFFFu;
+    if (neq != 0) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cls_buf), ClassifyVec32(curr));
+      do {
+        unsigned b = static_cast<unsigned>(__builtin_ctz(neq));
+        neq &= neq - 1;
+        size_t p = i + b;
+        out->push_back(ClassRun{cur_ch, cur_cls, static_cast<uint32_t>(p - run_start)});
+        cur_ch = data[p];
+        cur_cls = cls_buf[b];
+        mask |= static_cast<uint8_t>(1u << cur_cls);
+        run_start = p;
+      } while (neq != 0);
+    }
+    i += 32;
+  }
+  if (i < n) {
+    const size_t r = n - i;
+    alignas(32) unsigned char buf[64];
+    std::memset(buf, 0, sizeof(buf));
+    std::memcpy(buf, data + i - 1, r + 1);
+    __m256i prev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf));
+    __m256i curr = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf + 1));
+    uint32_t neq =
+        (static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(curr, prev))) ^
+         0xFFFFFFFFu) &
+        ((r < 32 ? (1u << r) : 0u) - 1u);
+    if (neq != 0) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cls_buf), ClassifyVec32(curr));
+      do {
+        unsigned b = static_cast<unsigned>(__builtin_ctz(neq));
+        neq &= neq - 1;
+        size_t p = i + b;
+        out->push_back(ClassRun{cur_ch, cur_cls, static_cast<uint32_t>(p - run_start)});
+        cur_ch = data[p];
+        cur_cls = cls_buf[b];
+        mask |= static_cast<uint8_t>(1u << cur_cls);
+        run_start = p;
+      } while (neq != 0);
+    }
+  }
+  out->push_back(ClassRun{cur_ch, cur_cls, static_cast<uint32_t>(n - run_start)});
+  return mask;
+}
+
+#endif  // AUTODETECT_X86_SIMD
+
+std::atomic<SimdTier>& TierSlot() {
+  static std::atomic<SimdTier> tier{MaxSupportedSimdTier()};
+  return tier;
+}
+
+}  // namespace
+
+std::string_view SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSSSE3:
+      return "ssse3";
+    case SimdTier::kAVX2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdTier MaxSupportedSimdTier() {
+#if AUTODETECT_X86_SIMD
+  const CpuFeatures& f = DetectCpuFeatures();
+  if (f.avx2) return SimdTier::kAVX2;
+  if (f.ssse3) return SimdTier::kSSSE3;
+#endif
+  return SimdTier::kScalar;
+}
+
+SimdTier ActiveSimdTier() {
+  return TierSlot().load(std::memory_order_relaxed);
+}
+
+bool SetSimdTier(SimdTier tier) {
+  if (static_cast<uint8_t>(tier) > static_cast<uint8_t>(MaxSupportedSimdTier())) {
+    return false;
+  }
+  TierSlot().store(tier, std::memory_order_relaxed);
+  return true;
+}
 
 uint8_t TokenizeRuns(std::string_view value, const GeneralizeOptions& options,
                      std::vector<ClassRun>* out) {
@@ -11,18 +263,30 @@ uint8_t TokenizeRuns(std::string_view value, const GeneralizeOptions& options,
     value = value.substr(0, options.max_value_length);
   }
   out->clear();
-  uint8_t mask = 0;
-  size_t i = 0;
-  while (i < value.size()) {
-    char c = value[i];
-    size_t j = i + 1;
-    while (j < value.size() && value[j] == c) ++j;
-    uint8_t cls = static_cast<uint8_t>(ClassifyChar(c));
-    mask |= static_cast<uint8_t>(1u << cls);
-    out->push_back(ClassRun{c, cls, static_cast<uint32_t>(j - i)});
-    i = j;
+#if AUTODETECT_X86_SIMD
+  // Sub-block values never reach a vector main loop; the scalar loop beats
+  // the padded-tail setup there, so route them past the dispatch.
+  if (value.size() > 16) {
+    switch (ActiveSimdTier()) {
+      case SimdTier::kAVX2:
+        return TokenizeAvx2(value.data(), value.size(), out);
+      case SimdTier::kSSSE3:
+        return TokenizeSsse3(value.data(), value.size(), out);
+      case SimdTier::kScalar:
+        break;
+    }
   }
-  return mask;
+#endif
+  return TokenizeScalarImpl(value.data(), value.size(), out);
+}
+
+uint8_t TokenizeRunsScalar(std::string_view value, const GeneralizeOptions& options,
+                           std::vector<ClassRun>* out) {
+  if (value.size() > options.max_value_length) {
+    value = value.substr(0, options.max_value_length);
+  }
+  out->clear();
+  return TokenizeScalarImpl(value.data(), value.size(), out);
 }
 
 namespace {

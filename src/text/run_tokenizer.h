@@ -35,16 +35,48 @@ struct ClassRun {
   char ch = 0;        ///< the literal character of the run
   uint8_t cls = 0;    ///< static_cast<uint8_t>(ClassifyChar(ch))
   uint32_t count = 0; ///< run length, >= 1
+
+  bool operator==(const ClassRun&) const = default;
 };
 
 using RunSpan = std::span<const ClassRun>;
+
+/// The tokenizer implementation tiers, ordered weakest to widest. Dispatch
+/// picks the widest tier the build and the host CPU both support; tests and
+/// the --no-simd escape hatch can pin a weaker one. Every tier produces
+/// byte-identical run lists (fuzz-verified against the scalar reference).
+enum class SimdTier : uint8_t {
+  kScalar = 0,  ///< one byte at a time — the reference implementation
+  kSSSE3 = 1,   ///< 16 bytes/iteration: pshufb nibble-LUT classes + movemask
+  kAVX2 = 2,    ///< 32 bytes/iteration, same scheme on 256-bit vectors
+};
+
+std::string_view SimdTierName(SimdTier tier);
+
+/// Widest tier this build + CPU supports (kScalar under AUTODETECT_NO_SIMD
+/// or on non-x86 hosts).
+SimdTier MaxSupportedSimdTier();
+
+/// The currently dispatched tier.
+SimdTier ActiveSimdTier();
+
+/// \brief Re-pins the dispatched tier. Returns false (and changes nothing)
+/// when the tier is not supported here. Thread-safe, but intended for
+/// startup/tests — flipping it mid-scan is safe yet pointless.
+bool SetSimdTier(SimdTier tier);
 
 /// \brief Tokenizes `value` (truncated to options.max_value_length, exactly
 /// like the Generalize* family) into maximal identical-character runs.
 /// Clears and fills `*out`; returns the 4-bit mask of char classes present
 /// (bit i = CharClass i), which MultiGeneralizer uses for key sharing.
+/// Dispatches to the active SIMD tier.
 uint8_t TokenizeRuns(std::string_view value, const GeneralizeOptions& options,
                      std::vector<ClassRun>* out);
+
+/// \brief The scalar reference tokenizer, always available regardless of the
+/// dispatched tier — the ground truth the SIMD tiers are fuzzed against.
+uint8_t TokenizeRunsScalar(std::string_view value, const GeneralizeOptions& options,
+                           std::vector<ClassRun>* out);
 
 /// \brief Derives one language's pattern key from a run list. Bit-identical
 /// to GeneralizeToKey(value, lang, options) when `runs` came from

@@ -6,10 +6,12 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/random.h"
 #include "corpus/corpus_generator.h"
 #include "stats/language_stats.h"
 #include "stats/npmi.h"
 #include "stats/stats_builder.h"
+#include "stats/value_interner.h"
 #include "text/pattern.h"
 
 namespace autodetect {
@@ -244,6 +246,72 @@ TEST(StatsBuilderTest, DistinctValuesSubsamplesDeterministically) {
   EXPECT_EQ(a.size(), 10u);
   EXPECT_EQ(a, b);
   EXPECT_EQ(a[0], "0");  // head kept
+}
+
+// --------------------------------------------------------- ValueInterner
+
+TEST(ValueInternerTest, GroupsByIdentityInFirstOccurrenceOrder) {
+  ValueInterner interner;
+  interner.Intern({"b", "a", "b", "c", "a", "b"});
+  EXPECT_EQ(interner.num_values(), 6u);
+  ASSERT_EQ(interner.num_distinct(), 3u);
+  EXPECT_EQ(interner.entry(0).value, "b");
+  EXPECT_EQ(interner.entry(0).multiplicity, 3u);
+  EXPECT_EQ(interner.entry(0).first_row, 0u);
+  EXPECT_EQ(interner.entry(1).value, "a");
+  EXPECT_EQ(interner.entry(1).multiplicity, 2u);
+  EXPECT_EQ(interner.entry(1).first_row, 1u);
+  EXPECT_EQ(interner.entry(2).value, "c");
+  EXPECT_EQ(interner.entry(2).multiplicity, 1u);
+  EXPECT_EQ(interner.entry(2).first_row, 3u);
+}
+
+TEST(ValueInternerTest, SampleMatchesDistinctValuesForStatsOnRandomColumns) {
+  // The interned selection must equal DistinctValuesForStats index for
+  // index — the detect and train paths byte-compare reports/stats across
+  // the two implementations. One interner across iterations also proves
+  // Reset-based reuse carries no state over.
+  Pcg32 rng(0x1e7e);
+  ValueInterner interner;
+  std::vector<uint32_t> sampled;
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t rows = rng.Below(300);
+    size_t cardinality = 1 + rng.Below(90);
+    std::vector<std::string> values;
+    values.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      values.push_back("v" + std::to_string(rng.Below(static_cast<uint32_t>(cardinality))));
+    }
+    size_t max_distinct = 1 + rng.Below(64);
+
+    interner.Intern(values);
+    interner.SampleIndices(max_distinct, &sampled);
+    std::vector<std::string> via_interner;
+    for (uint32_t idx : sampled) {
+      via_interner.emplace_back(interner.entry(idx).value);
+    }
+    EXPECT_EQ(via_interner, DistinctValuesForStats(values, max_distinct))
+        << "iter " << iter << " rows " << rows << " max " << max_distinct;
+
+    // Multiplicities partition the rows; first_row is the first occurrence.
+    uint64_t total = 0;
+    for (size_t e = 0; e < interner.num_distinct(); ++e) {
+      const ValueInterner::Entry& entry = interner.entry(e);
+      total += entry.multiplicity;
+      EXPECT_EQ(values[entry.first_row], entry.value);
+    }
+    EXPECT_EQ(total, values.size());
+  }
+}
+
+TEST(ValueInternerTest, EmptyColumn) {
+  ValueInterner interner;
+  interner.Intern({});
+  EXPECT_EQ(interner.num_values(), 0u);
+  EXPECT_EQ(interner.num_distinct(), 0u);
+  std::vector<uint32_t> sampled;
+  interner.SampleIndices(48, &sampled);
+  EXPECT_TRUE(sampled.empty());
 }
 
 TEST(StatsBuilderTest, CountsKnownTinyCorpus) {

@@ -252,6 +252,9 @@ int CmdInfo(int argc, char** argv) {
               model->format() == ModelFormat::kV2 ? "ADMODEL2" : "ADMODEL1",
               model->mapped() ? " (memory-mapped)" : "",
               HumanBytes(ec ? 0 : file_bytes).c_str());
+  std::printf("tokenizer: %s (max supported: %s)\n",
+              std::string(SimdTierName(ActiveSimdTier())).c_str(),
+              std::string(SimdTierName(MaxSupportedSimdTier())).c_str());
   return 0;
 }
 
@@ -270,6 +273,7 @@ void Usage() {
                "        [--deadline-ms N] [--column-budget-us N]\n"
                "        [--queue-cap N [--admission-policy block|shed-oldest|\n"
                "         reject] [--admission-timeout-ms N]]\n"
+               "        [--no-simd] [--no-dedup]\n"
                "        file.csv...                       flag suspicious cells\n"
                "        (--jobs 0 = all cores; --cache-mb 0 disables the\n"
                "         cross-column pair-verdict cache; --model-watch\n"
@@ -277,7 +281,9 @@ void Usage() {
                "         --deadline-ms bounds batch latency with partial\n"
                "         reports; --column-budget-us degrades slow columns to\n"
                "         the single-language fallback; --queue-cap bounds\n"
-               "         in-flight work by admission policy)\n"
+               "         in-flight work by admission policy; --no-simd and\n"
+               "         --no-dedup pin the scalar tokenizer / disable value\n"
+               "         interning — reports are identical either way)\n"
                "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
                "  info  --model FILE                     describe a model\n\n"
                "train and scan also accept --metrics-out FILE (JSON, or\n"

@@ -15,6 +15,7 @@
 #include "obs/dump.h"
 #include "serve/detection_engine.h"
 #include "serve/model_registry.h"
+#include "text/run_tokenizer.h"
 
 /// \file flag_set.h
 /// Shared typed flag parsing for the CLI tools. Each tool registers the
@@ -207,6 +208,8 @@ struct EngineFlags {
   int64_t queue_cap = 0;          ///< admission cap in columns; 0 = unbounded
   std::string admission_policy = "block";
   int64_t admission_timeout_ms = 1000;
+  bool no_simd = false;   ///< pin the tokenizer to the scalar reference
+  bool no_dedup = false;  ///< score columns without value interning
 
   void Register(FlagSet* flags) {
     flags->Int("jobs", &jobs, "worker threads (0 = all cores)");
@@ -225,6 +228,12 @@ struct EngineFlags {
     flags->Int("admission-timeout-ms", &admission_timeout_ms,
                "longest a batch waits for capacity under --admission-policy "
                "block");
+    flags->Bool("no-simd", &no_simd,
+                "tokenize with the scalar reference instead of the dispatched "
+                "SIMD tier (escape hatch / A-B runs)");
+    flags->Bool("no-dedup", &no_dedup,
+                "scan columns without value interning (escape hatch; reports "
+                "are identical either way)");
   }
 
   Status Apply(EngineOptions* options) const {
@@ -232,6 +241,9 @@ struct EngineFlags {
     options->cache_bytes = static_cast<size_t>(cache_mb) << 20;
     options->default_deadline_ms = static_cast<uint64_t>(deadline_ms);
     options->detector.column_budget_us = static_cast<uint64_t>(column_budget_us);
+    options->detector.dedup = !no_dedup;
+    // Process-wide: the tokenizer dispatch is shared by every detector.
+    if (no_simd) SetSimdTier(SimdTier::kScalar);
     options->admission.queue_cap_columns = static_cast<size_t>(queue_cap);
     Result<AdmissionPolicy> policy = ParseAdmissionPolicy(admission_policy);
     if (!policy.ok()) {

@@ -4,8 +4,12 @@
 # produce identical reports), then run the generalization-kernel,
 # detection-engine and model-load benchmarks and leave their JSON reports in
 # the build directory (BENCH_generalize.json, BENCH_detect.json,
-# BENCH_model_load.json — the last also asserts v2 cold-load speedup and
-# v1/v2 + hot-reload report equivalence, failing the gate otherwise).
+# BENCH_model_load.json). Two of those are self-gating: bench_model_load
+# asserts v2 cold-load speedup and v1/v2 + hot-reload report equivalence;
+# bench_generalize_kernel asserts SIMD-tier/scalar tokenizer equivalence,
+# a >=2x keys/s floor for the shared-tokenization kernel over the
+# per-language loop, and a >=2x SIMD-vs-scalar tokenize floor on
+# run-dominated cells. Either failing fails the gate.
 # Run from anywhere; exits non-zero on the first failing step.
 #
 # Opt-in sanitizer mode: SANITIZE=thread (or address/undefined) builds the
@@ -25,6 +29,15 @@
 # snapshots):
 #
 #   METRICS=off tools/run_tier1.sh
+#
+# Opt-in scalar-tokenizer mode: SIMD=off builds the whole tree with
+# -DAUTODETECT_NO_SIMD=ON in a separate build-nosimd tree and runs the full
+# test suite plus the golden detection suite there, proving the SSSE3/AVX2
+# kernels compile out cleanly and the scalar reference produces identical
+# reports (the default build's fuzz_test already proves per-tier run-list
+# equality where the CPU supports the kernels):
+#
+#   SIMD=off tools/run_tier1.sh
 #
 # Opt-in model-format mode: MODEL=v1 (or v2) builds the default tree and
 # runs just the golden detection suite with the model round-tripped through
@@ -54,6 +67,23 @@ SANITIZE="${SANITIZE:-}"
 METRICS="${METRICS:-on}"
 MODEL="${MODEL:-}"
 FAILPOINTS="${FAILPOINTS:-off}"
+SIMD="${SIMD:-on}"
+
+if [[ "$SIMD" == "off" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nosimd}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+    -DAUTODETECT_NO_SIMD=ON \
+    -DAUTODETECT_BUILD_BENCHMARKS=OFF \
+    -DAUTODETECT_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+  # Scalar-only reports must be byte-identical to the SIMD build's golden
+  # reports — same fixtures, same expectations.
+  AD_MODEL_FORMAT=v1 "$BUILD_DIR/tests/golden_test"
+  AD_MODEL_FORMAT=v2 "$BUILD_DIR/tests/golden_test"
+  echo "tests green with -DAUTODETECT_NO_SIMD=ON (scalar tokenizer)"
+  exit 0
+fi
 
 if [[ "$METRICS" == "off" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nometrics}"
@@ -108,12 +138,16 @@ if [[ -n "$SANITIZE" ]]; then
     -DAUTODETECT_BUILD_BENCHMARKS=OFF \
     -DAUTODETECT_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target serve_test io_test model_v2_test resilience_test
+    --target serve_test io_test model_v2_test resilience_test fuzz_test
   "$BUILD_DIR/tests/serve_test"
   "$BUILD_DIR/tests/io_test"
   "$BUILD_DIR/tests/model_v2_test"
   "$BUILD_DIR/tests/resilience_test"
-  echo "serve_test + io_test + model_v2_test + resilience_test green under -fsanitize=$SANITIZE"
+  # fuzz_test drives the SSSE3/AVX2 tokenizer kernels on every tier the host
+  # CPU supports (and the interned detect path), so the sanitizer also
+  # sweeps the SIMD tail/boundary loads and the interner's probe chains.
+  "$BUILD_DIR/tests/fuzz_test"
+  echo "serve_test + io_test + model_v2_test + resilience_test + fuzz_test green under -fsanitize=$SANITIZE"
   exit 0
 fi
 
@@ -137,12 +171,12 @@ fi
 AD_MODEL_FORMAT=v1 "$BUILD_DIR/tests/golden_test"
 AD_MODEL_FORMAT=v2 "$BUILD_DIR/tests/golden_test"
 
-# Kernel throughput report: old per-language loop vs the shared-tokenization
-# kernel, plus the stats-build and calibration stages that sit on it.
-"$BUILD_DIR/bench/bench_generalize_kernel" \
-  --benchmark_min_time=0.1 \
-  --benchmark_out="$BUILD_DIR/BENCH_generalize.json" \
-  --benchmark_out_format=json
+# Kernel throughput report: per-ISA-tier tokenize bytes/s and kernel keys/s
+# vs the per-language loop. Self-gating — exits non-zero if any SIMD tier
+# diverges from the scalar reference, the kernel falls under 2x the
+# per-language baseline's keys/s, or the SIMD tier falls under 2x scalar
+# bytes/s on run-dominated cells.
+"$BUILD_DIR/bench/bench_generalize_kernel" "$BUILD_DIR/BENCH_generalize.json"
 
 # Serving throughput report: sequential Detector vs DetectionEngine at
 # 1/2/4/8 workers, cached and uncached (columns/s + cache hit rate).
