@@ -114,6 +114,31 @@ Detector::Detector(const Model* model, DetectorOptions options)
       break;
     }
   }
+  // Sketch escape hatch: with sketch_estimates off, sketched languages are
+  // excluded from scoring, aggregation and the degraded fallback. The skip
+  // vector stays empty on the default path (and for exact-only models), so
+  // the hot loop pays nothing.
+  if (!options_.sketch_estimates) {
+    bool any_skipped = false;
+    skip_lang_.assign(model_->languages.size(), 0);
+    for (size_t i = 0; i < model_->languages.size(); ++i) {
+      if (model_->languages[i].stats.uses_sketch()) {
+        skip_lang_[i] = 1;
+        any_skipped = true;
+      }
+    }
+    if (!any_skipped) {
+      skip_lang_.clear();
+    } else {
+      for (size_t i = 0; i < skip_lang_.size(); ++i) {
+        if (!skip_lang_[i]) {
+          best_single_lang_ = i;
+          break;
+        }
+      }
+      if (skip_lang_[degrade_lang_]) degrade_lang_ = best_single_lang_;
+    }
+  }
 }
 
 const Detector::TagMetrics& Detector::MetricsForTag(const std::string& tag) const {
@@ -175,12 +200,16 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
   int best_lang = -1;
   bool any_fired = false;
 
+  const bool skipping = !skip_lang_.empty();
+  size_t scored = 0;
   for (size_t i = 0; i < n; ++i) {
+    if (skipping && skip_lang_[i]) continue;  // sketch escape hatch
     const ModelLanguage& l = langs[i];
     NpmiScorer scorer(&l.stats, model_->smoothing_factor);
     NpmiScorer::ScoreDetail detail;
     double s = scorer.Score(k1[i], k2[i], &detail);
     if (detail.rare_fallback && rare_fallbacks != nullptr) ++*rare_fallbacks;
+    ++scored;
     sum_s += s;
     min_s = std::min(min_s, s);
     sum_theta += l.threshold;
@@ -199,11 +228,12 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
     }
     if (options_.aggregation == Aggregation::kBestSingle) break;  // only first
   }
+  if (scored == 0) return verdict;  // every language skipped: neutral verdict
 
   verdict.min_npmi = min_s;
   verdict.best_language = best_lang;
 
-  const double avg_theta = sum_theta / static_cast<double>(n);
+  const double avg_theta = sum_theta / static_cast<double>(scored);
   auto npmi_to_conf = [](double s) { return (1.0 - s) / 2.0; };
 
   switch (options_.aggregation) {
@@ -215,7 +245,7 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
       break;
     }
     case Aggregation::kAvgNpmi: {
-      double avg = sum_s / static_cast<double>(n);
+      double avg = sum_s / static_cast<double>(scored);
       verdict.incompatible = avg <= avg_theta;
       verdict.confidence = npmi_to_conf(avg);
       break;
@@ -226,8 +256,8 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
       break;
     }
     case Aggregation::kMajorityVote: {
-      verdict.incompatible = 2 * votes > n;
-      verdict.confidence = static_cast<double>(votes) / static_cast<double>(n);
+      verdict.incompatible = 2 * votes > scored;
+      verdict.confidence = static_cast<double>(votes) / static_cast<double>(scored);
       break;
     }
     case Aggregation::kWeightedMajorityVote: {
@@ -236,9 +266,9 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
       break;
     }
     case Aggregation::kBestSingle: {
-      const ModelLanguage& l = langs[0];
+      const ModelLanguage& l = langs[best_single_lang_];
       NpmiScorer scorer(&l.stats, model_->smoothing_factor);
-      double s = scorer.Score(k1[0], k2[0]);
+      double s = scorer.Score(k1[best_single_lang_], k2[best_single_lang_]);
       verdict.incompatible = s <= l.threshold;
       verdict.confidence = verdict.incompatible ? l.curve.PrecisionAt(s) : 0.0;
       verdict.best_language = verdict.incompatible ? l.lang_id : -1;
@@ -250,6 +280,9 @@ PairVerdict Detector::ScoreKeys(const uint64_t* k1, const uint64_t* k2,
 }
 
 PairVerdict Detector::ScoreKeysDegraded(const uint64_t* k1, const uint64_t* k2) const {
+  if (!skip_lang_.empty() && skip_lang_[degrade_lang_]) {
+    return PairVerdict{};  // every language sketched and estimates are off
+  }
   const ModelLanguage& l = model_->languages[degrade_lang_];
   NpmiScorer scorer(&l.stats, model_->smoothing_factor);
   double s = scorer.Score(k1[degrade_lang_], k2[degrade_lang_]);

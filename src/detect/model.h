@@ -28,6 +28,17 @@
 ///    probes them, and concurrent processes share one page-cache copy.
 /// `Save` writes either format; `Load` dispatches on the leading magic, so
 /// existing ADMODEL1 files keep working.
+///
+/// ADMODEL2 header version 3 adds an optional SKCH section after DATA:
+/// per-language count-min sketches of the co-occurrence tables (paper
+/// Sec. 3.4), stored as page-aligned CountMinSketch frozen blobs and
+/// XXH64-checksummed exactly like META and DATA. A model whose languages
+/// are all exact still writes version 2 — byte-identical to before — so
+/// sketching is opt-in per artifact, and exact and sketched languages
+/// coexist inside one version-3 file (each language's stats blob declares
+/// which representation it carries; the loader sniffs the flag and attaches
+/// the mapped sketch view). Loads fail closed on any SKCH checksum,
+/// bounds, alignment or flag/section mismatch.
 
 namespace autodetect {
 
@@ -52,6 +63,14 @@ enum class ModelFormat {
   kV2 = 2,  ///< ADMODEL2 zero-copy mapped artifact (default)
 };
 
+/// Aggregate sketch footprint of a model (for metrics and CLI `info`).
+struct ModelSketchInfo {
+  size_t bytes = 0;      ///< live sketch counter bytes across languages
+  size_t languages = 0;  ///< languages served from a sketch
+  size_t width = 0;      ///< widest sketch (counters per row)
+  size_t depth = 0;      ///< deepest sketch (rows)
+};
+
 class Model {
  public:
   /// Selected languages, ordered by descending training coverage.
@@ -63,6 +82,9 @@ class Model {
 
   /// Estimated resident size — the quantity bounded by the training budget.
   size_t MemoryBytes() const;
+
+  /// Sketch footprint: zeros when every language carries exact tables.
+  ModelSketchInfo SketchInfo() const;
 
   /// One-line-per-language human description.
   std::string Summary() const;

@@ -11,18 +11,43 @@ namespace autodetect {
 
 namespace {
 
-/// Projected resident size of a language's stats if its co-occurrence
-/// dictionary were sketched at `ratio` (1.0 = exact). Mirrors
-/// LanguageStats::MemoryBytes()/CompressToSketch so the selection knapsack
-/// prices candidates at their post-compression cost.
-size_t ProjectedBytes(const LanguageStats& stats, double ratio) {
-  size_t exact = stats.MemoryBytes();
-  if (ratio >= 1.0) return exact;
+/// Depth LanguageStats::CompressToSketch{,Budget} builds sketches with.
+constexpr size_t kSketchDepth = 4;
+
+/// Counter bytes the co-occurrence store will actually occupy under the
+/// sketch knobs: the exact dictionary when compression is off, otherwise
+/// the power-of-two-width sketch CountMinSketch::FromMemoryBudget will
+/// allocate — unless that sketch would not shrink the table, in which case
+/// the language stays exact (sketching a tiny dictionary only loses
+/// accuracy). A sketch must beat the exact dictionary on BOTH resident
+/// counters and frozen-blob bytes (header + plane padding included) or the
+/// language stays exact. An absolute per-language byte budget takes
+/// precedence over the relative ratio.
+size_t PlannedCoBytes(size_t co_bytes, double ratio, size_t sketch_budget_bytes) {
+  size_t target;
+  if (sketch_budget_bytes > 0) {
+    target = sketch_budget_bytes;
+  } else if (ratio < 1.0) {
+    target = std::max<size_t>(
+        64, static_cast<size_t>(static_cast<double>(co_bytes) * ratio));
+  } else {
+    return co_bytes;
+  }
+  size_t width = CountMinSketch::WidthForBudget(target, kSketchDepth);
+  size_t planned = width * kSketchDepth * sizeof(uint32_t);
+  if (planned >= co_bytes ||
+      CountMinSketch::FrozenBytes(width, kSketchDepth) >= co_bytes) {
+    return co_bytes;
+  }
+  return planned;
+}
+
+/// True when the knobs call for compressing this language (the planned
+/// sketch is strictly smaller than the exact dictionary).
+bool ShouldSketch(const LanguageStats& stats, double ratio,
+                  size_t sketch_budget_bytes) {
   size_t co_bytes = stats.CoMemoryBytes();
-  size_t count_bytes = exact - co_bytes;
-  size_t sketch_bytes =
-      std::max<size_t>(64, static_cast<size_t>(static_cast<double>(co_bytes) * ratio));
-  return count_bytes + sketch_bytes;
+  return PlannedCoBytes(co_bytes, ratio, sketch_budget_bytes) < co_bytes;
 }
 
 }  // namespace
@@ -98,11 +123,26 @@ Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
 
 Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
                                            double sketch_ratio) const {
+  return BuildModel(memory_budget_bytes, sketch_ratio, /*sketch_budget_bytes=*/0);
+}
+
+Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
+                                           double sketch_ratio,
+                                           size_t sketch_budget_bytes) const {
   if (sketch_ratio <= 0.0 || sketch_ratio > 1.0) {
     return Status::Invalid("sketch_ratio must be in (0, 1]");
   }
 
-  // Assemble selection candidates from usable calibrations.
+  // Assemble selection candidates from usable calibrations. Candidates are
+  // priced at their EXACT resident bytes even when sketch knobs are on:
+  // sketching is an artifact-compression step applied to the chosen
+  // ensemble, not a discount that lets the knapsack trade estimator
+  // accuracy for extra languages. Pricing at sketched bytes would make the
+  // selected language set a function of the compression knob, so an exact
+  // model and its sketched sibling would no longer be comparable (and the
+  // extra languages' sketch blobs routinely cost more than the compression
+  // saves). Fixed ensemble, shrinking bytes — the shape of the paper's
+  // Fig. 8(a) experiment.
   std::vector<LanguageCandidate> candidates;
   std::vector<size_t> candidate_to_pipeline;
   for (size_t i = 0; i < lang_ids_.size(); ++i) {
@@ -110,7 +150,7 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
     if (!cal.has_threshold || cal.covered_count == 0) continue;
     LanguageCandidate c;
     c.lang_id = lang_ids_[i];
-    c.size_bytes = ProjectedBytes(stats_.ForLanguage(lang_ids_[i]), sketch_ratio);
+    c.size_bytes = stats_.ForLanguage(lang_ids_[i]).MemoryBytes();
     c.covered = cal.covered_negatives;
     candidates.push_back(std::move(c));
     candidate_to_pipeline.push_back(i);
@@ -141,9 +181,13 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
     ml.train_coverage = cal.covered_count;
     ml.curve = cal.curve;
     ml.stats = stats_.ForLanguage(ml.lang_id);  // copy, then maybe compress
-    if (sketch_ratio < 1.0) {
-      AD_RETURN_NOT_OK(ml.stats.CompressToSketch(
-          sketch_ratio, /*seed=*/0xadde7ec7 + static_cast<uint64_t>(ml.lang_id)));
+    if (ShouldSketch(ml.stats, sketch_ratio, sketch_budget_bytes)) {
+      const uint64_t seed = 0xadde7ec7 + static_cast<uint64_t>(ml.lang_id);
+      if (sketch_budget_bytes > 0) {
+        AD_RETURN_NOT_OK(ml.stats.CompressToSketchBudget(sketch_budget_bytes, seed));
+      } else {
+        AD_RETURN_NOT_OK(ml.stats.CompressToSketch(sketch_ratio, seed));
+      }
     }
     model.languages.push_back(std::move(ml));
   }
@@ -159,7 +203,8 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
 }
 
 Result<Model> TrainingPipeline::BuildModel() const {
-  return BuildModel(options_.memory_budget_bytes, options_.sketch_ratio);
+  return BuildModel(options_.memory_budget_bytes, options_.sketch_ratio,
+                    options_.sketch_budget_bytes);
 }
 
 void TrainingPipeline::RecalibrateInPlace(double smoothing_factor) {

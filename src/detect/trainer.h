@@ -32,6 +32,13 @@ struct TrainOptions {
   /// replaces each selected language's dictionary with a count-min sketch
   /// of r times the size (Sec. 3.4).
   double sketch_ratio = 1.0;
+  /// Absolute variant of the same knob: cap each selected language's
+  /// co-occurrence sketch at this many counter bytes (power-of-two width,
+  /// see CountMinSketch::FromMemoryBudget). 0 = off. Takes precedence over
+  /// sketch_ratio; languages whose exact dictionary is already smaller than
+  /// the planned sketch stay exact, so exact and sketched languages coexist
+  /// in one model. This is the `train --sketch-budget-mb` knob.
+  size_t sketch_budget_bytes = 0;
   /// Human-readable provenance stored in the model.
   std::string corpus_name = "corpus";
 
@@ -48,8 +55,12 @@ class TrainingPipeline {
   /// streamed twice (stats, then supervision) via Reset().
   static Result<TrainingPipeline> Run(ColumnSource* source, TrainOptions options);
 
-  /// \brief Selects languages under `memory_budget_bytes`/`sketch_ratio`
-  /// (overriding the option defaults) and assembles a Model.
+  /// \brief Selects languages under `memory_budget_bytes`/`sketch_ratio`/
+  /// `sketch_budget_bytes` (overriding the option defaults) and assembles a
+  /// Model. The knapsack prices sketched candidates at the exact bytes the
+  /// compressor will allocate (see CountMinSketch::PlannedBytes).
+  Result<Model> BuildModel(size_t memory_budget_bytes, double sketch_ratio,
+                           size_t sketch_budget_bytes) const;
   Result<Model> BuildModel(size_t memory_budget_bytes, double sketch_ratio) const;
   Result<Model> BuildModel() const;
 

@@ -30,6 +30,10 @@ ModelRegistry::ModelRegistry(MetricsRegistry* metrics) {
   reload_backoff_ms_ = registry->GetGauge("model.reload.backoff_ms");
   model_bytes_ = registry->GetGauge("model.bytes");
   model_generation_ = registry->GetGauge("model.generation");
+  sketch_bytes_ = registry->GetGauge("model.sketch.bytes");
+  sketch_languages_ = registry->GetGauge("model.sketch.languages");
+  sketch_width_ = registry->GetGauge("model.sketch.width");
+  sketch_depth_ = registry->GetGauge("model.sketch.depth");
 }
 
 ModelRegistry::~ModelRegistry() { StopWatch(); }
@@ -42,6 +46,14 @@ void ModelRegistry::PublishModelMetrics(const std::shared_ptr<const Model>& mode
   if (bytes == 0) bytes = model->MemoryBytes();
   model_bytes_->Set(static_cast<double>(bytes));
   model_generation_->Set(static_cast<double>(generation));
+  // Sketch footprint of the served model: all zeros for exact-only models,
+  // refreshed on every swap so a hot reload from exact to sketched (or
+  // back) is visible in dumps immediately.
+  const ModelSketchInfo sketch = model->SketchInfo();
+  sketch_bytes_->Set(static_cast<double>(sketch.bytes));
+  sketch_languages_->Set(static_cast<double>(sketch.languages));
+  sketch_width_->Set(static_cast<double>(sketch.width));
+  sketch_depth_->Set(static_cast<double>(sketch.depth));
 }
 
 Status ModelRegistry::Reload(const std::string& path) {

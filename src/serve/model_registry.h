@@ -118,6 +118,10 @@ class ModelRegistry : public ModelProvider {
   Gauge* reload_backoff_ms_;
   Gauge* model_bytes_;
   Gauge* model_generation_;
+  Gauge* sketch_bytes_;      ///< model.sketch.bytes — live sketch counters
+  Gauge* sketch_languages_;  ///< model.sketch.languages
+  Gauge* sketch_width_;      ///< model.sketch.width (widest language)
+  Gauge* sketch_depth_;      ///< model.sketch.depth (deepest language)
 };
 
 /// Interface-style name for the registry-backed provider (the counterpart

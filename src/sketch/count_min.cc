@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/logging.h"
@@ -16,7 +17,33 @@ uint32_t SaturatingAdd(uint32_t a, uint64_t b) {
   uint64_t sum = static_cast<uint64_t>(a) + b;
   return sum > kCounterMax ? kCounterMax : static_cast<uint32_t>(sum);
 }
+
+size_t RoundUpTo(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Shared tail of the count-mean-min estimators: median of the
+/// noise-corrected row values, clamped into [0, min_est].
+uint64_t CorrectedMedian(double* vals, size_t d, uint64_t min_est) {
+  std::sort(vals, vals + d);
+  double med =
+      (d & 1) ? vals[d / 2] : 0.5 * (vals[d / 2 - 1] + vals[d / 2]);
+  if (med <= 0) return 0;
+  uint64_t rounded = static_cast<uint64_t>(med + 0.5);
+  return rounded < min_est ? rounded : min_est;
+}
+
+/// Depth cap for the estimators' stack scratch. FrozenView::FromBytes
+/// rejects depth > 64 outright; deeper owned sketches (possible via the
+/// direct constructor) just fall back to the plain min estimate.
+constexpr size_t kMaxCorrectedDepth = 64;
 }  // namespace
+
+constexpr char CountMinSketch::kFrozenMagic[9];
 
 CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
     : width_(std::max<size_t>(1, width)) {
@@ -39,11 +66,23 @@ CountMinSketch CountMinSketch::FromErrorBounds(double epsilon, double delta,
   return CountMinSketch(width, std::max<size_t>(1, depth), seed);
 }
 
+size_t CountMinSketch::WidthForBudget(size_t budget_bytes, size_t depth) {
+  depth = std::max<size_t>(1, depth);
+  size_t max_counters = budget_bytes / (depth * sizeof(uint32_t));
+  size_t width = 1;
+  while (width <= max_counters / 2) width *= 2;
+  return width;
+}
+
+size_t CountMinSketch::PlannedBytes(size_t budget_bytes, size_t depth) {
+  depth = std::max<size_t>(1, depth);
+  return WidthForBudget(budget_bytes, depth) * depth * sizeof(uint32_t);
+}
+
 CountMinSketch CountMinSketch::FromMemoryBudget(size_t budget_bytes, size_t depth,
                                                 uint64_t seed) {
   depth = std::max<size_t>(1, depth);
-  size_t counters = std::max<size_t>(depth, budget_bytes / sizeof(uint32_t));
-  return CountMinSketch(counters / depth, depth, seed);
+  return CountMinSketch(WidthForBudget(budget_bytes, depth), depth, seed);
 }
 
 void CountMinSketch::Add(uint64_t key, uint64_t count) {
@@ -64,6 +103,20 @@ uint64_t CountMinSketch::Estimate(uint64_t key) const {
   return best;
 }
 
+uint64_t CountMinSketch::EstimateCorrected(uint64_t key) const {
+  const size_t d = hashes_.size();
+  const uint64_t min_est = Estimate(key);
+  if (width_ < 2 || d > kMaxCorrectedDepth) return min_est;
+  double vals[kMaxCorrectedDepth];
+  const double denom = static_cast<double>(width_ - 1);
+  for (size_t i = 0; i < d; ++i) {
+    const uint32_t c = rows_[i * width_ + hashes_[i](key, width_)];
+    const uint64_t off_mass = total_ > c ? total_ - c : 0;
+    vals[i] = static_cast<double>(c) - static_cast<double>(off_mass) / denom;
+  }
+  return CorrectedMedian(vals, d, min_est);
+}
+
 void CountMinSketch::AddConservative(uint64_t key, uint64_t count) {
   const size_t d = hashes_.size();
   uint64_t target = Estimate(key) + count;
@@ -74,6 +127,23 @@ void CountMinSketch::AddConservative(uint64_t key, uint64_t count) {
     }
   }
   total_ += count;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (width_ != other.width_ || hashes_.size() != other.hashes_.size()) {
+    return Status::Invalid("cannot merge sketches with different dimensions");
+  }
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    if (hashes_[i].a() != other.hashes_[i].a() ||
+        hashes_[i].b() != other.hashes_[i].b()) {
+      return Status::Invalid("cannot merge sketches with different hash seeds");
+    }
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i] = SaturatingAdd(rows_[i], other.rows_[i]);
+  }
+  total_ += other.total_;
+  return Status::OK();
 }
 
 void CountMinSketch::Serialize(BinaryWriter* writer) const {
@@ -108,6 +178,134 @@ Result<CountMinSketch> CountMinSketch::Deserialize(BinaryReader* reader) {
   sketch.rows_.resize(static_cast<size_t>(n));
   for (auto& v : sketch.rows_) {
     AD_ASSIGN_OR_RETURN(v, reader->ReadU32());
+  }
+  return sketch;
+}
+
+size_t CountMinSketch::FrozenBytes(size_t width, size_t depth) {
+  size_t planes_off = RoundUpTo(kFrozenHeadBytes + depth * 16, kPlaneAlign);
+  size_t stride = RoundUpTo(width * sizeof(uint32_t), kPlaneAlign);
+  return planes_off + depth * stride;
+}
+
+void CountMinSketch::AppendFrozen(std::string* out) const {
+  const size_t depth = hashes_.size();
+  const size_t stride = RoundUpTo(width_ * sizeof(uint32_t), kPlaneAlign);
+  const size_t planes_off = RoundUpTo(kFrozenHeadBytes + depth * 16, kPlaneAlign);
+  const size_t start = out->size();
+  out->append(kFrozenMagic, 8);
+  AppendU64(out, width_);
+  AppendU64(out, depth);
+  AppendU64(out, total_);
+  AppendU64(out, stride);
+  AppendU64(out, planes_off);
+  for (const auto& h : hashes_) {
+    AppendU64(out, h.a());
+    AppendU64(out, h.b());
+  }
+  out->append(start + planes_off - out->size(), '\0');
+  for (size_t i = 0; i < depth; ++i) {
+    out->append(reinterpret_cast<const char*>(rows_.data() + i * width_),
+                width_ * sizeof(uint32_t));
+    out->append(stride - width_ * sizeof(uint32_t), '\0');
+  }
+  AD_DCHECK(out->size() - start == FrozenBytes(width_, depth));
+}
+
+Result<CountMinSketch::FrozenView> CountMinSketch::FrozenView::FromBytes(
+    const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (reinterpret_cast<uintptr_t>(p) % 8 != 0) {
+    return Status::Corruption("frozen sketch blob is not 8-byte aligned");
+  }
+  if (len < kFrozenHeadBytes) {
+    return Status::IOError("truncated frozen sketch: header needs " +
+                           std::to_string(kFrozenHeadBytes) + " bytes, got " +
+                           std::to_string(len));
+  }
+  if (std::memcmp(p, kFrozenMagic, 8) != 0) {
+    return Status::Corruption("frozen sketch: bad magic");
+  }
+  uint64_t head[5];
+  std::memcpy(head, p + 8, sizeof(head));
+  const uint64_t width = head[0], depth = head[1], total = head[2];
+  const uint64_t stride = head[3], planes_off = head[4];
+  if (width == 0 || width > (1ULL << 31) || depth == 0 || depth > 64) {
+    return Status::Corruption("frozen sketch: implausible dimensions (width " +
+                              std::to_string(width) + ", depth " +
+                              std::to_string(depth) + ")");
+  }
+  if (stride < width * sizeof(uint32_t) || stride % 8 != 0 ||
+      stride > (1ULL << 33)) {
+    return Status::Corruption("frozen sketch: bad plane stride");
+  }
+  if (planes_off < kFrozenHeadBytes + depth * 16 || planes_off % 8 != 0 ||
+      planes_off > (1ULL << 20)) {
+    return Status::Corruption("frozen sketch: bad planes offset");
+  }
+  const uint64_t required = planes_off + depth * stride;
+  if (required > len) {
+    return Status::IOError("truncated frozen sketch: needs " +
+                           std::to_string(required) + " bytes, got " +
+                           std::to_string(len));
+  }
+  FrozenView view;
+  view.base_ = p;
+  view.planes_ = p + planes_off;
+  view.bytes_ = static_cast<size_t>(required);
+  view.width_ = static_cast<size_t>(width);
+  view.plane_stride_ = static_cast<size_t>(stride);
+  view.total_ = total;
+  view.hashes_.reserve(depth);
+  const uint8_t* params = p + kFrozenHeadBytes;
+  for (uint64_t i = 0; i < depth; ++i) {
+    uint64_t ab[2];
+    std::memcpy(ab, params + i * 16, sizeof(ab));
+    view.hashes_.emplace_back(ab[0], ab[1]);
+  }
+  return view;
+}
+
+uint64_t CountMinSketch::FrozenView::Estimate(uint64_t key) const {
+  uint32_t best = kCounterMax;
+  const size_t d = hashes_.size();
+  for (size_t i = 0; i < d; ++i) {
+    const uint32_t* plane =
+        reinterpret_cast<const uint32_t*>(planes_ + i * plane_stride_);
+    best = std::min(best, plane[hashes_[i](key, width_)]);
+  }
+  return best;
+}
+
+uint64_t CountMinSketch::FrozenView::EstimateCorrected(uint64_t key) const {
+  const size_t d = hashes_.size();
+  const uint64_t min_est = Estimate(key);
+  if (width_ < 2) return min_est;
+  double vals[kMaxCorrectedDepth];  // FromBytes rejects depth > 64
+  const double denom = static_cast<double>(width_ - 1);
+  for (size_t i = 0; i < d; ++i) {
+    const uint32_t* plane =
+        reinterpret_cast<const uint32_t*>(planes_ + i * plane_stride_);
+    const uint32_t c = plane[hashes_[i](key, width_)];
+    const uint64_t off_mass = total_ > c ? total_ - c : 0;
+    vals[i] = static_cast<double>(c) - static_cast<double>(off_mass) / denom;
+  }
+  return CorrectedMedian(vals, d, min_est);
+}
+
+void CountMinSketch::FrozenView::AppendTo(std::string* out) const {
+  out->append(reinterpret_cast<const char*>(base_), bytes_);
+}
+
+CountMinSketch CountMinSketch::FrozenView::Thaw() const {
+  CountMinSketch sketch(1, 1);
+  sketch.width_ = width_;
+  sketch.hashes_ = hashes_;
+  sketch.total_ = total_;
+  sketch.rows_.resize(hashes_.size() * width_);
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    std::memcpy(sketch.rows_.data() + i * width_, planes_ + i * plane_stride_,
+                width_ * sizeof(uint32_t));
   }
   return sketch;
 }

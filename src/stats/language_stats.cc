@@ -24,11 +24,26 @@ void LanguageStats::AddColumn(const std::vector<uint64_t>& distinct_keys) {
 uint64_t LanguageStats::CoCount(uint64_t key1, uint64_t key2) const {
   if (key1 == key2) return Count(key1);
   uint64_t pair_key = CombineUnordered(key1, key2);
-  if (sketch_.has_value()) {
-    // The sketch returns nonzero noise for never-seen pairs; gate on both
-    // patterns existing to cut the worst false estimates.
-    if (Count(key1) == 0 || Count(key2) == 0) return 0;
-    return sketch_->Estimate(pair_key);
+  if (uses_sketch()) {
+    // Min-estimate over conservative-update counters, NOT the count-mean-min
+    // correction: co-occurrence mass is strongly zipf, so the mean
+    // per-counter noise the correction subtracts exceeds most true pair
+    // counts and zeroes the tail wholesale — measured on the training
+    // corpora, it erases ~95% of real pairs and collapses detection
+    // precision. CU+min never underestimates and its overestimate shrinks
+    // rapidly with width. Two exact bounds tighten it further (marginal
+    // counts are never sketched): a pair co-occurs at most as often as its
+    // rarer pattern occurs, which caps the relative error exactly where
+    // collision noise is proportionally worst — the rare-pattern pairs the
+    // detector's tail quality lives on — and a never-seen pattern cannot
+    // co-occur at all.
+    const uint64_t cap = std::min(Count(key1), Count(key2));
+    if (cap == 0) return 0;
+    // The loader must AttachSketch before serving an external sketch.
+    AD_DCHECK(sketch_.has_value() || sketch_view_.valid());
+    const uint64_t est = sketch_.has_value() ? sketch_->Estimate(pair_key)
+                                             : sketch_view_.Estimate(pair_key);
+    return std::min(est, cap);
   }
   return frozen_ ? co_view_.GetOr(pair_key) : co_counts_.GetOr(pair_key);
 }
@@ -39,24 +54,55 @@ size_t LanguageStats::MemoryBytes() const {
 
 size_t LanguageStats::CoMemoryBytes() const {
   if (sketch_.has_value()) return sketch_->MemoryBytes();
+  if (sketch_external_) return sketch_view_.CounterBytes();
   return frozen_ ? co_view_.bytes() : co_counts_.MemoryBytes();
 }
 
-Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
+size_t LanguageStats::SketchWidth() const {
+  if (sketch_.has_value()) return sketch_->width();
+  return sketch_external_ ? sketch_view_.width() : 0;
+}
+
+size_t LanguageStats::SketchDepth() const {
+  if (sketch_.has_value()) return sketch_->depth();
+  return sketch_external_ ? sketch_view_.depth() : 0;
+}
+
+void LanguageStats::AttachSketch(CountMinSketch::FrozenView view) {
+  AD_CHECK(frozen_ && sketch_external_ && !sketch_view_.valid());
+  sketch_view_ = std::move(view);
+}
+
+Status LanguageStats::CompressImpl(size_t budget_bytes, uint64_t seed) {
   if (frozen_) return Status::Invalid("cannot compress frozen stats");
-  if (sketch_.has_value()) return Status::Invalid("already compressed");
-  if (!(ratio > 0.0 && ratio <= 1.0)) {
-    return Status::Invalid("sketch ratio must be in (0, 1]");
-  }
-  size_t dict_bytes = co_counts_.MemoryBytes();
-  size_t budget = std::max<size_t>(64, static_cast<size_t>(dict_bytes * ratio));
-  CountMinSketch sketch = CountMinSketch::FromMemoryBudget(budget, /*depth=*/4, seed);
+  if (uses_sketch()) return Status::Invalid("already compressed");
+  CountMinSketch sketch =
+      CountMinSketch::FromMemoryBudget(budget_bytes, /*depth=*/4, seed);
+  // Conservative update: pair counts are strongly zipf, where CU cuts the
+  // min-estimate's overestimate several-fold versus plain Add at the same
+  // width. It forfeits the count-mean-min correction (which needs rows that
+  // sum to the total mass), but CoCount serves Estimate anyway — see the
+  // rationale there.
   co_counts_.ForEach([&](uint64_t pair_key, uint64_t count) {
     sketch.AddConservative(pair_key, count);
   });
   sketch_ = std::move(sketch);
   co_counts_.Clear();
   return Status::OK();
+}
+
+Status LanguageStats::CompressToSketch(double ratio, uint64_t seed) {
+  if (!(ratio > 0.0 && ratio <= 1.0)) {
+    return Status::Invalid("sketch ratio must be in (0, 1]");
+  }
+  size_t dict_bytes = co_counts_.MemoryBytes();
+  size_t budget = std::max<size_t>(64, static_cast<size_t>(dict_bytes * ratio));
+  return CompressImpl(budget, seed);
+}
+
+Status LanguageStats::CompressToSketchBudget(size_t budget_bytes, uint64_t seed) {
+  if (budget_bytes == 0) return Status::Invalid("sketch budget must be nonzero");
+  return CompressImpl(budget_bytes, seed);
 }
 
 void LanguageStats::ForEachCoCount(
@@ -92,9 +138,12 @@ void LanguageStats::Serialize(BinaryWriter* writer) const {
     writer->WriteU64(k);
     writer->WriteU64(v);
   });
-  writer->WriteU8(sketch_.has_value() ? 1 : 0);
+  writer->WriteU8(uses_sketch() ? 1 : 0);
   if (sketch_.has_value()) {
     sketch_->Serialize(writer);
+  } else if (sketch_external_) {
+    // ADMODEL1 has no external section; embed a thawed copy.
+    sketch_view_.Thaw().Serialize(writer);
   } else {
     writer->WriteU64(NumCoPairs());
     ForEachCoCount([&](uint64_t k, uint64_t v) {
@@ -104,18 +153,28 @@ void LanguageStats::Serialize(BinaryWriter* writer) const {
   }
 }
 
-void LanguageStats::AppendFrozen(std::string* out) const {
-  uint64_t head[2] = {num_columns_, sketch_.has_value() ? 1u : 0u};
+void LanguageStats::AppendFrozen(std::string* out, bool external_sketch) const {
+  const bool sketched = uses_sketch();
+  AD_CHECK(!external_sketch || sketched);
+  uint64_t flags = sketched ? (external_sketch ? 3u : 1u) : 0u;
+  uint64_t head[2] = {num_columns_, flags};
   out->append(reinterpret_cast<const char*>(head), sizeof(head));
   if (frozen_) {
     counts_view_.AppendTo(out);
   } else {
     counts_.AppendFrozen(out);
   }
-  if (sketch_.has_value()) {
+  if (sketched && external_sketch) {
+    return;  // sketch bytes land in the SKCH section via AppendSketchFrozen
+  }
+  if (sketched) {
     std::ostringstream sketch_bytes;
     BinaryWriter sketch_writer(&sketch_bytes);
-    sketch_->Serialize(&sketch_writer);
+    if (sketch_.has_value()) {
+      sketch_->Serialize(&sketch_writer);
+    } else {
+      sketch_view_.Thaw().Serialize(&sketch_writer);
+    }
     std::string s = std::move(sketch_bytes).str();
     uint64_t len = s.size();
     out->append(reinterpret_cast<const char*>(&len), sizeof(len));
@@ -125,6 +184,16 @@ void LanguageStats::AppendFrozen(std::string* out) const {
     co_view_.AppendTo(out);
   } else {
     co_counts_.AppendFrozen(out);
+  }
+}
+
+void LanguageStats::AppendSketchFrozen(std::string* out) const {
+  AD_CHECK(uses_sketch());
+  if (sketch_.has_value()) {
+    sketch_->AppendFrozen(out);
+  } else {
+    AD_CHECK(sketch_view_.valid());
+    sketch_view_.AppendTo(out);
   }
 }
 
@@ -139,7 +208,7 @@ Result<LanguageStats> LanguageStats::FromFrozen(const void* data, size_t len) {
   }
   uint64_t head[2];
   std::memcpy(head, p, sizeof(head));
-  if (head[1] > 1) {
+  if (head[1] > 3 || head[1] == 2) {
     return Status::Corruption("frozen stats header: unknown flags");
   }
   LanguageStats stats;
@@ -149,7 +218,10 @@ Result<LanguageStats> LanguageStats::FromFrozen(const void* data, size_t len) {
   AD_ASSIGN_OR_RETURN(stats.counts_view_,
                       FlatMap64::FrozenView::FromBytes(p + off, len - off));
   off += stats.counts_view_.bytes();
-  if (head[1] & 1) {
+  if (head[1] == 3) {
+    // Sketch lives in the model's SKCH section; the loader attaches it.
+    stats.sketch_external_ = true;
+  } else if (head[1] & 1) {
     BinaryReader reader(p + off, len - off);
     AD_ASSIGN_OR_RETURN(uint64_t sketch_len, reader.ReadU64());
     if (sketch_len > len - off - 8) {

@@ -73,7 +73,25 @@ class LanguageStats {
   /// paper describes.
   Status CompressToSketch(double ratio, uint64_t seed = 0xc0ffee);
 
-  bool uses_sketch() const { return sketch_.has_value(); }
+  /// \brief Same compression, but sized by an absolute byte budget: the
+  /// sketch holds at most `budget_bytes` of counters (width rounded down to
+  /// a power of two, depth 4). This is the `train --sketch-budget-mb` path.
+  Status CompressToSketchBudget(size_t budget_bytes, uint64_t seed = 0xc0ffee);
+
+  bool uses_sketch() const { return sketch_.has_value() || sketch_external_; }
+
+  /// True when the co-occurrence sketch lives outside this blob (in the
+  /// ADMODEL2 SKCH section); the loader must AttachSketch before serving.
+  bool sketch_external() const { return sketch_external_; }
+
+  /// \brief Binds the externally-stored sketch view (only valid on a frozen
+  /// instance loaded from a blob whose flags declared an external sketch).
+  /// The viewed bytes must outlive this instance.
+  void AttachSketch(CountMinSketch::FrozenView view);
+
+  /// Sketch geometry, 0 when not sketched (for metrics / `info`).
+  size_t SketchWidth() const;
+  size_t SketchDepth() const;
 
   /// Iterates exact co-counts (unavailable after sketch compression).
   void ForEachCoCount(
@@ -94,11 +112,19 @@ class LanguageStats {
   /// \brief Appends the frozen representation to `out`. Layout (all fields
   /// 8-byte aligned provided the blob itself starts 8-aligned):
   ///   u64 num_columns
-  ///   u64 flags            (bit 0: co-occurrence held as a sketch)
+  ///   u64 flags            (bit 0: co-occurrence held as a sketch;
+  ///                         bit 1: that sketch lives in the SKCH section)
   ///   [counts frozen map]  (FlatMap64 frozen blob)
   ///   [co frozen map]      (exact mode) | u64 sketch_len + bytes + pad to 8
-  /// Works for both owned and frozen sources.
-  void AppendFrozen(std::string* out) const;
+  ///                        (embedded sketch) | nothing (external sketch)
+  /// With `external_sketch` the sketch bytes are the caller's problem
+  /// (AppendSketchFrozen emits them); the blob carries only counts. Works
+  /// for both owned and frozen sources.
+  void AppendFrozen(std::string* out, bool external_sketch = false) const;
+
+  /// \brief Appends the co-occurrence sketch as a CountMinSketch frozen
+  /// blob (page-alignable, see count_min.h). Requires uses_sketch().
+  void AppendSketchFrozen(std::string* out) const;
 
   /// \brief Builds a frozen instance viewing exactly [data, data + len).
   /// The bytes must stay alive and unmodified for the lifetime of the
@@ -112,10 +138,14 @@ class LanguageStats {
   uint64_t num_columns_ = 0;
   FlatMap64 counts_;
   FlatMap64 co_counts_;  // key: CombineUnordered
+  Status CompressImpl(size_t budget_bytes, uint64_t seed);
+
   std::optional<CountMinSketch> sketch_;
   bool frozen_ = false;
+  bool sketch_external_ = false;  ///< sketch lives in the SKCH section
   FlatMap64::FrozenView counts_view_;  ///< live iff frozen_
   FlatMap64::FrozenView co_view_;      ///< live iff frozen_ and no sketch
+  CountMinSketch::FrozenView sketch_view_;  ///< live iff sketch_external_
 };
 
 }  // namespace autodetect

@@ -15,6 +15,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/xxhash64.h"
 #include "corpus/corpus_generator.h"
 #include "detect/detector.h"
 #include "detect/trainer.h"
@@ -296,6 +297,199 @@ TEST_F(ModelV2Fixture, TargetedHeaderAndSectionCorruptions) {
     std::string mangled = *bytes + std::string(64, 'Z');
     WriteFileBytes(path, mangled);
     EXPECT_FALSE(Model::Load(path).ok());
+  }
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// SKCH section (ADMODEL2 v3): layout invariants, re-serialization
+// bit-identity, truncation/corruption fail-closed behaviour, and v2
+// backward compatibility for sketch-free models.
+
+/// Little-endian u64 read out of a raw artifact byte string.
+uint64_t ReadU64At(const std::string& bytes, size_t offset) {
+  uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+void WriteU64At(std::string* bytes, size_t offset, uint64_t v) {
+  std::memcpy(&(*bytes)[offset], &v, sizeof(v));
+}
+
+TEST_F(ModelV2Fixture, SketchedArtifactCarriesAlignedSkchSection) {
+  // The fixture's 0.25-ratio build must actually sketch something, or every
+  // SKCH test below silently degrades to testing the exact path.
+  ASSERT_GT(sketched_->SketchInfo().languages, 0u);
+  ASSERT_GT(sketched_->SketchInfo().bytes, 0u);
+
+  std::string path = TempPath("ad_v2test_skch.bin");
+  ASSERT_TRUE(sketched_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+
+  uint32_t version = 0;
+  std::memcpy(&version, bytes->data() + 8, sizeof(version));
+  EXPECT_EQ(version, 3u);
+
+  const uint64_t data_len = ReadU64At(*bytes, 64);
+  const uint64_t skch_off = ReadU64At(*bytes, 80);
+  const uint64_t skch_len = ReadU64At(*bytes, 88);
+  const uint64_t skch_checksum = ReadU64At(*bytes, 96);
+  EXPECT_GT(skch_len, 0u);
+  EXPECT_EQ(skch_off % 4096, 0u);  // page-aligned section start
+  // Blobs are whole kPlaneAlign multiples, so each one starts (and keeps
+  // its planes) cache-line-aligned inside the page-aligned section.
+  EXPECT_EQ(skch_len % CountMinSketch::kPlaneAlign, 0u);
+  EXPECT_EQ(skch_off + skch_len, bytes->size());
+  EXPECT_EQ(XxHash64(bytes->data() + skch_off, skch_len), skch_checksum);
+  // Dropping the dictionaries must have shrunk DATA. (The size *economics*
+  // — SKCH <= 10% of exact DATA — are gated at realistic dictionary scale
+  // by quality_delta_test and bench_fig8a_sketch.)
+  EXPECT_GT(data_len, 0u);
+  // Every blob in the section leads with the sketch magic.
+  EXPECT_EQ(bytes->compare(skch_off, 8, "CMSKETCH"), 0);
+
+  // The loaded model reports the same sketch footprint as the in-memory one.
+  auto loaded = Model::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->SketchInfo().languages, sketched_->SketchInfo().languages);
+  EXPECT_EQ(loaded->SketchInfo().bytes, sketched_->SketchInfo().bytes);
+  EXPECT_EQ(loaded->SketchInfo().width, sketched_->SketchInfo().width);
+  EXPECT_EQ(loaded->SketchInfo().depth, sketched_->SketchInfo().depth);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelV2Fixture, SketchFreeModelsStillWriteVersion2) {
+  // Backward compatibility: an exact model must produce a byte-identical
+  // artifact to what a sketch-unaware build would write — version 2, 80-byte
+  // header, no SKCH triple — so exact-mode goldens survive this feature.
+  ASSERT_EQ(model_->SketchInfo().languages, 0u);
+  std::string path = TempPath("ad_v2test_nosk.bin");
+  ASSERT_TRUE(model_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  uint32_t version = 0;
+  std::memcpy(&version, bytes->data() + 8, sizeof(version));
+  EXPECT_EQ(version, 2u);
+  // file_size == data_off + data_len: nothing after DATA.
+  EXPECT_EQ(ReadU64At(*bytes, 24), ReadU64At(*bytes, 56) + ReadU64At(*bytes, 64));
+  EXPECT_EQ(ReadU64At(*bytes, 24), bytes->size());
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelV2Fixture, SketchedSaveLoadSaveIsBitIdentical) {
+  // Deterministic round-trip: mapping a sketched artifact and re-saving it
+  // reproduces the exact same bytes (AppendTo re-emits frozen blobs
+  // verbatim; nothing is thawed or re-hashed along the way).
+  std::string first = TempPath("ad_v2test_ident1.bin");
+  std::string second = TempPath("ad_v2test_ident2.bin");
+  ASSERT_TRUE(sketched_->Save(first, ModelFormat::kV2).ok());
+  auto mapped = Model::Load(first);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped->Save(second, ModelFormat::kV2).ok());
+  auto a = ReadFileBytes(first);
+  auto b = ReadFileBytes(second);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+}
+
+TEST_F(ModelV2Fixture, SketchedTruncationIsAlwaysATypedError) {
+  std::string path = TempPath("ad_v2test_sktrunc.bin");
+  ASSERT_TRUE(sketched_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  const uint64_t skch_off = ReadU64At(*bytes, 80);
+
+  Pcg32 rng(24680);
+  // Boundary cuts around the v3 header and the SKCH section, plus random.
+  std::vector<size_t> cuts = {0,   8,   103, 104, 4095,
+                              4096, skch_off - 1, skch_off, skch_off + 1,
+                              skch_off + 4095, bytes->size() - 1};
+  for (int i = 0; i < 40; ++i) {
+    cuts.push_back(rng.Below(static_cast<uint32_t>(bytes->size())));
+  }
+  for (size_t cut : cuts) {
+    WriteFileBytes(path, bytes->substr(0, cut));
+    auto loaded = Model::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut << " loaded successfully";
+    EXPECT_TRUE(loaded.status().IsIOError() || loaded.status().IsCorruption())
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
+  WriteFileBytes(path, *bytes);
+  EXPECT_TRUE(Model::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelV2Fixture, TargetedSkchCorruptions) {
+  std::string path = TempPath("ad_v2test_sktarget.bin");
+  ASSERT_TRUE(sketched_->Save(path, ModelFormat::kV2).ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  const uint64_t skch_off = ReadU64At(*bytes, 80);
+  const uint64_t skch_len = ReadU64At(*bytes, 88);
+
+  // A flipped byte inside a counter plane -> SKCH checksum mismatch.
+  {
+    std::string mangled = *bytes;
+    mangled[skch_off + skch_len / 2] ^= 0x10;
+    WriteFileBytes(path, mangled);
+    auto loaded = Model::Load(path);
+    ASSERT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+    EXPECT_NE(loaded.status().ToString().find("SKCH"), std::string::npos);
+  }
+  // Damaged SKCH header triple -> rejected before any sketch bytes are
+  // interpreted.
+  {
+    std::string mangled = *bytes;
+    WriteU64At(&mangled, 80, skch_off + 8);  // misaligned section offset
+    WriteFileBytes(path, mangled);
+    EXPECT_FALSE(Model::Load(path).ok());
+  }
+  {
+    std::string mangled = *bytes;
+    WriteU64At(&mangled, 88, uint64_t{1} << 60);  // absurd section length
+    WriteFileBytes(path, mangled);
+    EXPECT_FALSE(Model::Load(path).ok());
+  }
+  // Structural damage with VALID checksums: mangle blob internals, then
+  // recompute the section checksum so only FrozenView validation stands
+  // between the damage and a serving process. Checksums cannot catch an
+  // attacker or a buggy writer; the structural validators must.
+  auto load_with_fixed_checksum = [&](std::string mangled) {
+    WriteU64At(&mangled, 96,
+               XxHash64(mangled.data() + skch_off, skch_len));
+    WriteFileBytes(path, mangled);
+    return Model::Load(path);
+  };
+  {
+    // Break the blob magic.
+    std::string mangled = *bytes;
+    mangled[skch_off] ^= 0x5a;
+    auto loaded = load_with_fixed_checksum(std::move(mangled));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  }
+  {
+    // Zero the blob's width field (offset 8 inside the blob).
+    std::string mangled = *bytes;
+    WriteU64At(&mangled, skch_off + 8, 0);
+    auto loaded = load_with_fixed_checksum(std::move(mangled));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  }
+  {
+    // Inflate the blob's planes_off so it claims more bytes than the
+    // language's SKCH slice holds.
+    std::string mangled = *bytes;
+    WriteU64At(&mangled, skch_off + 40, uint64_t{1} << 19);
+    auto loaded = load_with_fixed_checksum(std::move(mangled));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.status().IsIOError() || loaded.status().IsCorruption())
+        << loaded.status().ToString();
   }
   std::filesystem::remove(path);
 }

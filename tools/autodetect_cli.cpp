@@ -61,6 +61,7 @@ bool ParseOrUsage(FlagSet& flags, int argc, char** argv) {
 int CmdTrain(int argc, char** argv) {
   std::string profile_name = "WEB", out = "autodetect.model", format_name = "v2";
   int64_t columns = 30000, seed = 20180610, budget_mb = 64;
+  int64_t sketch_budget_mb = 0;
   double precision = 0.95, sketch = 1.0, smoothing = 0.1;
   int64_t jobs = 0;
   MetricsFlags metrics;
@@ -72,6 +73,9 @@ int CmdTrain(int argc, char** argv) {
   flags.Int("budget-mb", &budget_mb, "model memory budget");
   flags.Double("precision", &precision, "precision target");
   flags.Double("sketch", &sketch, "co-occurrence sketch ratio (0,1]");
+  flags.Int("sketch-budget-mb", &sketch_budget_mb,
+            "cap each language's co-occurrence sketch at this many MB "
+            "(0 = off; mutually exclusive with --sketch)");
   flags.Double("smoothing", &smoothing, "NPMI smoothing factor");
   flags.Int("jobs", &jobs, "worker threads (0 = all cores)");
   flags.String("out", &out, "model output path");
@@ -90,6 +94,15 @@ int CmdTrain(int argc, char** argv) {
                                 "' (expected v1 or v2)"));
   }
 
+  if (sketch_budget_mb < 0) {
+    return Fail(Status::Invalid("--sketch-budget-mb must be >= 0"));
+  }
+  if (sketch_budget_mb > 0 && sketch < 1.0) {
+    return Fail(Status::Invalid(
+        "--sketch and --sketch-budget-mb are mutually exclusive (pick the "
+        "relative ratio or the absolute per-language cap)"));
+  }
+
   auto profile = ProfileByName(profile_name);
   if (!profile.ok()) return Fail(profile.status());
 
@@ -104,6 +117,7 @@ int CmdTrain(int argc, char** argv) {
   train.precision_target = precision;
   train.memory_budget_bytes = static_cast<size_t>(budget_mb) << 20;
   train.sketch_ratio = sketch;
+  train.sketch_budget_bytes = static_cast<size_t>(sketch_budget_mb) << 20;
   train.smoothing_factor = smoothing;
   train.num_threads = static_cast<size_t>(jobs);
   train.corpus_name = gen.profile.name + "-synthetic";
@@ -252,6 +266,15 @@ int CmdInfo(int argc, char** argv) {
               model->format() == ModelFormat::kV2 ? "ADMODEL2" : "ADMODEL1",
               model->mapped() ? " (memory-mapped)" : "",
               HumanBytes(ec ? 0 : file_bytes).c_str());
+  const ModelSketchInfo sketch = model->SketchInfo();
+  if (sketch.languages > 0) {
+    std::printf("sketch: %zu/%zu language(s) served from count-min sketches, "
+                "%s of counters (width %zu, depth %zu)\n",
+                sketch.languages, model->languages.size(),
+                HumanBytes(sketch.bytes).c_str(), sketch.width, sketch.depth);
+  } else {
+    std::printf("sketch: none (all languages exact)\n");
+  }
   std::printf("tokenizer: %s (max supported: %s)\n",
               std::string(SimdTierName(ActiveSimdTier())).c_str(),
               std::string(SimdTierName(MaxSupportedSimdTier())).c_str());
@@ -264,16 +287,20 @@ void Usage() {
                "(Auto-Detect, SIGMOD'18)\n\n"
                "commands:\n"
                "  train --columns N --profile WEB|WIKI|PUB-XLS|ENT-XLS\n"
-               "        --precision P --budget-mb M [--sketch R] [--seed S]\n"
+               "        --precision P --budget-mb M [--sketch R |\n"
+               "        --sketch-budget-mb M] [--seed S]\n"
                "        [--out FILE] [--format v2|v1]    train + save a model\n"
                "        (v2 = zero-copy mmap ADMODEL2, the default;\n"
-               "         v1 = legacy streamed ADMODEL1)\n"
+               "         v1 = legacy streamed ADMODEL1; --sketch-budget-mb\n"
+               "         caps each language's co-occurrence sketch, writing\n"
+               "         a v3 artifact with a page-aligned SKCH section that\n"
+               "         scan auto-detects)\n"
                "  scan  --model FILE [--min-confidence C] [--jobs N]\n"
                "        [--cache-mb M] [--model-watch [--model-poll-ms N]]\n"
                "        [--deadline-ms N] [--column-budget-us N]\n"
                "        [--queue-cap N [--admission-policy block|shed-oldest|\n"
                "         reject] [--admission-timeout-ms N]]\n"
-               "        [--no-simd] [--no-dedup]\n"
+               "        [--no-simd] [--no-dedup] [--no-sketch]\n"
                "        file.csv...                       flag suspicious cells\n"
                "        (--jobs 0 = all cores; --cache-mb 0 disables the\n"
                "         cross-column pair-verdict cache; --model-watch\n"
@@ -283,7 +310,9 @@ void Usage() {
                "         the single-language fallback; --queue-cap bounds\n"
                "         in-flight work by admission policy; --no-simd and\n"
                "         --no-dedup pin the scalar tokenizer / disable value\n"
-               "         interning — reports are identical either way)\n"
+               "         interning — reports are identical either way;\n"
+               "         --no-sketch excludes sketched languages from\n"
+               "         scoring, serving only a mixed model's exact ones)\n"
                "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
                "  info  --model FILE                     describe a model\n\n"
                "train and scan also accept --metrics-out FILE (JSON, or\n"

@@ -210,6 +210,7 @@ struct EngineFlags {
   int64_t admission_timeout_ms = 1000;
   bool no_simd = false;   ///< pin the tokenizer to the scalar reference
   bool no_dedup = false;  ///< score columns without value interning
+  bool no_sketch = false; ///< exclude sketch-compressed languages from scoring
 
   void Register(FlagSet* flags) {
     flags->Int("jobs", &jobs, "worker threads (0 = all cores)");
@@ -234,6 +235,9 @@ struct EngineFlags {
     flags->Bool("no-dedup", &no_dedup,
                 "scan columns without value interning (escape hatch; reports "
                 "are identical either way)");
+    flags->Bool("no-sketch", &no_sketch,
+                "exclude sketch-compressed languages from scoring (escape "
+                "hatch for mixed exact/sketched models)");
   }
 
   Status Apply(EngineOptions* options) const {
@@ -242,6 +246,7 @@ struct EngineFlags {
     options->default_deadline_ms = static_cast<uint64_t>(deadline_ms);
     options->detector.column_budget_us = static_cast<uint64_t>(column_budget_us);
     options->detector.dedup = !no_dedup;
+    options->detector.sketch_estimates = !no_sketch;
     // Process-wide: the tokenizer dispatch is shared by every detector.
     if (no_simd) SetSimdTier(SimdTier::kScalar);
     options->admission.queue_cap_columns = static_cast<size_t>(queue_cap);

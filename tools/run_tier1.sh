@@ -59,6 +59,16 @@
 # The default build compiles failpoints OUT (AD_FAILPOINT expands to a
 # literal `false`); the default leg asserts no failpoint site string leaks
 # into the shipped binary.
+#
+# Opt-in sketch mode: SKETCH=on runs the full suite in the default tree
+# (which includes the quality-delta harness pinning sketched-vs-exact
+# precision/recall), re-checks exact-mode golden byte-identity on the
+# sketch-capable build for both artifact formats, and runs the self-gating
+# sketch benchmark, which asserts the SKCH section costs <= 10% of the
+# exact DATA bytes, an estimate throughput floor, and the precision-delta
+# bound, leaving BENCH_sketch.json in the build directory:
+#
+#   SKETCH=on tools/run_tier1.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -68,6 +78,7 @@ METRICS="${METRICS:-on}"
 MODEL="${MODEL:-}"
 FAILPOINTS="${FAILPOINTS:-off}"
 SIMD="${SIMD:-on}"
+SKETCH="${SKETCH:-off}"
 
 if [[ "$SIMD" == "off" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nosimd}"
@@ -128,6 +139,25 @@ if [[ "$FAILPOINTS" == "on" ]]; then
   # must be absorbed by the retry loop with byte-exact results.
   AD_FAILPOINTS="io.read.short=4x;io.read.eintr=2x" "$BUILD_DIR/tests/io_test"
   echo "chaos suite green with -DAUTODETECT_FAILPOINTS=ON"
+  exit 0
+fi
+
+if [[ "$SKETCH" == "on" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  # Full suite includes quality_delta_test: the sketched sibling of a
+  # pinned pipeline must stay within the precision/recall gate and match
+  # the committed golden metric table.
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+  # Exact-mode golden reports must stay byte-identical on a sketch-capable
+  # build, in both artifact formats — sketching is strictly opt-in.
+  AD_MODEL_FORMAT=v1 "$BUILD_DIR/tests/golden_test"
+  AD_MODEL_FORMAT=v2 "$BUILD_DIR/tests/golden_test"
+  # Self-gating sketch benchmark: SKCH <= 10% of exact DATA bytes,
+  # corrected-estimate throughput floor, precision-delta bound.
+  "$BUILD_DIR/bench/bench_fig8a_sketch" "$BUILD_DIR/BENCH_sketch.json"
+  echo "sketch gate green; report: $BUILD_DIR/BENCH_sketch.json"
   exit 0
 fi
 
