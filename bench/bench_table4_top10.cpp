@@ -32,7 +32,7 @@ int main() {
   std::vector<Row> rows;
   for (const auto& tc : cases) {
     ColumnReport report =
-        executor.DetectOne(DetectRequest{tc.domain, tc.values, tc.domain}).column;
+        executor.DetectOne(DetectRequest{tc.domain, tc.values, RequestContext{"", tc.domain}}).column;
     if (report.pairs.empty()) continue;
     const PairFinding& top = report.pairs.front();
     PairVerdict v = detector.ScorePair(top.u, top.v);

@@ -23,7 +23,7 @@ namespace {
 
 void ScanColumn(SequentialExecutor& executor, const std::string& title,
                 const std::vector<std::string>& values) {
-  DetectReport report = executor.DetectOne(DetectRequest{title, values, "quickstart"});
+  DetectReport report = executor.DetectOne(DetectRequest{title, values, RequestContext{"", "quickstart"}});
   std::printf("\n== %s (%zu values, %zu distinct)\n", title.c_str(), values.size(),
               report.column.distinct_values);
   if (!report.column.HasFindings()) {

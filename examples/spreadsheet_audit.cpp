@@ -42,7 +42,7 @@ void AuditFile(SequentialExecutor& executor, const std::string& path) {
   size_t findings = 0;
   for (size_t c = 0; c < table->num_cols(); ++c) {
     ColumnReport report =
-        executor.DetectOne(DetectRequest{table->header[c], table->Column(c), "audit"})
+        executor.DetectOne(DetectRequest{table->header[c], table->Column(c), RequestContext{"", "audit"}})
             .column;
     for (const auto& cell : report.cells) {
       ++findings;

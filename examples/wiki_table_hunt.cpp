@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::pair<size_t, size_t>> per_class;  // hit, total
   for (const auto& column : corpus.columns()) {
     ColumnReport report =
-        executor.DetectOne(DetectRequest{column.domain, column.values, "wiki"}).column;
+        executor.DetectOne(DetectRequest{column.domain, column.values, RequestContext{"", "wiki"}}).column;
     if (column.dirty()) {
       auto& bucket = per_class[std::string(ErrorClassName(column.error_class))];
       ++bucket.second;

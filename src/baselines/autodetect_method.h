@@ -23,7 +23,7 @@ class AutoDetectMethod final : public ErrorDetectorMethod {
       const std::vector<std::string>& values) const override {
     DetectRequest request;
     request.values = values;
-    request.tag = "baseline";
+    request.context.tag = "baseline";
     ColumnReport report = detector_->Detect(request).column;
     std::vector<Suspicion> out;
     out.reserve(report.cells.size());

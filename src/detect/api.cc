@@ -1,0 +1,68 @@
+#include "detect/api.h"
+
+#include <utility>
+
+namespace autodetect {
+
+// DetectRequest's special members live here, under suppression, so that
+// copying/destroying a request (which touches the deprecated `tag` alias)
+// never warns — only direct member access does.
+AD_SUPPRESS_DEPRECATED_BEGIN
+DetectRequest::DetectRequest() = default;
+DetectRequest::DetectRequest(std::string name_in,
+                             std::vector<std::string> values_in,
+                             RequestContext context_in)
+    : name(std::move(name_in)),
+      values(std::move(values_in)),
+      context(std::move(context_in)) {}
+DetectRequest::DetectRequest(const DetectRequest&) = default;
+DetectRequest::DetectRequest(DetectRequest&&) noexcept = default;
+DetectRequest& DetectRequest::operator=(const DetectRequest&) = default;
+DetectRequest& DetectRequest::operator=(DetectRequest&&) noexcept = default;
+DetectRequest::~DetectRequest() = default;
+AD_SUPPRESS_DEPRECATED_END
+
+namespace {
+
+/// The vector adapter's sink: one pre-sized slot per request. Index
+/// uniqueness makes the disjoint writes race-free; the executor's completion
+/// barrier publishes them to the caller.
+class VectorSink : public ReportSink {
+ public:
+  explicit VectorSink(std::vector<DetectReport>* out) : out_(out) {}
+  void OnReport(size_t index, DetectReport&& report) override {
+    (*out_)[index] = std::move(report);
+  }
+
+ private:
+  std::vector<DetectReport>* out_;
+};
+
+}  // namespace
+
+std::vector<DetectReport> DetectionExecutor::Detect(
+    const std::vector<DetectRequest>& batch) {
+  std::vector<DetectReport> reports(batch.size());
+  VectorSink sink(&reports);
+  Detect(batch, sink);
+  return reports;
+}
+
+DetectReport DetectionExecutor::DetectOne(const DetectRequest& request) {
+  std::vector<DetectRequest> batch;
+  batch.push_back(request);
+  std::vector<DetectReport> reports = Detect(batch);
+  if (reports.empty()) {
+    // A conforming executor always delivers one report per request; if one
+    // does not, fail visibly — echo the request identity and mark the column
+    // shed instead of fabricating a default kOk report.
+    DetectReport report;
+    report.name = request.name;
+    report.tag = request.EffectiveTag();
+    report.status = ColumnStatus::kShed;
+    return report;
+  }
+  return std::move(reports.front());
+}
+
+}  // namespace autodetect

@@ -11,15 +11,20 @@
 /// \file api.h
 /// The unified detection API: every way of asking Auto-Detect to scan a
 /// column — the sequential Detector, the batching DetectionEngine, the CLI,
-/// the eval harness and the benches — speaks DetectRequest/DetectReport.
-/// The sequential and parallel paths are two executors of the same request
-/// type (SequentialExecutor in detector.h, DetectionEngine in serve/), and
-/// both are required to produce bit-identical ColumnReports for the same
-/// values and model.
+/// the network server (net/server.h), the eval harness and the benches —
+/// speaks DetectRequest/DetectReport. The sequential and parallel paths are
+/// two executors of the same request type (SequentialExecutor in detector.h,
+/// DetectionEngine in serve/), and both are required to produce bit-identical
+/// ColumnReports for the same values and model.
 ///
-/// Requests carry an optional metrics `tag`; executors route per-tag
-/// counters/latency histograms through the metrics registry (obs/metrics.h)
-/// so multi-tenant callers can attribute cost and findings per workload.
+/// The executor contract is streaming-first: `Detect(batch, ReportSink&)`
+/// delivers each column's report as its scan completes (the network server
+/// frames these straight onto the wire), and the vector-returning `Detect`
+/// is a thin adapter that collects the stream into request order. Requests
+/// carry a structured RequestContext {tenant, tag, deadline_ms}; executors
+/// route per-tag and per-tenant counters/latency histograms through the
+/// metrics registry (obs/metrics.h) so multi-tenant callers can attribute
+/// cost and findings per workload.
 ///
 /// The pre-redesign entry points — Detector::AnalyzeColumn and
 /// DetectionEngine::DetectBatch — have been removed; this is the only
@@ -27,23 +32,87 @@
 
 namespace autodetect {
 
+// Deprecation-suppression brackets for the one-release compatibility aliases
+// below: internal code that must read a deprecated field (to honor it) wraps
+// the access so the warning only fires on external callers.
+#define AD_SUPPRESS_DEPRECATED_BEGIN \
+  _Pragma("GCC diagnostic push")     \
+      _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define AD_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
+
+/// Who is asking and under what budget. Replaces the free-form metrics `tag`
+/// string of earlier releases with a structured triple:
+///  * `tenant` — the isolation unit. The serving layers key per-tenant
+///    admission control and `detect.tenant.<tenant>.*` metrics on it.
+///  * `tag` — free-form workload label within a tenant (dataset, eval
+///    domain, file); executors maintain `detect.tag.<tag>.*` metrics for
+///    non-empty tags.
+///  * `deadline_ms` — per-request deadline, mapped by executors onto the
+///    CancelSource machinery (common/cancel.h) when the request carries no
+///    explicit token of its own. 0 = none.
+struct RequestContext {
+  std::string tenant;
+  std::string tag;
+  uint64_t deadline_ms = 0;
+
+  RequestContext() = default;
+  RequestContext(std::string tenant_in, std::string tag_in,
+                 uint64_t deadline_ms_in = 0)
+      : tenant(std::move(tenant_in)),
+        tag(std::move(tag_in)),
+        deadline_ms(deadline_ms_in) {}
+
+  /// Legacy positional-tag compatibility: `DetectRequest{name, values, "t"}`
+  /// call sites from the free-form-tag era keep compiling (the string lands
+  /// in `tag`), but with a deprecation warning for one release.
+  [[deprecated(
+      "the free-form DetectRequest tag is now RequestContext{tenant, tag, "
+      "deadline_ms}; construct the context explicitly")]]  //
+  RequestContext(const char* legacy_tag) : tag(legacy_tag) {}
+  [[deprecated(
+      "the free-form DetectRequest tag is now RequestContext{tenant, tag, "
+      "deadline_ms}; construct the context explicitly")]]  //
+  RequestContext(std::string legacy_tag) : tag(std::move(legacy_tag)) {}
+};
+
 /// One column to scan.
 struct DetectRequest {
+  // Special members are user-declared (defined in api.cc under deprecation
+  // suppression) so that synthesizing them never warns about the deprecated
+  // `tag` member at innocent call sites; only direct `tag` access warns.
+  DetectRequest();
+  DetectRequest(std::string name_in, std::vector<std::string> values_in,
+                RequestContext context_in = {});
+  DetectRequest(const DetectRequest&);
+  DetectRequest(DetectRequest&&) noexcept;
+  DetectRequest& operator=(const DetectRequest&);
+  DetectRequest& operator=(DetectRequest&&) noexcept;
+  ~DetectRequest();
+
   /// Echoed back on the report; does not influence detection.
   std::string name;
   std::vector<std::string> values;
-  /// Optional metrics label (e.g. tenant, dataset, eval domain): executors
-  /// maintain `detect.tag.<tag>.*` counters/histograms for non-empty tags.
-  /// Default-initialized so pre-redesign `{name, values}` aggregate call
-  /// sites compile warning-free.
-  std::string tag = {};
+  /// Caller identity and budgets; see RequestContext.
+  RequestContext context = {};
+  /// Deprecated alias for context.tag, honored when context.tag is empty —
+  /// kept for one release so `request.tag = "x"` call sites keep compiling
+  /// (with a warning). Use context.tag.
+  [[deprecated("use context.tag")]] std::string tag = {};
   /// Optional cancellation/deadline scope. The default token is inert (no
   /// clock reads, no cancellation); an active token makes executors poll it
   /// at safe points and return a partial report with the matching
-  /// ColumnStatus when it fires. Typically one CancelSource per batch with
-  /// its token copied into every column request (the engine's
-  /// default_deadline_ms does exactly that).
+  /// ColumnStatus when it fires. Precedence: an active request token wins
+  /// over context.deadline_ms, which wins over any executor-level default
+  /// (the engine's default_deadline_ms).
   CancelToken cancel = {};
+
+  /// The tag executors act on: context.tag, falling back to the deprecated
+  /// alias so legacy callers keep their per-tag metrics for one release.
+  const std::string& EffectiveTag() const {
+    AD_SUPPRESS_DEPRECATED_BEGIN
+    return context.tag.empty() ? tag : context.tag;
+    AD_SUPPRESS_DEPRECATED_END
+  }
 };
 
 /// How one column's scan ended — the per-column resilience verdict. Ordered
@@ -105,7 +174,7 @@ struct ColumnReport {
 /// determinism contract).
 struct DetectReport {
   std::string name;  ///< echoed from the request
-  std::string tag;   ///< echoed from the request
+  std::string tag;   ///< echoed from the request (its effective tag)
   ColumnReport column;
   /// Wall-clock scan latency of this column, microseconds. Report payload,
   /// not gated instrumentation: populated even under AUTODETECT_NO_METRICS.
@@ -117,26 +186,49 @@ struct DetectReport {
   ColumnStatus status = ColumnStatus::kOk;
 };
 
+/// Where a streaming Detect delivers reports. OnReport is invoked exactly
+/// once per request, as that column's scan completes — possibly out of
+/// request order, and (for concurrent executors like DetectionEngine) from
+/// multiple worker threads concurrently, so implementations must be
+/// thread-safe unless they only ever run under SequentialExecutor. `index`
+/// is the request's position in the batch; no two calls share an index, so
+/// writing disjoint slots of a pre-sized vector needs no lock (the
+/// executor's completion barrier publishes the writes).
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void OnReport(size_t index, DetectReport&& report) = 0;
+};
+
 /// Anything that can execute detection requests. Implementations:
 ///  * SequentialExecutor (detector.h) — one column at a time on the calling
 ///    thread, reusing one scratch; not thread-safe.
 ///  * DetectionEngine (serve/detection_engine.h) — batches fanned out over a
 ///    worker pool with a shared verdict cache; thread-safe.
+///
+/// The streaming overload is THE entry point: implementations define it, and
+/// the vector/single conveniences below are adapters over it. Derived
+/// classes should `using DetectionExecutor::Detect;` so both overloads stay
+/// visible on the concrete type.
 class DetectionExecutor {
  public:
   virtual ~DetectionExecutor() = default;
 
-  /// \brief Executes every request and returns one report per request, in
-  /// request order.
-  virtual std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) = 0;
+  /// \brief Executes every request, delivering each report to `sink` as its
+  /// column completes (not at batch end). Returns once every request has
+  /// been delivered; sink calls never outlive this call.
+  virtual void Detect(const std::vector<DetectRequest>& batch,
+                      ReportSink& sink) = 0;
 
-  /// \brief Single-request convenience.
-  virtual DetectReport DetectOne(const DetectRequest& request) {
-    std::vector<DetectRequest> batch;
-    batch.push_back(request);
-    std::vector<DetectReport> reports = Detect(batch);
-    return reports.empty() ? DetectReport{} : std::move(reports.front());
-  }
+  /// \brief Batch convenience: collects the stream into one report per
+  /// request, in request order.
+  std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch);
+
+  /// \brief Single-request convenience. Always echoes the request's name and
+  /// effective tag; if an executor fails to deliver a report (a broken
+  /// custom implementation), the result is an empty kShed report rather
+  /// than a silently-default one.
+  virtual DetectReport DetectOne(const DetectRequest& request);
 };
 
 }  // namespace autodetect

@@ -141,15 +141,15 @@ Detector::Detector(const Model* model, DetectorOptions options)
   }
 }
 
-const Detector::TagMetrics& Detector::MetricsForTag(const std::string& tag) const {
+const Detector::TagMetrics& Detector::MetricsForPrefix(
+    const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(tag_mu_);
-  auto it = tag_metrics_.find(tag);
+  auto it = tag_metrics_.find(prefix);
   if (it == tag_metrics_.end()) {
     TagMetrics m;
-    m.columns = registry_->GetCounter("detect.tag." + tag + ".columns_total");
-    m.column_latency_us =
-        registry_->GetHistogram("detect.tag." + tag + ".column_latency_us");
-    it = tag_metrics_.emplace(tag, m).first;
+    m.columns = registry_->GetCounter(prefix + "columns_total");
+    m.column_latency_us = registry_->GetHistogram(prefix + "column_latency_us");
+    it = tag_metrics_.emplace(prefix, m).first;
   }
   return it->second;
 }
@@ -328,11 +328,22 @@ DetectReport Detector::Detect(const DetectRequest& request, ColumnScratch* scrat
                               const CancelToken& fallback_cancel) const {
   DetectReport report;
   report.name = request.name;
-  report.tag = request.tag;
-  // A request-level token always wins; the fallback is the engine's batch
-  // default deadline (inert unless default_deadline_ms is set).
-  const CancelToken& cancel =
-      request.cancel.active() ? request.cancel : fallback_cancel;
+  report.tag = request.EffectiveTag();
+  // Cancellation precedence: a request-level token always wins; then the
+  // request's own deadline budget (context.deadline_ms, mapped here onto the
+  // CancelSource machinery — the token keeps the deadline state alive); last
+  // the executor fallback (the engine's batch default deadline, inert unless
+  // default_deadline_ms is set).
+  CancelToken cancel;
+  if (request.cancel.active()) {
+    cancel = request.cancel;
+  } else if (request.context.deadline_ms > 0) {
+    cancel = CancelSource::WithDeadline(
+                 std::chrono::milliseconds(request.context.deadline_ms))
+                 .token();
+  } else {
+    cancel = fallback_cancel;
+  }
   // latency_us is report payload (not gated instrumentation): one clock read
   // pair per column, always on.
   const auto start = std::chrono::steady_clock::now();
@@ -354,10 +365,16 @@ DetectReport Detector::Detect(const DetectRequest& request, ColumnScratch* scrat
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  if (!request.tag.empty()) {
-    const TagMetrics& tag = MetricsForTag(request.tag);
+  if (!report.tag.empty()) {
+    const TagMetrics& tag = MetricsForPrefix("detect.tag." + report.tag + ".");
     tag.columns->Add(1);
     tag.column_latency_us->Record(report.latency_us);
+  }
+  if (!request.context.tenant.empty()) {
+    const TagMetrics& tenant =
+        MetricsForPrefix("detect.tenant." + request.context.tenant + ".");
+    tenant.columns->Add(1);
+    tenant.column_latency_us->Record(report.latency_us);
   }
   return report;
 }
@@ -585,17 +602,15 @@ const Detector* SequentialExecutor::CurrentDetector() {
   return &*snapshot_detector_;
 }
 
-std::vector<DetectReport> SequentialExecutor::Detect(
-    const std::vector<DetectRequest>& batch) {
+void SequentialExecutor::Detect(const std::vector<DetectRequest>& batch,
+                                ReportSink& sink) {
   // One snapshot per batch: a provider swap mid-batch must not split the
-  // batch across models.
+  // batch across models. Reports stream to the sink in request order (the
+  // sequential executor's delivery order is its scan order).
   const Detector* detector = CurrentDetector();
-  std::vector<DetectReport> reports;
-  reports.reserve(batch.size());
-  for (const DetectRequest& request : batch) {
-    reports.push_back(detector->Detect(request, &scratch_, cache_));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    sink.OnReport(i, detector->Detect(batch[i], &scratch_, cache_));
   }
-  return reports;
 }
 
 DetectReport SequentialExecutor::DetectOne(const DetectRequest& request) {

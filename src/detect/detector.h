@@ -154,11 +154,13 @@ class Detector {
   /// `scratch` may be null (an internal temporary is used); `cache` (may be
   /// null) memoizes verdicts across columns. Thread-safe when each thread
   /// uses its own scratch and the cache implementation is thread-safe.
-  /// Records per-column metrics (and per-tag metrics when request.tag is
-  /// non-empty) into the registry given at construction. `fallback_cancel`
-  /// applies only when the request carries no active token of its own (how
-  /// the engine threads a batch-wide default deadline through without
-  /// copying requests); the default is the inert token.
+  /// Records per-column metrics (plus per-tag metrics for a non-empty
+  /// effective tag and per-tenant metrics for a non-empty context.tenant)
+  /// into the registry given at construction. Cancellation precedence: an
+  /// active request token wins; else context.deadline_ms (mapped onto a
+  /// CancelSource here); else `fallback_cancel` (how the engine threads a
+  /// batch-wide default deadline through without copying requests; the
+  /// default is the inert token).
   DetectReport Detect(const DetectRequest& request, ColumnScratch* scratch = nullptr,
                       PairVerdictCache* cache = nullptr,
                       const CancelToken& fallback_cancel = {}) const;
@@ -212,7 +214,9 @@ class Detector {
   ColumnReport Scan(const std::vector<std::string>& values, ColumnScratch* scratch,
                     PairVerdictCache* cache, const CancelToken& cancel,
                     ColumnStatus* status) const;
-  const TagMetrics& MetricsForTag(const std::string& tag) const;
+  /// Lazily-registered metric handles under `prefix` ("detect.tag.<tag>." or
+  /// "detect.tenant.<tenant>." — labels are open-ended).
+  const TagMetrics& MetricsForPrefix(const std::string& prefix) const;
 
   const Model* model_;
   DetectorOptions options_;
@@ -230,7 +234,8 @@ class Detector {
   MultiGeneralizer multi_keys_;
   MetricsRegistry* registry_;
   Metrics metrics_;
-  /// Lazily resolved per-tag metric handles (tags are open-ended).
+  /// Lazily resolved per-tag/per-tenant metric handles, keyed by full
+  /// metric-name prefix (labels are open-ended).
   mutable std::mutex tag_mu_;
   mutable std::unordered_map<std::string, TagMetrics> tag_metrics_;
 };
@@ -261,7 +266,8 @@ class SequentialExecutor : public DetectionExecutor {
                               PairVerdictCache* cache = nullptr)
       : provider_(provider), options_(options), cache_(cache) {}
 
-  std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) override;
+  using DetectionExecutor::Detect;
+  void Detect(const std::vector<DetectRequest>& batch, ReportSink& sink) override;
   DetectReport DetectOne(const DetectRequest& request) override;
 
  private:

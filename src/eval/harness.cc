@@ -97,7 +97,7 @@ std::vector<DetectRequest> RequestsFromCases(const std::vector<TestCase>& cases)
     // latency quantiles fall out of any engine run over an eval set.
     requests.push_back(DetectRequest{
         StrFormat("case%zu/%s", i, cases[i].domain.c_str()), cases[i].values,
-        cases[i].domain});
+        RequestContext{"", cases[i].domain}});
   }
   return requests;
 }

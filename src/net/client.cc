@@ -1,0 +1,246 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+namespace {
+
+Status SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> RawConnect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("unparseable IPv4 address '" + resolved + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status err = Status::IOError(
+        StrFormat("connect %s:%u: %s", resolved.c_str(), unsigned{port},
+                  std::strerror(errno)));
+    ::close(fd);
+    return err;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<WireClient> WireClient::Connect(const std::string& host, uint16_t port) {
+  AD_ASSIGN_OR_RETURN(int fd, RawConnect(host, port));
+  WireClient client(fd);
+  Status preamble = SendAll(fd, std::string_view(kWireMagic, kWireMagicLen));
+  if (!preamble.ok()) {
+    client.Close();
+    return preamble;
+  }
+  return client;
+}
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)), limits_(other.limits_) {
+  other.fd_ = -1;
+}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    limits_ = other.limits_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WireClient::SendRequest(const WireRequest& request) {
+  if (fd_ < 0) return Status::Invalid("client is closed");
+  return SendAll(fd_, EncodeRequestFrame(request));
+}
+
+Status WireClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Invalid("client is closed");
+  return SendAll(fd_, bytes);
+}
+
+Result<FrameView> WireClient::ReadFrame() {
+  while (true) {
+    AD_ASSIGN_OR_RETURN(std::optional<FrameView> frame,
+                        PeekFrame(buffer_, limits_));
+    if (frame.has_value()) return *frame;
+    char chunk[65536];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-frame");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<WireBatchResult> WireClient::ReadBatch(uint64_t request_id) {
+  auto finish = [](WireBatchResult&& result) {
+    std::sort(result.reports.begin(), result.reports.end(),
+              [](const WireReport& a, const WireReport& b) {
+                return a.column_index < b.column_index;
+              });
+    return std::move(result);
+  };
+
+  // The batch may already have drained into the pending store while an
+  // earlier ReadBatch chased a different request_id.
+  auto ready = pending_.find(request_id);
+  if (ready != pending_.end() && (ready->second.done || ready->second.errored)) {
+    WireBatchResult result = std::move(ready->second);
+    pending_.erase(ready);
+    return finish(std::move(result));
+  }
+
+  while (true) {
+    AD_ASSIGN_OR_RETURN(FrameView frame, ReadFrame());
+    // The view aliases buffer_; decode before consuming.
+    switch (frame.type) {
+      case FrameType::kColumnReport: {
+        AD_ASSIGN_OR_RETURN(WireReport report,
+                            DecodeReportPayload(frame.payload, limits_));
+        pending_[report.request_id].reports.push_back(std::move(report));
+        break;
+      }
+      case FrameType::kBatchDone: {
+        AD_ASSIGN_OR_RETURN(WireBatchDone done,
+                            DecodeBatchDonePayload(frame.payload));
+        pending_[done.request_id].done = true;
+        break;
+      }
+      case FrameType::kError: {
+        AD_ASSIGN_OR_RETURN(WireError error,
+                            DecodeErrorPayload(frame.payload, limits_));
+        // request_id 0 marks a connection-level failure (the server closes
+        // after it): it terminates whoever is waiting, not a specific batch.
+        uint64_t id = error.request_id == 0 ? request_id : error.request_id;
+        WireBatchResult& entry = pending_[id];
+        entry.errored = true;
+        entry.error = std::move(error);
+        break;
+      }
+      case FrameType::kDetectRequest:
+        return Status::Corruption("server sent a client-only frame type");
+    }
+    buffer_.erase(0, frame.frame_len);
+    auto it = pending_.find(request_id);
+    if (it != pending_.end() && (it->second.done || it->second.errored)) {
+      WireBatchResult result = std::move(it->second);
+      pending_.erase(it);
+      return finish(std::move(result));
+    }
+  }
+}
+
+namespace {
+
+Result<HttpResult> HttpRoundTrip(const std::string& host, uint16_t port,
+                                 const std::string& raw_request) {
+  AD_ASSIGN_OR_RETURN(int fd, RawConnect(host, port));
+  Status sent = SendAll(fd, raw_request);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  std::string response;
+  char chunk[65536];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) break;  // Connection: close framing
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // Ignore interim 100-continue responses.
+  while (response.rfind("HTTP/1.1 100", 0) == 0) {
+    size_t end = response.find("\r\n\r\n");
+    if (end == std::string::npos) break;
+    response.erase(0, end + 4);
+  }
+  if (response.rfind("HTTP/1.", 0) != 0) {
+    return Status::Corruption("response is not HTTP");
+  }
+  size_t sp = response.find(' ');
+  HttpResult result;
+  result.status_code = std::atoi(response.c_str() + sp + 1);
+  size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::Corruption("response has no header terminator");
+  }
+  result.body = response.substr(head_end + 4);
+  return result;
+}
+
+}  // namespace
+
+Result<HttpResult> HttpGet(const std::string& host, uint16_t port,
+                           const std::string& target) {
+  std::string request = StrFormat(
+      "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n",
+      target.c_str(), host.c_str());
+  return HttpRoundTrip(host, port, request);
+}
+
+Result<HttpResult> HttpPost(const std::string& host, uint16_t port,
+                            const std::string& target, const std::string& body,
+                            const std::string& content_type) {
+  std::string request = StrFormat(
+      "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: %s\r\n"
+      "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+      target.c_str(), host.c_str(), content_type.c_str(), body.size());
+  request.append(body);
+  return HttpRoundTrip(host, port, request);
+}
+
+}  // namespace autodetect

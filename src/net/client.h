@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "net/wire.h"
+
+/// \file client.h
+/// Blocking client helpers for the network server — the loopback half of
+/// tests/net_test.cc and tools/serve_smoke.cpp. Deliberately simple
+/// (blocking sockets, one thread): the server is the async party; clients
+/// exist to prove the protocol from the outside.
+
+namespace autodetect {
+
+/// Everything the server sent back for one request_id.
+struct WireBatchResult {
+  /// Sorted by column_index on return (the wire may deliver out of order).
+  std::vector<WireReport> reports;
+  bool done = false;       ///< kBatchDone seen
+  bool errored = false;    ///< kError seen (terminal; reports may be partial)
+  WireError error;
+};
+
+/// A blocking ADWIRE1 connection. Movable, not copyable; closes on destroy.
+class WireClient {
+ public:
+  /// Connects and sends the protocol preamble.
+  static Result<WireClient> Connect(const std::string& host, uint16_t port);
+
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  ~WireClient();
+
+  Status SendRequest(const WireRequest& request);
+  /// Raw bytes straight onto the socket (malformed-frame tests).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads frames until `request_id`'s kBatchDone or a kError arrives.
+  /// Frames for other request_ids seen along the way accumulate in a
+  /// pending store, so interleaved batches on one connection can be read in
+  /// any order. Fails on disconnect or an undecodable server frame.
+  Result<WireBatchResult> ReadBatch(uint64_t request_id);
+
+  void Close();
+  int fd() const { return fd_; }
+
+ private:
+  explicit WireClient(int fd) : fd_(fd) {}
+  Result<FrameView> ReadFrame();
+
+  int fd_ = -1;
+  std::string buffer_;
+  WireLimits limits_;
+  /// Batches whose frames arrived while draining a different request_id.
+  std::map<uint64_t, WireBatchResult> pending_;
+};
+
+/// A parsed HTTP exchange result.
+struct HttpResult {
+  int status_code = 0;
+  std::string body;
+};
+
+/// One-shot blocking HTTP requests against the server (Connection: close).
+Result<HttpResult> HttpGet(const std::string& host, uint16_t port,
+                           const std::string& target);
+Result<HttpResult> HttpPost(const std::string& host, uint16_t port,
+                            const std::string& target, const std::string& body,
+                            const std::string& content_type = "application/json");
+
+/// Opens a raw TCP connection (protocol-less, for slow-loris/garbage tests).
+Result<int> RawConnect(const std::string& host, uint16_t port);
+
+}  // namespace autodetect

@@ -1,0 +1,152 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "net/wire.h"
+
+namespace autodetect {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimWs(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+Result<std::optional<HttpRequest>> ParseHttpRequest(std::string_view buffer,
+                                                    const HttpLimits& limits) {
+  size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_head_bytes) {
+      return Status::CapacityExceeded(
+          StrFormat("HTTP header block exceeds %zu bytes",
+                    limits.max_head_bytes));
+    }
+    return std::optional<HttpRequest>();
+  }
+  if (head_end > limits.max_head_bytes) {
+    return Status::CapacityExceeded(StrFormat(
+        "HTTP header block exceeds %zu bytes", limits.max_head_bytes));
+  }
+
+  HttpRequest request;
+  std::string_view head = buffer.substr(0, head_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::Invalid("malformed HTTP request line");
+  }
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    return Status::Invalid("unsupported HTTP version");
+  }
+  request.keep_alive = version != "HTTP/1.0";
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    std::string_view line = head.substr(
+        pos, eol == std::string_view::npos ? head.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::Invalid("malformed HTTP header line");
+    }
+    request.headers.emplace_back(ToLower(TrimWs(line.substr(0, colon))),
+                                 std::string(TrimWs(line.substr(colon + 1))));
+  }
+
+  if (const std::string* connection = request.Header("connection")) {
+    std::string value = ToLower(*connection);
+    if (value == "close") request.keep_alive = false;
+    if (value == "keep-alive") request.keep_alive = true;
+  }
+  if (request.Header("transfer-encoding") != nullptr) {
+    return Status::Invalid("chunked transfer encoding is not supported");
+  }
+
+  size_t body_len = 0;
+  if (const std::string* content_length = request.Header("content-length")) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(content_length->c_str(), &end, 10);
+    if (end != content_length->c_str() + content_length->size()) {
+      return Status::Invalid("malformed Content-Length");
+    }
+    if (parsed > limits.max_body_bytes) {
+      return Status::CapacityExceeded(StrFormat(
+          "HTTP body of %llu bytes exceeds the %zu-byte limit", parsed,
+          limits.max_body_bytes));
+    }
+    body_len = static_cast<size_t>(parsed);
+  }
+
+  size_t total = head_end + 4 + body_len;
+  if (buffer.size() < total) return std::optional<HttpRequest>();
+  request.body = std::string(buffer.substr(head_end + 4, body_len));
+  request.consumed = total;
+  return std::optional<HttpRequest>(std::move(request));
+}
+
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %.*s\r\nContent-Type: %.*s\r\nContent-Length: %zu\r\n"
+      "Connection: %s\r\n\r\n",
+      status_code, static_cast<int>(ReasonPhrase(status_code).size()),
+      ReasonPhrase(status_code).data(), static_cast<int>(content_type.size()),
+      content_type.data(), body.size(), keep_alive ? "keep-alive" : "close");
+  out.append(body);
+  return out;
+}
+
+bool LooksLikeWirePreamble(std::string_view head) {
+  size_t n = std::min(head.size(), kWireMagicLen);
+  return head.compare(0, n, kWireMagic, n) == 0;
+}
+
+}  // namespace autodetect

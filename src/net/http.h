@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file http.h
+/// The HTTP/1.1 fallback surface of the network server — just enough of
+/// the protocol for `curl` and language HTTP clients to reach /detect and
+/// for Prometheus to scrape /metrics, sharing the binary protocol's port
+/// via first-bytes sniffing (net/wire.h). Supported: request line +
+/// headers + Content-Length bodies, keep-alive, Connection: close. Not
+/// supported (responded with clean errors, never crashes): chunked
+/// transfer encoding, upgrades, pipelined bodies beyond the buffer limits.
+
+namespace autodetect {
+
+/// One parsed HTTP request at the head of a receive buffer.
+struct HttpRequest {
+  std::string method;   ///< uppercase as sent ("GET", "POST")
+  std::string target;   ///< request target, e.g. "/detect"
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowered
+  std::string body;
+  size_t consumed = 0;  ///< bytes of the buffer this request occupied
+  bool keep_alive = true;
+
+  /// Header value by lower-case name, or null.
+  const std::string* Header(std::string_view lower_name) const;
+};
+
+/// Guards for the incremental parser.
+struct HttpLimits {
+  size_t max_head_bytes = 64u << 10;  ///< request line + headers
+  size_t max_body_bytes = 64u << 20;
+};
+
+/// Inspects the head of `buffer` for one complete request.
+///  * nullopt      — incomplete; read more bytes (unless the buffer already
+///                   exceeds the head/body limits, which is an error).
+///  * HttpRequest  — complete; consume `consumed` bytes.
+///  * error Status — malformed or over-limit; answer 400/413 and close.
+Result<std::optional<HttpRequest>> ParseHttpRequest(
+    std::string_view buffer, const HttpLimits& limits = {});
+
+/// Serializes a response with Content-Length framing.
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+/// True when the first bytes of a connection can only be the ADWIRE1
+/// preamble (used with the magic in net/wire.h to sniff the protocol).
+/// Handles partial prefixes: returns true while `head` is a prefix of the
+/// magic, so the sniffer waits for more bytes instead of misrouting.
+bool LooksLikeWirePreamble(std::string_view head);
+
+}  // namespace autodetect

@@ -1,0 +1,430 @@
+#include "net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Parse() {
+    AD_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view msg) const {
+    return Status::Invalid(StrFormat("JSON parse error at byte %zu: %.*s",
+                                     pos_, static_cast<int>(msg.size()),
+                                     msg.data()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        AD_ASSIGN_OR_RETURN(v.str, ParseString());
+        return v;
+      }
+      case 't': {
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        return JsonValue{};
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      AD_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      AD_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      v.object.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    while (true) {
+      AD_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      v.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          AD_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pair → one code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF && ConsumeLiteral("\\u")) {
+            AD_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    // RFC 8259 grammar checks strtod is laxer about: a digit must follow
+    // any minus sign, and a leading zero cannot be followed by digits.
+    size_t digit = token[0] == '-' ? 1 : 0;
+    if (digit >= token.size() ||
+        !std::isdigit(static_cast<unsigned char>(token[digit]))) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    if (token[digit] == '0' && digit + 1 < token.size() &&
+        std::isdigit(static_cast<unsigned char>(token[digit + 1]))) {
+      pos_ = start;
+      return Error("number has a leading zero");
+    }
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = value;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t max_depth_;
+  size_t pos_ = 0;
+};
+
+/// %.17g round-trips every finite double; trims to a clean "1" for whole
+/// numbers that fit.
+std::string JsonNumber(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+/// Reads a non-negative integer field with a default; rejects wrong types.
+Status ReadCount(const JsonValue& object, std::string_view key,
+                 uint64_t* out) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->IsNumber() || v->number < 0 || v->number != std::floor(v->number)) {
+    return Status::Invalid(
+        StrFormat("field \"%.*s\" must be a non-negative integer",
+                  static_cast<int>(key.size()), key.data()));
+  }
+  *out = static_cast<uint64_t>(v->number);
+  return Status::OK();
+}
+
+Status ReadString(const JsonValue& object, std::string_view key,
+                  size_t max_bytes, std::string* out) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->IsString() || v->str.size() > max_bytes) {
+    return Status::Invalid(StrFormat("field \"%.*s\" must be a string",
+                                     static_cast<int>(key.size()),
+                                     key.data()));
+  }
+  *out = v->str;
+  return Status::OK();
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text, size_t max_depth) {
+  return JsonParser(text, max_depth).Parse();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", static_cast<unsigned char>(c)));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+Result<WireRequest> ParseJsonDetectRequest(std::string_view body,
+                                           const WireLimits& limits) {
+  AD_ASSIGN_OR_RETURN(JsonValue root, ParseJson(body));
+  if (!root.IsObject()) {
+    return Status::Invalid("detect request body must be a JSON object");
+  }
+  WireRequest request;
+  AD_RETURN_NOT_OK(ReadCount(root, "request_id", &request.request_id));
+  AD_RETURN_NOT_OK(
+      ReadString(root, "tenant", limits.max_string_bytes, &request.tenant));
+  AD_RETURN_NOT_OK(
+      ReadString(root, "tag", limits.max_string_bytes, &request.tag));
+  AD_RETURN_NOT_OK(ReadCount(root, "deadline_ms", &request.deadline_ms));
+  const JsonValue* columns = root.Find("columns");
+  if (columns == nullptr || !columns->IsArray()) {
+    return Status::Invalid("detect request needs a \"columns\" array");
+  }
+  if (columns->array.size() > limits.max_columns) {
+    return Status::Invalid(StrFormat("too many columns (%zu > %zu)",
+                                     columns->array.size(),
+                                     limits.max_columns));
+  }
+  request.columns.reserve(columns->array.size());
+  for (size_t c = 0; c < columns->array.size(); ++c) {
+    const JsonValue& col = columns->array[c];
+    if (!col.IsObject()) {
+      return Status::Invalid(
+          StrFormat("columns[%zu] must be an object", c));
+    }
+    WireColumn column;
+    AD_RETURN_NOT_OK(
+        ReadString(col, "name", limits.max_string_bytes, &column.name));
+    const JsonValue* values = col.Find("values");
+    if (values == nullptr || !values->IsArray()) {
+      return Status::Invalid(
+          StrFormat("columns[%zu] needs a \"values\" array", c));
+    }
+    if (values->array.size() > limits.max_values) {
+      return Status::Invalid(
+          StrFormat("columns[%zu] has too many values", c));
+    }
+    column.values.reserve(values->array.size());
+    for (const JsonValue& value : values->array) {
+      if (!value.IsString()) {
+        return Status::Invalid(
+            StrFormat("columns[%zu] values must all be strings", c));
+      }
+      if (value.str.size() > limits.max_string_bytes) {
+        return Status::Invalid(StrFormat("columns[%zu] value too large", c));
+      }
+      column.values.push_back(value.str);
+    }
+    request.columns.push_back(std::move(column));
+  }
+  return request;
+}
+
+std::string DetectReportToJson(const DetectReport& report, size_t index) {
+  std::string out;
+  out.append(StrFormat("{\"index\":%zu,\"name\":", index));
+  AppendJsonString(&out, report.name);
+  out.append(",\"tag\":");
+  AppendJsonString(&out, report.tag);
+  out.append(StrFormat(
+      ",\"status\":\"%s\",\"latency_us\":%llu,\"distinct_values\":%zu",
+      std::string(ColumnStatusName(report.status)).c_str(),
+      static_cast<unsigned long long>(report.latency_us),
+      report.column.distinct_values));
+  out.append(",\"cells\":[");
+  for (size_t i = 0; i < report.column.cells.size(); ++i) {
+    const CellFinding& cell = report.column.cells[i];
+    if (i > 0) out.push_back(',');
+    out.append(StrFormat("{\"row\":%u,\"value\":", cell.row));
+    AppendJsonString(&out, cell.value);
+    out.append(StrFormat(",\"confidence\":%s,\"incompatible_with\":%u}",
+                         JsonNumber(cell.confidence).c_str(),
+                         cell.incompatible_with));
+  }
+  out.append("],\"pairs\":[");
+  for (size_t i = 0; i < report.column.pairs.size(); ++i) {
+    const PairFinding& pair = report.column.pairs[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"u\":");
+    AppendJsonString(&out, pair.u);
+    out.append(",\"v\":");
+    AppendJsonString(&out, pair.v);
+    out.append(StrFormat(",\"confidence\":%s}",
+                         JsonNumber(pair.confidence).c_str()));
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string DetectResponseToJson(uint64_t request_id,
+                                 const std::vector<DetectReport>& reports) {
+  std::string out = StrFormat("{\"request_id\":%llu,\"columns\":%zu,"
+                              "\"reports\":[",
+                              static_cast<unsigned long long>(request_id),
+                              reports.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(DetectReportToJson(reports[i], i));
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace autodetect

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "detect/api.h"
+#include "net/wire.h"
+
+/// \file json.h
+/// The JSON side of the network front-end: a small strict JSON parser (no
+/// extensions, fails closed on malformed input) plus the bridges between
+/// the HTTP fallback's request/response bodies and the same WireRequest /
+/// DetectReport structures the binary protocol uses. One request model,
+/// two encodings — the server logic never branches on protocol past the
+/// transport layer.
+///
+/// Request body (POST /detect):
+///   {"tenant": "acme", "tag": "t1.csv", "deadline_ms": 250,
+///    "columns": [{"name": "year", "values": ["1962", "1981"]}]}
+/// tenant/tag/deadline_ms are optional; columns is required.
+///
+/// Response body:
+///   {"request_id": 0, "columns": 1, "reports": [
+///     {"index": 0, "name": "year", "tag": "t1.csv", "status": "ok",
+///      "latency_us": 120, "distinct_values": 2, "cells": [...],
+///      "pairs": [...]}]}
+///
+/// Numbers are emitted with enough precision (%.17g) to round-trip doubles,
+/// but JSON is the convenience surface — byte-exact report equality is the
+/// binary protocol's contract, not this one's.
+
+namespace autodetect {
+
+/// One parsed JSON value (tagged union, object keys kept in input order).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First value under `key`, or null when absent / not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  bool IsString() const { return type == Type::kString; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+};
+
+/// Strict RFC-8259 parse of the whole input (trailing non-whitespace is an
+/// error). Depth-limited so hostile nesting cannot blow the stack.
+Result<JsonValue> ParseJson(std::string_view text, size_t max_depth = 64);
+
+/// Appends `s` to `out` as a quoted JSON string with escaping.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Parses the /detect request body into the shared wire request shape.
+/// Enforces the same limits as the binary decoder (column/value counts,
+/// string sizes) so neither surface is the permissive one.
+Result<WireRequest> ParseJsonDetectRequest(std::string_view body,
+                                           const WireLimits& limits = {});
+
+/// One report as a JSON object (used inside the /detect response array).
+std::string DetectReportToJson(const DetectReport& report, size_t index);
+
+/// The whole /detect response body. `reports` is indexed by column.
+std::string DetectResponseToJson(uint64_t request_id,
+                                 const std::vector<DetectReport>& reports);
+
+}  // namespace autodetect

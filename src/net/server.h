@@ -1,0 +1,205 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "detect/api.h"
+#include "net/http.h"
+#include "net/tenant.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+/// \file server.h
+/// The asynchronous network front-end: `autodetect serve`. Thread-per-core
+/// epoll event loops accept connections on one port shared via SO_REUSEPORT
+/// and sniff the first bytes to pick the protocol — the ADWIRE1 binary
+/// protocol (net/wire.h) or an HTTP/1.1 JSON fallback (net/http.h) for
+/// curl/browser/Prometheus clients. Detection work never runs on an event
+/// loop: complete requests are handed to a dispatch pool that drives the
+/// DetectionExecutor's *streaming* API, so every column's report frame hits
+/// the wire the moment that column finishes scanning — a client scanning a
+/// wide table sees findings while the tail is still queued. (The HTTP
+/// surface buffers one JSON response per request; streaming delivery is the
+/// binary protocol's contract.)
+///
+/// Endpoints (HTTP): POST /detect (JSON body, see net/json.h),
+/// GET /metrics (Prometheus text), GET /healthz.
+///
+/// Isolation and resilience:
+///  * Per-tenant admission (net/tenant.h): each request's tenant resolves
+///    to its own AdmissionController; an over-quota tenant's batches are
+///    shed — with accurate kShed reports and
+///    serve.admission.tenant.<name>.* counters — while other tenants'
+///    capacity is untouched.
+///  * Disconnect-as-cancel: every in-flight request holds a CancelSource;
+///    when the client drops, the server fires it and the engine abandons
+///    the batch's unscanned columns at the next poll. A dead client stops
+///    costing CPU within one column's latency.
+///  * Per-request deadlines: a wire/JSON `deadline_ms` becomes a
+///    CancelSource::WithDeadline on the same token, so deadline expiry and
+///    disconnect share one cooperative mechanism.
+///  * Slow-loris defense: a sweeper closes connections that sit on a
+///    partial request (or the protocol preamble) past
+///    partial_timeout_ms — trickling one byte per second never parks a
+///    connection slot. Idle keep-alive connections get the separate,
+///    longer idle_timeout_ms.
+///  * Write backpressure: a client that stops reading while reports
+///    stream at it is disconnected once its output buffer passes
+///    max_outbuf_bytes.
+///
+/// Metrics (serve.net.*): connections_total, active_connections,
+/// bytes_read_total, bytes_written_total, frames_in_total,
+/// frames_out_total, http_requests_total, requests_total,
+/// request_latency_us, protocol_errors_total, disconnect_cancels_total,
+/// timeout_closes_total, overflow_closes_total.
+
+namespace autodetect {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;        ///< 0 = ephemeral; read the chosen one off port()
+  size_t num_acceptors = 2; ///< event-loop threads (each its own listener)
+  size_t dispatch_threads = 0;  ///< blocking-detect pool; 0 = hw concurrency
+  WireLimits wire_limits;
+  HttpLimits http_limits;
+  /// Longest a connection may sit on an incomplete request (or an
+  /// unfinished protocol preamble) before it is closed.
+  uint64_t partial_timeout_ms = 5000;
+  /// Longest an idle keep-alive connection (no buffered bytes, no in-flight
+  /// requests) is kept open.
+  uint64_t idle_timeout_ms = 120000;
+  uint64_t sweep_interval_ms = 100;  ///< sweeper granularity
+  /// Disconnect clients whose unread response backlog passes this.
+  size_t max_outbuf_bytes = 64u << 20;
+  /// Per-tenant admission quotas; not owned, may be null (no quotas). Must
+  /// outlive the server.
+  TenantTable* tenants = nullptr;
+  /// Registry for serve.net.* metrics and GET /metrics; null = process
+  /// default.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Point-in-time server counters (mirrors the serve.net.* metrics so tests
+/// and operators can assert without a registry scrape).
+struct ServerStats {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t http_requests = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t disconnect_cancels = 0;
+  uint64_t timeout_closes = 0;
+};
+
+class Server {
+ public:
+  /// \param executor not owned; must outlive the server. Any
+  /// DetectionExecutor works; production wiring passes a DetectionEngine.
+  Server(DetectionExecutor* executor, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the event loops, dispatch pool and
+  /// sweeper. Returns the error (address in use, bad host) without any
+  /// thread started on failure.
+  Status Start();
+
+  /// Stops accepting, cancels in-flight work, closes every connection and
+  /// joins all threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (after Start); useful with port 0.
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats Stats() const;
+
+ private:
+  struct Conn;
+  struct Loop;
+
+  // --- event-loop side (single-threaded per Loop; the timeout sweep runs
+  // inside each loop on its own connections, so no cross-thread state) ---
+  void RunLoop(Loop& loop);
+  void AcceptNew(Loop& loop);
+  void HandleReadable(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void ProcessInbuf(Loop& loop, const std::shared_ptr<Conn>& conn);
+  bool ProcessWire(Loop& loop, const std::shared_ptr<Conn>& conn);
+  bool ProcessHttp(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void SendInline(Loop& loop, const std::shared_ptr<Conn>& conn,
+                  std::string&& bytes, bool close_after);
+  void FlushConn(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void CloseConn(Loop& loop, const std::shared_ptr<Conn>& conn,
+                 bool cancel_inflight);
+
+  // --- dispatch side (dispatch pool threads) ---
+  void DispatchWireRequest(std::shared_ptr<Conn> conn, WireRequest request,
+                           uint64_t local_id, CancelSource source);
+  void DispatchHttpDetect(std::shared_ptr<Conn> conn, WireRequest request,
+                          uint64_t local_id, CancelSource source,
+                          bool keep_alive);
+  /// Runs one decoded request through tenant admission and the executor,
+  /// streaming every column's report (including admission-shed ones) into
+  /// `sink`. Returns the number of shed columns.
+  size_t RunDetect(const WireRequest& request, const CancelSource& source,
+                   ReportSink& sink);
+  void CompleteRequest(const std::shared_ptr<Conn>& conn, uint64_t local_id);
+
+  /// Appends bytes to the connection's output buffer and wakes its loop.
+  /// Safe from any thread; a no-op once the connection closed.
+  void SendToConn(const std::shared_ptr<Conn>& conn, std::string&& bytes);
+  void WakeLoop(Loop& loop);
+
+  class WireSink;
+  friend class WireSink;
+
+  DetectionExecutor* executor_;
+  ServerOptions options_;
+  MetricsRegistry* registry_;
+
+  struct Metrics {
+    Counter* connections = nullptr;
+    Gauge* active_connections = nullptr;
+    Counter* bytes_read = nullptr;
+    Counter* bytes_written = nullptr;
+    Counter* frames_in = nullptr;
+    Counter* frames_out = nullptr;
+    Counter* http_requests = nullptr;
+    Counter* requests = nullptr;
+    Histogram* request_latency_us = nullptr;
+    Counter* protocol_errors = nullptr;
+    Counter* disconnect_cancels = nullptr;
+    Counter* timeout_closes = nullptr;
+    Counter* overflow_closes = nullptr;
+  };
+  Metrics metrics_;
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unique_ptr<ThreadPool> dispatch_;
+
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::atomic<uint64_t> stat_connections_{0};
+  std::atomic<uint64_t> stat_requests_{0};
+  std::atomic<uint64_t> stat_http_requests_{0};
+  std::atomic<uint64_t> stat_protocol_errors_{0};
+  std::atomic<uint64_t> stat_disconnect_cancels_{0};
+  std::atomic<uint64_t> stat_timeout_closes_{0};
+};
+
+}  // namespace autodetect

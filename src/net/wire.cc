@@ -1,0 +1,259 @@
+#include "net/wire.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace autodetect {
+
+namespace {
+
+/// Builds a complete frame around an already-encoded payload.
+std::string FinishFrame(FrameType type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kWireHeaderLen + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>(len >> (8 * i)));
+  }
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  return frame;
+}
+
+bool ValidFrameType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(FrameType::kDetectRequest) &&
+         raw <= static_cast<uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(const WireRequest& request) {
+  std::ostringstream out;
+  BinaryWriter writer(&out);
+  writer.WriteU64(request.request_id);
+  writer.WriteString(request.tenant);
+  writer.WriteString(request.tag);
+  writer.WriteU64(request.deadline_ms);
+  writer.WriteU64(request.columns.size());
+  for (const auto& column : request.columns) {
+    writer.WriteString(column.name);
+    writer.WriteU64(column.values.size());
+    for (const auto& value : column.values) writer.WriteString(value);
+  }
+  return FinishFrame(FrameType::kDetectRequest, out.str());
+}
+
+void EncodeDetectReport(BinaryWriter* writer, const DetectReport& report) {
+  writer->WriteString(report.name);
+  writer->WriteString(report.tag);
+  writer->WriteU8(static_cast<uint8_t>(report.status));
+  writer->WriteU64(report.latency_us);
+  writer->WriteU64(report.column.distinct_values);
+  writer->WriteU64(report.column.cells.size());
+  for (const auto& cell : report.column.cells) {
+    writer->WriteU32(cell.row);
+    writer->WriteString(cell.value);
+    writer->WriteDouble(cell.confidence);
+    writer->WriteU32(cell.incompatible_with);
+  }
+  writer->WriteU64(report.column.pairs.size());
+  for (const auto& pair : report.column.pairs) {
+    writer->WriteString(pair.u);
+    writer->WriteString(pair.v);
+    writer->WriteDouble(pair.confidence);
+  }
+}
+
+Result<DetectReport> DecodeDetectReport(BinaryReader* reader,
+                                        const WireLimits& limits) {
+  DetectReport report;
+  AD_ASSIGN_OR_RETURN(report.name, reader->ReadString(limits.max_string_bytes));
+  AD_ASSIGN_OR_RETURN(report.tag, reader->ReadString(limits.max_string_bytes));
+  AD_ASSIGN_OR_RETURN(uint8_t raw_status, reader->ReadU8());
+  if (raw_status > static_cast<uint8_t>(ColumnStatus::kShed)) {
+    return reader->Corrupt(
+        StrFormat("unknown column status %u", unsigned{raw_status}));
+  }
+  report.status = static_cast<ColumnStatus>(raw_status);
+  AD_ASSIGN_OR_RETURN(report.latency_us, reader->ReadU64());
+  AD_ASSIGN_OR_RETURN(report.column.distinct_values, reader->ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t num_cells, reader->ReadU64());
+  if (num_cells > limits.max_values) {
+    return reader->Corrupt(
+        StrFormat("implausible cell-finding count %llu",
+                  static_cast<unsigned long long>(num_cells)));
+  }
+  report.column.cells.reserve(num_cells);
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    CellFinding cell;
+    AD_ASSIGN_OR_RETURN(cell.row, reader->ReadU32());
+    AD_ASSIGN_OR_RETURN(cell.value,
+                        reader->ReadString(limits.max_string_bytes));
+    AD_ASSIGN_OR_RETURN(cell.confidence, reader->ReadDouble());
+    AD_ASSIGN_OR_RETURN(cell.incompatible_with, reader->ReadU32());
+    report.column.cells.push_back(std::move(cell));
+  }
+  AD_ASSIGN_OR_RETURN(uint64_t num_pairs, reader->ReadU64());
+  if (num_pairs > limits.max_values) {
+    return reader->Corrupt(
+        StrFormat("implausible pair-finding count %llu",
+                  static_cast<unsigned long long>(num_pairs)));
+  }
+  report.column.pairs.reserve(num_pairs);
+  for (uint64_t i = 0; i < num_pairs; ++i) {
+    PairFinding pair;
+    AD_ASSIGN_OR_RETURN(pair.u, reader->ReadString(limits.max_string_bytes));
+    AD_ASSIGN_OR_RETURN(pair.v, reader->ReadString(limits.max_string_bytes));
+    AD_ASSIGN_OR_RETURN(pair.confidence, reader->ReadDouble());
+    report.column.pairs.push_back(std::move(pair));
+  }
+  return report;
+}
+
+std::string EncodeReportFrame(const WireReport& report) {
+  std::ostringstream out;
+  BinaryWriter writer(&out);
+  writer.WriteU64(report.request_id);
+  writer.WriteU64(report.column_index);
+  EncodeDetectReport(&writer, report.report);
+  return FinishFrame(FrameType::kColumnReport, out.str());
+}
+
+std::string EncodeBatchDoneFrame(const WireBatchDone& done) {
+  std::ostringstream out;
+  BinaryWriter writer(&out);
+  writer.WriteU64(done.request_id);
+  writer.WriteU64(done.columns);
+  return FinishFrame(FrameType::kBatchDone, out.str());
+}
+
+std::string EncodeErrorFrame(const WireError& error) {
+  std::ostringstream out;
+  BinaryWriter writer(&out);
+  writer.WriteU64(error.request_id);
+  writer.WriteString(error.message);
+  return FinishFrame(FrameType::kError, out.str());
+}
+
+Result<std::optional<FrameView>> PeekFrame(std::string_view buffer,
+                                           const WireLimits& limits) {
+  if (buffer.size() < kWireHeaderLen) return std::optional<FrameView>();
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i]))
+                   << (8 * i);
+  }
+  if (payload_len > limits.max_frame_bytes) {
+    return Status::Corruption(
+        StrFormat("frame payload of %u bytes exceeds the %zu-byte limit",
+                  payload_len, limits.max_frame_bytes));
+  }
+  uint8_t raw_type = static_cast<uint8_t>(buffer[4]);
+  if (!ValidFrameType(raw_type)) {
+    return Status::Corruption(
+        StrFormat("unknown frame type %u", unsigned{raw_type}));
+  }
+  if (buffer.size() < kWireHeaderLen + payload_len) {
+    return std::optional<FrameView>();
+  }
+  FrameView view;
+  view.type = static_cast<FrameType>(raw_type);
+  view.payload = buffer.substr(kWireHeaderLen, payload_len);
+  view.frame_len = kWireHeaderLen + payload_len;
+  return std::optional<FrameView>(view);
+}
+
+Result<WireRequest> DecodeRequestPayload(std::string_view payload,
+                                         const WireLimits& limits) {
+  BinaryReader reader(payload.data(), payload.size());
+  WireRequest request;
+  AD_ASSIGN_OR_RETURN(request.request_id, reader.ReadU64());
+  AD_ASSIGN_OR_RETURN(request.tenant,
+                      reader.ReadString(limits.max_string_bytes));
+  AD_ASSIGN_OR_RETURN(request.tag, reader.ReadString(limits.max_string_bytes));
+  AD_ASSIGN_OR_RETURN(request.deadline_ms, reader.ReadU64());
+  AD_ASSIGN_OR_RETURN(uint64_t num_columns, reader.ReadU64());
+  if (num_columns > limits.max_columns) {
+    return reader.Corrupt(
+        StrFormat("implausible column count %llu",
+                  static_cast<unsigned long long>(num_columns)));
+  }
+  request.columns.reserve(num_columns);
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    WireColumn column;
+    AD_ASSIGN_OR_RETURN(column.name,
+                        reader.ReadString(limits.max_string_bytes));
+    AD_ASSIGN_OR_RETURN(uint64_t num_values, reader.ReadU64());
+    if (num_values > limits.max_values) {
+      return reader.Corrupt(
+          StrFormat("implausible value count %llu in column %llu",
+                    static_cast<unsigned long long>(num_values),
+                    static_cast<unsigned long long>(c)));
+    }
+    column.values.reserve(num_values);
+    for (uint64_t v = 0; v < num_values; ++v) {
+      AD_ASSIGN_OR_RETURN(std::string value,
+                          reader.ReadString(limits.max_string_bytes));
+      column.values.push_back(std::move(value));
+    }
+    request.columns.push_back(std::move(column));
+  }
+  if (reader.offset() != payload.size()) {
+    return reader.Corrupt("trailing bytes after request payload");
+  }
+  return request;
+}
+
+Result<WireReport> DecodeReportPayload(std::string_view payload,
+                                       const WireLimits& limits) {
+  BinaryReader reader(payload.data(), payload.size());
+  WireReport report;
+  AD_ASSIGN_OR_RETURN(report.request_id, reader.ReadU64());
+  AD_ASSIGN_OR_RETURN(report.column_index, reader.ReadU64());
+  AD_ASSIGN_OR_RETURN(report.report, DecodeDetectReport(&reader, limits));
+  if (reader.offset() != payload.size()) {
+    return reader.Corrupt("trailing bytes after report payload");
+  }
+  return report;
+}
+
+Result<WireBatchDone> DecodeBatchDonePayload(std::string_view payload) {
+  BinaryReader reader(payload.data(), payload.size());
+  WireBatchDone done;
+  AD_ASSIGN_OR_RETURN(done.request_id, reader.ReadU64());
+  AD_ASSIGN_OR_RETURN(done.columns, reader.ReadU64());
+  if (reader.offset() != payload.size()) {
+    return reader.Corrupt("trailing bytes after batch-done payload");
+  }
+  return done;
+}
+
+Result<WireError> DecodeErrorPayload(std::string_view payload,
+                                     const WireLimits& limits) {
+  BinaryReader reader(payload.data(), payload.size());
+  WireError error;
+  AD_ASSIGN_OR_RETURN(error.request_id, reader.ReadU64());
+  AD_ASSIGN_OR_RETURN(error.message,
+                      reader.ReadString(limits.max_string_bytes));
+  if (reader.offset() != payload.size()) {
+    return reader.Corrupt("trailing bytes after error payload");
+  }
+  return error;
+}
+
+std::vector<DetectRequest> ToDetectBatch(const WireRequest& request) {
+  std::vector<DetectRequest> batch;
+  batch.reserve(request.columns.size());
+  for (const auto& column : request.columns) {
+    DetectRequest r;
+    r.name = column.name;
+    r.values = column.values;
+    r.context = RequestContext{request.tenant, request.tag,
+                               request.deadline_ms};
+    batch.push_back(std::move(r));
+  }
+  return batch;
+}
+
+}  // namespace autodetect

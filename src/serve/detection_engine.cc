@@ -30,10 +30,12 @@ EngineOptions NormalizeOptions(EngineOptions options) {
 
 /// An empty report for a column admission refused: name/tag echoed, status
 /// accurate, nothing scanned.
-void FillShedReport(const DetectRequest& request, DetectReport* report) {
-  report->name = request.name;
-  report->tag = request.tag;
-  report->status = ColumnStatus::kShed;
+DetectReport MakeShedReport(const DetectRequest& request) {
+  DetectReport report;
+  report.name = request.name;
+  report.tag = request.EffectiveTag();
+  report.status = ColumnStatus::kShed;
+  return report;
 }
 
 uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
@@ -168,10 +170,9 @@ void DetectionEngine::ReleaseScratch(std::unique_ptr<ColumnScratch> scratch) {
   scratch_pool_.push_back(std::move(scratch));
 }
 
-std::vector<DetectReport> DetectionEngine::Detect(
-    const std::vector<DetectRequest>& batch) {
-  std::vector<DetectReport> results(batch.size());
-  if (batch.empty()) return results;
+void DetectionEngine::Detect(const std::vector<DetectRequest>& batch,
+                             ReportSink& sink) {
+  if (batch.empty()) return;
 
   // Admission first: a rejected batch (kReject over capacity, kBlock
   // timeout) needs no snapshot and no workers — every column comes back
@@ -181,10 +182,10 @@ std::vector<DetectReport> DetectionEngine::Detect(
     ticket = admission_->Admit(batch.size());
     if (ticket == nullptr) {
       for (size_t i = 0; i < batch.size(); ++i) {
-        FillShedReport(batch[i], &results[i]);
+        sink.OnReport(i, MakeShedReport(batch[i]));
       }
       admission_->CountShedColumns(batch.size());
-      return results;
+      return;
     }
   }
 
@@ -232,7 +233,7 @@ std::vector<DetectReport> DetectionEngine::Detect(
   {
     StageTimer dispatch_timer(metrics_.dispatch_us);
     for (size_t w = 0; w < workers; ++w) {
-      pool_.Submit([this, &batch, &results, &state, snap, tick, &batch_cancel] {
+      pool_.Submit([this, &batch, &sink, &state, snap, tick, &batch_cancel] {
         const auto worker_start = std::chrono::steady_clock::now();
         std::unique_ptr<ColumnScratch> scratch = AcquireScratch();
         uint64_t claimed = 0;
@@ -242,7 +243,7 @@ std::vector<DetectReport> DetectionEngine::Detect(
           if (tick != nullptr && tick->shed()) {
             // Shed mid-flight (a shed-oldest victim): unstarted columns
             // return immediately; columns already scanning finish normally.
-            FillShedReport(batch[i], &results[i]);
+            sink.OnReport(i, MakeShedReport(batch[i]));
             state.shed.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
@@ -251,8 +252,11 @@ std::vector<DetectReport> DetectionEngine::Detect(
             // races become reachable in tests.
             std::this_thread::sleep_for(std::chrono::milliseconds(25));
           }
-          results[i] = snap->detector.Detect(batch[i], scratch.get(),
-                                             snap->cache.get(), batch_cancel);
+          // Stream the report out the moment the column completes — this is
+          // what lets the network layer frame per-column responses before
+          // the batch finishes.
+          sink.OnReport(i, snap->detector.Detect(batch[i], scratch.get(),
+                                                 snap->cache.get(), batch_cancel));
           ++claimed;
         }
         ReleaseScratch(std::move(scratch));
@@ -288,7 +292,6 @@ std::vector<DetectReport> DetectionEngine::Detect(
                                     std::memory_order_relaxed) -
         static_cast<int64_t>(batch.size())));
   }
-  return results;
 }
 
 EngineStats DetectionEngine::Stats() const {

@@ -35,11 +35,13 @@
 /// would silently serve the old model's judgments.
 ///
 /// Guarantees:
-///  * Determinism — Detect returns reports in request order, and every
-///    report's ColumnReport is bit-identical to Detector::Detect on the
-///    same values against the same snapshot, regardless of worker count,
-///    scheduling, or cache state. (DetectReport::latency_us is execution
-///    metadata and outside the determinism contract.)
+///  * Determinism — every report's ColumnReport is bit-identical to
+///    Detector::Detect on the same values against the same snapshot,
+///    regardless of worker count, scheduling, or cache state. The streaming
+///    Detect delivers each report under its request index (delivery ORDER is
+///    scheduling-dependent; the index→report mapping is not), and the vector
+///    adapter returns reports in request order. (DetectReport::latency_us is
+///    execution metadata and outside the determinism contract.)
 ///  * Snapshot consistency — every report of a batch is produced by exactly
 ///    one model snapshot, even when a reload races the batch.
 ///  * No allocation churn — each worker leases a ColumnScratch from a pool.
@@ -98,9 +100,14 @@ class DetectionEngine : public DetectionExecutor {
 
   ~DetectionEngine() override;
 
-  /// \brief Executes every request on the worker pool and returns one report
-  /// per request, in request order (the unified-API entry point).
-  std::vector<DetectReport> Detect(const std::vector<DetectRequest>& batch) override;
+  /// \brief Executes every request on the worker pool, streaming each report
+  /// to `sink` as its column completes (the unified-API entry point). Sink
+  /// calls come from the worker threads concurrently — implementations must
+  /// be thread-safe (each index is delivered exactly once; the vector
+  /// adapter's disjoint-slot writes need no lock). Returns after the last
+  /// delivery.
+  using DetectionExecutor::Detect;
+  void Detect(const std::vector<DetectRequest>& batch, ReportSink& sink) override;
 
   EngineStats Stats() const;
 

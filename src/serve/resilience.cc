@@ -29,15 +29,15 @@ Result<AdmissionPolicy> ParseAdmissionPolicy(std::string_view name) {
 }
 
 AdmissionController::AdmissionController(AdmissionOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   MetricsRegistry* registry = OrDefaultRegistry(options_.metrics);
-  metrics_.admitted = registry->GetCounter("serve.admission.admitted_total");
-  metrics_.rejected = registry->GetCounter("serve.admission.rejected_total");
-  metrics_.shed_columns = registry->GetCounter("serve.admission.shed_columns_total");
-  metrics_.block_timeouts =
-      registry->GetCounter("serve.admission.block_timeouts_total");
-  metrics_.queue_wait_us = registry->GetHistogram("serve.admission.queue_wait_us");
-  metrics_.inflight_columns = registry->GetGauge("serve.admission.inflight_columns");
+  const std::string& p = options_.metric_prefix;
+  metrics_.admitted = registry->GetCounter(p + "admitted_total");
+  metrics_.rejected = registry->GetCounter(p + "rejected_total");
+  metrics_.shed_columns = registry->GetCounter(p + "shed_columns_total");
+  metrics_.block_timeouts = registry->GetCounter(p + "block_timeouts_total");
+  metrics_.queue_wait_us = registry->GetHistogram(p + "queue_wait_us");
+  metrics_.inflight_columns = registry->GetGauge(p + "inflight_columns");
 }
 
 size_t AdmissionController::LiveColumnsLocked() const {

@@ -72,6 +72,11 @@ struct AdmissionOptions {
   uint64_t block_timeout_ms = 1000;
   /// Metrics destination; null means the process default registry.
   MetricsRegistry* metrics = nullptr;
+  /// Metric-name prefix, must end with '.'. The engine-global controller
+  /// keeps the default; the network server's per-tenant controllers use
+  /// "serve.admission.tenant.<name>." so shed/reject counts are
+  /// attributable per tenant.
+  std::string metric_prefix = "serve.admission.";
 };
 
 /// Point-in-time admission counters.

@@ -459,15 +459,16 @@ TEST_F(ServeFixture, UnifiedDetectCarriesNamesTagsAndLatency) {
   std::vector<DetectRequest> batch = {
       DetectRequest{"dates",
                     {"2011-01-01", "2011-01-02", "2011-01-03", "2011/01/04"},
-                    "t1.csv"},
-      DetectRequest{"years", {"1962", "1981", "1974", "1990", "1865."}, "t1.csv"},
-      DetectRequest{"untagged", {"a", "b", "c"}, ""},
+                    RequestContext{"acme", "t1.csv"}},
+      DetectRequest{"years", {"1962", "1981", "1974", "1990", "1865."},
+                    RequestContext{"acme", "t1.csv"}},
+      DetectRequest{"untagged", {"a", "b", "c"}},
   };
   std::vector<DetectReport> reports = engine.Detect(batch);
   ASSERT_EQ(reports.size(), 3u);
   for (size_t i = 0; i < reports.size(); ++i) {
     EXPECT_EQ(reports[i].name, batch[i].name);
-    EXPECT_EQ(reports[i].tag, batch[i].tag);
+    EXPECT_EQ(reports[i].tag, batch[i].EffectiveTag());
   }
   // And the sequential executor produces the identical column reports.
   Detector sequential(model_);
@@ -482,6 +483,9 @@ TEST_F(ServeFixture, UnifiedDetectCarriesNamesTagsAndLatency) {
     EXPECT_EQ(snap.counters.at("detect.tag.t1.csv.columns_total"), 2u);
     EXPECT_EQ(snap.histograms.at("detect.tag.t1.csv.column_latency_us").count, 2u);
     EXPECT_EQ(snap.counters.count("detect.tag..columns_total"), 0u);
+    // Tenant attribution rides alongside the tag metrics.
+    EXPECT_EQ(snap.counters.at("detect.tenant.acme.columns_total"), 2u);
+    EXPECT_EQ(snap.counters.count("detect.tenant..columns_total"), 0u);
   }
 }
 

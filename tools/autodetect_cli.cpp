@@ -16,9 +16,12 @@
 /// CSV) aborts the run with a structured message on stderr and a non-zero
 /// exit — a scan never half-completes silently.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -29,6 +32,8 @@
 #include "detect/trainer.h"
 #include "flag_set.h"
 #include "io/csv.h"
+#include "net/server.h"
+#include "net/tenant.h"
 #include "obs/dump.h"
 #include "serve/detection_engine.h"
 
@@ -50,12 +55,25 @@ int Fail(const Status& status) {
   return 1;
 }
 
-bool ParseOrUsage(FlagSet& flags, int argc, char** argv) {
+/// Parses a command's flags. Returns true when the command should proceed;
+/// otherwise *exit_code holds the process exit (0 for --help, which prints
+/// the auto-generated flag table to stdout; 2 for a parse error, which
+/// prints it to stderr alongside the error).
+bool ParseFlags(FlagSet& flags, int argc, char** argv, const char* synopsis,
+                int* exit_code) {
   Status parsed = flags.Parse(argc, argv, 2);
-  if (parsed.ok()) return true;
-  std::fprintf(stderr, "error: %s\nflags:\n%s", parsed.ToString().c_str(),
-               flags.Usage().c_str());
-  return false;
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\nusage: %s\nflags:\n%s",
+                 parsed.ToString().c_str(), synopsis, flags.Usage().c_str());
+    *exit_code = 2;
+    return false;
+  }
+  if (flags.help_requested()) {
+    std::printf("usage: %s\nflags:\n%s", synopsis, flags.Usage().c_str());
+    *exit_code = 0;
+    return false;
+  }
+  return true;
 }
 
 int CmdTrain(int argc, char** argv) {
@@ -82,7 +100,10 @@ int CmdTrain(int argc, char** argv) {
   flags.String("format", &format_name,
                "model file format: v2 (zero-copy, default) or v1 (legacy)");
   metrics.Register(&flags);
-  if (!ParseOrUsage(flags, argc, argv)) return 2;
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv, "autodetect_cli train [flags]", &rc)) {
+    return rc;
+  }
 
   ModelFormat format;
   if (format_name == "v1") {
@@ -153,7 +174,12 @@ int CmdScan(int argc, char** argv) {
   flags.Double("min-confidence", &min_confidence, "suppress findings below this");
   engine_flags.Register(&flags);
   metrics.Register(&flags);
-  if (!ParseOrUsage(flags, argc, argv)) return 2;
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv,
+                  "autodetect_cli scan --model m.bin [flags] file.csv...",
+                  &rc)) {
+    return rc;
+  }
 
   if (flags.positional().empty()) {
     std::fprintf(stderr,
@@ -187,7 +213,8 @@ int CmdScan(int argc, char** argv) {
     std::vector<DetectRequest> batch;
     batch.reserve(table->num_cols());
     for (size_t c = 0; c < table->num_cols(); ++c) {
-      batch.push_back(DetectRequest{table->header[c], table->Column(c), path});
+      batch.push_back(
+          DetectRequest{table->header[c], table->Column(c), RequestContext{"", path}});
     }
     std::vector<DetectReport> reports = engine.Detect(batch);
     for (const DetectReport& report : reports) {
@@ -235,7 +262,11 @@ int CmdPair(int argc, char** argv) {
   ModelFlags model_flags;
   FlagSet flags;
   model_flags.Register(&flags);
-  if (!ParseOrUsage(flags, argc, argv)) return 2;
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv,
+                  "autodetect_cli pair --model m.bin VALUE1 VALUE2", &rc)) {
+    return rc;
+  }
   if (flags.positional().size() != 2) {
     std::fprintf(stderr, "usage: autodetect_cli pair --model m.bin VALUE1 VALUE2\n");
     return 2;
@@ -254,7 +285,11 @@ int CmdInfo(int argc, char** argv) {
   ModelFlags model_flags;
   FlagSet flags;
   model_flags.Register(&flags);
-  if (!ParseOrUsage(flags, argc, argv)) return 2;
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv, "autodetect_cli info --model m.bin",
+                  &rc)) {
+    return rc;
+  }
   auto model = model_flags.Load();
   if (!model.ok()) return Fail(model.status());
   std::printf("%s", model->Summary().c_str());
@@ -278,6 +313,145 @@ int CmdInfo(int argc, char** argv) {
   std::printf("tokenizer: %s (max supported: %s)\n",
               std::string(SimdTierName(ActiveSimdTier())).c_str(),
               std::string(SimdTierName(MaxSupportedSimdTier())).c_str());
+  return 0;
+}
+
+/// SIGINT/SIGTERM land here; the serve loop polls it. sig_atomic_t because
+/// a signal handler may not touch anything wider.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void ServeSignalHandler(int) { g_serve_stop = 1; }
+
+int CmdServe(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t acceptors = 2;
+  int64_t dispatch_threads = 0;
+  int64_t max_frame_mb = 64;
+  int64_t idle_timeout_ms = 120000;
+  int64_t partial_timeout_ms = 5000;
+  std::string tenants_spec;
+  std::string port_file;
+  ModelFlags model_flags;
+  EngineFlags engine_flags;
+  MetricsFlags metrics;
+
+  FlagSet flags;
+  model_flags.Register(&flags);
+  engine_flags.Register(&flags);
+  metrics.Register(&flags);
+  flags.String("host", &host, "listen address");
+  flags.Int("port", &port, "listen port (0 = ephemeral; see --port-file)");
+  flags.Int("acceptors", &acceptors,
+            "event-loop threads, each with its own SO_REUSEPORT listener");
+  flags.Int("dispatch-threads", &dispatch_threads,
+            "blocking-detect dispatch pool size (0 = all cores)");
+  flags.Int("max-frame-mb", &max_frame_mb,
+            "largest accepted wire frame / HTTP body");
+  flags.Int("idle-timeout-ms", &idle_timeout_ms,
+            "close idle keep-alive connections after this");
+  flags.Int("partial-timeout-ms", &partial_timeout_ms,
+            "close connections parked on a partial request after this "
+            "(slow-loris defense)");
+  flags.String("tenants", &tenants_spec,
+               "per-tenant admission quotas, comma-separated "
+               "name=cap[:block|shed-oldest|reject]; '*' names the default");
+  flags.String("port-file", &port_file,
+               "write the bound port here once listening (for scripts "
+               "using --port 0)");
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv, "autodetect_cli serve [flags]", &rc)) {
+    return rc;
+  }
+  if (port < 0 || port > 65535) {
+    return Fail(Status::Invalid("--port must be in [0, 65535]"));
+  }
+  if (acceptors <= 0) {
+    return Fail(Status::Invalid("--acceptors must be positive"));
+  }
+  if (max_frame_mb <= 0) {
+    return Fail(Status::Invalid("--max-frame-mb must be positive"));
+  }
+
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
+
+  auto provider = model_flags.MakeProvider(registry);
+  if (!provider.ok()) return Fail(provider.status());
+
+  EngineOptions engine_opts;
+  Status applied = engine_flags.Apply(&engine_opts);
+  if (!applied.ok()) return Fail(applied);
+  engine_opts.metrics = registry;
+  DetectionEngine engine(provider->get(), engine_opts);
+
+  TenantTable tenants(registry);
+  if (!tenants_spec.empty()) {
+    Status parsed_tenants = tenants.Parse(tenants_spec);
+    if (!parsed_tenants.ok()) {
+      return Fail(parsed_tenants.WithContext("parsing --tenants"));
+    }
+  }
+
+  ServerOptions server_opts;
+  server_opts.host = host;
+  server_opts.port = static_cast<uint16_t>(port);
+  server_opts.num_acceptors = static_cast<size_t>(acceptors);
+  server_opts.dispatch_threads = static_cast<size_t>(dispatch_threads);
+  server_opts.wire_limits.max_frame_bytes =
+      static_cast<size_t>(max_frame_mb) << 20;
+  server_opts.http_limits.max_body_bytes =
+      static_cast<size_t>(max_frame_mb) << 20;
+  server_opts.partial_timeout_ms = static_cast<uint64_t>(partial_timeout_ms);
+  server_opts.idle_timeout_ms = static_cast<uint64_t>(idle_timeout_ms);
+  server_opts.tenants = &tenants;
+  server_opts.metrics = registry;
+
+  Server server(&engine, server_opts);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started.WithContext("starting server"));
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      server.Stop();
+      return Fail(Status::IOError("cannot write --port-file " + port_file));
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  for (const std::string& tenant : tenants.ConfiguredTenants()) {
+    TenantSpec spec = tenants.SpecFor(tenant);
+    std::printf("tenant %s: cap %zu columns\n", tenant.c_str(),
+                spec.queue_cap_columns);
+  }
+  std::printf("serving on %s:%u (%zu acceptors, ADWIRE1 + HTTP/1.1)\n",
+              host.c_str(), server.port(), server_opts.num_acceptors);
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down...\n");
+  server.Stop();
+
+  ServerStats stats = server.Stats();
+  std::printf("served %llu request(s) over %llu connection(s) "
+              "(%llu HTTP, %llu protocol error(s), %llu disconnect "
+              "cancel(s), %llu timeout close(s))\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.http_requests),
+              static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.disconnect_cancels),
+              static_cast<unsigned long long>(stats.timeout_closes));
+
+  Status dumped = metrics.Finish(registry, std::move(dumper));
+  if (!dumped.ok()) return Fail(dumped.WithContext("metrics export failed"));
   return 0;
 }
 
@@ -313,11 +487,18 @@ void Usage() {
                "         interning — reports are identical either way;\n"
                "         --no-sketch excludes sketched languages from\n"
                "         scoring, serving only a mixed model's exact ones)\n"
+               "  serve --model FILE [--port N] [--tenants SPEC]\n"
+               "        [--acceptors N] [--port-file FILE]  network server:\n"
+               "        ADWIRE1 binary + HTTP/1.1 JSON on one port\n"
+               "        (POST /detect, GET /metrics, GET /healthz);\n"
+               "        per-tenant admission via --tenants\n"
+               "        \"acme=512:block,free=64,*=4096\"\n"
                "  pair  --model FILE VALUE1 VALUE2       explain one pair\n"
                "  info  --model FILE                     describe a model\n\n"
-               "train and scan also accept --metrics-out FILE (JSON, or\n"
-               "Prometheus text for .prom/.txt) and --metrics-interval-ms N\n"
-               "for live-updating snapshots.\n");
+               "every command accepts --help for its full generated flag\n"
+               "table. train, scan and serve also accept --metrics-out FILE\n"
+               "(JSON, or Prometheus text for .prom/.txt) and\n"
+               "--metrics-interval-ms N for live-updating snapshots.\n");
 }
 
 }  // namespace
@@ -331,6 +512,7 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "train") return CmdTrain(argc, argv);
   if (command == "scan") return CmdScan(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   if (command == "pair") return CmdPair(argc, argv);
   if (command == "info") return CmdInfo(argc, argv);
   Usage();

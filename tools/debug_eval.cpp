@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     ++fp_shown;
     std::printf("\nFP detail: \"%s\" in %s column (%s)\n", p.suspicion.value.c_str(),
                 tc.domain.c_str(), tc.dirty ? "dirty elsewhere" : "clean");
-    ColumnReport report = detector.Detect(DetectRequest{tc.domain, tc.values, ""}).column;
+    ColumnReport report = detector.Detect(DetectRequest{tc.domain, tc.values}).column;
     for (size_t i = 0; i < report.pairs.size() && i < 4; ++i) {
       const auto& pair = report.pairs[i];
       PairVerdict v = detector.ScorePair(pair.u, pair.v);

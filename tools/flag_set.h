@@ -1,11 +1,14 @@
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -29,23 +32,31 @@ namespace autodetect {
 
 /// Typed --key value / --switch parser over argv. Values bind to caller-owned
 /// storage (which also carries the default), so a parsed flag set IS the
-/// tool's config struct.
+/// tool's config struct. Registration snapshots each target's current value
+/// as the default shown by Usage(), so the auto-generated --help is always
+/// in sync with the config struct — no hand-maintained usage strings.
 class FlagSet {
  public:
   /// Registration. `help` is shown by Usage(); the flag name is spelled
   /// without the leading "--".
   void String(std::string name, std::string* target, std::string help) {
-    Register(std::move(name), Flag{Flag::kString, target, std::move(help)});
+    std::string def = target->empty() ? "" : "\"" + *target + "\"";
+    Register(std::move(name),
+             Flag{Flag::kString, target, std::move(help), std::move(def)});
   }
   void Double(std::string name, double* target, std::string help) {
-    Register(std::move(name), Flag{Flag::kDouble, target, std::move(help)});
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", *target);
+    Register(std::move(name),
+             Flag{Flag::kDouble, target, std::move(help), buf});
   }
   void Int(std::string name, int64_t* target, std::string help) {
-    Register(std::move(name), Flag{Flag::kInt, target, std::move(help)});
+    Register(std::move(name), Flag{Flag::kInt, target, std::move(help),
+                                   std::to_string(*target)});
   }
   /// A presence switch: `--flag` sets the bool, no value is consumed.
   void Bool(std::string name, bool* target, std::string help) {
-    Register(std::move(name), Flag{Flag::kBool, target, std::move(help)});
+    Register(std::move(name), Flag{Flag::kBool, target, std::move(help), ""});
   }
 
   /// \brief Registers a retired spelling. Using it is a parse error that
@@ -57,9 +68,16 @@ class FlagSet {
 
   /// \brief Parses argv[start..argc). Flags may appear in any position;
   /// non-flag tokens accumulate as positionals (readable via positional()).
+  /// `--help` / `-h` are built in: they short-circuit parsing (nothing after
+  /// them is validated) and set help_requested() — callers print Usage() and
+  /// exit 0 instead of running the command.
   Status Parse(int argc, char** argv, int start) {
     for (int i = start; i < argc; ++i) {
       std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_requested_ = true;
+        return Status::OK();
+      }
       if (arg.rfind("--", 0) != 0) {
         positional_.push_back(std::move(arg));
         continue;
@@ -89,14 +107,33 @@ class FlagSet {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
-  /// \brief One "  --name  help" line per registered flag, sorted by name.
+  /// True once Parse saw `--help` or `-h`.
+  bool help_requested() const { return help_requested_; }
+
+  /// \brief One line per registered flag, sorted by name: the spelling with
+  /// a type hint (<str>/<int>/<float>), the help text, and the default that
+  /// was in the bound storage at registration time. Generated, so it cannot
+  /// drift from the flags a command actually accepts.
   std::string Usage() const {
+    // First pass: column width so the help text lines up.
+    size_t width = 0;
+    for (const auto& [name, flag] : flags_) {
+      width = std::max(width, name.size() + flag.TypeHint().size());
+    }
     std::string out;
     for (const auto& [name, flag] : flags_) {
-      out += "  --" + name;
-      if (flag.type != Flag::kBool) out += " <v>";
-      out += "  " + flag.help + "\n";
+      std::string left = "--" + name + std::string(flag.TypeHint());
+      out += "  " + left;
+      out.append(width + 4 - (name.size() + flag.TypeHint().size()), ' ');
+      out += flag.help;
+      if (!flag.default_text.empty()) {
+        out += " (default: " + flag.default_text + ")";
+      }
+      out += "\n";
     }
+    out += "  --help";
+    out.append(width >= 4 ? width - 4 + 4 : 4, ' ');
+    out += "show this help\n";
     return out;
   }
 
@@ -106,6 +143,17 @@ class FlagSet {
     Type type;
     void* target;
     std::string help;
+    std::string default_text;  ///< snapshot of *target at registration
+
+    std::string_view TypeHint() const {
+      switch (type) {
+        case kString: return " <str>";
+        case kDouble: return " <float>";
+        case kInt: return " <int>";
+        case kBool: return "";
+      }
+      return "";
+    }
 
     Status Assign(const std::string& name, const char* value) {
       errno = 0;
@@ -144,6 +192,7 @@ class FlagSet {
   std::map<std::string, Flag> flags_;
   std::map<std::string, std::string> deprecated_;  ///< old name -> new name
   std::vector<std::string> positional_;
+  bool help_requested_ = false;
 };
 
 /// The model-acquisition knobs shared by every model-consuming command:

@@ -69,6 +69,15 @@
 # bound, leaving BENCH_sketch.json in the build directory:
 #
 #   SKETCH=on tools/run_tier1.sh
+#
+# Opt-in serving smoke: SERVE=on trains a tiny model, boots
+# `autodetect_cli serve` on an ephemeral loopback port (--port 0 +
+# --port-file), then drives it black-box with serve_smoke: an ADWIRE1
+# batch, an HTTP/1.1 JSON /detect round-trip, a slow-loris probe that the
+# partial-request timeout must shut down, and a /metrics scrape that must
+# carry the serve.net.* counters — finishing with a clean SIGTERM shutdown:
+#
+#   SERVE=on tools/run_tier1.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -79,6 +88,7 @@ MODEL="${MODEL:-}"
 FAILPOINTS="${FAILPOINTS:-off}"
 SIMD="${SIMD:-on}"
 SKETCH="${SKETCH:-off}"
+SERVE="${SERVE:-off}"
 
 if [[ "$SIMD" == "off" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nosimd}"
@@ -158,6 +168,52 @@ if [[ "$SKETCH" == "on" ]]; then
   # corrected-estimate throughput floor, precision-delta bound.
   "$BUILD_DIR/bench/bench_fig8a_sketch" "$BUILD_DIR/BENCH_sketch.json"
   echo "sketch gate green; report: $BUILD_DIR/BENCH_sketch.json"
+  exit 0
+fi
+
+if [[ "$SERVE" == "on" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target autodetect_cli serve_smoke
+  SERVE_DIR="$(mktemp -d)"
+  SERVE_PID=""
+  trap '[[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SERVE_DIR"' EXIT
+  # A tiny model is enough: the smoke proves protocol plumbing end to end,
+  # not detection quality.
+  "$BUILD_DIR/tools/autodetect_cli" train \
+    --columns 400 --budget-mb 8 --out "$SERVE_DIR/model.bin"
+  "$BUILD_DIR/tools/autodetect_cli" serve --model "$SERVE_DIR/model.bin" \
+    --port 0 --port-file "$SERVE_DIR/port" \
+    --tenants 'free=2:reject' --partial-timeout-ms 2000 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SERVE_DIR/port" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "server died on startup" >&2; exit 1; }
+    sleep 0.1
+  done
+  [[ -s "$SERVE_DIR/port" ]] || { echo "server never wrote its port file" >&2; exit 1; }
+  PORT="$(cat "$SERVE_DIR/port")"
+  # Black-box protocol smokes, each a hard failure if the contract breaks.
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode wire
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode http
+  # The slow-loris probe must be disconnected by the partial-request
+  # timeout, not answered and not left hanging.
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode slowloris --wait-ms 10000
+  # The scrape must attribute the traffic the smokes just generated.
+  SCRAPE="$("$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode metrics)"
+  for metric in autodetect_serve_net_requests_total \
+                autodetect_serve_net_http_requests_total \
+                autodetect_serve_net_frames_out_total \
+                autodetect_serve_net_timeout_closes_total; do
+    grep -q "^$metric " <<<"$SCRAPE" || {
+      echo "missing $metric in the /metrics scrape" >&2
+      exit 1
+    }
+  done
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  echo "serve smoke green: ADWIRE1 + HTTP /detect + slow-loris defense + /metrics + clean SIGTERM shutdown"
   exit 0
 fi
 

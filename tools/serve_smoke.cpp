@@ -1,0 +1,199 @@
+/// \file serve_smoke.cpp
+/// Black-box smoke client for `autodetect_cli serve`, driven by
+/// tools/run_tier1.sh's SERVE leg. Each mode proves one serving contract
+/// from outside the process and exits non-zero on any deviation:
+///
+///   serve_smoke --port N --mode wire       ADWIRE1 round trip: one batch,
+///                                          every column reported, batch-done
+///   serve_smoke --port N --mode http       POST /detect JSON + GET /healthz
+///   serve_smoke --port N --mode metrics    GET /metrics to stdout (caller
+///                                          greps for required counters)
+///   serve_smoke --port N --mode slowloris  trickle a partial request; PASS
+///                                          only if the server closes us
+///                                          (sheds the slot) within
+///                                          --wait-ms instead of hanging
+///
+/// Uses the blocking client helpers (net/client.h) — deliberately a separate
+/// implementation from the server's async path, so agreement between the two
+/// is evidence, not tautology.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flag_set.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/wire.h"
+
+using namespace autodetect;
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "serve_smoke: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+int FailStatus(const std::string& what, const Status& status) {
+  return Fail(what + ": " + status.ToString());
+}
+
+WireRequest SmokeRequest(const std::string& tenant) {
+  WireRequest request;
+  request.request_id = 7;
+  request.tenant = tenant;
+  request.tag = "smoke";
+  request.columns.push_back(
+      {"date", {"2011-01-01", "2011-01-02", "2011-01-03", "99-bad-99"}});
+  request.columns.push_back({"qty", {"12", "15", "9", "twelve"}});
+  return request;
+}
+
+int RunWire(const std::string& host, uint16_t port, const std::string& tenant) {
+  auto client = WireClient::Connect(host, port);
+  if (!client.ok()) return FailStatus("connect", client.status());
+  WireRequest request = SmokeRequest(tenant);
+  Status sent = client->SendRequest(request);
+  if (!sent.ok()) return FailStatus("send", sent);
+  auto batch = client->ReadBatch(request.request_id);
+  if (!batch.ok()) return FailStatus("read batch", batch.status());
+  if (batch->errored) return Fail("server error: " + batch->error.message);
+  if (!batch->done) return Fail("no batch-done frame");
+  if (batch->reports.size() != request.columns.size()) {
+    return Fail("expected " + std::to_string(request.columns.size()) +
+                " reports, got " + std::to_string(batch->reports.size()));
+  }
+  for (const WireReport& report : batch->reports) {
+    std::printf("serve_smoke: wire column %llu '%s' status=%s findings=%zu\n",
+                static_cast<unsigned long long>(report.column_index),
+                report.report.name.c_str(),
+                std::string(ColumnStatusName(report.report.status)).c_str(),
+                report.report.column.cells.size());
+  }
+  std::printf("serve_smoke: wire OK\n");
+  return 0;
+}
+
+int RunHttp(const std::string& host, uint16_t port, const std::string& tenant) {
+  auto health = HttpGet(host, port, "/healthz");
+  if (!health.ok()) return FailStatus("GET /healthz", health.status());
+  if (health->status_code != 200) {
+    return Fail("/healthz returned " + std::to_string(health->status_code));
+  }
+
+  std::string body =
+      "{\"tenant\":\"" + tenant +
+      "\",\"tag\":\"smoke\",\"columns\":["
+      "{\"name\":\"date\",\"values\":[\"2011-01-01\",\"2011-01-02\","
+      "\"99-bad-99\"]},"
+      "{\"name\":\"qty\",\"values\":[\"12\",\"15\",\"twelve\"]}]}";
+  auto response = HttpPost(host, port, "/detect", body);
+  if (!response.ok()) return FailStatus("POST /detect", response.status());
+  if (response->status_code != 200) {
+    return Fail("/detect returned " + std::to_string(response->status_code) +
+                ": " + response->body);
+  }
+  auto json = ParseJson(response->body);
+  if (!json.ok()) return FailStatus("parsing /detect response", json.status());
+  const JsonValue* reports = json->Find("reports");
+  if (reports == nullptr || !reports->IsArray() ||
+      reports->array.size() != 2) {
+    return Fail("expected 2 reports in /detect response: " + response->body);
+  }
+  std::printf("serve_smoke: http OK (%zu byte response)\n",
+              response->body.size());
+  return 0;
+}
+
+int RunMetrics(const std::string& host, uint16_t port) {
+  auto response = HttpGet(host, port, "/metrics");
+  if (!response.ok()) return FailStatus("GET /metrics", response.status());
+  if (response->status_code != 200) {
+    return Fail("/metrics returned " + std::to_string(response->status_code));
+  }
+  // Raw scrape to stdout; the caller greps for the counters it requires.
+  std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+  return 0;
+}
+
+/// Trickles an eternally-incomplete HTTP request one byte at a time. A
+/// correct server gives up on the slot after partial_timeout_ms and closes
+/// the socket; a vulnerable one lets the connection park forever.
+int RunSlowloris(const std::string& host, uint16_t port, int64_t wait_ms) {
+  auto fd = RawConnect(host, port);
+  if (!fd.ok()) return FailStatus("connect", fd.status());
+  const std::string drip = "GET /healthz HT";  // never finishes the preamble
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  size_t sent = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sent < drip.size()) {
+      if (::write(*fd, drip.data() + sent, 1) < 0) {
+        // Server already shut the socket on us — that's the defense working.
+        ::close(*fd);
+        std::printf("serve_smoke: slowloris shed (write refused)\n");
+        return 0;
+      }
+      ++sent;
+    }
+    struct pollfd pfd = {*fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready > 0) {
+      char buf[256];
+      ssize_t n = ::read(*fd, buf, sizeof(buf));
+      if (n <= 0) {
+        ::close(*fd);
+        std::printf("serve_smoke: slowloris shed (connection closed)\n");
+        return 0;
+      }
+      // Data back on a half-request would be a protocol bug.
+      ::close(*fd);
+      return Fail("server answered a partial request");
+    }
+  }
+  ::close(*fd);
+  return Fail("server kept the slow-loris connection open past " +
+              std::to_string(wait_ms) + "ms");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string mode = "wire";
+  std::string tenant;
+  int64_t port = 0;
+  int64_t wait_ms = 15000;
+
+  FlagSet flags;
+  flags.String("host", &host, "server address");
+  flags.Int("port", &port, "server port");
+  flags.String("mode", &mode, "wire | http | metrics | slowloris");
+  flags.String("tenant", &tenant, "tenant to claim in requests");
+  flags.Int("wait-ms", &wait_ms,
+            "slowloris: how long the server gets to shed us");
+  Status parsed = flags.Parse(argc, argv, 1);
+  if (!parsed.ok() || flags.help_requested()) {
+    std::fprintf(stderr, "usage: serve_smoke --port N [flags]\nflags:\n%s",
+                 flags.Usage().c_str());
+    return parsed.ok() ? 0 : 2;
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "serve_smoke: --port is required\n");
+    return 2;
+  }
+
+  uint16_t p = static_cast<uint16_t>(port);
+  if (mode == "wire") return RunWire(host, p, tenant);
+  if (mode == "http") return RunHttp(host, p, tenant);
+  if (mode == "metrics") return RunMetrics(host, p);
+  if (mode == "slowloris") return RunSlowloris(host, p, wait_ms);
+  std::fprintf(stderr, "serve_smoke: unknown --mode '%s'\n", mode.c_str());
+  return 2;
+}
