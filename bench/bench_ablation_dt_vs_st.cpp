@@ -26,29 +26,30 @@ int main() {
   GeneratedColumnSource source(gen);
   TrainOptions train = config.train;
   train.corpus_name = "WEB-synthetic";
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  AD_CHECK_OK(pipeline.status());
+  TrainSession pipeline(train);
+  AD_CHECK_OK(pipeline.BuildStats(&source));
+  AD_CHECK_OK(pipeline.Supervise(&source));
 
   const size_t budget = 4ull << 20;
 
   // ST: the paper's Algorithm 1 via the standard pipeline.
-  auto st_model = pipeline->BuildModel(budget, 1.0);
+  auto st_model = pipeline.Finalize(budget, 1.0);
   AD_CHECK_OK(st_model.status());
   size_t st_coverage = 0;
   for (const auto& l : st_model->languages) st_coverage += l.train_coverage;
 
   // DT: greedy joint (language, threshold) selection on the same scores.
-  const auto& train_set = pipeline->training_set();
+  const auto& train_set = pipeline.training_set();
   const auto& all_langs = LanguageSpace::All();
   std::vector<DtSelectionInput> inputs;
-  for (size_t i = 0; i < pipeline->lang_ids().size(); ++i) {
-    int id = pipeline->lang_ids()[i];
+  for (size_t i = 0; i < pipeline.lang_ids().size(); ++i) {
+    int id = pipeline.lang_ids()[i];
     std::vector<double> scores = ScoreTrainingSet(
-        all_langs[static_cast<size_t>(id)], pipeline->stats().ForLanguage(id),
+        all_langs[static_cast<size_t>(id)], pipeline.stats().ForLanguage(id),
         train_set, train.smoothing_factor);
     DtSelectionInput in;
     in.lang_id = id;
-    in.size_bytes = pipeline->stats().ForLanguage(id).MemoryBytes();
+    in.size_bytes = pipeline.stats().ForLanguage(id).MemoryBytes();
     in.positive_scores.assign(scores.begin(),
                               scores.begin() + static_cast<long>(train_set.positives.size()));
     in.negative_scores.assign(scores.begin() + static_cast<long>(train_set.positives.size()),
@@ -70,10 +71,10 @@ int main() {
               /* union coverage from selection = */
               static_cast<size_t>(0) + [&] {
                 DynamicBitset acc(train_set.negatives.size());
-                for (size_t i = 0; i < pipeline->lang_ids().size(); ++i) {
+                for (size_t i = 0; i < pipeline.lang_ids().size(); ++i) {
                   for (const auto& l : st_model->languages) {
-                    if (pipeline->lang_ids()[i] == l.lang_id) {
-                      acc.UnionWith(pipeline->calibrations()[i].covered_negatives);
+                    if (pipeline.lang_ids()[i] == l.lang_id) {
+                      acc.UnionWith(pipeline.calibrations()[i].covered_negatives);
                     }
                   }
                 }
@@ -88,16 +89,16 @@ int main() {
   dt_model.smoothing_factor = train.smoothing_factor;
   dt_model.precision_target = train.precision_target;
   dt_model.corpus_name = "WEB-synthetic (DT)";
-  dt_model.trained_columns = pipeline->corpus_columns();
+  dt_model.trained_columns = pipeline.corpus_columns();
   for (const auto& [lang_id, theta] : dt.selected) {
-    for (size_t i = 0; i < pipeline->lang_ids().size(); ++i) {
-      if (pipeline->lang_ids()[i] != lang_id) continue;
+    for (size_t i = 0; i < pipeline.lang_ids().size(); ++i) {
+      if (pipeline.lang_ids()[i] != lang_id) continue;
       ModelLanguage ml;
       ml.lang_id = lang_id;
       ml.threshold = theta;
-      ml.train_coverage = pipeline->calibrations()[i].covered_count;
-      ml.curve = pipeline->calibrations()[i].curve;
-      ml.stats = pipeline->stats().ForLanguage(lang_id);
+      ml.train_coverage = pipeline.calibrations()[i].covered_count;
+      ml.curve = pipeline.calibrations()[i].curve;
+      ml.stats = pipeline.stats().ForLanguage(lang_id);
       dt_model.languages.push_back(std::move(ml));
     }
   }

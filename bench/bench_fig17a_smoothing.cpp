@@ -21,16 +21,17 @@ int main() {
   GeneratedColumnSource source(gen);
   TrainOptions train = config.train;
   train.corpus_name = "WEB-synthetic";
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  AD_CHECK_OK(pipeline.status());
+  TrainSession pipeline(train);
+  AD_CHECK_OK(pipeline.BuildStats(&source));
+  AD_CHECK_OK(pipeline.Supervise(&source));
 
   auto cases = SpliceSet(config, CorpusProfile::EntXls(), 400, 5, 1717);
 
   std::printf("== Fig 17(a): smoothing factor sweep (Ent-XLS 1:5) ==\n");
   std::printf("%-6s %-10s %-10s %-10s\n", "f", "P@100", "P@250", "P@400");
   for (double f : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
-    pipeline->RecalibrateInPlace(f);
-    auto model = pipeline->BuildModel();
+    pipeline.RecalibrateInPlace(f);
+    auto model = pipeline.Finalize();
     if (!model.ok()) {
       std::printf("%-6.2f (no language meets precision target)\n", f);
       continue;

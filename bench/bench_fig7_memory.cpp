@@ -24,8 +24,9 @@ int main() {
   GeneratedColumnSource source(gen);
   TrainOptions train = config.train;
   train.corpus_name = "WEB-synthetic";
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  AD_CHECK_OK(pipeline.status());
+  TrainSession pipeline(train);
+  AD_CHECK_OK(pipeline.BuildStats(&source));
+  AD_CHECK_OK(pipeline.Supervise(&source));
 
   struct Budget {
     const char* label;      // the paper's point this stands for
@@ -42,7 +43,7 @@ int main() {
 
   std::vector<Model> models;
   for (const Budget& b : budgets) {
-    auto model = pipeline->BuildModel(b.bytes, /*sketch_ratio=*/1.0);
+    auto model = pipeline.Finalize(b.bytes, /*sketch_ratio=*/1.0);
     AD_CHECK_OK(model.status());
     std::printf("budget %-20s -> %zu languages, %s resident\n", b.label,
                 model->languages.size(), HumanBytes(model->MemoryBytes()).c_str());

@@ -117,12 +117,13 @@ int RunGate(const std::string& out_path) {
   train.supervision.target_positives = 3000;
   train.supervision.target_negatives = 3000;
   train.corpus_name = "sketch-gate";
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  AD_CHECK_OK(pipeline.status());
+  TrainSession pipeline(train);
+  AD_CHECK_OK(pipeline.BuildStats(&source));
+  AD_CHECK_OK(pipeline.Supervise(&source));
 
-  auto exact = pipeline->BuildModel();
+  auto exact = pipeline.Finalize();
   AD_CHECK_OK(exact.status());
-  auto sketched = pipeline->BuildModel(64ull << 20, kSketchRatio);
+  auto sketched = pipeline.Finalize(64ull << 20, kSketchRatio);
   AD_CHECK_OK(sketched.status());
   AD_CHECK(sketched->SketchInfo().languages > 0)
       << "gate build sketched nothing";
@@ -230,8 +231,9 @@ int main(int argc, char** argv) {
   GeneratedColumnSource source(gen);
   TrainOptions train = config.train;
   train.corpus_name = "WEB-synthetic";
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  AD_CHECK_OK(pipeline.status());
+  TrainSession pipeline(train);
+  AD_CHECK_OK(pipeline.BuildStats(&source));
+  AD_CHECK_OK(pipeline.Supervise(&source));
 
   struct Ratio {
     const char* label;
@@ -242,7 +244,7 @@ int main(int argc, char** argv) {
 
   std::vector<Model> models;
   for (const Ratio& r : ratios) {
-    auto model = pipeline->BuildModel(config.train.memory_budget_bytes, r.value);
+    auto model = pipeline.Finalize(config.train.memory_budget_bytes, r.value);
     AD_CHECK_OK(model.status());
     std::printf("%-14s -> %zu languages, %s resident\n", r.label,
                 model->languages.size(), HumanBytes(model->MemoryBytes()).c_str());

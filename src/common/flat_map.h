@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/result.h"
 
 /// \file flat_map.h
@@ -53,6 +54,7 @@ class FlatMap64 {
   /// \brief Ensures capacity for `n` entries without rehashing. Call before
   /// bulk insertion (merge, deserialize) to avoid rehash storms.
   void Reserve(size_t n) {
+    if (hash_deferred_) EnsureHashed();
     size_t needed = RequiredCapacity(n);
     if (needed > slots_.size()) Rehash(needed);
   }
@@ -60,6 +62,10 @@ class FlatMap64 {
   /// \brief Find-or-insert; inserted values start at 0 (counts increment
   /// through this reference).
   uint64_t& operator[](uint64_t key) {
+    if (hash_deferred_) EnsureHashed();
+    // The returned reference may be written through, so any cached sorted
+    // copy of the entries can go stale — drop it unconditionally.
+    if (has_sorted_) DropSortedCache();
     if (key == 0) {
       has_zero_ = true;
       return zero_value_;
@@ -74,6 +80,7 @@ class FlatMap64 {
       if (s.key == 0) {
         s.key = key;
         ++size_;
+        canonical_ = false;  // a new key invalidates the canonical layout
         return s.value;
       }
       i = (i + 1) & (slots_.size() - 1);
@@ -82,6 +89,7 @@ class FlatMap64 {
 
   /// Pointer to the value for `key`, or nullptr if absent.
   const uint64_t* Find(uint64_t key) const {
+    AD_CHECK(!hash_deferred_);  // call EnsureHashed() before point queries
     if (key == 0) return has_zero_ ? &zero_value_ : nullptr;
     if (slots_.empty()) return nullptr;
     size_t i = ProbeStart(key);
@@ -103,11 +111,163 @@ class FlatMap64 {
 
   /// \brief Adds every (key, value) pair of `other` into this map, summing
   /// values on overlapping keys (the shard-merge operation of the statistics
-  /// builder). Reserves for the no-overlap worst case up front, so at most
-  /// one rehash occurs.
+  /// builder). Growth is left to the insert path: it only triggers on keys
+  /// actually new to this map (amortized one rehash), so folding a small
+  /// delta whose keys mostly overlap neither copies the big map nor
+  /// invalidates its canonical layout.
   void MergeAdd(const FlatMap64& other) {
-    Reserve(size() + other.size());
     other.ForEach([this](uint64_t key, uint64_t value) { (*this)[key] += value; });
+  }
+
+  /// \brief Rebuilds the probe array into the *canonical* layout: the layout
+  /// produced by reserving capacity for exactly the current entries and
+  /// inserting the non-zero keys in ascending order. Linear-probing layout is
+  /// otherwise a function of insertion/growth history, so two maps with equal
+  /// contents can freeze to different bytes; after Canonicalize the frozen
+  /// blob (and ForEach order) is a pure function of the content. This is the
+  /// determinism contract behind shard merging: any merge order canonicalizes
+  /// to bit-identical statistics.
+  void Canonicalize() {
+    if (canonical_) return;  // layout already a pure function of content
+    std::vector<Slot> pairs;
+    pairs.reserve(size_);
+    for (const Slot& s : slots_) {
+      if (s.key != 0) pairs.push_back(s);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Slot& a, const Slot& b) { return a.key < b.key; });
+    std::vector<Slot>().swap(slots_);
+    if (!pairs.empty()) {
+      const size_t cap = RequiredCapacity(pairs.size());
+      slots_.assign(cap, Slot{});
+      for (const Slot& s : pairs) {
+        size_t i = static_cast<size_t>(Mix64(s.key)) & (cap - 1);
+        while (slots_[i].key != 0) i = (i + 1) & (cap - 1);
+        slots_[i] = s;
+      }
+    }
+    canonical_ = true;
+  }
+
+  /// \brief Builds a map directly in the canonical layout from entries in
+  /// strictly ascending key order (key 0, if present, first — i.e. sorted).
+  /// This is the fast deserialization path: the serialized statistics wire
+  /// contract emits entries sorted, so loading skips the collect-and-sort
+  /// rebuild that Canonicalize() would otherwise pay. The sorted vector is
+  /// retained as a cache (see sorted_cache()) so a later serialization or
+  /// sorted merge skips the collect-and-sort as well. Order violations or
+  /// duplicates fail closed with Corruption.
+  ///
+  /// With `defer_hash` the probe array itself is not built: the map carries
+  /// only the sorted entries (plus size bookkeeping) until EnsureHashed().
+  /// This is the shard-reduction profile — deserialized statistics that are
+  /// merged and re-serialized but never probed skip the hash build, which
+  /// dominates deserialization cost. Point queries on a deferred map fail a
+  /// hard check rather than silently missing.
+  static Result<FlatMap64> FromSorted(std::vector<Slot>&& pairs,
+                                      bool defer_hash = false) {
+    uint64_t prev = 0;
+    const size_t start = (!pairs.empty() && pairs[0].key == 0) ? 1 : 0;
+    for (size_t idx = start; idx < pairs.size(); ++idx) {
+      if (pairs[idx].key == 0 || (idx > start && pairs[idx].key <= prev)) {
+        return Status::Corruption(
+            "map entries are not in strictly ascending key order");
+      }
+      prev = pairs[idx].key;
+    }
+    return FromSortedUnchecked(std::move(pairs), defer_hash);
+  }
+
+  static Result<FlatMap64> FromSorted(const Slot* pairs, size_t n) {
+    return FromSorted(std::vector<Slot>(pairs, pairs + n));
+  }
+
+  /// \brief Materializes the probe array of a hash-deferred map (no-op
+  /// otherwise). The sorted cache is dropped afterwards: once point queries
+  /// begin the cache has served its merge/serialize purpose, and keeping
+  /// both representations would double the footprint.
+  void EnsureHashed() {
+    if (!hash_deferred_) return;
+    hash_deferred_ = false;
+    const size_t start = has_zero_ ? 1 : 0;
+    const size_t m = sorted_.size() - start;
+    if (m > 0) {
+      const size_t cap = RequiredCapacity(m);
+      slots_.assign(cap, Slot{});
+      for (size_t idx = start; idx < sorted_.size(); ++idx) {
+        const Slot& s = sorted_[idx];
+        size_t i = static_cast<size_t>(Mix64(s.key)) & (cap - 1);
+        while (slots_[i].key != 0) i = (i + 1) & (cap - 1);
+        slots_[i] = s;
+      }
+    }
+    DropSortedCache();
+  }
+
+  bool hash_deferred() const { return hash_deferred_; }
+
+  /// \brief Merges two maps into a new canonical map, summing values on
+  /// overlapping keys. Runs as a sorted merge-join over both maps'
+  /// ascending-order entries (from the cache when available) followed by one
+  /// canonical rebuild — for large maps this is substantially cheaper than
+  /// MergeAdd + Canonicalize, which pays a hash probe per entry and then a
+  /// full collect-sort-reinsert pass over the merged result.
+  static FlatMap64 MergeSorted(const FlatMap64& a, const FlatMap64& b) {
+    std::vector<Slot> local_a, local_b;
+    const std::vector<Slot>* sa = a.sorted_cache();
+    if (sa == nullptr) {
+      local_a = a.CollectSorted();
+      sa = &local_a;
+    }
+    const std::vector<Slot>* sb = b.sorted_cache();
+    if (sb == nullptr) {
+      local_b = b.CollectSorted();
+      sb = &local_b;
+    }
+    std::vector<Slot> merged;
+    merged.reserve(sa->size() + sb->size());
+    size_t i = 0, j = 0;
+    while (i < sa->size() && j < sb->size()) {
+      const Slot& x = (*sa)[i];
+      const Slot& y = (*sb)[j];
+      if (x.key < y.key) {
+        merged.push_back(x);
+        ++i;
+      } else if (y.key < x.key) {
+        merged.push_back(y);
+        ++j;
+      } else {
+        merged.push_back(Slot{x.key, x.value + y.value});
+        ++i;
+        ++j;
+      }
+    }
+    merged.insert(merged.end(), sa->begin() + i, sa->end());
+    merged.insert(merged.end(), sb->begin() + j, sb->end());
+    // The merged map stays hash-deferred: reducers fold many shards, and
+    // only the final fold's consumer (if it queries at all) pays the build.
+    return FromSortedUnchecked(std::move(merged), /*defer_hash=*/true);
+  }
+
+  /// Entries in ascending key order (zero key, if present, first). Collected
+  /// from the probe array and sorted on every call; use sorted_cache() to
+  /// check for a precomputed copy first.
+  std::vector<Slot> CollectSorted() const {
+    std::vector<Slot> pairs;
+    pairs.reserve(size());
+    ForEach([&pairs](uint64_t k, uint64_t v) { pairs.push_back(Slot{k, v}); });
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Slot& a, const Slot& b) { return a.key < b.key; });
+    return pairs;
+  }
+
+  /// \brief Cached ascending-order entry array, or nullptr. Present on maps
+  /// built by FromSorted / MergeSorted that have not been mutated since;
+  /// invalidated by any operator[] access (the reference may be written
+  /// through). Lets serialization and sorted merges skip a collect-and-sort
+  /// pass over large dictionaries.
+  const std::vector<Slot>* sorted_cache() const {
+    return has_sorted_ ? &sorted_ : nullptr;
   }
 
   /// Drops all entries and releases the backing array.
@@ -116,6 +276,9 @@ class FlatMap64 {
     size_ = 0;
     has_zero_ = false;
     zero_value_ = 0;
+    canonical_ = true;  // the canonical empty map has no backing array
+    hash_deferred_ = false;
+    if (has_sorted_) DropSortedCache();
   }
 
   /// \brief Drops all entries but keeps the backing array for reuse — the
@@ -126,12 +289,16 @@ class FlatMap64 {
     size_ = 0;
     has_zero_ = false;
     zero_value_ = 0;
+    canonical_ = false;  // canonical empty has zero capacity, this keeps it
+    hash_deferred_ = false;
+    if (has_sorted_) DropSortedCache();
   }
 
   /// Visits every (key, value) pair. Order is the probe-array order: stable
   /// for a fixed insertion sequence, unspecified otherwise.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    AD_CHECK(!hash_deferred_);  // call EnsureHashed() before iteration
     if (has_zero_) fn(static_cast<uint64_t>(0), zero_value_);
     for (const Slot& s : slots_) {
       if (s.key != 0) fn(s.key, s.value);
@@ -146,6 +313,7 @@ class FlatMap64 {
   /// verbatim. The caller is responsible for placing the blob at an 8-byte
   /// aligned offset; FrozenView::FromBytes rejects misaligned input.
   void AppendFrozen(std::string* out) const {
+    AD_CHECK(!hash_deferred_);  // freezing stores the probe array verbatim
     uint64_t header[kFrozenHeaderWords] = {size_, has_zero_ ? 1u : 0u, zero_value_,
                                            slots_.size()};
     out->append(reinterpret_cast<const char*>(header), sizeof(header));
@@ -159,6 +327,42 @@ class FlatMap64 {
   static constexpr size_t kFrozenHeaderWords = 4;
   static constexpr size_t kMinCapacity = 16;
 
+  /// Canonical build from entries already known to be in strictly ascending
+  /// key order (zero key first). The vector is adopted as the sorted cache;
+  /// with `defer_hash` the probe array is left for EnsureHashed().
+  static FlatMap64 FromSortedUnchecked(std::vector<Slot>&& pairs,
+                                       bool defer_hash) {
+    FlatMap64 map;
+    size_t start = 0;
+    if (!pairs.empty() && pairs[0].key == 0) {
+      map.has_zero_ = true;
+      map.zero_value_ = pairs[0].value;
+      start = 1;
+    }
+    const size_t m = pairs.size() - start;
+    map.size_ = m;
+    if (m > 0 && !defer_hash) {
+      const size_t cap = RequiredCapacity(m);
+      map.slots_.assign(cap, Slot{});
+      for (size_t idx = start; idx < pairs.size(); ++idx) {
+        const Slot& s = pairs[idx];
+        size_t i = static_cast<size_t>(Mix64(s.key)) & (cap - 1);
+        while (map.slots_[i].key != 0) i = (i + 1) & (cap - 1);
+        map.slots_[i] = s;
+      }
+    }
+    map.hash_deferred_ = defer_hash && m > 0;
+    map.canonical_ = true;
+    map.sorted_ = std::move(pairs);
+    map.has_sorted_ = true;
+    return map;
+  }
+
+  void DropSortedCache() {
+    std::vector<Slot>().swap(sorted_);
+    has_sorted_ = false;
+  }
+
   /// Smallest power-of-two capacity keeping load factor <= 0.75 for n keys.
   static size_t RequiredCapacity(size_t n) {
     size_t cap = kMinCapacity;
@@ -171,6 +375,7 @@ class FlatMap64 {
   }
 
   void Rehash(size_t new_capacity) {
+    canonical_ = false;  // growth changes layout away from the canonical one
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_capacity, Slot{});
     for (const Slot& s : old) {
@@ -185,6 +390,19 @@ class FlatMap64 {
   size_t size_ = 0;  ///< non-zero keys stored in slots_
   bool has_zero_ = false;
   uint64_t zero_value_ = 0;
+  /// True when the probe-array layout is known to equal the canonical
+  /// rebuild (default-constructed maps are trivially canonical). Lets
+  /// Canonicalize() skip the collect-sort-reinsert pass on maps that were
+  /// deserialized via FromSorted or already canonicalized.
+  bool canonical_ = true;
+  /// Ascending-order entry cache (see sorted_cache()). Mirrors the content
+  /// exactly while has_sorted_ is set; dropped on any potential mutation.
+  std::vector<Slot> sorted_;
+  bool has_sorted_ = false;
+  /// True while the probe array has not been materialized from sorted_
+  /// (FromSorted with defer_hash, or MergeSorted). Point queries and
+  /// iteration hard-fail until EnsureHashed().
+  bool hash_deferred_ = false;
 };
 
 /// \brief Read-only view over a frozen FlatMap64 blob — typically bytes

@@ -268,8 +268,9 @@ Result<Model> Model::LoadV2(const std::string& path) {
   uint32_t version;
   std::memcpy(&version, base + 8, 4);
   if (version != kV2Version && version != kV3Version) {
-    return Status::Corruption(
-        StrFormat("unsupported ADMODEL2 version %u in %s", version, path.c_str()));
+    return Status::Corruption(StrFormat(
+        "ADMODEL2 version mismatch in %s (header): expected %u or %u, found %u",
+        path.c_str(), kV2Version, kV3Version, version));
   }
   const bool has_skch = version == kV3Version;
   const size_t header_bytes = has_skch ? kV3HeaderBytes : kV2HeaderBytes;

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -52,43 +53,131 @@ bool ShouldSketch(const LanguageStats& stats, double ratio,
 
 }  // namespace
 
-Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
-                                               TrainOptions options) {
-  options.calibration.precision_target = options.precision_target;
-  options.calibration.smoothing_factor = options.smoothing_factor;
-  // options.supervision.smoothing_factor is intentionally NOT tied to the
+TrainSession::TrainSession(TrainOptions options) : options_(std::move(options)) {
+  options_.calibration.precision_target = options_.precision_target;
+  options_.calibration.smoothing_factor = options_.smoothing_factor;
+  // options_.supervision.smoothing_factor is intentionally NOT tied to the
   // detection smoothing factor — distant supervision prunes with unsmoothed
   // crude-G NPMI (see DistantSupervisionOptions::smoothing_factor).
+}
 
-  TrainingPipeline pipeline;
+Result<StatsShard> TrainSession::BuildShard(ColumnSource* partition,
+                                            const TrainOptions& options,
+                                            ShardProvenance provenance) {
   MetricsRegistry* registry = OrDefaultRegistry(options.stats.metrics);
+  StatsShard shard;
+  {
+    TraceSpan span(registry, "train.stage.stats_build_us");
+    partition->Reset();
+    shard.stats = BuildCorpusStats(partition, options.stats);
+  }
+  shard.stats.Canonicalize();
+  shard.options_digest = StatsOptionsDigest(options.stats);
+  shard.provenance = std::move(provenance);
 
-  // Stage 1: statistics for all candidate languages.
+  const std::vector<int> ids = shard.stats.LanguageIds();
+  AD_CHECK(!ids.empty());
+  const uint64_t ingested = shard.stats.ForLanguage(ids[0]).num_columns();
+  if (ingested == 0) return Status::Invalid("shard partition is empty");
+  if (shard.provenance.column_end == shard.provenance.column_begin) {
+    shard.provenance.column_end = shard.provenance.column_begin + ingested;
+  }
+  if (shard.provenance.num_columns() != ingested) {
+    return Status::Invalid(StrFormat(
+        "shard provenance declares %llu columns but the partition yielded %llu",
+        static_cast<unsigned long long>(shard.provenance.num_columns()),
+        static_cast<unsigned long long>(ingested)));
+  }
+  if (shard.provenance.total_columns < shard.provenance.column_end) {
+    shard.provenance.total_columns = shard.provenance.column_end;
+  }
+  return shard;
+}
+
+Status TrainSession::AdoptStats() {
+  std::vector<int> candidate_ids = stats_.LanguageIds();
+  AD_CHECK(!candidate_ids.empty());
+  corpus_columns_ = stats_.ForLanguage(candidate_ids[0]).num_columns();
+  if (corpus_columns_ == 0) {
+    return Status::Invalid("training corpus is empty");
+  }
+  has_stats_ = true;
+  // Any prior supervision calibrated against the old counts.
+  supervised_ = false;
+  training_set_ = TrainingSet{};
+  lang_ids_.clear();
+  calibrations_.clear();
+  return Status::OK();
+}
+
+Status TrainSession::BuildStats(ColumnSource* source) {
+  MetricsRegistry* registry = OrDefaultRegistry(options_.stats.metrics);
   {
     TraceSpan span(registry, "train.stage.stats_build_us");
     source->Reset();
-    pipeline.stats_ = BuildCorpusStats(source, options.stats);
+    stats_ = BuildCorpusStats(source, options_.stats);
   }
+  stats_.Canonicalize();
+  AD_RETURN_NOT_OK(AdoptStats());
+  provenance_ = ShardProvenance{};
+  provenance_.corpus_name = options_.corpus_name;
+  provenance_.total_columns = corpus_columns_;
+  provenance_.column_end = corpus_columns_;
+  return Status::OK();
+}
 
-  std::vector<int> candidate_ids = pipeline.stats_.LanguageIds();
-  AD_CHECK(!candidate_ids.empty());
-  pipeline.corpus_columns_ =
-      pipeline.stats_.ForLanguage(candidate_ids[0]).num_columns();
-  if (pipeline.corpus_columns_ == 0) {
-    return Status::Invalid("training corpus is empty");
+Status TrainSession::UseStats(StatsShard shard) {
+  const uint64_t expected = StatsOptionsDigest(options_.stats);
+  if (shard.options_digest != 0 && shard.options_digest != expected) {
+    return Status::Invalid(StrFormat(
+        "statistics were built under different options than this session's "
+        "(digest %016llx, session %016llx)",
+        static_cast<unsigned long long>(shard.options_digest),
+        static_cast<unsigned long long>(expected)));
   }
+  stats_ = std::move(shard.stats);
+  // Adopted statistics may come straight from an artifact round-trip;
+  // canonical layout is the session invariant every later stage relies on.
+  stats_.Canonicalize();
+  provenance_ = std::move(shard.provenance);
+  return AdoptStats();
+}
 
-  // Stage 2: distant supervision, using crude-G statistics. If crude G was
-  // not among the candidates, build it on a dedicated pass.
+Status TrainSession::AddShards(std::vector<StatsShard> shards) {
+  if (!has_stats_) {
+    return Status::Invalid("AddShards needs adopted statistics (UseStats/BuildStats)");
+  }
+  StatsShard current;
+  current.provenance = std::move(provenance_);
+  current.options_digest = StatsOptionsDigest(options_.stats);
+  current.stats = std::move(stats_);
+  shards.push_back(std::move(current));
+  AD_ASSIGN_OR_RETURN(StatsShard merged, MergeShards(std::move(shards)));
+  stats_ = std::move(merged.stats);
+  provenance_ = std::move(merged.provenance);
+  return AdoptStats();
+}
+
+Status TrainSession::Supervise(ColumnSource* source) {
+  if (!has_stats_) {
+    return Status::Invalid("Supervise needs adopted statistics (UseStats/BuildStats)");
+  }
+  // First point-query stage: statistics adopted from artifacts (UseStats /
+  // AddShards) arrive hash-deferred; supervision and calibration probe them.
+  stats_.EnsureHashed();
+  MetricsRegistry* registry = OrDefaultRegistry(options_.stats.metrics);
+
+  // Distant supervision uses crude-G statistics. If crude G was not among
+  // the candidates, build it on a dedicated pass.
   int crude_id = LanguageSpace::IdOf(LanguageSpace::CrudeG());
   CorpusStats crude_holder;
   const LanguageStats* crude_stats = nullptr;
   {
     TraceSpan span(registry, "train.stage.supervision_us");
-    if (pipeline.stats_.Has(crude_id)) {
-      crude_stats = &pipeline.stats_.ForLanguage(crude_id);
+    if (stats_.Has(crude_id)) {
+      crude_stats = &stats_.ForLanguage(crude_id);
     } else {
-      StatsBuilderOptions crude_opts = options.stats;
+      StatsBuilderOptions crude_opts = options_.stats;
       crude_opts.language_ids = {crude_id};
       source->Reset();
       crude_holder = BuildCorpusStats(source, crude_opts);
@@ -96,39 +185,40 @@ Result<TrainingPipeline> TrainingPipeline::Run(ColumnSource* source,
     }
     source->Reset();
     AD_ASSIGN_OR_RETURN(
-        pipeline.training_set_,
-        GenerateTrainingSet(source, *crude_stats, options.supervision));
+        training_set_,
+        GenerateTrainingSet(source, *crude_stats, options_.supervision));
   }
 
-  // Stage 3: calibrate every candidate (parallel). The training set is
-  // pre-keyed once under every candidate language via the shared-
-  // tokenization kernel; per-language workers then score from keys alone
-  // instead of re-generalizing every pair 144 times.
-  pipeline.lang_ids_ = candidate_ids;
-  pipeline.calibrations_.resize(candidate_ids.size());
+  // Calibrate every candidate (parallel). The training set is pre-keyed
+  // once under every candidate language via the shared-tokenization kernel;
+  // per-language workers then score from keys alone instead of
+  // re-generalizing every pair 144 times.
+  lang_ids_ = stats_.LanguageIds();
+  calibrations_.assign(lang_ids_.size(), CalibrationResult{});
   {
     TraceSpan span(registry, "train.stage.calibration_us");
-    PreKeyedTrainingSet prekeyed(pipeline.training_set_, candidate_ids,
-                                 options.stats.generalize_options);
-    ThreadPool::ParallelFor(candidate_ids.size(), options.num_threads, [&](size_t i) {
-      pipeline.calibrations_[i] =
-          CalibrateLanguage(i, pipeline.stats_.ForLanguage(candidate_ids[i]),
-                            prekeyed, options.calibration);
+    PreKeyedTrainingSet prekeyed(training_set_, lang_ids_,
+                                 options_.stats.generalize_options);
+    ThreadPool::ParallelFor(lang_ids_.size(), options_.num_threads, [&](size_t i) {
+      calibrations_[i] = CalibrateLanguage(i, stats_.ForLanguage(lang_ids_[i]),
+                                           prekeyed, options_.calibration);
     });
   }
-
-  pipeline.options_ = std::move(options);
-  return pipeline;
+  supervised_ = true;
+  return Status::OK();
 }
 
-Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
-                                           double sketch_ratio) const {
-  return BuildModel(memory_budget_bytes, sketch_ratio, /*sketch_budget_bytes=*/0);
+Result<Model> TrainSession::Finalize(size_t memory_budget_bytes,
+                                     double sketch_ratio) const {
+  return Finalize(memory_budget_bytes, sketch_ratio, /*sketch_budget_bytes=*/0);
 }
 
-Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
-                                           double sketch_ratio,
-                                           size_t sketch_budget_bytes) const {
+Result<Model> TrainSession::Finalize(size_t memory_budget_bytes,
+                                     double sketch_ratio,
+                                     size_t sketch_budget_bytes) const {
+  if (!supervised_) {
+    return Status::Invalid("Finalize needs supervision (run Supervise first)");
+  }
   if (sketch_ratio <= 0.0 || sketch_ratio > 1.0) {
     return Status::Invalid("sketch_ratio must be in (0, 1]");
   }
@@ -144,7 +234,7 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
   // saves). Fixed ensemble, shrinking bytes — the shape of the paper's
   // Fig. 8(a) experiment.
   std::vector<LanguageCandidate> candidates;
-  std::vector<size_t> candidate_to_pipeline;
+  std::vector<size_t> candidate_to_session;
   for (size_t i = 0; i < lang_ids_.size(); ++i) {
     const CalibrationResult& cal = calibrations_[i];
     if (!cal.has_threshold || cal.covered_count == 0) continue;
@@ -153,7 +243,7 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
     c.size_bytes = stats_.ForLanguage(lang_ids_[i]).MemoryBytes();
     c.covered = cal.covered_negatives;
     candidates.push_back(std::move(c));
-    candidate_to_pipeline.push_back(i);
+    candidate_to_session.push_back(i);
   }
   if (candidates.empty()) {
     return Status::Invalid(
@@ -173,7 +263,7 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
   model.trained_columns = corpus_columns_;
 
   for (size_t pick : selection.selected) {
-    size_t pi = candidate_to_pipeline[pick];
+    size_t pi = candidate_to_session[pick];
     const CalibrationResult& cal = calibrations_[pi];
     ModelLanguage ml;
     ml.lang_id = lang_ids_[pi];
@@ -202,12 +292,12 @@ Result<Model> TrainingPipeline::BuildModel(size_t memory_budget_bytes,
   return model;
 }
 
-Result<Model> TrainingPipeline::BuildModel() const {
-  return BuildModel(options_.memory_budget_bytes, options_.sketch_ratio,
-                    options_.sketch_budget_bytes);
+Result<Model> TrainSession::Finalize() const {
+  return Finalize(options_.memory_budget_bytes, options_.sketch_ratio,
+                  options_.sketch_budget_bytes);
 }
 
-void TrainingPipeline::RecalibrateInPlace(double smoothing_factor) {
+void TrainSession::RecalibrateInPlace(double smoothing_factor) {
   options_.smoothing_factor = smoothing_factor;
   options_.calibration.smoothing_factor = smoothing_factor;
   PreKeyedTrainingSet prekeyed(training_set_, lang_ids_,
@@ -219,7 +309,11 @@ void TrainingPipeline::RecalibrateInPlace(double smoothing_factor) {
 }
 
 namespace {
-constexpr char kPipelineMagic[] = "ADPIPE1";
+/// Version 2 appends the shard provenance; version 1 checkpoints predate
+/// sharded training and are rejected with an expected-vs-found error
+/// rather than half-read.
+constexpr char kSessionMagic[] = "ADPIPE2";
+constexpr char kSessionMagicV1[] = "ADPIPE1";
 
 void SerializeBitset(const DynamicBitset& b, BinaryWriter* w) {
   w->WriteU64(b.size());
@@ -241,16 +335,22 @@ Result<DynamicBitset> DeserializeBitset(BinaryReader* r) {
 }
 }  // namespace
 
-Status TrainingPipeline::Save(const std::string& path) const {
+Status TrainSession::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   BinaryWriter w(&out);
-  w.WriteString(kPipelineMagic);
+  w.WriteString(kSessionMagic);
   w.WriteDouble(options_.precision_target);
   w.WriteDouble(options_.smoothing_factor);
   w.WriteDouble(options_.calibration.max_threshold);
   w.WriteString(options_.corpus_name);
   w.WriteU64(corpus_columns_);
+  w.WriteString(provenance_.corpus_name);
+  w.WriteString(provenance_.profile);
+  w.WriteU64(provenance_.seed);
+  w.WriteU64(provenance_.total_columns);
+  w.WriteU64(provenance_.column_begin);
+  w.WriteU64(provenance_.column_end);
   stats_.Serialize(&w);
   w.WriteU64(training_set_.positives.size());
   for (const auto& p : training_set_.positives) {
@@ -276,42 +376,58 @@ Status TrainingPipeline::Save(const std::string& path) const {
   return w.status().WithContext("writing " + path);
 }
 
-Result<TrainingPipeline> TrainingPipeline::Load(const std::string& path) {
+Result<TrainSession> TrainSession::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   BinaryReader r(&in);
   AD_ASSIGN_OR_RETURN(std::string magic, r.ReadString(16));
-  if (magic != kPipelineMagic) {
-    return Status::Corruption("not an Auto-Detect pipeline checkpoint");
+  if (magic == kSessionMagicV1) {
+    return Status::Corruption(StrFormat(
+        "%s: header section: unsupported checkpoint version: expected %s, "
+        "found %s (retrain to regenerate)",
+        path.c_str(), kSessionMagic, kSessionMagicV1));
   }
-  TrainingPipeline p;
-  AD_ASSIGN_OR_RETURN(p.options_.precision_target, r.ReadDouble());
-  AD_ASSIGN_OR_RETURN(p.options_.smoothing_factor, r.ReadDouble());
-  AD_ASSIGN_OR_RETURN(p.options_.calibration.max_threshold, r.ReadDouble());
-  p.options_.calibration.precision_target = p.options_.precision_target;
-  p.options_.calibration.smoothing_factor = p.options_.smoothing_factor;
-  AD_ASSIGN_OR_RETURN(p.options_.corpus_name, r.ReadString());
-  AD_ASSIGN_OR_RETURN(p.corpus_columns_, r.ReadU64());
-  AD_ASSIGN_OR_RETURN(p.stats_, CorpusStats::Deserialize(&r));
+  if (magic != kSessionMagic) {
+    return Status::Corruption("not an Auto-Detect training checkpoint: " + path);
+  }
+  TrainSession s;
+  AD_ASSIGN_OR_RETURN(s.options_.precision_target, r.ReadDouble());
+  AD_ASSIGN_OR_RETURN(s.options_.smoothing_factor, r.ReadDouble());
+  AD_ASSIGN_OR_RETURN(s.options_.calibration.max_threshold, r.ReadDouble());
+  s.options_.calibration.precision_target = s.options_.precision_target;
+  s.options_.calibration.smoothing_factor = s.options_.smoothing_factor;
+  AD_ASSIGN_OR_RETURN(s.options_.corpus_name, r.ReadString());
+  AD_ASSIGN_OR_RETURN(s.corpus_columns_, r.ReadU64());
+  AD_ASSIGN_OR_RETURN(s.provenance_.corpus_name, r.ReadString());
+  AD_ASSIGN_OR_RETURN(s.provenance_.profile, r.ReadString());
+  AD_ASSIGN_OR_RETURN(s.provenance_.seed, r.ReadU64());
+  AD_ASSIGN_OR_RETURN(s.provenance_.total_columns, r.ReadU64());
+  AD_ASSIGN_OR_RETURN(s.provenance_.column_begin, r.ReadU64());
+  AD_ASSIGN_OR_RETURN(s.provenance_.column_end, r.ReadU64());
+  AD_ASSIGN_OR_RETURN(s.stats_, CorpusStats::Deserialize(&r));
+  // A loaded checkpoint may already be supervised, making Finalize (const)
+  // legal immediately — materialize the hash-deferred dictionaries now.
+  s.stats_.EnsureHashed();
+  s.stats_.Canonicalize();
   AD_ASSIGN_OR_RETURN(uint64_t n_pos, r.ReadU64());
   if (n_pos > (1ull << 30)) return Status::Corruption("implausible positive count");
-  p.training_set_.positives.reserve(static_cast<size_t>(n_pos));
+  s.training_set_.positives.reserve(static_cast<size_t>(n_pos));
   for (uint64_t i = 0; i < n_pos; ++i) {
     LabeledPair pair;
     pair.compatible = true;
     AD_ASSIGN_OR_RETURN(pair.u, r.ReadString());
     AD_ASSIGN_OR_RETURN(pair.v, r.ReadString());
-    p.training_set_.positives.push_back(std::move(pair));
+    s.training_set_.positives.push_back(std::move(pair));
   }
   AD_ASSIGN_OR_RETURN(uint64_t n_neg, r.ReadU64());
   if (n_neg > (1ull << 30)) return Status::Corruption("implausible negative count");
-  p.training_set_.negatives.reserve(static_cast<size_t>(n_neg));
+  s.training_set_.negatives.reserve(static_cast<size_t>(n_neg));
   for (uint64_t i = 0; i < n_neg; ++i) {
     LabeledPair pair;
     pair.compatible = false;
     AD_ASSIGN_OR_RETURN(pair.u, r.ReadString());
     AD_ASSIGN_OR_RETURN(pair.v, r.ReadString());
-    p.training_set_.negatives.push_back(std::move(pair));
+    s.training_set_.negatives.push_back(std::move(pair));
   }
   AD_ASSIGN_OR_RETURN(uint64_t n_langs, r.ReadU64());
   if (n_langs > static_cast<uint64_t>(LanguageSpace::kNumLanguages)) {
@@ -322,7 +438,7 @@ Result<TrainingPipeline> TrainingPipeline::Load(const std::string& path) {
     if (id >= static_cast<uint32_t>(LanguageSpace::kNumLanguages)) {
       return Status::Corruption("language id out of range");
     }
-    p.lang_ids_.push_back(static_cast<int>(id));
+    s.lang_ids_.push_back(static_cast<int>(id));
     CalibrationResult cal;
     AD_ASSIGN_OR_RETURN(uint8_t has, r.ReadU8());
     cal.has_threshold = has != 0;
@@ -331,15 +447,18 @@ Result<TrainingPipeline> TrainingPipeline::Load(const std::string& path) {
     AD_ASSIGN_OR_RETURN(cal.covered_count, r.ReadU64());
     AD_ASSIGN_OR_RETURN(cal.covered_negatives, DeserializeBitset(&r));
     AD_ASSIGN_OR_RETURN(cal.curve, PrecisionCurve::Deserialize(&r));
-    p.calibrations_.push_back(std::move(cal));
+    s.calibrations_.push_back(std::move(cal));
   }
-  return p;
+  s.has_stats_ = true;
+  s.supervised_ = true;
+  return s;
 }
 
 Result<Model> TrainModel(ColumnSource* source, const TrainOptions& options) {
-  AD_ASSIGN_OR_RETURN(TrainingPipeline pipeline,
-                      TrainingPipeline::Run(source, options));
-  return pipeline.BuildModel();
+  TrainSession session(options);
+  AD_RETURN_NOT_OK(session.BuildStats(source));
+  AD_RETURN_NOT_OK(session.Supervise(source));
+  return session.Finalize();
 }
 
 }  // namespace autodetect

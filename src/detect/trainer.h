@@ -10,14 +10,31 @@
 #include "train/calibration.h"
 #include "train/distant_supervision.h"
 #include "train/selection.h"
+#include "train/shard.h"
 
 /// \file trainer.h
-/// Offline training orchestration: corpus statistics → distant supervision
-/// → per-language calibration → budgeted language selection → Model.
+/// Offline training as a staged session. Statistics building is the only
+/// stage that must see every corpus column with every candidate language,
+/// so it is split out as a map/reduce surface over ADSHARD1 artifacts
+/// (train/shard.h); supervision + calibration and budget-dependent
+/// selection are separate stages that can re-run against adopted
+/// statistics. The stages:
 ///
-/// The intermediate `TrainingPipeline` is exposed so ablation benches can
-/// re-run only the cheap final stage under different memory budgets or
-/// sketch ratios (paper Figs. 7 and 8a) without re-scanning the corpus.
+///   map      TrainSession::BuildShard(partition)      one worker per slice
+///   reduce   MergeShards / MergeShardFiles            any order, same bits
+///   adopt    session.UseStats(shard)                  or BuildStats(source)
+///            session.AddShards(new_shards)            delta refresh
+///   finalize session.Supervise(source)                supervision+calibration
+///            session.Finalize(budget, sketch...)      selection -> Model
+///
+/// `TrainModel` remains as the thin one-shot adapter over the same stages.
+/// Determinism contract: a model finalized from N merged shards is
+/// byte-identical to the one-shot model, for any shard order — statistics
+/// are canonicalized (FlatMap64::Canonicalize) at every adoption point, and
+/// every later stage is a pure function of those statistics and the column
+/// stream. The session also checkpoints (Save/Load) so re-selection under
+/// new budgets or sketch ratios never re-scans the corpus — ablation
+/// benches re-run only the cheap final stage (paper Figs. 7 and 8a).
 
 namespace autodetect {
 
@@ -48,21 +65,55 @@ struct TrainOptions {
   size_t num_threads = 0;
 };
 
-/// \brief Everything computed before budget-dependent selection.
-class TrainingPipeline {
+/// \brief A staged training run. Construct with options, feed it statistics
+/// (built in-process or adopted from shards), run supervision, finalize
+/// into as many models as needed.
+class TrainSession {
  public:
-  /// \brief Runs stats building, supervision and calibration. `source` is
-  /// streamed twice (stats, then supervision) via Reset().
-  static Result<TrainingPipeline> Run(ColumnSource* source, TrainOptions options);
+  TrainSession() = default;
+  explicit TrainSession(TrainOptions options);
+
+  /// \brief The map stage: streams `partition` once and returns a
+  /// canonicalized statistics shard for it. Stateless — workers call this
+  /// independently and persist the result via WriteShard. `provenance`
+  /// records which column slice of which corpus this is; MergeShards
+  /// enforces compatibility from it.
+  static Result<StatsShard> BuildShard(ColumnSource* partition,
+                                       const TrainOptions& options,
+                                       ShardProvenance provenance);
+
+  /// \brief One-shot statistics: streams `source` (after Reset) through
+  /// BuildCorpusStats and adopts the canonicalized result. Equivalent to
+  /// BuildShard over the whole corpus + UseStats.
+  Status BuildStats(ColumnSource* source);
+
+  /// \brief Adopts previously built statistics (typically the output of
+  /// MergeShards / MergeShardFiles). Rejects a shard whose options digest
+  /// does not match this session's statistics options — counts built under
+  /// different options are incomparable. Invalidates any prior supervision.
+  Status UseStats(StatsShard shard);
+
+  /// \brief The delta path: folds new shards into the adopted statistics
+  /// (same merge contract as MergeShards — the combined ranges must tile
+  /// one contiguous range). Supervision must be re-run afterwards; the
+  /// statistics pass over the OLD columns is what this saves.
+  Status AddShards(std::vector<StatsShard> shards);
+
+  /// \brief Distant supervision + per-language calibration against the
+  /// adopted statistics. `source` must stream the FULL corpus the
+  /// statistics cover (it is Reset first). Calibration pre-keys the
+  /// training set once under every candidate (PreKeyedTrainingSet) and
+  /// calibrates candidates in parallel.
+  Status Supervise(ColumnSource* source);
 
   /// \brief Selects languages under `memory_budget_bytes`/`sketch_ratio`/
   /// `sketch_budget_bytes` (overriding the option defaults) and assembles a
   /// Model. The knapsack prices sketched candidates at the exact bytes the
   /// compressor will allocate (see CountMinSketch::PlannedBytes).
-  Result<Model> BuildModel(size_t memory_budget_bytes, double sketch_ratio,
-                           size_t sketch_budget_bytes) const;
-  Result<Model> BuildModel(size_t memory_budget_bytes, double sketch_ratio) const;
-  Result<Model> BuildModel() const;
+  Result<Model> Finalize(size_t memory_budget_bytes, double sketch_ratio,
+                         size_t sketch_budget_bytes) const;
+  Result<Model> Finalize(size_t memory_budget_bytes, double sketch_ratio) const;
+  Result<Model> Finalize() const;
 
   /// \brief Re-runs only the calibration stage with a different smoothing
   /// factor, in place (stats and training set are reused, not copied — the
@@ -71,32 +122,42 @@ class TrainingPipeline {
   /// on f, so a fair sweep recalibrates rather than just re-scoring.
   void RecalibrateInPlace(double smoothing_factor);
 
-  /// \brief Checkpoints the pipeline (statistics for every candidate
+  /// \brief Checkpoints the session (statistics for every candidate
   /// language, training set, calibrations) so later processes can re-select
   /// under different budgets/sketch ratios without re-scanning the corpus.
   /// Only budget-independent state is stored; options revert to defaults
   /// except the calibration-relevant ones.
   Status Save(const std::string& path) const;
-  static Result<TrainingPipeline> Load(const std::string& path);
+  static Result<TrainSession> Load(const std::string& path);
+
+  bool has_stats() const { return has_stats_; }
+  bool supervised() const { return supervised_; }
 
   const TrainOptions& options() const { return options_; }
   const CorpusStats& stats() const { return stats_; }
+  const ShardProvenance& provenance() const { return provenance_; }
   const TrainingSet& training_set() const { return training_set_; }
   const std::vector<int>& lang_ids() const { return lang_ids_; }
   const std::vector<CalibrationResult>& calibrations() const { return calibrations_; }
   uint64_t corpus_columns() const { return corpus_columns_; }
 
  private:
+  /// Post-adoption bookkeeping shared by BuildStats/UseStats/AddShards.
+  Status AdoptStats();
+
   TrainOptions options_;
   CorpusStats stats_;
+  ShardProvenance provenance_;
   TrainingSet training_set_;
   std::vector<int> lang_ids_;  ///< calibrated candidates, aligned with below
   std::vector<CalibrationResult> calibrations_;
   uint64_t corpus_columns_ = 0;
+  bool has_stats_ = false;
+  bool supervised_ = false;
 };
 
-/// \brief One-call convenience: pipeline + model assembly with the options'
-/// budget and sketch ratio.
+/// \brief One-call convenience over the staged session: BuildStats +
+/// Supervise + Finalize with the options' budget and sketch ratio.
 Result<Model> TrainModel(ColumnSource* source, const TrainOptions& options);
 
 }  // namespace autodetect

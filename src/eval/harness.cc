@@ -58,7 +58,10 @@ Result<Model> TrainOrLoadModel(const HarnessConfig& config) {
   GeneratedColumnSource source = MakeTrainingSource(config);
   TrainOptions train = config.train;
   train.corpus_name = config.train_profile.name + "-synthetic";
-  AD_ASSIGN_OR_RETURN(Model model, TrainModel(&source, train));
+  TrainSession session(train);
+  AD_RETURN_NOT_OK(session.BuildStats(&source));
+  AD_RETURN_NOT_OK(session.Supervise(&source));
+  AD_ASSIGN_OR_RETURN(Model model, session.Finalize());
   AD_RETURN_NOT_OK(model.Save(path));
   return model;
 }

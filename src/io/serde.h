@@ -103,6 +103,10 @@ class BinaryReader {
   /// \param max_len guards against corrupt length prefixes.
   Result<std::string> ReadString(size_t max_len = 1 << 20);
 
+  /// \brief Reads `n` raw bytes verbatim (no length prefix) — the bulk
+  /// counterpart of BinaryWriter::WriteRaw.
+  Status ReadRaw(void* data, size_t n) { return ReadBytes(data, n); }
+
   /// Bytes consumed so far. Deserializers fold this into their own
   /// Corruption messages so a bad section is locatable in the file.
   size_t offset() const { return offset_; }

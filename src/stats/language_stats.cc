@@ -131,25 +131,101 @@ void LanguageStats::Merge(const LanguageStats& other) {
   co_counts_.MergeAdd(other.co_counts_);
 }
 
+void LanguageStats::MergeCanonical(const LanguageStats& other) {
+  AD_CHECK(!frozen_ && !other.frozen_);
+  AD_CHECK(!uses_sketch() && !other.uses_sketch());
+  num_columns_ += other.num_columns_;
+  counts_ = FlatMap64::MergeSorted(counts_, other.counts_);
+  co_counts_ = FlatMap64::MergeSorted(co_counts_, other.co_counts_);
+}
+
+void LanguageStats::Canonicalize() {
+  AD_CHECK(!frozen_ && !uses_sketch());
+  counts_.Canonicalize();
+  co_counts_.Canonicalize();
+}
+
+namespace {
+
+/// Serialized dictionaries are written in ascending key order — the wire
+/// contract that lets Deserialize rebuild the canonical probe layout
+/// directly (FlatMap64::FromSorted) instead of replaying inserts and
+/// re-sorting afterwards.
+///
+/// A Slot is two explicit-width little-endian words, so on the (assumed)
+/// little-endian host the slot array's in-memory bytes ARE the wire
+/// encoding — entries move with one bulk read/write instead of two calls
+/// per entry. The frozen-map format (AppendFrozen) bakes in the same
+/// assumption.
+void WriteSortedSlots(BinaryWriter* writer,
+                      const std::vector<FlatMap64::Slot>& entries) {
+  writer->WriteU64(entries.size());
+  if (!entries.empty()) {
+    writer->WriteRaw(entries.data(), entries.size() * sizeof(FlatMap64::Slot));
+  }
+}
+
+void WriteSortedMap(BinaryWriter* writer, const FlatMap64& map) {
+  if (const std::vector<FlatMap64::Slot>* cached = map.sorted_cache()) {
+    WriteSortedSlots(writer, *cached);
+  } else {
+    WriteSortedSlots(writer, map.CollectSorted());
+  }
+}
+
+template <typename ForEachFn>
+void WriteSortedEntries(BinaryWriter* writer, size_t n, ForEachFn&& for_each) {
+  std::vector<FlatMap64::Slot> entries;
+  entries.reserve(n);
+  for_each([&](uint64_t k, uint64_t v) {
+    entries.push_back(FlatMap64::Slot{k, v});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const FlatMap64::Slot& a, const FlatMap64::Slot& b) {
+              return a.key < b.key;
+            });
+  WriteSortedSlots(writer, entries);
+}
+
+Result<FlatMap64> ReadSortedEntries(BinaryReader* reader, bool defer_hash) {
+  AD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  std::vector<FlatMap64::Slot> entries;
+  // Read in bounded chunks so a corrupt length fails at the first
+  // out-of-bounds read instead of a huge upfront allocation.
+  constexpr uint64_t kChunkSlots = 1 << 16;
+  while (entries.size() < n) {
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(kChunkSlots, n - entries.size()));
+    const size_t old = entries.size();
+    entries.resize(old + take);
+    Status read = reader->ReadRaw(entries.data() + old,
+                                  take * sizeof(FlatMap64::Slot));
+    if (!read.ok()) return read;
+  }
+  return FlatMap64::FromSorted(std::move(entries), defer_hash);
+}
+
+}  // namespace
+
 void LanguageStats::Serialize(BinaryWriter* writer) const {
   writer->WriteU64(num_columns_);
-  writer->WriteU64(NumPatterns());
-  ForEachCount([&](uint64_t k, uint64_t v) {
-    writer->WriteU64(k);
-    writer->WriteU64(v);
-  });
+  if (frozen_) {
+    WriteSortedEntries(writer, NumPatterns(),
+                       [&](auto&& fn) { counts_view_.ForEach(fn); });
+  } else {
+    WriteSortedMap(writer, counts_);
+  }
   writer->WriteU8(uses_sketch() ? 1 : 0);
   if (sketch_.has_value()) {
     sketch_->Serialize(writer);
   } else if (sketch_external_) {
     // ADMODEL1 has no external section; embed a thawed copy.
     sketch_view_.Thaw().Serialize(writer);
+  } else if (frozen_) {
+    WriteSortedEntries(writer, NumCoPairs(),
+                       [&](auto&& fn) { co_view_.ForEach(fn); });
   } else {
-    writer->WriteU64(NumCoPairs());
-    ForEachCoCount([&](uint64_t k, uint64_t v) {
-      writer->WriteU64(k);
-      writer->WriteU64(v);
-    });
+    WriteSortedMap(writer, co_counts_);
   }
 }
 
@@ -245,30 +321,25 @@ Result<LanguageStats> LanguageStats::FromFrozen(const void* data, size_t len) {
   return stats;
 }
 
-Result<LanguageStats> LanguageStats::Deserialize(BinaryReader* reader) {
+Result<LanguageStats> LanguageStats::Deserialize(BinaryReader* reader,
+                                                 bool defer_hash) {
   LanguageStats stats;
   AD_ASSIGN_OR_RETURN(stats.num_columns_, reader->ReadU64());
-  AD_ASSIGN_OR_RETURN(uint64_t n_counts, reader->ReadU64());
-  stats.counts_.Reserve(static_cast<size_t>(n_counts));
-  for (uint64_t i = 0; i < n_counts; ++i) {
-    AD_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
-    AD_ASSIGN_OR_RETURN(uint64_t v, reader->ReadU64());
-    stats.counts_[k] = v;
-  }
+  AD_ASSIGN_OR_RETURN(stats.counts_, ReadSortedEntries(reader, defer_hash));
   AD_ASSIGN_OR_RETURN(uint8_t has_sketch, reader->ReadU8());
   if (has_sketch) {
     AD_ASSIGN_OR_RETURN(CountMinSketch sketch, CountMinSketch::Deserialize(reader));
     stats.sketch_ = std::move(sketch);
   } else {
-    AD_ASSIGN_OR_RETURN(uint64_t n_pairs, reader->ReadU64());
-    stats.co_counts_.Reserve(static_cast<size_t>(n_pairs));
-    for (uint64_t i = 0; i < n_pairs; ++i) {
-      AD_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
-      AD_ASSIGN_OR_RETURN(uint64_t v, reader->ReadU64());
-      stats.co_counts_[k] = v;
-    }
+    AD_ASSIGN_OR_RETURN(stats.co_counts_, ReadSortedEntries(reader, defer_hash));
   }
   return stats;
+}
+
+void LanguageStats::EnsureHashed() {
+  AD_CHECK(!frozen_);
+  counts_.EnsureHashed();
+  co_counts_.EnsureHashed();
 }
 
 }  // namespace autodetect

@@ -103,8 +103,35 @@ class LanguageStats {
   /// \brief Merges another shard built over a disjoint set of columns.
   void Merge(const LanguageStats& other);
 
+  /// \brief Merge that lands directly in the canonical layout: a sorted
+  /// merge-join over both sides' dictionaries (FlatMap64::MergeSorted)
+  /// replaces Merge + Canonicalize. Equivalent result, but large merges skip
+  /// the per-entry hash probes and the full collect-sort-reinsert rebuild —
+  /// this is the shard-reduction path, where the big side was just
+  /// deserialized and its sorted entry arrays are still cached. Only valid
+  /// on owned, exact (unsketched) stats.
+  void MergeCanonical(const LanguageStats& other);
+
+  /// \brief Rebuilds both dictionaries into the canonical probe layout
+  /// (FlatMap64::Canonicalize), making the frozen/serialized bytes a pure
+  /// function of the counts. Training canonicalizes at every statistics
+  /// adoption point so that N merged shards and a one-shot pass freeze to
+  /// identical bytes. Only valid on owned, exact (unsketched) stats.
+  void Canonicalize();
+
   void Serialize(BinaryWriter* writer) const;
-  static Result<LanguageStats> Deserialize(BinaryReader* reader);
+
+  /// \brief Reads stats written by Serialize. With `defer_hash` the
+  /// dictionaries keep only their sorted entry arrays (FlatMap64 hash
+  /// deferral) — the shard-reduction profile, where deserialized stats are
+  /// merged and re-serialized but never point-queried. EnsureHashed() (or
+  /// any find-or-insert access) materializes the probe arrays.
+  static Result<LanguageStats> Deserialize(BinaryReader* reader,
+                                           bool defer_hash = false);
+
+  /// \brief Materializes hash-deferred dictionaries (no-op otherwise); must
+  /// run before Count/CoCount queries on defer_hash-deserialized stats.
+  void EnsureHashed();
 
   /// True when backed by views over external bytes (zero-copy model path).
   bool frozen() const { return frozen_; }

@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_set>
 
@@ -37,23 +38,76 @@ std::vector<int> CorpusStats::LanguageIds() const {
 }
 
 void CorpusStats::Insert(int lang_id, LanguageStats stats) {
-  per_language_[lang_id] = std::move(stats);
+  auto it = per_language_.find(lang_id);
+  if (it == per_language_.end()) {
+    per_language_.emplace(lang_id, std::move(stats));
+    return;
+  }
+  // Merge-or-fail: additive counts merge (disjoint column sets); anything
+  // unmergeable would have been silently overwritten before, losing a whole
+  // language's statistics.
+  AD_CHECK(!it->second.frozen() && !it->second.uses_sketch() &&
+           !stats.frozen() && !stats.uses_sketch())
+      << "Insert over existing unmergeable stats for language " << lang_id;
+  it->second.Merge(stats);
 }
 
 void CorpusStats::Retain(const std::vector<int>& keep) {
   std::map<int, LanguageStats> kept;
   for (int id : keep) {
     auto it = per_language_.find(id);
+    AD_DCHECK(it != per_language_.end())
+        << "Retain of language " << id << " which has no stats";
     if (it != per_language_.end()) kept[id] = std::move(it->second);
   }
   per_language_ = std::move(kept);
 }
 
+void CorpusStats::Canonicalize() {
+  // Per-language dictionaries are independent; the collect-sort-reinsert
+  // rebuild is the expensive part of adopting merged statistics, so spread
+  // the languages across cores. Already-canonical dictionaries (e.g. fresh
+  // from FlatMap64::FromSorted) return immediately.
+  std::vector<LanguageStats*> all;
+  all.reserve(per_language_.size());
+  for (auto& [id, stats] : per_language_) all.push_back(&stats);
+  ThreadPool::ParallelFor(all.size(), /*num_threads=*/0,
+                          [&](size_t i) { all[i]->Canonicalize(); });
+}
+
+void CorpusStats::EnsureHashed() {
+  std::vector<LanguageStats*> all;
+  all.reserve(per_language_.size());
+  for (auto& [id, stats] : per_language_) all.push_back(&stats);
+  ThreadPool::ParallelFor(all.size(), /*num_threads=*/0,
+                          [&](size_t i) { all[i]->EnsureHashed(); });
+}
+
 void CorpusStats::Serialize(BinaryWriter* writer) const {
+  // Each language's blob is length-prefixed so Deserialize can slice the
+  // byte stream without parsing it, then parse languages in parallel. The
+  // per-language serialization (collect + sort of every dictionary) is
+  // likewise independent, so it runs across cores too.
+  std::vector<const LanguageStats*> stats;
+  std::vector<int> ids;
+  stats.reserve(per_language_.size());
+  ids.reserve(per_language_.size());
+  for (const auto& [id, s] : per_language_) {
+    ids.push_back(id);
+    stats.push_back(&s);
+  }
+  std::vector<std::string> blobs(stats.size());
+  ThreadPool::ParallelFor(stats.size(), /*num_threads=*/0, [&](size_t i) {
+    std::ostringstream out;
+    BinaryWriter w(&out);
+    stats[i]->Serialize(&w);
+    blobs[i] = std::move(out).str();
+  });
   writer->WriteU64(per_language_.size());
-  for (const auto& [id, stats] : per_language_) {
-    writer->WriteU32(static_cast<uint32_t>(id));
-    stats.Serialize(writer);
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    writer->WriteU32(static_cast<uint32_t>(ids[i]));
+    writer->WriteU64(blobs[i].size());
+    writer->WriteRaw(blobs[i].data(), blobs[i].size());
   }
 }
 
@@ -61,10 +115,48 @@ Result<CorpusStats> CorpusStats::Deserialize(BinaryReader* reader) {
   CorpusStats out;
   AD_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
   if (n > 100000) return Status::Corruption("implausible language count");
+  // Pass 1 (serial): slice the stream into per-language blobs using the
+  // length prefixes. Blobs are read in bounded chunks so a corrupt length
+  // fails with a truncation error instead of a giant allocation.
+  std::vector<int> ids(n);
+  std::vector<std::string> blobs(n);
   for (uint64_t i = 0; i < n; ++i) {
     AD_ASSIGN_OR_RETURN(uint32_t id, reader->ReadU32());
-    AD_ASSIGN_OR_RETURN(LanguageStats stats, LanguageStats::Deserialize(reader));
-    out.per_language_[static_cast<int>(id)] = std::move(stats);
+    AD_ASSIGN_OR_RETURN(uint64_t len, reader->ReadU64());
+    ids[i] = static_cast<int>(id);
+    std::string& blob = blobs[i];
+    constexpr uint64_t kChunk = 1 << 20;
+    while (blob.size() < len) {
+      const size_t take = static_cast<size_t>(std::min<uint64_t>(kChunk, len - blob.size()));
+      const size_t old = blob.size();
+      blob.resize(old + take);
+      Status read = reader->ReadRaw(blob.data() + old, take);
+      if (!read.ok()) return read;
+    }
+  }
+  // Pass 2 (parallel): parse each blob with an in-memory reader.
+  std::vector<LanguageStats> parsed(n);
+  std::vector<Status> statuses(n);
+  // Hash materialization is deferred: most deserialized statistics are
+  // merged and re-serialized by a reducer; the training session materializes
+  // at its first point-query stage (CorpusStats::EnsureHashed).
+  ThreadPool::ParallelFor(n, /*num_threads=*/0, [&](size_t i) {
+    BinaryReader blob_reader(blobs[i].data(), blobs[i].size());
+    Result<LanguageStats> stats =
+        LanguageStats::Deserialize(&blob_reader, /*defer_hash=*/true);
+    if (!stats.ok()) {
+      statuses[i] = stats.status();
+      return;
+    }
+    if (blob_reader.offset() != blobs[i].size()) {
+      statuses[i] = blob_reader.Corrupt("trailing bytes after language statistics");
+      return;
+    }
+    parsed[i] = std::move(*stats);
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    out.per_language_[ids[i]] = std::move(parsed[i]);
   }
   return out;
 }

@@ -43,10 +43,28 @@ class CorpusStats {
   LanguageStats& MutableForLanguage(int lang_id);
 
   std::vector<int> LanguageIds() const;
+  /// \brief Adds stats for `lang_id`. If the language already exists the two
+  /// are merged additively (disjoint column sets, LanguageStats::Merge);
+  /// inserting over an existing language that cannot be merged (either side
+  /// frozen or sketch-compressed) is a checked programming error — never a
+  /// silent overwrite.
   void Insert(int lang_id, LanguageStats stats);
   /// Drops all languages except `keep` (used after selection to shed the
-  /// memory of unselected candidates).
+  /// memory of unselected candidates). Debug builds assert every kept id
+  /// actually exists — a typo'd id silently shrinking the candidate set is
+  /// how selection bugs hide.
   void Retain(const std::vector<int>& keep);
+
+  /// \brief Canonicalizes every language's dictionaries (see
+  /// LanguageStats::Canonicalize): afterwards serialized/frozen bytes depend
+  /// only on the counts, not on how they were accumulated or merged.
+  void Canonicalize();
+
+  /// \brief Materializes every language's hash-deferred dictionaries (see
+  /// LanguageStats::EnsureHashed). Deserialize defers the probe-array
+  /// builds; the training session calls this at its first point-query stage
+  /// so statistics that are only merged and re-serialized never pay them.
+  void EnsureHashed();
 
   void Serialize(BinaryWriter* writer) const;
   static Result<CorpusStats> Deserialize(BinaryReader* reader);

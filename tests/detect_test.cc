@@ -32,25 +32,28 @@ class DetectFixture : public ::testing::Test {
     train.supervision.target_positives = 8000;
     train.supervision.target_negatives = 8000;
     train.corpus_name = "test-web";
-    auto pipeline = TrainingPipeline::Run(&source, train);
-    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
-    pipeline_ = new TrainingPipeline(std::move(*pipeline));
-    auto model = pipeline_->BuildModel();
+    TrainSession session(train);
+    Status stats = session.BuildStats(&source);
+    ASSERT_TRUE(stats.ok()) << stats.ToString();
+    Status supervised = session.Supervise(&source);
+    ASSERT_TRUE(supervised.ok()) << supervised.ToString();
+    session_ = new TrainSession(std::move(session));
+    auto model = session_->Finalize();
     ASSERT_TRUE(model.ok()) << model.status().ToString();
     model_ = new Model(std::move(*model));
   }
   static void TearDownTestSuite() {
     delete model_;
-    delete pipeline_;
+    delete session_;
     model_ = nullptr;
-    pipeline_ = nullptr;
+    session_ = nullptr;
   }
 
-  static TrainingPipeline* pipeline_;
+  static TrainSession* session_;
   static Model* model_;
 };
 
-TrainingPipeline* DetectFixture::pipeline_ = nullptr;
+TrainSession* DetectFixture::session_ = nullptr;
 Model* DetectFixture::model_ = nullptr;
 
 TEST_F(DetectFixture, ModelHasCalibratedLanguages) {
@@ -211,8 +214,8 @@ TEST_F(DetectFixture, LoadRejectsGarbageFile) {
 }
 
 TEST_F(DetectFixture, BudgetSweepIsMonotoneInLanguages) {
-  auto small = pipeline_->BuildModel(256ull << 10, 1.0);
-  auto large = pipeline_->BuildModel(32ull << 20, 1.0);
+  auto small = session_->Finalize(256ull << 10, 1.0);
+  auto large = session_->Finalize(32ull << 20, 1.0);
   ASSERT_TRUE(small.ok());
   ASSERT_TRUE(large.ok());
   EXPECT_LE(small->languages.size(), large->languages.size());
@@ -226,7 +229,7 @@ TEST_F(DetectFixture, SketchedModelStillDetects) {
   // the weak incompatibility signal a 5-row column produces. What is under
   // test is the sketch path end-to-end, not the ratio; the realistic-scale
   // ratios are gated by tests/quality_delta_test.cc.
-  auto sketched = pipeline_->BuildModel(32ull << 20, 0.5);
+  auto sketched = session_->Finalize(32ull << 20, 0.5);
   ASSERT_TRUE(sketched.ok());
   for (const auto& l : sketched->languages) EXPECT_TRUE(l.stats.uses_sketch());
   EXPECT_LT(sketched->MemoryBytes(), model_->MemoryBytes());
@@ -239,13 +242,13 @@ TEST_F(DetectFixture, SketchedModelStillDetects) {
 }
 
 TEST_F(DetectFixture, RecalibrateChangesSmoothing) {
-  TrainingPipeline pipeline = *pipeline_;  // work on a copy
-  pipeline.RecalibrateInPlace(0.3);
-  auto model = pipeline.BuildModel();
+  TrainSession session = *session_;  // work on a copy
+  session.RecalibrateInPlace(0.3);
+  auto model = session.Finalize();
   ASSERT_TRUE(model.ok());
   EXPECT_DOUBLE_EQ(model->smoothing_factor, 0.3);
-  pipeline.RecalibrateInPlace(0.1);  // restore-style second call also works
-  auto model2 = pipeline.BuildModel();
+  session.RecalibrateInPlace(0.1);  // restore-style second call also works
+  auto model2 = session.Finalize();
   ASSERT_TRUE(model2.ok());
   EXPECT_DOUBLE_EQ(model2->smoothing_factor, 0.1);
 }
@@ -283,17 +286,17 @@ TEST_F(DetectFixture, ExplainPairCompatibleCase) {
 TEST_F(DetectFixture, PipelineCheckpointRoundTrip) {
   std::string path =
       (std::filesystem::temp_directory_path() / "ad_pipeline_ckpt.bin").string();
-  ASSERT_TRUE(pipeline_->Save(path).ok());
-  auto loaded = TrainingPipeline::Load(path);
+  ASSERT_TRUE(session_->Save(path).ok());
+  auto loaded = TrainSession::Load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(loaded->lang_ids(), pipeline_->lang_ids());
-  EXPECT_EQ(loaded->corpus_columns(), pipeline_->corpus_columns());
+  EXPECT_EQ(loaded->lang_ids(), session_->lang_ids());
+  EXPECT_EQ(loaded->corpus_columns(), session_->corpus_columns());
   EXPECT_EQ(loaded->training_set().positives.size(),
-            pipeline_->training_set().positives.size());
+            session_->training_set().positives.size());
 
   // Re-selection from the checkpoint yields the same model.
-  auto original = pipeline_->BuildModel(8ull << 20, 1.0);
-  auto restored = loaded->BuildModel(8ull << 20, 1.0);
+  auto original = session_->Finalize(8ull << 20, 1.0);
+  auto restored = loaded->Finalize(8ull << 20, 1.0);
   ASSERT_TRUE(original.ok());
   ASSERT_TRUE(restored.ok());
   ASSERT_EQ(restored->languages.size(), original->languages.size());
@@ -312,9 +315,9 @@ TEST(TrainerTest, PipelineLoadRejectsGarbage) {
     std::ofstream out(path, std::ios::binary);
     out << "not a checkpoint at all";
   }
-  EXPECT_FALSE(TrainingPipeline::Load(path).ok());
+  EXPECT_FALSE(TrainSession::Load(path).ok());
   std::filesystem::remove(path);
-  EXPECT_TRUE(TrainingPipeline::Load("/no/such/ckpt.bin").status().IsIOError());
+  EXPECT_TRUE(TrainSession::Load("/no/such/ckpt.bin").status().IsIOError());
 }
 
 TEST(TrainerTest, FailsOnEmptySource) {
@@ -335,10 +338,11 @@ TEST(TrainerTest, RejectsBadSketchRatio) {
                               LanguageSpace::IdOf(LanguageSpace::PaperL1())};
   train.supervision.target_positives = 500;
   train.supervision.target_negatives = 500;
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
-  EXPECT_FALSE(pipeline->BuildModel(1ull << 20, 0.0).ok());
-  EXPECT_FALSE(pipeline->BuildModel(1ull << 20, 1.5).ok());
+  TrainSession session(train);
+  ASSERT_TRUE(session.BuildStats(&source).ok());
+  ASSERT_TRUE(session.Supervise(&source).ok());
+  EXPECT_FALSE(session.Finalize(1ull << 20, 0.0).ok());
+  EXPECT_FALSE(session.Finalize(1ull << 20, 1.5).ok());
 }
 
 TEST(TrainerTest, TinyBudgetErrorsWhenNothingFits) {
@@ -352,9 +356,10 @@ TEST(TrainerTest, TinyBudgetErrorsWhenNothingFits) {
                               LanguageSpace::IdOf(LanguageSpace::PaperL1())};
   train.supervision.target_positives = 500;
   train.supervision.target_negatives = 500;
-  auto pipeline = TrainingPipeline::Run(&source, train);
-  ASSERT_TRUE(pipeline.ok());
-  auto model = pipeline->BuildModel(/*memory_budget_bytes=*/1, 1.0);
+  TrainSession session(train);
+  ASSERT_TRUE(session.BuildStats(&source).ok());
+  ASSERT_TRUE(session.Supervise(&source).ok());
+  auto model = session.Finalize(/*memory_budget_bytes=*/1, 1.0);
   EXPECT_FALSE(model.ok());
   EXPECT_TRUE(model.status().IsCapacityExceeded());
 }

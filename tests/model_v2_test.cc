@@ -102,12 +102,14 @@ class ModelV2Fixture : public ::testing::Test {
     train.supervision.target_positives = 3000;
     train.supervision.target_negatives = 3000;
     train.corpus_name = "model-v2-test";
-    auto pipeline = TrainingPipeline::Run(&source, train);
-    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
-    auto model = pipeline->BuildModel();
+    TrainSession session(train);
+    ASSERT_TRUE(session.BuildStats(&source).ok());
+    Status supervised = session.Supervise(&source);
+    ASSERT_TRUE(supervised.ok()) << supervised.ToString();
+    auto model = session.Finalize();
     ASSERT_TRUE(model.ok()) << model.status().ToString();
     model_ = new Model(std::move(*model));
-    auto sketched = pipeline->BuildModel(16ull << 20, 0.25);
+    auto sketched = session.Finalize(16ull << 20, 0.25);
     ASSERT_TRUE(sketched.ok()) << sketched.status().ToString();
     sketched_ = new Model(std::move(*sketched));
   }

@@ -109,14 +109,16 @@ class QualityDeltaTest : public ::testing::Test {
     train.supervision.target_positives = 3000;
     train.supervision.target_negatives = 3000;
     train.corpus_name = "quality-delta-test";
-    auto pipeline = TrainingPipeline::Run(&source, train);
-    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    TrainSession session(train);
+    ASSERT_TRUE(session.BuildStats(&source).ok());
+    Status supervised = session.Supervise(&source);
+    ASSERT_TRUE(supervised.ok()) << supervised.ToString();
 
-    auto exact = pipeline->BuildModel();
+    auto exact = session.Finalize();
     ASSERT_TRUE(exact.ok()) << exact.status().ToString();
     exact_ = new Model(std::move(*exact));
 
-    auto sketched = pipeline->BuildModel(64ull << 20, kSketchRatio);
+    auto sketched = session.Finalize(64ull << 20, kSketchRatio);
     ASSERT_TRUE(sketched.ok()) << sketched.status().ToString();
     ASSERT_GT(sketched->SketchInfo().languages, 0u)
         << "ratio build sketched nothing; the harness is not testing the "

@@ -4,13 +4,21 @@
 ///
 ///   autodetect_cli train --columns 30000 --profile WEB --budget-mb 64
 ///                        --precision 0.95 --out model.bin
+///   autodetect_cli train-shard --columns 30000 --shard 2 --num-shards 4
+///                        --out shard2.ads
+///   autodetect_cli merge-stats --out merged.ads shard*.ads
+///   autodetect_cli train --from-stats merged.ads --budget-mb 64 --out model.bin
+///   autodetect_cli retrain --model model.bin --stats merged.ads
+///                        --add-shard new.ads
 ///   autodetect_cli scan  --model model.bin data/*.csv
 ///   autodetect_cli scan  --model model.bin --metrics-out scan_metrics.json data/*.csv
 ///   autodetect_cli pair  --model model.bin "2011-01-01" "2011/01/02"
 ///   autodetect_cli info  --model model.bin
 ///
-/// `train` uses the synthetic corpus substrate; plug a real corpus in by
-/// implementing ColumnSource and linking against the library.
+/// `train`, `train-shard` and `retrain` use the synthetic corpus substrate
+/// (an ADSHARD1 artifact records which profile/seed/range it was built
+/// over, so merge and retrain can reconstruct the stream); plug a real
+/// corpus in by implementing ColumnSource and linking against the library.
 ///
 /// Error handling: any unreadable input (bad flag, missing model, corrupt
 /// CSV) aborts the run with a structured message on stderr and a non-zero
@@ -36,6 +44,7 @@
 #include "net/tenant.h"
 #include "obs/dump.h"
 #include "serve/detection_engine.h"
+#include "train/shard.h"
 
 using namespace autodetect;
 
@@ -76,8 +85,72 @@ bool ParseFlags(FlagSet& flags, int argc, char** argv, const char* synopsis,
   return true;
 }
 
+Result<ModelFormat> FormatByName(const std::string& name) {
+  if (name == "v1") return ModelFormat::kV1;
+  if (name == "v2") return ModelFormat::kV2;
+  return Status::Invalid("unknown --format '" + name + "' (expected v1 or v2)");
+}
+
+/// Rebuilds the synthetic column stream a stats artifact was built over
+/// (the generator's column i depends only on (seed, index), so a grown
+/// corpus's prefix matches the original stream exactly).
+Result<GeneratorOptions> GeneratorFromProvenance(const ShardProvenance& prov) {
+  if (prov.profile.empty()) {
+    return Status::Invalid(
+        "stats artifact lacks synthetic-corpus provenance (built over an "
+        "external corpus?); supervision needs the original column stream");
+  }
+  AD_ASSIGN_OR_RETURN(CorpusProfile profile, ProfileByName(prov.profile));
+  GeneratorOptions gen;
+  gen.profile = std::move(profile);
+  gen.seed = prov.seed;
+  gen.num_columns = static_cast<size_t>(prov.total_columns);
+  gen.inject_errors = false;
+  return gen;
+}
+
+Status RequireFullCoverage(const ShardProvenance& prov) {
+  if (prov.column_begin != 0 || prov.column_end != prov.total_columns) {
+    return Status::Invalid(StrFormat(
+        "statistics cover columns [%llu, %llu) of %llu; finalization needs "
+        "the whole corpus — merge the missing shards first",
+        static_cast<unsigned long long>(prov.column_begin),
+        static_cast<unsigned long long>(prov.column_end),
+        static_cast<unsigned long long>(prov.total_columns)));
+  }
+  return Status::OK();
+}
+
+/// Supervision + selection + save, shared by `train`, `train --from-stats`
+/// and `retrain`. With `atomic` the model lands via temp-file + rename, so
+/// a serving process watching the path (--model-watch / ModelRegistry)
+/// only ever sees a complete artifact and hot-swaps cleanly.
+Status FinalizeAndSave(TrainSession* session, ColumnSource* source,
+                       const std::string& out, ModelFormat format,
+                       bool atomic) {
+  AD_RETURN_NOT_OK(session->Supervise(source));
+  AD_ASSIGN_OR_RETURN(Model model, session->Finalize());
+  if (atomic) {
+    const std::string tmp = out + ".tmp";
+    AD_RETURN_NOT_OK(model.Save(tmp, format).WithContext("save failed"));
+    std::error_code ec;
+    std::filesystem::rename(tmp, out, ec);
+    if (ec) {
+      return Status::IOError("cannot rename " + tmp + " to " + out + ": " +
+                             ec.message());
+    }
+  } else {
+    AD_RETURN_NOT_OK(model.Save(out, format).WithContext("save failed"));
+  }
+  std::printf("%s", model.Summary().c_str());
+  std::printf("saved to %s (%s)\n", out.c_str(),
+              format == ModelFormat::kV2 ? "ADMODEL2" : "ADMODEL1");
+  return Status::OK();
+}
+
 int CmdTrain(int argc, char** argv) {
   std::string profile_name = "WEB", out = "autodetect.model", format_name = "v2";
+  std::string from_stats;
   int64_t columns = 30000, seed = 20180610, budget_mb = 64;
   int64_t sketch_budget_mb = 0;
   double precision = 0.95, sketch = 1.0, smoothing = 0.1;
@@ -88,6 +161,10 @@ int CmdTrain(int argc, char** argv) {
   flags.String("profile", &profile_name, "training corpus profile");
   flags.Int("columns", &columns, "training columns to synthesize");
   flags.Int("seed", &seed, "corpus seed");
+  flags.String("from-stats", &from_stats,
+               "finalize from a merged ADSHARD1 statistics artifact instead "
+               "of scanning a corpus (--profile/--columns/--seed then come "
+               "from the artifact's provenance)");
   flags.Int("budget-mb", &budget_mb, "model memory budget");
   flags.Double("precision", &precision, "precision target");
   flags.Double("sketch", &sketch, "co-occurrence sketch ratio (0,1]");
@@ -99,21 +176,20 @@ int CmdTrain(int argc, char** argv) {
   flags.String("out", &out, "model output path");
   flags.String("format", &format_name,
                "model file format: v2 (zero-copy, default) or v1 (legacy)");
+  // Sharded training moved to dedicated subcommands; reject the spellings
+  // people will guess with a pointer instead of "unknown flag".
+  flags.Deprecated("shard", "the train-shard subcommand");
+  flags.Deprecated("num-shards", "the train-shard subcommand");
+  flags.Deprecated("merge", "the merge-stats subcommand");
+  flags.Deprecated("add-shard", "the retrain subcommand");
   metrics.Register(&flags);
   int rc = 0;
   if (!ParseFlags(flags, argc, argv, "autodetect_cli train [flags]", &rc)) {
     return rc;
   }
 
-  ModelFormat format;
-  if (format_name == "v1") {
-    format = ModelFormat::kV1;
-  } else if (format_name == "v2") {
-    format = ModelFormat::kV2;
-  } else {
-    return Fail(Status::Invalid("unknown --format '" + format_name +
-                                "' (expected v1 or v2)"));
-  }
+  auto format = FormatByName(format_name);
+  if (!format.ok()) return Fail(format.status());
 
   if (sketch_budget_mb < 0) {
     return Fail(Status::Invalid("--sketch-budget-mb must be >= 0"));
@@ -124,6 +200,90 @@ int CmdTrain(int argc, char** argv) {
         "relative ratio or the absolute per-language cap)"));
   }
 
+  TrainOptions train;
+  train.precision_target = precision;
+  train.memory_budget_bytes = static_cast<size_t>(budget_mb) << 20;
+  train.sketch_ratio = sketch;
+  train.sketch_budget_bytes = static_cast<size_t>(sketch_budget_mb) << 20;
+  train.smoothing_factor = smoothing;
+  train.num_threads = static_cast<size_t>(jobs);
+
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
+  Status trained;
+
+  if (!from_stats.empty()) {
+    // Reduce output in, statistics pass skipped: adopt the merged shard,
+    // then supervision + selection against the reconstructed stream.
+    auto shard = ReadShard(from_stats);
+    if (!shard.ok()) return Fail(shard.status());
+    Status covered = RequireFullCoverage(shard->provenance);
+    if (!covered.ok()) return Fail(covered);
+    auto gen = GeneratorFromProvenance(shard->provenance);
+    if (!gen.ok()) return Fail(gen.status());
+    train.corpus_name = shard->provenance.corpus_name;
+    GeneratedColumnSource source(*gen);
+    TrainSession session(train);
+    Status used = session.UseStats(std::move(*shard));
+    if (!used.ok()) return Fail(used.WithContext("adopting " + from_stats));
+    std::printf("finalizing from %s (%llu %s columns, P>=%.2f, budget %s)...\n",
+                from_stats.c_str(),
+                static_cast<unsigned long long>(session.corpus_columns()),
+                gen->profile.name.c_str(), train.precision_target,
+                HumanBytes(train.memory_budget_bytes).c_str());
+    trained = FinalizeAndSave(&session, &source, out, *format, /*atomic=*/false);
+  } else {
+    auto profile = ProfileByName(profile_name);
+    if (!profile.ok()) return Fail(profile.status());
+    GeneratorOptions gen;
+    gen.profile = *profile;
+    gen.num_columns = static_cast<size_t>(columns);
+    gen.inject_errors = false;
+    gen.seed = static_cast<uint64_t>(seed);
+    GeneratedColumnSource source(gen);
+    train.corpus_name = gen.profile.name + "-synthetic";
+    std::printf("training on %zu %s columns (P>=%.2f, budget %s)...\n",
+                gen.num_columns, gen.profile.name.c_str(),
+                train.precision_target,
+                HumanBytes(train.memory_budget_bytes).c_str());
+    TrainSession session(train);
+    trained = session.BuildStats(&source);
+    if (trained.ok()) {
+      trained = FinalizeAndSave(&session, &source, out, *format, /*atomic=*/false);
+    }
+  }
+  if (!trained.ok()) return Fail(trained.WithContext("training failed"));
+
+  Status dumped = metrics.Finish(registry, std::move(dumper));
+  if (!dumped.ok()) return Fail(dumped.WithContext("metrics export failed"));
+  if (metrics.enabled()) std::printf("metrics written to %s\n", metrics.metrics_out.c_str());
+  return 0;
+}
+
+int CmdTrainShard(int argc, char** argv) {
+  std::string profile_name = "WEB", out = "shard.ads";
+  int64_t columns = 30000, seed = 20180610;
+  int64_t shard_index = 0, num_shards = 1;
+  int64_t jobs = 0;
+
+  FlagSet flags;
+  flags.String("profile", &profile_name, "training corpus profile");
+  flags.Int("columns", &columns, "columns in the FULL corpus being partitioned");
+  flags.Int("seed", &seed, "corpus seed");
+  flags.Int("shard", &shard_index, "which partition to build (0-based)");
+  flags.Int("num-shards", &num_shards, "total number of partitions");
+  flags.Int("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.String("out", &out, "shard output path (ADSHARD1)");
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv, "autodetect_cli train-shard [flags]", &rc)) {
+    return rc;
+  }
+  if (columns <= 0) return Fail(Status::Invalid("--columns must be positive"));
+  if (num_shards <= 0 || shard_index < 0 || shard_index >= num_shards) {
+    return Fail(Status::Invalid(
+        "--shard must be in [0, --num-shards) and --num-shards positive"));
+  }
+
   auto profile = ProfileByName(profile_name);
   if (!profile.ok()) return Fail(profile.status());
 
@@ -132,34 +292,157 @@ int CmdTrain(int argc, char** argv) {
   gen.num_columns = static_cast<size_t>(columns);
   gen.inject_errors = false;
   gen.seed = static_cast<uint64_t>(seed);
-  GeneratedColumnSource source(gen);
+  GeneratedColumnSource full(gen);
+
+  const uint64_t total = static_cast<uint64_t>(columns);
+  const uint64_t begin =
+      total * static_cast<uint64_t>(shard_index) / static_cast<uint64_t>(num_shards);
+  const uint64_t end = total * static_cast<uint64_t>(shard_index + 1) /
+                       static_cast<uint64_t>(num_shards);
+  SlicedColumnSource partition(&full, static_cast<size_t>(begin),
+                               static_cast<size_t>(end));
 
   TrainOptions train;
-  train.precision_target = precision;
+  train.num_threads = static_cast<size_t>(jobs);
+  ShardProvenance prov;
+  prov.corpus_name = gen.profile.name + "-synthetic";
+  prov.profile = gen.profile.name;
+  prov.seed = gen.seed;
+  prov.total_columns = total;
+  prov.column_begin = begin;
+  prov.column_end = end;
+
+  std::printf("building stats shard %lld/%lld: %s columns [%llu, %llu) of %llu...\n",
+              static_cast<long long>(shard_index),
+              static_cast<long long>(num_shards), gen.profile.name.c_str(),
+              static_cast<unsigned long long>(begin),
+              static_cast<unsigned long long>(end),
+              static_cast<unsigned long long>(total));
+  auto shard = TrainSession::BuildShard(&partition, train, std::move(prov));
+  if (!shard.ok()) return Fail(shard.status().WithContext("building shard"));
+  Status written = WriteShard(out, *shard);
+  if (!written.ok()) return Fail(written);
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(out, ec);
+  std::printf("wrote %s (%s, %zu languages, %llu columns)\n", out.c_str(),
+              HumanBytes(ec ? 0 : bytes).c_str(),
+              shard->stats.LanguageIds().size(),
+              static_cast<unsigned long long>(shard->provenance.num_columns()));
+  return 0;
+}
+
+int CmdMergeStats(int argc, char** argv) {
+  std::string out = "merged.ads";
+  FlagSet flags;
+  flags.String("out", &out, "merged shard output path (ADSHARD1)");
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv,
+                  "autodetect_cli merge-stats --out merged.ads shard.ads...",
+                  &rc)) {
+    return rc;
+  }
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: autodetect_cli merge-stats --out merged.ads "
+                 "shard.ads...\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  auto merged = MergeShardFiles(flags.positional());
+  if (!merged.ok()) return Fail(merged.status());
+  Status written = WriteShard(out, *merged);
+  if (!written.ok()) return Fail(written);
+  std::printf("merged %zu shard(s) -> %s: columns [%llu, %llu) of %llu\n",
+              flags.positional().size(), out.c_str(),
+              static_cast<unsigned long long>(merged->provenance.column_begin),
+              static_cast<unsigned long long>(merged->provenance.column_end),
+              static_cast<unsigned long long>(merged->provenance.total_columns));
+  return 0;
+}
+
+int CmdRetrain(int argc, char** argv) {
+  std::string model_path, stats_path, out, format_name = "v2";
+  std::vector<std::string> add_shards;
+  int64_t budget_mb = 64;
+  int64_t sketch_budget_mb = 0;
+  double sketch = 1.0;
+  int64_t jobs = 0;
+
+  FlagSet flags;
+  flags.String("model", &model_path,
+               "existing model whose training knobs (precision target, "
+               "smoothing, corpus) to reuse");
+  flags.String("stats", &stats_path,
+               "merged ADSHARD1 statistics the model was trained from");
+  flags.StringList("add-shard", &add_shards,
+                   "new-data shard to fold in (repeatable); ranges must "
+                   "extend the base statistics contiguously");
+  flags.Int("budget-mb", &budget_mb, "model memory budget");
+  flags.Double("sketch", &sketch, "co-occurrence sketch ratio (0,1]");
+  flags.Int("sketch-budget-mb", &sketch_budget_mb,
+            "cap each language's co-occurrence sketch at this many MB (0 = off)");
+  flags.Int("jobs", &jobs, "worker threads (0 = all cores)");
+  flags.String("out", &out,
+               "output model path (default: overwrite --model in place, "
+               "atomically — a --model-watch server hot-swaps it)");
+  flags.String("format", &format_name,
+               "model file format: v2 (zero-copy, default) or v1 (legacy)");
+  int rc = 0;
+  if (!ParseFlags(flags, argc, argv,
+                  "autodetect_cli retrain --model m.bin --stats base.ads "
+                  "--add-shard new.ads",
+                  &rc)) {
+    return rc;
+  }
+  if (model_path.empty() || stats_path.empty()) {
+    return Fail(Status::Invalid("retrain needs --model and --stats"));
+  }
+  auto format = FormatByName(format_name);
+  if (!format.ok()) return Fail(format.status());
+  if (out.empty()) out = model_path;
+
+  auto model = Model::Load(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  std::vector<std::string> shard_paths;
+  shard_paths.push_back(stats_path);
+  shard_paths.insert(shard_paths.end(), add_shards.begin(), add_shards.end());
+  auto merged = MergeShardFiles(shard_paths);
+  if (!merged.ok()) return Fail(merged.status());
+  Status covered = RequireFullCoverage(merged->provenance);
+  if (!covered.ok()) return Fail(covered);
+  auto gen = GeneratorFromProvenance(merged->provenance);
+  if (!gen.ok()) return Fail(gen.status());
+
+  // The refreshed model keeps the original's quality knobs; the memory
+  // budget is not recorded in a model artifact, so it stays a flag.
+  TrainOptions train;
+  train.precision_target = model->precision_target;
+  train.smoothing_factor = model->smoothing_factor;
+  train.corpus_name = model->corpus_name;
   train.memory_budget_bytes = static_cast<size_t>(budget_mb) << 20;
   train.sketch_ratio = sketch;
   train.sketch_budget_bytes = static_cast<size_t>(sketch_budget_mb) << 20;
-  train.smoothing_factor = smoothing;
   train.num_threads = static_cast<size_t>(jobs);
-  train.corpus_name = gen.profile.name + "-synthetic";
 
-  MetricsRegistry* registry = MetricsRegistry::Default();
-  std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
+  GeneratedColumnSource source(*gen);
+  TrainSession session(train);
+  Status used = session.UseStats(std::move(*merged));
+  if (!used.ok()) return Fail(used.WithContext("adopting merged statistics"));
 
-  std::printf("training on %zu %s columns (P>=%.2f, budget %s)...\n",
-              gen.num_columns, gen.profile.name.c_str(), train.precision_target,
-              HumanBytes(train.memory_budget_bytes).c_str());
-  auto model = TrainModel(&source, train);
-  if (!model.ok()) return Fail(model.status().WithContext("training failed"));
-  Status saved = model->Save(out, format);
-  if (!saved.ok()) return Fail(saved.WithContext("save failed"));
-  std::printf("%s", model->Summary().c_str());
-  std::printf("saved to %s (%s)\n", out.c_str(),
-              format == ModelFormat::kV2 ? "ADMODEL2" : "ADMODEL1");
-
-  Status dumped = metrics.Finish(registry, std::move(dumper));
-  if (!dumped.ok()) return Fail(dumped.WithContext("metrics export failed"));
-  if (metrics.enabled()) std::printf("metrics written to %s\n", metrics.metrics_out.c_str());
+  std::printf("retraining %s: %llu columns (%llu previously trained), "
+              "%zu new shard(s)...\n",
+              model_path.c_str(),
+              static_cast<unsigned long long>(session.corpus_columns()),
+              static_cast<unsigned long long>(model->trained_columns),
+              add_shards.size());
+  Status trained =
+      FinalizeAndSave(&session, &source, out, *format, /*atomic=*/true);
+  if (!trained.ok()) return Fail(trained.WithContext("retrain failed"));
+  if (out == model_path) {
+    std::printf("swapped in place; serving processes watching it "
+                "(--model-watch) hot-reload on the next poll\n");
+  }
   return 0;
 }
 
@@ -468,7 +751,21 @@ void Usage() {
                "         v1 = legacy streamed ADMODEL1; --sketch-budget-mb\n"
                "         caps each language's co-occurrence sketch, writing\n"
                "         a v3 artifact with a page-aligned SKCH section that\n"
-               "         scan auto-detects)\n"
+               "         scan auto-detects; --from-stats FILE skips the\n"
+               "         statistics pass and finalizes from a merged\n"
+               "         ADSHARD1 artifact)\n"
+               "  train-shard --columns N --shard I --num-shards K\n"
+               "        [--profile P] [--seed S] --out FILE\n"
+               "        build corpus statistics for one contiguous column\n"
+               "        partition as a checksummed ADSHARD1 artifact\n"
+               "  merge-stats --out merged.ads shard.ads...\n"
+               "        deterministically merge shards (any order -> same\n"
+               "        bytes); the ranges must tile one contiguous range\n"
+               "  retrain --model FILE --stats base.ads --add-shard new.ads\n"
+               "        [--out FILE] fold new-data shards into existing\n"
+               "        statistics, recalibrate, and atomically swap the\n"
+               "        model (a --model-watch server hot-reloads it);\n"
+               "        skips the statistics pass over the old columns\n"
                "  scan  --model FILE [--min-confidence C] [--jobs N]\n"
                "        [--cache-mb M] [--model-watch [--model-poll-ms N]]\n"
                "        [--deadline-ms N] [--column-budget-us N]\n"
@@ -511,6 +808,9 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   if (command == "train") return CmdTrain(argc, argv);
+  if (command == "train-shard") return CmdTrainShard(argc, argv);
+  if (command == "merge-stats") return CmdMergeStats(argc, argv);
+  if (command == "retrain") return CmdRetrain(argc, argv);
   if (command == "scan") return CmdScan(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "pair") return CmdPair(argc, argv);

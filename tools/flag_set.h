@@ -58,11 +58,25 @@ class FlagSet {
   void Bool(std::string name, bool* target, std::string help) {
     Register(std::move(name), Flag{Flag::kBool, target, std::move(help), ""});
   }
+  /// A repeatable value flag: every occurrence appends to `target`
+  /// (`retrain --add-shard a.ads --add-shard b.ads`).
+  void StringList(std::string name, std::vector<std::string>* target,
+                  std::string help) {
+    Register(std::move(name),
+             Flag{Flag::kStringList, target, std::move(help), ""});
+  }
 
   /// \brief Registers a retired spelling. Using it is a parse error that
   /// names the replacement — strictly better than silently accepting two
-  /// spellings forever or "unknown flag" with no hint.
+  /// spellings forever or "unknown flag" with no hint. `replacement` is
+  /// either a bare flag name ("model", rendered as --model) or a free-text
+  /// pointer ("the train-shard subcommand") for flags whose job moved to a
+  /// different subcommand entirely.
   void Deprecated(std::string name, std::string replacement) {
+    if (replacement.rfind("--", 0) != 0 &&
+        replacement.find(' ') == std::string::npos) {
+      replacement = "--" + replacement;
+    }
     deprecated_.emplace(std::move(name), std::move(replacement));
   }
 
@@ -85,7 +99,7 @@ class FlagSet {
       std::string name = arg.substr(2);
       auto dep = deprecated_.find(name);
       if (dep != deprecated_.end()) {
-        return Status::Invalid("flag --" + name + " was renamed; use --" +
+        return Status::Invalid("flag --" + name + " was retired; use " +
                                dep->second);
       }
       auto it = flags_.find(name);
@@ -139,7 +153,7 @@ class FlagSet {
 
  private:
   struct Flag {
-    enum Type { kString, kDouble, kInt, kBool };
+    enum Type { kString, kDouble, kInt, kBool, kStringList };
     Type type;
     void* target;
     std::string help;
@@ -151,6 +165,7 @@ class FlagSet {
         case kDouble: return " <float>";
         case kInt: return " <int>";
         case kBool: return "";
+        case kStringList: return " <str>...";
       }
       return "";
     }
@@ -161,6 +176,9 @@ class FlagSet {
       switch (type) {
         case kString:
           *static_cast<std::string*>(target) = value;
+          return Status::OK();
+        case kStringList:
+          static_cast<std::vector<std::string>*>(target)->push_back(value);
           return Status::OK();
         case kDouble: {
           double v = std::strtod(value, &end);

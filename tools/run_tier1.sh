@@ -78,6 +78,17 @@
 # carry the serve.net.* counters — finishing with a clean SIGTERM shutdown:
 #
 #   SERVE=on tools/run_tier1.sh
+#
+# Opt-in sharded-training gate: SHARDS=on exercises the map/reduce training
+# CLI end to end — four train-shard partitions, merge-stats in scrambled
+# order, train --from-stats — and byte-compares the resulting model with a
+# one-shot train of the same corpus (the ADSHARD1 determinism contract at
+# the artifact level). It then runs the self-gating incremental-retraining
+# benchmark, which asserts a delta retrain on a 10%-grown corpus is >=3x
+# faster than a full retrain AND byte-identical to it, leaving
+# BENCH_train_shards.json in the build directory:
+#
+#   SHARDS=on tools/run_tier1.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -89,6 +100,7 @@ FAILPOINTS="${FAILPOINTS:-off}"
 SIMD="${SIMD:-on}"
 SKETCH="${SKETCH:-off}"
 SERVE="${SERVE:-off}"
+SHARDS="${SHARDS:-off}"
 
 if [[ "$SIMD" == "off" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-nosimd}"
@@ -214,6 +226,39 @@ if [[ "$SERVE" == "on" ]]; then
   wait "$SERVE_PID"
   SERVE_PID=""
   echo "serve smoke green: ADWIRE1 + HTTP /detect + slow-loris defense + /metrics + clean SIGTERM shutdown"
+  exit 0
+fi
+
+if [[ "$SHARDS" == "on" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target autodetect_cli bench_train_shards
+  SHARD_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SHARD_DIR"' EXIT
+  CLI="$BUILD_DIR/tools/autodetect_cli"
+  # One-shot reference: the exact model the sharded path must reproduce.
+  "$CLI" train --columns 600 --budget-mb 16 --out "$SHARD_DIR/oneshot.model"
+  # Map phase: four independent partition shards of the same corpus.
+  for i in 0 1 2 3; do
+    "$CLI" train-shard --columns 600 --shard "$i" --num-shards 4 \
+      --out "$SHARD_DIR/part$i.ads"
+  done
+  # Reduce phase, deliberately out of order: merge order must not matter.
+  "$CLI" merge-stats --out "$SHARD_DIR/merged.ads" \
+    "$SHARD_DIR/part2.ads" "$SHARD_DIR/part0.ads" \
+    "$SHARD_DIR/part3.ads" "$SHARD_DIR/part1.ads"
+  "$CLI" train --from-stats "$SHARD_DIR/merged.ads" --budget-mb 16 \
+    --out "$SHARD_DIR/sharded.model"
+  # The determinism contract, at the artifact level: not equivalent — identical.
+  cmp "$SHARD_DIR/oneshot.model" "$SHARD_DIR/sharded.model" || {
+    echo "sharded training produced a different model than the one-shot pass" >&2
+    exit 1
+  }
+  # Self-gating incremental-retraining benchmark: >=3x refresh speedup on a
+  # 10%-grown corpus with a byte-identical model.
+  "$BUILD_DIR/bench/bench_train_shards" "$BUILD_DIR/BENCH_train_shards.json"
+  echo "shards gate green: scrambled 4-way merge byte-identical to one-shot;" \
+       "report: $BUILD_DIR/BENCH_train_shards.json"
   exit 0
 fi
 
