@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kCapacityExceeded = 7,
   kCorruption = 8,
   kInternal = 9,
+  kResourceExhausted = 10,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -85,6 +86,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -99,6 +103,9 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// \brief Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

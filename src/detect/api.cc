@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace autodetect {
 
 // DetectRequest's special members live here, under suppression, so that
@@ -55,7 +57,13 @@ DetectReport DetectionExecutor::DetectOne(const DetectRequest& request) {
   if (reports.empty()) {
     // A conforming executor always delivers one report per request; if one
     // does not, fail visibly — echo the request identity and mark the column
-    // shed instead of fabricating a default kOk report.
+    // shed instead of fabricating a default kOk report. Like every other
+    // kShed source, the fabricated report charges exactly one
+    // serve.admission.* counter (no executor was involved, so nothing else
+    // will count it).
+    MetricsRegistry::Default()
+        ->GetCounter("serve.admission.fallback_shed_total")
+        ->Add(1);
     DetectReport report;
     report.name = request.name;
     report.tag = request.EffectiveTag();

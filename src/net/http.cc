@@ -134,12 +134,26 @@ Result<std::optional<HttpRequest>> ParseHttpRequest(std::string_view buffer,
 
 std::string BuildHttpResponse(int status_code, std::string_view content_type,
                               std::string_view body, bool keep_alive) {
+  return BuildHttpResponse(status_code, content_type, body, keep_alive, {});
+}
+
+std::string BuildHttpResponse(
+    int status_code, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out = StrFormat(
       "HTTP/1.1 %d %.*s\r\nContent-Type: %.*s\r\nContent-Length: %zu\r\n"
-      "Connection: %s\r\n\r\n",
+      "Connection: %s\r\n",
       status_code, static_cast<int>(ReasonPhrase(status_code).size()),
       ReasonPhrase(status_code).data(), static_cast<int>(content_type.size()),
       content_type.data(), body.size(), keep_alive ? "keep-alive" : "close");
+  for (const auto& [name, value] : extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
   out.append(body);
   return out;
 }

@@ -51,6 +51,12 @@ Result<std::optional<HttpRequest>> ParseHttpRequest(
 std::string BuildHttpResponse(int status_code, std::string_view content_type,
                               std::string_view body, bool keep_alive);
 
+/// Same, with extra response headers (e.g. {"Retry-After", "1"} on a 503).
+std::string BuildHttpResponse(
+    int status_code, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers);
+
 /// True when the first bytes of a connection can only be the ADWIRE1
 /// preamble (used with the magic in net/wire.h to sniff the protocol).
 /// Handles partial prefixes: returns true while `head` is a prefix of the

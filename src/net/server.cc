@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "net/json.h"
@@ -84,6 +86,7 @@ struct Server::Loop {
   int epoll_fd = -1;
   int listen_fd = -1;
   int wake_fd = -1;
+  size_t heartbeat_id = 0;  ///< watchdog slot, valid when a watchdog is set
   std::thread thread;
   std::unordered_map<int, std::shared_ptr<Conn>> conns;  // loop thread only
   std::mutex pending_mu;
@@ -120,6 +123,12 @@ namespace {
 /// ticket is shed mid-flight (a shed-oldest victim), unscanned columns are
 /// cancelled promptly and their statuses rewritten from the cancellation
 /// statuses to the truthful kShed. Thread-safe.
+///
+/// Shed accounting invariant: every kShed report charges exactly one
+/// serve.admission.* counter. Columns the ENGINE shed (its own admission
+/// controller) were already counted there, so this sink only tallies the
+/// columns IT relabeled — the caller charges those, and only those, to the
+/// tenant's controller.
 class TicketSink : public ReportSink {
  public:
   TicketSink(ReportSink& inner, AdmissionController::Ticket* ticket,
@@ -134,6 +143,7 @@ class TicketSink : public ReportSink {
       if (report.status == ColumnStatus::kCancelled ||
           report.status == ColumnStatus::kDeadlineExceeded) {
         report.status = ColumnStatus::kShed;
+        relabeled_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (report.status == ColumnStatus::kShed) {
@@ -143,12 +153,16 @@ class TicketSink : public ReportSink {
   }
 
   size_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  size_t relabeled() const {
+    return relabeled_.load(std::memory_order_relaxed);
+  }
 
  private:
   ReportSink& inner_;
   AdmissionController::Ticket* ticket_;
   CancelSource source_;
-  std::atomic<size_t> shed_{0};
+  std::atomic<size_t> shed_{0};       ///< all kShed reports seen (return value)
+  std::atomic<size_t> relabeled_{0};  ///< kShed minted here (tenant-charged)
 };
 
 /// Collects reports into index order for the buffered HTTP response.
@@ -269,6 +283,15 @@ Status Server::Start() {
 
   port_ = bound_port;
   stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  if (options_.watchdog != nullptr) {
+    // Register every loop's heartbeat slot before any loop thread runs, so
+    // the watchdog's slot vector is stable while Beat races CheckNow.
+    for (size_t i = 0; i < loops_.size(); ++i) {
+      loops_[i]->heartbeat_id =
+          options_.watchdog->RegisterHeartbeat(StrFormat("acceptor-%zu", i));
+    }
+  }
   dispatch_ = std::make_unique<ThreadPool>(options_.dispatch_threads);
   for (auto& loop : loops_) {
     loop->thread = std::thread([this, raw = loop.get()] { RunLoop(*raw); });
@@ -301,6 +324,33 @@ void Server::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
+void Server::BeginDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;  // already draining
+  }
+  if (options_.health != nullptr) options_.health->SetDraining();
+  // Each loop notices the flag on its next wakeup and closes its own
+  // listener (listen_fd is loop-thread state; poking it cross-thread would
+  // race the event dispatch).
+  for (auto& loop : loops_) WakeLoop(*loop);
+}
+
+bool Server::AwaitDrain(uint64_t timeout_ms) {
+  if (timeout_ms == 0) timeout_ms = options_.drain_timeout_ms;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (inflight_requests_.load(std::memory_order_acquire) == 0 &&
+        outbuf_bytes_.load(std::memory_order_acquire) == 0) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
 void Server::WakeLoop(Loop& loop) {
   if (loop.wake_fd < 0) return;
   uint64_t one = 1;
@@ -313,6 +363,8 @@ void Server::SendToConn(const std::shared_ptr<Conn>& conn, std::string&& bytes) 
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed || conn->kill) return;
     conn->outbuf.append(bytes);
+    outbuf_bytes_.fetch_add(static_cast<int64_t>(bytes.size()),
+                            std::memory_order_acq_rel);
     if (conn->outbuf.size() > options_.max_outbuf_bytes) {
       // The client stopped reading while reports stream at it; holding the
       // backlog for a dead reader starves everyone else's memory.
@@ -336,6 +388,17 @@ void Server::RunLoop(Loop& loop) {
       std::chrono::milliseconds(std::max<uint64_t>(options_.sweep_interval_ms, 1));
 
   while (!stopping_.load(std::memory_order_acquire)) {
+    if (options_.watchdog != nullptr) {
+      options_.watchdog->Beat(loop.heartbeat_id);
+    }
+    if (draining_.load(std::memory_order_acquire) && loop.listen_fd >= 0) {
+      // Drain: this loop stops accepting. Closing our SO_REUSEPORT listener
+      // makes fresh connects fail fast at the TCP layer; requests already
+      // buffered on live connections keep flowing to completion.
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, loop.listen_fd, nullptr);
+      ::close(loop.listen_fd);
+      loop.listen_fd = -1;
+    }
     int n = ::epoll_wait(loop.epoll_fd, events.data(),
                          static_cast<int>(events.size()),
                          static_cast<int>(sweep_every.count()));
@@ -426,6 +489,7 @@ void Server::RunLoop(Loop& loop) {
 
 void Server::AcceptNew(Loop& loop) {
   while (true) {
+    if (AD_FAILPOINT("net.accept.fail")) return;  // simulated accept() error
     int fd = ::accept4(loop.listen_fd, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
@@ -454,6 +518,12 @@ void Server::HandleReadable(Loop& loop, const std::shared_ptr<Conn>& conn) {
   while (true) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      if (AD_FAILPOINT("net.read.oom")) {
+        // Simulated allocation failure growing the receive buffer: the
+        // connection fails closed instead of the process dying.
+        CloseConn(loop, conn, /*cancel_inflight=*/true);
+        return;
+      }
       conn->inbuf.append(buf, static_cast<size_t>(n));
       conn->last_rx = std::chrono::steady_clock::now();
       metrics_.bytes_read->Add(static_cast<uint64_t>(n));
@@ -498,6 +568,8 @@ void Server::SendInline(Loop& loop, const std::shared_ptr<Conn>& conn,
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return;
     conn->outbuf.append(bytes);
+    outbuf_bytes_.fetch_add(static_cast<int64_t>(bytes.size()),
+                            std::memory_order_acq_rel);
     if (close_after) conn->close_after_flush = true;
   }
   FlushConn(loop, conn);
@@ -505,6 +577,24 @@ void Server::SendInline(Loop& loop, const std::shared_ptr<Conn>& conn,
 
 bool Server::ProcessWire(Loop& loop, const std::shared_ptr<Conn>& conn) {
   while (true) {
+    // Budget check straight off the length prefix: a hostile frame claiming
+    // more than the per-request budget is refused from the 5-byte header
+    // alone — its payload is never buffered, so resident memory stays
+    // bounded no matter what the prefix claims.
+    if (options_.memory != nullptr && conn->inbuf.size() >= kWireHeaderLen) {
+      uint32_t claim = static_cast<uint8_t>(conn->inbuf[0]) |
+                       (static_cast<uint32_t>(static_cast<uint8_t>(conn->inbuf[1])) << 8) |
+                       (static_cast<uint32_t>(static_cast<uint8_t>(conn->inbuf[2])) << 16) |
+                       (static_cast<uint32_t>(static_cast<uint8_t>(conn->inbuf[3])) << 24);
+      if (options_.memory->WouldExceedPerRequest(claim)) {
+        // Run the claim through Admit so the rejection is counted and the
+        // error message is the budget's own typed kResourceExhausted text.
+        Status refused = options_.memory->Admit(claim).status();
+        WireError error{0, std::string(refused.message())};
+        SendInline(loop, conn, EncodeErrorFrame(error), /*close_after=*/true);
+        return false;
+      }
+    }
     auto peeked = PeekFrame(conn->inbuf, options_.wire_limits);
     if (!peeked.ok()) {
       // Framing is unrecoverable (oversized prefix / unknown type): answer
@@ -529,6 +619,7 @@ bool Server::ProcessWire(Loop& loop, const std::shared_ptr<Conn>& conn) {
       return false;
     }
 
+    const size_t payload_bytes = frame.payload.size();
     auto decoded = DecodeRequestPayload(frame.payload, options_.wire_limits);
     conn->inbuf.erase(0, frame.frame_len);
     if (!decoded.ok()) {
@@ -539,6 +630,30 @@ bool Server::ProcessWire(Loop& loop, const std::shared_ptr<Conn>& conn) {
       return false;
     }
     WireRequest request = std::move(decoded).ValueOrDie();
+
+    if (draining_.load(std::memory_order_acquire)) {
+      // The frame was intact (the connection stays usable for the client's
+      // earlier in-flight responses), but no new work starts during drain.
+      WireError error{request.request_id,
+                      "server draining; not accepting new requests"};
+      SendInline(loop, conn, EncodeErrorFrame(error), /*close_after=*/false);
+      continue;
+    }
+
+    // Wire-decode charge: the decoded request's strings are alive from here
+    // until the batch completes. A global-budget refusal is request-scoped
+    // and retryable, so the connection stays open.
+    MemoryBudget::Charge charge;
+    if (options_.memory != nullptr) {
+      auto admitted = options_.memory->Admit(payload_bytes);
+      if (!admitted.ok()) {
+        WireError error{request.request_id,
+                        std::string(admitted.status().message())};
+        SendInline(loop, conn, EncodeErrorFrame(error), /*close_after=*/false);
+        continue;
+      }
+      charge = std::move(admitted).ValueOrDie();
+    }
 
     // Register the request's cancellation scope before dispatch so a
     // disconnect observed by this loop reaches the batch immediately.
@@ -554,9 +669,15 @@ bool Server::ProcessWire(Loop& loop, const std::shared_ptr<Conn>& conn) {
       conn->inflight.emplace(local_id, source);
     }
     conn->inflight_count.fetch_add(1, std::memory_order_relaxed);
+    inflight_requests_.fetch_add(1, std::memory_order_acq_rel);
+    // Submit takes a copyable std::function; the move-only charge rides in
+    // a shared_ptr.
+    auto charge_box =
+        std::make_shared<MemoryBudget::Charge>(std::move(charge));
     dispatch_->Submit([this, conn, request = std::move(request), local_id,
-                       source = std::move(source)]() mutable {
-      DispatchWireRequest(conn, std::move(request), local_id, std::move(source));
+                       source = std::move(source), charge_box]() mutable {
+      DispatchWireRequest(conn, std::move(request), local_id,
+                          std::move(source), std::move(*charge_box));
     });
   }
 }
@@ -607,8 +728,33 @@ bool Server::ProcessHttp(Loop& loop, const std::shared_ptr<Conn>& conn) {
       continue;
     }
     if (request.method == "GET" && request.target == "/healthz") {
+      // With a ladder: JSON state, 200 while serving (healthy/degraded),
+      // 503 otherwise. Without one the endpoint still tells load balancers
+      // about drain.
+      std::string body;
+      int code;
+      if (options_.health != nullptr) {
+        body = options_.health->ToJson();
+        body.push_back('\n');
+        code = options_.health->Serving() ? 200 : 503;
+      } else if (draining_.load(std::memory_order_acquire)) {
+        body = "{\"state\":\"draining\",\"draining\":true,\"conditions\":[]}\n";
+        code = 503;
+      } else {
+        body = "{\"state\":\"healthy\",\"draining\":false,\"conditions\":[]}\n";
+        code = 200;
+      }
       SendInline(loop, conn,
-                 BuildHttpResponse(200, "text/plain", "ok\n",
+                 BuildHttpResponse(code, "application/json", body,
+                                   request.keep_alive),
+                 /*close_after=*/!request.keep_alive);
+      continue;
+    }
+    if (request.method == "POST" && request.target == "/drain") {
+      BeginDrain();
+      SendInline(loop, conn,
+                 BuildHttpResponse(200, "application/json",
+                                   "{\"state\":\"draining\"}\n",
                                    request.keep_alive),
                  /*close_after=*/!request.keep_alive);
       continue;
@@ -621,6 +767,32 @@ bool Server::ProcessHttp(Loop& loop, const std::shared_ptr<Conn>& conn) {
                                      request.keep_alive),
                    /*close_after=*/!request.keep_alive);
         continue;
+      }
+      if (draining_.load(std::memory_order_acquire)) {
+        SendInline(loop, conn,
+                   BuildHttpResponse(
+                       503, "application/json",
+                       "{\"error\":\"server draining; not accepting new "
+                       "requests\"}\n",
+                       request.keep_alive, {{"Retry-After", "1"}}),
+                   /*close_after=*/!request.keep_alive);
+        continue;
+      }
+      MemoryBudget::Charge http_charge;
+      if (options_.memory != nullptr) {
+        auto admitted = options_.memory->Admit(request.body.size());
+        if (!admitted.ok()) {
+          std::string body = "{\"error\":";
+          AppendJsonString(&body, admitted.status().message());
+          body.append("}\n");
+          SendInline(loop, conn,
+                     BuildHttpResponse(503, "application/json", body,
+                                       request.keep_alive,
+                                       {{"Retry-After", "1"}}),
+                     /*close_after=*/!request.keep_alive);
+          continue;
+        }
+        http_charge = std::move(admitted).ValueOrDie();
       }
       auto wire = ParseJsonDetectRequest(request.body, options_.wire_limits);
       if (!wire.ok()) {
@@ -648,11 +820,16 @@ bool Server::ProcessHttp(Loop& loop, const std::shared_ptr<Conn>& conn) {
         conn->inflight.emplace(local_id, source);
       }
       conn->inflight_count.fetch_add(1, std::memory_order_relaxed);
+      inflight_requests_.fetch_add(1, std::memory_order_acq_rel);
       bool keep_alive = request.keep_alive;
+      auto charge_box =
+          std::make_shared<MemoryBudget::Charge>(std::move(http_charge));
       dispatch_->Submit([this, conn, detect = std::move(detect), local_id,
-                         source = std::move(source), keep_alive]() mutable {
+                         source = std::move(source), keep_alive,
+                         charge_box]() mutable {
         DispatchHttpDetect(conn, std::move(detect), local_id,
-                           std::move(source), keep_alive);
+                           std::move(source), keep_alive,
+                           std::move(*charge_box));
       });
       continue;
     }
@@ -696,7 +873,12 @@ size_t Server::RunDetect(const WireRequest& request, const CancelSource& source,
   executor_->Detect(batch, ticketed);
 
   if (controller != nullptr) {
-    if (ticketed.shed() > 0) controller->CountShedColumns(ticketed.shed());
+    // Charge the tenant only for columns the ticket sink relabeled; kShed
+    // reports the engine produced were counted by its own controller, and
+    // charging them twice would double every serve.admission.* total.
+    if (ticketed.relabeled() > 0) {
+      controller->CountShedColumns(ticketed.relabeled());
+    }
     controller->Release(ticket);
   }
   metrics_.request_latency_us->Record(ElapsedUs(start));
@@ -712,34 +894,69 @@ void Server::CompleteRequest(const std::shared_ptr<Conn>& conn,
   conn->inflight_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void Server::FinishDispatched(const std::shared_ptr<Conn>& conn,
+                              uint64_t local_id, std::string&& final_bytes) {
+  // Deregister before the terminal bytes go out: a client that reads them
+  // and closes instantly must not race CloseConn into counting a spurious
+  // disconnect-cancel for an already-finished request. The drain-visible
+  // in-flight count drops only after the bytes are buffered, so AwaitDrain
+  // can never observe "nothing in flight, nothing buffered" while the
+  // terminal response is still in this thread's hands.
+  CompleteRequest(conn, local_id);
+  if (!final_bytes.empty()) SendToConn(conn, std::move(final_bytes));
+  inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 void Server::DispatchWireRequest(std::shared_ptr<Conn> conn, WireRequest request,
-                                 uint64_t local_id, CancelSource source) {
+                                 uint64_t local_id, CancelSource source,
+                                 MemoryBudget::Charge charge) {
+  Watchdog::TaskScope watched(options_.watchdog, "wire");
+  if (AD_FAILPOINT("serve.worker.wedge")) {
+    // Chaos hook: park this worker long enough for the watchdog to flag it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+  // Materialization charge: RunDetect's ToDetectBatch copies every column
+  // string. Refusal is the same typed error the admission path produces.
+  if (!charge.Extend(WireRequestBytes(request))) {
+    WireError error{request.request_id,
+                    "ResourceExhausted: column materialization exceeds the "
+                    "memory budget"};
+    FinishDispatched(conn, local_id, EncodeErrorFrame(error));
+    return;
+  }
   WireSink sink(this, conn, request.request_id);
   RunDetect(request, source, sink);
   metrics_.frames_out->Add(1);
-  // Deregister before the terminal frame goes out: a client that reads
-  // batch-done and closes instantly must not race CloseConn into counting a
-  // spurious disconnect-cancel for an already-finished request.
-  CompleteRequest(conn, local_id);
-  SendToConn(conn, EncodeBatchDoneFrame(
+  FinishDispatched(conn, local_id,
+                   EncodeBatchDoneFrame(
                        {request.request_id, request.columns.size()}));
 }
 
 void Server::DispatchHttpDetect(std::shared_ptr<Conn> conn, WireRequest request,
                                 uint64_t local_id, CancelSource source,
-                                bool keep_alive) {
-  CollectSink sink(request.columns.size());
-  RunDetect(request, source, sink);
-  std::string body = DetectResponseToJson(request.request_id, sink.reports());
-  body.push_back('\n');
-  std::string response =
-      BuildHttpResponse(200, "application/json", body, keep_alive);
-  CompleteRequest(conn, local_id);
+                                bool keep_alive, MemoryBudget::Charge charge) {
+  Watchdog::TaskScope watched(options_.watchdog, "http");
+  if (AD_FAILPOINT("serve.worker.wedge")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+  std::string response;
+  if (!charge.Extend(WireRequestBytes(request))) {
+    response = BuildHttpResponse(
+        503, "application/json",
+        "{\"error\":\"column materialization exceeds the memory budget\"}\n",
+        keep_alive, {{"Retry-After", "1"}});
+  } else {
+    CollectSink sink(request.columns.size());
+    RunDetect(request, source, sink);
+    std::string body = DetectResponseToJson(request.request_id, sink.reports());
+    body.push_back('\n');
+    response = BuildHttpResponse(200, "application/json", body, keep_alive);
+  }
   if (!keep_alive) {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->close_after_flush = true;
   }
-  SendToConn(conn, std::move(response));
+  FinishDispatched(conn, local_id, std::move(response));
 }
 
 void Server::FlushConn(Loop& loop, const std::shared_ptr<Conn>& conn) {
@@ -754,6 +971,7 @@ void Server::FlushConn(Loop& loop, const std::shared_ptr<Conn>& conn) {
       if (n > 0) {
         metrics_.bytes_written->Add(static_cast<uint64_t>(n));
         conn->outbuf.erase(0, static_cast<size_t>(n));
+        outbuf_bytes_.fetch_sub(n, std::memory_order_acq_rel);
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -787,6 +1005,11 @@ void Server::CloseConn(Loop& loop, const std::shared_ptr<Conn>& conn,
     sources.reserve(conn->inflight.size());
     for (auto& [id, source] : conn->inflight) sources.push_back(source);
     conn->inflight.clear();
+    // Whatever never reached the wire is dropped with the connection; the
+    // drain accounting must not wait for bytes nobody can flush.
+    outbuf_bytes_.fetch_sub(static_cast<int64_t>(conn->outbuf.size()),
+                            std::memory_order_acq_rel);
+    conn->outbuf.clear();
   }
   if (cancel_inflight && !sources.empty()) {
     // Disconnect-as-cancel: nobody will read these reports, so the engine

@@ -19,6 +19,7 @@
 #include "net/tenant.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "serve/lifecycle.h"
 
 /// \file server.h
 /// The asynchronous network front-end: `autodetect serve`. Thread-per-core
@@ -57,6 +58,18 @@
 ///  * Write backpressure: a client that stops reading while reports
 ///    stream at it is disconnected once its output buffer passes
 ///    max_outbuf_bytes.
+///  * Memory budgets: with a MemoryBudget wired in, a frame whose length
+///    prefix alone exceeds the per-request budget is refused from the
+///    5-byte header — the payload is never buffered — and admitted
+///    requests charge decode + materialization bytes, so overload is a
+///    typed kResourceExhausted error (wire kError / HTTP 503 +
+///    Retry-After), never an OOM.
+///  * Lifecycle: BeginDrain() (SIGTERM, POST /drain) closes the
+///    listeners, refuses new requests with a typed error, flips /healthz
+///    to draining and lets in-flight batches finish; AwaitDrain() waits
+///    for them (bounded by drain_timeout_ms), after which Stop() cancels
+///    stragglers through the normal CancelSource path. A Watchdog, when
+///    attached, sees every dispatch task and acceptor-loop heartbeat.
 ///
 /// Metrics (serve.net.*): connections_total, active_connections,
 /// bytes_read_total, bytes_written_total, frames_in_total,
@@ -88,6 +101,18 @@ struct ServerOptions {
   /// Registry for serve.net.* metrics and GET /metrics; null = process
   /// default.
   MetricsRegistry* metrics = nullptr;
+  /// Byte budget charged at wire decode and column materialization; not
+  /// owned, may be null (no budget). Must outlive the server.
+  MemoryBudget* memory = nullptr;
+  /// Health ladder surfaced via /healthz and driven by drain; not owned,
+  /// may be null (/healthz then degrades to plain "ok" / 503 draining).
+  HealthLadder* health = nullptr;
+  /// Watchdog fed by dispatch TaskScopes and acceptor-loop heartbeats; not
+  /// owned, may be null. Register/Start happens inside Server::Start.
+  Watchdog* watchdog = nullptr;
+  /// Default bound for AwaitDrain(0): how long a drain waits for in-flight
+  /// batches before the caller falls through to Stop()'s cancellation.
+  uint64_t drain_timeout_ms = 10000;
 };
 
 /// Point-in-time server counters (mirrors the serve.net.* metrics so tests
@@ -120,6 +145,22 @@ class Server {
   /// joins all threads. Idempotent; also run by the destructor.
   void Stop();
 
+  /// Enters graceful drain: every loop closes its listener, new requests on
+  /// existing connections get a typed "draining" error, /healthz flips to
+  /// 503 draining, and in-flight batches keep running. Idempotent,
+  /// irreversible, safe from any thread (including signal-driven CLI code
+  /// calling it off the main thread).
+  void BeginDrain();
+
+  /// Blocks until every admitted request has completed AND its response
+  /// bytes have left the output buffers, or `timeout_ms` elapsed (0 = the
+  /// options' drain_timeout_ms). Returns true when the server drained
+  /// clean; false on timeout — the caller then invokes Stop(), which
+  /// cancels the stragglers through the existing CancelSource path.
+  bool AwaitDrain(uint64_t timeout_ms = 0);
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   /// The bound port (after Start); useful with port 0.
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -146,15 +187,24 @@ class Server {
 
   // --- dispatch side (dispatch pool threads) ---
   void DispatchWireRequest(std::shared_ptr<Conn> conn, WireRequest request,
-                           uint64_t local_id, CancelSource source);
+                           uint64_t local_id, CancelSource source,
+                           MemoryBudget::Charge charge);
   void DispatchHttpDetect(std::shared_ptr<Conn> conn, WireRequest request,
                           uint64_t local_id, CancelSource source,
-                          bool keep_alive);
+                          bool keep_alive, MemoryBudget::Charge charge);
   /// Runs one decoded request through tenant admission and the executor,
   /// streaming every column's report (including admission-shed ones) into
   /// `sink`. Returns the number of shed columns.
   size_t RunDetect(const WireRequest& request, const CancelSource& source,
                    ReportSink& sink);
+  /// Finishes one dispatched request: deregisters it and decrements the
+  /// drain-visible in-flight count. `final_bytes`, when non-empty, is the
+  /// terminal response (batch-done frame / HTTP body) — it is appended
+  /// BEFORE the in-flight count drops so AwaitDrain can never observe
+  /// "nothing in flight, nothing buffered" with the terminal bytes still
+  /// in a dispatch thread's hands.
+  void FinishDispatched(const std::shared_ptr<Conn>& conn, uint64_t local_id,
+                        std::string&& final_bytes);
   void CompleteRequest(const std::shared_ptr<Conn>& conn, uint64_t local_id);
 
   /// Appends bytes to the connection's output buffer and wakes its loop.
@@ -192,7 +242,14 @@ class Server {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
+
+  /// Requests admitted to dispatch and not yet fully answered; paired with
+  /// outbuf_bytes_ (unsent response bytes) these are the two quantities
+  /// AwaitDrain waits to see hit zero.
+  std::atomic<int64_t> inflight_requests_{0};
+  std::atomic<int64_t> outbuf_bytes_{0};
 
   std::atomic<uint64_t> stat_connections_{0};
   std::atomic<uint64_t> stat_requests_{0};

@@ -242,6 +242,17 @@ Result<WireError> DecodeErrorPayload(std::string_view payload,
   return error;
 }
 
+size_t WireRequestBytes(const WireRequest& request) {
+  size_t bytes = request.tenant.size() + request.tag.size();
+  for (const auto& column : request.columns) {
+    bytes += column.name.size() + sizeof(WireColumn);
+    for (const auto& value : column.values) {
+      bytes += value.size() + sizeof(std::string);
+    }
+  }
+  return bytes;
+}
+
 std::vector<DetectRequest> ToDetectBatch(const WireRequest& request) {
   std::vector<DetectRequest> batch;
   batch.reserve(request.columns.size());

@@ -157,4 +157,9 @@ Result<WireError> DecodeErrorPayload(std::string_view payload,
 /// per column, all sharing RequestContext{tenant, tag, deadline_ms}.
 std::vector<DetectRequest> ToDetectBatch(const WireRequest& request);
 
+/// Working-set bytes a decoded request holds in its strings — what
+/// ToDetectBatch will copy. The serving layer charges this against the
+/// MemoryBudget at column-materialization time.
+size_t WireRequestBytes(const WireRequest& request);
+
 }  // namespace autodetect

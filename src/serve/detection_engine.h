@@ -124,6 +124,9 @@ class DetectionEngine : public DetectionExecutor {
   /// \brief The admission controller, null when admission control is
   /// disabled (queue_cap_columns == 0).
   const AdmissionController* admission() const { return admission_.get(); }
+  /// \brief Mutable access for harnesses that pin occupancy (tests holding
+  /// capacity via Admit to force deterministic shedding).
+  AdmissionController* mutable_admission() { return admission_.get(); }
 
  private:
   /// Engine-level metric handles, resolved once at construction.

@@ -57,10 +57,35 @@ void ModelRegistry::PublishModelMetrics(const std::shared_ptr<const Model>& mode
 }
 
 Status ModelRegistry::Reload(const std::string& path) {
+  CircuitBreaker* breaker = breaker_.load(std::memory_order_acquire);
+  if (breaker != nullptr && !breaker->Allow()) {
+    // Open breaker: the recent reloads all failed, so stop hammering the
+    // disk — the artifact is not touched until the probe window elapses.
+    return Status::ResourceExhausted(
+        "model-reload circuit breaker open; not rereading " + path);
+  }
+  Status attempt = ReloadAttempt(path);
+  if (breaker != nullptr) {
+    if (attempt.ok()) {
+      breaker->RecordSuccess();
+    } else {
+      breaker->RecordFailure();
+    }
+  }
+  return attempt;
+}
+
+Status ModelRegistry::ReloadAttempt(const std::string& path) {
   StageTimer timer(reload_latency_us_);
   if (AD_FAILPOINT("registry.reload.fail")) {
     reload_errors_->Add(1);
     return Status::IOError("failpoint registry.reload.fail: artifact unreadable")
+        .WithContext("reloading model from " + path);
+  }
+  if (AD_FAILPOINT("registry.reload.flap")) {
+    reload_errors_->Add(1);
+    return Status::IOError(
+               "failpoint registry.reload.flap: transient reload failure")
         .WithContext("reloading model from " + path);
   }
   Result<Model> loaded = Model::Load(path);

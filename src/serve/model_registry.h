@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "detect/model_provider.h"
 #include "obs/metrics.h"
+#include "serve/lifecycle.h"
 
 /// \file model_registry.h
 /// Hot-reloadable model lifecycle for serving. A ModelRegistry owns the
@@ -51,6 +52,16 @@
 /// Failpoints (chaos builds only): registry.reload.fail makes Reload fail
 /// as if the artifact were unreadable — the standard way to exercise the
 /// fail-closed path and the watcher's backoff in tests.
+/// registry.reload.flap is the intermittent variant (arm it with a
+/// probability or hit-count spec) for driving an attached CircuitBreaker
+/// through open/half-open/closed in chaos runs.
+///
+/// With AttachBreaker, every Reload first consults the breaker: while it is
+/// open the artifact is not touched at all (typed kResourceExhausted
+/// instead of another disk read), and reload outcomes feed the breaker so
+/// repeated failures trip it and a successful half-open probe closes it.
+/// The breaker's health-ladder coupling (when configured there) marks the
+/// server degraded for exactly the open/half-open span.
 
 namespace autodetect {
 
@@ -94,8 +105,16 @@ class ModelRegistry : public ModelProvider {
 
   bool watching() const { return watcher_.joinable(); }
 
+  /// \brief Routes every subsequent Reload through `breaker` (not owned;
+  /// null detaches). Attach before serving starts — the pointer is read
+  /// without synchronization beyond the atomic itself.
+  void AttachBreaker(CircuitBreaker* breaker) {
+    breaker_.store(breaker, std::memory_order_release);
+  }
+
  private:
   void WatchLoop();
+  Status ReloadAttempt(const std::string& path);
   void PublishModelMetrics(const std::shared_ptr<const Model>& model,
                            uint64_t generation);
 
@@ -103,6 +122,7 @@ class ModelRegistry : public ModelProvider {
   std::shared_ptr<const Model> model_;
   std::string path_;
   std::atomic<uint64_t> generation_{0};
+  std::atomic<CircuitBreaker*> breaker_{nullptr};
 
   std::mutex watch_mu_;  ///< guards stop + cv for the watcher thread
   std::condition_variable watch_cv_;

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "corpus/corpus_generator.h"
 #include "detect/trainer.h"
@@ -33,6 +34,7 @@
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "serve/detection_engine.h"
+#include "serve/lifecycle.h"
 
 namespace autodetect {
 namespace {
@@ -431,6 +433,200 @@ TEST(TenantTest, UnlimitedByDefaultAndRejectsBadSpecs) {
   EXPECT_FALSE(table.Parse("a=notanumber").ok());
   EXPECT_FALSE(table.Parse("a=5:bogus-policy").ok());
   EXPECT_FALSE(table.Parse("=5").ok());
+}
+
+// ------------------------------------------------------------ decode fuzz
+
+/// Structure-aware mutation for the decode fuzzers: 1-3 operations drawn
+/// from byte flips, truncation, random splices, and length-prefix
+/// tampering. Starting from VALID frames (rather than pure noise) keeps the
+/// mutants deep in the decoders, where a lazy bounds check would hide.
+std::string Mutate(std::string bytes, Pcg32* rng) {
+  const int ops = 1 + static_cast<int>(rng->Uniform(0, 2));
+  for (int op = 0; op < ops && !bytes.empty(); ++op) {
+    switch (rng->Uniform(0, 3)) {
+      case 0: {  // flip bits in one byte
+        size_t i = static_cast<size_t>(
+            rng->Uniform(0, static_cast<int64_t>(bytes.size()) - 1));
+        bytes[i] = static_cast<char>(bytes[i] ^ (1 + rng->Uniform(0, 254)));
+        break;
+      }
+      case 1:  // truncate at a random point
+        bytes.resize(static_cast<size_t>(
+            rng->Uniform(0, static_cast<int64_t>(bytes.size()))));
+        break;
+      case 2: {  // splice a run of junk into the middle
+        size_t at = static_cast<size_t>(
+            rng->Uniform(0, static_cast<int64_t>(bytes.size())));
+        std::string junk;
+        for (int64_t i = 0, n = rng->Uniform(1, 16); i < n; ++i) {
+          junk.push_back(static_cast<char>(rng->Uniform(0, 255)));
+        }
+        bytes.insert(at, junk);
+        break;
+      }
+      default:  // tamper the (little-endian) length prefix
+        if (bytes.size() >= 4) {
+          uint32_t len = static_cast<uint32_t>(rng->Uniform(0, 1 << 28));
+          std::memcpy(bytes.data(), &len, sizeof(len));
+        }
+        break;
+    }
+  }
+  return bytes;
+}
+
+TEST(WireFuzzTest, MutatedAndGarbageFramesFailClosed) {
+  WireReport sample_report;
+  sample_report.request_id = 7;
+  sample_report.column_index = 1;
+  sample_report.report = SampleReport();
+  const std::vector<std::string> seeds = {
+      EncodeRequestFrame(SampleRequest()),
+      EncodeReportFrame(sample_report),
+      EncodeBatchDoneFrame(WireBatchDone{7, 3}),
+      EncodeErrorFrame(WireError{42, "boom"}),
+  };
+  WireLimits limits;  // stock limits: mutated prefixes can exceed them
+  Pcg32 rng(0x20180610);
+  size_t decoded_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string frame;
+    if (iter % 5 == 4) {  // pure-garbage leg alongside the mutants
+      for (int64_t i = 0, n = rng.Uniform(0, 96); i < n; ++i) {
+        frame.push_back(static_cast<char>(rng.Uniform(0, 255)));
+      }
+    } else {
+      frame = Mutate(seeds[static_cast<size_t>(iter) % seeds.size()], &rng);
+    }
+
+    auto peeked = PeekFrame(frame, limits);
+    if (!peeked.ok()) {
+      // Framing damage is typed Corruption — never a crash, never a hang.
+      EXPECT_TRUE(peeked.status().IsCorruption())
+          << peeked.status().ToString();
+      ++rejected;
+      continue;
+    }
+    if (!peeked->has_value()) continue;  // incomplete: "read more", no parse
+
+    const std::string_view payload = (*peeked)->payload;
+    Status status = Status::OK();
+    size_t decoded_bytes = 0;
+    switch ((*peeked)->type) {
+      case FrameType::kDetectRequest: {
+        auto decoded = DecodeRequestPayload(payload, limits);
+        if (decoded.ok()) {
+          EXPECT_LE(decoded->columns.size(), limits.max_columns);
+          decoded_bytes = decoded->tenant.size() + decoded->tag.size();
+          for (const WireColumn& column : decoded->columns) {
+            EXPECT_LE(column.values.size(), limits.max_values);
+            decoded_bytes += column.name.size();
+            for (const std::string& value : column.values) {
+              decoded_bytes += value.size();
+            }
+          }
+        } else {
+          status = decoded.status();
+        }
+        break;
+      }
+      case FrameType::kColumnReport: {
+        auto decoded = DecodeReportPayload(payload, limits);
+        if (decoded.ok()) {
+          decoded_bytes = decoded->report.name.size();
+          for (const auto& cell : decoded->report.column.cells) {
+            decoded_bytes += cell.value.size();
+          }
+          for (const auto& pair : decoded->report.column.pairs) {
+            decoded_bytes += pair.u.size() + pair.v.size();
+          }
+        } else {
+          status = decoded.status();
+        }
+        break;
+      }
+      case FrameType::kBatchDone: {
+        auto decoded = DecodeBatchDonePayload(payload);
+        if (!decoded.ok()) status = decoded.status();
+        break;
+      }
+      case FrameType::kError: {
+        auto decoded = DecodeErrorPayload(payload, limits);
+        if (decoded.ok()) {
+          decoded_bytes = decoded->message.size();
+        } else {
+          status = decoded.status();
+        }
+        break;
+      }
+    }
+    if (status.ok()) {
+      // No amplification: every decoded string was carved out of the
+      // payload, so a hostile frame can never make the decoder allocate
+      // more string bytes than it sent.
+      EXPECT_LE(decoded_bytes, frame.size()) << "iteration " << iter;
+      ++decoded_ok;
+    } else {
+      // Fail-closed taxonomy: truncation is IOError, damage is Corruption.
+      EXPECT_TRUE(status.IsIOError() || status.IsCorruption())
+          << status.ToString();
+      ++rejected;
+    }
+  }
+  // The fuzzer must exercise both outcomes, or the mutations are too tame
+  // (everything surviving) or too wild (nothing reaching the decoders).
+  EXPECT_GT(decoded_ok, 0u);
+  EXPECT_GT(rejected, 100u);
+}
+
+TEST(HttpFuzzTest, MutatedRequestsParseOrFailCleanly) {
+  const std::string seed =
+      "POST /detect HTTP/1.1\r\nHost: fuzz\r\n"
+      "Content-Type: application/json\r\nContent-Length: 17\r\n\r\n"
+      "0123456789abcdefg";
+  HttpLimits limits;
+  limits.max_head_bytes = 4096;
+  limits.max_body_bytes = 1 << 16;
+  Pcg32 rng(0xF022);
+  size_t parsed_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string buffer = Mutate(seed, &rng);
+    auto parsed = ParseHttpRequest(buffer, limits);
+    if (!parsed.ok()) {
+      ++rejected;
+      continue;
+    }
+    if (!parsed->has_value()) continue;
+    const HttpRequest& request = **parsed;
+    EXPECT_LE(request.consumed, buffer.size());
+    EXPECT_LE(request.body.size(), limits.max_body_bytes);
+    ++parsed_ok;
+  }
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(JsonFuzzTest, MutatedDocumentsParseOrFailCleanly) {
+  const std::string seed =
+      R"({"tenant":"acme","tag":"t.csv","columns":[)"
+      R"({"name":"dates","values":["2011-01-01","x"]},)"
+      R"({"name":"qty","values":["1","2","3"]}]})";
+  Pcg32 rng(0x75);
+  size_t parsed_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string doc = Mutate(seed, &rng);
+    auto parsed = ParseJson(doc);
+    if (parsed.ok()) {
+      ++parsed_ok;
+    } else {
+      ++rejected;
+    }
+  }
+  // Strictness both ways: some mutants survive (the fuzzer reaches deep
+  // structure), many die (the parser is not sloppily permissive).
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, parsed_ok);
 }
 
 // ------------------------------------------------------------ loopback
@@ -839,6 +1035,288 @@ TEST_F(NetFixture, GarbageProtocolBytesGetErrorFrameAndClose) {
   ASSERT_TRUE(batch.ok());
   EXPECT_TRUE(batch->done);
 
+  server.Stop();
+}
+
+TEST_F(NetFixture, HostileFrameClaimRejectedBeforeBuffering) {
+  DetectionEngine engine(model_, EngineOptions{});
+  MemoryBudget budget({/*global_bytes=*/4u << 20, /*per_request_bytes=*/1u << 20});
+  ServerOptions server_opts;
+  server_opts.memory = &budget;
+  Server server(&engine, server_opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = RawConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+  // Valid preamble, then ONLY a 5-byte header whose length prefix claims a
+  // 32MB payload — far over the 1MB per-request budget. The server must
+  // reject from the header alone: the payload is never sent, so a bounded
+  // response proves nothing was buffered waiting for it.
+  std::string bytes(kWireMagic, kWireMagicLen);
+  std::string header(kWireHeaderLen, '\0');
+  uint32_t claim = 32u << 20;
+  std::memcpy(header.data(), &claim, sizeof(claim));
+  header[4] = static_cast<char>(FrameType::kDetectRequest);
+  bytes += header;
+  ASSERT_EQ(::write(*fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+
+  std::string received;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(*fd, buf, sizeof(buf))) > 0) received.append(buf, n);
+  ::close(*fd);
+
+  auto peeked = PeekFrame(received);
+  ASSERT_TRUE(peeked.ok());
+  ASSERT_TRUE(peeked->has_value());
+  EXPECT_EQ((*peeked)->type, FrameType::kError);
+  auto error = DecodeErrorPayload((*peeked)->payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_NE(error->message.find("budget"), std::string::npos)
+      << error->message;
+  // RSS stays bounded: the hostile claim charged nothing, ever.
+  EXPECT_EQ(budget.rejected_total(), 1u);
+  EXPECT_EQ(budget.inflight_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 0u);
+  server.Stop();
+}
+
+TEST_F(NetFixture, GlobalBudgetRefusalIsRetryableOnTheSameConnection) {
+  DetectionEngine engine(model_, EngineOptions{});
+  // Global budget small enough that one chunky request cannot fit, with no
+  // per-request cap — the refusal takes the "retry later" path.
+  MemoryBudget budget({/*global_bytes=*/1024, /*per_request_bytes=*/0});
+  ServerOptions server_opts;
+  server_opts.memory = &budget;
+  Server server(&engine, server_opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = WireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  WireRequest fat;
+  fat.request_id = 50;
+  fat.tenant = "acme";
+  fat.columns.push_back({"pad", {std::string(4096, 'x')}});
+  ASSERT_TRUE(client->SendRequest(fat).ok());
+  auto refused = client->ReadBatch(50);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  ASSERT_TRUE(refused->errored);
+  EXPECT_NE(refused->error.message.find("retry"), std::string::npos)
+      << refused->error.message;
+  EXPECT_EQ(budget.rejected_total(), 1u);
+
+  // A request-scoped refusal, not a connection killer: the same socket
+  // serves a within-budget batch immediately after.
+  WireRequest thin;
+  thin.request_id = 51;
+  thin.tenant = "acme";
+  thin.columns.push_back({"qty", {"1", "2", "3"}});
+  ASSERT_TRUE(client->SendRequest(thin).ok());
+  auto served = client->ReadBatch(51);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->done);
+  EXPECT_FALSE(served->errored);
+  ASSERT_EQ(served->reports.size(), 1u);
+  EXPECT_EQ(budget.inflight_bytes(), 0u);  // charge released with the batch
+  server.Stop();
+}
+
+TEST_F(NetFixture, DrainCompletesInflightRefusesNewAndFlipsHealthz) {
+  // One worker serializes the heavy batch so the drain reliably lands while
+  // most of its columns are still queued.
+  EngineOptions opts;
+  opts.num_threads = 1;
+  DetectionEngine engine(model_, opts);
+  HealthLadder health;
+  ServerOptions server_opts;
+  server_opts.health = &health;
+  Server server(&engine, server_opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireRequest request = HeavyBatch(60, 6, 10000);
+  std::vector<DetectReport> local = engine.Detect(ToDetectBatch(request));
+
+  auto client = WireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRequest(request).ok());
+  // Wait for the first streamed report — the batch is mid-flight with five
+  // columns to go — then drain via the HTTP control plane. The /drain and
+  // /healthz exchange rides ONE keep-alive connection opened before the
+  // drain: afterwards the listeners are closed, as the refusal probe shows.
+  char byte;
+  ASSERT_GT(::recv(client->fd(), &byte, 1, MSG_PEEK), 0);
+
+  auto http = RawConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(http.ok());
+  const std::string control =
+      "POST /drain HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(*http, control.data(), control.size()),
+            static_cast<ssize_t>(control.size()));
+  std::string control_response;
+  auto control_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (control_response.find("\"state\":\"draining\",\"draining\":true") ==
+             std::string::npos &&
+         std::chrono::steady_clock::now() < control_deadline) {
+    char buf[512];
+    ssize_t got = ::read(*http, buf, sizeof(buf));
+    if (got <= 0) break;
+    control_response.append(buf, got);
+  }
+  ::close(*http);
+  // The pipelined /healthz (a ladder-backed 503) reported draining.
+  EXPECT_NE(control_response.find("HTTP/1.1 503"), std::string::npos)
+      << control_response;
+  EXPECT_NE(control_response.find("\"state\":\"draining\""), std::string::npos)
+      << control_response;
+  EXPECT_EQ(health.state(), HealthState::kDraining);
+  EXPECT_TRUE(server.draining());
+
+  // THE drain guarantee: every admitted in-flight column completes, and the
+  // reports are byte-identical to an in-process detect of the same batch.
+  auto batch = client->ReadBatch(request.request_id);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_TRUE(batch->done);
+  EXPECT_FALSE(batch->errored);
+  ASSERT_EQ(batch->reports.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(batch->reports[i].report.status, ColumnStatus::kOk);
+    EXPECT_EQ(Fingerprint(batch->reports[i].report.column),
+              Fingerprint(local[i].column))
+        << "column " << i;
+  }
+
+  // New work is refused: the drained listeners are closed, and any racing
+  // connect that slipped into the backlog gets a typed refusal, not service.
+  auto refusal_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool refused = false;
+  while (!refused && std::chrono::steady_clock::now() < refusal_deadline) {
+    auto probe = WireClient::Connect("127.0.0.1", server.port());
+    if (!probe.ok()) {
+      refused = true;
+      break;
+    }
+    WireRequest tiny = SmallBatch(61, "late");
+    if (!probe->SendRequest(tiny).ok()) {
+      refused = true;
+      break;
+    }
+    auto answer = probe->ReadBatch(61);
+    if (!answer.ok() || answer->errored) {
+      refused = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(refused);
+
+  // In-flight work is done and flushed: the drain completes well inside the
+  // timeout, and shutdown is orderly.
+  EXPECT_TRUE(server.AwaitDrain(30000));
+  server.Stop();
+}
+
+TEST_F(NetFixture, EngineShedDoesNotDoubleChargeTenantCounters) {
+  MetricsRegistry registry;
+  // Engine-level admission with a 2-column cap: a 5-column batch is shed by
+  // the ENGINE's controller (counted under serve.admission.*), while the
+  // tenant stays far under its own quota.
+  EngineOptions opts;
+  opts.metrics = &registry;
+  opts.admission.queue_cap_columns = 2;
+  opts.admission.policy = AdmissionPolicy::kReject;
+  DetectionEngine engine(model_, opts);
+  // An empty queue admits even oversized batches (anti-starvation), so pin
+  // occupancy at the cap to make the engine shed deterministically.
+  ASSERT_NE(engine.mutable_admission(), nullptr);
+  auto pinned = engine.mutable_admission()->Admit(2);
+  ASSERT_NE(pinned, nullptr);
+
+  TenantTable tenants(&registry);
+  ASSERT_TRUE(tenants.Parse("calm=1000:reject").ok());
+  ServerOptions server_opts;
+  server_opts.metrics = &registry;
+  server_opts.tenants = &tenants;
+  Server server(&engine, server_opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = WireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  WireRequest request = SmallBatch(70, "calm");
+  ASSERT_TRUE(client->SendRequest(request).ok());
+  auto batch = client->ReadBatch(70);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_TRUE(batch->done);
+  ASSERT_EQ(batch->reports.size(), 5u);
+  size_t shed_reports = 0;
+  for (const WireReport& report : batch->reports) {
+    if (report.report.status == ColumnStatus::kShed) ++shed_reports;
+  }
+  EXPECT_EQ(shed_reports, 5u);
+
+  if (kMetricsEnabled) {
+    MetricsSnapshot snap = registry.Snapshot();
+    // The invariant under test: every kShed report charged EXACTLY ONE
+    // serve.admission.* counter — the engine's, which shed the columns.
+    EXPECT_EQ(snap.counters.at("serve.admission.shed_columns_total"),
+              shed_reports);
+    // The tenant's controller admitted the batch and never shed a column;
+    // charging it too (the old behaviour) would double every total. The
+    // counters are registered at construction, so they exist — at zero.
+    EXPECT_EQ(snap.counters.at("serve.admission.tenant.calm.shed_columns_total"),
+              0u);
+    EXPECT_EQ(snap.counters.at("serve.admission.tenant.calm.rejected_total"),
+              0u);
+  }
+  engine.mutable_admission()->Release(pinned);
+  server.Stop();
+}
+
+TEST_F(NetFixture, TenantShedChargesExactlyOnce) {
+  MetricsRegistry registry;
+  EngineOptions opts;
+  opts.metrics = &registry;
+  DetectionEngine engine(model_, opts);
+  TenantTable tenants(&registry);
+  ASSERT_TRUE(tenants.Parse("flood=4:reject").ok());
+  ServerOptions server_opts;
+  server_opts.metrics = &registry;
+  server_opts.tenants = &tenants;
+  Server server(&engine, server_opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin the tenant's whole quota so the next batch is deterministically
+  // refused at admission.
+  AdmissionController* flood_ctl = tenants.ControllerFor("flood");
+  ASSERT_NE(flood_ctl, nullptr);
+  auto occupancy = flood_ctl->Admit(4);
+  ASSERT_NE(occupancy, nullptr);
+
+  auto client = WireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  WireRequest request = SmallBatch(80, "flood");
+  ASSERT_TRUE(client->SendRequest(request).ok());
+  auto batch = client->ReadBatch(80);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->reports.size(), 5u);
+  for (const WireReport& report : batch->reports) {
+    EXPECT_EQ(report.report.status, ColumnStatus::kShed);
+  }
+
+  if (kMetricsEnabled) {
+    MetricsSnapshot snap = registry.Snapshot();
+    // Exact equality, not >=: 5 kShed reports, 5 shed-column charges, one
+    // rejected batch. Any relabel-plus-recount bug breaks the equality.
+    EXPECT_EQ(snap.counters.at("serve.admission.tenant.flood.shed_columns_total"),
+              5u);
+    EXPECT_EQ(snap.counters.at("serve.admission.tenant.flood.rejected_total"),
+              1u);
+  }
+  flood_ctl->Release(occupancy);
   server.Stop();
 }
 

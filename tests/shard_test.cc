@@ -14,6 +14,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "corpus/corpus_generator.h"
 #include "detect/trainer.h"
 #include "io/serde.h"
@@ -400,6 +401,103 @@ TEST_F(ShardFailClosedTest, TrailingBytesAreCorruption) {
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsCorruption());
   EXPECT_NE(loaded.status().ToString().find("trailing"), std::string::npos);
+}
+
+// --- Checkpoint loading under injected I/O faults -------------------------
+//
+// The reduce stage and warm restarts both hinge on artifact loads surviving
+// the kernel's legal-but-annoying behaviors (short reads, EINTR) and failing
+// CLOSED — with a typed, retryable IOError — when bytes go missing. These
+// run only in failpoint builds (tier-1's FAILPOINTS leg); elsewhere they
+// skip.
+
+TEST(ShardChaosTest, ReadShardByteExactUnderShortAndInterruptedReads) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (build with "
+                    "-DAUTODETECT_FAILPOINTS=ON)";
+  }
+  const GeneratorOptions gen = TestGenerator(200, 97);
+  const TrainOptions train = TestTrainOptions();
+  GeneratedColumnSource source(gen);
+  auto shard =
+      TrainSession::BuildShard(&source, train, MakeProvenance(gen, 0, 200));
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  const std::string path = TempPath("ad_shard_chaos.ads");
+  ASSERT_TRUE(WriteShard(path, *shard).ok());
+
+  // Force the buffered-read fallback, then make read(2) deliver one byte at
+  // a time for a while and fail with EINTR in between — ReadShard must
+  // retry/resume and hand back the exact same statistics.
+  failpoint::ScopedFailpoint fallback("io.mmap.fallback");
+  failpoint::FailpointSpec some_short;
+  some_short.max_hits = 5;
+  failpoint::ScopedFailpoint short_reads("io.read.short", some_short);
+  failpoint::FailpointSpec some_eintr;
+  some_eintr.max_hits = 3;
+  some_eintr.skip = 2;
+  failpoint::ScopedFailpoint eintr("io.read.eintr", some_eintr);
+
+  auto loaded = ReadShard(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->options_digest, shard->options_digest);
+  EXPECT_EQ(loaded->provenance.column_end, shard->provenance.column_end);
+  EXPECT_EQ(SerializedStats(loaded->stats), SerializedStats(shard->stats));
+  EXPECT_GE(failpoint::Stats("io.mmap.fallback").hits, 1u);
+  EXPECT_GE(failpoint::Stats("io.read.short").hits, 1u);
+  EXPECT_GE(failpoint::Stats("io.read.eintr").hits, 1u);
+  fs::remove(path);
+}
+
+TEST(ShardChaosTest, ReadShardTruncateFailpointIsTypedIOError) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (build with "
+                    "-DAUTODETECT_FAILPOINTS=ON)";
+  }
+  const GeneratorOptions gen = TestGenerator(120, 98);
+  const TrainOptions train = TestTrainOptions();
+  GeneratedColumnSource source(gen);
+  auto shard =
+      TrainSession::BuildShard(&source, train, MakeProvenance(gen, 0, 120));
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  const std::string path = TempPath("ad_shard_truncate.ads");
+  ASSERT_TRUE(WriteShard(path, *shard).ok());
+
+  failpoint::FailpointSpec late;
+  late.skip = 4;  // let the header reads through, then starve a later one
+  failpoint::ScopedFailpoint truncate("serde.read.truncate", late);
+  auto loaded = ReadShard(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
+  fs::remove(path);
+}
+
+TEST(ShardChaosTest, SessionCheckpointLoadFailsClosedOnTruncateFailpoint) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "failpoints compiled out (build with "
+                    "-DAUTODETECT_FAILPOINTS=ON)";
+  }
+  const GeneratorOptions gen = TestGenerator(120, 99);
+  TrainSession session(TestTrainOptions());
+  GeneratedColumnSource source(gen);
+  ASSERT_TRUE(session.BuildStats(&source).ok());
+  const std::string path = TempPath("ad_session_chaos.ckpt");
+  ASSERT_TRUE(session.Save(path).ok());
+
+  {
+    // Sanity: the checkpoint loads cleanly without faults armed.
+    auto clean = TrainSession::Load(path);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_EQ(clean->corpus_columns(), session.corpus_columns());
+    EXPECT_EQ(clean->lang_ids(), session.lang_ids());
+  }
+
+  failpoint::FailpointSpec late;
+  late.skip = 6;
+  failpoint::ScopedFailpoint truncate("serde.read.truncate", late);
+  auto loaded = TrainSession::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
+  fs::remove(path);
 }
 
 TEST(CorpusStatsInsertTest, InsertMergesIntoExistingLanguage) {

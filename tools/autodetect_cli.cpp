@@ -613,6 +613,10 @@ int CmdServe(int argc, char** argv) {
   int64_t max_frame_mb = 64;
   int64_t idle_timeout_ms = 120000;
   int64_t partial_timeout_ms = 5000;
+  int64_t mem_budget_mb = 0;
+  int64_t request_budget_mb = 0;
+  int64_t drain_timeout_ms = 10000;
+  int64_t wedge_timeout_ms = 5000;
   std::string tenants_spec;
   std::string port_file;
   ModelFlags model_flags;
@@ -636,6 +640,18 @@ int CmdServe(int argc, char** argv) {
   flags.Int("partial-timeout-ms", &partial_timeout_ms,
             "close connections parked on a partial request after this "
             "(slow-loris defense)");
+  flags.Int("mem-budget-mb", &mem_budget_mb,
+            "global request-memory budget; over-budget requests get a typed "
+            "ResourceExhausted error instead of an OOM (0 = unlimited)");
+  flags.Int("request-budget-mb", &request_budget_mb,
+            "per-request memory budget, checked from the wire frame's "
+            "length prefix before the payload is buffered (0 = unlimited)");
+  flags.Int("drain-timeout-ms", &drain_timeout_ms,
+            "on SIGTERM or POST /drain, wait this long for in-flight "
+            "batches before cancelling stragglers");
+  flags.Int("wedge-timeout-ms", &wedge_timeout_ms,
+            "watchdog flags a dispatch worker stuck past this as wedged "
+            "(health degraded until it recovers)");
   flags.String("tenants", &tenants_spec,
                "per-tenant admission quotas, comma-separated "
                "name=cap[:block|shed-oldest|reject]; '*' names the default");
@@ -659,8 +675,34 @@ int CmdServe(int argc, char** argv) {
   MetricsRegistry* registry = MetricsRegistry::Default();
   std::unique_ptr<MetricsDumper> dumper = metrics.StartDumper(registry);
 
+  // Lifecycle subsystem: health ladder behind /healthz, watchdog over the
+  // dispatch workers and acceptor loops, memory budget on the request path,
+  // and a circuit breaker around model hot-reload.
+  HealthLadder health(registry);
+  WatchdogOptions dog_opts;
+  dog_opts.wedge_timeout_ms = static_cast<uint64_t>(wedge_timeout_ms);
+  dog_opts.stall_timeout_ms = static_cast<uint64_t>(wedge_timeout_ms);
+  dog_opts.health = &health;
+  dog_opts.metrics = registry;
+  Watchdog watchdog(dog_opts);
+  MemoryBudgetOptions budget_opts;
+  budget_opts.global_bytes = static_cast<size_t>(mem_budget_mb) << 20;
+  budget_opts.per_request_bytes = static_cast<size_t>(request_budget_mb) << 20;
+  budget_opts.metrics = registry;
+  MemoryBudget memory(budget_opts);
+  CircuitBreakerOptions breaker_opts;
+  breaker_opts.name = "model-reload";
+  breaker_opts.health = &health;
+  breaker_opts.metrics = registry;
+  CircuitBreaker reload_breaker(breaker_opts);
+
   auto provider = model_flags.MakeProvider(registry);
   if (!provider.ok()) return Fail(provider.status());
+  if (auto* model_registry = dynamic_cast<ModelRegistry*>(provider->get())) {
+    // --model-watch: repeated reload failures trip the breaker, stop the
+    // disk hammering, and mark the server degraded until a probe succeeds.
+    model_registry->AttachBreaker(&reload_breaker);
+  }
 
   EngineOptions engine_opts;
   Status applied = engine_flags.Apply(&engine_opts);
@@ -689,10 +731,15 @@ int CmdServe(int argc, char** argv) {
   server_opts.idle_timeout_ms = static_cast<uint64_t>(idle_timeout_ms);
   server_opts.tenants = &tenants;
   server_opts.metrics = registry;
+  server_opts.memory = memory.enabled() ? &memory : nullptr;
+  server_opts.health = &health;
+  server_opts.watchdog = &watchdog;
+  server_opts.drain_timeout_ms = static_cast<uint64_t>(drain_timeout_ms);
 
   Server server(&engine, server_opts);
   Status started = server.Start();
   if (!started.ok()) return Fail(started.WithContext("starting server"));
+  watchdog.Start();
 
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
@@ -716,11 +763,21 @@ int CmdServe(int argc, char** argv) {
   g_serve_stop = 0;
   std::signal(SIGINT, ServeSignalHandler);
   std::signal(SIGTERM, ServeSignalHandler);
-  while (g_serve_stop == 0) {
+  // POST /drain flips server.draining() without a signal; both paths exit
+  // the wait and take the same graceful sequence below.
+  while (g_serve_stop == 0 && !server.draining()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  std::printf("shutting down...\n");
+  std::printf("draining (up to %lld ms)...\n",
+              static_cast<long long>(drain_timeout_ms));
+  std::fflush(stdout);
+  server.BeginDrain();
+  const bool clean = server.AwaitDrain();
+  if (!clean) {
+    std::printf("drain timeout; cancelling remaining batches\n");
+  }
   server.Stop();
+  watchdog.Stop();
 
   ServerStats stats = server.Stats();
   std::printf("served %llu request(s) over %llu connection(s) "

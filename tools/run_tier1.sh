@@ -72,12 +72,24 @@
 #
 # Opt-in serving smoke: SERVE=on trains a tiny model, boots
 # `autodetect_cli serve` on an ephemeral loopback port (--port 0 +
-# --port-file), then drives it black-box with serve_smoke: an ADWIRE1
-# batch, an HTTP/1.1 JSON /detect round-trip, a slow-loris probe that the
-# partial-request timeout must shut down, and a /metrics scrape that must
-# carry the serve.net.* counters — finishing with a clean SIGTERM shutdown:
+# --port-file) with memory budgets armed, then drives it black-box with
+# serve_smoke: an ADWIRE1 batch, an HTTP/1.1 JSON /detect round-trip, a
+# slow-loris probe that the partial-request timeout must shut down, and a
+# /metrics scrape that must carry the serve.net.*, serve.mem.* and
+# serve.health.* series — finishing with the drain smoke: SIGTERM lands
+# mid-batch, every admitted column still reports, new connections are
+# refused, and the server exits 0 inside --drain-timeout-ms:
 #
 #   SERVE=on tools/run_tier1.sh
+#
+# Combined chaos serving: SERVE=on FAILPOINTS=on boots the chaos build's
+# server twice — once with serve.worker.wedge armed (the health ladder must
+# flip degraded and recover to healthy, watched from outside via /healthz),
+# once with registry.reload.flap armed under --model-watch (repeated reload
+# failures must trip the model-reload circuit breaker, visible in the
+# /metrics scrape) — and finishes each with a POST /drain shutdown:
+#
+#   SERVE=on FAILPOINTS=on tools/run_tier1.sh
 #
 # Opt-in sharded-training gate: SHARDS=on exercises the map/reduce training
 # CLI end to end — four train-shard partitions, merge-stats in scrambled
@@ -143,6 +155,70 @@ if [[ -n "$MODEL" ]]; then
   exit 0
 fi
 
+if [[ "$FAILPOINTS" == "on" && "$SERVE" == "on" ]]; then
+  BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-failpoints}"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+    -DAUTODETECT_FAILPOINTS=ON \
+    -DAUTODETECT_BUILD_BENCHMARKS=OFF \
+    -DAUTODETECT_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target autodetect_cli serve_smoke
+  SERVE_DIR="$(mktemp -d)"
+  SERVE_PID=""
+  trap '[[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SERVE_DIR"' EXIT
+  "$BUILD_DIR/tools/autodetect_cli" train \
+    --columns 400 --budget-mb 8 --out "$SERVE_DIR/model.bin"
+
+  # --- Wedged-worker chaos: the first dispatch stalls 400ms, which must
+  # trip the 250ms watchdog into degraded and then recover to healthy.
+  AD_FAILPOINTS="serve.worker.wedge=once" \
+    "$BUILD_DIR/tools/autodetect_cli" serve --model "$SERVE_DIR/model.bin" \
+    --port 0 --port-file "$SERVE_DIR/port" --wedge-timeout-ms 250 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SERVE_DIR/port" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "wedge server died on startup" >&2; exit 1; }
+    sleep 0.1
+  done
+  PORT="$(cat "$SERVE_DIR/port")"
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode wedge --wait-ms 15000
+  # POST /drain shutdown: an idle drain must still exit 0 promptly.
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode drain --wait-ms 10000
+  wait "$SERVE_PID" || { echo "wedge server exited non-zero after drain" >&2; exit 1; }
+  SERVE_PID=""
+  rm -f "$SERVE_DIR/port"
+
+  # --- Flapping-reload chaos: the initial load succeeds (skip1), every
+  # watcher reload after it fails, and the repeated failures must trip the
+  # model-reload circuit breaker where the scrape can see it.
+  AD_FAILPOINTS="registry.reload.flap=skip1" \
+    "$BUILD_DIR/tools/autodetect_cli" serve --model "$SERVE_DIR/model.bin" \
+    --model-watch --model-poll-ms 50 \
+    --port 0 --port-file "$SERVE_DIR/port" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$SERVE_DIR/port" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "flap server died on startup" >&2; exit 1; }
+    sleep 0.1
+  done
+  PORT="$(cat "$SERVE_DIR/port")"
+  TRIPPED=""
+  for _ in $(seq 1 100); do
+    touch "$SERVE_DIR/model.bin"  # new mtime so the watcher keeps reloading
+    SCRAPE="$("$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode metrics)"
+    if awk '$1 == "autodetect_serve_breaker_model_reload_open_total" && $2 + 0 >= 1 { found = 1 } END { exit !found }' <<<"$SCRAPE"; then
+      TRIPPED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ -n "$TRIPPED" ]] || { echo "reload flapping never tripped the circuit breaker" >&2; exit 1; }
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode drain --wait-ms 10000
+  wait "$SERVE_PID" || { echo "flap server exited non-zero after drain" >&2; exit 1; }
+  SERVE_PID=""
+  echo "chaos serving green: wedge -> degraded -> healthy; reload flapping tripped the breaker; POST /drain exits 0"
+  exit 0
+fi
+
 if [[ "$FAILPOINTS" == "on" ]]; then
   BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-failpoints}"
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
@@ -150,13 +226,17 @@ if [[ "$FAILPOINTS" == "on" ]]; then
     -DAUTODETECT_BUILD_BENCHMARKS=OFF \
     -DAUTODETECT_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target resilience_test serve_test io_test model_v2_test
+    --target resilience_test serve_test io_test model_v2_test shard_test
   # The chaos suite proper: arms failpoints via the API per test case.
   "$BUILD_DIR/tests/resilience_test"
   # Disarmed chaos build must behave exactly like the default build.
   "$BUILD_DIR/tests/serve_test"
   "$BUILD_DIR/tests/io_test"
   "$BUILD_DIR/tests/model_v2_test"
+  # Checkpoint loading under injected faults: shard_test's failpoint cases
+  # arm io.read.short/eintr and serde.read.truncate through the API and
+  # require byte-exact recovery or typed IOError — never silent truncation.
+  "$BUILD_DIR/tests/shard_test"
   # Env-armed injection: short reads and EINTR on the buffered read path
   # must be absorbed by the retry loop with byte-exact results.
   AD_FAILPOINTS="io.read.short=4x;io.read.eintr=2x" "$BUILD_DIR/tests/io_test"
@@ -196,7 +276,8 @@ if [[ "$SERVE" == "on" ]]; then
     --columns 400 --budget-mb 8 --out "$SERVE_DIR/model.bin"
   "$BUILD_DIR/tools/autodetect_cli" serve --model "$SERVE_DIR/model.bin" \
     --port 0 --port-file "$SERVE_DIR/port" \
-    --tenants 'free=2:reject' --partial-timeout-ms 2000 &
+    --tenants 'free=2:reject' --partial-timeout-ms 2000 \
+    --mem-budget-mb 64 --request-budget-mb 8 --drain-timeout-ms 10000 &
   SERVE_PID=$!
   for _ in $(seq 1 100); do
     [[ -s "$SERVE_DIR/port" ]] && break
@@ -211,21 +292,37 @@ if [[ "$SERVE" == "on" ]]; then
   # The slow-loris probe must be disconnected by the partial-request
   # timeout, not answered and not left hanging.
   "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode slowloris --wait-ms 10000
-  # The scrape must attribute the traffic the smokes just generated.
+  # The scrape must attribute the traffic the smokes just generated and
+  # carry the lifecycle series (budget gauges, health ladder state).
   SCRAPE="$("$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode metrics)"
   for metric in autodetect_serve_net_requests_total \
                 autodetect_serve_net_http_requests_total \
                 autodetect_serve_net_frames_out_total \
-                autodetect_serve_net_timeout_closes_total; do
+                autodetect_serve_net_timeout_closes_total \
+                autodetect_serve_mem_inflight_bytes \
+                autodetect_serve_mem_peak_bytes \
+                autodetect_serve_health_state; do
     grep -q "^$metric " <<<"$SCRAPE" || {
       echo "missing $metric in the /metrics scrape" >&2
       exit 1
     }
   done
-  kill -TERM "$SERVE_PID"
-  wait "$SERVE_PID"
+  # A healthy idle server must report state 0 (healthy) before the drain.
+  awk '$1 == "autodetect_serve_health_state" && $2 + 0 == 0 { found = 1 } END { exit !found }' <<<"$SCRAPE" || {
+    echo "/metrics reported a non-healthy state before the drain" >&2
+    exit 1
+  }
+  # Drain smoke: SIGTERM lands while a 16-column batch is in flight; every
+  # admitted column must still report, new connections must be refused, and
+  # the server must exit 0 inside --drain-timeout-ms.
+  "$BUILD_DIR/tools/serve_smoke" --port "$PORT" --mode drain \
+    --pid "$SERVE_PID" --wait-ms 10000
+  wait "$SERVE_PID" || {
+    echo "server exited non-zero after the SIGTERM drain" >&2
+    exit 1
+  }
   SERVE_PID=""
-  echo "serve smoke green: ADWIRE1 + HTTP /detect + slow-loris defense + /metrics + clean SIGTERM shutdown"
+  echo "serve smoke green: ADWIRE1 + HTTP /detect + slow-loris defense + /metrics + SIGTERM drain with zero dropped columns"
   exit 0
 fi
 
@@ -269,7 +366,7 @@ if [[ -n "$SANITIZE" ]]; then
     -DAUTODETECT_BUILD_BENCHMARKS=OFF \
     -DAUTODETECT_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target serve_test io_test model_v2_test resilience_test fuzz_test
+    --target serve_test io_test model_v2_test resilience_test fuzz_test net_test
   "$BUILD_DIR/tests/serve_test"
   "$BUILD_DIR/tests/io_test"
   "$BUILD_DIR/tests/model_v2_test"
@@ -278,7 +375,11 @@ if [[ -n "$SANITIZE" ]]; then
   # CPU supports (and the interned detect path), so the sanitizer also
   # sweeps the SIMD tail/boundary loads and the interner's probe chains.
   "$BUILD_DIR/tests/fuzz_test"
-  echo "serve_test + io_test + model_v2_test + resilience_test + fuzz_test green under -fsanitize=$SANITIZE"
+  # The decode fuzzers (structure-aware frame mutation, hostile HTTP/JSON)
+  # run under the sanitizer too; the live-server fixture is skipped — its
+  # model-training setup dominates runtime without adding decode coverage.
+  "$BUILD_DIR/tests/net_test" --gtest_filter='-NetFixture.*'
+  echo "serve_test + io_test + model_v2_test + resilience_test + fuzz_test + net_test(decode) green under -fsanitize=$SANITIZE"
   exit 0
 fi
 
@@ -292,10 +393,13 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # Failpoints must be compiled OUT of the default build: AD_FAILPOINT(name)
 # expands to a literal `false`, so no site name may survive as a string in
 # the shipped binary (grep -a scans the raw binary).
-if grep -aq "serve.worker.slow" "$BUILD_DIR/tools/autodetect_cli"; then
-  echo "failpoint site strings leaked into the default build" >&2
-  exit 1
-fi
+for site in serve.worker.slow serve.worker.wedge net.accept.fail \
+            net.read.oom registry.reload.flap; do
+  if grep -aq "$site" "$BUILD_DIR/tools/autodetect_cli"; then
+    echo "failpoint site string '$site' leaked into the default build" >&2
+    exit 1
+  fi
+done
 
 # Golden reports must be byte-identical regardless of the on-disk model
 # format the pipeline round-trips through (ctest already ran the v2 default).

@@ -12,12 +12,23 @@
 ///                                          only if the server closes us
 ///                                          (sheds the slot) within
 ///                                          --wait-ms instead of hanging
+///   serve_smoke --port N --mode drain --pid P
+///                                          send a batch, SIGTERM the server
+///                                          mid-flight, and require every
+///                                          admitted column to still report
+///                                          (zero dropped in-flight work)
+///                                          while new connections are refused
+///   serve_smoke --port N --mode wedge      with serve.worker.wedge armed in
+///                                          the server: drive a request and
+///                                          watch /healthz flip to degraded,
+///                                          then recover to healthy
 ///
 /// Uses the blocking client helpers (net/client.h) — deliberately a separate
 /// implementation from the server's async path, so agreement between the two
 /// is evidence, not tautology.
 
 #include <poll.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -162,6 +173,137 @@ int RunSlowloris(const std::string& host, uint16_t port, int64_t wait_ms) {
               std::to_string(wait_ms) + "ms");
 }
 
+/// Drain contract, proven from outside: a batch admitted before the drain
+/// lands must complete in full — every column report plus the batch-done
+/// frame — while the draining server refuses new work with a typed error
+/// instead of a hang or a silent drop. With --pid the drain is triggered by
+/// SIGTERM (the operator path); without it, by POST /drain (the API path).
+int RunDrain(const std::string& host, uint16_t port, const std::string& tenant,
+             int64_t server_pid, int64_t wait_ms) {
+  auto client = WireClient::Connect(host, port);
+  if (!client.ok()) return FailStatus("connect", client.status());
+
+  // A batch heavy enough that the SIGTERM below reliably lands while its
+  // columns are still in the dispatch pool.
+  WireRequest request;
+  request.request_id = 21;
+  request.tenant = tenant;
+  request.tag = "drain-smoke";
+  for (int c = 0; c < 16; ++c) {
+    WireColumn column;
+    column.name = "col" + std::to_string(c);
+    for (int v = 0; v < 400; ++v) {
+      column.values.push_back("2011-01-" + std::to_string(v % 28 + 1));
+    }
+    column.values.push_back("not-a-date-" + std::to_string(c));
+    request.columns.push_back(std::move(column));
+  }
+  Status sent = client->SendRequest(request);
+  if (!sent.ok()) return FailStatus("send", sent);
+
+  // Trigger the drain mid-batch from a helper thread while ReadBatch blocks.
+  std::thread killer([&host, port, server_pid] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    if (server_pid > 0) {
+      ::kill(static_cast<pid_t>(server_pid), SIGTERM);
+    } else {
+      auto posted = HttpPost(host, port, "/drain", "");
+      (void)posted;  // refusal probing below judges the outcome
+    }
+  });
+  auto batch = client->ReadBatch(request.request_id);
+  killer.join();
+  if (!batch.ok()) return FailStatus("read batch across drain", batch.status());
+  if (batch->errored) {
+    return Fail("in-flight batch errored during drain: " + batch->error.message);
+  }
+  if (!batch->done) return Fail("no batch-done frame during drain");
+  if (batch->reports.size() != request.columns.size()) {
+    return Fail("drain dropped in-flight columns: expected " +
+                std::to_string(request.columns.size()) + " reports, got " +
+                std::to_string(batch->reports.size()));
+  }
+
+  // New work must now be refused: either the listener is already closed
+  // (connect fails) or a draining server answers with a typed error frame.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto probe = WireClient::Connect(host, port);
+    if (!probe.ok()) {
+      std::printf("serve_smoke: drain OK (%zu reports, listener closed)\n",
+                  batch->reports.size());
+      return 0;
+    }
+    WireRequest tiny = SmokeRequest(tenant);
+    tiny.request_id = 22;
+    if (!probe->SendRequest(tiny).ok()) {
+      std::printf("serve_smoke: drain OK (%zu reports, send refused)\n",
+                  batch->reports.size());
+      return 0;
+    }
+    auto refused = probe->ReadBatch(tiny.request_id);
+    if (!refused.ok() || refused->errored) {
+      std::printf("serve_smoke: drain OK (%zu reports, new request refused)\n",
+                  batch->reports.size());
+      return 0;
+    }
+    // The drain may not have latched yet; give the server a beat and retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Fail("server still accepted new batches after SIGTERM");
+}
+
+/// Polls /healthz until its JSON body reports `state`, failing after the
+/// deadline. Connection errors are retried — during recovery the server may
+/// briefly be between accept loops.
+int AwaitHealthState(const std::string& host, uint16_t port,
+                     const std::string& state,
+                     std::chrono::steady_clock::time_point deadline) {
+  std::string last;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto health = HttpGet(host, port, "/healthz");
+    if (health.ok()) {
+      last = health->body;
+      if (last.find("\"" + state + "\"") != std::string::npos) {
+        std::printf("serve_smoke: /healthz reached %s\n", state.c_str());
+        return 0;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Fail("/healthz never reported '" + state + "' (last body: " + last +
+              ")");
+}
+
+/// Requires the server to run with serve.worker.wedge armed and a short
+/// --wedge-timeout-ms: the wedged dispatch worker must flip the health
+/// ladder to degraded, and once the worker unwedges the ladder must recover
+/// to healthy on its own.
+int RunWedge(const std::string& host, uint16_t port, const std::string& tenant,
+             int64_t wait_ms) {
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::milliseconds(wait_ms);
+
+  // The wedge failpoint stalls the dispatch worker, so this POST blocks for
+  // the stall's duration — run it from a helper thread while the main
+  // thread watches the health ladder.
+  std::thread driver([&host, port, &tenant] {
+    std::string body = "{\"tenant\":\"" + tenant +
+                       "\",\"tag\":\"wedge\",\"columns\":["
+                       "{\"name\":\"qty\",\"values\":[\"12\",\"twelve\"]}]}";
+    auto response = HttpPost(host, port, "/detect", body);
+    (void)response;  // outcome judged via the health ladder, not the reply
+  });
+  int degraded = AwaitHealthState(host, port, "degraded", deadline);
+  driver.join();
+  if (degraded != 0) return degraded;
+  int healthy = AwaitHealthState(host, port, "healthy", deadline);
+  if (healthy != 0) return healthy;
+  std::printf("serve_smoke: wedge OK (degraded then recovered)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,14 +312,16 @@ int main(int argc, char** argv) {
   std::string tenant;
   int64_t port = 0;
   int64_t wait_ms = 15000;
+  int64_t pid = 0;
 
   FlagSet flags;
   flags.String("host", &host, "server address");
   flags.Int("port", &port, "server port");
-  flags.String("mode", &mode, "wire | http | metrics | slowloris");
+  flags.String("mode", &mode, "wire | http | metrics | slowloris | drain | wedge");
   flags.String("tenant", &tenant, "tenant to claim in requests");
   flags.Int("wait-ms", &wait_ms,
-            "slowloris: how long the server gets to shed us");
+            "slowloris/drain/wedge: how long the server gets to react");
+  flags.Int("pid", &pid, "drain: server pid to SIGTERM mid-batch");
   Status parsed = flags.Parse(argc, argv, 1);
   if (!parsed.ok() || flags.help_requested()) {
     std::fprintf(stderr, "usage: serve_smoke --port N [flags]\nflags:\n%s",
@@ -194,6 +338,8 @@ int main(int argc, char** argv) {
   if (mode == "http") return RunHttp(host, p, tenant);
   if (mode == "metrics") return RunMetrics(host, p);
   if (mode == "slowloris") return RunSlowloris(host, p, wait_ms);
+  if (mode == "drain") return RunDrain(host, p, tenant, pid, wait_ms);
+  if (mode == "wedge") return RunWedge(host, p, tenant, wait_ms);
   std::fprintf(stderr, "serve_smoke: unknown --mode '%s'\n", mode.c_str());
   return 2;
 }
